@@ -1,0 +1,82 @@
+//! Errors produced while elaborating verification problems.
+
+use std::fmt;
+
+use hanoi_lang::error::{EvalError, LangError, ParseError, TypeError};
+
+/// Anything that can go wrong while turning a surface program into a
+/// [`crate::Problem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractionError {
+    /// The underlying language layer failed (parse, type or evaluation).
+    Lang(LangError),
+    /// The program contains no interface declaration.
+    MissingInterface,
+    /// The program contains no module declaration.
+    MissingModule,
+    /// The program contains no specification.
+    MissingSpec,
+    /// The module does not faithfully implement its interface.
+    InterfaceMismatch(String),
+    /// The specification is ill-formed.
+    BadSpec(String),
+    /// Any other elaboration failure.
+    Other(String),
+}
+
+impl fmt::Display for AbstractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractionError::Lang(e) => write!(f, "{e}"),
+            AbstractionError::MissingInterface => f.write_str("the program declares no interface"),
+            AbstractionError::MissingModule => f.write_str("the program declares no module"),
+            AbstractionError::MissingSpec => f.write_str("the program declares no specification"),
+            AbstractionError::InterfaceMismatch(msg) => {
+                write!(f, "module does not implement its interface: {msg}")
+            }
+            AbstractionError::BadSpec(msg) => write!(f, "ill-formed specification: {msg}"),
+            AbstractionError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for AbstractionError {}
+
+impl From<LangError> for AbstractionError {
+    fn from(e: LangError) -> Self {
+        AbstractionError::Lang(e)
+    }
+}
+
+impl From<ParseError> for AbstractionError {
+    fn from(e: ParseError) -> Self {
+        AbstractionError::Lang(LangError::Parse(e))
+    }
+}
+
+impl From<TypeError> for AbstractionError {
+    fn from(e: TypeError) -> Self {
+        AbstractionError::Lang(LangError::Type(e))
+    }
+}
+
+impl From<EvalError> for AbstractionError {
+    fn from(e: EvalError) -> Self {
+        AbstractionError::Lang(LangError::Eval(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AbstractionError::MissingInterface.to_string().contains("interface"));
+        assert!(AbstractionError::InterfaceMismatch("no insert".into())
+            .to_string()
+            .contains("insert"));
+        let e: AbstractionError = TypeError::UnboundVariable("x".into()).into();
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,33 @@
+//! Modules, interfaces, specifications and higher-order contracts.
+//!
+//! This crate turns a parsed surface program into a *verification problem*
+//! (§3.1 of the paper): an interface `F = ∃α. τm`, a module implementation
+//! `M = ⟨τc, vm⟩` that is well-typed against `τm[α ↦ τc]`, and a
+//! specification `φ` universally quantified over values of the abstract type
+//! (and possibly additional base-type values).
+//!
+//! The crate also provides:
+//!
+//! * [`constructible`] — a ground-truth oracle that computes the set of
+//!   α-constructible values (Definition 3.1) up to a budget, used by tests
+//!   and by the experiment harness to validate inferred invariants;
+//! * [`contract`] — higher-order contract instrumentation (§4.2): enumerated
+//!   functional arguments are wrapped so that every value crossing the module
+//!   boundary is logged, which is how inductiveness counterexamples are
+//!   extracted from higher-order operations.
+
+pub mod constructible;
+pub mod contract;
+pub mod error;
+pub mod interface;
+pub mod module;
+pub mod problem;
+pub mod spec;
+
+pub use constructible::ConstructibleOracle;
+pub use contract::{instrument_function, BoundaryLog};
+pub use error::AbstractionError;
+pub use interface::{Interface, OpSig};
+pub use module::{Module, ModuleOp};
+pub use problem::Problem;
+pub use spec::Spec;

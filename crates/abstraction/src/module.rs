@@ -1,0 +1,143 @@
+//! Module implementations: the existential package `M = ⟨τc, vm⟩`.
+
+use hanoi_lang::symbol::Symbol;
+use hanoi_lang::types::Type;
+use hanoi_lang::value::Value;
+
+/// One elaborated module operation.
+#[derive(Debug, Clone)]
+pub struct ModuleOp {
+    /// The operation name.
+    pub name: Symbol,
+    /// Its interface signature, over the abstract type.
+    pub sig: Type,
+    /// The signature with the abstract type replaced by the concrete
+    /// representation type (`sig[α ↦ τc]`).
+    pub concrete_sig: Type,
+    /// The evaluated operation (a closure for functions, a plain value for
+    /// constants such as `empty`).
+    pub value: Value,
+}
+
+impl ModuleOp {
+    /// The curried argument types of the operation's interface signature.
+    pub fn arg_sigs(&self) -> Vec<&Type> {
+        self.sig.uncurry().0
+    }
+
+    /// The result type of the operation's interface signature.
+    pub fn result_sig(&self) -> &Type {
+        self.sig.uncurry().1
+    }
+
+    /// `true` if the abstract type appears in the operation's signature.
+    pub fn mentions_abstract(&self) -> bool {
+        self.sig.mentions_abstract()
+    }
+
+    /// `true` if every argument position is 0-order.
+    pub fn is_first_order(&self) -> bool {
+        self.sig.is_first_order()
+    }
+}
+
+/// An elaborated module: a concrete representation type together with the
+/// operations demanded by its interface.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// The module name (e.g. `ListSet`).
+    pub name: Symbol,
+    /// The concrete representation type `τc`.
+    pub concrete: Type,
+    /// The operations, in interface declaration order.
+    pub ops: Vec<ModuleOp>,
+}
+
+impl Module {
+    /// Looks up an operation by name.
+    pub fn op(&self, name: &str) -> Option<&ModuleOp> {
+        self.ops.iter().find(|o| o.name.as_str() == name)
+    }
+
+    /// The operations whose signature mentions the abstract type.
+    pub fn abstract_ops(&self) -> impl Iterator<Item = &ModuleOp> {
+        self.ops.iter().filter(|o| o.mentions_abstract())
+    }
+
+    /// `true` when every operation is first-order.
+    pub fn is_first_order(&self) -> bool {
+        self.ops.iter().all(ModuleOp::is_first_order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    const LIST_SET: &str = r#"
+        type nat = O | S of nat
+        type list = Nil | Cons of nat * list
+
+        interface SET = sig
+          type t
+          val empty : t
+          val insert : t -> nat -> t
+          val delete : t -> nat -> t
+          val lookup : t -> nat -> bool
+        end
+
+        module ListSet : SET = struct
+          type t = list
+          let empty : t = Nil
+          let rec lookup (l : t) (x : nat) : bool =
+            match l with
+            | Nil -> False
+            | Cons (hd, tl) -> hd == x || lookup tl x
+            end
+          let insert (l : t) (x : nat) : t =
+            if lookup l x then l else Cons (x, l)
+          let rec delete (l : t) (x : nat) : t =
+            match l with
+            | Nil -> Nil
+            | Cons (hd, tl) -> if hd == x then tl else Cons (hd, delete tl x)
+            end
+        end
+
+        spec (s : t) (i : nat) =
+          not (lookup empty i) && lookup (insert s i) i && not (lookup (delete s i) i)
+    "#;
+
+    #[test]
+    fn module_ops_follow_interface_order() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let names: Vec<&str> = problem.module.ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["empty", "insert", "delete", "lookup"]);
+        assert_eq!(problem.module.concrete, Type::named("list"));
+        assert!(problem.module.is_first_order());
+    }
+
+    #[test]
+    fn signatures_are_substituted() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let insert = problem.module.op("insert").unwrap();
+        assert_eq!(
+            insert.sig,
+            Type::arrows(vec![Type::Abstract, Type::named("nat")], Type::Abstract)
+        );
+        assert_eq!(
+            insert.concrete_sig,
+            Type::arrows(vec![Type::named("list"), Type::named("nat")], Type::named("list"))
+        );
+        assert_eq!(insert.arg_sigs().len(), 2);
+        assert_eq!(insert.result_sig(), &Type::Abstract);
+        assert!(insert.mentions_abstract());
+    }
+
+    #[test]
+    fn empty_is_a_plain_value() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let empty = problem.module.op("empty").unwrap();
+        assert_eq!(empty.value, Value::nat_list(&[]));
+    }
+}

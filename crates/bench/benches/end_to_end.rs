@@ -1,0 +1,35 @@
+//! End-to-end inference benchmarks: the full CEGIS loop on fast benchmarks
+//! with reduced verifier bounds (the shape of Figure 7 in miniature — the
+//! figure7 binary regenerates the real table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hanoi::{Driver, HanoiConfig, Mode};
+use hanoi_benchmarks::find;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    for id in ["/other/cache", "/other/rational", "/vfa/assoc-list-::-table"] {
+        let benchmark = find(id).unwrap();
+        let problem = benchmark.problem().expect("benchmark elaborates");
+        group.bench_function(format!("hanoi{}", id.replace('/', "_")), |b| {
+            b.iter(|| {
+                let result = Driver::new(&problem, HanoiConfig::quick()).run();
+                assert!(result.is_success(), "{id} failed: {}", result.outcome);
+                result
+            })
+        });
+    }
+
+    // One baseline for comparison on the cheapest benchmark.
+    let benchmark = find("/other/cache").unwrap();
+    let problem = benchmark.problem().expect("benchmark elaborates");
+    group.bench_function("la_other_cache", |b| {
+        b.iter(|| Driver::new(&problem, HanoiConfig::quick().with_mode(Mode::LinearArbitrary)).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

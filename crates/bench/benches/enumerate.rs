@@ -1,0 +1,38 @@
+//! Micro-benchmarks of size-ordered value enumeration, the source of every
+//! test input the bounded verifier uses (§4.3 bounds: 3000 values / 30 nodes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hanoi_benchmarks::find;
+use hanoi_lang::enumerate::ValueEnumerator;
+use hanoi_lang::types::Type;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let list_problem =
+        find("/coq/unique-list-::-set").unwrap().problem().expect("benchmark elaborates");
+    let tree_problem = find("/vfa/tree-::-priqueue").unwrap().problem().expect("elaborates");
+
+    let mut group = c.benchmark_group("enumerate");
+    group.sample_size(20);
+
+    group.bench_function("lists_3000_of_30_nodes", |b| {
+        b.iter(|| {
+            let mut enumerator = ValueEnumerator::new(&list_problem.tyenv);
+            enumerator.first_values(&Type::named("list"), 3000, 30).len()
+        })
+    });
+    group.bench_function("trees_3000_of_15_nodes", |b| {
+        b.iter(|| {
+            let mut enumerator = ValueEnumerator::new(&tree_problem.tyenv);
+            enumerator.first_values(&Type::named("tree"), 3000, 15).len()
+        })
+    });
+    group.bench_function("lists_cached_resweep", |b| {
+        let mut enumerator = ValueEnumerator::new(&list_problem.tyenv);
+        enumerator.first_values(&Type::named("list"), 3000, 30);
+        b.iter(|| enumerator.first_values(&Type::named("list"), 3000, 30).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

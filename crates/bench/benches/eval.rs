@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the interpreter: the cost of evaluating module
+//! operations dominates every verifier call, so this is the innermost loop of
+//! the whole system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hanoi_benchmarks::find;
+use hanoi_lang::eval::Fuel;
+use hanoi_lang::value::Value;
+
+fn bench_eval(c: &mut Criterion) {
+    let benchmark = find("/coq/unique-list-::-set").expect("benchmark exists");
+    let problem = benchmark.problem().expect("benchmark elaborates");
+    let list = Value::nat_list(&[9, 7, 5, 3, 1]);
+
+    let mut group = c.benchmark_group("eval");
+    group.sample_size(30);
+
+    group.bench_function("lookup_hit", |b| {
+        b.iter_batched(
+            || (list.clone(), Value::nat(1)),
+            |(l, x)| problem.eval_call("lookup", &[l, x]).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter_batched(
+            || (list.clone(), Value::nat(8)),
+            |(l, x)| problem.eval_call("lookup", &[l, x]).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("insert", |b| {
+        b.iter_batched(
+            || (list.clone(), Value::nat(8)),
+            |(l, x)| problem.eval_call("insert", &[l, x]).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("spec", |b| {
+        b.iter_batched(
+            || (list.clone(), Value::nat(3)),
+            |(l, x)| problem.eval_spec_with_fuel(&[l, x], &mut Fuel::standard()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

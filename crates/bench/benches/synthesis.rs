@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the two synthesizer back ends on a fixed example set
+//! (the §5.4 ablation in miniature).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hanoi_benchmarks::find;
+use hanoi_lang::util::Deadline;
+use hanoi_lang::value::Value;
+use hanoi_synth::{ExampleSet, FoldSynth, MythSynth, Synthesizer};
+
+fn example_set() -> (hanoi_abstraction::Problem, ExampleSet) {
+    let problem =
+        find("/coq/unique-list-::-set").unwrap().problem().expect("benchmark elaborates");
+    let examples = ExampleSet::from_sets(
+        [
+            Value::nat_list(&[]),
+            Value::nat_list(&[0]),
+            Value::nat_list(&[1, 0]),
+            Value::nat_list(&[2, 1]),
+            Value::nat_list(&[2, 1, 0]),
+        ],
+        [Value::nat_list(&[0, 0]), Value::nat_list(&[1, 1]), Value::nat_list(&[0, 1, 0])],
+    )
+    .unwrap();
+    let (examples, _) = examples.trace_completed(&problem.tyenv, problem.concrete_type());
+    (problem, examples)
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let (problem, examples) = example_set();
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+
+    group.bench_function("myth_no_duplicates", |b| {
+        b.iter(|| {
+            let mut synth = MythSynth::new();
+            synth.synthesize(&problem, &examples, &Deadline::none()).unwrap()
+        })
+    });
+    group.bench_function("fold_no_duplicates", |b| {
+        b.iter(|| {
+            let mut synth = FoldSynth::new();
+            synth.synthesize(&problem, &examples, &Deadline::none()).unwrap()
+        })
+    });
+    group.bench_function("myth_empty_examples", |b| {
+        b.iter(|| {
+            let mut synth = MythSynth::new();
+            synth.synthesize(&problem, &ExampleSet::new(), &Deadline::none()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

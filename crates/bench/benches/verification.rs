@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the verifier's three checks on the §2 running example,
+//! with the paper's observation in mind that verification time dominates
+//! total time ("for all but two of the terminating benchmarks, the total time
+//! spent synthesizing is under two seconds").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hanoi_benchmarks::find;
+use hanoi_lang::parser::parse_expr;
+use hanoi_lang::value::Value;
+use hanoi_verifier::{Verifier, VerifierBounds};
+
+fn bench_verification(c: &mut Criterion) {
+    let problem =
+        find("/coq/unique-list-::-set").unwrap().problem().expect("benchmark elaborates");
+    let no_dup = parse_expr(
+        "fix inv (l : list) : bool = \
+           match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
+    )
+    .unwrap();
+    let trivial = parse_expr("fun (l : list) -> True").unwrap();
+    let v_plus = vec![Value::nat_list(&[]), Value::nat_list(&[1]), Value::nat_list(&[2, 1])];
+
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(10);
+
+    for (label, bounds) in [("quick", VerifierBounds::quick())] {
+        let verifier = Verifier::new(&problem).with_bounds(bounds);
+        group.bench_function(format!("sufficiency_valid_{label}"), |b| {
+            b.iter(|| verifier.check_sufficiency(&no_dup).unwrap())
+        });
+        group.bench_function(format!("sufficiency_cex_{label}"), |b| {
+            b.iter(|| verifier.check_sufficiency(&trivial).unwrap())
+        });
+        group.bench_function(format!("visible_inductiveness_{label}"), |b| {
+            b.iter(|| verifier.check_visible_inductiveness(&v_plus, &no_dup).unwrap())
+        });
+        group.bench_function(format!("full_inductiveness_{label}"), |b| {
+            b.iter(|| verifier.check_full_inductiveness(&no_dup).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The §5.4 synthesizer ablation: the Myth-style back end versus the
+//! fold-capable prototype synthesizer, over the quick benchmark subset (or
+//! the full suite with `--full`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p hanoi-bench --release --bin ablation_synth [-- --full] [-- --timeout <secs>]
+//! ```
+
+use std::time::Duration;
+
+use hanoi::{Mode, Optimizations};
+use hanoi_bench::report::{completion_summary, figure7_table};
+use hanoi_bench::{ablation_synthesizers, run_benchmark, HarnessConfig, Row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let timeout = args
+        .iter()
+        .position(|a| a == "--timeout")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+
+    let mut harness = if full { HarnessConfig::full() } else { HarnessConfig::quick() };
+    if let Some(timeout) = timeout {
+        harness.timeout = timeout;
+    }
+    let benchmarks =
+        if full { hanoi_benchmarks::registry() } else { hanoi_benchmarks::quick_subset() };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, choice) in ablation_synthesizers() {
+        eprintln!("synthesizer {label}");
+        for benchmark in &benchmarks {
+            let config = harness
+                .inference_config(Mode::Hanoi, Optimizations::all())
+                .with_synthesizer(choice);
+            let row = run_benchmark(benchmark, config, label);
+            eprintln!("  {} -> {:?} in {:.1}s", benchmark.id, row.status, row.time_secs);
+            rows.push(row);
+        }
+    }
+
+    println!("{}", figure7_table(&rows));
+    println!("{}", completion_summary(&rows));
+
+    // The §5.4 headline: relative slowdown of the fold synthesizer on the
+    // benchmarks both back ends solve.
+    let solved_by_both: Vec<&str> = benchmarks
+        .iter()
+        .map(|b| b.id)
+        .filter(|id| {
+            hanoi_bench::ablation_synthesizers().iter().all(|(label, _)| {
+                rows.iter().any(|r| {
+                    r.id == *id && r.mode == *label && r.status == hanoi_bench::RunStatus::Completed
+                })
+            })
+        })
+        .collect();
+    if !solved_by_both.is_empty() {
+        let total =
+            |label: &str| -> f64 {
+                rows.iter()
+                    .filter(|r| r.mode == label && solved_by_both.contains(&r.id.as_str()))
+                    .map(|r| r.time_secs)
+                    .sum()
+            };
+        let myth = total("myth");
+        let fold = total("fold");
+        println!(
+            "on the {} benchmark(s) solved by both, fold/myth total time ratio = {:.2} (the paper reports ~1.11)",
+            solved_by_both.len(),
+            if myth > 0.0 { fold / myth } else { f64::NAN }
+        );
+    }
+}

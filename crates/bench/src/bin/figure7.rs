@@ -1,0 +1,70 @@
+//! Regenerates Figure 7 / Figure 9: per-benchmark results for the full Hanoi
+//! configuration.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p hanoi-bench --release --bin figure7 [-- --quick] [-- --timeout <secs>] [-- --out <path>]
+//! ```
+//!
+//! `--quick` runs the fast subset with reduced verifier bounds (a smoke run);
+//! the default runs all 28 benchmarks.  The paper uses a 30-minute timeout
+//! per benchmark and averages 10 runs; pass `--timeout 1800` to match (and
+//! expect a long wall-clock time).
+
+use std::time::Duration;
+
+use hanoi::{Mode, Optimizations};
+use hanoi_bench::report::{completion_summary, figure7_table};
+use hanoi_bench::{run_benchmark, HarnessConfig, Row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let timeout = args
+        .iter()
+        .position(|a| a == "--timeout")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/figure7.json".to_string());
+
+    let mut harness = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    if let Some(timeout) = timeout {
+        harness.timeout = timeout;
+    }
+    let benchmarks =
+        if quick { hanoi_benchmarks::quick_subset() } else { hanoi_benchmarks::registry() };
+
+    eprintln!(
+        "figure7: running {} benchmark(s), timeout {:?}, {} bounds",
+        benchmarks.len(),
+        harness.timeout,
+        if harness.paper_bounds { "paper" } else { "quick" }
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for benchmark in &benchmarks {
+        eprintln!("  running {} ...", benchmark.id);
+        let config = harness.inference_config(Mode::Hanoi, Optimizations::all());
+        let row = run_benchmark(benchmark, config, "Hanoi");
+        eprintln!(
+            "    -> {:?} in {:.1}s (TVC {}, TSC {})",
+            row.status, row.time_secs, row.tvc, row.tsc
+        );
+        rows.push(row);
+    }
+
+    println!("{}", figure7_table(&rows));
+    println!("{}", completion_summary(&rows));
+    if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        if std::fs::write(&out_path, json).is_ok() {
+            eprintln!("wrote {out_path}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates Figure 8: cumulative benchmarks completed over time for the
+//! six configurations (Hanoi, Hanoi−SRC, Hanoi−CLC, ∧Str, LA, OneShot).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p hanoi-bench --release --bin figure8 [-- --quick] [-- --timeout <secs>] [-- --out <path>]
+//! ```
+
+use std::time::Duration;
+
+use hanoi_bench::report::{completion_summary, figure8_series};
+use hanoi_bench::{run_benchmark, HarnessConfig, Row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let timeout = args
+        .iter()
+        .position(|a| a == "--timeout")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/figure8.json".to_string());
+
+    let mut harness = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    if let Some(timeout) = timeout {
+        harness.timeout = timeout;
+    }
+    let benchmarks =
+        if quick { hanoi_benchmarks::quick_subset() } else { hanoi_benchmarks::registry() };
+
+    eprintln!(
+        "figure8: running {} benchmark(s) x 6 modes, timeout {:?}",
+        benchmarks.len(),
+        harness.timeout
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, mode, optimizations) in hanoi_bench::figure8_modes() {
+        eprintln!("mode {label}");
+        for benchmark in &benchmarks {
+            let config = harness.inference_config(mode, optimizations);
+            let row = run_benchmark(benchmark, config, label);
+            eprintln!("  {} -> {:?} in {:.1}s", benchmark.id, row.status, row.time_secs);
+            rows.push(row);
+        }
+    }
+
+    let max = harness.timeout.as_secs_f64();
+    let thresholds: Vec<f64> =
+        [0.02, 0.05, 0.1, 0.2, 0.5].iter().map(|f| f * max).chain([max]).collect();
+    println!("{}", figure8_series(&rows, &thresholds));
+    println!("{}", completion_summary(&rows));
+    if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        if std::fs::write(&out_path, json).is_ok() {
+            eprintln!("wrote {out_path}");
+        }
+    }
+}

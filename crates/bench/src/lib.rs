@@ -1,0 +1,205 @@
+//! The experiment harness: runs the inference pipeline over the benchmark
+//! suite and regenerates the paper's tables and figures.
+//!
+//! * `figure7` (binary) — per-benchmark results for the full Hanoi
+//!   configuration: invariant size, total/verification/synthesis times and
+//!   call counts (Figure 7 / Figure 9);
+//! * `figure8` (binary) — cumulative benchmarks-completed-over-time series
+//!   for Hanoi, Hanoi−SRC, Hanoi−CLC, ∧Str, LA and OneShot (Figure 8);
+//! * `ablation_synth` (binary) — the §5.4 comparison between the Myth-style
+//!   synthesizer and the fold-capable prototype;
+//! * Criterion benches (`benches/`) — component micro-benchmarks (evaluator,
+//!   enumeration, verification, synthesis, end-to-end inference).
+//!
+//! Absolute numbers are not expected to match the paper (different machine,
+//! different synthesizer implementation); the harness exists to reproduce the
+//! *shape* of the results, and EXPERIMENTS.md records the comparison.
+
+pub mod report;
+
+use std::time::Duration;
+
+use hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome, SynthChoice};
+use hanoi_benchmarks::Benchmark;
+use hanoi_verifier::VerifierBounds;
+use serde::{Deserialize, Serialize};
+
+/// How an individual run ended, in serialisable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// An invariant was inferred.
+    Completed,
+    /// The run hit its wall-clock budget.
+    TimedOut,
+    /// The synthesizer gave up or the module violated its spec.
+    Failed,
+}
+
+/// One row of a result table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark id.
+    pub id: String,
+    /// Mode label (`Hanoi`, `Hanoi-SRC`, …).
+    pub mode: String,
+    /// Run status.
+    pub status: RunStatus,
+    /// Inferred invariant (pretty-printed), when available.
+    pub invariant: Option<String>,
+    /// Invariant size in AST nodes (the paper's *Size*).
+    pub size: Option<usize>,
+    /// Total wall-clock seconds (*Time*).
+    pub time_secs: f64,
+    /// Total verification seconds (*TVT*).
+    pub tvt_secs: f64,
+    /// Verification call count (*TVC*).
+    pub tvc: usize,
+    /// Total synthesis seconds (*TST*).
+    pub tst_secs: f64,
+    /// Synthesis call count (*TSC*).
+    pub tsc: usize,
+    /// CEGIS iterations.
+    pub iterations: usize,
+    /// Invariant size reported by the paper, for comparison.
+    pub paper_size: Option<usize>,
+    /// Time reported by the paper (seconds), for comparison.
+    pub paper_time_secs: Option<f64>,
+}
+
+impl Row {
+    /// Mean verification time per call (*MVT*), seconds.
+    pub fn mvt_secs(&self) -> Option<f64> {
+        (self.tvc > 0).then(|| self.tvt_secs / self.tvc as f64)
+    }
+
+    /// Mean synthesis time per call (*MST*), seconds.
+    pub fn mst_secs(&self) -> Option<f64> {
+        (self.tsc > 0).then(|| self.tst_secs / self.tsc as f64)
+    }
+}
+
+/// Harness-level configuration: which bounds/timeout to use for every run.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Per-benchmark wall-clock budget.
+    pub timeout: Duration,
+    /// Use the paper's verifier bounds (`false` = reduced "quick" bounds).
+    pub paper_bounds: bool,
+}
+
+impl HarnessConfig {
+    /// A quick configuration for smoke runs and CI: reduced verifier bounds
+    /// and a small per-benchmark budget.
+    pub fn quick() -> Self {
+        HarnessConfig { timeout: Duration::from_secs(20), paper_bounds: false }
+    }
+
+    /// A fuller configuration closer to the paper's setup (still with a
+    /// reduced default budget; pass `--timeout` to the binaries to raise it).
+    pub fn full() -> Self {
+        HarnessConfig { timeout: Duration::from_secs(300), paper_bounds: true }
+    }
+
+    /// Builds the inference configuration for one mode.
+    pub fn inference_config(&self, mode: Mode, optimizations: Optimizations) -> HanoiConfig {
+        let bounds = if self.paper_bounds { VerifierBounds::paper() } else { VerifierBounds::quick() };
+        HanoiConfig {
+            mode,
+            bounds,
+            optimizations,
+            timeout: Some(self.timeout),
+            ..HanoiConfig::default()
+        }
+    }
+}
+
+/// Runs one benchmark under one configuration and produces a table row.
+pub fn run_benchmark(benchmark: &Benchmark, config: HanoiConfig, mode_label: &str) -> Row {
+    let paper_size = benchmark.paper_size;
+    let paper_time_secs = benchmark.paper_time_secs;
+    let problem = match benchmark.problem() {
+        Ok(problem) => problem,
+        Err(e) => {
+            return Row {
+                id: benchmark.id.to_string(),
+                mode: mode_label.to_string(),
+                status: RunStatus::Failed,
+                invariant: Some(format!("elaboration error: {e}")),
+                size: None,
+                time_secs: 0.0,
+                tvt_secs: 0.0,
+                tvc: 0,
+                tst_secs: 0.0,
+                tsc: 0,
+                iterations: 0,
+                paper_size,
+                paper_time_secs,
+            }
+        }
+    };
+    let result = Driver::new(&problem, config).run();
+    let status = match &result.outcome {
+        Outcome::Invariant(_) => RunStatus::Completed,
+        Outcome::Timeout => RunStatus::TimedOut,
+        Outcome::SpecViolation(_) | Outcome::SynthesisFailure(_) => RunStatus::Failed,
+    };
+    Row {
+        id: benchmark.id.to_string(),
+        mode: mode_label.to_string(),
+        status,
+        invariant: result.outcome.invariant().map(|e| e.to_string()),
+        size: result.stats.invariant_size,
+        time_secs: result.stats.total_time.as_secs_f64(),
+        tvt_secs: result.stats.verification_time.as_secs_f64(),
+        tvc: result.stats.verification_calls,
+        tst_secs: result.stats.synthesis_time.as_secs_f64(),
+        tsc: result.stats.synthesis_calls,
+        iterations: result.stats.iterations,
+        paper_size,
+        paper_time_secs,
+    }
+}
+
+/// The six configurations of Figure 8, as (label, mode, optimizations).
+pub fn figure8_modes() -> Vec<(&'static str, Mode, Optimizations)> {
+    vec![
+        ("Hanoi", Mode::Hanoi, Optimizations::all()),
+        ("Hanoi-SRC", Mode::Hanoi, Optimizations::without_src()),
+        ("Hanoi-CLC", Mode::Hanoi, Optimizations::without_clc()),
+        ("AndStr", Mode::ConjStr, Optimizations::all()),
+        ("LA", Mode::LinearArbitrary, Optimizations::all()),
+        ("OneShot", Mode::OneShot, Optimizations::all()),
+    ]
+}
+
+/// The two synthesizer back ends of the §5.4 ablation.
+pub fn ablation_synthesizers() -> Vec<(&'static str, SynthChoice)> {
+    vec![("myth", SynthChoice::Myth), ("fold", SynthChoice::Fold)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_on_an_easy_benchmark_completes() {
+        let benchmark = hanoi_benchmarks::find("/other/cache").unwrap();
+        let harness = HarnessConfig::quick();
+        let config = harness.inference_config(Mode::Hanoi, Optimizations::all());
+        let row = run_benchmark(&benchmark, config, "Hanoi");
+        assert_eq!(row.status, RunStatus::Completed, "row: {row:?}");
+        assert!(row.size.is_some());
+        assert!(row.mvt_secs().is_some());
+        assert!(row.time_secs > 0.0);
+        // Serialises cleanly.
+        let json = serde_json::to_string(&row).unwrap();
+        let back: Row = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, row.id);
+    }
+
+    #[test]
+    fn mode_and_ablation_tables_are_complete() {
+        assert_eq!(figure8_modes().len(), 6);
+        assert_eq!(ablation_synthesizers().len(), 2);
+    }
+}

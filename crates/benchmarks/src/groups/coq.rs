@@ -1,0 +1,376 @@
+//! The `/coq/...` group: list- and tree-based set implementations modelled on
+//! the Coq standard library, with `+binfuncs` (union/intersection) and
+//! `+hofs` (filter/fold) variants.
+
+use crate::{Benchmark, Group};
+
+use super::{
+    make, BINFUNCS_VALS, ESET_SPEC, HOFS_VALS, LEQ, LIST_SET_BINFUNCS, LIST_SET_HOFS,
+    NAT_LIST_DECLS, SET_INTERFACE, SET_SPEC, SORTED_LIST_OPS, TREE_DECL, UNIQUE_LIST_OPS,
+};
+
+fn list_set(ops: &str) -> String {
+    format!(
+        "{NAT_LIST_DECLS}{LEQ}{SET_INTERFACE}\nmodule ListSet : SET = struct\n  type t = list\n{ops}\nend\n{SET_SPEC}"
+    )
+}
+
+fn list_set_binfuncs(ops: &str) -> String {
+    format!(
+        "{NAT_LIST_DECLS}{LEQ}\n\
+         interface ESET = sig\n  type t\n  val empty : t\n  val insert : t -> nat -> t\n  val delete : t -> nat -> t\n  val lookup : t -> nat -> bool\n{BINFUNCS_VALS}\nend\n\
+         module ListSet : ESET = struct\n  type t = list\n{ops}{LIST_SET_BINFUNCS}\nend\n{ESET_SPEC}"
+    )
+}
+
+fn list_set_hofs(ops: &str) -> String {
+    format!(
+        "{NAT_LIST_DECLS}{LEQ}\n\
+         interface HSET = sig\n  type t\n  val empty : t\n  val insert : t -> nat -> t\n  val delete : t -> nat -> t\n  val lookup : t -> nat -> bool\n{HOFS_VALS}\nend\n\
+         module ListSet : HSET = struct\n  type t = list\n{ops}{LIST_SET_HOFS}\nend\n{SET_SPEC}"
+    )
+}
+
+/// The max-first list "heap": the head of the list is always a maximum
+/// element.
+fn maxfirst_heap(with_merge: bool) -> String {
+    let merge_val = if with_merge { "  val merge : t -> t -> t\n" } else { "" };
+    let merge_op = if with_merge {
+        r#"
+  let rec merge (a : t) (b : t) : t =
+    match a with
+    | Nil -> b
+    | Cons (hd, tl) -> push (merge tl b) hd
+    end
+"#
+    } else {
+        ""
+    };
+    let spec = if with_merge {
+        r#"
+spec (h1 : t) (h2 : t) (i : nat) =
+  member (push h1 i) i
+  && (not (member h1 i) || leq i (max_elt h1))
+  && (not (member h1 i || member h2 i) || member (merge h1 h2) i)
+"#
+    } else {
+        r#"
+spec (h : t) (i : nat) =
+  member (push h i) i && (not (member h i) || leq i (max_elt h))
+"#
+    };
+    format!(
+        r#"{NAT_LIST_DECLS}{LEQ}
+let rec all_geq (x : nat) (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) -> leq hd x && all_geq x tl
+  end
+
+interface HEAP = sig
+  type t
+  val empty : t
+  val push : t -> nat -> t
+  val max_elt : t -> nat
+  val member : t -> nat -> bool
+{merge_val}end
+
+module MaxFirstList : HEAP = struct
+  type t = list
+  let empty : t = Nil
+  let max_elt (h : t) : nat =
+    match h with
+    | Nil -> O
+    | Cons (hd, tl) -> hd
+    end
+  let rec member (h : t) (x : nat) : bool =
+    match h with
+    | Nil -> False
+    | Cons (hd, tl) -> hd == x || member tl x
+    end
+  let push (h : t) (x : nat) : t =
+    match h with
+    | Nil -> Cons (x, Nil)
+    | Cons (hd, tl) ->
+        if leq hd x then Cons (x, Cons (hd, tl)) else Cons (hd, Cons (x, tl))
+    end
+{merge_op}end
+{spec}"#
+    )
+}
+
+/// A binary search tree set; `tmax` is the helper function the paper had to
+/// provide for Myth (`min_max_tree` in their naming).
+fn bst_set(extra_vals: &str, extra_ops: &str, spec: &str) -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}{TREE_DECL}{LEQ}
+let lt (m : nat) (n : nat) : bool = leq (S m) n
+
+interface BSTSET = sig
+  type t
+  val empty : t
+  val insert : t -> nat -> t
+  val delete : t -> nat -> t
+  val lookup : t -> nat -> bool
+{extra_vals}end
+
+module BstSet : BSTSET = struct
+  type t = tree
+  let empty : t = Leaf
+  let rec lookup (x : t) (k : nat) : bool =
+    match x with
+    | Leaf -> False
+    | Node (l, v, r) ->
+        if k == v then True else if lt k v then lookup l k else lookup r k
+    end
+  let rec insert (x : t) (k : nat) : t =
+    match x with
+    | Leaf -> Node (Leaf, k, Leaf)
+    | Node (l, v, r) ->
+        if k == v then Node (l, v, r)
+        else if lt k v then Node (insert l k, v, r)
+        else Node (l, v, insert r k)
+    end
+  let rec tmax (x : t) : nat =
+    match x with
+    | Leaf -> O
+    | Node (l, v, r) ->
+        match r with
+        | Leaf -> v
+        | Node (rl, rv, rr) -> tmax r
+        end
+    end
+  let rec delete (x : t) (k : nat) : t =
+    match x with
+    | Leaf -> Leaf
+    | Node (l, v, r) ->
+        if k == v then
+          (match l with
+           | Leaf -> r
+           | Node (ll, lv, lr) -> Node (delete l (tmax l), tmax l, r)
+           end)
+        else if lt k v then Node (delete l k, v, r)
+        else Node (l, v, delete r k)
+    end
+{extra_ops}end
+{spec}"#
+    )
+}
+
+const BST_BINFUNCS: &str = r#"
+  let rec union (a : t) (b : t) : t =
+    match a with
+    | Leaf -> b
+    | Node (l, v, r) -> insert (union l (union r b)) v
+    end
+  let rec inter (a : t) (b : t) : t =
+    match a with
+    | Leaf -> Leaf
+    | Node (l, v, r) ->
+        if lookup b v then insert (union (inter l b) (inter r b)) v
+        else union (inter l b) (inter r b)
+    end
+"#;
+
+const BST_HOFS: &str = r#"
+  let rec fold (f : nat -> t -> t) (a : t) (s : t) : t =
+    match s with
+    | Leaf -> a
+    | Node (l, v, r) -> f v (fold f (fold f a l) r)
+    end
+"#;
+
+const BST_HOFS_VALS: &str = "  val fold : (nat -> t -> t) -> t -> t -> t\n";
+
+/// A red-black tree set with Okasaki-style rebalancing on insertion.
+fn rbtree_set(extra_vals: &str, extra_ops: &str, spec: &str) -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}{LEQ}
+type color = Red | Black
+type rbt = RLeaf | RNode of color * rbt * nat * rbt
+
+let lt (m : nat) (n : nat) : bool = leq (S m) n
+
+let balance (c : color) (l : rbt) (v : nat) (r : rbt) : rbt =
+  match (c, l, v, r) with
+  | (Black, RNode (Red, RNode (Red, a, x, b), y, c2), z, d) ->
+      RNode (Red, RNode (Black, a, x, b), y, RNode (Black, c2, z, d))
+  | (Black, RNode (Red, a, x, RNode (Red, b, y, c2)), z, d) ->
+      RNode (Red, RNode (Black, a, x, b), y, RNode (Black, c2, z, d))
+  | (Black, a, x, RNode (Red, RNode (Red, b, y, c2), z, d)) ->
+      RNode (Red, RNode (Black, a, x, b), y, RNode (Black, c2, z, d))
+  | (Black, a, x, RNode (Red, b, y, RNode (Red, c2, z, d))) ->
+      RNode (Red, RNode (Black, a, x, b), y, RNode (Black, c2, z, d))
+  | (c3, l2, v2, r2) -> RNode (c3, l2, v2, r2)
+  end
+
+interface RBSET = sig
+  type t
+  val empty : t
+  val insert : t -> nat -> t
+  val lookup : t -> nat -> bool
+{extra_vals}end
+
+module RbSet : RBSET = struct
+  type t = rbt
+  let empty : t = RLeaf
+  let rec lookup (x : t) (k : nat) : bool =
+    match x with
+    | RLeaf -> False
+    | RNode (c, l, v, r) ->
+        if k == v then True else if lt k v then lookup l k else lookup r k
+    end
+  let rec ins (x : t) (k : nat) : t =
+    match x with
+    | RLeaf -> RNode (Red, RLeaf, k, RLeaf)
+    | RNode (c, l, v, r) ->
+        if k == v then RNode (c, l, v, r)
+        else if lt k v then balance c (ins l k) v r
+        else balance c l v (ins r k)
+    end
+  let insert (x : t) (k : nat) : t =
+    match ins x k with
+    | RLeaf -> RLeaf
+    | RNode (c, l, v, r) -> RNode (Black, l, v, r)
+    end
+{extra_ops}end
+{spec}"#
+    )
+}
+
+const RB_SPEC: &str = r#"
+spec (s : t) (i : nat) =
+  not (lookup empty i) && lookup (insert s i) i
+"#;
+
+const RB_BINFUNCS: &str = r#"
+  let rec union (a : t) (b : t) : t =
+    match a with
+    | RLeaf -> b
+    | RNode (c, l, v, r) -> insert (union l (union r b)) v
+    end
+  let rec inter (a : t) (b : t) : t =
+    match a with
+    | RLeaf -> RLeaf
+    | RNode (c, l, v, r) ->
+        if lookup b v then insert (union (inter l b) (inter r b)) v
+        else union (inter l b) (inter r b)
+    end
+"#;
+
+const RB_BINFUNCS_SPEC: &str = r#"
+spec (s1 : t) (s2 : t) (i : nat) =
+  not (lookup empty i)
+  && lookup (insert s1 i) i
+  && (not (lookup s1 i || lookup s2 i) || lookup (union s1 s2) i)
+  && (not (lookup s1 i && lookup s2 i) || lookup (inter s1 s2) i)
+"#;
+
+const RB_HOFS: &str = r#"
+  let rec fold (f : nat -> t -> t) (a : t) (s : t) : t =
+    match s with
+    | RLeaf -> a
+    | RNode (c, l, v, r) -> f v (fold f (fold f a l) r)
+    end
+"#;
+
+const BST_BINFUNCS_SPEC: &str = r#"
+spec (s1 : t) (s2 : t) (i : nat) =
+  not (lookup empty i)
+  && lookup (insert s1 i) i
+  && not (lookup (delete s1 i) i)
+  && (not (lookup s1 i || lookup s2 i) || lookup (union s1 s2) i)
+  && (not (lookup s1 i && lookup s2 i) || lookup (inter s1 s2) i)
+"#;
+
+/// The 14 benchmarks of the group.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        make("/coq/bst-::-set", Group::Coq, bst_set("", "", SET_SPEC), true, None),
+        make(
+            "/coq/bst-::-set+binfuncs",
+            Group::Coq,
+            bst_set(BINFUNCS_VALS, BST_BINFUNCS, BST_BINFUNCS_SPEC),
+            false,
+            Some((15, 42.0)),
+        ),
+        make(
+            "/coq/bst-::-set+hofs",
+            Group::Coq,
+            bst_set(BST_HOFS_VALS, BST_HOFS, SET_SPEC),
+            true,
+            None,
+        ),
+        make("/coq/rbtree-::-set", Group::Coq, rbtree_set("", "", RB_SPEC), true, None),
+        make(
+            "/coq/rbtree-::-set+binfuncs",
+            Group::Coq,
+            rbtree_set(BINFUNCS_VALS, RB_BINFUNCS, RB_BINFUNCS_SPEC),
+            false,
+            None,
+        ),
+        make(
+            "/coq/rbtree-::-set+hofs",
+            Group::Coq,
+            rbtree_set(BST_HOFS_VALS, RB_HOFS, RB_SPEC),
+            true,
+            None,
+        ),
+        make(
+            "/coq/maxfirst-list-::-heap",
+            Group::Coq,
+            maxfirst_heap(false),
+            false,
+            Some((35, 6.2)),
+        ),
+        make(
+            "/coq/maxfirst-list-::-heap+binfuncs",
+            Group::Coq,
+            maxfirst_heap(true),
+            false,
+            Some((35, 7.4)),
+        ),
+        make(
+            "/coq/sorted-list-::-set",
+            Group::Coq,
+            list_set(SORTED_LIST_OPS),
+            false,
+            Some((49, 22.9)),
+        ),
+        make(
+            "/coq/sorted-list-::-set+binfuncs",
+            Group::Coq,
+            list_set_binfuncs(SORTED_LIST_OPS),
+            false,
+            Some((49, 17.3)),
+        ),
+        make(
+            "/coq/sorted-list-::-set+hofs",
+            Group::Coq,
+            list_set_hofs(SORTED_LIST_OPS),
+            false,
+            Some((49, 101.3)),
+        ),
+        make(
+            "/coq/unique-list-::-set",
+            Group::Coq,
+            list_set(UNIQUE_LIST_OPS),
+            false,
+            Some((35, 13.2)),
+        ),
+        make(
+            "/coq/unique-list-::-set+binfuncs",
+            Group::Coq,
+            list_set_binfuncs(UNIQUE_LIST_OPS),
+            false,
+            Some((15, 15.7)),
+        ),
+        make(
+            "/coq/unique-list-::-set+hofs",
+            Group::Coq,
+            list_set_hofs(UNIQUE_LIST_OPS),
+            false,
+            Some((17, 81.7)),
+        ),
+    ]
+}

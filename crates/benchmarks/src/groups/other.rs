@@ -1,0 +1,304 @@
+//! The `/other/...` group: six custom modules exercising naturals, pairs,
+//! options and tree shapes beyond the set/table benchmarks.
+
+use crate::{Benchmark, Group};
+
+use super::{make, LEQ, NAT_LIST_DECLS, TREE_DECL};
+
+/// A memoising cache: the second component always stores the doubled first
+/// component.
+fn cache() -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}
+type cache = MkCache of nat * nat
+
+let rec plus (m : nat) (n : nat) : nat =
+  match m with
+  | O -> n
+  | S m2 -> S (plus m2 n)
+  end
+
+interface CACHE = sig
+  type t
+  val init : t
+  val store : t -> nat -> t
+  val key : t -> nat
+  val cached : t -> nat
+end
+
+module DoubleCache : CACHE = struct
+  type t = cache
+  let init : t = MkCache (O, O)
+  let store (c : t) (x : nat) : t = MkCache (x, plus x x)
+  let key (c : t) : nat =
+    match c with
+    | MkCache (k, v) -> k
+    end
+  let cached (c : t) : nat =
+    match c with
+    | MkCache (k, v) -> v
+    end
+end
+
+spec (c : t) = cached c == plus (key c) (key c)
+"#
+    )
+}
+
+/// A tree constrained to be list-like: every left subtree is a leaf.
+fn listlike_tree() -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}{TREE_DECL}
+let rec plus (m : nat) (n : nat) : nat =
+  match m with
+  | O -> n
+  | S m2 -> S (plus m2 n)
+  end
+
+let rec tree_size (x : tree) : nat =
+  match x with
+  | Leaf -> O
+  | Node (l, v, r) -> S (plus (tree_size l) (tree_size r))
+  end
+
+interface SEQ = sig
+  type t
+  val empty : t
+  val push : t -> nat -> t
+  val count : t -> nat
+  val head : t -> nat
+end
+
+module ListLikeTree : SEQ = struct
+  type t = tree
+  let empty : t = Leaf
+  let push (s : t) (x : nat) : t = Node (Leaf, x, s)
+  let rec count (s : t) : nat =
+    match s with
+    | Leaf -> O
+    | Node (l, v, r) -> S (count r)
+    end
+  let head (s : t) : nat =
+    match s with
+    | Leaf -> O
+    | Node (l, v, r) -> v
+    end
+end
+
+spec (s : t) (i : nat) =
+  count s == tree_size s && count (push s i) == S (count s) && head (push s i) == i
+"#
+    )
+}
+
+/// Half-open / closed ranges over naturals: the upper bound, when present, is
+/// at least the lower bound.
+fn range() -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}{LEQ}
+type natoption = NoneN | SomeN of nat
+type range = MkRange of nat * natoption
+
+let natmax (m : nat) (n : nat) : nat = if leq m n then n else m
+
+interface RANGE = sig
+  type t
+  val from : nat -> t
+  val close : t -> nat -> t
+  val widen : t -> t
+  val lower : t -> nat
+  val contains : t -> nat -> bool
+end
+
+module NatRange : RANGE = struct
+  type t = range
+  let from (n : nat) : t = MkRange (n, NoneN)
+  let lower (r : t) : nat =
+    match r with
+    | MkRange (lo, hi) -> lo
+    end
+  let close (r : t) (m : nat) : t =
+    match r with
+    | MkRange (lo, hi) -> MkRange (lo, SomeN (natmax lo m))
+    end
+  let widen (r : t) : t =
+    match r with
+    | MkRange (lo, hi) ->
+        match hi with
+        | NoneN -> MkRange (lo, NoneN)
+        | SomeN h -> MkRange (lo, SomeN (S h))
+        end
+    end
+  let contains (r : t) (i : nat) : bool =
+    match r with
+    | MkRange (lo, hi) ->
+        match hi with
+        | NoneN -> leq lo i
+        | SomeN h -> leq lo i && leq i h
+        end
+    end
+end
+
+spec (r : t) = contains r (lower r) && contains (widen r) (lower r)
+"#
+    )
+}
+
+/// Rationals represented as numerator/denominator pairs with a non-zero
+/// denominator.
+fn rational() -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}
+type rat = MkRat of nat * nat
+
+let rec plus (m : nat) (n : nat) : nat =
+  match m with
+  | O -> n
+  | S m2 -> S (plus m2 n)
+  end
+
+interface RAT = sig
+  type t
+  val make : nat -> nat -> t
+  val add_num : t -> nat -> t
+  val numer : t -> nat
+  val denom : t -> nat
+end
+
+module Rational : RAT = struct
+  type t = rat
+  let make (n : nat) (d : nat) : t =
+    if d == 0 then MkRat (n, S O) else MkRat (n, d)
+  let add_num (q : t) (k : nat) : t =
+    match q with
+    | MkRat (n, d) -> MkRat (plus n k, d)
+    end
+  let numer (q : t) : nat =
+    match q with
+    | MkRat (n, d) -> n
+    end
+  let denom (q : t) : nat =
+    match q with
+    | MkRat (n, d) -> d
+    end
+end
+
+spec (q : t) = not (denom q == 0) && not (denom (add_num q 1) == 0)
+"#
+    )
+}
+
+/// A list paired with its cached length.
+fn sized_list() -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}
+type sized = MkSized of nat * list
+
+let rec len (l : list) : nat =
+  match l with
+  | Nil -> O
+  | Cons (hd, tl) -> S (len tl)
+  end
+
+interface SIZED = sig
+  type t
+  val empty : t
+  val push : t -> nat -> t
+  val size : t -> nat
+  val elems : t -> list
+end
+
+module SizedList : SIZED = struct
+  type t = sized
+  let empty : t = MkSized (O, Nil)
+  let push (s : t) (x : nat) : t =
+    match s with
+    | MkSized (n, l) -> MkSized (S n, Cons (x, l))
+    end
+  let size (s : t) : nat =
+    match s with
+    | MkSized (n, l) -> n
+    end
+  let elems (s : t) : list =
+    match s with
+    | MkSized (n, l) -> l
+    end
+end
+
+spec (s : t) (i : nat) =
+  size s == len (elems s) && size (push s i) == S (size s)
+"#
+    )
+}
+
+/// A list whose length is always even because elements are pushed in pairs.
+fn stutter_list() -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}
+let rec len (l : list) : nat =
+  match l with
+  | Nil -> O
+  | Cons (hd, tl) -> S (len tl)
+  end
+
+let rec even (n : nat) : bool =
+  match n with
+  | O -> True
+  | S m ->
+      match m with
+      | O -> False
+      | S k -> even k
+      end
+  end
+
+interface STUTTER = sig
+  type t
+  val empty : t
+  val push : t -> nat -> t
+  val pop2 : t -> t
+  val first : t -> nat
+end
+
+module StutterList : STUTTER = struct
+  type t = list
+  let empty : t = Nil
+  let push (s : t) (x : nat) : t = Cons (x, Cons (x, s))
+  let pop2 (s : t) : t =
+    match s with
+    | Nil -> Nil
+    | Cons (a, s2) ->
+        match s2 with
+        | Nil -> Nil
+        | Cons (b, s3) -> s3
+        end
+    end
+  let first (s : t) : nat =
+    match s with
+    | Nil -> O
+    | Cons (a, s2) -> a
+    end
+end
+
+spec (s : t) (i : nat) =
+  even (len s) && first (push s i) == i && even (len (push s i))
+"#
+    )
+}
+
+/// The 6 benchmarks of the group.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        make("/other/cache", Group::Other, cache(), false, Some((29, 1.3))),
+        make("/other/listlike-tree", Group::Other, listlike_tree(), false, Some((53, 9.0))),
+        make(
+            "/other/nat-nat-option-::-range",
+            Group::Other,
+            range(),
+            false,
+            Some((23, 1.6)),
+        ),
+        make("/other/rational", Group::Other, rational(), false, Some((28, 8.6))),
+        make("/other/sized-list", Group::Other, sized_list(), false, Some((45, 15.4))),
+        make("/other/stutter-list", Group::Other, stutter_list(), false, Some((49, 6.9))),
+    ]
+}

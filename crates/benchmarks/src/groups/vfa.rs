@@ -1,0 +1,219 @@
+//! The `/vfa/...` group: lookup tables and priority queues from *Verified
+//! Functional Algorithms*.
+
+use crate::{Benchmark, Group};
+
+use super::{make, LEQ, NAT_LIST_DECLS, TREE_DECL};
+
+/// Association-list table: `get` returns the most recent binding (or 0).
+pub(crate) fn assoc_list_table(extra_vals: &str, extra_ops: &str, extra_spec: &str) -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}
+type alist = ANil | ACons of nat * nat * alist
+
+interface TABLE = sig
+  type t
+  val empty : t
+  val set : t -> nat -> nat -> t
+  val get : t -> nat -> nat
+{extra_vals}end
+
+module AssocListTable : TABLE = struct
+  type t = alist
+  let empty : t = ANil
+  let set (m : t) (k : nat) (v : nat) : t = ACons (k, v, m)
+  let rec get (m : t) (k : nat) : nat =
+    match m with
+    | ANil -> O
+    | ACons (k2, v2, rest) -> if k == k2 then v2 else get rest k
+    end
+{extra_ops}end
+
+spec (m : t) (k : nat) (v : nat) =
+  get empty k == 0 && get (set m k v) k == v{extra_spec}
+"#
+    )
+}
+
+/// Binary-search-tree table keyed by naturals.
+pub(crate) fn bst_table(extra_vals: &str, extra_ops: &str, extra_spec: &str) -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}{LEQ}
+type tbl = E | T of tbl * nat * nat * tbl
+
+let lt (m : nat) (n : nat) : bool = leq (S m) n
+
+interface TABLE = sig
+  type t
+  val empty : t
+  val set : t -> nat -> nat -> t
+  val get : t -> nat -> nat
+{extra_vals}end
+
+module BstTable : TABLE = struct
+  type t = tbl
+  let empty : t = E
+  let rec get (m : t) (k : nat) : nat =
+    match m with
+    | E -> O
+    | T (l, k2, v2, r) ->
+        if k == k2 then v2 else if lt k k2 then get l k else get r k
+    end
+  let rec set (m : t) (k : nat) (v : nat) : t =
+    match m with
+    | E -> T (E, k, v, E)
+    | T (l, k2, v2, r) ->
+        if k == k2 then T (l, k2, v, r)
+        else if lt k k2 then T (set l k v, k2, v2, r)
+        else T (l, k2, v2, set r k v)
+    end
+{extra_ops}end
+
+spec (m : t) (k : nat) (v : nat) =
+  get empty k == 0 && get (set m k v) k == v{extra_spec}
+"#
+    )
+}
+
+/// Trie table keyed by binary positives.
+pub(crate) fn trie_table(extra_vals: &str, extra_ops: &str, extra_spec: &str) -> String {
+    format!(
+        r#"{NAT_LIST_DECLS}
+type pos = XH | XO of pos | XI of pos
+type natoption = NoneN | SomeN of nat
+type trie = TLeaf | TNode of trie * natoption * trie
+
+interface TRIE = sig
+  type t
+  val empty : t
+  val set : t -> pos -> nat -> t
+  val get : t -> pos -> natoption
+{extra_vals}end
+
+module TrieTable : TRIE = struct
+  type t = trie
+  let empty : t = TLeaf
+  let rec get (m : t) (k : pos) : natoption =
+    match m with
+    | TLeaf -> NoneN
+    | TNode (l, v, r) ->
+        match k with
+        | XH -> v
+        | XO k2 -> get l k2
+        | XI k2 -> get r k2
+        end
+    end
+  let rec set (m : t) (k : pos) (v : nat) : t =
+    match m with
+    | TLeaf ->
+        (match k with
+         | XH -> TNode (TLeaf, SomeN v, TLeaf)
+         | XO k2 -> TNode (set TLeaf k2 v, NoneN, TLeaf)
+         | XI k2 -> TNode (TLeaf, NoneN, set TLeaf k2 v)
+         end)
+    | TNode (l, w, r) ->
+        match k with
+        | XH -> TNode (l, SomeN v, r)
+        | XO k2 -> TNode (set l k2 v, w, r)
+        | XI k2 -> TNode (l, w, set r k2 v)
+        end
+    end
+{extra_ops}end
+
+spec (m : t) (k : pos) (v : nat) =
+  get empty k == NoneN && get (set m k v) k == SomeN v{extra_spec}
+"#
+    )
+}
+
+/// A binary max-heap priority queue over trees; `heap_le` is the helper the
+/// paper adds (playing the role of `true_maximum`) so the invariant is
+/// expressible without synthesizing an auxiliary fold.
+fn tree_priqueue(with_merge: bool) -> String {
+    let merge_val = if with_merge { "  val merge : t -> t -> t\n" } else { "" };
+    let merge_op = if with_merge {
+        r#"
+  let rec merge (a : t) (b : t) : t =
+    match a with
+    | Leaf -> b
+    | Node (l, v, r) -> insert (merge l (merge r b)) v
+    end
+"#
+    } else {
+        ""
+    };
+    let spec = if with_merge {
+        r#"
+spec (q1 : t) (q2 : t) (i : nat) =
+  member (insert q1 i) i
+  && (not (member q1 i) || leq i (max_elt q1))
+  && (not (member q1 i || member q2 i) || member (merge q1 q2) i)
+"#
+    } else {
+        r#"
+spec (q : t) (i : nat) =
+  member (insert q i) i && (not (member q i) || leq i (max_elt q))
+"#
+    };
+    format!(
+        r#"{NAT_LIST_DECLS}{TREE_DECL}{LEQ}
+let rec heap_le (x : nat) (q : tree) : bool =
+  match q with
+  | Leaf -> True
+  | Node (l, v, r) -> leq v x && heap_le x l && heap_le x r
+  end
+
+interface PRIQUEUE = sig
+  type t
+  val empty : t
+  val insert : t -> nat -> t
+  val max_elt : t -> nat
+  val member : t -> nat -> bool
+{merge_val}end
+
+module TreePriqueue : PRIQUEUE = struct
+  type t = tree
+  let empty : t = Leaf
+  let max_elt (q : t) : nat =
+    match q with
+    | Leaf -> O
+    | Node (l, v, r) -> v
+    end
+  let rec member (q : t) (x : nat) : bool =
+    match q with
+    | Leaf -> False
+    | Node (l, v, r) -> v == x || member l x || member r x
+    end
+  let rec insert (q : t) (x : nat) : t =
+    match q with
+    | Leaf -> Node (Leaf, x, Leaf)
+    | Node (l, v, r) ->
+        if leq x v then Node (insert r x, v, l) else Node (insert r v, x, l)
+    end
+{merge_op}end
+{spec}"#
+    )
+}
+
+/// The 5 benchmarks of the group.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        make(
+            "/vfa/assoc-list-::-table",
+            Group::Vfa,
+            assoc_list_table("", "", ""),
+            false,
+            Some((4, 1.9)),
+        ),
+        make("/vfa/bst-::-table", Group::Vfa, bst_table("", "", ""), false, Some((4, 12.9))),
+        make("/vfa/tree-::-priqueue", Group::Vfa, tree_priqueue(false), true, Some((47, 65.7))),
+        make(
+            "/vfa/tree-::-priqueue+binfuncs",
+            Group::Vfa,
+            tree_priqueue(true),
+            true,
+            Some((47, 79.4)),
+        ),
+        make("/vfa/trie-::-table", Group::Vfa, trie_table("", "", ""), false, Some((4, 17.7))),
+    ]
+}

@@ -1,0 +1,82 @@
+//! The `/vfa-extended/...` group: the VFA tables with additional operations
+//! (and corresponding specification conjuncts) drawn from the Coq standard
+//! library's table interfaces.
+
+use crate::{Benchmark, Group};
+
+use super::super::Group::VfaExtended;
+use super::make;
+use super::vfa::{assoc_list_table, bst_table, trie_table};
+
+/// The 3 benchmarks of the group.
+pub fn benchmarks() -> Vec<Benchmark> {
+    let _ = Group::VfaExtended;
+    vec![
+        make(
+            "/vfa-extended/assoc-list-::-table",
+            VfaExtended,
+            assoc_list_table(
+                "  val remove : t -> nat -> t\n",
+                r#"
+  let rec remove (m : t) (k : nat) : t =
+    match m with
+    | ANil -> ANil
+    | ACons (k2, v2, rest) ->
+        if k == k2 then remove rest k else ACons (k2, v2, remove rest k)
+    end
+"#,
+                " && get (remove m k) k == 0",
+            ),
+            false,
+            Some((4, 2.6)),
+        ),
+        make(
+            "/vfa-extended/bst-::-table",
+            VfaExtended,
+            bst_table(
+                "  val merge : t -> t -> t\n  val min_key : t -> nat\n",
+                r#"
+  let rec merge (a : t) (b : t) : t =
+    match a with
+    | E -> b
+    | T (l, k2, v2, r) -> set (merge l (merge r b)) k2 v2
+    end
+  let rec min_key (m : t) : nat =
+    match m with
+    | E -> O
+    | T (l, k2, v2, r) ->
+        match l with
+        | E -> k2
+        | T (ll, lk, lv, lr) -> min_key l
+        end
+    end
+"#,
+                " && (get m k == 0 || leq (min_key m) k)",
+            ),
+            false,
+            None,
+        ),
+        make(
+            "/vfa-extended/trie-::-table",
+            VfaExtended,
+            trie_table(
+                "  val remove : t -> pos -> t\n",
+                r#"
+  let rec remove (m : t) (k : pos) : t =
+    match m with
+    | TLeaf -> TLeaf
+    | TNode (l, w, r) ->
+        match k with
+        | XH -> TNode (l, NoneN, r)
+        | XO k2 -> TNode (remove l k2, w, r)
+        | XI k2 -> TNode (l, w, remove r k2)
+        end
+    end
+"#,
+                " && get (remove m k) k == NoneN",
+            ),
+            false,
+            Some((4, 15.5)),
+        ),
+    ]
+}

@@ -1,0 +1,216 @@
+//! Configuration of an inference run.
+
+use std::time::Duration;
+
+use hanoi_synth::SearchConfig;
+use hanoi_verifier::VerifierBounds;
+
+/// Which inference algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The full Hanoi algorithm (visible-inductiveness-first CEGIS).
+    Hanoi,
+    /// The conjunctive-strengthening baseline (∧Str, modelled on LoopInvGen).
+    ConjStr,
+    /// The LinearArbitrary-style baseline: per-operation full-inductiveness
+    /// counterexamples only, no eager visible-inductiveness search.
+    LinearArbitrary,
+    /// One-shot learning from the smallest values labelled by the spec.
+    OneShot,
+}
+
+impl Mode {
+    /// All modes, in the order they appear in Figure 8.
+    pub fn all() -> [Mode; 4] {
+        [Mode::Hanoi, Mode::ConjStr, Mode::LinearArbitrary, Mode::OneShot]
+    }
+
+    /// The label used in experiment reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Hanoi => "Hanoi",
+            Mode::ConjStr => "AndStr",
+            Mode::LinearArbitrary => "LA",
+            Mode::OneShot => "OneShot",
+        }
+    }
+}
+
+/// Which synthesizer backs the `Synth` component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthChoice {
+    /// The Myth-style synthesizer (the paper's default back end).
+    #[default]
+    Myth,
+    /// The fold-capable prototype synthesizer of §5.4.
+    Fold,
+}
+
+impl SynthChoice {
+    /// The label used in experiment reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SynthChoice::Myth => "myth",
+            SynthChoice::Fold => "fold",
+        }
+    }
+}
+
+/// The two optimizations of §4.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// Synthesis-result caching: reuse previously synthesized candidates that
+    /// are already consistent with the current examples.
+    pub synthesis_result_caching: bool,
+    /// Counterexample-list caching: when a new positive example resets `V−`,
+    /// replay the recorded trace of candidates to rebuild `V−` without
+    /// re-running synthesis and verification.
+    pub counterexample_list_caching: bool,
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Optimizations { synthesis_result_caching: true, counterexample_list_caching: true }
+    }
+}
+
+impl Optimizations {
+    /// Both optimizations enabled (the full Hanoi configuration).
+    pub fn all() -> Self {
+        Optimizations::default()
+    }
+
+    /// Synthesis-result caching disabled (the paper's "Hanoi-SRC" mode).
+    pub fn without_src() -> Self {
+        Optimizations { synthesis_result_caching: false, ..Optimizations::default() }
+    }
+
+    /// Counterexample-list caching disabled (the paper's "Hanoi-CLC" mode).
+    pub fn without_clc() -> Self {
+        Optimizations { counterexample_list_caching: false, ..Optimizations::default() }
+    }
+
+    /// Both optimizations disabled.
+    pub fn none() -> Self {
+        Optimizations { synthesis_result_caching: false, counterexample_list_caching: false }
+    }
+}
+
+/// Full configuration of one inference run.
+#[derive(Debug, Clone)]
+pub struct HanoiConfig {
+    /// The algorithm to run.
+    pub mode: Mode,
+    /// The synthesizer backing `Synth`.
+    pub synthesizer: SynthChoice,
+    /// Bounds for the enumerative verifier.
+    pub bounds: VerifierBounds,
+    /// Search configuration for the synthesizer.
+    pub search: SearchConfig,
+    /// Which optimizations are enabled.
+    pub optimizations: Optimizations,
+    /// Wall-clock budget for the whole run (`None` = unlimited).  The paper
+    /// uses 30 minutes.
+    pub timeout: Option<Duration>,
+    /// Safety cap on CEGIS iterations.
+    pub max_iterations: usize,
+    /// Number of smallest values the OneShot baseline labels (30 in §5.5).
+    pub one_shot_samples: usize,
+}
+
+impl Default for HanoiConfig {
+    fn default() -> Self {
+        HanoiConfig {
+            mode: Mode::Hanoi,
+            synthesizer: SynthChoice::Myth,
+            bounds: VerifierBounds::default(),
+            search: SearchConfig::default(),
+            optimizations: Optimizations::default(),
+            timeout: Some(Duration::from_secs(30 * 60)),
+            max_iterations: 400,
+            one_shot_samples: 30,
+        }
+    }
+}
+
+impl HanoiConfig {
+    /// The paper's configuration: full Hanoi, Myth-style synthesis, paper
+    /// verifier bounds, 30-minute timeout.
+    pub fn paper() -> Self {
+        HanoiConfig::default()
+    }
+
+    /// A configuration suitable for unit/integration tests and quick
+    /// experiment runs: reduced verifier bounds and a short timeout.
+    pub fn quick() -> Self {
+        HanoiConfig {
+            bounds: VerifierBounds::quick(),
+            timeout: Some(Duration::from_secs(60)),
+            max_iterations: 150,
+            ..HanoiConfig::default()
+        }
+    }
+
+    /// Switches the inference mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Switches the synthesizer.
+    pub fn with_synthesizer(mut self, synthesizer: SynthChoice) -> Self {
+        self.synthesizer = synthesizer;
+        self
+    }
+
+    /// Switches the optimizations.
+    pub fn with_optimizations(mut self, optimizations: Optimizations) -> Self {
+        self.optimizations = optimizations;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = HanoiConfig::paper();
+        assert_eq!(config.mode, Mode::Hanoi);
+        assert_eq!(config.synthesizer, SynthChoice::Myth);
+        assert_eq!(config.timeout, Some(Duration::from_secs(1800)));
+        assert_eq!(config.one_shot_samples, 30);
+        assert!(config.optimizations.synthesis_result_caching);
+        assert!(config.optimizations.counterexample_list_caching);
+    }
+
+    #[test]
+    fn optimization_presets() {
+        assert!(!Optimizations::without_src().synthesis_result_caching);
+        assert!(Optimizations::without_src().counterexample_list_caching);
+        assert!(!Optimizations::without_clc().counterexample_list_caching);
+        assert!(Optimizations::without_clc().synthesis_result_caching);
+        assert!(!Optimizations::none().synthesis_result_caching);
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let config = HanoiConfig::quick()
+            .with_mode(Mode::OneShot)
+            .with_synthesizer(SynthChoice::Fold)
+            .with_timeout(None);
+        assert_eq!(config.mode, Mode::OneShot);
+        assert_eq!(config.synthesizer, SynthChoice::Fold);
+        assert_eq!(config.timeout, None);
+        assert_eq!(Mode::all().len(), 4);
+        assert_eq!(Mode::LinearArbitrary.label(), "LA");
+        assert_eq!(SynthChoice::Fold.label(), "fold");
+    }
+}

@@ -1,0 +1,292 @@
+//! Shared state and plumbing for the inference driver and the baseline modes:
+//! example sets, timed verifier/synthesizer calls, caches and statistics.
+
+use std::time::Instant;
+
+use hanoi_abstraction::Problem;
+use hanoi_lang::ast::Expr;
+use hanoi_lang::util::{Deadline, OrderedSet};
+use hanoi_lang::value::Value;
+use hanoi_synth::{ExampleSet, FoldSynth, MythSynth, SynthError, SynthesisCache, Synthesizer};
+use hanoi_verifier::{
+    InductivenessOutcome, SufficiencyOutcome, Verifier, VerifierError,
+};
+
+use crate::clc::CexListCache;
+use crate::config::{HanoiConfig, SynthChoice};
+use crate::outcome::{Outcome, RunResult};
+use crate::stats::RunStats;
+
+/// Mutable state of one inference run, shared by all modes.
+pub struct InferenceContext<'p> {
+    /// The problem being solved.
+    pub problem: &'p Problem,
+    /// The run configuration.
+    pub config: HanoiConfig,
+    /// The shared wall-clock deadline.
+    pub deadline: Deadline,
+    /// Statistics being accumulated.
+    pub stats: RunStats,
+    /// Known-constructible values (`V+`).
+    pub v_plus: OrderedSet<Value>,
+    /// Values the current candidate must reject (`V−`).
+    pub v_minus: OrderedSet<Value>,
+    verifier: Verifier<'p>,
+    synthesizer: Box<dyn Synthesizer>,
+    synth_cache: SynthesisCache,
+    cex_cache: CexListCache,
+    started: Instant,
+}
+
+impl<'p> InferenceContext<'p> {
+    /// Creates a fresh context for one run.
+    pub fn new(problem: &'p Problem, config: HanoiConfig) -> Self {
+        let deadline = match config.timeout {
+            Some(timeout) => Deadline::after(timeout),
+            None => Deadline::none(),
+        };
+        let verifier =
+            Verifier::new(problem).with_bounds(config.bounds).with_deadline(deadline);
+        let synthesizer: Box<dyn Synthesizer> = match config.synthesizer {
+            SynthChoice::Myth => Box::new(MythSynth::with_config(config.search.clone())),
+            SynthChoice::Fold => {
+                Box::new(FoldSynth::new().with_config(config.search.clone()))
+            }
+        };
+        InferenceContext {
+            problem,
+            config,
+            deadline,
+            stats: RunStats::default(),
+            v_plus: OrderedSet::new(),
+            v_minus: OrderedSet::new(),
+            verifier,
+            synthesizer,
+            synth_cache: SynthesisCache::new(),
+            cex_cache: CexListCache::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// `true` once the run's wall-clock budget is exhausted.
+    pub fn timed_out(&self) -> bool {
+        self.deadline.expired()
+    }
+
+    /// Wraps up the run: fills the time and example-count statistics.
+    pub fn finish(mut self, outcome: Outcome) -> RunResult {
+        self.stats.total_time = self.started.elapsed();
+        self.stats.final_positives = self.v_plus.len();
+        self.stats.final_negatives = self.v_minus.len();
+        RunResult::new(outcome, self.stats)
+    }
+
+    /// The verifier used by this run.
+    pub fn verifier(&self) -> &Verifier<'p> {
+        &self.verifier
+    }
+
+    /// Builds the current example set (`V+` / `V−`), applying the
+    /// trace-completeness closure and folding the newly added subvalues back
+    /// into `V−` (§4.3).
+    pub fn current_examples(&mut self) -> Result<ExampleSet, Outcome> {
+        let examples =
+            ExampleSet::from_sets(self.v_plus.iter().cloned(), self.v_minus.iter().cloned())
+                .map_err(|e| Outcome::SynthesisFailure(e.to_string()))?;
+        let (closed, _added) =
+            examples.trace_completed(&self.problem.tyenv, self.problem.concrete_type());
+        for negative in closed.negatives() {
+            if !self.v_plus.contains(negative) {
+                self.v_minus.insert(negative.clone());
+            }
+        }
+        Ok(closed)
+    }
+
+    /// Produces the next candidate invariant: from the synthesis-result cache
+    /// when enabled and possible, otherwise by calling the synthesizer.
+    pub fn synthesize_candidate(&mut self) -> Result<Expr, Outcome> {
+        let examples = self.current_examples()?;
+        if self.config.optimizations.synthesis_result_caching {
+            if let Some(cached) = self.synth_cache.find_consistent(self.problem, &examples) {
+                self.stats.synthesis_cache_hits += 1;
+                return Ok(cached);
+            }
+        }
+        let start = Instant::now();
+        let result = self.synthesizer.synthesize(self.problem, &examples, &self.deadline);
+        self.stats.record_synthesis(start.elapsed());
+        match result {
+            Ok(candidate) => {
+                self.synth_cache.insert(candidate.clone());
+                Ok(candidate)
+            }
+            Err(SynthError::Timeout) => Err(Outcome::Timeout),
+            Err(other) => Err(Outcome::SynthesisFailure(other.to_string())),
+        }
+    }
+
+    /// Timed visible-inductiveness check (`ClosedPositives`).
+    pub fn check_visible(&mut self, candidate: &Expr) -> Result<InductivenessOutcome, Outcome> {
+        let start = Instant::now();
+        let result = self.verifier.check_visible_inductiveness(self.v_plus.as_slice(), candidate);
+        self.stats.record_verification(start.elapsed());
+        Self::map_verifier_result(result)
+    }
+
+    /// Timed sufficiency check.
+    pub fn check_sufficiency(&mut self, candidate: &Expr) -> Result<SufficiencyOutcome, Outcome> {
+        let start = Instant::now();
+        let result = self.verifier.check_sufficiency(candidate);
+        self.stats.record_verification(start.elapsed());
+        Self::map_verifier_result(result)
+    }
+
+    /// Timed full-inductiveness check.
+    pub fn check_full(&mut self, candidate: &Expr) -> Result<InductivenessOutcome, Outcome> {
+        let start = Instant::now();
+        let result = self.verifier.check_full_inductiveness(candidate);
+        self.stats.record_verification(start.elapsed());
+        Self::map_verifier_result(result)
+    }
+
+    /// Timed single-operation full-inductiveness check (LA baseline).
+    pub fn check_op(
+        &mut self,
+        op: &str,
+        candidate: &Expr,
+    ) -> Result<InductivenessOutcome, Outcome> {
+        let start = Instant::now();
+        let result = self.verifier.check_op_inductiveness(op, candidate);
+        self.stats.record_verification(start.elapsed());
+        Self::map_verifier_result(result)
+    }
+
+    fn map_verifier_result<T>(result: Result<T, VerifierError>) -> Result<T, Outcome> {
+        match result {
+            Ok(value) => Ok(value),
+            Err(VerifierError::Timeout) => Err(Outcome::Timeout),
+            Err(other) => Err(Outcome::SynthesisFailure(format!("verifier failed: {other}"))),
+        }
+    }
+
+    /// Registers newly discovered constructible values: extends `V+`, resets
+    /// `V−` (replaying the counterexample-list cache when enabled).
+    pub fn add_positives(&mut self, values: impl IntoIterator<Item = Value>) {
+        self.v_plus.extend(values);
+        self.v_minus.clear();
+        if self.config.optimizations.counterexample_list_caching {
+            let restored = self.cex_cache.replay(self.problem, self.v_plus.as_slice());
+            self.stats.clc_restored_negatives += restored.len();
+            self.v_minus.extend(restored);
+        } else {
+            self.cex_cache = CexListCache::new();
+        }
+    }
+
+    /// Registers negative examples produced in response to `candidate`:
+    /// extends `V−` with the values not already known constructible and
+    /// records the step in the counterexample-list cache.
+    ///
+    /// Returns the values that were actually added.
+    pub fn add_negatives(&mut self, candidate: &Expr, values: &[Value]) -> Vec<Value> {
+        let fresh: Vec<Value> =
+            values.iter().filter(|v| !self.v_plus.contains(v)).cloned().collect();
+        self.v_minus.extend(fresh.iter().cloned());
+        if !fresh.is_empty() {
+            self.cex_cache.record(candidate.clone(), fresh.clone());
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+
+    const SIMPLE: &str = r#"
+        type nat = O | S of nat
+        type list = Nil | Cons of nat * list
+        interface SET = sig
+          type t
+          val empty : t
+          val insert : t -> nat -> t
+          val lookup : t -> nat -> bool
+        end
+        module ListSet : SET = struct
+          type t = list
+          let empty : t = Nil
+          let rec lookup (l : t) (x : nat) : bool =
+            match l with
+            | Nil -> False
+            | Cons (hd, tl) -> hd == x || lookup tl x
+            end
+          let insert (l : t) (x : nat) : t =
+            if lookup l x then l else Cons (x, l)
+        end
+        spec (s : t) (i : nat) = lookup (insert s i) i
+    "#;
+
+    #[test]
+    fn example_bookkeeping() {
+        let problem = Problem::from_source(SIMPLE).unwrap();
+        let mut ctx = InferenceContext::new(&problem, HanoiConfig::quick());
+        assert!(!ctx.timed_out());
+
+        let candidate = hanoi_lang::parser::parse_expr("fun (l : list) -> True").unwrap();
+        let added = ctx.add_negatives(&candidate, &[Value::nat_list(&[1, 1])]);
+        assert_eq!(added.len(), 1);
+        assert!(ctx.v_minus.contains(&Value::nat_list(&[1, 1])));
+
+        // Trace completeness adds [1] and [] as negatives.
+        let examples = ctx.current_examples().unwrap();
+        assert_eq!(examples.label(&Value::nat_list(&[1])), Some(false));
+        assert!(ctx.v_minus.contains(&Value::nat_list(&[])));
+
+        // A new positive resets V− and (with CLC) replays the surviving
+        // prefix of the trace: `true` accepts [], so [1;1] is restored.
+        ctx.add_positives([Value::nat_list(&[])]);
+        assert!(ctx.v_plus.contains(&Value::nat_list(&[])));
+        assert!(ctx.v_minus.contains(&Value::nat_list(&[1, 1])));
+        assert_eq!(ctx.stats.clc_restored_negatives, 1);
+    }
+
+    #[test]
+    fn disabling_clc_resets_v_minus_completely() {
+        let problem = Problem::from_source(SIMPLE).unwrap();
+        let config = HanoiConfig::quick().with_optimizations(Optimizations::without_clc());
+        let mut ctx = InferenceContext::new(&problem, config);
+        let candidate = hanoi_lang::parser::parse_expr("fun (l : list) -> True").unwrap();
+        ctx.add_negatives(&candidate, &[Value::nat_list(&[1, 1])]);
+        ctx.add_positives([Value::nat_list(&[])]);
+        assert!(ctx.v_minus.is_empty());
+        assert_eq!(ctx.stats.clc_restored_negatives, 0);
+    }
+
+    #[test]
+    fn negatives_already_positive_are_not_added() {
+        let problem = Problem::from_source(SIMPLE).unwrap();
+        let mut ctx = InferenceContext::new(&problem, HanoiConfig::quick());
+        ctx.add_positives([Value::nat_list(&[2])]);
+        let candidate = hanoi_lang::parser::parse_expr("fun (l : list) -> True").unwrap();
+        let added = ctx.add_negatives(&candidate, &[Value::nat_list(&[2]), Value::nat_list(&[3])]);
+        assert_eq!(added, vec![Value::nat_list(&[3])]);
+    }
+
+    #[test]
+    fn synthesize_candidate_uses_the_cache() {
+        let problem = Problem::from_source(SIMPLE).unwrap();
+        let mut ctx = InferenceContext::new(&problem, HanoiConfig::quick());
+        let first = ctx.synthesize_candidate().unwrap();
+        assert_eq!(ctx.stats.synthesis_calls, 1);
+        let second = ctx.synthesize_candidate().unwrap();
+        assert_eq!(first, second);
+        // The second call is served from the synthesis-result cache.
+        assert_eq!(ctx.stats.synthesis_calls, 1);
+        assert_eq!(ctx.stats.synthesis_cache_hits, 1);
+        let result = ctx.finish(Outcome::Invariant(first));
+        assert!(result.is_success());
+        assert!(result.stats.total_time > std::time::Duration::ZERO);
+    }
+}

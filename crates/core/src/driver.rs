@@ -1,0 +1,219 @@
+//! The inference driver: Figure 4 of the paper, plus mode dispatch.
+
+use hanoi_abstraction::Problem;
+use hanoi_verifier::{InductivenessOutcome, SufficiencyOutcome};
+
+use crate::config::{HanoiConfig, Mode};
+use crate::context::InferenceContext;
+use crate::modes;
+use crate::outcome::{Outcome, RunResult};
+
+/// Runs representation-invariant inference on one problem.
+pub struct Driver<'p> {
+    problem: &'p Problem,
+    config: HanoiConfig,
+}
+
+impl<'p> Driver<'p> {
+    /// Creates a driver with the given configuration.
+    pub fn new(problem: &'p Problem, config: HanoiConfig) -> Self {
+        Driver { problem, config }
+    }
+
+    /// Creates a driver with the paper's default configuration.
+    pub fn with_defaults(problem: &'p Problem) -> Self {
+        Driver::new(problem, HanoiConfig::default())
+    }
+
+    /// The configuration this driver will run with.
+    pub fn config(&self) -> &HanoiConfig {
+        &self.config
+    }
+
+    /// Runs inference to completion (or timeout) and returns the outcome with
+    /// its statistics.
+    pub fn run(&self) -> RunResult {
+        let ctx = InferenceContext::new(self.problem, self.config.clone());
+        match self.config.mode {
+            Mode::Hanoi => run_hanoi(ctx),
+            Mode::ConjStr => modes::conj_str::run(ctx),
+            Mode::LinearArbitrary => modes::linear_arbitrary::run(ctx),
+            Mode::OneShot => modes::one_shot::run(ctx),
+        }
+    }
+}
+
+/// The Hanoi algorithm of Figure 4, in iterative form.
+///
+/// Each iteration corresponds to one recursive call of the figure: synthesize
+/// a candidate from the current `V+`/`V−`, weaken it via visible
+/// inductiveness (`ClosedPositives`), and only once it is visibly inductive
+/// check sufficiency and full inductiveness (`NoNegatives`), strengthening on
+/// their counterexamples.
+fn run_hanoi(mut ctx: InferenceContext<'_>) -> RunResult {
+    loop {
+        if ctx.timed_out() {
+            return ctx.finish(Outcome::Timeout);
+        }
+        ctx.stats.iterations += 1;
+        if ctx.stats.iterations > ctx.config.max_iterations {
+            let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
+            return ctx.finish(Outcome::SynthesisFailure(message));
+        }
+
+        // Synth V+ V−
+        let candidate = match ctx.synthesize_candidate() {
+            Ok(candidate) => candidate,
+            Err(outcome) => return ctx.finish(outcome),
+        };
+
+        // ClosedPositives V+ I: weaken until visibly inductive.
+        match ctx.check_visible(&candidate) {
+            Ok(InductivenessOutcome::Valid) => {}
+            Ok(InductivenessOutcome::Cex(cex)) => {
+                // Everything reachable in one step from V+ is constructible.
+                ctx.add_positives(cex.v);
+                continue;
+            }
+            Err(outcome) => return ctx.finish(outcome),
+        }
+
+        // NoNegatives I: sufficiency first…
+        match ctx.check_sufficiency(&candidate) {
+            Ok(SufficiencyOutcome::Valid) => {}
+            Ok(SufficiencyOutcome::Cex(cex)) => {
+                let fresh = ctx.add_negatives(&candidate, &cex.abstract_args);
+                if fresh.is_empty() {
+                    // Every witness is known constructible: the module
+                    // genuinely violates its specification.
+                    return ctx.finish(Outcome::SpecViolation(cex.abstract_args));
+                }
+                continue;
+            }
+            Err(outcome) => return ctx.finish(outcome),
+        }
+
+        // …then full inductiveness.
+        match ctx.check_full(&candidate) {
+            Ok(InductivenessOutcome::Valid) => {
+                return ctx.finish(Outcome::Invariant(candidate));
+            }
+            Ok(InductivenessOutcome::Cex(cex)) => {
+                let fresh = ctx.add_negatives(&candidate, &cex.s);
+                if fresh.is_empty() {
+                    return ctx.finish(Outcome::SpecViolation(cex.s));
+                }
+                continue;
+            }
+            Err(outcome) => return ctx.finish(outcome),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanoi_lang::value::Value;
+
+    /// The paper's running example (§2).
+    pub(crate) const LIST_SET: &str = r#"
+        type nat = O | S of nat
+        type list = Nil | Cons of nat * list
+
+        interface SET = sig
+          type t
+          val empty : t
+          val insert : t -> nat -> t
+          val delete : t -> nat -> t
+          val lookup : t -> nat -> bool
+        end
+
+        module ListSet : SET = struct
+          type t = list
+          let empty : t = Nil
+          let rec lookup (l : t) (x : nat) : bool =
+            match l with
+            | Nil -> False
+            | Cons (hd, tl) -> hd == x || lookup tl x
+            end
+          let insert (l : t) (x : nat) : t =
+            if lookup l x then l else Cons (x, l)
+          let rec delete (l : t) (x : nat) : t =
+            match l with
+            | Nil -> Nil
+            | Cons (hd, tl) -> if hd == x then tl else Cons (hd, delete tl x)
+            end
+        end
+
+        spec (s : t) (i : nat) =
+          not (lookup empty i) && lookup (insert s i) i && not (lookup (delete s i) i)
+    "#;
+
+    #[test]
+    fn infers_the_no_duplicates_invariant_for_the_running_example() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let driver = Driver::new(&problem, HanoiConfig::quick());
+        let result = driver.run();
+        let invariant = match &result.outcome {
+            Outcome::Invariant(inv) => inv.clone(),
+            other => panic!("expected an invariant, got {other} ({:?})", result.stats),
+        };
+        // The invariant must hold on constructible (duplicate-free) lists and
+        // reject lists with duplicates, like the paper's `I⋆`.
+        for positive in [
+            Value::nat_list(&[]),
+            Value::nat_list(&[3]),
+            Value::nat_list(&[2, 5]),
+            Value::nat_list(&[4, 2, 0]),
+        ] {
+            assert!(
+                problem.eval_predicate(&invariant, &positive).unwrap(),
+                "rejected constructible value {positive}: {invariant}"
+            );
+        }
+        for negative in [
+            Value::nat_list(&[1, 1]),
+            Value::nat_list(&[0, 2, 0]),
+            Value::nat_list(&[2, 2, 1]),
+        ] {
+            assert!(
+                !problem.eval_predicate(&invariant, &negative).unwrap(),
+                "accepted spec-violating value {negative}: {invariant}"
+            );
+        }
+        // Statistics are populated.
+        assert!(result.stats.verification_calls > 0);
+        assert!(result.stats.synthesis_calls > 0);
+        assert!(result.stats.invariant_size.is_some());
+        assert!(result.stats.iterations > 1);
+        assert!(result.stats.final_positives > 0);
+    }
+
+    #[test]
+    fn reports_spec_violations_for_buggy_modules() {
+        // An "insert" that does not de-duplicate: the module does not satisfy
+        // the SET specification, and Hanoi must report a constructible
+        // counterexample rather than an invariant.
+        let buggy = LIST_SET.replace(
+            "if lookup l x then l else Cons (x, l)",
+            "Cons (x, l)",
+        );
+        let problem = Problem::from_source(&buggy).unwrap();
+        let driver = Driver::new(&problem, HanoiConfig::quick());
+        let result = driver.run();
+        match result.outcome {
+            Outcome::SpecViolation(witnesses) => {
+                assert!(!witnesses.is_empty());
+            }
+            other => panic!("expected a spec violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let config = HanoiConfig::quick().with_timeout(Some(std::time::Duration::ZERO));
+        let result = Driver::new(&problem, config).run();
+        assert_eq!(result.outcome, Outcome::Timeout);
+    }
+}

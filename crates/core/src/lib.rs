@@ -1,0 +1,33 @@
+//! The Hanoi inference algorithm (Figure 4 of the paper) and its baselines.
+//!
+//! Given a [`hanoi_abstraction::Problem`] — a module, its interface and a
+//! specification — the [`Driver`] runs counterexample-guided inductive
+//! synthesis to find a *sufficient representation invariant*: a predicate
+//! over the concrete representation type that (a) implies the specification
+//! and (b) is preserved by every module operation.
+//!
+//! The key algorithmic idea reproduced here is **visible inductiveness**:
+//! each candidate invariant is first *weakened* until no module operation,
+//! applied to values already known to be constructible (`V+`), escapes it —
+//! such escapes are themselves constructible, so they are added to `V+`
+//! without any guessing — and only then is the candidate checked for
+//! sufficiency and full inductiveness, whose counterexamples *strengthen* it
+//! through `V−`.
+//!
+//! Besides the main algorithm the crate provides the paper's two
+//! optimizations (synthesis-result caching and counterexample-list caching,
+//! §4.4) and the three comparison modes of §5.5 (∧Str, LinearArbitrary-style,
+//! OneShot), all selectable through [`HanoiConfig`].
+
+pub mod clc;
+pub mod config;
+pub mod context;
+pub mod driver;
+pub mod modes;
+pub mod outcome;
+pub mod stats;
+
+pub use config::{HanoiConfig, Mode, Optimizations, SynthChoice};
+pub use driver::Driver;
+pub use outcome::{Outcome, RunResult};
+pub use stats::RunStats;

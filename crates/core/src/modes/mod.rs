@@ -1,0 +1,42 @@
+//! The comparison modes of §5.5: ∧Str (conjunctive strengthening à la
+//! LoopInvGen), LA (LinearArbitrary-style counterexample handling) and
+//! OneShot (a single synthesis call over labelled small values).
+//!
+//! Each mode reuses the same synthesizer, verifier and example bookkeeping as
+//! the main algorithm through [`crate::context::InferenceContext`]; only the
+//! counterexample-handling strategy differs, which is exactly the comparison
+//! the paper's Figure 8 makes.
+
+pub mod conj_str;
+pub mod linear_arbitrary;
+pub mod one_shot;
+
+use hanoi_lang::ast::Expr;
+use hanoi_lang::types::Type;
+
+/// Conjoins candidate predicates into a single predicate
+/// `fun x -> p1 x && p2 x && …` over the concrete type.
+pub(crate) fn conjoin(concrete: &Type, conjuncts: &[Expr]) -> Expr {
+    let applications =
+        conjuncts.iter().map(|p| Expr::app(p.clone(), Expr::var("__c"))).collect::<Vec<_>>();
+    Expr::lambda("__c", concrete.clone(), Expr::and_all(applications))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanoi_lang::parser::parse_expr;
+
+    #[test]
+    fn conjoin_builds_a_predicate() {
+        let concrete = Type::named("list");
+        let p1 = parse_expr("fun (l : list) -> True").unwrap();
+        let p2 = parse_expr("fun (l : list) -> not (lookup l 0)").unwrap();
+        let conj = conjoin(&concrete, &[p1, p2]);
+        let printed = conj.to_string();
+        assert!(printed.contains("&&"));
+        assert!(printed.starts_with("fun (__c : list)"));
+        let single = conjoin(&concrete, &[parse_expr("fun (l : list) -> True").unwrap()]);
+        assert!(matches!(single, Expr::Lambda(_)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Results of an inference run.
+
+use std::fmt;
+
+use hanoi_lang::ast::Expr;
+use hanoi_lang::size::expr_size;
+use hanoi_lang::value::Value;
+
+use crate::stats::RunStats;
+
+/// How an inference run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A (likely) sufficient representation invariant was found.
+    Invariant(Expr),
+    /// A constructible value violating the specification was found — the
+    /// module simply does not satisfy its spec (`failwith "Counterexample"`
+    /// in Figure 4).
+    SpecViolation(Vec<Value>),
+    /// The synthesizer could not produce a candidate consistent with the
+    /// accumulated examples within its limits.
+    SynthesisFailure(String),
+    /// The wall-clock budget was exhausted.
+    Timeout,
+}
+
+impl Outcome {
+    /// `true` when an invariant was produced.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Invariant(_))
+    }
+
+    /// The inferred invariant, if any.
+    pub fn invariant(&self) -> Option<&Expr> {
+        match self {
+            Outcome::Invariant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Invariant(e) => write!(f, "invariant: {e}"),
+            Outcome::SpecViolation(values) => {
+                f.write_str("specification violated by constructible value(s): ")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            Outcome::SynthesisFailure(msg) => write!(f, "synthesis failure: {msg}"),
+            Outcome::Timeout => f.write_str("timed out"),
+        }
+    }
+}
+
+/// The outcome of a run together with its statistics.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Statistics (Figure 7 columns).
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Creates a result, filling in the invariant-size statistic.
+    pub fn new(outcome: Outcome, mut stats: RunStats) -> Self {
+        if let Outcome::Invariant(e) = &outcome {
+            stats.invariant_size = Some(expr_size(e));
+        }
+        RunResult { outcome, stats }
+    }
+
+    /// `true` when an invariant was produced.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_success()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        let inv = Outcome::Invariant(Expr::tru());
+        assert!(inv.is_success());
+        assert_eq!(inv.invariant(), Some(&Expr::tru()));
+        assert!(!Outcome::Timeout.is_success());
+        assert!(Outcome::SpecViolation(vec![Value::nat(1)]).to_string().contains('1'));
+        assert!(Outcome::SynthesisFailure("cap".into()).to_string().contains("cap"));
+    }
+
+    #[test]
+    fn run_result_records_invariant_size() {
+        let result = RunResult::new(Outcome::Invariant(Expr::and(Expr::tru(), Expr::fls())), RunStats::default());
+        assert_eq!(result.stats.invariant_size, Some(3));
+        assert!(result.is_success());
+        let result = RunResult::new(Outcome::Timeout, RunStats::default());
+        assert_eq!(result.stats.invariant_size, None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Run statistics — the columns of Figure 7.
+
+use std::time::Duration;
+
+/// Statistics collected during one inference run.
+///
+/// The field names follow the columns of Figure 7: `TVT` (total verification
+/// time), `TVC` (verification call count), `MVT` (mean verification time),
+/// `TST`/`TSC`/`MST` for synthesis, plus the overall wall-clock time and the
+/// size of the inferred invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+    /// Total time spent in the verifier (TVT).
+    pub verification_time: Duration,
+    /// Number of verifier calls (TVC).
+    pub verification_calls: usize,
+    /// Total time spent in the synthesizer (TST).
+    pub synthesis_time: Duration,
+    /// Number of synthesizer calls (TSC).
+    pub synthesis_calls: usize,
+    /// Number of CEGIS iterations (calls to the `Hanoi` recursion of
+    /// Figure 4, or the analogous loop of a baseline).
+    pub iterations: usize,
+    /// Synthesis-result cache hits (candidates reused without a synth call).
+    pub synthesis_cache_hits: usize,
+    /// Negative examples restored by counterexample-list caching.
+    pub clc_restored_negatives: usize,
+    /// Size in AST nodes of the inferred invariant, when one was found.
+    pub invariant_size: Option<usize>,
+    /// Final number of positive examples.
+    pub final_positives: usize,
+    /// Final number of negative examples.
+    pub final_negatives: usize,
+}
+
+impl RunStats {
+    /// Mean time per verification call (MVT), if any call was made.
+    pub fn mean_verification_time(&self) -> Option<Duration> {
+        (self.verification_calls > 0)
+            .then(|| self.verification_time / self.verification_calls as u32)
+    }
+
+    /// Mean time per synthesis call (MST), if any call was made.
+    pub fn mean_synthesis_time(&self) -> Option<Duration> {
+        (self.synthesis_calls > 0).then(|| self.synthesis_time / self.synthesis_calls as u32)
+    }
+
+    /// Records one verifier call.
+    pub fn record_verification(&mut self, elapsed: Duration) {
+        self.verification_calls += 1;
+        self.verification_time += elapsed;
+    }
+
+    /// Records one synthesizer call.
+    pub fn record_synthesis(&mut self, elapsed: Duration) {
+        self.synthesis_calls += 1;
+        self.synthesis_time += elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_require_calls() {
+        let mut stats = RunStats::default();
+        assert_eq!(stats.mean_verification_time(), None);
+        assert_eq!(stats.mean_synthesis_time(), None);
+        stats.record_verification(Duration::from_millis(10));
+        stats.record_verification(Duration::from_millis(30));
+        stats.record_synthesis(Duration::from_millis(8));
+        assert_eq!(stats.verification_calls, 2);
+        assert_eq!(stats.mean_verification_time(), Some(Duration::from_millis(20)));
+        assert_eq!(stats.mean_synthesis_time(), Some(Duration::from_millis(8)));
+        assert_eq!(stats.synthesis_time, Duration::from_millis(8));
+    }
+}

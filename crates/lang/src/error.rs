@@ -1,0 +1,218 @@
+//! Error types shared across the language crate.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+use crate::types::Type;
+
+/// Any error the language layer can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A lexing or parsing failure.
+    Parse(ParseError),
+    /// A static typing failure.
+    Type(TypeError),
+    /// A runtime failure of the interpreter.
+    Eval(EvalError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "parse error: {e}"),
+            LangError::Type(e) => write!(f, "type error: {e}"),
+            LangError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<TypeError> for LangError {
+    fn from(e: TypeError) -> Self {
+        LangError::Type(e)
+    }
+}
+
+impl From<EvalError> for LangError {
+    fn from(e: EvalError) -> Self {
+        LangError::Eval(e)
+    }
+}
+
+/// A lexing or parsing failure, with a 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Creates a new parse error at the given position.
+    pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        ParseError { message: message.into(), line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A static type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was referenced that is not in scope.
+    UnboundVariable(Symbol),
+    /// A constructor was referenced that is not declared by any data type.
+    UnknownConstructor(Symbol),
+    /// A type name was referenced that is not declared.
+    UnknownType(Symbol),
+    /// A data type or constructor was declared twice.
+    DuplicateDefinition(Symbol),
+    /// A constructor was applied to the wrong number of arguments.
+    CtorArity {
+        /// The constructor in question.
+        ctor: Symbol,
+        /// Number of arguments it was declared with.
+        expected: usize,
+        /// Number of arguments it was applied to.
+        found: usize,
+    },
+    /// Two types that should have matched did not.
+    Mismatch {
+        /// The type required by the context.
+        expected: Type,
+        /// The type that was actually found.
+        found: Type,
+        /// A short description of the context of the mismatch.
+        context: String,
+    },
+    /// A non-function value was applied to an argument.
+    NotAFunction(Type),
+    /// A projection (`fst`/`snd`) was applied to a non-tuple type.
+    NotATuple(Type),
+    /// A tuple projection index was out of bounds.
+    ProjectionOutOfBounds { index: usize, arity: usize },
+    /// A `match` scrutinee had a type that cannot be matched on.
+    NotMatchable(Type),
+    /// A pattern did not fit the scrutinee type.
+    PatternMismatch { pattern: String, scrutinee: Type },
+    /// Structural equality applied at a functional type.
+    EqualityAtFunctionType(Type),
+    /// The abstract type `t` appeared where a concrete type was required.
+    UnexpectedAbstractType(String),
+    /// Any other error, described textually.
+    Other(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::UnknownConstructor(c) => write!(f, "unknown constructor `{c}`"),
+            TypeError::UnknownType(t) => write!(f, "unknown type `{t}`"),
+            TypeError::DuplicateDefinition(x) => write!(f, "duplicate definition of `{x}`"),
+            TypeError::CtorArity { ctor, expected, found } => write!(
+                f,
+                "constructor `{ctor}` expects {expected} argument(s) but was given {found}"
+            ),
+            TypeError::Mismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`")
+            }
+            TypeError::NotAFunction(t) => write!(f, "`{t}` is not a function type"),
+            TypeError::NotATuple(t) => write!(f, "`{t}` is not a tuple type"),
+            TypeError::ProjectionOutOfBounds { index, arity } => {
+                write!(f, "projection index {index} out of bounds for a {arity}-tuple")
+            }
+            TypeError::NotMatchable(t) => write!(f, "cannot match on a value of type `{t}`"),
+            TypeError::PatternMismatch { pattern, scrutinee } => {
+                write!(f, "pattern `{pattern}` does not match scrutinee type `{scrutinee}`")
+            }
+            TypeError::EqualityAtFunctionType(t) => {
+                write!(f, "structural equality is not defined at function type `{t}`")
+            }
+            TypeError::UnexpectedAbstractType(ctx) => {
+                write!(f, "the abstract type `t` is not allowed here ({ctx})")
+            }
+            TypeError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A runtime error of the fuel-limited interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Evaluation exceeded its fuel budget (possible divergence).
+    OutOfFuel,
+    /// A variable was not bound in the runtime environment.
+    UnboundVariable(Symbol),
+    /// No arm of a `match` matched the scrutinee.
+    MatchFailure(String),
+    /// A non-function value was applied.
+    NotAFunction(String),
+    /// A projection was applied to a non-tuple value or out of bounds.
+    BadProjection(String),
+    /// Structural equality reached a closure.
+    EqualityOnClosure,
+    /// A branch condition was not a boolean value.
+    NotABool(String),
+    /// Any other dynamic failure.
+    Other(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::OutOfFuel => f.write_str("evaluation ran out of fuel"),
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}` at runtime"),
+            EvalError::MatchFailure(v) => write!(f, "no match arm applies to value {v}"),
+            EvalError::NotAFunction(v) => write!(f, "cannot apply non-function value {v}"),
+            EvalError::BadProjection(v) => write!(f, "invalid projection from value {v}"),
+            EvalError::EqualityOnClosure => f.write_str("structural equality reached a closure"),
+            EvalError::NotABool(v) => write!(f, "expected a boolean, found {v}"),
+            EvalError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TypeError::CtorArity { ctor: Symbol::new("Cons"), expected: 2, found: 1 };
+        assert!(e.to_string().contains("Cons"));
+        assert!(e.to_string().contains('2'));
+
+        let p = ParseError::new("unexpected token", 3, 7);
+        assert_eq!(p.to_string(), "3:7: unexpected token");
+
+        let l: LangError = p.into();
+        assert!(l.to_string().starts_with("parse error"));
+    }
+
+    #[test]
+    fn eval_error_display() {
+        assert_eq!(EvalError::OutOfFuel.to_string(), "evaluation ran out of fuel");
+        assert!(EvalError::UnboundVariable(Symbol::new("x")).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,492 @@
+//! A fuel-limited, environment-based, call-by-value interpreter.
+//!
+//! The object language itself is intended to be terminating, but the
+//! inference loop executes *synthesized* candidate invariants and enumerated
+//! higher-order arguments, which may diverge.  Every evaluation therefore
+//! carries a [`Fuel`] budget; exhausting it is reported as
+//! [`EvalError::OutOfFuel`] and treated by callers as "this candidate
+//! misbehaves".
+
+use std::rc::Rc;
+
+use crate::ast::{Expr, MatchArm, Pattern};
+use crate::error::EvalError;
+use crate::types::TypeEnv;
+use crate::value::{Closure, Env, NativeFn, Value};
+
+/// A step budget for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fuel {
+    remaining: u64,
+    initial: u64,
+    max_depth: u32,
+}
+
+/// Default bound on the depth of nested evaluation (protects the host stack
+/// from divergent synthesized candidates before the step budget runs out).
+pub const DEFAULT_MAX_DEPTH: u32 = 300;
+
+impl Fuel {
+    /// A budget of `n` evaluation steps with the default depth bound.
+    pub fn new(n: u64) -> Fuel {
+        Fuel { remaining: n, initial: n, max_depth: DEFAULT_MAX_DEPTH }
+    }
+
+    /// Overrides the maximum nesting depth of evaluation.
+    pub fn with_max_depth(mut self, max_depth: u32) -> Fuel {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// The default budget used by most callers (large enough for every
+    /// benchmark module operation at the verifier's size bounds).
+    pub fn standard() -> Fuel {
+        Fuel::new(200_000)
+    }
+
+    /// Steps still available.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Steps consumed so far.
+    pub fn used(&self) -> u64 {
+        self.initial - self.remaining
+    }
+
+    /// Consumes one step and checks the depth bound.
+    fn tick(&mut self, depth: u32) -> Result<(), EvalError> {
+        if self.remaining == 0 || depth > self.max_depth {
+            Err(EvalError::OutOfFuel)
+        } else {
+            self.remaining -= 1;
+            Ok(())
+        }
+    }
+}
+
+/// The interpreter.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    tyenv: &'a TypeEnv,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an interpreter over the given data type environment.
+    pub fn new(tyenv: &'a TypeEnv) -> Self {
+        Evaluator { tyenv }
+    }
+
+    /// The data type environment the interpreter was created with.
+    pub fn tyenv(&self) -> &'a TypeEnv {
+        self.tyenv
+    }
+
+    /// Evaluates `expr` in `env`.
+    pub fn eval(&self, env: &Env, expr: &Expr, fuel: &mut Fuel) -> Result<Value, EvalError> {
+        self.eval_at(env, expr, fuel, 0)
+    }
+
+    fn eval_at(
+        &self,
+        env: &Env,
+        expr: &Expr,
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<Value, EvalError> {
+        fuel.tick(depth)?;
+        match expr {
+            Expr::Var(x) => env
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            Expr::Ctor(c, args) => {
+                if let Some(info) = self.tyenv.ctor(c) {
+                    if info.args.len() != args.len() {
+                        return Err(EvalError::Other(format!(
+                            "constructor `{c}` applied to {} argument(s), expected {}",
+                            args.len(),
+                            info.args.len()
+                        )));
+                    }
+                }
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_at(env, a, fuel, depth + 1)?);
+                }
+                Ok(Value::Ctor(c.clone(), values))
+            }
+            Expr::Tuple(args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_at(env, a, fuel, depth + 1)?);
+                }
+                Ok(Value::Tuple(values))
+            }
+            Expr::Proj(i, e) => {
+                let v = self.eval_at(env, e, fuel, depth + 1)?;
+                match v {
+                    Value::Tuple(mut items) if *i < items.len() => Ok(items.swap_remove(*i)),
+                    other => Err(EvalError::BadProjection(other.to_string())),
+                }
+            }
+            Expr::App(f, arg) => {
+                let fv = self.eval_at(env, f, fuel, depth + 1)?;
+                let av = self.eval_at(env, arg, fuel, depth + 1)?;
+                self.apply_at(fv, av, fuel, depth + 1)
+            }
+            Expr::Lambda(l) => Ok(Value::Closure(Rc::new(Closure {
+                param: l.param.clone(),
+                body: l.body.clone(),
+                env: env.clone(),
+                rec_name: None,
+            }))),
+            Expr::Fix(fx) => Ok(Value::Closure(Rc::new(Closure {
+                param: fx.param.clone(),
+                body: fx.body.clone(),
+                env: env.clone(),
+                rec_name: Some(fx.name.clone()),
+            }))),
+            Expr::Match(scrutinee, arms) => {
+                let v = self.eval_at(env, scrutinee, fuel, depth + 1)?;
+                self.eval_match(env, &v, arms, fuel, depth + 1)
+            }
+            Expr::Let(x, bound, body) => {
+                let bv = self.eval_at(env, bound, fuel, depth + 1)?;
+                let env2 = env.bind(x.clone(), bv);
+                self.eval_at(&env2, body, fuel, depth + 1)
+            }
+            Expr::If(cond, then, els) => {
+                let cv = self.eval_at(env, cond, fuel, depth + 1)?;
+                match cv.as_bool() {
+                    Some(true) => self.eval_at(env, then, fuel, depth + 1),
+                    Some(false) => self.eval_at(env, els, fuel, depth + 1),
+                    None => Err(EvalError::NotABool(cv.to_string())),
+                }
+            }
+            Expr::Eq(a, b) => {
+                let av = self.eval_at(env, a, fuel, depth + 1)?;
+                let bv = self.eval(env, b, fuel)?;
+                if !av.is_first_order() || !bv.is_first_order() {
+                    return Err(EvalError::EqualityOnClosure);
+                }
+                Ok(Value::bool(av == bv))
+            }
+            Expr::And(a, b) => {
+                let av = self.eval_at(env, a, fuel, depth + 1)?;
+                match av.as_bool() {
+                    Some(false) => Ok(Value::fls()),
+                    Some(true) => {
+                        let bv = self.eval(env, b, fuel)?;
+                        bv.as_bool()
+                            .map(Value::bool)
+                            .ok_or_else(|| EvalError::NotABool(bv.to_string()))
+                    }
+                    None => Err(EvalError::NotABool(av.to_string())),
+                }
+            }
+            Expr::Or(a, b) => {
+                let av = self.eval_at(env, a, fuel, depth + 1)?;
+                match av.as_bool() {
+                    Some(true) => Ok(Value::tru()),
+                    Some(false) => {
+                        let bv = self.eval(env, b, fuel)?;
+                        bv.as_bool()
+                            .map(Value::bool)
+                            .ok_or_else(|| EvalError::NotABool(bv.to_string()))
+                    }
+                    None => Err(EvalError::NotABool(av.to_string())),
+                }
+            }
+            Expr::Not(a) => {
+                let av = self.eval_at(env, a, fuel, depth + 1)?;
+                av.as_bool()
+                    .map(|b| Value::bool(!b))
+                    .ok_or_else(|| EvalError::NotABool(av.to_string()))
+            }
+        }
+    }
+
+    fn eval_match(
+        &self,
+        env: &Env,
+        scrutinee: &Value,
+        arms: &[MatchArm],
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<Value, EvalError> {
+        for arm in arms {
+            if let Some(env2) = Self::match_pattern(&arm.pattern, scrutinee, env) {
+                return self.eval_at(&env2, &arm.body, fuel, depth);
+            }
+        }
+        Err(EvalError::MatchFailure(scrutinee.to_string()))
+    }
+
+    /// Attempts to match `value` against `pattern`, extending `env` with the
+    /// pattern's bindings on success.
+    pub fn match_pattern(pattern: &Pattern, value: &Value, env: &Env) -> Option<Env> {
+        match (pattern, value) {
+            (Pattern::Wildcard, _) => Some(env.clone()),
+            (Pattern::Var(x), v) => Some(env.bind(x.clone(), v.clone())),
+            (Pattern::Ctor(c, ps), Value::Ctor(vc, vs)) if c == vc && ps.len() == vs.len() => {
+                let mut cur = env.clone();
+                for (p, v) in ps.iter().zip(vs) {
+                    cur = Self::match_pattern(p, v, &cur)?;
+                }
+                Some(cur)
+            }
+            (Pattern::Tuple(ps), Value::Tuple(vs)) if ps.len() == vs.len() => {
+                let mut cur = env.clone();
+                for (p, v) in ps.iter().zip(vs) {
+                    cur = Self::match_pattern(p, v, &cur)?;
+                }
+                Some(cur)
+            }
+            _ => None,
+        }
+    }
+
+    /// Applies a function value to an argument value.
+    pub fn apply(&self, f: Value, arg: Value, fuel: &mut Fuel) -> Result<Value, EvalError> {
+        self.apply_at(f, arg, fuel, 0)
+    }
+
+    fn apply_at(
+        &self,
+        f: Value,
+        arg: Value,
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<Value, EvalError> {
+        fuel.tick(depth)?;
+        match f {
+            Value::Closure(clo) => {
+                let mut env = clo.env.clone();
+                if let Some(name) = &clo.rec_name {
+                    env = env.bind(name.clone(), Value::Closure(clo.clone()));
+                }
+                let env = env.bind(clo.param.clone(), arg);
+                self.eval_at(&env, &clo.body, fuel, depth + 1)
+            }
+            Value::Native(native) => {
+                let mut collected = native.collected.clone();
+                collected.push(arg);
+                if collected.len() >= native.arity {
+                    (native.func)(&collected)
+                } else {
+                    Ok(Value::Native(Rc::new(NativeFn {
+                        name: native.name.clone(),
+                        arity: native.arity,
+                        collected,
+                        func: native.func.clone(),
+                    })))
+                }
+            }
+            other => Err(EvalError::NotAFunction(other.to_string())),
+        }
+    }
+
+    /// Applies a function value to several arguments in turn.
+    pub fn apply_many(
+        &self,
+        f: Value,
+        args: &[Value],
+        fuel: &mut Fuel,
+    ) -> Result<Value, EvalError> {
+        let mut cur = f;
+        for a in args {
+            cur = self.apply(cur, a.clone(), fuel)?;
+        }
+        Ok(cur)
+    }
+
+    /// Evaluates an expression expected to produce a boolean.
+    pub fn eval_bool(&self, env: &Env, expr: &Expr, fuel: &mut Fuel) -> Result<bool, EvalError> {
+        let v = self.eval(env, expr, fuel)?;
+        v.as_bool().ok_or_else(|| EvalError::NotABool(v.to_string()))
+    }
+
+    /// Applies a predicate value (of type `σ -> bool`) to an argument.
+    pub fn apply_pred(&self, pred: &Value, arg: &Value, fuel: &mut Fuel) -> Result<bool, EvalError> {
+        let v = self.apply(pred.clone(), arg.clone(), fuel)?;
+        v.as_bool().ok_or_else(|| EvalError::NotABool(v.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CtorDecl, DataDecl, Type};
+
+    fn tyenv() -> TypeEnv {
+        let mut env = TypeEnv::new();
+        env.declare(DataDecl::new(
+            "nat",
+            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+        ))
+        .unwrap();
+        env.declare(DataDecl::new(
+            "list",
+            vec![
+                CtorDecl::new("Nil", vec![]),
+                CtorDecl::new("Cons", vec![Type::named("nat"), Type::named("list")]),
+            ],
+        ))
+        .unwrap();
+        env
+    }
+
+    fn eval_closed(e: &Expr) -> Result<Value, EvalError> {
+        let tyenv = tyenv();
+        let ev = Evaluator::new(&tyenv);
+        ev.eval(&Env::empty(), e, &mut Fuel::standard())
+    }
+
+    /// `plus` as a core expression, used by several tests.
+    fn plus_expr() -> Expr {
+        Expr::fix(
+            "plus",
+            "m",
+            Type::named("nat"),
+            Type::arrow(Type::named("nat"), Type::named("nat")),
+            Expr::lambda(
+                "n",
+                Type::named("nat"),
+                Expr::match_(
+                    Expr::var("m"),
+                    vec![
+                        MatchArm::new(Pattern::ctor("O", vec![]), Expr::var("n")),
+                        MatchArm::new(
+                            Pattern::ctor("S", vec![Pattern::var("m2")]),
+                            Expr::ctor(
+                                "S",
+                                vec![Expr::call("plus", [Expr::var("m2"), Expr::var("n")])],
+                            ),
+                        ),
+                    ],
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn literals_and_tuples() {
+        assert_eq!(eval_closed(&Expr::tru()).unwrap(), Value::tru());
+        let pair = Expr::Tuple(vec![Expr::ctor("O", vec![]), Expr::tru()]);
+        assert_eq!(
+            eval_closed(&pair).unwrap(),
+            Value::pair(Value::nat(0), Value::tru())
+        );
+        let proj = Expr::Proj(1, Box::new(pair));
+        assert_eq!(eval_closed(&proj).unwrap(), Value::tru());
+    }
+
+    #[test]
+    fn recursive_addition() {
+        let call = Expr::apps(
+            plus_expr(),
+            [Value::nat(2).to_expr().unwrap(), Value::nat(3).to_expr().unwrap()],
+        );
+        assert_eq!(eval_closed(&call).unwrap(), Value::nat(5));
+    }
+
+    #[test]
+    fn let_and_if_and_booleans() {
+        let e = Expr::let_(
+            "x",
+            Expr::tru(),
+            Expr::if_(
+                Expr::and(Expr::var("x"), Expr::not(Expr::fls())),
+                Expr::ctor("O", vec![]),
+                Expr::ctor("S", vec![Expr::ctor("O", vec![])]),
+            ),
+        );
+        assert_eq!(eval_closed(&e).unwrap(), Value::nat(0));
+    }
+
+    #[test]
+    fn structural_equality() {
+        let e = Expr::eq(
+            Value::nat_list(&[1, 2]).to_expr().unwrap(),
+            Value::nat_list(&[1, 2]).to_expr().unwrap(),
+        );
+        assert_eq!(eval_closed(&e).unwrap(), Value::tru());
+        let e = Expr::eq(
+            Value::nat_list(&[1]).to_expr().unwrap(),
+            Value::nat_list(&[2]).to_expr().unwrap(),
+        );
+        assert_eq!(eval_closed(&e).unwrap(), Value::fls());
+    }
+
+    #[test]
+    fn short_circuiting() {
+        // False && diverging-ish expression: the right operand would be a
+        // match failure if evaluated.
+        let bad = Expr::match_(Expr::tru(), vec![]);
+        let e = Expr::and(Expr::fls(), bad.clone());
+        assert_eq!(eval_closed(&e).unwrap(), Value::fls());
+        let e = Expr::or(Expr::tru(), bad);
+        assert_eq!(eval_closed(&e).unwrap(), Value::tru());
+    }
+
+    #[test]
+    fn match_failure_is_reported() {
+        let e = Expr::match_(
+            Expr::tru(),
+            vec![MatchArm::new(Pattern::ctor("False", vec![]), Expr::tru())],
+        );
+        assert!(matches!(eval_closed(&e), Err(EvalError::MatchFailure(_))));
+    }
+
+    #[test]
+    fn out_of_fuel_on_divergence() {
+        // fix loop (x : nat) : nat = loop x
+        let diverge = Expr::fix(
+            "loop",
+            "x",
+            Type::named("nat"),
+            Type::named("nat"),
+            Expr::call("loop", [Expr::var("x")]),
+        );
+        let call = Expr::app(diverge, Expr::ctor("O", vec![]));
+        let tyenv = tyenv();
+        let ev = Evaluator::new(&tyenv);
+        let result = ev.eval(&Env::empty(), &call, &mut Fuel::new(10_000));
+        assert_eq!(result, Err(EvalError::OutOfFuel));
+    }
+
+    #[test]
+    fn apply_many_curries() {
+        let tyenv = tyenv();
+        let ev = Evaluator::new(&tyenv);
+        let mut fuel = Fuel::standard();
+        let plus = ev.eval(&Env::empty(), &plus_expr(), &mut fuel).unwrap();
+        let result = ev.apply_many(plus, &[Value::nat(4), Value::nat(4)], &mut fuel).unwrap();
+        assert_eq!(result, Value::nat(8));
+    }
+
+    #[test]
+    fn wrong_ctor_arity_is_a_runtime_error() {
+        let e = Expr::ctor("S", vec![]);
+        assert!(matches!(eval_closed(&e), Err(EvalError::Other(_))));
+    }
+
+    #[test]
+    fn unbound_variable() {
+        assert!(matches!(
+            eval_closed(&Expr::var("ghost")),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn fuel_accounting() {
+        let mut fuel = Fuel::new(100);
+        let tyenv = tyenv();
+        let ev = Evaluator::new(&tyenv);
+        ev.eval(&Env::empty(), &Expr::tru(), &mut fuel).unwrap();
+        assert!(fuel.used() >= 1);
+        assert!(fuel.remaining() < 100);
+    }
+}

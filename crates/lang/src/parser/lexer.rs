@@ -1,0 +1,369 @@
+//! The lexer for the ML-like surface syntax.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A lowercase identifier (variable, function or type name).
+    LIdent(String),
+    /// An uppercase identifier (constructor, interface or module name).
+    UIdent(String),
+    /// A decimal natural-number literal (sugar for Peano numerals).
+    Int(u64),
+    /// `type`
+    Type,
+    /// `of`
+    Of,
+    /// `let`
+    Let,
+    /// `rec`
+    Rec,
+    /// `in`
+    In,
+    /// `match`
+    Match,
+    /// `with`
+    With,
+    /// `end`
+    End,
+    /// `fun`
+    Fun,
+    /// `fix`
+    Fix,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `not`
+    Not,
+    /// `interface`
+    Interface,
+    /// `module`
+    Module,
+    /// `sig`
+    Sig,
+    /// `struct`
+    Struct,
+    /// `val`
+    Val,
+    /// `spec`
+    Spec,
+    /// `fst`
+    Fst,
+    /// `snd`
+    Snd,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `->`
+    Arrow,
+    /// `|`
+    Bar,
+    /// `||`
+    BarBar,
+    /// `&&`
+    AmpAmp,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `_`
+    Underscore,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::LIdent(s) | Tok::UIdent(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Type => f.write_str("`type`"),
+            Tok::Of => f.write_str("`of`"),
+            Tok::Let => f.write_str("`let`"),
+            Tok::Rec => f.write_str("`rec`"),
+            Tok::In => f.write_str("`in`"),
+            Tok::Match => f.write_str("`match`"),
+            Tok::With => f.write_str("`with`"),
+            Tok::End => f.write_str("`end`"),
+            Tok::Fun => f.write_str("`fun`"),
+            Tok::Fix => f.write_str("`fix`"),
+            Tok::If => f.write_str("`if`"),
+            Tok::Then => f.write_str("`then`"),
+            Tok::Else => f.write_str("`else`"),
+            Tok::Not => f.write_str("`not`"),
+            Tok::Interface => f.write_str("`interface`"),
+            Tok::Module => f.write_str("`module`"),
+            Tok::Sig => f.write_str("`sig`"),
+            Tok::Struct => f.write_str("`struct`"),
+            Tok::Val => f.write_str("`val`"),
+            Tok::Spec => f.write_str("`spec`"),
+            Tok::Fst => f.write_str("`fst`"),
+            Tok::Snd => f.write_str("`snd`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Bar => f.write_str("`|`"),
+            Tok::BarBar => f.write_str("`||`"),
+            Tok::AmpAmp => f.write_str("`&&`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Underscore => f.write_str("`_`"),
+        }
+    }
+}
+
+/// A token together with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Lexes a full source string.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tok_line, tok_col) = (line, column);
+        if c.is_whitespace() {
+            advance!();
+            continue;
+        }
+        // Comments: (* ... *), possibly nested.
+        if c == '(' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '(' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    advance!();
+                    advance!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == ')' {
+                    depth -= 1;
+                    advance!();
+                    advance!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    advance!();
+                }
+            }
+            if depth != 0 {
+                return Err(ParseError::new("unterminated comment", tok_line, tok_col));
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut n: u64 = 0;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(chars[i].to_digit(10).unwrap() as u64))
+                    .ok_or_else(|| ParseError::new("integer literal too large", tok_line, tok_col))?;
+                advance!();
+            }
+            tokens.push(Token { tok: Tok::Int(n), line: tok_line, column: tok_col });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '\'')
+            {
+                advance!();
+            }
+            let word: String = chars[start..i].iter().collect();
+            let tok = match word.as_str() {
+                "_" => Tok::Underscore,
+                "type" => Tok::Type,
+                "of" => Tok::Of,
+                "let" => Tok::Let,
+                "rec" => Tok::Rec,
+                "in" => Tok::In,
+                "match" => Tok::Match,
+                "with" => Tok::With,
+                "end" => Tok::End,
+                "fun" => Tok::Fun,
+                "fix" => Tok::Fix,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "not" => Tok::Not,
+                "interface" => Tok::Interface,
+                "module" => Tok::Module,
+                "sig" => Tok::Sig,
+                "struct" => Tok::Struct,
+                "val" => Tok::Val,
+                "spec" => Tok::Spec,
+                "fst" => Tok::Fst,
+                "snd" => Tok::Snd,
+                _ => {
+                    if word.chars().next().unwrap().is_ascii_uppercase() {
+                        Tok::UIdent(word)
+                    } else {
+                        Tok::LIdent(word)
+                    }
+                }
+            };
+            tokens.push(Token { tok, line: tok_line, column: tok_col });
+            continue;
+        }
+        let two: Option<&str> = if i + 1 < chars.len() {
+            Some(match (c, chars[i + 1]) {
+                ('-', '>') => "->",
+                ('|', '|') => "||",
+                ('&', '&') => "&&",
+                ('=', '=') => "==",
+                _ => "",
+            })
+        } else {
+            None
+        };
+        if let Some(op) = two.filter(|s| !s.is_empty()) {
+            let tok = match op {
+                "->" => Tok::Arrow,
+                "||" => Tok::BarBar,
+                "&&" => Tok::AmpAmp,
+                "==" => Tok::EqEq,
+                _ => unreachable!(),
+            };
+            advance!();
+            advance!();
+            tokens.push(Token { tok, line: tok_line, column: tok_col });
+            continue;
+        }
+        let tok = match c {
+            '=' => Tok::Eq,
+            '|' => Tok::Bar,
+            '*' => Tok::Star,
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            ',' => Tok::Comma,
+            ':' => Tok::Colon,
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    tok_line,
+                    tok_col,
+                ))
+            }
+        };
+        advance!();
+        tokens.push(Token { tok, line: tok_line, column: tok_col });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("let rec lookup Cons x1"),
+            vec![
+                Tok::Let,
+                Tok::Rec,
+                Tok::LIdent("lookup".into()),
+                Tok::UIdent("Cons".into()),
+                Tok::LIdent("x1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= == -> | || && * ( ) , : _"),
+            vec![
+                Tok::Eq,
+                Tok::EqEq,
+                Tok::Arrow,
+                Tok::Bar,
+                Tok::BarBar,
+                Tok::AmpAmp,
+                Tok::Star,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Colon,
+                Tok::Underscore,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("0 42"), vec![Tok::Int(0), Tok::Int(42)]);
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested() {
+        assert_eq!(toks("x (* hi (* nested *) there *) y"), vec![
+            Tok::LIdent("x".into()),
+            Tok::LIdent("y".into())
+        ]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("x (* oops").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let tokens = lex("let\n  x = 1").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].column), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].column), (2, 3));
+        assert_eq!(tokens[1].tok, Tok::LIdent("x".into()));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn primes_allowed_in_identifiers() {
+        assert_eq!(toks("m' tl'"), vec![Tok::LIdent("m'".into()), Tok::LIdent("tl'".into())]);
+    }
+}

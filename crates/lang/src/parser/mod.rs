@@ -1,0 +1,807 @@
+//! A recursive-descent parser for the ML-like surface syntax.
+//!
+//! The grammar (informally):
+//!
+//! ```text
+//! program    ::= item*
+//! item       ::= "type" lident "=" "|"? ctor ("|" ctor)*
+//!              | "let" "rec"? lident param* ":" type "=" expr
+//!              | "interface" UIdent "=" "sig" ("type" "t")? ("val" lident ":" type)* "end"
+//!              | "module" UIdent ":" UIdent "=" "struct" "type" "t" "=" type let* "end"
+//!              | "spec" param* "=" expr
+//! ctor       ::= UIdent ("of" type)?          -- a product type declares several fields
+//! param      ::= "(" lident ":" type ")"
+//! type       ::= prodty ("->" type)?
+//! prodty     ::= atomty ("*" atomty)*
+//! atomty     ::= "t" | lident | "(" type ")"
+//! expr       ::= "fun" param+ "->" expr
+//!              | "fix" lident param ":" type "=" expr
+//!              | "match" expr "with" ("|" pat "->" expr)+ "end"
+//!              | "let" lident "=" expr "in" expr
+//!              | "if" expr "then" expr "else" expr
+//!              | orexpr
+//! orexpr     ::= andexpr ("||" orexpr)?
+//! andexpr    ::= notexpr ("&&" andexpr)?
+//! notexpr    ::= "not" notexpr | eqexpr
+//! eqexpr     ::= appexpr ("==" appexpr)?
+//! appexpr    ::= ("fst"|"snd") atom
+//!              | UIdent ctorargs? atom*          -- constructor application
+//!              | atom atom*                       -- function application
+//! ctorargs   ::= "(" expr ("," expr)* ")" | atom
+//! atom       ::= lident | UIdent | int | "(" ")" | "(" expr ("," expr)* ")"
+//! pat        ::= "_" | lident | UIdent ("(" pat ("," pat)* ")" | lident | "_")?
+//!              | "(" pat ("," pat)* ")"
+//! ```
+//!
+//! Notes:
+//!
+//! * `match` expressions are terminated by `end`, which keeps nested matches
+//!   unambiguous and lets arm bodies be arbitrary expressions.
+//! * The type name `t` always denotes the module's abstract type
+//!   ([`Type::Abstract`]); it is substituted by the concrete representation
+//!   type when a module is elaborated.
+//! * Integer literals are sugar for Peano numerals (`2` parses as `S (S O)`),
+//!   so they require a `nat` type with constructors `O`/`S` to be declared.
+//! * Constructor applications are written `C`, `C atom` or `C (e1, ..., ek)`;
+//!   the parenthesised form supplies the constructor's `k` declared fields.
+
+mod lexer;
+
+pub use lexer::{lex, Tok, Token};
+
+use crate::ast::{
+    Expr, InterfaceDecl, Item, MatchArm, ModuleDecl, Pattern, Program, SpecDecl, TopLet,
+};
+use crate::error::ParseError;
+use crate::symbol::Symbol;
+use crate::types::{CtorDecl, DataDecl, Type};
+
+/// Parses a whole surface program.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    parser.program()
+}
+
+/// Parses a single expression (useful in tests and examples).
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let e = parser.expr()?;
+    parser.expect_eof()?;
+    Ok(e)
+}
+
+/// Parses a single type.
+pub fn parse_type(source: &str) -> Result<Type, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let t = parser.ty()?;
+    parser.expect_eof()?;
+    Ok(t)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn position(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| (t.line, t.column))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.position();
+        ParseError::new(message, line, column)
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .map(|t| t.tok.clone())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(found) if found == &tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(self.error(format!("expected {tok}, found {found}"))),
+            None => Err(self.error(format!("expected {tok}, found end of input"))),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected end of input, found {}",
+                self.tokens[self.pos].tok
+            )))
+        }
+    }
+
+    fn lident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::LIdent(s) => Ok(s),
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn uident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::UIdent(s) => Ok(s),
+            other => Err(self.error(format!("expected a capitalised identifier, found {other}"))),
+        }
+    }
+
+    // ----- programs -------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while let Some(tok) = self.peek() {
+            let item = match tok {
+                Tok::Type => Item::Data(self.data_decl()?),
+                Tok::Let => Item::Let(self.top_let()?),
+                Tok::Interface => Item::Interface(self.interface_decl()?),
+                Tok::Module => Item::Module(self.module_decl()?),
+                Tok::Spec => Item::Spec(self.spec_decl()?),
+                other => return Err(self.error(format!("expected a declaration, found {other}"))),
+            };
+            items.push(item);
+        }
+        Ok(Program { items })
+    }
+
+    fn data_decl(&mut self) -> Result<DataDecl, ParseError> {
+        self.expect(Tok::Type)?;
+        let name = self.lident()?;
+        self.expect(Tok::Eq)?;
+        self.eat(&Tok::Bar);
+        let mut ctors = vec![self.ctor_decl()?];
+        while self.eat(&Tok::Bar) {
+            ctors.push(self.ctor_decl()?);
+        }
+        Ok(DataDecl { name: Symbol::new(&name), ctors })
+    }
+
+    fn ctor_decl(&mut self) -> Result<CtorDecl, ParseError> {
+        let name = self.uident()?;
+        let args = if self.eat(&Tok::Of) {
+            match self.ty()? {
+                Type::Tuple(elems) if !elems.is_empty() => elems,
+                other => vec![other],
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(CtorDecl { name: Symbol::new(&name), args })
+    }
+
+    fn param(&mut self) -> Result<(Symbol, Type), ParseError> {
+        self.expect(Tok::LParen)?;
+        let name = self.lident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        self.expect(Tok::RParen)?;
+        Ok((Symbol::new(&name), ty))
+    }
+
+    fn top_let(&mut self) -> Result<TopLet, ParseError> {
+        self.expect(Tok::Let)?;
+        let recursive = self.eat(&Tok::Rec);
+        let name = self.lident()?;
+        let mut params = Vec::new();
+        while self.peek() == Some(&Tok::LParen) {
+            params.push(self.param()?);
+        }
+        self.expect(Tok::Colon)?;
+        let ret_ty = self.ty()?;
+        self.expect(Tok::Eq)?;
+        let body = self.expr()?;
+        Ok(TopLet { name: Symbol::new(&name), recursive, params, ret_ty, body })
+    }
+
+    fn interface_decl(&mut self) -> Result<InterfaceDecl, ParseError> {
+        self.expect(Tok::Interface)?;
+        let name = self.uident()?;
+        self.expect(Tok::Eq)?;
+        self.expect(Tok::Sig)?;
+        let mut vals = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Type) => {
+                    // `type t` inside a signature just (re)declares the
+                    // abstract type; it carries no further information.
+                    self.expect(Tok::Type)?;
+                    let t = self.lident()?;
+                    if t != "t" {
+                        return Err(self.error("the abstract type in an interface must be named `t`"));
+                    }
+                }
+                Some(Tok::Val) => {
+                    self.expect(Tok::Val)?;
+                    let vname = self.lident()?;
+                    self.expect(Tok::Colon)?;
+                    let ty = self.ty()?;
+                    vals.push((Symbol::new(&vname), ty));
+                }
+                Some(Tok::End) => {
+                    self.expect(Tok::End)?;
+                    break;
+                }
+                Some(other) => {
+                    return Err(self.error(format!(
+                        "expected `val`, `type` or `end` in interface, found {other}"
+                    )))
+                }
+                None => return Err(self.error("unterminated interface")),
+            }
+        }
+        Ok(InterfaceDecl { name: Symbol::new(&name), vals })
+    }
+
+    fn module_decl(&mut self) -> Result<ModuleDecl, ParseError> {
+        self.expect(Tok::Module)?;
+        let name = self.uident()?;
+        self.expect(Tok::Colon)?;
+        let interface = self.uident()?;
+        self.expect(Tok::Eq)?;
+        self.expect(Tok::Struct)?;
+        self.expect(Tok::Type)?;
+        let t = self.lident()?;
+        if t != "t" {
+            return Err(self.error("the representation type in a module must be named `t`"));
+        }
+        self.expect(Tok::Eq)?;
+        let concrete = self.ty()?;
+        let mut lets = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Let) => lets.push(self.top_let()?),
+                Some(Tok::End) => {
+                    self.expect(Tok::End)?;
+                    break;
+                }
+                Some(other) => {
+                    return Err(self
+                        .error(format!("expected `let` or `end` in module body, found {other}")))
+                }
+                None => return Err(self.error("unterminated module")),
+            }
+        }
+        Ok(ModuleDecl {
+            name: Symbol::new(&name),
+            interface: Symbol::new(&interface),
+            concrete,
+            lets,
+        })
+    }
+
+    fn spec_decl(&mut self) -> Result<SpecDecl, ParseError> {
+        self.expect(Tok::Spec)?;
+        let mut params = Vec::new();
+        while self.peek() == Some(&Tok::LParen) {
+            params.push(self.param()?);
+        }
+        self.expect(Tok::Eq)?;
+        let body = self.expr()?;
+        Ok(SpecDecl { params, body })
+    }
+
+    // ----- types ----------------------------------------------------------
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let left = self.prod_ty()?;
+        if self.eat(&Tok::Arrow) {
+            let right = self.ty()?;
+            Ok(Type::arrow(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn prod_ty(&mut self) -> Result<Type, ParseError> {
+        let first = self.atom_ty()?;
+        if self.peek() == Some(&Tok::Star) {
+            let mut elems = vec![first];
+            while self.eat(&Tok::Star) {
+                elems.push(self.atom_ty()?);
+            }
+            Ok(Type::Tuple(elems))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn atom_ty(&mut self) -> Result<Type, ParseError> {
+        match self.next()? {
+            Tok::LIdent(name) if name == "t" => Ok(Type::Abstract),
+            Tok::LIdent(name) if name == "unit" => Ok(Type::unit()),
+            Tok::LIdent(name) => Ok(Type::named(&name)),
+            Tok::LParen => {
+                let ty = self.ty()?;
+                self.expect(Tok::RParen)?;
+                Ok(ty)
+            }
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Fun) => {
+                self.expect(Tok::Fun)?;
+                let mut params = vec![self.param()?];
+                while self.peek() == Some(&Tok::LParen) {
+                    params.push(self.param()?);
+                }
+                self.expect(Tok::Arrow)?;
+                let body = self.expr()?;
+                Ok(params
+                    .into_iter()
+                    .rev()
+                    .fold(body, |acc, (p, t)| Expr::lambda(p.as_str(), t, acc)))
+            }
+            Some(Tok::Fix) => {
+                self.expect(Tok::Fix)?;
+                let name = self.lident()?;
+                let (param, param_ty) = self.param()?;
+                self.expect(Tok::Colon)?;
+                let ret_ty = self.ty()?;
+                self.expect(Tok::Eq)?;
+                let body = self.expr()?;
+                Ok(Expr::fix(&name, param.as_str(), param_ty, ret_ty, body))
+            }
+            Some(Tok::Match) => {
+                self.expect(Tok::Match)?;
+                let scrutinee = self.expr()?;
+                self.expect(Tok::With)?;
+                let mut arms = Vec::new();
+                while self.eat(&Tok::Bar) {
+                    let pattern = self.pattern()?;
+                    self.expect(Tok::Arrow)?;
+                    let body = self.expr()?;
+                    arms.push(MatchArm { pattern, body });
+                }
+                self.expect(Tok::End)?;
+                if arms.is_empty() {
+                    return Err(self.error("a match expression needs at least one arm"));
+                }
+                Ok(Expr::Match(Box::new(scrutinee), arms))
+            }
+            Some(Tok::Let) => {
+                self.expect(Tok::Let)?;
+                let name = self.lident()?;
+                self.expect(Tok::Eq)?;
+                let bound = self.expr()?;
+                self.expect(Tok::In)?;
+                let body = self.expr()?;
+                Ok(Expr::let_(&name, bound, body))
+            }
+            Some(Tok::If) => {
+                self.expect(Tok::If)?;
+                let cond = self.expr()?;
+                self.expect(Tok::Then)?;
+                let then = self.expr()?;
+                self.expect(Tok::Else)?;
+                let els = self.expr()?;
+                Ok(Expr::if_(cond, then, els))
+            }
+            _ => self.or_expr(),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.and_expr()?;
+        if self.eat(&Tok::BarBar) {
+            let right = self.or_expr()?;
+            Ok(Expr::or(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.not_expr()?;
+        if self.eat(&Tok::AmpAmp) {
+            let right = self.and_expr()?;
+            Ok(Expr::and(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::not(inner))
+        } else {
+            self.eq_expr()
+        }
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.app_expr()?;
+        if self.eat(&Tok::EqEq) {
+            let right = self.app_expr()?;
+            Ok(Expr::eq(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Tok::LIdent(_)) | Some(Tok::UIdent(_)) | Some(Tok::Int(_)) | Some(Tok::LParen)
+        )
+    }
+
+    fn app_expr(&mut self) -> Result<Expr, ParseError> {
+        // Projections.
+        if self.eat(&Tok::Fst) {
+            let inner = self.atom()?;
+            return Ok(Expr::Proj(0, Box::new(inner)));
+        }
+        if self.eat(&Tok::Snd) {
+            let inner = self.atom()?;
+            return Ok(Expr::Proj(1, Box::new(inner)));
+        }
+        // Constructor in head position: its arguments are either a
+        // parenthesised list or a single atom.
+        let mut head = if let Some(Tok::UIdent(_)) = self.peek() {
+            let Tok::UIdent(name) = self.next()? else { unreachable!() };
+            if self.peek() == Some(&Tok::LParen) {
+                self.expect(Tok::LParen)?;
+                if self.eat(&Tok::RParen) {
+                    // `C ()`: a constructor applied to the unit value.
+                    Expr::Ctor(Symbol::new(&name), vec![Expr::Tuple(Vec::new())])
+                } else {
+                    let mut args = vec![self.expr()?];
+                    while self.eat(&Tok::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    Expr::Ctor(Symbol::new(&name), args)
+                }
+            } else if self.starts_atom() {
+                let arg = self.atom()?;
+                Expr::Ctor(Symbol::new(&name), vec![arg])
+            } else {
+                Expr::Ctor(Symbol::new(&name), Vec::new())
+            }
+        } else {
+            self.atom()?
+        };
+        while self.starts_atom() {
+            let arg = self.atom()?;
+            head = Expr::app(head, arg);
+        }
+        Ok(head)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.next()? {
+            Tok::LIdent(name) => Ok(Expr::var(&name)),
+            Tok::UIdent(name) => Ok(Expr::Ctor(Symbol::new(&name), Vec::new())),
+            Tok::Int(n) => {
+                let mut e = Expr::ctor("O", vec![]);
+                for _ in 0..n {
+                    e = Expr::ctor("S", vec![e]);
+                }
+                Ok(e)
+            }
+            Tok::LParen => {
+                if self.eat(&Tok::RParen) {
+                    return Ok(Expr::Tuple(Vec::new()));
+                }
+                let first = self.expr()?;
+                if self.peek() == Some(&Tok::Comma) {
+                    let mut elems = vec![first];
+                    while self.eat(&Tok::Comma) {
+                        elems.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Tuple(elems))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    // ----- patterns -------------------------------------------------------
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        match self.next()? {
+            Tok::Underscore => Ok(Pattern::Wildcard),
+            Tok::LIdent(name) => Ok(Pattern::Var(Symbol::new(&name))),
+            Tok::UIdent(name) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.expect(Tok::LParen)?;
+                    let mut args = vec![self.pattern()?];
+                    while self.eat(&Tok::Comma) {
+                        args.push(self.pattern()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Pattern::Ctor(Symbol::new(&name), args))
+                } else if matches!(self.peek(), Some(Tok::LIdent(_)) | Some(Tok::Underscore)) {
+                    let sub = self.pattern()?;
+                    Ok(Pattern::Ctor(Symbol::new(&name), vec![sub]))
+                } else {
+                    Ok(Pattern::Ctor(Symbol::new(&name), Vec::new()))
+                }
+            }
+            Tok::LParen => {
+                let mut elems = vec![self.pattern()?];
+                while self.eat(&Tok::Comma) {
+                    elems.push(self.pattern()?);
+                }
+                self.expect(Tok::RParen)?;
+                if elems.len() == 1 {
+                    Ok(elems.pop().expect("one element"))
+                } else {
+                    Ok(Pattern::Tuple(elems))
+                }
+            }
+            other => Err(self.error(format!("expected a pattern, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let e = parse_expr("a || b && not c").unwrap();
+        assert_eq!(
+            e,
+            Expr::or(Expr::var("a"), Expr::and(Expr::var("b"), Expr::not(Expr::var("c"))))
+        );
+        let e = parse_expr("lookup l x == True").unwrap();
+        assert_eq!(
+            e,
+            Expr::eq(Expr::call("lookup", [Expr::var("l"), Expr::var("x")]), Expr::tru())
+        );
+    }
+
+    #[test]
+    fn parses_constructor_applications() {
+        assert_eq!(parse_expr("Nil").unwrap(), Expr::ctor("Nil", vec![]));
+        assert_eq!(parse_expr("S x").unwrap(), Expr::ctor("S", vec![Expr::var("x")]));
+        assert_eq!(
+            parse_expr("Cons (x, Nil)").unwrap(),
+            Expr::ctor("Cons", vec![Expr::var("x"), Expr::ctor("Nil", vec![])])
+        );
+        assert_eq!(
+            parse_expr("Cons (S x, Cons (y, Nil))").unwrap(),
+            Expr::ctor(
+                "Cons",
+                vec![
+                    Expr::ctor("S", vec![Expr::var("x")]),
+                    Expr::ctor("Cons", vec![Expr::var("y"), Expr::ctor("Nil", vec![])])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn parses_integer_literals_as_peano() {
+        assert_eq!(parse_expr("2").unwrap(), Value::nat(2).to_expr().unwrap());
+        assert_eq!(parse_expr("0").unwrap(), Value::nat(0).to_expr().unwrap());
+    }
+
+    #[test]
+    fn parses_match_let_if_fun() {
+        let e = parse_expr(
+            "match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
+        )
+        .unwrap();
+        match e {
+            Expr::Match(_, arms) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].pattern, Pattern::ctor("Nil", vec![]));
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+
+        let e = parse_expr("let x = S O in plus x x").unwrap();
+        assert!(matches!(e, Expr::Let(_, _, _)));
+
+        let e = parse_expr("if leq x y then x else y").unwrap();
+        assert!(matches!(e, Expr::If(_, _, _)));
+
+        let e = parse_expr("fun (x : nat) (y : nat) -> plus x y").unwrap();
+        assert!(matches!(e, Expr::Lambda(_)));
+
+        let e = parse_expr("fix len (l : list) : nat = match l with | Nil -> O | Cons (h, t) -> S (len t) end").unwrap();
+        assert!(matches!(e, Expr::Fix(_)));
+    }
+
+    #[test]
+    fn parses_projections_and_tuples() {
+        let e = parse_expr("fst p").unwrap();
+        assert_eq!(e, Expr::Proj(0, Box::new(Expr::var("p"))));
+        let e = parse_expr("snd (x, y)").unwrap();
+        assert_eq!(
+            e,
+            Expr::Proj(1, Box::new(Expr::Tuple(vec![Expr::var("x"), Expr::var("y")])))
+        );
+        assert_eq!(parse_expr("()").unwrap(), Expr::Tuple(vec![]));
+    }
+
+    #[test]
+    fn parses_types() {
+        assert_eq!(parse_type("nat").unwrap(), Type::named("nat"));
+        assert_eq!(parse_type("t").unwrap(), Type::Abstract);
+        assert_eq!(
+            parse_type("t -> nat -> bool").unwrap(),
+            Type::arrows(vec![Type::Abstract, Type::named("nat")], Type::bool())
+        );
+        assert_eq!(
+            parse_type("(nat -> nat) -> t").unwrap(),
+            Type::arrow(Type::arrow(Type::named("nat"), Type::named("nat")), Type::Abstract)
+        );
+        assert_eq!(
+            parse_type("nat * bool").unwrap(),
+            Type::pair(Type::named("nat"), Type::bool())
+        );
+    }
+
+    #[test]
+    fn parses_data_declarations() {
+        let p = parse_program("type list = Nil | Cons of nat * list").unwrap();
+        let decls: Vec<_> = p.data_decls().collect();
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].ctors.len(), 2);
+        assert_eq!(decls[0].ctors[1].args.len(), 2);
+    }
+
+    #[test]
+    fn parses_top_level_lets() {
+        let p = parse_program(
+            r#"
+            type nat = O | S of nat
+            let rec plus (m : nat) (n : nat) : nat =
+              match m with
+              | O -> n
+              | S m2 -> S (plus m2 n)
+              end
+            let two : nat = S (S O)
+            "#,
+        )
+        .unwrap();
+        let lets: Vec<_> = p.top_lets().collect();
+        assert_eq!(lets.len(), 2);
+        assert!(lets[0].recursive);
+        assert_eq!(lets[0].params.len(), 2);
+        assert!(!lets[1].recursive);
+        assert!(lets[1].params.is_empty());
+    }
+
+    #[test]
+    fn parses_interface_module_and_spec() {
+        let src = r#"
+            type nat = O | S of nat
+            type list = Nil | Cons of nat * list
+
+            interface SET = sig
+              type t
+              val empty : t
+              val insert : t -> nat -> t
+              val lookup : t -> nat -> bool
+            end
+
+            module ListSet : SET = struct
+              type t = list
+              let empty : t = Nil
+              let rec lookup (l : t) (x : nat) : bool =
+                match l with
+                | Nil -> False
+                | Cons (hd, tl) -> hd == x || lookup tl x
+                end
+              let insert (l : t) (x : nat) : t =
+                if lookup l x then l else Cons (x, l)
+            end
+
+            spec (s : t) (i : nat) = lookup (insert s i) i
+        "#;
+        let p = parse_program(src).unwrap();
+        let iface = p.interface().unwrap();
+        assert_eq!(iface.name, Symbol::new("SET"));
+        assert_eq!(iface.vals.len(), 3);
+        assert_eq!(iface.vals[1].1, Type::arrows(vec![Type::Abstract, Type::named("nat")], Type::Abstract));
+        let m = p.module().unwrap();
+        assert_eq!(m.concrete, Type::named("list"));
+        assert_eq!(m.lets.len(), 3);
+        let spec = p.spec().unwrap();
+        assert_eq!(spec.params.len(), 2);
+        assert_eq!(spec.params[0].1, Type::Abstract);
+    }
+
+    #[test]
+    fn pretty_printed_expressions_reparse() {
+        let sources = [
+            "a || b && not c",
+            "lookup (insert s i) i",
+            "Cons (S x, Nil)",
+            "match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
+            "if leq x y then x else y",
+            "fun (x : nat) -> S x",
+            "fst (x, y) == snd (y, x)",
+            "let z = plus x y in z == x",
+        ];
+        for src in sources {
+            let parsed = parse_expr(src).unwrap();
+            let printed = parsed.to_string();
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+            assert_eq!(parsed, reparsed, "source `{src}` printed as `{printed}`");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_program("type = Nil").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+        let err = parse_expr("match x with").unwrap_err();
+        assert!(err.message.contains("end of input") || err.message.contains('|'));
+    }
+
+    #[test]
+    fn elaborated_program_evaluates_prelude_functions() {
+        let src = r#"
+            type nat = O | S of nat
+            let rec plus (m : nat) (n : nat) : nat =
+              match m with
+              | O -> n
+              | S m2 -> S (plus m2 n)
+              end
+        "#;
+        let program = parse_program(src).unwrap();
+        let elaborated = program.elaborate().unwrap();
+        let result = elaborated.eval_call("plus", &[Value::nat(2), Value::nat(2)]).unwrap();
+        assert_eq!(result, Value::nat(4));
+        assert_eq!(
+            elaborated.global_type("plus").unwrap(),
+            Type::arrows(vec![Type::named("nat"), Type::named("nat")], Type::named("nat"))
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! The standard prelude shared by examples and benchmarks: Peano naturals,
+//! lists of naturals, options, and comparison/arithmetic helpers.
+//!
+//! Benchmark programs that need these declarations simply prepend
+//! [`STD_PRELUDE`] to their own source (the paper's benchmarks likewise each
+//! carry a prelude of data type declarations and helper functions, §4.1).
+
+use crate::ast::Program;
+use crate::error::ParseError;
+use crate::parser::parse_program;
+
+/// The standard prelude source text.
+pub const STD_PRELUDE: &str = r#"
+(* ---- standard prelude ---------------------------------------------- *)
+
+type nat = O | S of nat
+type list = Nil | Cons of nat * list
+type natoption = NoneN | SomeN of nat
+
+let rec plus (m : nat) (n : nat) : nat =
+  match m with
+  | O -> n
+  | S m2 -> S (plus m2 n)
+  end
+
+let rec leq (m : nat) (n : nat) : bool =
+  match m with
+  | O -> True
+  | S m2 ->
+      match n with
+      | O -> False
+      | S n2 -> leq m2 n2
+      end
+  end
+
+let lt (m : nat) (n : nat) : bool = leq (S m) n
+
+let geq (m : nat) (n : nat) : bool = leq n m
+
+let gt (m : nat) (n : nat) : bool = lt n m
+
+let natmax (m : nat) (n : nat) : nat = if leq m n then n else m
+
+let natmin (m : nat) (n : nat) : nat = if leq m n then m else n
+
+let rec len (l : list) : nat =
+  match l with
+  | Nil -> O
+  | Cons (hd, tl) -> S (len tl)
+  end
+
+let rec append (a : list) (b : list) : list =
+  match a with
+  | Nil -> b
+  | Cons (hd, tl) -> Cons (hd, append tl b)
+  end
+
+let rec mem (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> hd == x || mem tl x
+  end
+
+let rec all_leq (x : nat) (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) -> leq x hd && all_leq x tl
+  end
+
+let rec all_geq (x : nat) (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) -> leq hd x && all_geq x tl
+  end
+
+(* ---- end of standard prelude ---------------------------------------- *)
+"#;
+
+/// Parses the standard prelude into a [`Program`].
+pub fn std_prelude_program() -> Result<Program, ParseError> {
+    parse_program(STD_PRELUDE)
+}
+
+/// Prepends the standard prelude to a benchmark/module source.
+pub fn with_std_prelude(source: &str) -> String {
+    format!("{STD_PRELUDE}\n{source}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn prelude_parses_and_elaborates() {
+        let program = std_prelude_program().unwrap();
+        let elaborated = program.elaborate().unwrap();
+        assert_eq!(
+            elaborated.eval_call("plus", &[Value::nat(3), Value::nat(4)]).unwrap(),
+            Value::nat(7)
+        );
+        assert_eq!(
+            elaborated.eval_call("leq", &[Value::nat(3), Value::nat(4)]).unwrap(),
+            Value::tru()
+        );
+        assert_eq!(
+            elaborated.eval_call("leq", &[Value::nat(5), Value::nat(4)]).unwrap(),
+            Value::fls()
+        );
+        assert_eq!(
+            elaborated.eval_call("lt", &[Value::nat(4), Value::nat(4)]).unwrap(),
+            Value::fls()
+        );
+        assert_eq!(
+            elaborated.eval_call("natmax", &[Value::nat(2), Value::nat(9)]).unwrap(),
+            Value::nat(9)
+        );
+        assert_eq!(
+            elaborated.eval_call("len", &[Value::nat_list(&[5, 6, 7])]).unwrap(),
+            Value::nat(3)
+        );
+        assert_eq!(
+            elaborated
+                .eval_call("append", &[Value::nat_list(&[1]), Value::nat_list(&[2])])
+                .unwrap(),
+            Value::nat_list(&[1, 2])
+        );
+        assert_eq!(
+            elaborated.eval_call("mem", &[Value::nat_list(&[1, 2, 3]), Value::nat(2)]).unwrap(),
+            Value::tru()
+        );
+        assert_eq!(
+            elaborated
+                .eval_call("all_leq", &[Value::nat(2), Value::nat_list(&[3, 4])])
+                .unwrap(),
+            Value::tru()
+        );
+        assert_eq!(
+            elaborated
+                .eval_call("all_geq", &[Value::nat(2), Value::nat_list(&[3, 1])])
+                .unwrap(),
+            Value::fls()
+        );
+    }
+
+    #[test]
+    fn with_std_prelude_composes() {
+        let src = with_std_prelude("let three : nat = plus 1 2");
+        let program = parse_program(&src).unwrap();
+        let elaborated = program.elaborate().unwrap();
+        assert_eq!(elaborated.eval_call("three", &[]).unwrap(), Value::nat(3));
+    }
+}

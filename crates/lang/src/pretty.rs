@@ -1,0 +1,278 @@
+//! Pretty-printing of expressions, patterns and values.
+//!
+//! The printers produce syntax that the parser accepts back (round-tripping
+//! is property-tested in the parser module), with two readability
+//! conveniences for values: Peano naturals print as decimal literals is *not*
+//! done for expressions (which must re-parse), only for values, and
+//! `Cons`/`Nil` lists of values print in `[a; b; c]` form.
+
+use std::fmt;
+
+use crate::ast::{Expr, Pattern};
+use crate::value::Value;
+
+/// Precedence levels, loosest to tightest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Lowest,
+    Or,
+    And,
+    Not,
+    Eq,
+    App,
+    Atom,
+}
+
+/// Formats an expression (used by `Display for Expr`).
+pub fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write_expr(e, Prec::Lowest, f)
+}
+
+fn write_paren_if(
+    cond: bool,
+    f: &mut fmt::Formatter<'_>,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if cond {
+        f.write_str("(")?;
+        inner(f)?;
+        f.write_str(")")
+    } else {
+        inner(f)
+    }
+}
+
+fn write_expr(e: &Expr, prec: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Var(x) => write!(f, "{x}"),
+        Expr::Ctor(c, args) if args.is_empty() => write!(f, "{c}"),
+        Expr::Ctor(c, args) => write_paren_if(prec > Prec::App, f, |f| {
+            write!(f, "{c} (")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_expr(a, Prec::Lowest, f)?;
+            }
+            f.write_str(")")
+        }),
+        Expr::Tuple(args) if args.is_empty() => f.write_str("()"),
+        Expr::Tuple(args) => {
+            f.write_str("(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_expr(a, Prec::Lowest, f)?;
+            }
+            f.write_str(")")
+        }
+        Expr::Proj(0, e) => write_paren_if(prec > Prec::App, f, |f| {
+            f.write_str("fst ")?;
+            write_expr(e, Prec::Atom, f)
+        }),
+        Expr::Proj(1, e) => write_paren_if(prec > Prec::App, f, |f| {
+            f.write_str("snd ")?;
+            write_expr(e, Prec::Atom, f)
+        }),
+        Expr::Proj(i, e) => write_paren_if(prec > Prec::App, f, |f| {
+            write!(f, "proj{i} ")?;
+            write_expr(e, Prec::Atom, f)
+        }),
+        Expr::App(fun, arg) => write_paren_if(prec > Prec::App, f, |f| {
+            write_expr(fun, Prec::App, f)?;
+            f.write_str(" ")?;
+            write_expr(arg, Prec::Atom, f)
+        }),
+        Expr::Lambda(l) => write_paren_if(prec > Prec::Lowest, f, |f| {
+            write!(f, "fun ({} : {}) -> ", l.param, l.param_ty)?;
+            write_expr(&l.body, Prec::Lowest, f)
+        }),
+        Expr::Fix(fx) => write_paren_if(prec > Prec::Lowest, f, |f| {
+            write!(f, "fix {} ({} : {}) : {} = ", fx.name, fx.param, fx.param_ty, fx.ret_ty)?;
+            write_expr(&fx.body, Prec::Lowest, f)
+        }),
+        Expr::Match(scrutinee, arms) => write_paren_if(prec > Prec::Lowest, f, |f| {
+            f.write_str("match ")?;
+            write_expr(scrutinee, Prec::Lowest, f)?;
+            f.write_str(" with")?;
+            for arm in arms {
+                write!(f, " | {} -> ", arm.pattern)?;
+                write_expr(&arm.body, Prec::Or, f)?;
+            }
+            f.write_str(" end")
+        }),
+        Expr::Let(x, bound, body) => write_paren_if(prec > Prec::Lowest, f, |f| {
+            write!(f, "let {x} = ")?;
+            write_expr(bound, Prec::Lowest, f)?;
+            f.write_str(" in ")?;
+            write_expr(body, Prec::Lowest, f)
+        }),
+        Expr::If(c, t, e2) => write_paren_if(prec > Prec::Lowest, f, |f| {
+            f.write_str("if ")?;
+            write_expr(c, Prec::Lowest, f)?;
+            f.write_str(" then ")?;
+            write_expr(t, Prec::Lowest, f)?;
+            f.write_str(" else ")?;
+            write_expr(e2, Prec::Lowest, f)
+        }),
+        Expr::Eq(a, b) => write_paren_if(prec > Prec::Eq, f, |f| {
+            write_expr(a, Prec::App, f)?;
+            f.write_str(" == ")?;
+            write_expr(b, Prec::App, f)
+        }),
+        Expr::And(a, b) => write_paren_if(prec > Prec::And, f, |f| {
+            write_expr(a, Prec::Not, f)?;
+            f.write_str(" && ")?;
+            write_expr(b, Prec::And, f)
+        }),
+        Expr::Or(a, b) => write_paren_if(prec > Prec::Or, f, |f| {
+            write_expr(a, Prec::And, f)?;
+            f.write_str(" || ")?;
+            write_expr(b, Prec::Or, f)
+        }),
+        Expr::Not(a) => write_paren_if(prec > Prec::Not, f, |f| {
+            f.write_str("not ")?;
+            write_expr(a, Prec::Atom, f)
+        }),
+    }
+}
+
+/// Formats a pattern (used by `Display for Pattern`).
+pub fn fmt_pattern(p: &Pattern, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        Pattern::Wildcard => f.write_str("_"),
+        Pattern::Var(x) => write!(f, "{x}"),
+        Pattern::Ctor(c, args) if args.is_empty() => write!(f, "{c}"),
+        Pattern::Ctor(c, args) => {
+            write!(f, "{c} (")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_pattern(a, f)?;
+            }
+            f.write_str(")")
+        }
+        Pattern::Tuple(args) => {
+            f.write_str("(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_pattern(a, f)?;
+            }
+            f.write_str(")")
+        }
+    }
+}
+
+/// Formats a value (used by `Display for Value`).
+pub fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if let Some(n) = v.as_nat() {
+        return write!(f, "{n}");
+    }
+    if let Some(items) = v.as_list() {
+        f.write_str("[")?;
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            fmt_value(item, f)?;
+        }
+        return f.write_str("]");
+    }
+    match v {
+        Value::Ctor(c, args) if args.is_empty() => write!(f, "{c}"),
+        Value::Ctor(c, args) => {
+            write!(f, "{c} (")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_value(a, f)?;
+            }
+            f.write_str(")")
+        }
+        Value::Tuple(args) => {
+            f.write_str("(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_value(a, f)?;
+            }
+            f.write_str(")")
+        }
+        Value::Closure(clo) => write!(f, "<fun {}>", clo.param),
+        Value::Native(native) => write!(f, "<native {}>", native.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::MatchArm;
+    use crate::types::Type;
+
+    #[test]
+    fn values_pretty_print() {
+        assert_eq!(Value::nat(3).to_string(), "3");
+        assert_eq!(Value::nat_list(&[1, 2]).to_string(), "[1; 2]");
+        assert_eq!(Value::pair(Value::nat(1), Value::tru()).to_string(), "(1, True)");
+        assert_eq!(Value::Ctor("Leaf".into(), vec![]).to_string(), "Leaf");
+    }
+
+    #[test]
+    fn expressions_pretty_print_with_precedence() {
+        let e = Expr::and(
+            Expr::or(Expr::var("a"), Expr::var("b")),
+            Expr::not(Expr::var("c")),
+        );
+        assert_eq!(e.to_string(), "(a || b) && not c");
+
+        let e = Expr::or(Expr::var("a"), Expr::and(Expr::var("b"), Expr::var("c")));
+        assert_eq!(e.to_string(), "a || b && c");
+
+        let e = Expr::call("lookup", [Expr::var("l"), Expr::var("x")]);
+        assert_eq!(e.to_string(), "lookup l x");
+
+        let e = Expr::eq(Expr::call("f", [Expr::var("x")]), Expr::var("y"));
+        assert_eq!(e.to_string(), "f x == y");
+    }
+
+    #[test]
+    fn nested_application_parenthesized() {
+        let e = Expr::call("f", [Expr::call("g", [Expr::var("x")])]);
+        assert_eq!(e.to_string(), "f (g x)");
+    }
+
+    #[test]
+    fn match_and_lambda_print() {
+        let e = Expr::lambda(
+            "x",
+            Type::named("list"),
+            Expr::match_(
+                Expr::var("x"),
+                vec![
+                    MatchArm::new(Pattern::ctor("Nil", vec![]), Expr::tru()),
+                    MatchArm::new(
+                        Pattern::ctor("Cons", vec![Pattern::var("h"), Pattern::Wildcard]),
+                        Expr::fls(),
+                    ),
+                ],
+            ),
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("fun (x : list) ->"));
+        assert!(s.contains("| Nil -> True"));
+        assert!(s.contains("| Cons (h, _) -> False"));
+        assert!(s.ends_with("end"));
+    }
+
+    #[test]
+    fn ctor_expr_prints_saturated() {
+        let e = Expr::ctor("Cons", vec![Expr::var("x"), Expr::ctor("Nil", vec![])]);
+        assert_eq!(e.to_string(), "Cons (x, Nil)");
+    }
+}

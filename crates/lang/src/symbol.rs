@@ -1,0 +1,163 @@
+//! Lightweight interned identifiers.
+//!
+//! Identifiers (variable names, constructor names, type names) are used and
+//! cloned pervasively by the interpreter, the enumerators and the
+//! synthesizers.  [`Symbol`] wraps an `Rc<str>` so that cloning is a
+//! reference-count bump, while a thread-local intern table makes repeated
+//! construction of the same name (e.g. `"Cons"` during enumeration of tens of
+//! thousands of values) reuse a single allocation.
+//!
+//! Equality, ordering and hashing are all by string *content*, so symbols
+//! created on different threads (or before/after the intern table is dropped)
+//! still compare correctly.
+
+use std::borrow::Borrow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned identifier.
+#[derive(Clone)]
+pub struct Symbol(Rc<str>);
+
+thread_local! {
+    static INTERN: RefCell<HashMap<Box<str>, Rc<str>>> = RefCell::new(HashMap::new());
+}
+
+impl Symbol {
+    /// Creates (or reuses) a symbol for `name`.
+    pub fn new(name: &str) -> Self {
+        INTERN.with(|table| {
+            let mut table = table.borrow_mut();
+            if let Some(existing) = table.get(name) {
+                Symbol(existing.clone())
+            } else {
+                let rc: Rc<str> = Rc::from(name);
+                table.insert(Box::from(name), rc.clone());
+                Symbol(rc)
+            }
+        })
+    }
+
+    /// The textual content of the symbol.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `true` when the symbol starts with an ASCII uppercase letter,
+    /// the surface-syntax convention for constructor names.
+    pub fn is_ctor_like(&self) -> bool {
+        self.0.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(&s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn symbols_with_same_content_are_equal() {
+        assert_eq!(Symbol::new("Cons"), Symbol::new("Cons"));
+        assert_ne!(Symbol::new("Cons"), Symbol::new("Nil"));
+    }
+
+    #[test]
+    fn interning_reuses_allocations() {
+        let a = Symbol::new("hello");
+        let b = Symbol::new("hello");
+        assert!(Rc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn symbols_hash_by_content() {
+        let mut set = HashSet::new();
+        set.insert(Symbol::new("x"));
+        assert!(set.contains(&Symbol::new("x")));
+        assert!(set.contains("x"));
+        assert!(!set.contains("y"));
+    }
+
+    #[test]
+    fn ctor_like_detection() {
+        assert!(Symbol::new("Cons").is_ctor_like());
+        assert!(!Symbol::new("cons").is_ctor_like());
+        assert!(!Symbol::new("_x").is_ctor_like());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Symbol::new("a") < Symbol::new("b"));
+        assert!(Symbol::new("Cons") < Symbol::new("Nil"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::new("insert");
+        assert_eq!(s.to_string(), "insert");
+        assert_eq!(format!("{s:?}"), "\"insert\"");
+    }
+}

@@ -1,0 +1,223 @@
+//! Small shared utilities.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline shared by long-running components (the verifier, the
+/// synthesizers and the inference driver), checked cooperatively.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: run to completion.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `duration` from now.
+    pub fn after(duration: Duration) -> Self {
+        Deadline { at: Some(Instant::now() + duration) }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// `true` once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time remaining, if a deadline is set (zero once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+
+/// A set that remembers insertion order.
+///
+/// The inference algorithm's example sets (`V+`, `V−`) must behave as sets —
+/// membership checks drive the weakening/strengthening decisions — but the
+/// order in which examples were discovered matters for reproducibility of
+/// synthesis results, so a plain `HashSet` (iteration order unstable across
+/// runs) is not appropriate.
+#[derive(Debug, Clone)]
+pub struct OrderedSet<T> {
+    items: Vec<T>,
+    index: HashSet<T>,
+}
+
+impl<T> Default for OrderedSet<T> {
+    fn default() -> Self {
+        OrderedSet { items: Vec::new(), index: HashSet::new() }
+    }
+}
+
+impl<T: Eq + Hash + Clone> OrderedSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        OrderedSet { items: Vec::new(), index: HashSet::new() }
+    }
+
+    /// Builds a set from an iterator, keeping first occurrences.
+    pub fn from_iter(items: impl IntoIterator<Item = T>) -> Self {
+        let mut set = Self::new();
+        for item in items {
+            set.insert(item);
+        }
+        set
+    }
+
+    /// Inserts an item; returns `true` if it was not already present.
+    pub fn insert(&mut self, item: T) -> bool {
+        if self.index.contains(&item) {
+            false
+        } else {
+            self.index.insert(item.clone());
+            self.items.push(item);
+            true
+        }
+    }
+
+    /// Inserts every item from the iterator; returns how many were new.
+    pub fn extend(&mut self, items: impl IntoIterator<Item = T>) -> usize {
+        items.into_iter().filter(|item| self.insert(item.clone())).count()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &T) -> bool {
+        self.index.contains(item)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// The elements as a slice, in insertion order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.index.clear();
+    }
+
+    /// Removes an item if present; returns `true` if it was present.
+    /// Preserves the order of the remaining items.
+    pub fn remove(&mut self, item: &T) -> bool {
+        if self.index.remove(item) {
+            self.items.retain(|x| x != item);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for OrderedSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::from_iter(iter)
+    }
+}
+
+impl<T: Eq + Hash + Clone> IntoIterator for OrderedSet<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a, T: Eq + Hash + Clone> IntoIterator for &'a OrderedSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T: Eq + Hash + Clone> PartialEq for OrderedSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl<T: Eq + Hash + Clone> Eq for OrderedSet<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_expire() {
+        assert!(!Deadline::none().expired());
+        assert!(Deadline::none().remaining().is_none());
+        assert!(!Deadline::after(Duration::from_secs(3600)).expired());
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut set = OrderedSet::new();
+        assert!(set.insert(3));
+        assert!(set.insert(1));
+        assert!(!set.insert(3));
+        assert!(set.insert(2));
+        let items: Vec<i32> = set.iter().copied().collect();
+        assert_eq!(items, vec![3, 1, 2]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn membership_and_removal() {
+        let mut set: OrderedSet<&str> = ["a", "b", "c"].into_iter().collect();
+        assert!(set.contains(&"b"));
+        assert!(set.remove(&"b"));
+        assert!(!set.contains(&"b"));
+        assert!(!set.remove(&"b"));
+        assert_eq!(set.as_slice(), &["a", "c"]);
+    }
+
+    #[test]
+    fn equality_ignores_order() {
+        let a: OrderedSet<i32> = [1, 2, 3].into_iter().collect();
+        let b: OrderedSet<i32> = [3, 2, 1].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extend_counts_new_items() {
+        let mut set: OrderedSet<i32> = [1, 2].into_iter().collect();
+        assert_eq!(set.extend([2, 3, 4]), 2);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut set: OrderedSet<i32> = [1].into_iter().collect();
+        set.clear();
+        assert!(set.is_empty());
+    }
+}

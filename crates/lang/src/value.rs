@@ -1,0 +1,492 @@
+//! Runtime values and evaluation environments.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use crate::ast::Expr;
+use crate::error::EvalError;
+use crate::symbol::Symbol;
+
+/// A runtime closure: a suspended function body together with the environment
+/// it was created in.  Recursive closures additionally remember their own
+/// name so applications can rebind it.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// The parameter name.
+    pub param: Symbol,
+    /// The function body.
+    pub body: Expr,
+    /// The captured environment.
+    pub env: Env,
+    /// For recursive closures, the function's own name.
+    pub rec_name: Option<Symbol>,
+}
+
+/// A host-implemented function value.
+///
+/// Native functions exist so that host code (in particular the verifier's
+/// higher-order contract instrumentation, §4.2 of the paper) can observe the
+/// values flowing across a module boundary: the host closure is invoked with
+/// the fully collected argument list and may log or check them before
+/// delegating to object-level code.
+pub struct NativeFn {
+    /// A diagnostic name.
+    pub name: Symbol,
+    /// How many curried arguments the function expects before being invoked.
+    pub arity: usize,
+    /// Arguments collected by partial applications so far.
+    pub collected: Vec<Value>,
+    /// The host implementation, called once all arguments are available.
+    #[allow(clippy::type_complexity)]
+    pub func: Rc<dyn Fn(&[Value]) -> Result<Value, EvalError>>,
+}
+
+impl fmt::Debug for NativeFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeFn")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .field("collected", &self.collected)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A runtime value: a constructor tree, a tuple, a closure, or a
+/// host-implemented function.
+///
+/// First-order values (no closures) support structural equality, hashing and
+/// size measurement; these are the values the enumerative verifier and the
+/// synthesizers manipulate.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A saturated constructor application.
+    Ctor(Symbol, Vec<Value>),
+    /// A tuple (the empty tuple is the unit value).
+    Tuple(Vec<Value>),
+    /// A function value.
+    Closure(Rc<Closure>),
+    /// A host-implemented function value.
+    Native(Rc<NativeFn>),
+}
+
+impl Value {
+    /// The boolean value `True`.
+    pub fn tru() -> Value {
+        Value::Ctor(Symbol::new("True"), Vec::new())
+    }
+
+    /// The boolean value `False`.
+    pub fn fls() -> Value {
+        Value::Ctor(Symbol::new("False"), Vec::new())
+    }
+
+    /// A boolean value.
+    pub fn bool(b: bool) -> Value {
+        if b {
+            Value::tru()
+        } else {
+            Value::fls()
+        }
+    }
+
+    /// The Peano natural for `n` (`S (S ... O)`).
+    pub fn nat(n: u64) -> Value {
+        let mut v = Value::Ctor(Symbol::new("O"), Vec::new());
+        for _ in 0..n {
+            v = Value::Ctor(Symbol::new("S"), vec![v]);
+        }
+        v
+    }
+
+    /// A `list` of Peano naturals built from `Cons`/`Nil`.
+    pub fn nat_list(items: &[u64]) -> Value {
+        let mut v = Value::Ctor(Symbol::new("Nil"), Vec::new());
+        for &n in items.iter().rev() {
+            v = Value::Ctor(Symbol::new("Cons"), vec![Value::nat(n), v]);
+        }
+        v
+    }
+
+    /// The unit value.
+    pub fn unit() -> Value {
+        Value::Tuple(Vec::new())
+    }
+
+    /// A pair value.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Tuple(vec![a, b])
+    }
+
+    /// Interprets the value as a boolean, if it is `True` or `False`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Ctor(c, args) if args.is_empty() && c.as_str() == "True" => Some(true),
+            Value::Ctor(c, args) if args.is_empty() && c.as_str() == "False" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a Peano natural, if it is built from `S`/`O`.
+    pub fn as_nat(&self) -> Option<u64> {
+        let mut n = 0u64;
+        let mut cur = self;
+        loop {
+            match cur {
+                Value::Ctor(c, args) if c.as_str() == "O" && args.is_empty() => return Some(n),
+                Value::Ctor(c, args) if c.as_str() == "S" && args.len() == 1 => {
+                    n += 1;
+                    cur = &args[0];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Interprets the value as a `Cons`/`Nil` list of values.
+    pub fn as_list(&self) -> Option<Vec<&Value>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Value::Ctor(c, args) if c.as_str() == "Nil" && args.is_empty() => return Some(out),
+                Value::Ctor(c, args) if c.as_str() == "Cons" && args.len() == 2 => {
+                    out.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Builds a host-implemented function value of the given arity.
+    pub fn native(
+        name: &str,
+        arity: usize,
+        func: impl Fn(&[Value]) -> Result<Value, EvalError> + 'static,
+    ) -> Value {
+        Value::Native(Rc::new(NativeFn {
+            name: Symbol::new(name),
+            arity,
+            collected: Vec::new(),
+            func: Rc::new(func),
+        }))
+    }
+
+    /// `true` when the value contains no closures or native functions.
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            Value::Closure(_) | Value::Native(_) => false,
+            Value::Ctor(_, args) | Value::Tuple(args) => args.iter().all(Value::is_first_order),
+        }
+    }
+
+    /// Number of constructor and tuple nodes in the value — the "AST node"
+    /// size measure the paper's verifier bounds enumeration by.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Closure(_) | Value::Native(_) => 1,
+            Value::Ctor(_, args) | Value::Tuple(args) => {
+                1 + args.iter().map(Value::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// All strict subvalues (transitively), in pre-order.  Used for the trace
+    /// completeness closure of §4.3.
+    pub fn strict_subvalues(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        fn walk(v: &Value, out: &mut Vec<Value>) {
+            if let Value::Ctor(_, args) | Value::Tuple(args) = v {
+                for a in args {
+                    out.push(a.clone());
+                    walk(a, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Checks whether the (first-order part of the) value inhabits `ty`
+    /// under the given data type declarations.  Closures and native functions
+    /// never have a 0-order type.
+    pub fn has_type(&self, tyenv: &crate::types::TypeEnv, ty: &crate::types::Type) -> bool {
+        use crate::types::Type;
+        match (self, ty) {
+            (Value::Ctor(c, args), Type::Named(_)) => match tyenv.ctor(c) {
+                Some(info) => {
+                    Type::Named(info.data_type.clone()) == *ty
+                        && info.args.len() == args.len()
+                        && args.iter().zip(&info.args).all(|(a, t)| a.has_type(tyenv, t))
+                }
+                None => false,
+            },
+            (Value::Tuple(items), Type::Tuple(tys)) => {
+                items.len() == tys.len()
+                    && items.iter().zip(tys).all(|(a, t)| a.has_type(tyenv, t))
+            }
+            _ => false,
+        }
+    }
+
+    /// Converts the value into the expression that denotes it.  Closures
+    /// cannot be converted and yield `None`.
+    pub fn to_expr(&self) -> Option<Expr> {
+        match self {
+            Value::Ctor(c, args) => {
+                let args: Option<Vec<Expr>> = args.iter().map(Value::to_expr).collect();
+                Some(Expr::Ctor(c.clone(), args?))
+            }
+            Value::Tuple(args) => {
+                let args: Option<Vec<Expr>> = args.iter().map(Value::to_expr).collect();
+                Some(Expr::Tuple(args?))
+            }
+            Value::Closure(_) | Value::Native(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => c1 == c2 && a1 == a2,
+            (Value::Tuple(a1), Value::Tuple(a2)) => a1 == a2,
+            (Value::Closure(c1), Value::Closure(c2)) => Rc::ptr_eq(c1, c2),
+            (Value::Native(n1), Value::Native(n2)) => Rc::ptr_eq(n1, n2),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Ctor(c, args) => {
+                0u8.hash(state);
+                c.hash(state);
+                args.hash(state);
+            }
+            Value::Tuple(args) => {
+                1u8.hash(state);
+                args.hash(state);
+            }
+            Value::Closure(c) => {
+                2u8.hash(state);
+                (Rc::as_ptr(c) as usize).hash(state);
+            }
+            Value::Native(n) => {
+                3u8.hash(state);
+                (Rc::as_ptr(n) as *const () as usize).hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Peano naturals print as decimal numbers, `Cons`/`Nil` lists print as
+    /// `[a; b; c]`, everything else prints in constructor form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_value(self, f)
+    }
+}
+
+/// A persistent evaluation environment, implemented as an immutable linked
+/// list so that closures can capture it cheaply.
+#[derive(Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+struct EnvNode {
+    name: Symbol,
+    value: Value,
+    rest: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Returns a new environment with `name` bound to `value`, shadowing any
+    /// previous binding.
+    pub fn bind(&self, name: Symbol, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode { name, value, rest: self.clone() })))
+    }
+
+    /// Looks up the most recent binding of `name`.
+    pub fn lookup(&self, name: &Symbol) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+
+    /// `true` when the environment has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Iterates over the bindings, most recent first.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Value)> {
+        EnvIter { cur: self }
+    }
+
+    /// Number of (possibly shadowed) bindings.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+}
+
+struct EnvIter<'a> {
+    cur: &'a Env,
+}
+
+impl<'a> Iterator for EnvIter<'a> {
+    type Item = (&'a Symbol, &'a Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.cur.0.as_ref()?;
+        self.cur = &node.rest;
+        Some((&node.name, &node.value))
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (k, v) in self.iter() {
+            map.entry(&k.as_str(), &format!("{v}"));
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_round_trip() {
+        for n in 0..10 {
+            assert_eq!(Value::nat(n).as_nat(), Some(n));
+        }
+        assert_eq!(Value::tru().as_nat(), None);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::bool(false).as_bool(), Some(false));
+        assert_eq!(Value::nat(0).as_bool(), None);
+    }
+
+    #[test]
+    fn nat_list_round_trip() {
+        let v = Value::nat_list(&[1, 2, 3]);
+        let items = v.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_nat(), Some(1));
+        assert_eq!(items[2].as_nat(), Some(3));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Value::nat(0).size(), 1);
+        assert_eq!(Value::nat(3).size(), 4);
+        // [1] = Cons(S O, Nil) = 1 + (2 + 1) = 4
+        assert_eq!(Value::nat_list(&[1]).size(), 4);
+        assert_eq!(Value::pair(Value::nat(0), Value::nat(0)).size(), 3);
+    }
+
+    #[test]
+    fn strict_subvalues_of_a_list() {
+        let v = Value::nat_list(&[1]);
+        let subs = v.strict_subvalues();
+        // Cons(S O, Nil) has subvalues: S O, O, Nil
+        assert!(subs.contains(&Value::nat(1)));
+        assert!(subs.contains(&Value::nat(0)));
+        assert!(subs.contains(&Value::nat_list(&[])));
+        assert!(!subs.contains(&v));
+    }
+
+    #[test]
+    fn structural_equality_and_hashing() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::nat_list(&[1, 2]));
+        assert!(set.contains(&Value::nat_list(&[1, 2])));
+        assert!(!set.contains(&Value::nat_list(&[2, 1])));
+    }
+
+    #[test]
+    fn env_binding_and_shadowing() {
+        let env = Env::empty();
+        assert!(env.is_empty());
+        let env = env.bind(Symbol::new("x"), Value::nat(1));
+        let env2 = env.bind(Symbol::new("x"), Value::nat(2));
+        assert_eq!(env.lookup(&Symbol::new("x")), Some(&Value::nat(1)));
+        assert_eq!(env2.lookup(&Symbol::new("x")), Some(&Value::nat(2)));
+        assert_eq!(env2.len(), 2);
+        assert_eq!(env2.lookup(&Symbol::new("y")), None);
+    }
+
+    #[test]
+    fn has_type_checks_constructor_shapes() {
+        use crate::types::{CtorDecl, DataDecl, Type, TypeEnv};
+        let mut env = TypeEnv::new();
+        env.declare(DataDecl::new(
+            "nat",
+            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+        ))
+        .unwrap();
+        env.declare(DataDecl::new(
+            "list",
+            vec![
+                CtorDecl::new("Nil", vec![]),
+                CtorDecl::new("Cons", vec![Type::named("nat"), Type::named("list")]),
+            ],
+        ))
+        .unwrap();
+        assert!(Value::nat(3).has_type(&env, &Type::named("nat")));
+        assert!(!Value::nat(3).has_type(&env, &Type::named("list")));
+        assert!(Value::nat_list(&[1]).has_type(&env, &Type::named("list")));
+        assert!(Value::tru().has_type(&env, &Type::bool()));
+        assert!(Value::pair(Value::nat(1), Value::tru())
+            .has_type(&env, &Type::pair(Type::named("nat"), Type::bool())));
+        assert!(!Value::pair(Value::nat(1), Value::tru())
+            .has_type(&env, &Type::pair(Type::bool(), Type::bool())));
+    }
+
+    #[test]
+    fn value_to_expr_round_trip_shape() {
+        let v = Value::nat_list(&[0, 1]);
+        let e = v.to_expr().unwrap();
+        match e {
+            Expr::Ctor(c, args) => {
+                assert_eq!(c.as_str(), "Cons");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected expr {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_order_detection() {
+        assert!(Value::nat(3).is_first_order());
+        let clo = Value::Closure(Rc::new(Closure {
+            param: Symbol::new("x"),
+            body: Expr::var("x"),
+            env: Env::empty(),
+            rec_name: None,
+        }));
+        assert!(!clo.is_first_order());
+        assert!(!Value::pair(Value::nat(0), clo).is_first_order());
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthesizer errors.
+
+use std::fmt;
+
+/// Why a synthesis call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The positive and negative example sets overlap, so no predicate can
+    /// separate them (the paper's `Synth` fails in this case).
+    InconsistentExamples(String),
+    /// The search space was exhausted (up to the configured limits) without
+    /// finding a separating predicate.
+    NoCandidate,
+    /// The shared deadline expired.
+    Timeout,
+    /// Anything else (an internal evaluation failure, a malformed problem…).
+    Other(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InconsistentExamples(value) => {
+                write!(f, "example sets overlap on {value}")
+            }
+            SynthError::NoCandidate => f.write_str("no separating predicate found within limits"),
+            SynthError::Timeout => f.write_str("synthesis timed out"),
+            SynthError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SynthError::NoCandidate.to_string().contains("no separating"));
+        assert!(SynthError::InconsistentExamples("[1]".into()).to_string().contains("[1]"));
+        assert!(SynthError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Positive/negative example sets and the trace-completeness closure.
+
+use hanoi_lang::types::{Type, TypeEnv};
+use hanoi_lang::util::OrderedSet;
+use hanoi_lang::value::Value;
+
+use crate::error::SynthError;
+
+/// The `V+` / `V−` example pair handed to a synthesizer.
+///
+/// Positives are values known (or required) to satisfy the invariant;
+/// negatives are values the invariant must reject.  The two sets must stay
+/// disjoint — an overlap means the caller's bookkeeping is broken and the
+/// synthesizer cannot possibly succeed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExampleSet {
+    positives: OrderedSet<Value>,
+    negatives: OrderedSet<Value>,
+}
+
+impl ExampleSet {
+    /// An empty example set.
+    pub fn new() -> Self {
+        ExampleSet::default()
+    }
+
+    /// Builds an example set from two collections (first occurrence wins).
+    pub fn from_sets(
+        positives: impl IntoIterator<Item = Value>,
+        negatives: impl IntoIterator<Item = Value>,
+    ) -> Result<Self, SynthError> {
+        let mut set = ExampleSet::new();
+        for v in positives {
+            set.add_positive(v)?;
+        }
+        for v in negatives {
+            set.add_negative(v)?;
+        }
+        Ok(set)
+    }
+
+    /// Adds a positive example; fails if it is already negative.
+    pub fn add_positive(&mut self, value: Value) -> Result<bool, SynthError> {
+        if self.negatives.contains(&value) {
+            return Err(SynthError::InconsistentExamples(value.to_string()));
+        }
+        Ok(self.positives.insert(value))
+    }
+
+    /// Adds a negative example; fails if it is already positive.
+    pub fn add_negative(&mut self, value: Value) -> Result<bool, SynthError> {
+        if self.positives.contains(&value) {
+            return Err(SynthError::InconsistentExamples(value.to_string()));
+        }
+        Ok(self.negatives.insert(value))
+    }
+
+    /// The positive examples, in insertion order.
+    pub fn positives(&self) -> &[Value] {
+        self.positives.as_slice()
+    }
+
+    /// The negative examples, in insertion order.
+    pub fn negatives(&self) -> &[Value] {
+        self.negatives.as_slice()
+    }
+
+    /// Total number of examples.
+    pub fn len(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+
+    /// `true` when there are no examples at all.
+    pub fn is_empty(&self) -> bool {
+        self.positives.is_empty() && self.negatives.is_empty()
+    }
+
+    /// `true` if `value` appears in either set.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.positives.contains(value) || self.negatives.contains(value)
+    }
+
+    /// The label of `value`, if it is classified.
+    pub fn label(&self, value: &Value) -> Option<bool> {
+        if self.positives.contains(value) {
+            Some(true)
+        } else if self.negatives.contains(value) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// All examples with their labels, positives first.
+    pub fn labeled(&self) -> Vec<(Value, bool)> {
+        self.positives
+            .iter()
+            .map(|v| (v.clone(), true))
+            .chain(self.negatives.iter().map(|v| (v.clone(), false)))
+            .collect()
+    }
+
+    /// The trace-completeness closure of §4.3: every strict subvalue of an
+    /// example that itself has the concrete type and is not yet classified is
+    /// added as a *negative* example.  (If such a value is in fact
+    /// constructible, a later visible-inductiveness check will move it to the
+    /// positives.)
+    ///
+    /// Returns the closed example set and the number of values added.
+    pub fn trace_completed(&self, tyenv: &TypeEnv, concrete: &Type) -> (ExampleSet, usize) {
+        let mut closed = self.clone();
+        let mut added = 0usize;
+        let seeds: Vec<Value> =
+            self.positives.iter().chain(self.negatives.iter()).cloned().collect();
+        for seed in seeds {
+            for sub in seed.strict_subvalues() {
+                if sub.has_type(tyenv, concrete) && !closed.contains(&sub) {
+                    closed
+                        .add_negative(sub)
+                        .expect("unclassified value cannot conflict");
+                    added += 1;
+                }
+            }
+        }
+        (closed, added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanoi_lang::types::{CtorDecl, DataDecl};
+
+    fn tyenv() -> TypeEnv {
+        let mut env = TypeEnv::new();
+        env.declare(DataDecl::new(
+            "nat",
+            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+        ))
+        .unwrap();
+        env.declare(DataDecl::new(
+            "list",
+            vec![
+                CtorDecl::new("Nil", vec![]),
+                CtorDecl::new("Cons", vec![Type::named("nat"), Type::named("list")]),
+            ],
+        ))
+        .unwrap();
+        env
+    }
+
+    #[test]
+    fn insertion_and_labels() {
+        let mut ex = ExampleSet::new();
+        assert!(ex.is_empty());
+        assert!(ex.add_positive(Value::nat_list(&[])).unwrap());
+        assert!(!ex.add_positive(Value::nat_list(&[])).unwrap());
+        assert!(ex.add_negative(Value::nat_list(&[1, 1])).unwrap());
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex.label(&Value::nat_list(&[])), Some(true));
+        assert_eq!(ex.label(&Value::nat_list(&[1, 1])), Some(false));
+        assert_eq!(ex.label(&Value::nat_list(&[7])), None);
+        assert_eq!(ex.labeled().len(), 2);
+    }
+
+    #[test]
+    fn conflicts_are_rejected() {
+        let mut ex = ExampleSet::new();
+        ex.add_positive(Value::nat_list(&[1])).unwrap();
+        let err = ex.add_negative(Value::nat_list(&[1])).unwrap_err();
+        assert!(matches!(err, SynthError::InconsistentExamples(_)));
+        assert!(ExampleSet::from_sets(
+            [Value::nat_list(&[1])],
+            [Value::nat_list(&[1])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_completion_adds_subvalues_of_the_concrete_type_as_negatives() {
+        let env = tyenv();
+        let mut ex = ExampleSet::new();
+        // [2; 1] has strict subvalues 2, 1, [1], [] of which only the lists
+        // have the concrete type `list`.
+        ex.add_positive(Value::nat_list(&[2, 1])).unwrap();
+        let (closed, added) = ex.trace_completed(&env, &Type::named("list"));
+        assert_eq!(added, 2);
+        assert_eq!(closed.label(&Value::nat_list(&[1])), Some(false));
+        assert_eq!(closed.label(&Value::nat_list(&[])), Some(false));
+        assert_eq!(closed.label(&Value::nat_list(&[2, 1])), Some(true));
+        // The nat subvalues must not have been added.
+        assert_eq!(closed.label(&Value::nat(1)), None);
+    }
+
+    #[test]
+    fn trace_completion_is_idempotent_and_respects_existing_labels() {
+        let env = tyenv();
+        let mut ex = ExampleSet::new();
+        ex.add_positive(Value::nat_list(&[2, 1])).unwrap();
+        ex.add_positive(Value::nat_list(&[1])).unwrap();
+        let (closed, added) = ex.trace_completed(&env, &Type::named("list"));
+        assert_eq!(added, 1); // only [] is new; [1] was already positive
+        assert_eq!(closed.label(&Value::nat_list(&[1])), Some(true));
+        let (again, added_again) = closed.trace_completed(&env, &Type::named("list"));
+        assert_eq!(added_again, 0);
+        assert_eq!(again, closed);
+    }
+}

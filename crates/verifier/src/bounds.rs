@@ -1,0 +1,135 @@
+//! Enumeration bounds for the testing verifier.
+
+pub use hanoi_lang::util::Deadline;
+
+/// Size and count bounds for bounded enumerative verification (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierBounds {
+    /// Maximum number of structures tried for a single-quantifier property.
+    pub single_count: usize,
+    /// Maximum AST-node size of structures for a single-quantifier property.
+    pub single_size: usize,
+    /// Maximum number of structures tried *per quantifier* for properties
+    /// with two or more quantifiers.
+    pub multi_count: usize,
+    /// Maximum AST-node size of structures for multi-quantifier properties.
+    pub multi_size: usize,
+    /// Maximum total number of argument tuples processed per check.
+    pub total_cap: usize,
+    /// Maximum body size of enumerated higher-order (functional) arguments.
+    pub hof_body_size: usize,
+    /// Maximum number of functional arguments tried per higher-order
+    /// position.
+    pub hof_max_functions: usize,
+    /// Fuel budget per object-level evaluation.
+    pub fuel: u64,
+}
+
+impl Default for VerifierBounds {
+    /// The paper's bounds: 3000 structures / 30 nodes (single quantifier),
+    /// 3000 structures / 15 nodes per quantifier and 30000 tuples in total
+    /// (multiple quantifiers).
+    fn default() -> Self {
+        VerifierBounds {
+            single_count: 3000,
+            single_size: 30,
+            multi_count: 3000,
+            multi_size: 15,
+            total_cap: 30_000,
+            hof_body_size: 6,
+            hof_max_functions: 40,
+            fuel: 200_000,
+        }
+    }
+}
+
+impl VerifierBounds {
+    /// The paper's bounds (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Reduced bounds for fast unit/integration tests and quick experiment
+    /// runs: the same shape, two orders of magnitude fewer tests.
+    pub fn quick() -> Self {
+        VerifierBounds {
+            single_count: 400,
+            single_size: 14,
+            multi_count: 150,
+            multi_size: 9,
+            total_cap: 4_000,
+            hof_body_size: 5,
+            hof_max_functions: 12,
+            fuel: 100_000,
+        }
+    }
+
+    /// Per-quantifier count bound for a property with `quantifiers`
+    /// universally quantified variables.
+    pub fn count_for(&self, quantifiers: usize) -> usize {
+        if quantifiers <= 1 {
+            self.single_count
+        } else {
+            self.multi_count
+        }
+    }
+
+    /// Per-quantifier size bound for a property with `quantifiers`
+    /// universally quantified variables.
+    pub fn size_for(&self, quantifiers: usize) -> usize {
+        if quantifiers <= 1 {
+            self.single_size
+        } else {
+            self.multi_size
+        }
+    }
+
+    /// Total tuple cap for a property with `quantifiers` quantified
+    /// variables.
+    pub fn cap_for(&self, quantifiers: usize) -> usize {
+        if quantifiers <= 1 {
+            self.single_count
+        } else {
+            self.total_cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4_3() {
+        let b = VerifierBounds::paper();
+        assert_eq!(b.single_count, 3000);
+        assert_eq!(b.single_size, 30);
+        assert_eq!(b.multi_count, 3000);
+        assert_eq!(b.multi_size, 15);
+        assert_eq!(b.total_cap, 30_000);
+    }
+
+    #[test]
+    fn per_quantifier_selection() {
+        let b = VerifierBounds::paper();
+        assert_eq!(b.count_for(1), 3000);
+        assert_eq!(b.size_for(1), 30);
+        assert_eq!(b.count_for(2), 3000);
+        assert_eq!(b.size_for(2), 15);
+        assert_eq!(b.cap_for(1), 3000);
+        assert_eq!(b.cap_for(3), 30_000);
+    }
+
+    #[test]
+    fn quick_bounds_are_smaller() {
+        let q = VerifierBounds::quick();
+        let p = VerifierBounds::paper();
+        assert!(q.single_count < p.single_count);
+        assert!(q.total_cap < p.total_cap);
+    }
+
+    #[test]
+    fn deadlines_are_reexported() {
+        assert!(!Deadline::none().expired());
+    }
+}

@@ -1,0 +1,171 @@
+//! Verification outcomes, counterexamples and errors.
+
+use std::fmt;
+
+use hanoi_lang::error::EvalError;
+use hanoi_lang::symbol::Symbol;
+use hanoi_lang::value::Value;
+
+/// A failure of the verifier itself (as opposed to a counterexample).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// The shared wall-clock deadline expired mid-check.
+    Timeout,
+    /// A module operation or the specification failed to evaluate (this
+    /// indicates a broken benchmark, not a broken candidate).
+    Eval(EvalError),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::Timeout => f.write_str("verification timed out"),
+            VerifierError::Eval(e) => write!(f, "evaluation failed during verification: {e}"),
+            VerifierError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+impl From<EvalError> for VerifierError {
+    fn from(e: EvalError) -> Self {
+        VerifierError::Eval(e)
+    }
+}
+
+/// A sufficiency counterexample: a full specification argument tuple on which
+/// the candidate invariant holds (for every abstract-type argument) but the
+/// specification does not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SufficiencyCex {
+    /// The full argument tuple, in specification parameter order.
+    pub args: Vec<Value>,
+    /// The values at the abstract-type positions (the ones the driver feeds
+    /// back as negative examples).
+    pub abstract_args: Vec<Value>,
+}
+
+/// The result of a sufficiency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SufficiencyOutcome {
+    /// Every tested tuple satisfied the specification.
+    Valid,
+    /// A violating tuple was found.
+    Cex(SufficiencyCex),
+}
+
+impl SufficiencyOutcome {
+    /// `true` for [`SufficiencyOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, SufficiencyOutcome::Valid)
+    }
+}
+
+/// An inductiveness counterexample `⟨S, V⟩` (Figure 3): the module operation
+/// `op`, applied to `args`, produced values violating the candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InductivenessCex {
+    /// The operation that witnessed the violation.
+    pub op: Symbol,
+    /// The full (first-order part of the) argument tuple.
+    pub args: Vec<Value>,
+    /// `S`: abstract-type values supplied to the module (arguments and, for
+    /// higher-order operations, values returned by functional arguments).
+    /// They satisfy the conditioning predicate `P` by construction.
+    pub s: Vec<Value>,
+    /// `V`: abstract-type values produced by the module that falsify the
+    /// candidate `Q`.  Non-empty.
+    pub v: Vec<Value>,
+}
+
+/// The result of a conditional-inductiveness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InductivenessOutcome {
+    /// No violation was found within bounds.
+    Valid,
+    /// A violation was found.
+    Cex(InductivenessCex),
+}
+
+impl InductivenessOutcome {
+    /// `true` for [`InductivenessOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, InductivenessOutcome::Valid)
+    }
+}
+
+impl fmt::Display for InductivenessCex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "operation `{}` applied to [", self.op)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str("] produced [")?;
+        for (i, v) in self.v.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("] violating the candidate")
+    }
+}
+
+impl fmt::Display for SufficiencyCex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("specification violated at [")?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(SufficiencyOutcome::Valid.is_valid());
+        assert!(InductivenessOutcome::Valid.is_valid());
+        let cex = InductivenessOutcome::Cex(InductivenessCex {
+            op: Symbol::new("insert"),
+            args: vec![Value::nat_list(&[0]), Value::nat(1)],
+            s: vec![Value::nat_list(&[0])],
+            v: vec![Value::nat_list(&[1, 0])],
+        });
+        assert!(!cex.is_valid());
+    }
+
+    #[test]
+    fn display_mentions_the_operation_and_values() {
+        let cex = InductivenessCex {
+            op: Symbol::new("insert"),
+            args: vec![Value::nat_list(&[0]), Value::nat(1)],
+            s: vec![Value::nat_list(&[0])],
+            v: vec![Value::nat_list(&[1, 0])],
+        };
+        let shown = cex.to_string();
+        assert!(shown.contains("insert"));
+        assert!(shown.contains("[1; 0]"));
+        let scex = SufficiencyCex { args: vec![Value::nat_list(&[1, 1])], abstract_args: vec![] };
+        assert!(scex.to_string().contains("[1; 1]"));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(VerifierError::Timeout.to_string().contains("timed out"));
+        let e: VerifierError = EvalError::OutOfFuel.into();
+        assert!(e.to_string().contains("fuel"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Shared helpers for the verifier's quantifier instantiation: compiled
+//! predicates, value pools and capped cartesian products.
+
+use std::ops::ControlFlow;
+
+use hanoi_abstraction::Problem;
+use hanoi_lang::ast::Expr;
+use hanoi_lang::enumerate::ValueEnumerator;
+use hanoi_lang::eval::Fuel;
+use hanoi_lang::types::Type;
+use hanoi_lang::value::Value;
+
+use crate::outcome::VerifierError;
+
+/// A candidate predicate (`τc -> bool`) evaluated once to a closure so that
+/// repeated tests only pay for one application each.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate<'p> {
+    problem: &'p Problem,
+    closure: Value,
+    fuel: u64,
+}
+
+impl<'p> CompiledPredicate<'p> {
+    /// Evaluates `predicate` (an expression closed over the problem's
+    /// globals) to a function value.
+    pub fn compile(
+        problem: &'p Problem,
+        predicate: &Expr,
+        fuel: u64,
+    ) -> Result<Self, VerifierError> {
+        let closure = problem
+            .evaluator()
+            .eval(&problem.globals, predicate, &mut Fuel::new(fuel))
+            .map_err(VerifierError::Eval)?;
+        Ok(CompiledPredicate { problem, closure, fuel })
+    }
+
+    /// Tests the predicate on one value.  Any evaluation failure (divergence
+    /// of a synthesized candidate, a match failure, …) counts as `false`,
+    /// matching the paper's treatment of misbehaving candidates.
+    pub fn test(&self, value: &Value) -> bool {
+        let mut fuel = Fuel::new(self.fuel);
+        self.problem
+            .evaluator()
+            .apply_pred(&self.closure, value, &mut fuel)
+            .unwrap_or(false)
+    }
+}
+
+/// The smallest `count` values of `ty`, no larger than `size` nodes.
+pub fn enumerate_values(problem: &Problem, ty: &Type, count: usize, size: usize) -> Vec<Value> {
+    let mut enumerator = ValueEnumerator::new(&problem.tyenv);
+    enumerator.first_values(ty, count, size)
+}
+
+/// Visits the cartesian product of `pools`, at most `cap` tuples, in
+/// lexicographic order.  The visitor may stop early by returning
+/// [`ControlFlow::Break`]; the break value is returned.
+///
+/// Returns `Ok(None)` when the product was exhausted (or capped) without a
+/// break, and propagates visitor errors.
+pub fn bounded_product<'a, T, R, E>(
+    pools: &'a [Vec<T>],
+    cap: usize,
+    mut visit: impl FnMut(&[&'a T]) -> Result<ControlFlow<R>, E>,
+) -> Result<Option<R>, E> {
+    if pools.iter().any(|p| p.is_empty()) {
+        return Ok(None);
+    }
+    let mut indices = vec![0usize; pools.len()];
+    let mut visited = 0usize;
+    loop {
+        if visited >= cap {
+            return Ok(None);
+        }
+        let current: Vec<&T> = indices.iter().zip(pools).map(|(&i, pool)| &pool[i]).collect();
+        match visit(&current)? {
+            ControlFlow::Break(result) => return Ok(Some(result)),
+            ControlFlow::Continue(()) => {}
+        }
+        visited += 1;
+        // Advance the odometer.
+        let mut position = pools.len();
+        loop {
+            if position == 0 {
+                return Ok(None);
+            }
+            position -= 1;
+            indices[position] += 1;
+            if indices[position] < pools[position].len() {
+                break;
+            }
+            indices[position] = 0;
+        }
+    }
+}
+
+/// Collects the abstract-type components of a first-order value, guided by
+/// its interface-level type — the `{|v|}σ` function of Figure 3.
+pub fn collect_abstract(value: &Value, sig: &Type) -> Vec<Value> {
+    match sig {
+        Type::Abstract => vec![value.clone()],
+        Type::Tuple(sigs) => match value {
+            Value::Tuple(items) if items.len() == sigs.len() => sigs
+                .iter()
+                .zip(items)
+                .flat_map(|(s, v)| collect_abstract(v, s))
+                .collect(),
+            _ => Vec::new(),
+        },
+        Type::Named(_) | Type::Arrow(_, _) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanoi_lang::parser::parse_expr;
+
+    const LIST_SET: &str = r#"
+        type nat = O | S of nat
+        type list = Nil | Cons of nat * list
+        interface SET = sig
+          type t
+          val empty : t
+          val lookup : t -> nat -> bool
+        end
+        module ListSet : SET = struct
+          type t = list
+          let empty : t = Nil
+          let rec lookup (l : t) (x : nat) : bool =
+            match l with
+            | Nil -> False
+            | Cons (hd, tl) -> hd == x || lookup tl x
+            end
+        end
+        spec (s : t) (i : nat) = not (lookup empty i)
+    "#;
+
+    #[test]
+    fn compiled_predicates_test_values() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let pred = parse_expr("fun (l : list) -> not (lookup l 0)").unwrap();
+        let compiled = CompiledPredicate::compile(&problem, &pred, 100_000).unwrap();
+        assert!(compiled.test(&Value::nat_list(&[1, 2])));
+        assert!(!compiled.test(&Value::nat_list(&[0])));
+    }
+
+    #[test]
+    fn predicate_evaluation_errors_count_as_false() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        // A predicate that diverges on every input.
+        let pred =
+            parse_expr("fix loop (l : list) : bool = loop l").unwrap();
+        let compiled = CompiledPredicate::compile(&problem, &pred, 10_000).unwrap();
+        assert!(!compiled.test(&Value::nat_list(&[])));
+    }
+
+    #[test]
+    fn enumerate_values_orders_by_size() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let values = enumerate_values(&problem, &Type::named("list"), 20, 30);
+        assert_eq!(values.len(), 20);
+        assert!(values.windows(2).all(|w| w[0].size() <= w[1].size()));
+    }
+
+    #[test]
+    fn bounded_product_visits_in_order_and_respects_cap() {
+        let pools = vec![vec![1, 2, 3], vec![10, 20]];
+        let mut seen = Vec::new();
+        let result: Result<Option<()>, ()> = bounded_product(&pools, 100, |tuple| {
+            seen.push((*tuple[0], *tuple[1]));
+            Ok(ControlFlow::Continue(()))
+        });
+        assert_eq!(result, Ok(None));
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], (1, 10));
+        assert_eq!(seen[5], (3, 20));
+
+        let mut count = 0usize;
+        let _: Result<Option<()>, ()> = bounded_product(&pools, 4, |_| {
+            count += 1;
+            Ok(ControlFlow::Continue(()))
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn bounded_product_breaks_early() {
+        let pools = vec![vec![1, 2, 3]];
+        let result: Result<Option<i32>, ()> = bounded_product(&pools, 100, |tuple| {
+            if *tuple[0] == 2 {
+                Ok(ControlFlow::Break(*tuple[0]))
+            } else {
+                Ok(ControlFlow::Continue(()))
+            }
+        });
+        assert_eq!(result, Ok(Some(2)));
+    }
+
+    #[test]
+    fn bounded_product_with_empty_pool_visits_nothing() {
+        let pools: Vec<Vec<i32>> = vec![vec![1, 2], vec![]];
+        let result: Result<Option<()>, ()> = bounded_product(&pools, 10, |_| {
+            panic!("should not be called");
+        });
+        assert_eq!(result, Ok(None));
+    }
+
+    #[test]
+    fn collect_abstract_follows_the_signature() {
+        let v = Value::pair(Value::nat_list(&[1]), Value::nat(3));
+        let sig = Type::pair(Type::Abstract, Type::named("nat"));
+        assert_eq!(collect_abstract(&v, &sig), vec![Value::nat_list(&[1])]);
+        assert_eq!(collect_abstract(&v, &Type::named("nat")), Vec::<Value>::new());
+        assert_eq!(
+            collect_abstract(&Value::nat_list(&[2]), &Type::Abstract),
+            vec![Value::nat_list(&[2])]
+        );
+    }
+}

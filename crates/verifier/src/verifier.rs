@@ -1,0 +1,264 @@
+//! The [`Verifier`] façade: one object bundling a problem, bounds and a
+//! deadline, exposing the three checks the inference driver needs.
+
+use hanoi_abstraction::Problem;
+use hanoi_lang::ast::Expr;
+use hanoi_lang::types::Type;
+use hanoi_lang::value::Value;
+
+use crate::bounds::{Deadline, VerifierBounds};
+use crate::inductive::{
+    check_conditional_inductiveness, check_conditional_inductiveness_filtered, PoolSpec,
+};
+use crate::outcome::{InductivenessOutcome, SufficiencyOutcome, VerifierError};
+use crate::pools::{enumerate_values, CompiledPredicate};
+use crate::tester::check_sufficiency;
+
+/// The bounded enumerative verifier.
+#[derive(Debug, Clone)]
+pub struct Verifier<'p> {
+    problem: &'p Problem,
+    bounds: VerifierBounds,
+    deadline: Deadline,
+}
+
+impl<'p> Verifier<'p> {
+    /// A verifier with the paper's default bounds and no deadline.
+    pub fn new(problem: &'p Problem) -> Self {
+        Verifier { problem, bounds: VerifierBounds::default(), deadline: Deadline::none() }
+    }
+
+    /// Overrides the enumeration bounds.
+    pub fn with_bounds(mut self, bounds: VerifierBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Sets a wall-clock deadline shared by all checks.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The problem being verified.
+    pub fn problem(&self) -> &'p Problem {
+        self.problem
+    }
+
+    /// The bounds in effect.
+    pub fn bounds(&self) -> &VerifierBounds {
+        &self.bounds
+    }
+
+    /// `Verify Suf φ M [I]`: is the candidate sufficient for the spec?
+    pub fn check_sufficiency(&self, invariant: &Expr) -> Result<SufficiencyOutcome, VerifierError> {
+        check_sufficiency(self.problem, &self.bounds, &self.deadline, invariant)
+    }
+
+    /// `CondInductive V+ I`: is the candidate visibly inductive relative to
+    /// the known-constructible set `v_plus`?
+    pub fn check_visible_inductiveness(
+        &self,
+        v_plus: &[Value],
+        invariant: &Expr,
+    ) -> Result<InductivenessOutcome, VerifierError> {
+        check_conditional_inductiveness(
+            self.problem,
+            &self.bounds,
+            &self.deadline,
+            PoolSpec::Known(v_plus),
+            invariant,
+        )
+    }
+
+    /// `CondInductive I I`: is the candidate fully inductive?
+    pub fn check_full_inductiveness(
+        &self,
+        invariant: &Expr,
+    ) -> Result<InductivenessOutcome, VerifierError> {
+        check_conditional_inductiveness(
+            self.problem,
+            &self.bounds,
+            &self.deadline,
+            PoolSpec::Satisfying(invariant),
+            invariant,
+        )
+    }
+
+    /// `CondInductive I I` restricted to a single module operation — the
+    /// LinearArbitrary baseline checks operations one at a time (§5.5).
+    pub fn check_op_inductiveness(
+        &self,
+        op: &str,
+        invariant: &Expr,
+    ) -> Result<InductivenessOutcome, VerifierError> {
+        check_conditional_inductiveness_filtered(
+            self.problem,
+            &self.bounds,
+            &self.deadline,
+            PoolSpec::Satisfying(invariant),
+            invariant,
+            Some(op),
+        )
+    }
+
+    /// `CondInductive P Q` with an arbitrary conditioning predicate — used by
+    /// the ∧Str baseline, which strengthens relative to a previously accepted
+    /// conjunct.
+    pub fn check_conditional(
+        &self,
+        p: &Expr,
+        q: &Expr,
+    ) -> Result<InductivenessOutcome, VerifierError> {
+        check_conditional_inductiveness(
+            self.problem,
+            &self.bounds,
+            &self.deadline,
+            PoolSpec::Satisfying(p),
+            q,
+        )
+    }
+
+    /// Tests whether `predicate` holds on every enumerated value of `ty`
+    /// (up to single-quantifier bounds); returns the first violating value.
+    /// This is the plain `Verify P` of §3.3, exposed for tests and baselines.
+    pub fn find_violation(
+        &self,
+        ty: &Type,
+        predicate: &Expr,
+    ) -> Result<Option<Value>, VerifierError> {
+        let compiled = CompiledPredicate::compile(self.problem, predicate, self.bounds.fuel)?;
+        let values = enumerate_values(
+            self.problem,
+            ty,
+            self.bounds.single_count,
+            self.bounds.single_size,
+        );
+        for (index, value) in values.iter().enumerate() {
+            if index % 256 == 0 && self.deadline.expired() {
+                return Err(VerifierError::Timeout);
+            }
+            if !compiled.test(value) {
+                return Ok(Some(value.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The smallest `count` values of the concrete representation type — the
+    /// sample the OneShot baseline labels with the specification.
+    pub fn smallest_concrete_values(&self, count: usize) -> Vec<Value> {
+        enumerate_values(
+            self.problem,
+            self.problem.concrete_type(),
+            count,
+            self.bounds.single_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanoi_lang::parser::parse_expr;
+
+    const LIST_SET: &str = r#"
+        type nat = O | S of nat
+        type list = Nil | Cons of nat * list
+
+        interface SET = sig
+          type t
+          val empty : t
+          val insert : t -> nat -> t
+          val delete : t -> nat -> t
+          val lookup : t -> nat -> bool
+        end
+
+        module ListSet : SET = struct
+          type t = list
+          let empty : t = Nil
+          let rec lookup (l : t) (x : nat) : bool =
+            match l with
+            | Nil -> False
+            | Cons (hd, tl) -> hd == x || lookup tl x
+            end
+          let insert (l : t) (x : nat) : t =
+            if lookup l x then l else Cons (x, l)
+          let rec delete (l : t) (x : nat) : t =
+            match l with
+            | Nil -> Nil
+            | Cons (hd, tl) -> if hd == x then tl else Cons (hd, delete tl x)
+            end
+        end
+
+        spec (s : t) (i : nat) =
+          not (lookup empty i) && lookup (insert s i) i && not (lookup (delete s i) i)
+    "#;
+
+    #[test]
+    fn end_to_end_checks_on_the_running_example() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
+
+        let no_dup = parse_expr(
+            "fix inv (l : list) : bool = \
+               match l with \
+               | Nil -> True \
+               | Cons (hd, tl) -> not (lookup tl hd) && inv tl \
+               end",
+        )
+        .unwrap();
+
+        // The paper's invariant passes all three checks.
+        assert!(verifier.check_sufficiency(&no_dup).unwrap().is_valid());
+        assert!(verifier.check_full_inductiveness(&no_dup).unwrap().is_valid());
+        let v_plus = vec![Value::nat_list(&[]), Value::nat_list(&[1])];
+        assert!(verifier.check_visible_inductiveness(&v_plus, &no_dup).unwrap().is_valid());
+
+        // `true` is inductive but not sufficient; `sorted-heads-not-1` is
+        // neither.
+        let trivial = parse_expr("fun (l : list) -> True").unwrap();
+        assert!(!verifier.check_sufficiency(&trivial).unwrap().is_valid());
+        assert!(verifier.check_full_inductiveness(&trivial).unwrap().is_valid());
+    }
+
+    #[test]
+    fn find_violation_locates_small_witnesses() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
+        let pred = parse_expr("fun (n : nat) -> not (n == 2)").unwrap();
+        let violation = verifier.find_violation(&Type::named("nat"), &pred).unwrap();
+        assert_eq!(violation, Some(Value::nat(2)));
+        let tautology = parse_expr("fun (n : nat) -> n == n").unwrap();
+        assert_eq!(verifier.find_violation(&Type::named("nat"), &tautology).unwrap(), None);
+    }
+
+    #[test]
+    fn smallest_concrete_values_start_with_nil() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
+        let values = verifier.smallest_concrete_values(5);
+        assert_eq!(values.len(), 5);
+        assert_eq!(values[0], Value::nat_list(&[]));
+    }
+
+    #[test]
+    fn conditional_check_with_distinct_p_and_q() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
+        // P: lists of length <= 1 (a constructible-ish under-approximation);
+        // Q: no duplicates.  Operations on P-values cannot create duplicates,
+        // so CondInductive P Q holds.
+        let p = parse_expr(
+            "fun (l : list) -> match l with | Nil -> True | Cons (hd, tl) -> \
+               match tl with | Nil -> True | Cons (h2, t2) -> False end end",
+        )
+        .unwrap();
+        let q = parse_expr(
+            "fix inv (l : list) : bool = \
+               match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
+        )
+        .unwrap();
+        assert!(verifier.check_conditional(&p, &q).unwrap().is_valid());
+    }
+}

@@ -1,0 +1,38 @@
+//! Run the fast subset of the 28-problem benchmark suite and print a small
+//! Figure-7-style table.
+//!
+//! Run with `cargo run --example benchmark_suite --release`.
+//! (The full table over all 28 benchmarks is produced by
+//! `cargo run -p hanoi-bench --bin figure7 --release`.)
+
+use hanoi_repro::benchmarks;
+use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+
+fn main() {
+    println!(
+        "{:<36} {:>9} {:>6} {:>5} {:>5} {:>5}",
+        "benchmark", "result", "time", "size", "TVC", "TSC"
+    );
+    for benchmark in benchmarks::quick_subset() {
+        let problem = benchmark.problem().expect("benchmark elaborates");
+        let result = Driver::new(&problem, HanoiConfig::quick()).run();
+        let status = match &result.outcome {
+            Outcome::Invariant(_) => "ok",
+            Outcome::Timeout => "t/o",
+            Outcome::SpecViolation(_) => "specviol",
+            Outcome::SynthesisFailure(_) => "fail",
+        };
+        println!(
+            "{:<36} {:>9} {:>5.1}s {:>5} {:>5} {:>5}",
+            benchmark.id,
+            status,
+            result.stats.total_time.as_secs_f64(),
+            result.stats.invariant_size.map_or("-".to_string(), |s| s.to_string()),
+            result.stats.verification_calls,
+            result.stats.synthesis_calls,
+        );
+        if let Outcome::Invariant(invariant) = &result.outcome {
+            println!("    invariant: {invariant}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Compare the full Hanoi algorithm against the baselines of §5.5 (∧Str,
+//! LinearArbitrary, OneShot) and the two optimization ablations (−SRC, −CLC)
+//! on one benchmark — a miniature of Figure 8.
+//!
+//! Run with `cargo run --example compare_modes --release`.
+
+use hanoi_repro::benchmarks;
+use hanoi_repro::hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome};
+
+fn main() {
+    let benchmark = benchmarks::find("/coq/unique-list-::-set").expect("benchmark exists");
+    let problem = benchmark.problem().expect("benchmark elaborates");
+    println!("benchmark: {}", benchmark.id);
+    println!();
+    println!(
+        "{:<12} {:>9} {:>8} {:>5} {:>5} {:>6}",
+        "mode", "result", "time", "TVC", "TSC", "iters"
+    );
+
+    let configurations = [
+        ("Hanoi", Mode::Hanoi, Optimizations::all()),
+        ("Hanoi-SRC", Mode::Hanoi, Optimizations::without_src()),
+        ("Hanoi-CLC", Mode::Hanoi, Optimizations::without_clc()),
+        ("AndStr", Mode::ConjStr, Optimizations::all()),
+        ("LA", Mode::LinearArbitrary, Optimizations::all()),
+        ("OneShot", Mode::OneShot, Optimizations::all()),
+    ];
+
+    for (label, mode, optimizations) in configurations {
+        let config = HanoiConfig::quick().with_mode(mode).with_optimizations(optimizations);
+        let result = Driver::new(&problem, config).run();
+        let status = match &result.outcome {
+            Outcome::Invariant(_) => "ok",
+            Outcome::Timeout => "t/o",
+            Outcome::SpecViolation(_) => "specviol",
+            Outcome::SynthesisFailure(_) => "fail",
+        };
+        println!(
+            "{:<12} {:>9} {:>7.2}s {:>5} {:>5} {:>6}",
+            label,
+            status,
+            result.stats.total_time.as_secs_f64(),
+            result.stats.verification_calls,
+            result.stats.synthesis_calls,
+            result.stats.iterations,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Facade crate for the Rust reproduction of *Data-Driven Inference of
+//! Representation Invariants* (Miltner, Padhi, Millstein, Walker — PLDI
+//! 2020).
+//!
+//! This crate simply re-exports the workspace members so that examples and
+//! integration tests can depend on a single package:
+//!
+//! * [`lang`] — the object language (parser, type checker, interpreter,
+//!   enumeration);
+//! * [`abstraction`] — interfaces, modules, specifications, contracts;
+//! * [`verifier`] — the bounded enumerative verifier and the conditional
+//!   inductiveness checker;
+//! * [`synth`] — the Myth-style and fold-based example-directed synthesizers;
+//! * [`hanoi`] — the CEGIS driver (visible inductiveness), optimizations and
+//!   baseline modes;
+//! * [`benchmarks`] — the 28-problem benchmark suite.
+
+pub use hanoi as hanoi_core;
+pub use hanoi_abstraction as abstraction;
+pub use hanoi_benchmarks as benchmarks;
+pub use hanoi_lang as lang;
+pub use hanoi_synth as synth;
+pub use hanoi_verifier as verifier;
+
+/// Re-export of the core inference entry points under a short name.
+pub mod hanoi {
+    pub use ::hanoi::*;
+}

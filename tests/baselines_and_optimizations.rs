@@ -1,0 +1,78 @@
+//! Integration tests for the §5.5 baselines and the §4.4 optimizations: all
+//! configurations must agree on the easy benchmarks (they find *some*
+//! sufficient invariant), and the optimizations must not change outcomes.
+
+use hanoi_repro::benchmarks;
+use hanoi_repro::hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome};
+use hanoi_repro::verifier::{Verifier, VerifierBounds};
+
+fn run(id: &str, mode: Mode, optimizations: Optimizations) -> (bool, usize, usize) {
+    let benchmark = benchmarks::find(id).unwrap();
+    let problem = benchmark.problem().unwrap();
+    let config = HanoiConfig::quick().with_mode(mode).with_optimizations(optimizations);
+    let result = Driver::new(&problem, config).run();
+    let success = match &result.outcome {
+        Outcome::Invariant(invariant) => {
+            let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
+            verifier.check_sufficiency(invariant).unwrap().is_valid()
+                && verifier.check_full_inductiveness(invariant).unwrap().is_valid()
+        }
+        _ => false,
+    };
+    (success, result.stats.verification_calls, result.stats.synthesis_calls)
+}
+
+#[test]
+fn all_hanoi_optimization_variants_solve_the_running_example() {
+    for optimizations in [
+        Optimizations::all(),
+        Optimizations::without_src(),
+        Optimizations::without_clc(),
+        Optimizations::none(),
+    ] {
+        let (success, tvc, _) = run("/coq/unique-list-::-set", Mode::Hanoi, optimizations);
+        assert!(success, "Hanoi with {optimizations:?} failed");
+        assert!(tvc > 0);
+    }
+}
+
+#[test]
+fn conj_str_and_la_solve_the_easy_benchmarks() {
+    for id in ["/other/cache", "/other/rational"] {
+        for mode in [Mode::ConjStr, Mode::LinearArbitrary] {
+            let (success, _, _) = run(id, mode, Optimizations::all());
+            assert!(success, "{mode:?} failed on {id}");
+        }
+    }
+}
+
+#[test]
+fn synthesis_result_caching_reduces_synthesis_calls() {
+    // On the running example the CEGIS loop revisits earlier candidates after
+    // V− resets; with the cache those revisits are free.
+    let (_, _, with_cache_calls) =
+        run("/coq/unique-list-::-set", Mode::Hanoi, Optimizations::all());
+    let (_, _, without_cache_calls) =
+        run("/coq/unique-list-::-set", Mode::Hanoi, Optimizations::without_src());
+    assert!(
+        with_cache_calls <= without_cache_calls,
+        "caching increased synthesis calls: {with_cache_calls} > {without_cache_calls}"
+    );
+}
+
+#[test]
+fn one_shot_is_cheap_but_usually_insufficient() {
+    // OneShot makes at most one synthesis call on every benchmark it applies
+    // to; whether it succeeds is benchmark-dependent (the paper: 1 of 28).
+    let mut total_calls = 0usize;
+    for id in ["/coq/unique-list-::-set", "/other/cache", "/other/rational"] {
+        let benchmark = benchmarks::find(id).unwrap();
+        let problem = benchmark.problem().unwrap();
+        let config = HanoiConfig::quick().with_mode(Mode::OneShot);
+        let result = Driver::new(&problem, config).run();
+        assert!(result.stats.synthesis_calls <= 1);
+        total_calls += result.stats.synthesis_calls;
+        assert!(result.stats.iterations <= 1);
+    }
+    assert!(total_calls >= 1);
+}

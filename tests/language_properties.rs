@@ -1,0 +1,164 @@
+//! Property-based integration tests over the language substrate: printing /
+//! parsing round trips, enumeration invariants, and the soundness contract of
+//! the synthesizer on randomly generated example sets.
+
+use proptest::prelude::*;
+
+use hanoi_repro::abstraction::Problem;
+use hanoi_repro::lang::enumerate::ValueEnumerator;
+use hanoi_repro::lang::parser::{parse_expr, parse_program};
+use hanoi_repro::lang::types::Type;
+use hanoi_repro::lang::util::Deadline;
+use hanoi_repro::lang::value::Value;
+use hanoi_repro::synth::{ExampleSet, MythSynth, SynthError, Synthesizer};
+
+const LIST_SET: &str = r#"
+    type nat = O | S of nat
+    type list = Nil | Cons of nat * list
+    interface SET = sig
+      type t
+      val empty : t
+      val insert : t -> nat -> t
+      val lookup : t -> nat -> bool
+    end
+    module ListSet : SET = struct
+      type t = list
+      let empty : t = Nil
+      let rec lookup (l : t) (x : nat) : bool =
+        match l with
+        | Nil -> False
+        | Cons (hd, tl) -> hd == x || lookup tl x
+        end
+      let insert (l : t) (x : nat) : t =
+        if lookup l x then l else Cons (x, l)
+    end
+    spec (s : t) (i : nat) = lookup (insert s i) i
+"#;
+
+/// A strategy for small nat lists.
+fn nat_lists() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..5, 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Values printed as expressions re-parse to the same expression.
+    #[test]
+    fn value_expression_round_trip(items in nat_lists()) {
+        let value = Value::nat_list(&items);
+        let expr = value.to_expr().unwrap();
+        let printed = expr.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(expr, reparsed);
+    }
+
+    /// Structural equality of values agrees with equality of the vectors they
+    /// were built from.
+    #[test]
+    fn value_equality_is_structural(a in nat_lists(), b in nat_lists()) {
+        prop_assert_eq!(Value::nat_list(&a) == Value::nat_list(&b), a == b);
+    }
+
+    /// The module operations preserve the no-duplicates representation
+    /// invariant (a semantic check of the benchmark itself, independent of
+    /// inference).
+    #[test]
+    fn list_set_insert_preserves_no_duplicates(items in nat_lists(), x in 0u64..5) {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        // Build a duplicate-free list by repeated insertion.
+        let mut set_value = Value::nat_list(&[]);
+        for item in &items {
+            set_value = problem.eval_call("insert", &[set_value, Value::nat(*item)]).unwrap();
+        }
+        let result = problem.eval_call("insert", &[set_value, Value::nat(x)]).unwrap();
+        let elements: Vec<u64> =
+            result.as_list().unwrap().iter().map(|v| v.as_nat().unwrap()).collect();
+        let mut dedup = elements.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), elements.len(), "insert produced duplicates: {:?}", elements);
+    }
+
+    /// Any predicate the synthesizer returns is consistent with the examples
+    /// it was given (the `Synth` soundness contract of §3.3).
+    #[test]
+    fn synthesized_predicates_respect_their_examples(
+        pos in proptest::collection::vec(nat_lists(), 1..3),
+        neg_seed in nat_lists(),
+    ) {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        // Negatives: the seed list with an element duplicated at the front
+        // (guaranteed distinct from every positive after dedup below).
+        let mut neg = neg_seed.clone();
+        neg.insert(0, *neg_seed.first().unwrap_or(&0));
+
+        let mut examples = ExampleSet::new();
+        let mut used = Vec::new();
+        for p in &pos {
+            let value = Value::nat_list(p);
+            if examples.add_positive(value.clone()).is_ok() {
+                used.push(p.clone());
+            }
+        }
+        let negative = Value::nat_list(&neg);
+        prop_assume!(examples.add_negative(negative).is_ok());
+        let (examples, _) = examples.trace_completed(&problem.tyenv, problem.concrete_type());
+
+        let mut synth = MythSynth::new();
+        match synth.synthesize(&problem, &examples, &Deadline::none()) {
+            Ok(candidate) => {
+                for (value, expected) in examples.labeled() {
+                    let actual = problem.eval_predicate(&candidate, &value).unwrap();
+                    prop_assert_eq!(actual, expected, "candidate {} misclassifies {}", candidate, value);
+                }
+            }
+            Err(SynthError::NoCandidate) | Err(SynthError::Timeout) => {
+                // Failing to find a candidate is allowed by the contract.
+            }
+            Err(other) => prop_assert!(false, "unexpected synthesis error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn enumeration_is_duplicate_free_and_size_ordered() {
+    let problem = Problem::from_source(LIST_SET).unwrap();
+    let mut enumerator = ValueEnumerator::new(&problem.tyenv);
+    let values = enumerator.first_values(&Type::named("list"), 500, 30);
+    assert_eq!(values.len(), 500);
+    for window in values.windows(2) {
+        assert!(window[0].size() <= window[1].size());
+    }
+    let mut seen = std::collections::HashSet::new();
+    for v in &values {
+        assert!(seen.insert(v.clone()), "duplicate enumerated value {v}");
+        assert!(v.has_type(&problem.tyenv, &Type::named("list")));
+    }
+}
+
+#[test]
+fn the_std_prelude_composes_with_benchmark_programs() {
+    let program = hanoi_repro::lang::prelude::std_prelude_program().unwrap();
+    assert!(program.data_decls().count() >= 3);
+    // The prelude plus a tiny module still elaborates into a problem.
+    let source = hanoi_repro::lang::prelude::with_std_prelude(
+        r#"
+        interface BOX = sig
+          type t
+          val make : nat -> t
+          val get : t -> nat
+        end
+        module NatBox : BOX = struct
+          type t = nat
+          let make (n : nat) : t = n
+          let get (b : t) : nat = b
+        end
+        spec (b : t) = get b == get b
+    "#,
+    );
+    let problem = Problem::from_source(&source).unwrap();
+    assert_eq!(problem.concrete_type(), &Type::named("nat"));
+    let parsed = parse_program(&source).unwrap();
+    assert!(parsed.module().is_some());
+}
