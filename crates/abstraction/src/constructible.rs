@@ -180,7 +180,11 @@ fn project_abstract(value: &Value, sig: &Type, _concrete: &Type) -> Vec<Value> {
     }
 }
 
-fn apply_cartesian(pools: &[Vec<Value>], current: &mut Vec<Value>, emit: &mut impl FnMut(&[Value])) {
+fn apply_cartesian(
+    pools: &[Vec<Value>],
+    current: &mut Vec<Value>,
+    emit: &mut impl FnMut(&[Value]),
+) {
     if pools.is_empty() {
         emit(current);
         return;
@@ -253,18 +257,30 @@ mod tests {
         // The ListSet module never builds a list with duplicates.
         assert!(!oracle.contains(&Value::nat_list(&[1, 1])));
         for v in oracle.values() {
-            let items: Vec<u64> = v.as_list().unwrap().iter().map(|x| x.as_nat().unwrap()).collect();
+            let items: Vec<u64> = v
+                .as_list()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_nat().unwrap())
+                .collect();
             let mut dedup = items.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            assert_eq!(dedup.len(), items.len(), "constructible value {v} has duplicates");
+            assert_eq!(
+                dedup.len(),
+                items.len(),
+                "constructible value {v} has duplicates"
+            );
         }
     }
 
     #[test]
     fn bounds_are_respected() {
         let problem = Problem::from_source(LIST_SET).unwrap();
-        let bounds = ConstructibleBounds { max_values: 5, ..ConstructibleBounds::default() };
+        let bounds = ConstructibleBounds {
+            max_values: 5,
+            ..ConstructibleBounds::default()
+        };
         let oracle = ConstructibleOracle::compute(&problem, bounds);
         assert!(oracle.values().len() <= 5);
         assert_eq!(oracle.bounds().max_values, 5);

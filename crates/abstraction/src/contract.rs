@@ -11,8 +11,7 @@
 //! predicates of conditional inductiveness to extract counterexamples
 //! (the `S` and `V` sets of Figure 3).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hanoi_lang::error::EvalError;
 use hanoi_lang::eval::{Evaluator, Fuel};
@@ -25,33 +24,33 @@ use hanoi_lang::value::Value;
 pub struct BoundaryLog {
     /// Values of abstract type the *module* passed to the client function
     /// (positive positions of the function argument; checked against `Q`).
-    pub module_supplied: RefCell<Vec<Value>>,
+    pub module_supplied: Mutex<Vec<Value>>,
     /// Values of abstract type the *client* function returned to the module
     /// (negative positions; these satisfy `P` by construction and join the
     /// counterexample's `S` set).
-    pub client_supplied: RefCell<Vec<Value>>,
+    pub client_supplied: Mutex<Vec<Value>>,
 }
 
 impl BoundaryLog {
     /// A fresh, empty log.
-    pub fn new() -> Rc<BoundaryLog> {
-        Rc::new(BoundaryLog::default())
+    pub fn new() -> Arc<BoundaryLog> {
+        Arc::new(BoundaryLog::default())
     }
 
     /// Values the module supplied, cloned out of the log.
     pub fn module_supplied_values(&self) -> Vec<Value> {
-        self.module_supplied.borrow().clone()
+        self.module_supplied.lock().unwrap().clone()
     }
 
     /// Values the client supplied, cloned out of the log.
     pub fn client_supplied_values(&self) -> Vec<Value> {
-        self.client_supplied.borrow().clone()
+        self.client_supplied.lock().unwrap().clone()
     }
 
     /// Empties the log.
     pub fn clear(&self) {
-        self.module_supplied.borrow_mut().clear();
-        self.client_supplied.borrow_mut().clear();
+        self.module_supplied.lock().unwrap().clear();
+        self.client_supplied.lock().unwrap().clear();
     }
 }
 
@@ -67,7 +66,7 @@ pub fn instrument_function(
     tyenv: &TypeEnv,
     fn_sig: &Type,
     implementation: Value,
-    log: Rc<BoundaryLog>,
+    log: Arc<BoundaryLog>,
 ) -> Value {
     let (arg_sigs, result_sig) = fn_sig.uncurry();
     let arg_mentions: Vec<bool> = arg_sigs.iter().map(|t| t.mentions_abstract()).collect();
@@ -77,14 +76,14 @@ pub fn instrument_function(
     Value::native("contract", arity, move |args: &[Value]| {
         for (value, mentions) in args.iter().zip(&arg_mentions) {
             if *mentions && value.is_first_order() {
-                log.module_supplied.borrow_mut().push(value.clone());
+                log.module_supplied.lock().unwrap().push(value.clone());
             }
         }
         let evaluator = Evaluator::new(&tyenv);
         let mut fuel = Fuel::standard();
         let result = evaluator.apply_many(implementation.clone(), args, &mut fuel)?;
         if result_mentions && result.is_first_order() {
-            log.client_supplied.borrow_mut().push(result.clone());
+            log.client_supplied.lock().unwrap().push(result.clone());
         }
         Ok::<Value, EvalError>(result)
     })
@@ -139,8 +138,7 @@ mod tests {
             .eval(&problem.globals, &client, &mut Fuel::standard())
             .unwrap();
         let fn_sig = problem.interface.op("fold").unwrap().ty.uncurry().0[0].clone();
-        let wrapped =
-            instrument_function(&problem.tyenv, &fn_sig, client_value, Rc::clone(&log));
+        let wrapped = instrument_function(&problem.tyenv, &fn_sig, client_value, Arc::clone(&log));
 
         let acc = Value::nat_list(&[]);
         let s = Value::nat_list(&[1, 2]);
@@ -160,8 +158,8 @@ mod tests {
     #[test]
     fn clearing_resets_the_log() {
         let log = BoundaryLog::new();
-        log.module_supplied.borrow_mut().push(Value::nat(1));
-        log.client_supplied.borrow_mut().push(Value::nat(2));
+        log.module_supplied.lock().unwrap().push(Value::nat(1));
+        log.client_supplied.lock().unwrap().push(Value::nat(2));
         log.clear();
         assert!(log.module_supplied_values().is_empty());
         assert!(log.client_supplied_values().is_empty());
@@ -178,9 +176,11 @@ mod tests {
             .eval(&problem.globals, &client, &mut Fuel::standard())
             .unwrap();
         let sig = Type::arrow(Type::named("nat"), Type::named("nat"));
-        let wrapped = instrument_function(&problem.tyenv, &sig, client_value, Rc::clone(&log));
+        let wrapped = instrument_function(&problem.tyenv, &sig, client_value, Arc::clone(&log));
         let evaluator = problem.evaluator();
-        let out = evaluator.apply(wrapped, Value::nat(3), &mut Fuel::standard()).unwrap();
+        let out = evaluator
+            .apply(wrapped, Value::nat(3), &mut Fuel::standard())
+            .unwrap();
         assert_eq!(out, Value::nat(4));
         assert!(log.module_supplied_values().is_empty());
         assert!(log.client_supplied_values().is_empty());

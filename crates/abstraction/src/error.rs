@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(AbstractionError::MissingInterface.to_string().contains("interface"));
+        assert!(AbstractionError::MissingInterface
+            .to_string()
+            .contains("interface"));
         assert!(AbstractionError::InterfaceMismatch("no insert".into())
             .to_string()
             .contains("insert"));

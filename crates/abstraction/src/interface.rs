@@ -18,7 +18,10 @@ pub struct OpSig {
 impl OpSig {
     /// Creates an operation signature.
     pub fn new(name: impl Into<Symbol>, ty: Type) -> Self {
-        OpSig { name: name.into(), ty }
+        OpSig {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// `true` if no argument position of the operation has a function type —
@@ -60,7 +63,10 @@ impl Interface {
             })?;
             ops.push(OpSig::new(name.clone(), ty.clone()));
         }
-        Ok(Interface { name: decl.name.clone(), ops })
+        Ok(Interface {
+            name: decl.name.clone(),
+            ops,
+        })
     }
 
     /// Looks up an operation signature by name.
@@ -103,7 +109,9 @@ pub(crate) fn check_wellformed_with_abstract(ty: &Type, tyenv: &TypeEnv) -> Resu
                 Err(format!("unknown type `{n}`"))
             }
         }
-        Type::Tuple(ts) => ts.iter().try_for_each(|t| check_wellformed_with_abstract(t, tyenv)),
+        Type::Tuple(ts) => ts
+            .iter()
+            .try_for_each(|t| check_wellformed_with_abstract(t, tyenv)),
         Type::Arrow(a, b) => {
             check_wellformed_with_abstract(a, tyenv)?;
             check_wellformed_with_abstract(b, tyenv)
@@ -183,7 +191,8 @@ mod tests {
         "#;
         let program = parse_program(src).unwrap();
         let elaborated = program.elaborate().unwrap();
-        let err = Interface::from_decl(program.interface().unwrap(), &elaborated.tyenv).unwrap_err();
+        let err =
+            Interface::from_decl(program.interface().unwrap(), &elaborated.tyenv).unwrap_err();
         assert!(err.to_string().contains("widget"));
     }
 }

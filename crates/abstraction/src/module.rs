@@ -127,7 +127,10 @@ mod tests {
         );
         assert_eq!(
             insert.concrete_sig,
-            Type::arrows(vec![Type::named("list"), Type::named("nat")], Type::named("list"))
+            Type::arrows(
+                vec![Type::named("list"), Type::named("nat")],
+                Type::named("list")
+            )
         );
         assert_eq!(insert.arg_sigs().len(), 2);
         assert_eq!(insert.result_sig(), &Type::Abstract);

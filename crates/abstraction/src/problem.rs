@@ -53,7 +53,9 @@ impl Problem {
         let elaborated = program.elaborate()?;
         let tyenv = elaborated.tyenv.clone();
 
-        let iface_decl = program.interface().ok_or(AbstractionError::MissingInterface)?;
+        let iface_decl = program
+            .interface()
+            .ok_or(AbstractionError::MissingInterface)?;
         let module_decl = program.module().ok_or(AbstractionError::MissingModule)?;
         let spec_decl = program.spec().ok_or(AbstractionError::MissingSpec)?;
 
@@ -68,7 +70,9 @@ impl Problem {
         // The concrete representation type must be a declared, 0-order,
         // inhabited type.
         let concrete = module_decl.concrete.clone();
-        tyenv.check_wellformed(&concrete).map_err(AbstractionError::from)?;
+        tyenv
+            .check_wellformed(&concrete)
+            .map_err(AbstractionError::from)?;
         if !concrete.is_zero_order() {
             return Err(AbstractionError::InterfaceMismatch(format!(
                 "the representation type `{concrete}` must not contain functions"
@@ -140,7 +144,11 @@ impl Problem {
                 value,
             });
         }
-        let module = Module { name: module_decl.name.clone(), concrete: concrete.clone(), ops };
+        let module = Module {
+            name: module_decl.name.clone(),
+            concrete: concrete.clone(),
+            ops,
+        };
 
         // Elaborate and check the specification: every parameter type must be
         // well formed, and the body must be boolean once the abstract type is
@@ -259,7 +267,9 @@ impl Problem {
             checker.declare_global(top.name.clone(), top.ty());
         }
         let expected = Type::arrow(self.concrete_type().clone(), Type::bool());
-        checker.check_closed(invariant, &expected).map_err(AbstractionError::from)
+        checker
+            .check_closed(invariant, &expected)
+            .map_err(AbstractionError::from)
     }
 
     /// The component library visible to the synthesizers: every prelude
@@ -323,15 +333,22 @@ mod tests {
         assert_eq!(problem.concrete_type(), &Type::named("list"));
         assert_eq!(problem.interface.len(), 4);
         assert_eq!(problem.inductive_ops().len(), 4);
-        assert!(problem.synthesis_components().iter().any(|(n, _)| n.as_str() == "lookup"));
+        assert!(problem
+            .synthesis_components()
+            .iter()
+            .any(|(n, _)| n.as_str() == "lookup"));
     }
 
     #[test]
     fn module_operations_execute() {
         let problem = Problem::from_source(LIST_SET).unwrap();
-        let s = problem.eval_call("insert", &[Value::nat_list(&[]), Value::nat(3)]).unwrap();
+        let s = problem
+            .eval_call("insert", &[Value::nat_list(&[]), Value::nat(3)])
+            .unwrap();
         assert_eq!(s, Value::nat_list(&[3]));
-        let found = problem.eval_call("lookup", &[s.clone(), Value::nat(3)]).unwrap();
+        let found = problem
+            .eval_call("lookup", &[s.clone(), Value::nat(3)])
+            .unwrap();
         assert_eq!(found, Value::tru());
         let removed = problem.eval_call("delete", &[s, Value::nat(3)]).unwrap();
         assert_eq!(removed, Value::nat_list(&[]));
@@ -341,11 +358,17 @@ mod tests {
     fn spec_evaluation_matches_the_paper() {
         let problem = Problem::from_source(LIST_SET).unwrap();
         // The spec holds on the empty list...
-        assert!(problem.eval_spec(&[Value::nat_list(&[]), Value::nat(1)]).unwrap());
+        assert!(problem
+            .eval_spec(&[Value::nat_list(&[]), Value::nat(1)])
+            .unwrap());
         // ...and on a duplicate-free list...
-        assert!(problem.eval_spec(&[Value::nat_list(&[2, 3]), Value::nat(3)]).unwrap());
+        assert!(problem
+            .eval_spec(&[Value::nat_list(&[2, 3]), Value::nat(3)])
+            .unwrap());
         // ...but fails on [1;1] with i = 1 (deleting one copy leaves the other).
-        assert!(!problem.eval_spec(&[Value::nat_list(&[1, 1]), Value::nat(1)]).unwrap());
+        assert!(!problem
+            .eval_spec(&[Value::nat_list(&[1, 1]), Value::nat(1)])
+            .unwrap());
     }
 
     #[test]
@@ -354,8 +377,12 @@ mod tests {
         // fun (l : list) -> not (lookup l 0)
         let pred = hanoi_lang::parser::parse_expr("fun (l : list) -> not (lookup l 0)").unwrap();
         problem.typecheck_invariant(&pred).unwrap();
-        assert!(problem.eval_predicate(&pred, &Value::nat_list(&[1])).unwrap());
-        assert!(!problem.eval_predicate(&pred, &Value::nat_list(&[0])).unwrap());
+        assert!(problem
+            .eval_predicate(&pred, &Value::nat_list(&[1]))
+            .unwrap());
+        assert!(!problem
+            .eval_predicate(&pred, &Value::nat_list(&[0]))
+            .unwrap());
     }
 
     #[test]

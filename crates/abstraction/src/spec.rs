@@ -24,7 +24,10 @@ pub struct Spec {
 impl Spec {
     /// Builds a specification from its surface declaration.
     pub fn from_decl(decl: &SpecDecl) -> Self {
-        Spec { params: decl.params.clone(), body: decl.body.clone() }
+        Spec {
+            params: decl.params.clone(),
+            body: decl.body.clone(),
+        }
     }
 
     /// Total number of quantified parameters.
@@ -59,7 +62,10 @@ impl Spec {
 
     /// The parameter types with the abstract type replaced by `concrete`.
     pub fn concrete_param_types(&self, concrete: &Type) -> Vec<Type> {
-        self.params.iter().map(|(_, ty)| ty.subst_abstract(concrete)).collect()
+        self.params
+            .iter()
+            .map(|(_, ty)| ty.subst_abstract(concrete))
+            .collect()
     }
 }
 

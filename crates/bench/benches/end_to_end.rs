@@ -10,7 +10,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
 
-    for id in ["/other/cache", "/other/rational", "/vfa/assoc-list-::-table"] {
+    for id in [
+        "/other/cache",
+        "/other/rational",
+        "/vfa/assoc-list-::-table",
+    ] {
         let benchmark = find(id).unwrap();
         let problem = benchmark.problem().expect("benchmark elaborates");
         group.bench_function(format!("hanoi{}", id.replace('/', "_")), |b| {
@@ -26,7 +30,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     let benchmark = find("/other/cache").unwrap();
     let problem = benchmark.problem().expect("benchmark elaborates");
     group.bench_function("la_other_cache", |b| {
-        b.iter(|| Driver::new(&problem, HanoiConfig::quick().with_mode(Mode::LinearArbitrary)).run())
+        b.iter(|| {
+            Driver::new(
+                &problem,
+                HanoiConfig::quick().with_mode(Mode::LinearArbitrary),
+            )
+            .run()
+        })
     });
     group.finish();
 }

@@ -7,9 +7,14 @@ use hanoi_lang::enumerate::ValueEnumerator;
 use hanoi_lang::types::Type;
 
 fn bench_enumeration(c: &mut Criterion) {
-    let list_problem =
-        find("/coq/unique-list-::-set").unwrap().problem().expect("benchmark elaborates");
-    let tree_problem = find("/vfa/tree-::-priqueue").unwrap().problem().expect("elaborates");
+    let list_problem = find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .expect("benchmark elaborates");
+    let tree_problem = find("/vfa/tree-::-priqueue")
+        .unwrap()
+        .problem()
+        .expect("elaborates");
 
     let mut group = c.benchmark_group("enumerate");
     group.sample_size(20);
@@ -17,19 +22,27 @@ fn bench_enumeration(c: &mut Criterion) {
     group.bench_function("lists_3000_of_30_nodes", |b| {
         b.iter(|| {
             let mut enumerator = ValueEnumerator::new(&list_problem.tyenv);
-            enumerator.first_values(&Type::named("list"), 3000, 30).len()
+            enumerator
+                .first_values(&Type::named("list"), 3000, 30)
+                .len()
         })
     });
     group.bench_function("trees_3000_of_15_nodes", |b| {
         b.iter(|| {
             let mut enumerator = ValueEnumerator::new(&tree_problem.tyenv);
-            enumerator.first_values(&Type::named("tree"), 3000, 15).len()
+            enumerator
+                .first_values(&Type::named("tree"), 3000, 15)
+                .len()
         })
     });
     group.bench_function("lists_cached_resweep", |b| {
         let mut enumerator = ValueEnumerator::new(&list_problem.tyenv);
         enumerator.first_values(&Type::named("list"), 3000, 30);
-        b.iter(|| enumerator.first_values(&Type::named("list"), 3000, 30).len())
+        b.iter(|| {
+            enumerator
+                .first_values(&Type::named("list"), 3000, 30)
+                .len()
+        })
     });
     group.finish();
 }

@@ -39,7 +39,11 @@ fn bench_eval(c: &mut Criterion) {
     group.bench_function("spec", |b| {
         b.iter_batched(
             || (list.clone(), Value::nat(3)),
-            |(l, x)| problem.eval_spec_with_fuel(&[l, x], &mut Fuel::standard()).unwrap(),
+            |(l, x)| {
+                problem
+                    .eval_spec_with_fuel(&[l, x], &mut Fuel::standard())
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

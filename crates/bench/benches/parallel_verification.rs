@@ -1,0 +1,183 @@
+//! Serial vs parallel bounded verification.
+//!
+//! Measures the verifier's three checks on the §2 running example at
+//! parallelism 1 (serial), 2, 4 and 0 (one worker per core), reports each
+//! timing through the criterion harness, and writes a machine-readable
+//! summary to `BENCH_verification.json` (override the path with the
+//! `BENCH_VERIFICATION_OUT` environment variable).
+//!
+//! The workloads are chosen so the sweep runs to completion (`Valid`
+//! outcomes, no short-circuit): that is both the verifier's dominant cost in
+//! practice — most CEGIS iterations end in a full sweep — and the best-case
+//! shape for parallelism, so the summary's `speedup` column directly reads
+//! off how much the parallel refactor buys on this host.
+//!
+//! ```text
+//! cargo bench -p hanoi-bench --bench parallel_verification
+//! ```
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hanoi_bench::json::Json;
+use hanoi_benchmarks::find;
+use hanoi_lang::parser::parse_expr;
+use hanoi_verifier::{Verifier, VerifierBounds};
+
+/// Parallelism levels measured, in reporting order. `0` = all cores.
+const LEVELS: [usize; 4] = [1, 2, 4, 0];
+
+/// Samples per (workload, level) pair; the median is reported.
+const SAMPLES: usize = 7;
+
+fn median_secs(mut samples: Vec<Duration>) -> f64 {
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+struct Workload {
+    name: &'static str,
+    run: Box<dyn Fn(&Verifier<'_>)>,
+}
+
+fn bench_parallel_verification(c: &mut Criterion) {
+    let problem = find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .expect("benchmark elaborates");
+    let no_dup = parse_expr(
+        "fix inv (l : list) : bool = \
+           match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
+    )
+    .unwrap();
+    // Paper-scale single-quantifier pools, reduced multi-quantifier pools:
+    // big enough for threading to matter, small enough for CI.
+    let bounds = VerifierBounds {
+        single_count: 1500,
+        single_size: 30,
+        multi_count: 400,
+        multi_size: 12,
+        total_cap: 12_000,
+        ..VerifierBounds::quick()
+    };
+
+    let sufficiency = no_dup.clone();
+    let full = no_dup.clone();
+    let v_plus_inv = no_dup.clone();
+    let workloads = [
+        Workload {
+            name: "sufficiency_valid",
+            run: Box::new(move |v| {
+                assert!(v.check_sufficiency(&sufficiency).unwrap().is_valid());
+            }),
+        },
+        Workload {
+            name: "full_inductiveness_valid",
+            run: Box::new(move |v| {
+                assert!(v.check_full_inductiveness(&full).unwrap().is_valid());
+            }),
+        },
+        Workload {
+            name: "visible_inductiveness_valid",
+            run: Box::new(move |v| {
+                // V+ = the smallest constructible (duplicate-free) lists; the
+                // module operations preserve the invariant on them.
+                let v_plus: Vec<_> = v
+                    .smallest_concrete_values(500)
+                    .into_iter()
+                    .filter(|value| v.problem().eval_predicate(&v_plus_inv, value).unwrap())
+                    .collect();
+                assert!(v_plus.len() >= 50, "expected a substantial V+ pool");
+                assert!(v
+                    .check_visible_inductiveness(&v_plus, &v_plus_inv)
+                    .unwrap()
+                    .is_valid());
+            }),
+        },
+    ];
+
+    let mut group = c.benchmark_group("parallel_verification");
+    group.sample_size(SAMPLES);
+
+    let mut rows: Vec<Json> = Vec::new();
+    for workload in &workloads {
+        let mut median_by_level: Vec<(usize, f64)> = Vec::new();
+        for level in LEVELS {
+            let verifier = Verifier::new(&problem)
+                .with_bounds(bounds)
+                .with_parallelism(level);
+            // Warm the interner and any lazy state once, outside timing.
+            (workload.run)(&verifier);
+            let mut samples = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                let start = Instant::now();
+                (workload.run)(&verifier);
+                samples.push(start.elapsed());
+            }
+            let median = median_secs(samples);
+            // Also surface the point through the criterion harness (one
+            // timed iteration: the direct samples above are authoritative).
+            group.bench_function(format!("{}_p{}", workload.name, level), |b| {
+                b.iter(|| (workload.run)(&verifier))
+            });
+            median_by_level.push((level, median));
+        }
+        let serial = median_by_level
+            .iter()
+            .find(|(level, _)| *level == 1)
+            .map(|(_, t)| *t)
+            .unwrap_or(f64::NAN);
+        let best = median_by_level
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+        let levels_json = Json::Obj(
+            median_by_level
+                .iter()
+                .map(|&(level, secs)| {
+                    let key = if level == 0 {
+                        "auto".to_string()
+                    } else {
+                        level.to_string()
+                    };
+                    (key, Json::Num(secs))
+                })
+                .collect(),
+        );
+        rows.push(Json::obj([
+            ("workload", Json::Str(workload.name.to_string())),
+            ("median_secs_by_parallelism", levels_json),
+            ("serial_secs", Json::Num(serial)),
+            ("best_secs", Json::Num(best)),
+            ("speedup_best_over_serial", Json::Num(serial / best)),
+        ]));
+    }
+    group.finish();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let summary = Json::obj([
+        (
+            "benchmark",
+            Json::Str("/coq/unique-list-::-set".to_string()),
+        ),
+        ("host_cores", Json::Num(cores as f64)),
+        ("samples_per_point", Json::Num(SAMPLES as f64)),
+        ("workloads", Json::Arr(rows)),
+    ]);
+    // Default to the workspace root regardless of the bench's CWD.
+    let out = std::env::var("BENCH_VERIFICATION_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_verification.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out, summary.render_pretty()) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_parallel_verification);
+criterion_main!(benches);

@@ -8,8 +8,10 @@ use hanoi_lang::value::Value;
 use hanoi_synth::{ExampleSet, FoldSynth, MythSynth, Synthesizer};
 
 fn example_set() -> (hanoi_abstraction::Problem, ExampleSet) {
-    let problem =
-        find("/coq/unique-list-::-set").unwrap().problem().expect("benchmark elaborates");
+    let problem = find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .expect("benchmark elaborates");
     let examples = ExampleSet::from_sets(
         [
             Value::nat_list(&[]),
@@ -18,7 +20,11 @@ fn example_set() -> (hanoi_abstraction::Problem, ExampleSet) {
             Value::nat_list(&[2, 1]),
             Value::nat_list(&[2, 1, 0]),
         ],
-        [Value::nat_list(&[0, 0]), Value::nat_list(&[1, 1]), Value::nat_list(&[0, 1, 0])],
+        [
+            Value::nat_list(&[0, 0]),
+            Value::nat_list(&[1, 1]),
+            Value::nat_list(&[0, 1, 0]),
+        ],
     )
     .unwrap();
     let (examples, _) = examples.trace_completed(&problem.tyenv, problem.concrete_type());
@@ -33,19 +39,25 @@ fn bench_synthesis(c: &mut Criterion) {
     group.bench_function("myth_no_duplicates", |b| {
         b.iter(|| {
             let mut synth = MythSynth::new();
-            synth.synthesize(&problem, &examples, &Deadline::none()).unwrap()
+            synth
+                .synthesize(&problem, &examples, &Deadline::none())
+                .unwrap()
         })
     });
     group.bench_function("fold_no_duplicates", |b| {
         b.iter(|| {
             let mut synth = FoldSynth::new();
-            synth.synthesize(&problem, &examples, &Deadline::none()).unwrap()
+            synth
+                .synthesize(&problem, &examples, &Deadline::none())
+                .unwrap()
         })
     });
     group.bench_function("myth_empty_examples", |b| {
         b.iter(|| {
             let mut synth = MythSynth::new();
-            synth.synthesize(&problem, &ExampleSet::new(), &Deadline::none()).unwrap()
+            synth
+                .synthesize(&problem, &ExampleSet::new(), &Deadline::none())
+                .unwrap()
         })
     });
     group.finish();

@@ -10,20 +10,27 @@ use hanoi_lang::value::Value;
 use hanoi_verifier::{Verifier, VerifierBounds};
 
 fn bench_verification(c: &mut Criterion) {
-    let problem =
-        find("/coq/unique-list-::-set").unwrap().problem().expect("benchmark elaborates");
+    let problem = find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .expect("benchmark elaborates");
     let no_dup = parse_expr(
         "fix inv (l : list) : bool = \
            match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
     )
     .unwrap();
     let trivial = parse_expr("fun (l : list) -> True").unwrap();
-    let v_plus = vec![Value::nat_list(&[]), Value::nat_list(&[1]), Value::nat_list(&[2, 1])];
+    let v_plus = vec![
+        Value::nat_list(&[]),
+        Value::nat_list(&[1]),
+        Value::nat_list(&[2, 1]),
+    ];
 
     let mut group = c.benchmark_group("verification");
     group.sample_size(10);
 
-    for (label, bounds) in [("quick", VerifierBounds::quick())] {
+    {
+        let (label, bounds) = ("quick", VerifierBounds::quick());
         let verifier = Verifier::new(&problem).with_bounds(bounds);
         group.bench_function(format!("sufficiency_valid_{label}"), |b| {
             b.iter(|| verifier.check_sufficiency(&no_dup).unwrap())
@@ -32,7 +39,11 @@ fn bench_verification(c: &mut Criterion) {
             b.iter(|| verifier.check_sufficiency(&trivial).unwrap())
         });
         group.bench_function(format!("visible_inductiveness_{label}"), |b| {
-            b.iter(|| verifier.check_visible_inductiveness(&v_plus, &no_dup).unwrap())
+            b.iter(|| {
+                verifier
+                    .check_visible_inductiveness(&v_plus, &no_dup)
+                    .unwrap()
+            })
         });
         group.bench_function(format!("full_inductiveness_{label}"), |b| {
             b.iter(|| verifier.check_full_inductiveness(&no_dup).unwrap())

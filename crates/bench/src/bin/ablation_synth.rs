@@ -24,12 +24,19 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs);
 
-    let mut harness = if full { HarnessConfig::full() } else { HarnessConfig::quick() };
+    let mut harness = if full {
+        HarnessConfig::full()
+    } else {
+        HarnessConfig::quick()
+    };
     if let Some(timeout) = timeout {
         harness.timeout = timeout;
     }
-    let benchmarks =
-        if full { hanoi_benchmarks::registry() } else { hanoi_benchmarks::quick_subset() };
+    let benchmarks = if full {
+        hanoi_benchmarks::registry()
+    } else {
+        hanoi_benchmarks::quick_subset()
+    };
 
     let mut rows: Vec<Row> = Vec::new();
     for (label, choice) in ablation_synthesizers() {
@@ -39,7 +46,10 @@ fn main() {
                 .inference_config(Mode::Hanoi, Optimizations::all())
                 .with_synthesizer(choice);
             let row = run_benchmark(benchmark, config, label);
-            eprintln!("  {} -> {:?} in {:.1}s", benchmark.id, row.status, row.time_secs);
+            eprintln!(
+                "  {} -> {:?} in {:.1}s",
+                benchmark.id, row.status, row.time_secs
+            );
             rows.push(row);
         }
     }
@@ -53,21 +63,24 @@ fn main() {
         .iter()
         .map(|b| b.id)
         .filter(|id| {
-            hanoi_bench::ablation_synthesizers().iter().all(|(label, _)| {
-                rows.iter().any(|r| {
-                    r.id == *id && r.mode == *label && r.status == hanoi_bench::RunStatus::Completed
+            hanoi_bench::ablation_synthesizers()
+                .iter()
+                .all(|(label, _)| {
+                    rows.iter().any(|r| {
+                        r.id == *id
+                            && r.mode == *label
+                            && r.status == hanoi_bench::RunStatus::Completed
+                    })
                 })
-            })
         })
         .collect();
     if !solved_by_both.is_empty() {
-        let total =
-            |label: &str| -> f64 {
-                rows.iter()
-                    .filter(|r| r.mode == label && solved_by_both.contains(&r.id.as_str()))
-                    .map(|r| r.time_secs)
-                    .sum()
-            };
+        let total = |label: &str| -> f64 {
+            rows.iter()
+                .filter(|r| r.mode == label && solved_by_both.contains(&r.id.as_str()))
+                .map(|r| r.time_secs)
+                .sum()
+        };
         let myth = total("myth");
         let fold = total("fold");
         println!(

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p hanoi-bench --release --bin figure7 [-- --quick] [-- --timeout <secs>] [-- --out <path>]
+//! cargo run -p hanoi-bench --release --bin figure7 [-- --quick] [-- --timeout <secs>] [-- --parallelism <n>] [-- --out <path>]
 //! ```
 //!
 //! `--quick` runs the fast subset with reduced verifier bounds (a smoke run);
@@ -27,6 +27,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs);
+    let parallelism = args
+        .iter()
+        .position(|a| a == "--parallelism")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -34,18 +40,30 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "target/figure7.json".to_string());
 
-    let mut harness = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    let mut harness = if quick {
+        HarnessConfig::quick()
+    } else {
+        HarnessConfig::full()
+    };
     if let Some(timeout) = timeout {
         harness.timeout = timeout;
     }
-    let benchmarks =
-        if quick { hanoi_benchmarks::quick_subset() } else { hanoi_benchmarks::registry() };
+    harness.parallelism = parallelism;
+    let benchmarks = if quick {
+        hanoi_benchmarks::quick_subset()
+    } else {
+        hanoi_benchmarks::registry()
+    };
 
     eprintln!(
         "figure7: running {} benchmark(s), timeout {:?}, {} bounds",
         benchmarks.len(),
         harness.timeout,
-        if harness.paper_bounds { "paper" } else { "quick" }
+        if harness.paper_bounds {
+            "paper"
+        } else {
+            "quick"
+        }
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -62,9 +80,8 @@ fn main() {
 
     println!("{}", figure7_table(&rows));
     println!("{}", completion_summary(&rows));
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        if std::fs::write(&out_path, json).is_ok() {
-            eprintln!("wrote {out_path}");
-        }
+    let json = hanoi_bench::json::Json::Arr(rows.iter().map(Row::to_json).collect());
+    if std::fs::write(&out_path, json.render_pretty()).is_ok() {
+        eprintln!("wrote {out_path}");
     }
 }

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p hanoi-bench --release --bin figure8 [-- --quick] [-- --timeout <secs>] [-- --out <path>]
+//! cargo run -p hanoi-bench --release --bin figure8 [-- --quick] [-- --timeout <secs>] [-- --parallelism <n>] [-- --out <path>]
 //! ```
 
 use std::time::Duration;
@@ -21,6 +21,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs);
+    let parallelism = args
+        .iter()
+        .position(|a| a == "--parallelism")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -28,12 +34,20 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "target/figure8.json".to_string());
 
-    let mut harness = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    let mut harness = if quick {
+        HarnessConfig::quick()
+    } else {
+        HarnessConfig::full()
+    };
     if let Some(timeout) = timeout {
         harness.timeout = timeout;
     }
-    let benchmarks =
-        if quick { hanoi_benchmarks::quick_subset() } else { hanoi_benchmarks::registry() };
+    harness.parallelism = parallelism;
+    let benchmarks = if quick {
+        hanoi_benchmarks::quick_subset()
+    } else {
+        hanoi_benchmarks::registry()
+    };
 
     eprintln!(
         "figure8: running {} benchmark(s) x 6 modes, timeout {:?}",
@@ -47,19 +61,24 @@ fn main() {
         for benchmark in &benchmarks {
             let config = harness.inference_config(mode, optimizations);
             let row = run_benchmark(benchmark, config, label);
-            eprintln!("  {} -> {:?} in {:.1}s", benchmark.id, row.status, row.time_secs);
+            eprintln!(
+                "  {} -> {:?} in {:.1}s",
+                benchmark.id, row.status, row.time_secs
+            );
             rows.push(row);
         }
     }
 
     let max = harness.timeout.as_secs_f64();
-    let thresholds: Vec<f64> =
-        [0.02, 0.05, 0.1, 0.2, 0.5].iter().map(|f| f * max).chain([max]).collect();
+    let thresholds: Vec<f64> = [0.02, 0.05, 0.1, 0.2, 0.5]
+        .iter()
+        .map(|f| f * max)
+        .chain([max])
+        .collect();
     println!("{}", figure8_series(&rows, &thresholds));
     println!("{}", completion_summary(&rows));
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        if std::fs::write(&out_path, json).is_ok() {
-            eprintln!("wrote {out_path}");
-        }
+    let json = hanoi_bench::json::Json::Arr(rows.iter().map(Row::to_json).collect());
+    if std::fs::write(&out_path, json.render_pretty()).is_ok() {
+        eprintln!("wrote {out_path}");
     }
 }

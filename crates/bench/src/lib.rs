@@ -15,6 +15,7 @@
 //! different synthesizer implementation); the harness exists to reproduce the
 //! *shape* of the results, and EXPERIMENTS.md records the comparison.
 
+pub mod json;
 pub mod report;
 
 use std::time::Duration;
@@ -22,10 +23,11 @@ use std::time::Duration;
 use hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome, SynthChoice};
 use hanoi_benchmarks::Benchmark;
 use hanoi_verifier::VerifierBounds;
-use serde::{Deserialize, Serialize};
+
+use crate::json::{Json, JsonError};
 
 /// How an individual run ended, in serialisable form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunStatus {
     /// An invariant was inferred.
     Completed,
@@ -35,8 +37,29 @@ pub enum RunStatus {
     Failed,
 }
 
+impl RunStatus {
+    /// Serialised form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunStatus::Completed => "Completed",
+            RunStatus::TimedOut => "TimedOut",
+            RunStatus::Failed => "Failed",
+        }
+    }
+
+    /// Inverse of [`RunStatus::as_str`].
+    pub fn from_str_name(s: &str) -> Option<RunStatus> {
+        match s {
+            "Completed" => Some(RunStatus::Completed),
+            "TimedOut" => Some(RunStatus::TimedOut),
+            "Failed" => Some(RunStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
 /// One row of a result table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Benchmark id.
     pub id: String,
@@ -67,6 +90,93 @@ pub struct Row {
 }
 
 impl Row {
+    /// Serialises the row to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            ("status", Json::Str(self.status.as_str().to_string())),
+            ("invariant", Json::opt(self.invariant.clone(), Json::Str)),
+            ("size", Json::opt(self.size, |s| Json::Num(s as f64))),
+            ("time_secs", Json::Num(self.time_secs)),
+            ("tvt_secs", Json::Num(self.tvt_secs)),
+            ("tvc", Json::Num(self.tvc as f64)),
+            ("tst_secs", Json::Num(self.tst_secs)),
+            ("tsc", Json::Num(self.tsc as f64)),
+            ("iterations", Json::Num(self.iterations as f64)),
+            (
+                "paper_size",
+                Json::opt(self.paper_size, |s| Json::Num(s as f64)),
+            ),
+            (
+                "paper_time_secs",
+                Json::opt(self.paper_time_secs, Json::Num),
+            ),
+        ])
+    }
+
+    /// Deserialises a row from the output of [`Row::to_json`].
+    pub fn from_json(text: &str) -> Result<Row, JsonError> {
+        let value = json::parse(text)?;
+        Row::from_json_value(&value)
+    }
+
+    /// Deserialises a row from an already-parsed JSON value.
+    pub fn from_json_value(value: &Json) -> Result<Row, JsonError> {
+        let missing = |field: &str| JsonError {
+            message: format!("missing or ill-typed field `{field}`"),
+            offset: 0,
+        };
+        Ok(Row {
+            id: value
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("id"))?
+                .to_string(),
+            mode: value
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("mode"))?
+                .to_string(),
+            status: value
+                .get("status")
+                .and_then(Json::as_str)
+                .and_then(RunStatus::from_str_name)
+                .ok_or_else(|| missing("status"))?,
+            invariant: value
+                .get("invariant")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            size: value.get("size").and_then(Json::as_usize),
+            time_secs: value
+                .get("time_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("time_secs"))?,
+            tvt_secs: value
+                .get("tvt_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("tvt_secs"))?,
+            tvc: value
+                .get("tvc")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("tvc"))?,
+            tst_secs: value
+                .get("tst_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("tst_secs"))?,
+            tsc: value
+                .get("tsc")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("tsc"))?,
+            iterations: value
+                .get("iterations")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("iterations"))?,
+            paper_size: value.get("paper_size").and_then(Json::as_usize),
+            paper_time_secs: value.get("paper_time_secs").and_then(Json::as_f64),
+        })
+    }
+
     /// Mean verification time per call (*MVT*), seconds.
     pub fn mvt_secs(&self) -> Option<f64> {
         (self.tvc > 0).then(|| self.tvt_secs / self.tvc as f64)
@@ -85,29 +195,52 @@ pub struct HarnessConfig {
     pub timeout: Duration,
     /// Use the paper's verifier bounds (`false` = reduced "quick" bounds).
     pub paper_bounds: bool,
+    /// Verifier worker threads (`1` = serial like the paper, `0` = one
+    /// worker per available core). Outcomes are identical either way; only
+    /// the wall-clock columns change.
+    pub parallelism: usize,
 }
 
 impl HarnessConfig {
     /// A quick configuration for smoke runs and CI: reduced verifier bounds
     /// and a small per-benchmark budget.
     pub fn quick() -> Self {
-        HarnessConfig { timeout: Duration::from_secs(20), paper_bounds: false }
+        HarnessConfig {
+            timeout: Duration::from_secs(20),
+            paper_bounds: false,
+            parallelism: 1,
+        }
     }
 
     /// A fuller configuration closer to the paper's setup (still with a
     /// reduced default budget; pass `--timeout` to the binaries to raise it).
     pub fn full() -> Self {
-        HarnessConfig { timeout: Duration::from_secs(300), paper_bounds: true }
+        HarnessConfig {
+            timeout: Duration::from_secs(300),
+            paper_bounds: true,
+            parallelism: 1,
+        }
+    }
+
+    /// Sets the verifier worker-thread count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Builds the inference configuration for one mode.
     pub fn inference_config(&self, mode: Mode, optimizations: Optimizations) -> HanoiConfig {
-        let bounds = if self.paper_bounds { VerifierBounds::paper() } else { VerifierBounds::quick() };
+        let bounds = if self.paper_bounds {
+            VerifierBounds::paper()
+        } else {
+            VerifierBounds::quick()
+        };
         HanoiConfig {
             mode,
             bounds,
             optimizations,
             timeout: Some(self.timeout),
+            parallelism: self.parallelism,
             ..HanoiConfig::default()
         }
     }
@@ -192,9 +325,10 @@ mod tests {
         assert!(row.mvt_secs().is_some());
         assert!(row.time_secs > 0.0);
         // Serialises cleanly.
-        let json = serde_json::to_string(&row).unwrap();
-        let back: Row = serde_json::from_str(&json).unwrap();
+        let json = row.to_json().render();
+        let back = Row::from_json(&json).unwrap();
         assert_eq!(back.id, row.id);
+        assert_eq!(back.status, row.status);
     }
 
     #[test]

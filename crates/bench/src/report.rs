@@ -8,7 +8,16 @@ pub fn figure7_table(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<42} {:>5} {:>9} {:>9} {:>5} {:>8} {:>8} {:>5} {:>8} | {:>5} {:>9}\n",
-        "Name", "Size", "Time(s)", "TVT(s)", "TVC", "MVT(s)", "TST(s)", "TSC", "MST(s)", "pSize",
+        "Name",
+        "Size",
+        "Time(s)",
+        "TVT(s)",
+        "TVC",
+        "MVT(s)",
+        "TST(s)",
+        "TSC",
+        "MST(s)",
+        "pSize",
         "pTime(s)"
     ));
     out.push_str(&"-".repeat(128));
@@ -47,7 +56,9 @@ pub fn figure7_table(rows: &[Row]) -> String {
             ),
         };
         let paper_size = row.paper_size.map_or("t/o".into(), |s| s.to_string());
-        let paper_time = row.paper_time_secs.map_or("t/o".into(), |t| format!("{t:.1}"));
+        let paper_time = row
+            .paper_time_secs
+            .map_or("t/o".into(), |t| format!("{t:.1}"));
         out.push_str(&format!(
             "{:<42} {:>5} {:>9} {:>9} {:>5} {:>8} {:>8} {:>5} {:>8} | {:>5} {:>9}\n",
             row.id, size, time, tvt, tvc, mvt, tst, tsc, mst, paper_size, paper_time
@@ -81,9 +92,7 @@ pub fn figure8_series(rows: &[Row], thresholds: &[f64]) -> String {
             let completed = rows
                 .iter()
                 .filter(|r| {
-                    r.mode == mode
-                        && r.status == RunStatus::Completed
-                        && r.time_secs <= threshold
+                    r.mode == mode && r.status == RunStatus::Completed && r.time_secs <= threshold
                 })
                 .count();
             out.push_str(&format!(" {completed:>8}"));

@@ -34,7 +34,11 @@ fn list_set_hofs(ops: &str) -> String {
 /// The max-first list "heap": the head of the list is always a maximum
 /// element.
 fn maxfirst_heap(with_merge: bool) -> String {
-    let merge_val = if with_merge { "  val merge : t -> t -> t\n" } else { "" };
+    let merge_val = if with_merge {
+        "  val merge : t -> t -> t\n"
+    } else {
+        ""
+    };
     let merge_op = if with_merge {
         r#"
   let rec merge (a : t) (b : t) : t =
@@ -286,7 +290,13 @@ spec (s1 : t) (s2 : t) (i : nat) =
 /// The 14 benchmarks of the group.
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
-        make("/coq/bst-::-set", Group::Coq, bst_set("", "", SET_SPEC), true, None),
+        make(
+            "/coq/bst-::-set",
+            Group::Coq,
+            bst_set("", "", SET_SPEC),
+            true,
+            None,
+        ),
         make(
             "/coq/bst-::-set+binfuncs",
             Group::Coq,
@@ -301,7 +311,13 @@ pub fn benchmarks() -> Vec<Benchmark> {
             true,
             None,
         ),
-        make("/coq/rbtree-::-set", Group::Coq, rbtree_set("", "", RB_SPEC), true, None),
+        make(
+            "/coq/rbtree-::-set",
+            Group::Coq,
+            rbtree_set("", "", RB_SPEC),
+            true,
+            None,
+        ),
         make(
             "/coq/rbtree-::-set+binfuncs",
             Group::Coq,

@@ -288,8 +288,20 @@ spec (s : t) (i : nat) =
 /// The 6 benchmarks of the group.
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
-        make("/other/cache", Group::Other, cache(), false, Some((29, 1.3))),
-        make("/other/listlike-tree", Group::Other, listlike_tree(), false, Some((53, 9.0))),
+        make(
+            "/other/cache",
+            Group::Other,
+            cache(),
+            false,
+            Some((29, 1.3)),
+        ),
+        make(
+            "/other/listlike-tree",
+            Group::Other,
+            listlike_tree(),
+            false,
+            Some((53, 9.0)),
+        ),
         make(
             "/other/nat-nat-option-::-range",
             Group::Other,
@@ -297,8 +309,26 @@ pub fn benchmarks() -> Vec<Benchmark> {
             false,
             Some((23, 1.6)),
         ),
-        make("/other/rational", Group::Other, rational(), false, Some((28, 8.6))),
-        make("/other/sized-list", Group::Other, sized_list(), false, Some((45, 15.4))),
-        make("/other/stutter-list", Group::Other, stutter_list(), false, Some((49, 6.9))),
+        make(
+            "/other/rational",
+            Group::Other,
+            rational(),
+            false,
+            Some((28, 8.6)),
+        ),
+        make(
+            "/other/sized-list",
+            Group::Other,
+            sized_list(),
+            false,
+            Some((45, 15.4)),
+        ),
+        make(
+            "/other/stutter-list",
+            Group::Other,
+            stutter_list(),
+            false,
+            Some((49, 6.9)),
+        ),
     ]
 }

@@ -130,7 +130,11 @@ spec (m : t) (k : pos) (v : nat) =
 /// paper adds (playing the role of `true_maximum`) so the invariant is
 /// expressible without synthesizing an auxiliary fold.
 fn tree_priqueue(with_merge: bool) -> String {
-    let merge_val = if with_merge { "  val merge : t -> t -> t\n" } else { "" };
+    let merge_val = if with_merge {
+        "  val merge : t -> t -> t\n"
+    } else {
+        ""
+    };
     let merge_op = if with_merge {
         r#"
   let rec merge (a : t) (b : t) : t =
@@ -205,8 +209,20 @@ pub fn benchmarks() -> Vec<Benchmark> {
             false,
             Some((4, 1.9)),
         ),
-        make("/vfa/bst-::-table", Group::Vfa, bst_table("", "", ""), false, Some((4, 12.9))),
-        make("/vfa/tree-::-priqueue", Group::Vfa, tree_priqueue(false), true, Some((47, 65.7))),
+        make(
+            "/vfa/bst-::-table",
+            Group::Vfa,
+            bst_table("", "", ""),
+            false,
+            Some((4, 12.9)),
+        ),
+        make(
+            "/vfa/tree-::-priqueue",
+            Group::Vfa,
+            tree_priqueue(false),
+            true,
+            Some((47, 65.7)),
+        ),
         make(
             "/vfa/tree-::-priqueue+binfuncs",
             Group::Vfa,
@@ -214,6 +230,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             true,
             Some((47, 79.4)),
         ),
-        make("/vfa/trie-::-table", Group::Vfa, trie_table("", "", ""), false, Some((4, 17.7))),
+        make(
+            "/vfa/trie-::-table",
+            Group::Vfa,
+            trie_table("", "", ""),
+            false,
+            Some((4, 17.7)),
+        ),
     ]
 }

@@ -93,7 +93,10 @@ pub fn find(id: &str) -> Option<Benchmark> {
 
 /// The subset of the suite the paper reports as solvable within 30 minutes.
 pub fn paper_completed() -> Vec<Benchmark> {
-    registry().into_iter().filter(|b| b.paper_completed).collect()
+    registry()
+        .into_iter()
+        .filter(|b| b.paper_completed)
+        .collect()
 }
 
 /// A small subset of fast benchmarks used by integration tests and quick
@@ -108,7 +111,10 @@ pub fn quick_subset() -> Vec<Benchmark> {
         "/vfa/assoc-list-::-table",
         "/vfa/bst-::-table",
     ];
-    registry().into_iter().filter(|b| QUICK.contains(&b.id)).collect()
+    registry()
+        .into_iter()
+        .filter(|b| QUICK.contains(&b.id))
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,7 +127,10 @@ mod tests {
         assert_eq!(all.len(), 28);
         assert_eq!(all.iter().filter(|b| b.group == Group::Coq).count(), 14);
         assert_eq!(all.iter().filter(|b| b.group == Group::Other).count(), 6);
-        assert_eq!(all.iter().filter(|b| b.group == Group::VfaExtended).count(), 3);
+        assert_eq!(
+            all.iter().filter(|b| b.group == Group::VfaExtended).count(),
+            3
+        );
         assert_eq!(all.iter().filter(|b| b.group == Group::Vfa).count(), 5);
         // Ids are unique.
         let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
@@ -148,7 +157,11 @@ mod tests {
             let problem = benchmark
                 .problem()
                 .unwrap_or_else(|e| panic!("benchmark {} is broken: {e}", benchmark.id));
-            assert!(problem.interface.len() >= 2, "{} has too few operations", benchmark.id);
+            assert!(
+                problem.interface.len() >= 2,
+                "{} has too few operations",
+                benchmark.id
+            );
             assert!(problem.spec.abstract_arity() >= 1);
         }
     }
@@ -165,7 +178,9 @@ mod tests {
 
     #[test]
     fn higher_order_flags() {
-        assert!(find("/coq/unique-list-::-set+hofs").unwrap().is_higher_order());
+        assert!(find("/coq/unique-list-::-set+hofs")
+            .unwrap()
+            .is_higher_order());
         assert!(!find("/coq/unique-list-::-set").unwrap().is_higher_order());
     }
 }

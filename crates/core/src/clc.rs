@@ -38,7 +38,10 @@ impl CexListCache {
 
     /// Records that `candidate` was answered with `negatives`.
     pub fn record(&mut self, candidate: Expr, negatives: Vec<Value>) {
-        self.trace.push(TraceStep { candidate, negatives });
+        self.trace.push(TraceStep {
+            candidate,
+            negatives,
+        });
     }
 
     /// Number of recorded steps.
@@ -78,7 +81,10 @@ impl CexListCache {
             }
             keep += 1;
             restored.extend(
-                step.negatives.iter().filter(|n| !v_plus.contains(n)).cloned(),
+                step.negatives
+                    .iter()
+                    .filter(|n| !v_plus.contains(n))
+                    .cloned(),
             );
         }
         self.trace.truncate(keep);

@@ -22,7 +22,12 @@ pub enum Mode {
 impl Mode {
     /// All modes, in the order they appear in Figure 8.
     pub fn all() -> [Mode; 4] {
-        [Mode::Hanoi, Mode::ConjStr, Mode::LinearArbitrary, Mode::OneShot]
+        [
+            Mode::Hanoi,
+            Mode::ConjStr,
+            Mode::LinearArbitrary,
+            Mode::OneShot,
+        ]
     }
 
     /// The label used in experiment reports.
@@ -70,7 +75,10 @@ pub struct Optimizations {
 
 impl Default for Optimizations {
     fn default() -> Self {
-        Optimizations { synthesis_result_caching: true, counterexample_list_caching: true }
+        Optimizations {
+            synthesis_result_caching: true,
+            counterexample_list_caching: true,
+        }
     }
 }
 
@@ -82,17 +90,26 @@ impl Optimizations {
 
     /// Synthesis-result caching disabled (the paper's "Hanoi-SRC" mode).
     pub fn without_src() -> Self {
-        Optimizations { synthesis_result_caching: false, ..Optimizations::default() }
+        Optimizations {
+            synthesis_result_caching: false,
+            ..Optimizations::default()
+        }
     }
 
     /// Counterexample-list caching disabled (the paper's "Hanoi-CLC" mode).
     pub fn without_clc() -> Self {
-        Optimizations { counterexample_list_caching: false, ..Optimizations::default() }
+        Optimizations {
+            counterexample_list_caching: false,
+            ..Optimizations::default()
+        }
     }
 
     /// Both optimizations disabled.
     pub fn none() -> Self {
-        Optimizations { synthesis_result_caching: false, counterexample_list_caching: false }
+        Optimizations {
+            synthesis_result_caching: false,
+            counterexample_list_caching: false,
+        }
     }
 }
 
@@ -116,6 +133,12 @@ pub struct HanoiConfig {
     pub max_iterations: usize,
     /// Number of smallest values the OneShot baseline labels (30 in §5.5).
     pub one_shot_samples: usize,
+    /// Worker threads for the bounded enumerative verifier: `1` (the
+    /// default) runs serially like the paper's implementation, `0` uses one
+    /// worker per available core, any other value is taken literally.
+    /// Parallel verification is outcome-identical to serial verification —
+    /// counterexample selection stays deterministic.
+    pub parallelism: usize,
 }
 
 impl Default for HanoiConfig {
@@ -129,6 +152,7 @@ impl Default for HanoiConfig {
             timeout: Some(Duration::from_secs(30 * 60)),
             max_iterations: 400,
             one_shot_samples: 30,
+            parallelism: 1,
         }
     }
 }
@@ -174,6 +198,13 @@ impl HanoiConfig {
         self.timeout = timeout;
         self
     }
+
+    /// Sets the verifier's worker-thread count (`1` = serial, `0` = one
+    /// worker per available core).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +220,8 @@ mod tests {
         assert_eq!(config.one_shot_samples, 30);
         assert!(config.optimizations.synthesis_result_caching);
         assert!(config.optimizations.counterexample_list_caching);
+        // The paper's implementation is serial; parallelism is opt-in.
+        assert_eq!(config.parallelism, 1);
     }
 
     #[test]
@@ -205,7 +238,9 @@ mod tests {
         let config = HanoiConfig::quick()
             .with_mode(Mode::OneShot)
             .with_synthesizer(SynthChoice::Fold)
-            .with_timeout(None);
+            .with_timeout(None)
+            .with_parallelism(4);
+        assert_eq!(config.parallelism, 4);
         assert_eq!(config.mode, Mode::OneShot);
         assert_eq!(config.synthesizer, SynthChoice::Fold);
         assert_eq!(config.timeout, None);

@@ -8,9 +8,7 @@ use hanoi_lang::ast::Expr;
 use hanoi_lang::util::{Deadline, OrderedSet};
 use hanoi_lang::value::Value;
 use hanoi_synth::{ExampleSet, FoldSynth, MythSynth, SynthError, SynthesisCache, Synthesizer};
-use hanoi_verifier::{
-    InductivenessOutcome, SufficiencyOutcome, Verifier, VerifierError,
-};
+use hanoi_verifier::{InductivenessOutcome, SufficiencyOutcome, Verifier, VerifierError};
 
 use crate::clc::CexListCache;
 use crate::config::{HanoiConfig, SynthChoice};
@@ -45,13 +43,13 @@ impl<'p> InferenceContext<'p> {
             Some(timeout) => Deadline::after(timeout),
             None => Deadline::none(),
         };
-        let verifier =
-            Verifier::new(problem).with_bounds(config.bounds).with_deadline(deadline);
+        let verifier = Verifier::new(problem)
+            .with_bounds(config.bounds)
+            .with_deadline(deadline)
+            .with_parallelism(config.parallelism);
         let synthesizer: Box<dyn Synthesizer> = match config.synthesizer {
             SynthChoice::Myth => Box::new(MythSynth::with_config(config.search.clone())),
-            SynthChoice::Fold => {
-                Box::new(FoldSynth::new().with_config(config.search.clone()))
-            }
+            SynthChoice::Fold => Box::new(FoldSynth::new().with_config(config.search.clone())),
         };
         InferenceContext {
             problem,
@@ -114,7 +112,9 @@ impl<'p> InferenceContext<'p> {
             }
         }
         let start = Instant::now();
-        let result = self.synthesizer.synthesize(self.problem, &examples, &self.deadline);
+        let result = self
+            .synthesizer
+            .synthesize(self.problem, &examples, &self.deadline);
         self.stats.record_synthesis(start.elapsed());
         match result {
             Ok(candidate) => {
@@ -129,7 +129,9 @@ impl<'p> InferenceContext<'p> {
     /// Timed visible-inductiveness check (`ClosedPositives`).
     pub fn check_visible(&mut self, candidate: &Expr) -> Result<InductivenessOutcome, Outcome> {
         let start = Instant::now();
-        let result = self.verifier.check_visible_inductiveness(self.v_plus.as_slice(), candidate);
+        let result = self
+            .verifier
+            .check_visible_inductiveness(self.v_plus.as_slice(), candidate);
         self.stats.record_verification(start.elapsed());
         Self::map_verifier_result(result)
     }
@@ -166,7 +168,9 @@ impl<'p> InferenceContext<'p> {
         match result {
             Ok(value) => Ok(value),
             Err(VerifierError::Timeout) => Err(Outcome::Timeout),
-            Err(other) => Err(Outcome::SynthesisFailure(format!("verifier failed: {other}"))),
+            Err(other) => Err(Outcome::SynthesisFailure(format!(
+                "verifier failed: {other}"
+            ))),
         }
     }
 
@@ -190,8 +194,11 @@ impl<'p> InferenceContext<'p> {
     ///
     /// Returns the values that were actually added.
     pub fn add_negatives(&mut self, candidate: &Expr, values: &[Value]) -> Vec<Value> {
-        let fresh: Vec<Value> =
-            values.iter().filter(|v| !self.v_plus.contains(v)).cloned().collect();
+        let fresh: Vec<Value> = values
+            .iter()
+            .filter(|v| !self.v_plus.contains(v))
+            .cloned()
+            .collect();
         self.v_minus.extend(fresh.iter().cloned());
         if !fresh.is_empty() {
             self.cex_cache.record(candidate.clone(), fresh.clone());

@@ -194,10 +194,7 @@ mod tests {
         // An "insert" that does not de-duplicate: the module does not satisfy
         // the SET specification, and Hanoi must report a constructible
         // counterexample rather than an invariant.
-        let buggy = LIST_SET.replace(
-            "if lookup l x then l else Cons (x, l)",
-            "Cons (x, l)",
-        );
+        let buggy = LIST_SET.replace("if lookup l x then l else Cons (x, l)", "Cons (x, l)");
         let problem = Problem::from_source(&buggy).unwrap();
         let driver = Driver::new(&problem, HanoiConfig::quick());
         let result = driver.run();

@@ -30,8 +30,7 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
             }
             ctx.stats.iterations += 1;
             if ctx.stats.iterations > ctx.config.max_iterations {
-                let message =
-                    format!("iteration cap of {} reached", ctx.config.max_iterations);
+                let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
                 return ctx.finish(Outcome::SynthesisFailure(message));
             }
             let candidate = match ctx.synthesize_candidate() {
@@ -58,8 +57,7 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
             }
             ctx.stats.iterations += 1;
             if ctx.stats.iterations > ctx.config.max_iterations {
-                let message =
-                    format!("iteration cap of {} reached", ctx.config.max_iterations);
+                let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
                 return ctx.finish(Outcome::SynthesisFailure(message));
             }
             let conjunction = conjoin(&concrete, &conjuncts);
@@ -141,8 +139,12 @@ mod tests {
         let result = Driver::new(&problem, config).run();
         match &result.outcome {
             Outcome::Invariant(invariant) => {
-                assert!(problem.eval_predicate(invariant, &Value::nat_list(&[2, 1])).unwrap());
-                assert!(!problem.eval_predicate(invariant, &Value::nat_list(&[1, 1])).unwrap());
+                assert!(problem
+                    .eval_predicate(invariant, &Value::nat_list(&[2, 1]))
+                    .unwrap());
+                assert!(!problem
+                    .eval_predicate(invariant, &Value::nat_list(&[1, 1]))
+                    .unwrap());
             }
             other => panic!("∧Str failed on the running example: {other}"),
         }

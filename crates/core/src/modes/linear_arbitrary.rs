@@ -55,8 +55,7 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
                 Ok(InductivenessOutcome::Valid) => {}
                 Ok(InductivenessOutcome::Cex(cex)) => {
                     found_cex = true;
-                    let visible = !cex.s.is_empty()
-                        && cex.s.iter().all(|v| ctx.v_plus.contains(v))
+                    let visible = !cex.s.is_empty() && cex.s.iter().all(|v| ctx.v_plus.contains(v))
                         || cex.s.is_empty();
                     if visible {
                         // The counterexample happens to be a visible one:
@@ -127,8 +126,12 @@ mod tests {
         let result = Driver::new(&problem, config).run();
         match &result.outcome {
             Outcome::Invariant(invariant) => {
-                assert!(problem.eval_predicate(invariant, &Value::nat_list(&[2, 1])).unwrap());
-                assert!(!problem.eval_predicate(invariant, &Value::nat_list(&[1, 1])).unwrap());
+                assert!(problem
+                    .eval_predicate(invariant, &Value::nat_list(&[2, 1]))
+                    .unwrap());
+                assert!(!problem
+                    .eval_predicate(invariant, &Value::nat_list(&[1, 1]))
+                    .unwrap());
             }
             other => panic!("LA failed on the running example: {other}"),
         }

@@ -17,8 +17,10 @@ use hanoi_lang::types::Type;
 /// Conjoins candidate predicates into a single predicate
 /// `fun x -> p1 x && p2 x && …` over the concrete type.
 pub(crate) fn conjoin(concrete: &Type, conjuncts: &[Expr]) -> Expr {
-    let applications =
-        conjuncts.iter().map(|p| Expr::app(p.clone(), Expr::var("__c"))).collect::<Vec<_>>();
+    let applications = conjuncts
+        .iter()
+        .map(|p| Expr::app(p.clone(), Expr::var("__c")))
+        .collect::<Vec<_>>();
     Expr::lambda("__c", concrete.clone(), Expr::and_all(applications))
 }
 

@@ -27,7 +27,9 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
 
     // Label the smallest values by evaluating the specification with every
     // base-type quantifier instantiated over a small enumeration.
-    let samples = ctx.verifier().smallest_concrete_values(ctx.config.one_shot_samples);
+    let samples = ctx
+        .verifier()
+        .smallest_concrete_values(ctx.config.one_shot_samples);
     let labels: Vec<(Value, bool)> = samples
         .iter()
         .map(|sample| (sample.clone(), spec_holds_on(&mut ctx, sample)))
@@ -47,15 +49,14 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
         Ok(examples) => examples,
         Err(e) => return ctx.finish(Outcome::SynthesisFailure(e.to_string())),
     };
-    let (examples, _) =
-        examples.trace_completed(&ctx.problem.tyenv, ctx.problem.concrete_type());
+    let (examples, _) = examples.trace_completed(&ctx.problem.tyenv, ctx.problem.concrete_type());
 
     let candidate = {
         let start = std::time::Instant::now();
         let mut synth: Box<dyn hanoi_synth::Synthesizer> = match ctx.config.synthesizer {
-            crate::config::SynthChoice::Myth => {
-                Box::new(hanoi_synth::MythSynth::with_config(ctx.config.search.clone()))
-            }
+            crate::config::SynthChoice::Myth => Box::new(hanoi_synth::MythSynth::with_config(
+                ctx.config.search.clone(),
+            )),
             crate::config::SynthChoice::Fold => {
                 Box::new(hanoi_synth::FoldSynth::new().with_config(ctx.config.search.clone()))
             }
@@ -108,8 +109,11 @@ fn spec_holds_on(ctx: &mut InferenceContext<'_>, sample: &Value) -> bool {
     let mut holds = true;
     let mut assignment = vec![0usize; pools.len()];
     'outer: loop {
-        let args: Vec<Value> =
-            assignment.iter().zip(&pools).map(|(&i, pool)| pool[i].clone()).collect();
+        let args: Vec<Value> = assignment
+            .iter()
+            .zip(&pools)
+            .map(|(&i, pool)| pool[i].clone())
+            .collect();
         let ok = ctx
             .problem
             .eval_spec_with_fuel(&args, &mut Fuel::standard())

@@ -93,13 +93,20 @@ mod tests {
         assert!(inv.is_success());
         assert_eq!(inv.invariant(), Some(&Expr::tru()));
         assert!(!Outcome::Timeout.is_success());
-        assert!(Outcome::SpecViolation(vec![Value::nat(1)]).to_string().contains('1'));
-        assert!(Outcome::SynthesisFailure("cap".into()).to_string().contains("cap"));
+        assert!(Outcome::SpecViolation(vec![Value::nat(1)])
+            .to_string()
+            .contains('1'));
+        assert!(Outcome::SynthesisFailure("cap".into())
+            .to_string()
+            .contains("cap"));
     }
 
     #[test]
     fn run_result_records_invariant_size() {
-        let result = RunResult::new(Outcome::Invariant(Expr::and(Expr::tru(), Expr::fls())), RunStats::default());
+        let result = RunResult::new(
+            Outcome::Invariant(Expr::and(Expr::tru(), Expr::fls())),
+            RunStats::default(),
+        );
         assert_eq!(result.stats.invariant_size, Some(3));
         assert!(result.is_success());
         let result = RunResult::new(Outcome::Timeout, RunStats::default());

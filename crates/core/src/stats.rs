@@ -73,7 +73,10 @@ mod tests {
         stats.record_verification(Duration::from_millis(30));
         stats.record_synthesis(Duration::from_millis(8));
         assert_eq!(stats.verification_calls, 2);
-        assert_eq!(stats.mean_verification_time(), Some(Duration::from_millis(20)));
+        assert_eq!(
+            stats.mean_verification_time(),
+            Some(Duration::from_millis(20))
+        );
         assert_eq!(stats.mean_synthesis_time(), Some(Duration::from_millis(8)));
         assert_eq!(stats.synthesis_time, Duration::from_millis(8));
     }

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{LangError, TypeError};
 use crate::eval::{Evaluator, Fuel};
@@ -117,9 +117,9 @@ pub enum Expr {
     /// Function application.
     App(Box<Expr>, Box<Expr>),
     /// Lambda abstraction.
-    Lambda(Rc<LambdaExpr>),
+    Lambda(Arc<LambdaExpr>),
     /// Recursive function.
-    Fix(Rc<FixExpr>),
+    Fix(Arc<FixExpr>),
     /// Pattern match.
     Match(Box<Expr>, Vec<MatchArm>),
     /// Let binding.
@@ -174,12 +174,16 @@ impl Expr {
 
     /// A lambda abstraction.
     pub fn lambda(param: &str, param_ty: Type, body: Expr) -> Expr {
-        Expr::Lambda(Rc::new(LambdaExpr { param: Symbol::new(param), param_ty, body }))
+        Expr::Lambda(Arc::new(LambdaExpr {
+            param: Symbol::new(param),
+            param_ty,
+            body,
+        }))
     }
 
     /// A recursive function.
     pub fn fix(name: &str, param: &str, param_ty: Type, ret_ty: Type, body: Expr) -> Expr {
-        Expr::Fix(Rc::new(FixExpr {
+        Expr::Fix(Arc::new(FixExpr {
             name: Symbol::new(name),
             param: Symbol::new(param),
             param_ty,
@@ -228,6 +232,7 @@ impl Expr {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Expr) -> Expr {
         Expr::Not(Box::new(a))
     }
@@ -281,8 +286,10 @@ impl Expr {
                 scrutinee.free_vars_into(bound, out);
                 for arm in arms {
                     let vars = arm.pattern.bound_vars();
-                    let newly: Vec<Symbol> =
-                        vars.into_iter().filter(|v| bound.insert(v.clone())).collect();
+                    let newly: Vec<Symbol> = vars
+                        .into_iter()
+                        .filter(|v| bound.insert(v.clone()))
+                        .collect();
                     arm.body.free_vars_into(bound, out);
                     for v in newly {
                         bound.remove(&v);
@@ -337,7 +344,10 @@ pub struct TopLet {
 impl TopLet {
     /// The overall (curried) type of the binding.
     pub fn ty(&self) -> Type {
-        Type::arrows(self.params.iter().map(|(_, t)| t.clone()), self.ret_ty.clone())
+        Type::arrows(
+            self.params.iter().map(|(_, t)| t.clone()),
+            self.ret_ty.clone(),
+        )
     }
 
     /// Converts the binding into a single core expression (a chain of lambdas
@@ -350,15 +360,21 @@ impl TopLet {
             self.params
                 .iter()
                 .rev()
-                .fold(self.body.clone(), |acc, (p, t)| Expr::lambda(p.as_str(), t.clone(), acc))
+                .fold(self.body.clone(), |acc, (p, t)| {
+                    Expr::lambda(p.as_str(), t.clone(), acc)
+                })
         } else {
             let (first_param, first_ty) = &self.params[0];
             let inner = self.params[1..]
                 .iter()
                 .rev()
-                .fold(self.body.clone(), |acc, (p, t)| Expr::lambda(p.as_str(), t.clone(), acc));
-            let inner_ret =
-                Type::arrows(self.params[1..].iter().map(|(_, t)| t.clone()), self.ret_ty.clone());
+                .fold(self.body.clone(), |acc, (p, t)| {
+                    Expr::lambda(p.as_str(), t.clone(), acc)
+                });
+            let inner_ret = Type::arrows(
+                self.params[1..].iter().map(|(_, t)| t.clone()),
+                self.ret_ty.clone(),
+            );
             Expr::fix(
                 self.name.as_str(),
                 first_param.as_str(),
@@ -376,22 +392,21 @@ impl TopLet {
         fn subst_expr(e: &Expr, concrete: &Type) -> Expr {
             match e {
                 Expr::Var(_) => e.clone(),
-                Expr::Ctor(c, args) => {
-                    Expr::Ctor(c.clone(), args.iter().map(|a| subst_expr(a, concrete)).collect())
-                }
+                Expr::Ctor(c, args) => Expr::Ctor(
+                    c.clone(),
+                    args.iter().map(|a| subst_expr(a, concrete)).collect(),
+                ),
                 Expr::Tuple(args) => {
                     Expr::Tuple(args.iter().map(|a| subst_expr(a, concrete)).collect())
                 }
                 Expr::Proj(i, e) => Expr::Proj(*i, Box::new(subst_expr(e, concrete))),
-                Expr::App(a, b) => {
-                    Expr::app(subst_expr(a, concrete), subst_expr(b, concrete))
-                }
-                Expr::Lambda(l) => Expr::Lambda(Rc::new(LambdaExpr {
+                Expr::App(a, b) => Expr::app(subst_expr(a, concrete), subst_expr(b, concrete)),
+                Expr::Lambda(l) => Expr::Lambda(Arc::new(LambdaExpr {
                     param: l.param.clone(),
                     param_ty: l.param_ty.subst_abstract(concrete),
                     body: subst_expr(&l.body, concrete),
                 })),
-                Expr::Fix(fx) => Expr::Fix(Rc::new(FixExpr {
+                Expr::Fix(fx) => Expr::Fix(Arc::new(FixExpr {
                     name: fx.name.clone(),
                     param: fx.param.clone(),
                     param_ty: fx.param_ty.subst_abstract(concrete),
@@ -401,7 +416,9 @@ impl TopLet {
                 Expr::Match(s, arms) => Expr::Match(
                     Box::new(subst_expr(s, concrete)),
                     arms.iter()
-                        .map(|arm| MatchArm::new(arm.pattern.clone(), subst_expr(&arm.body, concrete)))
+                        .map(|arm| {
+                            MatchArm::new(arm.pattern.clone(), subst_expr(&arm.body, concrete))
+                        })
                         .collect(),
                 ),
                 Expr::Let(x, bound, body) => Expr::Let(
@@ -560,7 +577,12 @@ impl Program {
             checker.declare_global(top.name.clone(), declared);
             lets.push(top.clone());
         }
-        Ok(Elaborated { tyenv, globals, lets, program: self.clone() })
+        Ok(Elaborated {
+            tyenv,
+            globals,
+            lets,
+            program: self.clone(),
+        })
     }
 }
 
@@ -583,17 +605,21 @@ impl Elaborated {
     /// arguments.
     pub fn eval_call(&self, name: &str, args: &[Value]) -> Result<Value, LangError> {
         let evaluator = Evaluator::new(&self.tyenv);
-        let f = self
-            .globals
-            .lookup(&Symbol::new(name))
-            .ok_or_else(|| LangError::Eval(crate::error::EvalError::UnboundVariable(Symbol::new(name))))?;
+        let f = self.globals.lookup(&Symbol::new(name)).ok_or_else(|| {
+            LangError::Eval(crate::error::EvalError::UnboundVariable(Symbol::new(name)))
+        })?;
         let mut fuel = Fuel::new(1_000_000);
-        evaluator.apply_many(f.clone(), args, &mut fuel).map_err(LangError::Eval)
+        evaluator
+            .apply_many(f.clone(), args, &mut fuel)
+            .map_err(LangError::Eval)
     }
 
     /// The declared (curried) type of a prelude binding, if present.
     pub fn global_type(&self, name: &str) -> Option<Type> {
-        self.lets.iter().find(|l| l.name.as_str() == name).map(TopLet::ty)
+        self.lets
+            .iter()
+            .find(|l| l.name.as_str() == name)
+            .map(TopLet::ty)
     }
 }
 
@@ -660,7 +686,10 @@ mod tests {
             }
             other => panic!("expected a fix, got {other:?}"),
         }
-        assert_eq!(top.ty(), Type::arrow(Type::named("nat"), Type::named("nat")));
+        assert_eq!(
+            top.ty(),
+            Type::arrow(Type::named("nat"), Type::named("nat"))
+        );
     }
 
     #[test]
@@ -680,7 +709,10 @@ mod tests {
         let top = TopLet {
             name: Symbol::new("insert"),
             recursive: false,
-            params: vec![(Symbol::new("s"), Type::Abstract), (Symbol::new("x"), Type::named("nat"))],
+            params: vec![
+                (Symbol::new("s"), Type::Abstract),
+                (Symbol::new("x"), Type::named("nat")),
+            ],
             ret_ty: Type::Abstract,
             body: Expr::var("s"),
         };

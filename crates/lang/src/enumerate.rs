@@ -8,7 +8,7 @@
 //! verification call, of which a run makes dozens) are cheap.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::symbol::Symbol;
 use crate::types::{Type, TypeEnv};
@@ -18,28 +18,31 @@ use crate::value::Value;
 #[derive(Debug, Clone)]
 pub struct ValueEnumerator<'a> {
     tyenv: &'a TypeEnv,
-    cache: HashMap<(Type, usize), Rc<Vec<Value>>>,
+    cache: HashMap<(Type, usize), Arc<Vec<Value>>>,
 }
 
 impl<'a> ValueEnumerator<'a> {
     /// Creates an enumerator over the given data type environment.
     pub fn new(tyenv: &'a TypeEnv) -> Self {
-        ValueEnumerator { tyenv, cache: HashMap::new() }
+        ValueEnumerator {
+            tyenv,
+            cache: HashMap::new(),
+        }
     }
 
     /// All values of `ty` with exactly `size` constructor/tuple nodes.
     ///
     /// Function types and the abstract type have no enumerable values and
     /// yield an empty list.
-    pub fn values_of_size(&mut self, ty: &Type, size: usize) -> Rc<Vec<Value>> {
+    pub fn values_of_size(&mut self, ty: &Type, size: usize) -> Arc<Vec<Value>> {
         if size == 0 {
-            return Rc::new(Vec::new());
+            return Arc::new(Vec::new());
         }
         let key = (ty.clone(), size);
         if let Some(cached) = self.cache.get(&key) {
             return cached.clone();
         }
-        let result = Rc::new(self.compute(ty, size));
+        let result = Arc::new(self.compute(ty, size));
         self.cache.insert(key, result.clone());
         result
     }
@@ -58,7 +61,7 @@ impl<'a> ValueEnumerator<'a> {
                 } else {
                     let mut out = Vec::new();
                     for split in compositions(size - 1, elems.len()) {
-                        let groups: Vec<Rc<Vec<Value>>> = elems
+                        let groups: Vec<Arc<Vec<Value>>> = elems
                             .iter()
                             .zip(&split)
                             .map(|(t, &s)| self.values_of_size(t, s))
@@ -72,9 +75,14 @@ impl<'a> ValueEnumerator<'a> {
     }
 
     fn compute_named(&mut self, name: &Symbol, size: usize) -> Vec<Value> {
-        let Some(decl) = self.tyenv.lookup(name) else { return Vec::new() };
-        let ctors: Vec<(Symbol, Vec<Type>)> =
-            decl.ctors.iter().map(|c| (c.name.clone(), c.args.clone())).collect();
+        let Some(decl) = self.tyenv.lookup(name) else {
+            return Vec::new();
+        };
+        let ctors: Vec<(Symbol, Vec<Type>)> = decl
+            .ctors
+            .iter()
+            .map(|c| (c.name.clone(), c.args.clone()))
+            .collect();
         let mut out = Vec::new();
         for (ctor, args) in ctors {
             if args.is_empty() {
@@ -87,7 +95,7 @@ impl<'a> ValueEnumerator<'a> {
                 continue;
             }
             for split in compositions(size - 1, args.len()) {
-                let groups: Vec<Rc<Vec<Value>>> = args
+                let groups: Vec<Arc<Vec<Value>>> = args
                     .iter()
                     .zip(&split)
                     .map(|(t, &s)| self.values_of_size(t, s))
@@ -130,7 +138,9 @@ impl<'a> ValueEnumerator<'a> {
 
     /// Number of values of `ty` with at most `max_size` nodes.
     pub fn count_up_to(&mut self, ty: &Type, max_size: usize) -> usize {
-        (1..=max_size).map(|s| self.values_of_size(ty, s).len()).sum()
+        (1..=max_size)
+            .map(|s| self.values_of_size(ty, s).len())
+            .sum()
     }
 
     /// The data type environment this enumerator reads from.
@@ -171,9 +181,9 @@ fn compose_rec(total: usize, parts: usize, current: &mut Vec<usize>, out: &mut V
 }
 
 /// Calls `emit` with every element of the cartesian product of `groups`.
-fn cartesian(groups: &[Rc<Vec<Value>>], mut emit: impl FnMut(Vec<Value>)) {
+fn cartesian(groups: &[Arc<Vec<Value>>], mut emit: impl FnMut(Vec<Value>)) {
     fn rec(
-        groups: &[Rc<Vec<Value>>],
+        groups: &[Arc<Vec<Value>>],
         index: usize,
         current: &mut Vec<Value>,
         emit: &mut impl FnMut(Vec<Value>),
@@ -203,7 +213,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -257,7 +270,7 @@ mod tests {
         let mut en = ValueEnumerator::new(&env);
         // count lists by brute-force recurrence: L(1) = 1 (Nil);
         // L(s) = sum_{nat size k >= 1, k <= s-2} 1 * L(s-1-k)
-        let mut expected = vec![0usize; 21];
+        let mut expected = [0usize; 21];
         expected[1] = 1;
         for s in 2..=20usize {
             let mut total = 0;
@@ -266,10 +279,10 @@ mod tests {
             }
             expected[s] = total;
         }
-        for s in 1..=20 {
+        for (s, &expected_count) in expected.iter().enumerate().take(21).skip(1) {
             assert_eq!(
                 en.values_of_size(&Type::named("list"), s).len(),
-                expected[s],
+                expected_count,
                 "size {s}"
             );
         }
@@ -279,7 +292,11 @@ mod tests {
     fn all_enumerated_values_have_the_requested_size() {
         let env = tyenv();
         let mut en = ValueEnumerator::new(&env);
-        for ty in [Type::named("list"), Type::named("tree"), Type::pair(Type::named("nat"), Type::bool())] {
+        for ty in [
+            Type::named("list"),
+            Type::named("tree"),
+            Type::pair(Type::named("nat"), Type::bool()),
+        ] {
             for size in 1..=8 {
                 for v in en.values_of_size(&ty, size).iter() {
                     assert_eq!(v.size(), size, "type {ty}, value {v}");
@@ -315,7 +332,9 @@ mod tests {
     fn functions_and_abstract_are_not_enumerable() {
         let env = tyenv();
         let mut en = ValueEnumerator::new(&env);
-        assert!(en.values_of_size(&Type::arrow(Type::bool(), Type::bool()), 3).is_empty());
+        assert!(en
+            .values_of_size(&Type::arrow(Type::bool(), Type::bool()), 3)
+            .is_empty());
         assert!(en.values_of_size(&Type::Abstract, 1).is_empty());
     }
 

@@ -60,7 +60,11 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a new parse error at the given position.
     pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
-        ParseError { message: message.into(), line, column }
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 }
 
@@ -126,24 +130,44 @@ impl fmt::Display for TypeError {
             TypeError::UnknownConstructor(c) => write!(f, "unknown constructor `{c}`"),
             TypeError::UnknownType(t) => write!(f, "unknown type `{t}`"),
             TypeError::DuplicateDefinition(x) => write!(f, "duplicate definition of `{x}`"),
-            TypeError::CtorArity { ctor, expected, found } => write!(
+            TypeError::CtorArity {
+                ctor,
+                expected,
+                found,
+            } => write!(
                 f,
                 "constructor `{ctor}` expects {expected} argument(s) but was given {found}"
             ),
-            TypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`")
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected `{expected}`, found `{found}`"
+                )
             }
             TypeError::NotAFunction(t) => write!(f, "`{t}` is not a function type"),
             TypeError::NotATuple(t) => write!(f, "`{t}` is not a tuple type"),
             TypeError::ProjectionOutOfBounds { index, arity } => {
-                write!(f, "projection index {index} out of bounds for a {arity}-tuple")
+                write!(
+                    f,
+                    "projection index {index} out of bounds for a {arity}-tuple"
+                )
             }
             TypeError::NotMatchable(t) => write!(f, "cannot match on a value of type `{t}`"),
             TypeError::PatternMismatch { pattern, scrutinee } => {
-                write!(f, "pattern `{pattern}` does not match scrutinee type `{scrutinee}`")
+                write!(
+                    f,
+                    "pattern `{pattern}` does not match scrutinee type `{scrutinee}`"
+                )
             }
             TypeError::EqualityAtFunctionType(t) => {
-                write!(f, "structural equality is not defined at function type `{t}`")
+                write!(
+                    f,
+                    "structural equality is not defined at function type `{t}`"
+                )
             }
             TypeError::UnexpectedAbstractType(ctx) => {
                 write!(f, "the abstract type `t` is not allowed here ({ctx})")
@@ -199,7 +223,11 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = TypeError::CtorArity { ctor: Symbol::new("Cons"), expected: 2, found: 1 };
+        let e = TypeError::CtorArity {
+            ctor: Symbol::new("Cons"),
+            expected: 2,
+            found: 1,
+        };
         assert!(e.to_string().contains("Cons"));
         assert!(e.to_string().contains('2'));
 
@@ -212,7 +240,12 @@ mod tests {
 
     #[test]
     fn eval_error_display() {
-        assert_eq!(EvalError::OutOfFuel.to_string(), "evaluation ran out of fuel");
-        assert!(EvalError::UnboundVariable(Symbol::new("x")).to_string().contains('x'));
+        assert_eq!(
+            EvalError::OutOfFuel.to_string(),
+            "evaluation ran out of fuel"
+        );
+        assert!(EvalError::UnboundVariable(Symbol::new("x"))
+            .to_string()
+            .contains('x'));
     }
 }

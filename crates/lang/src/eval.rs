@@ -7,7 +7,7 @@
 //! [`EvalError::OutOfFuel`] and treated by callers as "this candidate
 //! misbehaves".
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Expr, MatchArm, Pattern};
 use crate::error::EvalError;
@@ -29,7 +29,11 @@ pub const DEFAULT_MAX_DEPTH: u32 = 300;
 impl Fuel {
     /// A budget of `n` evaluation steps with the default depth bound.
     pub fn new(n: u64) -> Fuel {
-        Fuel { remaining: n, initial: n, max_depth: DEFAULT_MAX_DEPTH }
+        Fuel {
+            remaining: n,
+            initial: n,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
     }
 
     /// Overrides the maximum nesting depth of evaluation.
@@ -135,13 +139,13 @@ impl<'a> Evaluator<'a> {
                 let av = self.eval_at(env, arg, fuel, depth + 1)?;
                 self.apply_at(fv, av, fuel, depth + 1)
             }
-            Expr::Lambda(l) => Ok(Value::Closure(Rc::new(Closure {
+            Expr::Lambda(l) => Ok(Value::Closure(Arc::new(Closure {
                 param: l.param.clone(),
                 body: l.body.clone(),
                 env: env.clone(),
                 rec_name: None,
             }))),
-            Expr::Fix(fx) => Ok(Value::Closure(Rc::new(Closure {
+            Expr::Fix(fx) => Ok(Value::Closure(Arc::new(Closure {
                 param: fx.param.clone(),
                 body: fx.body.clone(),
                 env: env.clone(),
@@ -275,7 +279,7 @@ impl<'a> Evaluator<'a> {
                 if collected.len() >= native.arity {
                     (native.func)(&collected)
                 } else {
-                    Ok(Value::Native(Rc::new(NativeFn {
+                    Ok(Value::Native(Arc::new(NativeFn {
                         name: native.name.clone(),
                         arity: native.arity,
                         collected,
@@ -304,13 +308,20 @@ impl<'a> Evaluator<'a> {
     /// Evaluates an expression expected to produce a boolean.
     pub fn eval_bool(&self, env: &Env, expr: &Expr, fuel: &mut Fuel) -> Result<bool, EvalError> {
         let v = self.eval(env, expr, fuel)?;
-        v.as_bool().ok_or_else(|| EvalError::NotABool(v.to_string()))
+        v.as_bool()
+            .ok_or_else(|| EvalError::NotABool(v.to_string()))
     }
 
     /// Applies a predicate value (of type `σ -> bool`) to an argument.
-    pub fn apply_pred(&self, pred: &Value, arg: &Value, fuel: &mut Fuel) -> Result<bool, EvalError> {
+    pub fn apply_pred(
+        &self,
+        pred: &Value,
+        arg: &Value,
+        fuel: &mut Fuel,
+    ) -> Result<bool, EvalError> {
         let v = self.apply(pred.clone(), arg.clone(), fuel)?;
-        v.as_bool().ok_or_else(|| EvalError::NotABool(v.to_string()))
+        v.as_bool()
+            .ok_or_else(|| EvalError::NotABool(v.to_string()))
     }
 }
 
@@ -323,7 +334,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -386,7 +400,10 @@ mod tests {
     fn recursive_addition() {
         let call = Expr::apps(
             plus_expr(),
-            [Value::nat(2).to_expr().unwrap(), Value::nat(3).to_expr().unwrap()],
+            [
+                Value::nat(2).to_expr().unwrap(),
+                Value::nat(3).to_expr().unwrap(),
+            ],
         );
         assert_eq!(eval_closed(&call).unwrap(), Value::nat(5));
     }
@@ -462,7 +479,9 @@ mod tests {
         let ev = Evaluator::new(&tyenv);
         let mut fuel = Fuel::standard();
         let plus = ev.eval(&Env::empty(), &plus_expr(), &mut fuel).unwrap();
-        let result = ev.apply_many(plus, &[Value::nat(4), Value::nat(4)], &mut fuel).unwrap();
+        let result = ev
+            .apply_many(plus, &[Value::nat(4), Value::nat(4)], &mut fuel)
+            .unwrap();
         assert_eq!(result, Value::nat(8));
     }
 

@@ -192,10 +192,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
                 n = n
                     .checked_mul(10)
                     .and_then(|n| n.checked_add(chars[i].to_digit(10).unwrap() as u64))
-                    .ok_or_else(|| ParseError::new("integer literal too large", tok_line, tok_col))?;
+                    .ok_or_else(|| {
+                        ParseError::new("integer literal too large", tok_line, tok_col)
+                    })?;
                 advance!();
             }
-            tokens.push(Token { tok: Tok::Int(n), line: tok_line, column: tok_col });
+            tokens.push(Token {
+                tok: Tok::Int(n),
+                line: tok_line,
+                column: tok_col,
+            });
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
@@ -238,7 +244,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
                     }
                 }
             };
-            tokens.push(Token { tok, line: tok_line, column: tok_col });
+            tokens.push(Token {
+                tok,
+                line: tok_line,
+                column: tok_col,
+            });
             continue;
         }
         let two: Option<&str> = if i + 1 < chars.len() {
@@ -262,7 +272,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
             };
             advance!();
             advance!();
-            tokens.push(Token { tok, line: tok_line, column: tok_col });
+            tokens.push(Token {
+                tok,
+                line: tok_line,
+                column: tok_col,
+            });
             continue;
         }
         let tok = match c {
@@ -282,7 +296,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
             }
         };
         advance!();
-        tokens.push(Token { tok, line: tok_line, column: tok_col });
+        tokens.push(Token {
+            tok,
+            line: tok_line,
+            column: tok_col,
+        });
     }
     Ok(tokens)
 }
@@ -337,10 +355,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped_including_nested() {
-        assert_eq!(toks("x (* hi (* nested *) there *) y"), vec![
-            Tok::LIdent("x".into()),
-            Tok::LIdent("y".into())
-        ]);
+        assert_eq!(
+            toks("x (* hi (* nested *) there *) y"),
+            vec![Tok::LIdent("x".into()), Tok::LIdent("y".into())]
+        );
     }
 
     #[test]
@@ -364,6 +382,9 @@ mod tests {
 
     #[test]
     fn primes_allowed_in_identifiers() {
-        assert_eq!(toks("m' tl'"), vec![Tok::LIdent("m'".into()), Tok::LIdent("tl'".into())]);
+        assert_eq!(
+            toks("m' tl'"),
+            vec![Tok::LIdent("m'".into()), Tok::LIdent("tl'".into())]
+        );
     }
 }

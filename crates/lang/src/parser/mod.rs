@@ -190,7 +190,10 @@ impl Parser {
         while self.eat(&Tok::Bar) {
             ctors.push(self.ctor_decl()?);
         }
-        Ok(DataDecl { name: Symbol::new(&name), ctors })
+        Ok(DataDecl {
+            name: Symbol::new(&name),
+            ctors,
+        })
     }
 
     fn ctor_decl(&mut self) -> Result<CtorDecl, ParseError> {
@@ -203,7 +206,10 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(CtorDecl { name: Symbol::new(&name), args })
+        Ok(CtorDecl {
+            name: Symbol::new(&name),
+            args,
+        })
     }
 
     fn param(&mut self) -> Result<(Symbol, Type), ParseError> {
@@ -227,7 +233,13 @@ impl Parser {
         let ret_ty = self.ty()?;
         self.expect(Tok::Eq)?;
         let body = self.expr()?;
-        Ok(TopLet { name: Symbol::new(&name), recursive, params, ret_ty, body })
+        Ok(TopLet {
+            name: Symbol::new(&name),
+            recursive,
+            params,
+            ret_ty,
+            body,
+        })
     }
 
     fn interface_decl(&mut self) -> Result<InterfaceDecl, ParseError> {
@@ -244,7 +256,9 @@ impl Parser {
                     self.expect(Tok::Type)?;
                     let t = self.lident()?;
                     if t != "t" {
-                        return Err(self.error("the abstract type in an interface must be named `t`"));
+                        return Err(
+                            self.error("the abstract type in an interface must be named `t`")
+                        );
                     }
                 }
                 Some(Tok::Val) => {
@@ -266,7 +280,10 @@ impl Parser {
                 None => return Err(self.error("unterminated interface")),
             }
         }
-        Ok(InterfaceDecl { name: Symbol::new(&name), vals })
+        Ok(InterfaceDecl {
+            name: Symbol::new(&name),
+            vals,
+        })
     }
 
     fn module_decl(&mut self) -> Result<ModuleDecl, ParseError> {
@@ -292,8 +309,9 @@ impl Parser {
                     break;
                 }
                 Some(other) => {
-                    return Err(self
-                        .error(format!("expected `let` or `end` in module body, found {other}")))
+                    return Err(self.error(format!(
+                        "expected `let` or `end` in module body, found {other}"
+                    )))
                 }
                 None => return Err(self.error("unterminated module")),
             }
@@ -481,7 +499,9 @@ impl Parser {
         // Constructor in head position: its arguments are either a
         // parenthesised list or a single atom.
         let mut head = if let Some(Tok::UIdent(_)) = self.peek() {
-            let Tok::UIdent(name) = self.next()? else { unreachable!() };
+            let Tok::UIdent(name) = self.next()? else {
+                unreachable!()
+            };
             if self.peek() == Some(&Tok::LParen) {
                 self.expect(Tok::LParen)?;
                 if self.eat(&Tok::RParen) {
@@ -592,19 +612,28 @@ mod tests {
         let e = parse_expr("a || b && not c").unwrap();
         assert_eq!(
             e,
-            Expr::or(Expr::var("a"), Expr::and(Expr::var("b"), Expr::not(Expr::var("c"))))
+            Expr::or(
+                Expr::var("a"),
+                Expr::and(Expr::var("b"), Expr::not(Expr::var("c")))
+            )
         );
         let e = parse_expr("lookup l x == True").unwrap();
         assert_eq!(
             e,
-            Expr::eq(Expr::call("lookup", [Expr::var("l"), Expr::var("x")]), Expr::tru())
+            Expr::eq(
+                Expr::call("lookup", [Expr::var("l"), Expr::var("x")]),
+                Expr::tru()
+            )
         );
     }
 
     #[test]
     fn parses_constructor_applications() {
         assert_eq!(parse_expr("Nil").unwrap(), Expr::ctor("Nil", vec![]));
-        assert_eq!(parse_expr("S x").unwrap(), Expr::ctor("S", vec![Expr::var("x")]));
+        assert_eq!(
+            parse_expr("S x").unwrap(),
+            Expr::ctor("S", vec![Expr::var("x")])
+        );
         assert_eq!(
             parse_expr("Cons (x, Nil)").unwrap(),
             Expr::ctor("Cons", vec![Expr::var("x"), Expr::ctor("Nil", vec![])])
@@ -650,7 +679,10 @@ mod tests {
         let e = parse_expr("fun (x : nat) (y : nat) -> plus x y").unwrap();
         assert!(matches!(e, Expr::Lambda(_)));
 
-        let e = parse_expr("fix len (l : list) : nat = match l with | Nil -> O | Cons (h, t) -> S (len t) end").unwrap();
+        let e = parse_expr(
+            "fix len (l : list) : nat = match l with | Nil -> O | Cons (h, t) -> S (len t) end",
+        )
+        .unwrap();
         assert!(matches!(e, Expr::Fix(_)));
     }
 
@@ -661,7 +693,10 @@ mod tests {
         let e = parse_expr("snd (x, y)").unwrap();
         assert_eq!(
             e,
-            Expr::Proj(1, Box::new(Expr::Tuple(vec![Expr::var("x"), Expr::var("y")])))
+            Expr::Proj(
+                1,
+                Box::new(Expr::Tuple(vec![Expr::var("x"), Expr::var("y")]))
+            )
         );
         assert_eq!(parse_expr("()").unwrap(), Expr::Tuple(vec![]));
     }
@@ -676,7 +711,10 @@ mod tests {
         );
         assert_eq!(
             parse_type("(nat -> nat) -> t").unwrap(),
-            Type::arrow(Type::arrow(Type::named("nat"), Type::named("nat")), Type::Abstract)
+            Type::arrow(
+                Type::arrow(Type::named("nat"), Type::named("nat")),
+                Type::Abstract
+            )
         );
         assert_eq!(
             parse_type("nat * bool").unwrap(),
@@ -746,7 +784,10 @@ mod tests {
         let iface = p.interface().unwrap();
         assert_eq!(iface.name, Symbol::new("SET"));
         assert_eq!(iface.vals.len(), 3);
-        assert_eq!(iface.vals[1].1, Type::arrows(vec![Type::Abstract, Type::named("nat")], Type::Abstract));
+        assert_eq!(
+            iface.vals[1].1,
+            Type::arrows(vec![Type::Abstract, Type::named("nat")], Type::Abstract)
+        );
         let m = p.module().unwrap();
         assert_eq!(m.concrete, Type::named("list"));
         assert_eq!(m.lets.len(), 3);
@@ -797,11 +838,16 @@ mod tests {
         "#;
         let program = parse_program(src).unwrap();
         let elaborated = program.elaborate().unwrap();
-        let result = elaborated.eval_call("plus", &[Value::nat(2), Value::nat(2)]).unwrap();
+        let result = elaborated
+            .eval_call("plus", &[Value::nat(2), Value::nat(2)])
+            .unwrap();
         assert_eq!(result, Value::nat(4));
         assert_eq!(
             elaborated.global_type("plus").unwrap(),
-            Type::arrows(vec![Type::named("nat"), Type::named("nat")], Type::named("nat"))
+            Type::arrows(
+                vec![Type::named("nat"), Type::named("nat")],
+                Type::named("nat")
+            )
         );
     }
 }

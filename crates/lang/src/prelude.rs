@@ -96,27 +96,39 @@ mod tests {
         let program = std_prelude_program().unwrap();
         let elaborated = program.elaborate().unwrap();
         assert_eq!(
-            elaborated.eval_call("plus", &[Value::nat(3), Value::nat(4)]).unwrap(),
+            elaborated
+                .eval_call("plus", &[Value::nat(3), Value::nat(4)])
+                .unwrap(),
             Value::nat(7)
         );
         assert_eq!(
-            elaborated.eval_call("leq", &[Value::nat(3), Value::nat(4)]).unwrap(),
+            elaborated
+                .eval_call("leq", &[Value::nat(3), Value::nat(4)])
+                .unwrap(),
             Value::tru()
         );
         assert_eq!(
-            elaborated.eval_call("leq", &[Value::nat(5), Value::nat(4)]).unwrap(),
+            elaborated
+                .eval_call("leq", &[Value::nat(5), Value::nat(4)])
+                .unwrap(),
             Value::fls()
         );
         assert_eq!(
-            elaborated.eval_call("lt", &[Value::nat(4), Value::nat(4)]).unwrap(),
+            elaborated
+                .eval_call("lt", &[Value::nat(4), Value::nat(4)])
+                .unwrap(),
             Value::fls()
         );
         assert_eq!(
-            elaborated.eval_call("natmax", &[Value::nat(2), Value::nat(9)]).unwrap(),
+            elaborated
+                .eval_call("natmax", &[Value::nat(2), Value::nat(9)])
+                .unwrap(),
             Value::nat(9)
         );
         assert_eq!(
-            elaborated.eval_call("len", &[Value::nat_list(&[5, 6, 7])]).unwrap(),
+            elaborated
+                .eval_call("len", &[Value::nat_list(&[5, 6, 7])])
+                .unwrap(),
             Value::nat(3)
         );
         assert_eq!(
@@ -126,7 +138,9 @@ mod tests {
             Value::nat_list(&[1, 2])
         );
         assert_eq!(
-            elaborated.eval_call("mem", &[Value::nat_list(&[1, 2, 3]), Value::nat(2)]).unwrap(),
+            elaborated
+                .eval_call("mem", &[Value::nat_list(&[1, 2, 3]), Value::nat(2)])
+                .unwrap(),
             Value::tru()
         );
         assert_eq!(

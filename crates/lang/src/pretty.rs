@@ -89,7 +89,11 @@ fn write_expr(e: &Expr, prec: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write_expr(&l.body, Prec::Lowest, f)
         }),
         Expr::Fix(fx) => write_paren_if(prec > Prec::Lowest, f, |f| {
-            write!(f, "fix {} ({} : {}) : {} = ", fx.name, fx.param, fx.param_ty, fx.ret_ty)?;
+            write!(
+                f,
+                "fix {} ({} : {}) : {} = ",
+                fx.name, fx.param, fx.param_ty, fx.ret_ty
+            )?;
             write_expr(&fx.body, Prec::Lowest, f)
         }),
         Expr::Match(scrutinee, arms) => write_paren_if(prec > Prec::Lowest, f, |f| {
@@ -219,7 +223,10 @@ mod tests {
     fn values_pretty_print() {
         assert_eq!(Value::nat(3).to_string(), "3");
         assert_eq!(Value::nat_list(&[1, 2]).to_string(), "[1; 2]");
-        assert_eq!(Value::pair(Value::nat(1), Value::tru()).to_string(), "(1, True)");
+        assert_eq!(
+            Value::pair(Value::nat(1), Value::tru()).to_string(),
+            "(1, True)"
+        );
         assert_eq!(Value::Ctor("Leaf".into(), vec![]).to_string(), "Leaf");
     }
 

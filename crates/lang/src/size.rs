@@ -21,7 +21,10 @@ pub fn expr_size(e: &Expr) -> usize {
         Expr::Fix(fx) => 1 + expr_size(&fx.body),
         Expr::Match(scrutinee, arms) => {
             1 + expr_size(scrutinee)
-                + arms.iter().map(|arm| pattern_size(&arm.pattern) + expr_size(&arm.body)).sum::<usize>()
+                + arms
+                    .iter()
+                    .map(|arm| pattern_size(&arm.pattern) + expr_size(&arm.body))
+                    .sum::<usize>()
         }
         Expr::Let(_, bound, body) => 1 + expr_size(bound) + expr_size(body),
         Expr::If(c, t, e2) => 1 + expr_size(c) + expr_size(t) + expr_size(e2),
@@ -32,9 +35,7 @@ pub fn expr_size(e: &Expr) -> usize {
 pub fn pattern_size(p: &Pattern) -> usize {
     match p {
         Pattern::Wildcard | Pattern::Var(_) => 1,
-        Pattern::Ctor(_, ps) | Pattern::Tuple(ps) => {
-            1 + ps.iter().map(pattern_size).sum::<usize>()
-        }
+        Pattern::Ctor(_, ps) | Pattern::Tuple(ps) => 1 + ps.iter().map(pattern_size).sum::<usize>(),
     }
 }
 
@@ -94,7 +95,10 @@ mod tests {
     fn pattern_sizes() {
         assert_eq!(pattern_size(&Pattern::Wildcard), 1);
         assert_eq!(
-            pattern_size(&Pattern::ctor("Cons", vec![Pattern::var("h"), Pattern::var("t")])),
+            pattern_size(&Pattern::ctor(
+                "Cons",
+                vec![Pattern::var("h"), Pattern::var("t")]
+            )),
             3
         );
     }

@@ -2,42 +2,49 @@
 //!
 //! Identifiers (variable names, constructor names, type names) are used and
 //! cloned pervasively by the interpreter, the enumerators and the
-//! synthesizers.  [`Symbol`] wraps an `Rc<str>` so that cloning is a
-//! reference-count bump, while a thread-local intern table makes repeated
+//! synthesizers.  [`Symbol`] wraps an `Arc<str>` so that cloning is a
+//! reference-count bump, while a process-wide intern table makes repeated
 //! construction of the same name (e.g. `"Cons"` during enumeration of tens of
-//! thousands of values) reuse a single allocation.
+//! thousands of values) reuse a single allocation across *all* threads — the
+//! parallel verifier hands values and expressions freely between workers, so
+//! `Symbol` is `Send + Sync`.
 //!
 //! Equality, ordering and hashing are all by string *content*, so symbols
-//! created on different threads (or before/after the intern table is dropped)
-//! still compare correctly.
+//! compare correctly even if an uninterned symbol were ever constructed.
 
 use std::borrow::Borrow;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// An interned identifier.
 #[derive(Clone)]
-pub struct Symbol(Rc<str>);
+pub struct Symbol(Arc<str>);
 
-thread_local! {
-    static INTERN: RefCell<HashMap<Box<str>, Rc<str>>> = RefCell::new(HashMap::new());
+/// The process-wide intern table.  Reads (the overwhelmingly common case once
+/// a workload warms up) take the shared lock; a miss upgrades to the
+/// exclusive lock with a re-check, so concurrent constructors of the same
+/// fresh name still converge on one allocation.
+static INTERN: OnceLock<RwLock<HashMap<Box<str>, Arc<str>>>> = OnceLock::new();
+
+fn intern_table() -> &'static RwLock<HashMap<Box<str>, Arc<str>>> {
+    INTERN.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 impl Symbol {
     /// Creates (or reuses) a symbol for `name`.
     pub fn new(name: &str) -> Self {
-        INTERN.with(|table| {
-            let mut table = table.borrow_mut();
-            if let Some(existing) = table.get(name) {
-                Symbol(existing.clone())
-            } else {
-                let rc: Rc<str> = Rc::from(name);
-                table.insert(Box::from(name), rc.clone());
-                Symbol(rc)
-            }
-        })
+        let table = intern_table();
+        if let Some(existing) = table.read().unwrap().get(name) {
+            return Symbol(existing.clone());
+        }
+        let mut table = table.write().unwrap();
+        if let Some(existing) = table.get(name) {
+            return Symbol(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(name);
+        table.insert(Box::from(name), arc.clone());
+        Symbol(arc)
     }
 
     /// The textual content of the symbol.
@@ -48,7 +55,10 @@ impl Symbol {
     /// Returns `true` when the symbol starts with an ASCII uppercase letter,
     /// the surface-syntax convention for constructor names.
     pub fn is_ctor_like(&self) -> bool {
-        self.0.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        self.0
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
     }
 }
 
@@ -66,7 +76,7 @@ impl fmt::Display for Symbol {
 
 impl PartialEq for Symbol {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
     }
 }
 
@@ -129,7 +139,7 @@ mod tests {
     fn interning_reuses_allocations() {
         let a = Symbol::new("hello");
         let b = Symbol::new("hello");
-        assert!(Rc::ptr_eq(&a.0, &b.0));
+        assert!(Arc::ptr_eq(&a.0, &b.0));
     }
 
     #[test]
@@ -139,6 +149,16 @@ mod tests {
         assert!(set.contains(&Symbol::new("x")));
         assert!(set.contains("x"));
         assert!(!set.contains("y"));
+    }
+
+    #[test]
+    fn interning_is_shared_across_threads() {
+        let a = Symbol::new("cross-thread-symbol");
+        let b = std::thread::spawn(|| Symbol::new("cross-thread-symbol"))
+            .join()
+            .unwrap();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! type, which is all the two consumers above require.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::Expr;
 use crate::symbol::Symbol;
@@ -37,7 +37,10 @@ pub struct Component {
 impl Component {
     /// Creates a component.
     pub fn new(name: impl Into<Symbol>, ty: Type) -> Self {
-        Component { name: name.into(), ty }
+        Component {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -72,13 +75,18 @@ pub struct TermGenerator<'a> {
     tyenv: &'a TypeEnv,
     components: Vec<Component>,
     config: TermGenConfig,
-    cache: HashMap<(Type, usize), Rc<Vec<Expr>>>,
+    cache: HashMap<(Type, usize), Arc<Vec<Expr>>>,
 }
 
 impl<'a> TermGenerator<'a> {
     /// Creates a generator with the given components in scope.
     pub fn new(tyenv: &'a TypeEnv, components: Vec<Component>, config: TermGenConfig) -> Self {
-        TermGenerator { tyenv, components, config, cache: HashMap::new() }
+        TermGenerator {
+            tyenv,
+            components,
+            config,
+            cache: HashMap::new(),
+        }
     }
 
     /// The components currently in scope.
@@ -87,15 +95,15 @@ impl<'a> TermGenerator<'a> {
     }
 
     /// All terms of `ty` whose size is exactly `size`.
-    pub fn terms_of_size(&mut self, ty: &Type, size: usize) -> Rc<Vec<Expr>> {
+    pub fn terms_of_size(&mut self, ty: &Type, size: usize) -> Arc<Vec<Expr>> {
         if size == 0 {
-            return Rc::new(Vec::new());
+            return Arc::new(Vec::new());
         }
         let key = (ty.clone(), size);
         if let Some(cached) = self.cache.get(&key) {
             return cached.clone();
         }
-        let computed = Rc::new(self.compute(ty, size));
+        let computed = Arc::new(self.compute(ty, size));
         self.cache.insert(key, computed.clone());
         computed
     }
@@ -134,7 +142,9 @@ impl<'a> TermGenerator<'a> {
                     .iter()
                     .zip(&params)
                     .rev()
-                    .fold(body, |acc, (name, ty)| Expr::lambda(name.as_str(), (*ty).clone(), acc))
+                    .fold(body, |acc, (name, ty)| {
+                        Expr::lambda(name.as_str(), (*ty).clone(), acc)
+                    })
             })
             .collect()
     }
@@ -169,7 +179,7 @@ impl<'a> TermGenerator<'a> {
                 continue;
             }
             for split in compositions(size - 1 - arg_tys.len(), arg_tys.len()) {
-                let groups: Vec<Rc<Vec<Expr>>> = arg_tys
+                let groups: Vec<Arc<Vec<Expr>>> = arg_tys
                     .iter()
                     .zip(&split)
                     .map(|(t, &s)| self.terms_of_size(t, s))
@@ -183,8 +193,11 @@ impl<'a> TermGenerator<'a> {
         if self.config.allow_ctors {
             if let Type::Named(type_name) = ty {
                 if let Some(decl) = self.tyenv.lookup(type_name) {
-                    let ctors: Vec<(Symbol, Vec<Type>)> =
-                        decl.ctors.iter().map(|c| (c.name.clone(), c.args.clone())).collect();
+                    let ctors: Vec<(Symbol, Vec<Type>)> = decl
+                        .ctors
+                        .iter()
+                        .map(|c| (c.name.clone(), c.args.clone()))
+                        .collect();
                     for (ctor, args) in ctors {
                         if args.is_empty() {
                             if size == 1 {
@@ -196,7 +209,7 @@ impl<'a> TermGenerator<'a> {
                             continue;
                         }
                         for split in compositions(size - 1, args.len()) {
-                            let groups: Vec<Rc<Vec<Expr>>> = args
+                            let groups: Vec<Arc<Vec<Expr>>> = args
                                 .iter()
                                 .zip(&split)
                                 .map(|(t, &s)| self.terms_of_size(t, s))
@@ -211,9 +224,9 @@ impl<'a> TermGenerator<'a> {
         }
         // Tuples.
         if let Type::Tuple(elems) = ty {
-            if !elems.is_empty() && size >= 1 + elems.len() {
+            if !elems.is_empty() && size > elems.len() {
                 for split in compositions(size - 1, elems.len()) {
-                    let groups: Vec<Rc<Vec<Expr>>> = elems
+                    let groups: Vec<Arc<Vec<Expr>>> = elems
                         .iter()
                         .zip(&split)
                         .map(|(t, &s)| self.terms_of_size(t, s))
@@ -291,9 +304,9 @@ fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
 }
 
 /// Calls `emit` with every element of the cartesian product of `groups`.
-fn cartesian(groups: &[Rc<Vec<Expr>>], mut emit: impl FnMut(Vec<Expr>)) {
+fn cartesian(groups: &[Arc<Vec<Expr>>], mut emit: impl FnMut(Vec<Expr>)) {
     fn rec(
-        groups: &[Rc<Vec<Expr>>],
+        groups: &[Arc<Vec<Expr>>],
         index: usize,
         current: &mut Vec<Expr>,
         emit: &mut impl FnMut(Vec<Expr>),
@@ -324,7 +337,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -374,8 +390,10 @@ mod tests {
         for c in list_components() {
             checker.declare_global(c.name.clone(), c.ty.clone());
         }
-        let mut config = TermGenConfig::default();
-        config.eq_types = vec![Type::named("nat")];
+        let config = TermGenConfig {
+            eq_types: vec![Type::named("nat")],
+            ..TermGenConfig::default()
+        };
         let mut gen = TermGenerator::new(&env, list_components(), config);
         for ty in [Type::bool(), Type::named("nat"), Type::named("list")] {
             for term in gen.terms_up_to(&ty, 5) {
@@ -401,15 +419,19 @@ mod tests {
     #[test]
     fn equality_terms_respect_configuration() {
         let env = tyenv();
-        let mut config = TermGenConfig::default();
-        config.eq_types = vec![Type::named("nat")];
+        let config = TermGenConfig {
+            eq_types: vec![Type::named("nat")],
+            ..TermGenConfig::default()
+        };
         let mut gen = TermGenerator::new(&env, list_components(), config);
         let with_eq = gen.terms_up_to(&Type::bool(), 3);
         // `x == x` has size 3 (one Eq node, two variables).
         assert!(with_eq.iter().any(|t| matches!(t, Expr::Eq(_, _))));
 
-        let mut config = TermGenConfig::default();
-        config.allow_eq = false;
+        let config = TermGenConfig {
+            allow_eq: false,
+            ..TermGenConfig::default()
+        };
         let mut gen = TermGenerator::new(&env, list_components(), config);
         let without_eq = gen.terms_up_to(&Type::bool(), 3);
         assert!(!without_eq.iter().any(|t| matches!(t, Expr::Eq(_, _))));

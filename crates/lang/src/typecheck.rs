@@ -41,7 +41,11 @@ impl TypeContext {
 
     /// Looks up the most recent binding of `name`.
     pub fn lookup(&self, name: &Symbol) -> Option<&Type> {
-        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// All bindings, oldest first (shadowed bindings included).
@@ -61,7 +65,10 @@ impl<'a> TypeChecker<'a> {
     /// Creates a checker over the given data type environment with no global
     /// bindings.
     pub fn new(tyenv: &'a TypeEnv) -> Self {
-        TypeChecker { tyenv, globals: HashMap::new() }
+        TypeChecker {
+            tyenv,
+            globals: HashMap::new(),
+        }
     }
 
     /// Declares a global binding (a prelude function or module operation).
@@ -117,8 +124,10 @@ impl<'a> TypeChecker<'a> {
                 .cloned()
                 .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
             Expr::Ctor(c, args) => {
-                let info =
-                    self.tyenv.ctor(c).ok_or_else(|| TypeError::UnknownConstructor(c.clone()))?;
+                let info = self
+                    .tyenv
+                    .ctor(c)
+                    .ok_or_else(|| TypeError::UnknownConstructor(c.clone()))?;
                 if info.args.len() != args.len() {
                     return Err(TypeError::CtorArity {
                         ctor: c.clone(),
@@ -140,9 +149,10 @@ impl<'a> TypeChecker<'a> {
                 let ty = self.infer(ctx, e)?;
                 match ty {
                     Type::Tuple(ts) if *i < ts.len() => Ok(ts[*i].clone()),
-                    Type::Tuple(ts) => {
-                        Err(TypeError::ProjectionOutOfBounds { index: *i, arity: ts.len() })
-                    }
+                    Type::Tuple(ts) => Err(TypeError::ProjectionOutOfBounds {
+                        index: *i,
+                        arity: ts.len(),
+                    }),
                     other => Err(TypeError::NotATuple(other)),
                 }
             }
@@ -169,9 +179,8 @@ impl<'a> TypeChecker<'a> {
                 let body_ctx = ctx
                     .bind(fx.name.clone(), self_ty.clone())
                     .bind(fx.param.clone(), fx.param_ty.clone());
-                self.check(&body_ctx, &fx.body, &fx.ret_ty).map_err(|e| {
-                    TypeError::Other(format!("in the body of `{}`: {e}", fx.name))
-                })?;
+                self.check(&body_ctx, &fx.body, &fx.ret_ty)
+                    .map_err(|e| TypeError::Other(format!("in the body of `{}`: {e}", fx.name)))?;
                 Ok(self_ty)
             }
             Expr::Match(scrutinee, arms) => {
@@ -242,8 +251,10 @@ impl<'a> TypeChecker<'a> {
             Pattern::Wildcard => Ok(Vec::new()),
             Pattern::Var(x) => Ok(vec![(x.clone(), scrutinee.clone())]),
             Pattern::Ctor(c, subpatterns) => {
-                let info =
-                    self.tyenv.ctor(c).ok_or_else(|| TypeError::UnknownConstructor(c.clone()))?;
+                let info = self
+                    .tyenv
+                    .ctor(c)
+                    .ok_or_else(|| TypeError::UnknownConstructor(c.clone()))?;
                 let Type::Named(data) = scrutinee else {
                     return Err(TypeError::PatternMismatch {
                         pattern: pattern.to_string(),
@@ -299,15 +310,24 @@ impl<'a> TypeChecker<'a> {
     /// which is all the synthesizers need to guarantee the matches they
     /// generate cannot fail at runtime.
     pub fn uncovered_ctors(&self, data_ty: &Type, patterns: &[Pattern]) -> Vec<Symbol> {
-        let Type::Named(name) = data_ty else { return Vec::new() };
-        let Some(decl) = self.tyenv.lookup(name) else { return Vec::new() };
-        if patterns.iter().any(|p| matches!(p, Pattern::Wildcard | Pattern::Var(_))) {
+        let Type::Named(name) = data_ty else {
+            return Vec::new();
+        };
+        let Some(decl) = self.tyenv.lookup(name) else {
+            return Vec::new();
+        };
+        if patterns
+            .iter()
+            .any(|p| matches!(p, Pattern::Wildcard | Pattern::Var(_)))
+        {
             return Vec::new();
         }
         decl.ctors
             .iter()
             .filter(|c| {
-                !patterns.iter().any(|p| matches!(p, Pattern::Ctor(pc, _) if pc == &c.name))
+                !patterns
+                    .iter()
+                    .any(|p| matches!(p, Pattern::Ctor(pc, _) if pc == &c.name))
             })
             .map(|c| c.name.clone())
             .collect()
@@ -324,7 +344,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -342,7 +365,10 @@ mod tests {
     fn infers_constructor_applications() {
         let env = tyenv();
         let checker = TypeChecker::new(&env);
-        let e = Expr::ctor("Cons", vec![Expr::ctor("O", vec![]), Expr::ctor("Nil", vec![])]);
+        let e = Expr::ctor(
+            "Cons",
+            vec![Expr::ctor("O", vec![]), Expr::ctor("Nil", vec![])],
+        );
         assert_eq!(checker.infer_closed(&e).unwrap(), Type::named("list"));
     }
 
@@ -351,9 +377,15 @@ mod tests {
         let env = tyenv();
         let checker = TypeChecker::new(&env);
         let e = Expr::ctor("S", vec![]);
-        assert!(matches!(checker.infer_closed(&e), Err(TypeError::CtorArity { .. })));
+        assert!(matches!(
+            checker.infer_closed(&e),
+            Err(TypeError::CtorArity { .. })
+        ));
         let e = Expr::ctor("Snoc", vec![]);
-        assert!(matches!(checker.infer_closed(&e), Err(TypeError::UnknownConstructor(_))));
+        assert!(matches!(
+            checker.infer_closed(&e),
+            Err(TypeError::UnknownConstructor(_))
+        ));
     }
 
     #[test]
@@ -391,10 +423,16 @@ mod tests {
             Expr::ctor("O", vec![]),
             vec![
                 MatchArm::new(Pattern::ctor("O", vec![]), Expr::tru()),
-                MatchArm::new(Pattern::ctor("S", vec![Pattern::Wildcard]), Expr::ctor("O", vec![])),
+                MatchArm::new(
+                    Pattern::ctor("S", vec![Pattern::Wildcard]),
+                    Expr::ctor("O", vec![]),
+                ),
             ],
         );
-        assert!(matches!(checker.infer_closed(&e), Err(TypeError::Mismatch { .. })));
+        assert!(matches!(
+            checker.infer_closed(&e),
+            Err(TypeError::Mismatch { .. })
+        ));
     }
 
     #[test]
@@ -417,7 +455,10 @@ mod tests {
             Symbol::new("lookup"),
             Type::arrows(vec![Type::named("list"), Type::named("nat")], Type::bool()),
         );
-        let e = Expr::call("lookup", [Expr::ctor("Nil", vec![]), Expr::ctor("O", vec![])]);
+        let e = Expr::call(
+            "lookup",
+            [Expr::ctor("Nil", vec![]), Expr::ctor("O", vec![])],
+        );
         assert_eq!(checker.infer_closed(&e).unwrap(), Type::bool());
     }
 
@@ -427,7 +468,10 @@ mod tests {
         let mut checker = TypeChecker::new(&env);
         checker.declare_global(Symbol::new("x"), Type::bool());
         let ctx = TypeContext::new().bind(Symbol::new("x"), Type::named("nat"));
-        assert_eq!(checker.infer(&ctx, &Expr::var("x")).unwrap(), Type::named("nat"));
+        assert_eq!(
+            checker.infer(&ctx, &Expr::var("x")).unwrap(),
+            Type::named("nat")
+        );
     }
 
     #[test]
@@ -450,7 +494,9 @@ mod tests {
         let missing = checker.uncovered_ctors(&Type::named("list"), &pats);
         assert_eq!(missing, vec![Symbol::new("Cons")]);
         let pats = vec![Pattern::ctor("Nil", vec![]), Pattern::Wildcard];
-        assert!(checker.uncovered_ctors(&Type::named("list"), &pats).is_empty());
+        assert!(checker
+            .uncovered_ctors(&Type::named("list"), &pats)
+            .is_empty());
     }
 
     #[test]

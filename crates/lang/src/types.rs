@@ -55,7 +55,9 @@ impl Type {
     /// Builds the type `a1 -> a2 -> ... -> ret`.
     pub fn arrows(args: impl IntoIterator<Item = Type>, ret: Type) -> Type {
         let args: Vec<Type> = args.into_iter().collect();
-        args.into_iter().rev().fold(ret, |acc, a| Type::arrow(a, acc))
+        args.into_iter()
+            .rev()
+            .fold(ret, |acc, a| Type::arrow(a, acc))
     }
 
     /// A pair type.
@@ -182,7 +184,10 @@ pub struct CtorDecl {
 impl CtorDecl {
     /// A new constructor declaration.
     pub fn new(name: &str, args: Vec<Type>) -> Self {
-        CtorDecl { name: Symbol::new(name), args }
+        CtorDecl {
+            name: Symbol::new(name),
+            args,
+        }
     }
 
     /// Number of arguments of the constructor.
@@ -203,12 +208,21 @@ pub struct DataDecl {
 impl DataDecl {
     /// A new data type declaration.
     pub fn new(name: &str, ctors: Vec<CtorDecl>) -> Self {
-        DataDecl { name: Symbol::new(name), ctors }
+        DataDecl {
+            name: Symbol::new(name),
+            ctors,
+        }
     }
 
     /// The builtin `bool` declaration (`True | False`).
     pub fn builtin_bool() -> DataDecl {
-        DataDecl::new("bool", vec![CtorDecl::new("True", vec![]), CtorDecl::new("False", vec![])])
+        DataDecl::new(
+            "bool",
+            vec![
+                CtorDecl::new("True", vec![]),
+                CtorDecl::new("False", vec![]),
+            ],
+        )
     }
 }
 
@@ -237,8 +251,13 @@ pub struct TypeEnv {
 impl TypeEnv {
     /// Creates a type environment containing only the builtin `bool` type.
     pub fn new() -> Self {
-        let mut env = TypeEnv { decls: Vec::new(), by_name: HashMap::new(), ctors: HashMap::new() };
-        env.declare(DataDecl::builtin_bool()).expect("builtin bool declaration is well formed");
+        let mut env = TypeEnv {
+            decls: Vec::new(),
+            by_name: HashMap::new(),
+            ctors: HashMap::new(),
+        };
+        env.declare(DataDecl::builtin_bool())
+            .expect("builtin bool declaration is well formed");
         env
     }
 
@@ -264,7 +283,11 @@ impl TypeEnv {
         for (i, ctor) in decl.ctors.iter().enumerate() {
             self.ctors.insert(
                 ctor.name.clone(),
-                CtorInfo { data_type: decl.name.clone(), args: ctor.args.clone(), index: i },
+                CtorInfo {
+                    data_type: decl.name.clone(),
+                    args: ctor.args.clone(),
+                    index: i,
+                },
             );
         }
         self.decls.push(decl);
@@ -306,12 +329,12 @@ impl TypeEnv {
                     Err(TypeError::UnknownType(n.clone()))
                 }
             }
-            Type::Abstract => {
-                Err(TypeError::UnexpectedAbstractType("data type declaration".to_string()))
-            }
-            Type::Tuple(ts) => {
-                ts.iter().try_for_each(|t| self.check_wellformed_with(t, pending))
-            }
+            Type::Abstract => Err(TypeError::UnexpectedAbstractType(
+                "data type declaration".to_string(),
+            )),
+            Type::Tuple(ts) => ts
+                .iter()
+                .try_for_each(|t| self.check_wellformed_with(t, pending)),
             Type::Arrow(a, b) => {
                 self.check_wellformed_with(a, pending)?;
                 self.check_wellformed_with(b, pending)
@@ -334,7 +357,9 @@ impl TypeEnv {
                 if visiting.contains(n) {
                     return false;
                 }
-                let Some(decl) = self.lookup(n) else { return false };
+                let Some(decl) = self.lookup(n) else {
+                    return false;
+                };
                 visiting.push(n.clone());
                 let ok = decl
                     .ctors
@@ -355,7 +380,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -373,7 +401,10 @@ mod tests {
     fn builtin_bool_is_present() {
         let env = TypeEnv::new();
         assert!(env.is_declared(&Symbol::new("bool")));
-        assert_eq!(env.ctor(&Symbol::new("True")).unwrap().data_type, Symbol::new("bool"));
+        assert_eq!(
+            env.ctor(&Symbol::new("True")).unwrap().data_type,
+            Symbol::new("bool")
+        );
     }
 
     #[test]
@@ -388,10 +419,13 @@ mod tests {
     #[test]
     fn duplicate_declaration_rejected() {
         let mut env = nat_list_env();
-        let err = env.declare(DataDecl::new("nat", vec![CtorDecl::new("Z", vec![])])).unwrap_err();
+        let err = env
+            .declare(DataDecl::new("nat", vec![CtorDecl::new("Z", vec![])]))
+            .unwrap_err();
         assert_eq!(err, TypeError::DuplicateDefinition(Symbol::new("nat")));
-        let err =
-            env.declare(DataDecl::new("nat2", vec![CtorDecl::new("O", vec![])])).unwrap_err();
+        let err = env
+            .declare(DataDecl::new("nat2", vec![CtorDecl::new("O", vec![])]))
+            .unwrap_err();
         assert_eq!(err, TypeError::DuplicateDefinition(Symbol::new("O")));
     }
 
@@ -399,7 +433,10 @@ mod tests {
     fn unknown_argument_type_rejected() {
         let mut env = TypeEnv::new();
         let err = env
-            .declare(DataDecl::new("wrap", vec![CtorDecl::new("Wrap", vec![Type::named("zzz")])]))
+            .declare(DataDecl::new(
+                "wrap",
+                vec![CtorDecl::new("Wrap", vec![Type::named("zzz")])],
+            ))
             .unwrap_err();
         assert_eq!(err, TypeError::UnknownType(Symbol::new("zzz")));
     }
@@ -428,7 +465,10 @@ mod tests {
         let concrete = sig.subst_abstract(&Type::named("list"));
         assert_eq!(
             concrete,
-            Type::arrows(vec![Type::named("list"), Type::named("nat")], Type::named("list"))
+            Type::arrows(
+                vec![Type::named("list"), Type::named("nat")],
+                Type::named("list")
+            )
         );
         assert!(sig.mentions_abstract());
         assert!(!concrete.mentions_abstract());
@@ -449,7 +489,10 @@ mod tests {
             Type::arrow(Type::named("nat"), Type::bool()),
         );
         assert_eq!(ty.to_string(), "nat * nat -> nat -> bool");
-        let ho = Type::arrow(Type::arrow(Type::named("nat"), Type::named("nat")), Type::bool());
+        let ho = Type::arrow(
+            Type::arrow(Type::named("nat"), Type::named("nat")),
+            Type::bool(),
+        );
         assert_eq!(ho.to_string(), "(nat -> nat) -> bool");
     }
 
@@ -461,7 +504,10 @@ mod tests {
         let mut env2 = TypeEnv::new();
         env2.declare(DataDecl::new(
             "stream",
-            vec![CtorDecl::new("SCons", vec![Type::named("bool"), Type::named("stream")])],
+            vec![CtorDecl::new(
+                "SCons",
+                vec![Type::named("bool"), Type::named("stream")],
+            )],
         ))
         .unwrap();
         assert!(!env2.is_inhabited(&Type::named("stream")));

@@ -19,7 +19,9 @@ impl Deadline {
 
     /// A deadline `duration` from now.
     pub fn after(duration: Duration) -> Self {
-        Deadline { at: Some(Instant::now() + duration) }
+        Deadline {
+            at: Some(Instant::now() + duration),
+        }
     }
 
     /// A deadline at an absolute instant.
@@ -34,10 +36,10 @@ impl Deadline {
 
     /// Time remaining, if a deadline is set (zero once expired).
     pub fn remaining(&self) -> Option<Duration> {
-        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
     }
 }
-
 
 /// A set that remembers insertion order.
 ///
@@ -54,23 +56,20 @@ pub struct OrderedSet<T> {
 
 impl<T> Default for OrderedSet<T> {
     fn default() -> Self {
-        OrderedSet { items: Vec::new(), index: HashSet::new() }
+        OrderedSet {
+            items: Vec::new(),
+            index: HashSet::new(),
+        }
     }
 }
 
 impl<T: Eq + Hash + Clone> OrderedSet<T> {
     /// An empty set.
     pub fn new() -> Self {
-        OrderedSet { items: Vec::new(), index: HashSet::new() }
-    }
-
-    /// Builds a set from an iterator, keeping first occurrences.
-    pub fn from_iter(items: impl IntoIterator<Item = T>) -> Self {
-        let mut set = Self::new();
-        for item in items {
-            set.insert(item);
+        OrderedSet {
+            items: Vec::new(),
+            index: HashSet::new(),
         }
-        set
     }
 
     /// Inserts an item; returns `true` if it was not already present.
@@ -86,7 +85,10 @@ impl<T: Eq + Hash + Clone> OrderedSet<T> {
 
     /// Inserts every item from the iterator; returns how many were new.
     pub fn extend(&mut self, items: impl IntoIterator<Item = T>) -> usize {
-        items.into_iter().filter(|item| self.insert(item.clone())).count()
+        items
+            .into_iter()
+            .filter(|item| self.insert(item.clone()))
+            .count()
     }
 
     /// Membership test.
@@ -134,7 +136,11 @@ impl<T: Eq + Hash + Clone> OrderedSet<T> {
 
 impl<T: Eq + Hash + Clone> FromIterator<T> for OrderedSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        Self::from_iter(iter)
+        let mut set = Self::new();
+        for item in iter {
+            set.insert(item);
+        }
+        set
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::Expr;
 use crate::error::EvalError;
@@ -39,7 +39,7 @@ pub struct NativeFn {
     pub collected: Vec<Value>,
     /// The host implementation, called once all arguments are available.
     #[allow(clippy::type_complexity)]
-    pub func: Rc<dyn Fn(&[Value]) -> Result<Value, EvalError>>,
+    pub func: Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>,
 }
 
 impl fmt::Debug for NativeFn {
@@ -65,9 +65,9 @@ pub enum Value {
     /// A tuple (the empty tuple is the unit value).
     Tuple(Vec<Value>),
     /// A function value.
-    Closure(Rc<Closure>),
+    Closure(Arc<Closure>),
     /// A host-implemented function value.
-    Native(Rc<NativeFn>),
+    Native(Arc<NativeFn>),
 }
 
 impl Value {
@@ -163,13 +163,13 @@ impl Value {
     pub fn native(
         name: &str,
         arity: usize,
-        func: impl Fn(&[Value]) -> Result<Value, EvalError> + 'static,
+        func: impl Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
     ) -> Value {
-        Value::Native(Rc::new(NativeFn {
+        Value::Native(Arc::new(NativeFn {
             name: Symbol::new(name),
             arity,
             collected: Vec::new(),
-            func: Rc::new(func),
+            func: Arc::new(func),
         }))
     }
 
@@ -218,13 +218,15 @@ impl Value {
                 Some(info) => {
                     Type::Named(info.data_type.clone()) == *ty
                         && info.args.len() == args.len()
-                        && args.iter().zip(&info.args).all(|(a, t)| a.has_type(tyenv, t))
+                        && args
+                            .iter()
+                            .zip(&info.args)
+                            .all(|(a, t)| a.has_type(tyenv, t))
                 }
                 None => false,
             },
             (Value::Tuple(items), Type::Tuple(tys)) => {
-                items.len() == tys.len()
-                    && items.iter().zip(tys).all(|(a, t)| a.has_type(tyenv, t))
+                items.len() == tys.len() && items.iter().zip(tys).all(|(a, t)| a.has_type(tyenv, t))
             }
             _ => false,
         }
@@ -247,13 +249,27 @@ impl Value {
     }
 }
 
+// Compile-time guarantee that the whole runtime representation can be handed
+// across threads: the parallel verifier shares pools of `Value`s and
+// candidate `Expr`s between workers.
+#[allow(dead_code)]
+fn _assert_runtime_types_are_thread_safe() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<Value>();
+    is_send_sync::<Env>();
+    is_send_sync::<Closure>();
+    is_send_sync::<NativeFn>();
+    is_send_sync::<Expr>();
+    is_send_sync::<Symbol>();
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => c1 == c2 && a1 == a2,
             (Value::Tuple(a1), Value::Tuple(a2)) => a1 == a2,
-            (Value::Closure(c1), Value::Closure(c2)) => Rc::ptr_eq(c1, c2),
-            (Value::Native(n1), Value::Native(n2)) => Rc::ptr_eq(n1, n2),
+            (Value::Closure(c1), Value::Closure(c2)) => Arc::ptr_eq(c1, c2),
+            (Value::Native(n1), Value::Native(n2)) => Arc::ptr_eq(n1, n2),
             _ => false,
         }
     }
@@ -275,11 +291,11 @@ impl Hash for Value {
             }
             Value::Closure(c) => {
                 2u8.hash(state);
-                (Rc::as_ptr(c) as usize).hash(state);
+                (Arc::as_ptr(c) as usize).hash(state);
             }
             Value::Native(n) => {
                 3u8.hash(state);
-                (Rc::as_ptr(n) as *const () as usize).hash(state);
+                (Arc::as_ptr(n) as *const () as usize).hash(state);
             }
         }
     }
@@ -296,7 +312,7 @@ impl fmt::Display for Value {
 /// A persistent evaluation environment, implemented as an immutable linked
 /// list so that closures can capture it cheaply.
 #[derive(Clone, Default)]
-pub struct Env(Option<Rc<EnvNode>>);
+pub struct Env(Option<Arc<EnvNode>>);
 
 struct EnvNode {
     name: Symbol,
@@ -313,7 +329,11 @@ impl Env {
     /// Returns a new environment with `name` bound to `value`, shadowing any
     /// previous binding.
     pub fn bind(&self, name: Symbol, value: Value) -> Env {
-        Env(Some(Rc::new(EnvNode { name, value, rest: self.clone() })))
+        Env(Some(Arc::new(EnvNode {
+            name,
+            value,
+            rest: self.clone(),
+        })))
     }
 
     /// Looks up the most recent binding of `name`.
@@ -443,7 +463,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -480,7 +503,7 @@ mod tests {
     #[test]
     fn first_order_detection() {
         assert!(Value::nat(3).is_first_order());
-        let clo = Value::Closure(Rc::new(Closure {
+        let clo = Value::Closure(Arc::new(Closure {
             param: Symbol::new("x"),
             body: Expr::var("x"),
             env: Env::empty(),

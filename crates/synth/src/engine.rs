@@ -154,7 +154,10 @@ impl<'p> Engine<'p> {
         let ctx = vec![(Symbol::new(ARG_NAME), concrete.clone())];
         let worlds: Vec<WorldRow> = labeled
             .iter()
-            .map(|(v, expected)| WorldRow { values: vec![v.clone()], expected: *expected })
+            .map(|(v, expected)| WorldRow {
+                values: vec![v.clone()],
+                expected: *expected,
+            })
             .collect();
 
         let components = self.function_components();
@@ -233,7 +236,9 @@ impl<'p> Engine<'p> {
             {
                 continue;
             }
-            let Some(value) = self.problem.globals.lookup(&name).cloned() else { continue };
+            let Some(value) = self.problem.globals.lookup(&name).cloned() else {
+                continue;
+            };
             out.push(FuncComponent {
                 name,
                 arg_tys: args.into_iter().cloned().collect(),
@@ -308,8 +313,12 @@ impl<'p> Engine<'p> {
             if matched_vars.contains(var) {
                 continue;
             }
-            let Type::Named(type_name) = var_ty else { continue };
-            let Some(decl) = tyenv.lookup(type_name) else { continue };
+            let Type::Named(type_name) = var_ty else {
+                continue;
+            };
+            let Some(decl) = tyenv.lookup(type_name) else {
+                continue;
+            };
             if decl.ctors.len() < 2 && decl.ctors.iter().all(|c| c.args.is_empty()) {
                 continue;
             }
@@ -334,7 +343,10 @@ impl<'p> Engine<'p> {
                         Value::Ctor(c, args) if c == &ctor.name => {
                             let mut values = row.values.clone();
                             values.extend(args.iter().cloned());
-                            Some(WorldRow { values, expected: row.expected })
+                            Some(WorldRow {
+                                values,
+                                expected: row.expected,
+                            })
                         }
                         _ => None,
                     })
@@ -354,7 +366,10 @@ impl<'p> Engine<'p> {
                     Some(body) => {
                         let pattern = Pattern::Ctor(
                             ctor.name.clone(),
-                            fields.iter().map(|(name, _)| Pattern::Var(name.clone())).collect(),
+                            fields
+                                .iter()
+                                .map(|(name, _)| Pattern::Var(name.clone()))
+                                .collect(),
                         );
                         arms.push(MatchArm::new(pattern, body));
                     }
@@ -382,8 +397,10 @@ impl<'p> Engine<'p> {
         example_table: &HashMap<Value, bool>,
         deadline: &Deadline,
     ) -> Result<Option<Expr>, SynthError> {
-        let target: Vec<Option<Value>> =
-            worlds.iter().map(|w| Some(Value::bool(w.expected))).collect();
+        let target: Vec<Option<Value>> = worlds
+            .iter()
+            .map(|w| Some(Value::bool(w.expected)))
+            .collect();
         let types = self.types_of_interest(ctx, components);
         let concrete = self.problem.concrete_type();
         let tyenv = &self.problem.tyenv;
@@ -393,13 +410,17 @@ impl<'p> Engine<'p> {
 
         // Size 1: variables and nullary constructors.
         for (index, (name, ty)) in ctx.iter().enumerate() {
-            let sig: Vec<Option<Value>> =
-                worlds.iter().map(|w| Some(w.values[index].clone())).collect();
+            let sig: Vec<Option<Value>> = worlds
+                .iter()
+                .map(|w| Some(w.values[index].clone()))
+                .collect();
             state.add(ty, 1, Expr::Var(name.clone()), sig);
         }
         for ty in &types {
             let Type::Named(type_name) = ty else { continue };
-            let Some(decl) = tyenv.lookup(type_name) else { continue };
+            let Some(decl) = tyenv.lookup(type_name) else {
+                continue;
+            };
             for ctor in &decl.ctors {
                 if !ctor.args.is_empty() {
                     continue;
@@ -481,16 +502,23 @@ impl<'p> Engine<'p> {
                     continue;
                 }
                 let Type::Named(type_name) = ty else { continue };
-                let Some(decl) = tyenv.lookup(type_name) else { continue };
-                let ctors: Vec<(Symbol, Vec<Type>)> =
-                    decl.ctors.iter().map(|c| (c.name.clone(), c.args.clone())).collect();
+                let Some(decl) = tyenv.lookup(type_name) else {
+                    continue;
+                };
+                let ctors: Vec<(Symbol, Vec<Type>)> = decl
+                    .ctors
+                    .iter()
+                    .map(|c| (c.name.clone(), c.args.clone()))
+                    .collect();
                 for (ctor_name, ctor_args) in ctors {
                     let k = ctor_args.len();
                     if k == 0 || size < 1 + k {
                         continue;
                     }
                     for split in compositions(size - 1, k) {
-                        let Some(arg_layers) = state.layers(&ctor_args, &split) else { continue };
+                        let Some(arg_layers) = state.layers(&ctor_args, &split) else {
+                            continue;
+                        };
                         let slices: Vec<&[PoolTerm]> =
                             arg_layers.iter().map(Vec::as_slice).collect();
                         let mut new_terms = Vec::new();
@@ -618,7 +646,10 @@ impl GuessState {
         max_per_layer: usize,
     ) -> Self {
         GuessState {
-            pool: types.iter().map(|t| (t.clone(), vec![Vec::new(); max_size])).collect(),
+            pool: types
+                .iter()
+                .map(|t| (t.clone(), vec![Vec::new(); max_size]))
+                .collect(),
             seen: types.iter().map(|t| (t.clone(), HashSet::new())).collect(),
             target,
             matched: None,
@@ -633,7 +664,10 @@ impl GuessState {
     /// The terms of `ty` with exactly `size` nodes (empty slice if the type
     /// is not tracked).
     fn layer(&self, ty: &Type, size: usize) -> &[PoolTerm] {
-        self.pool.get(ty).and_then(|layers| layers.get(size - 1)).map_or(&[], Vec::as_slice)
+        self.pool
+            .get(ty)
+            .and_then(|layers| layers.get(size - 1))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Clones the layers for an argument-type/size split, or `None` when a
@@ -656,12 +690,19 @@ impl GuessState {
         if self.matched.is_some() {
             return;
         }
-        let Some(layers) = self.pool.get_mut(ty) else { return };
-        let Some(layer) = layers.get_mut(size - 1) else { return };
+        let Some(layers) = self.pool.get_mut(ty) else {
+            return;
+        };
+        let Some(layer) = layers.get_mut(size - 1) else {
+            return;
+        };
         if layer.len() >= self.max_per_layer {
             return;
         }
-        let seen = self.seen.get_mut(ty).expect("seen table mirrors pool table");
+        let seen = self
+            .seen
+            .get_mut(ty)
+            .expect("seen table mirrors pool table");
         if !seen.insert(sig.clone()) {
             return;
         }
@@ -761,16 +802,24 @@ mod tests {
     }
 
     fn trace_completed(problem: &Problem, examples: ExampleSet) -> ExampleSet {
-        examples.trace_completed(&problem.tyenv, problem.concrete_type()).0
+        examples
+            .trace_completed(&problem.tyenv, problem.concrete_type())
+            .0
     }
 
     #[test]
     fn empty_examples_give_the_trivial_predicate() {
         let problem = problem();
         let engine = Engine::new(&problem, SearchConfig::quick());
-        let result = engine.synthesize(&ExampleSet::new(), &Deadline::none()).unwrap();
-        assert!(problem.eval_predicate(&result, &Value::nat_list(&[1, 1])).unwrap());
-        assert!(problem.eval_predicate(&result, &Value::nat_list(&[])).unwrap());
+        let result = engine
+            .synthesize(&ExampleSet::new(), &Deadline::none())
+            .unwrap();
+        assert!(problem
+            .eval_predicate(&result, &Value::nat_list(&[1, 1]))
+            .unwrap());
+        assert!(problem
+            .eval_predicate(&result, &Value::nat_list(&[]))
+            .unwrap());
     }
 
     #[test]
@@ -830,8 +879,12 @@ mod tests {
         // The synthesized predicate should generalise like the paper's
         // invariant: it must reject unseen duplicate lists and accept unseen
         // duplicate-free ones.
-        assert!(!problem.eval_predicate(&result, &Value::nat_list(&[3, 3])).unwrap());
-        assert!(problem.eval_predicate(&result, &Value::nat_list(&[5, 3, 1])).unwrap());
+        assert!(!problem
+            .eval_predicate(&result, &Value::nat_list(&[3, 3]))
+            .unwrap());
+        assert!(problem
+            .eval_predicate(&result, &Value::nat_list(&[5, 3, 1]))
+            .unwrap());
     }
 
     #[test]
@@ -846,11 +899,8 @@ mod tests {
         let mut config = SearchConfig::quick();
         config.schedule = vec![(0, 1)];
         let engine_small = Engine::new(&problem, config);
-        let examples = ExampleSet::from_sets(
-            [Value::nat_list(&[1, 0])],
-            [Value::nat_list(&[0, 1])],
-        )
-        .unwrap();
+        let examples =
+            ExampleSet::from_sets([Value::nat_list(&[1, 0])], [Value::nat_list(&[0, 1])]).unwrap();
         let result = engine_small.synthesize(&examples, &Deadline::none());
         assert_eq!(result, Err(SynthError::NoCandidate));
         // The full engine, however, can separate them (e.g. via lookup of the
@@ -863,12 +913,12 @@ mod tests {
         let problem = problem();
         let engine = Engine::new(&problem, SearchConfig::quick());
         let deadline = Deadline::at(std::time::Instant::now() - std::time::Duration::from_secs(1));
-        let examples = ExampleSet::from_sets(
-            [Value::nat_list(&[1, 0])],
-            [Value::nat_list(&[1, 1])],
-        )
-        .unwrap();
-        assert_eq!(engine.synthesize(&examples, &deadline), Err(SynthError::Timeout));
+        let examples =
+            ExampleSet::from_sets([Value::nat_list(&[1, 0])], [Value::nat_list(&[1, 1])]).unwrap();
+        assert_eq!(
+            engine.synthesize(&examples, &deadline),
+            Err(SynthError::Timeout)
+        );
     }
 
     #[test]

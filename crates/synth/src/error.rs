@@ -38,8 +38,12 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SynthError::NoCandidate.to_string().contains("no separating"));
-        assert!(SynthError::InconsistentExamples("[1]".into()).to_string().contains("[1]"));
+        assert!(SynthError::NoCandidate
+            .to_string()
+            .contains("no separating"));
+        assert!(SynthError::InconsistentExamples("[1]".into())
+            .to_string()
+            .contains("[1]"));
         assert!(SynthError::Timeout.to_string().contains("timed out"));
     }
 }

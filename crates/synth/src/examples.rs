@@ -110,8 +110,12 @@ impl ExampleSet {
     pub fn trace_completed(&self, tyenv: &TypeEnv, concrete: &Type) -> (ExampleSet, usize) {
         let mut closed = self.clone();
         let mut added = 0usize;
-        let seeds: Vec<Value> =
-            self.positives.iter().chain(self.negatives.iter()).cloned().collect();
+        let seeds: Vec<Value> = self
+            .positives
+            .iter()
+            .chain(self.negatives.iter())
+            .cloned()
+            .collect();
         for seed in seeds {
             for sub in seed.strict_subvalues() {
                 if sub.has_type(tyenv, concrete) && !closed.contains(&sub) {
@@ -135,7 +139,10 @@ mod tests {
         let mut env = TypeEnv::new();
         env.declare(DataDecl::new(
             "nat",
-            vec![CtorDecl::new("O", vec![]), CtorDecl::new("S", vec![Type::named("nat")])],
+            vec![
+                CtorDecl::new("O", vec![]),
+                CtorDecl::new("S", vec![Type::named("nat")]),
+            ],
         ))
         .unwrap();
         env.declare(DataDecl::new(
@@ -169,11 +176,7 @@ mod tests {
         ex.add_positive(Value::nat_list(&[1])).unwrap();
         let err = ex.add_negative(Value::nat_list(&[1])).unwrap_err();
         assert!(matches!(err, SynthError::InconsistentExamples(_)));
-        assert!(ExampleSet::from_sets(
-            [Value::nat_list(&[1])],
-            [Value::nat_list(&[1])]
-        )
-        .is_err());
+        assert!(ExampleSet::from_sets([Value::nat_list(&[1])], [Value::nat_list(&[1])]).is_err());
     }
 
     #[test]

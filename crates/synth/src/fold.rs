@@ -90,8 +90,12 @@ impl FoldSynth {
     /// internally by [`Synthesizer::synthesize`].
     pub fn helper_folds(&self, problem: &Problem) -> Vec<ExtraComponent> {
         let concrete = problem.concrete_type().clone();
-        let Type::Named(type_name) = &concrete else { return Vec::new() };
-        let Some(decl) = problem.tyenv.lookup(type_name) else { return Vec::new() };
+        let Type::Named(type_name) = &concrete else {
+            return Vec::new();
+        };
+        let Some(decl) = problem.tyenv.lookup(type_name) else {
+            return Vec::new();
+        };
         let decl = decl.clone();
         let nat = Type::named("nat");
         if !problem.tyenv.is_declared(&Symbol::new("nat")) {
@@ -123,18 +127,16 @@ impl FoldSynth {
                     components.push(Component::new(field, nat.clone()));
                 } else if arg_ty == &concrete {
                     // The recursive result of the fold on this field.
-                    components.push(Component::new(
-                        Symbol::new(&format!("__r{i}")),
-                        nat.clone(),
-                    ));
+                    components.push(Component::new(Symbol::new(&format!("__r{i}")), nat.clone()));
                 }
             }
-            let mut config = TermGenConfig::default();
-            config.allow_eq = false;
-            config.allow_bool_ops = false;
+            let config = TermGenConfig {
+                allow_eq: false,
+                allow_bool_ops: false,
+                ..TermGenConfig::default()
+            };
             let mut generator = TermGenerator::new(&problem.tyenv, components, config);
-            let mut bodies: Vec<Expr> =
-                generator.terms_up_to(&nat, self.fold_config.max_arm_size);
+            let mut bodies: Vec<Expr> = generator.terms_up_to(&nat, self.fold_config.max_arm_size);
             bodies.truncate(self.fold_config.max_arm_candidates);
             // Replace the placeholder recursive-result variables with actual
             // recursive calls.
@@ -200,11 +202,13 @@ impl FoldSynth {
             if helpers.len() >= self.fold_config.max_helpers {
                 break;
             }
-            let arm_bodies: Vec<Expr> =
-                indices.iter().zip(&per_ctor).map(|(&i, bodies)| bodies[i].clone()).collect();
+            let arm_bodies: Vec<Expr> = indices
+                .iter()
+                .zip(&per_ctor)
+                .map(|(&i, bodies)| bodies[i].clone())
+                .collect();
             let definition = assemble(&arm_bodies);
-            if let Ok(value) =
-                evaluator.eval(&problem.globals, &definition, &mut Fuel::standard())
+            if let Ok(value) = evaluator.eval(&problem.globals, &definition, &mut Fuel::standard())
             {
                 let signature: Vec<Option<Value>> = samples
                     .iter()
@@ -218,11 +222,8 @@ impl FoldSynth {
                 if informative && seen_signatures.insert(signature) {
                     let index = helpers.len();
                     let name = Symbol::new(&format!("fold{index}"));
-                    let renamed_definition = substitute_var(
-                        &definition,
-                        &helper_name,
-                        &Expr::Var(name.clone()),
-                    );
+                    let renamed_definition =
+                        substitute_var(&definition, &helper_name, &Expr::Var(name.clone()));
                     // The fix's own binder is `__fold`; rename the fix itself
                     // so recursive calls resolve, by rebuilding it under the
                     // public name.
@@ -265,28 +266,32 @@ impl FoldSynth {
 /// Capture-naive substitution of a free variable by an expression (adequate
 /// here: the replaced names are compiler-generated and never shadowed).
 fn substitute_var(expr: &Expr, var: &Symbol, replacement: &Expr) -> Expr {
-    use std::rc::Rc;
+    use std::sync::Arc;
     match expr {
         Expr::Var(x) if x == var => replacement.clone(),
         Expr::Var(_) => expr.clone(),
         Expr::Ctor(c, args) => Expr::Ctor(
             c.clone(),
-            args.iter().map(|a| substitute_var(a, var, replacement)).collect(),
+            args.iter()
+                .map(|a| substitute_var(a, var, replacement))
+                .collect(),
         ),
-        Expr::Tuple(args) => {
-            Expr::Tuple(args.iter().map(|a| substitute_var(a, var, replacement)).collect())
-        }
+        Expr::Tuple(args) => Expr::Tuple(
+            args.iter()
+                .map(|a| substitute_var(a, var, replacement))
+                .collect(),
+        ),
         Expr::Proj(i, e) => Expr::Proj(*i, Box::new(substitute_var(e, var, replacement))),
         Expr::App(f, a) => Expr::app(
             substitute_var(f, var, replacement),
             substitute_var(a, var, replacement),
         ),
-        Expr::Lambda(l) => Expr::Lambda(Rc::new(hanoi_lang::ast::LambdaExpr {
+        Expr::Lambda(l) => Expr::Lambda(Arc::new(hanoi_lang::ast::LambdaExpr {
             param: l.param.clone(),
             param_ty: l.param_ty.clone(),
             body: substitute_var(&l.body, var, replacement),
         })),
-        Expr::Fix(fx) => Expr::Fix(Rc::new(hanoi_lang::ast::FixExpr {
+        Expr::Fix(fx) => Expr::Fix(Arc::new(hanoi_lang::ast::FixExpr {
             name: fx.name.clone(),
             param: fx.param.clone(),
             param_ty: fx.param_ty.clone(),
@@ -297,7 +302,10 @@ fn substitute_var(expr: &Expr, var: &Symbol, replacement: &Expr) -> Expr {
             Box::new(substitute_var(s, var, replacement)),
             arms.iter()
                 .map(|arm| {
-                    MatchArm::new(arm.pattern.clone(), substitute_var(&arm.body, var, replacement))
+                    MatchArm::new(
+                        arm.pattern.clone(),
+                        substitute_var(&arm.body, var, replacement),
+                    )
                 })
                 .collect(),
         ),
@@ -404,8 +412,11 @@ mod tests {
         // lists that plain structural equality on heads would not).
         let evaluator = problem.evaluator();
         for helper in &helpers {
-            let out = evaluator
-                .apply(helper.value.clone(), Value::nat_list(&[2, 1]), &mut Fuel::standard());
+            let out = evaluator.apply(
+                helper.value.clone(),
+                Value::nat_list(&[2, 1]),
+                &mut Fuel::standard(),
+            );
             assert!(out.is_ok(), "helper {} failed to run", helper.name);
         }
     }

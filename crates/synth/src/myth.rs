@@ -20,7 +20,9 @@ pub struct MythSynth {
 impl MythSynth {
     /// A synthesizer with the default search schedule.
     pub fn new() -> Self {
-        MythSynth { config: SearchConfig::default() }
+        MythSynth {
+            config: SearchConfig::default(),
+        }
     }
 
     /// A synthesizer with a custom search configuration.
@@ -100,9 +102,10 @@ mod tests {
             [Value::nat(1), Value::nat(3), Value::nat(5)],
         )
         .unwrap();
-        let (examples, _) =
-            examples.trace_completed(&problem.tyenv, problem.concrete_type());
-        let result = synth.synthesize(&problem, &examples, &Deadline::none()).unwrap();
+        let (examples, _) = examples.trace_completed(&problem.tyenv, problem.concrete_type());
+        let result = synth
+            .synthesize(&problem, &examples, &Deadline::none())
+            .unwrap();
         problem.typecheck_invariant(&result).unwrap();
         for (value, expected) in examples.labeled() {
             assert_eq!(

@@ -45,8 +45,10 @@ pub fn enumerate_function_candidates(
         .filter(|(_, ty)| ty.is_first_order())
         .map(|(name, ty)| Component::new(name, ty))
         .collect();
-    let mut config = TermGenConfig::default();
-    config.allow_eq = false;
+    let config = TermGenConfig {
+        allow_eq: false,
+        ..TermGenConfig::default()
+    };
     let mut generator = TermGenerator::new(&problem.tyenv, components, config);
     let evaluator = problem.evaluator();
     let mut out = Vec::new();
@@ -56,7 +58,11 @@ pub fn enumerate_function_candidates(
         }
         let mut fuel = Fuel::new(bounds.fuel);
         if let Ok(value) = evaluator.eval(&problem.globals, &expr, &mut fuel) {
-            out.push(FunctionCandidate { expr, value, sig: sig.clone() });
+            out.push(FunctionCandidate {
+                expr,
+                value,
+                sig: sig.clone(),
+            });
         }
     }
     out
@@ -118,7 +124,11 @@ mod tests {
             let out = evaluator
                 .apply(c.value.clone(), Value::nat(1), &mut Fuel::standard())
                 .unwrap();
-            assert!(out.as_nat().is_some(), "candidate {} returned {out}", c.expr);
+            assert!(
+                out.as_nat().is_some(),
+                "candidate {} returned {out}",
+                c.expr
+            );
         }
     }
 

@@ -20,7 +20,8 @@
 
 use std::collections::HashSet;
 use std::ops::ControlFlow;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use hanoi_abstraction::contract::{instrument_function, BoundaryLog};
 use hanoi_abstraction::Problem;
@@ -32,7 +33,8 @@ use hanoi_lang::value::Value;
 use crate::bounds::{Deadline, VerifierBounds};
 use crate::hof::{enumerate_function_candidates, FunctionCandidate};
 use crate::outcome::{InductivenessCex, InductivenessOutcome, VerifierError};
-use crate::pools::{bounded_product, collect_abstract, enumerate_values, CompiledPredicate};
+use crate::parallel::par_retain;
+use crate::pools::{collect_abstract, enumerate_values, search_product, CompiledPredicate};
 
 /// How often (in tuples) the deadline is polled.
 const DEADLINE_POLL: usize = 256;
@@ -56,20 +58,26 @@ enum Choice {
 }
 
 /// Checks `CondInductive P Q` where `P` is given by `pool` and `Q` is
-/// `invariant`.
+/// `invariant`, spreading tuple evaluation over `workers` threads (`1` =
+/// serial; parallel runs report the same counterexample as serial ones, see
+/// [`crate::parallel`]).
 pub fn check_conditional_inductiveness(
     problem: &Problem,
     bounds: &VerifierBounds,
     deadline: &Deadline,
     pool: PoolSpec<'_>,
     invariant: &Expr,
+    workers: usize,
 ) -> Result<InductivenessOutcome, VerifierError> {
-    check_conditional_inductiveness_filtered(problem, bounds, deadline, pool, invariant, None)
+    check_conditional_inductiveness_filtered(
+        problem, bounds, deadline, pool, invariant, None, workers,
+    )
 }
 
 /// Like [`check_conditional_inductiveness`], but restricted to the single
 /// module operation named `only_op` when provided.  The LinearArbitrary
 /// baseline (§5.5) checks inductiveness one operation at a time.
+#[allow(clippy::too_many_arguments)]
 pub fn check_conditional_inductiveness_filtered(
     problem: &Problem,
     bounds: &VerifierBounds,
@@ -77,6 +85,7 @@ pub fn check_conditional_inductiveness_filtered(
     pool: PoolSpec<'_>,
     invariant: &Expr,
     only_op: Option<&str>,
+    workers: usize,
 ) -> Result<InductivenessOutcome, VerifierError> {
     let q = CompiledPredicate::compile(problem, invariant, bounds.fuel)?;
     let p_predicate = match pool {
@@ -118,12 +127,11 @@ pub fn check_conditional_inductiveness_filtered(
                     (PoolSpec::Known(known_values), Type::Abstract) => known_values.to_vec(),
                     _ => {
                         let concrete = sig.subst_abstract(problem.concrete_type());
-                        enumerate_values(problem, &concrete, per_count, per_size)
-                            .into_iter()
-                            .filter(|v| {
-                                collect_abstract(v, sig).iter().all(&satisfies_p)
-                            })
-                            .collect()
+                        let mut values = enumerate_values(problem, &concrete, per_count, per_size);
+                        par_retain(&mut values, workers, |v| {
+                            collect_abstract(v, sig).iter().all(&satisfies_p)
+                        });
+                        values
                     }
                 };
                 pools.push(values.into_iter().map(Choice::Val).collect());
@@ -133,21 +141,21 @@ pub fn check_conditional_inductiveness_filtered(
             }
         }
 
-        let mut since_poll = 0usize;
-        let found = bounded_product(&pools, cap, |tuple| {
-            since_poll += 1;
-            if since_poll >= DEADLINE_POLL {
-                since_poll = 0;
-                if deadline.expired() {
-                    return Err(VerifierError::Timeout);
-                }
+        let polls = AtomicUsize::new(0);
+        let found = search_product(&pools, cap, workers, |tuple| {
+            if polls
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(DEADLINE_POLL)
+                && deadline.expired()
+            {
+                return Err(VerifierError::Timeout);
             }
 
             // Materialize arguments, instrumenting abstract-mentioning
             // functional positions with boundary logs.
             let mut args: Vec<Value> = Vec::with_capacity(tuple.len());
             let mut display_args: Vec<Value> = Vec::with_capacity(tuple.len());
-            let mut logs: Vec<Rc<BoundaryLog>> = Vec::new();
+            let mut logs: Vec<Arc<BoundaryLog>> = Vec::new();
             for (choice, sig) in tuple.iter().zip(&arg_sigs) {
                 match choice {
                     Choice::Val(v) => {
@@ -162,7 +170,7 @@ pub fn check_conditional_inductiveness_filtered(
                                 &problem.tyenv,
                                 sig,
                                 candidate.value.clone(),
-                                Rc::clone(&log),
+                                Arc::clone(&log),
                             ));
                             logs.push(log);
                         } else {
@@ -186,8 +194,10 @@ pub fn check_conditional_inductiveness_filtered(
 
             // Rule I-Fun's premise: client-supplied values must satisfy P for
             // the run to witness anything.
-            let client_supplied: Vec<Value> =
-                logs.iter().flat_map(|log| log.client_supplied_values()).collect();
+            let client_supplied: Vec<Value> = logs
+                .iter()
+                .flat_map(|log| log.client_supplied_values())
+                .collect();
             if !client_supplied.iter().all(&satisfies_p) {
                 return Ok(ControlFlow::Continue(()));
             }
@@ -197,8 +207,7 @@ pub fn check_conditional_inductiveness_filtered(
             // functional argument.
             let mut produced: Vec<Value> = collect_abstract(&result, result_sig);
             produced.extend(logs.iter().flat_map(|log| log.module_supplied_values()));
-            let violations: Vec<Value> =
-                produced.into_iter().filter(|v| !q.test(v)).collect();
+            let violations: Vec<Value> = produced.into_iter().filter(|v| !q.test(v)).collect();
             if violations.is_empty() {
                 return Ok(ControlFlow::Continue(()));
             }
@@ -288,6 +297,7 @@ mod tests {
             &Deadline::none(),
             PoolSpec::Satisfying(&candidate),
             &candidate,
+            1,
         )
         .unwrap();
         assert_eq!(outcome, InductivenessOutcome::Valid);
@@ -303,6 +313,7 @@ mod tests {
             &Deadline::none(),
             PoolSpec::Satisfying(&inv),
             &inv,
+            1,
         )
         .unwrap();
         assert_eq!(outcome, InductivenessOutcome::Valid);
@@ -331,12 +342,16 @@ mod tests {
             &Deadline::none(),
             PoolSpec::Satisfying(&candidate),
             &candidate,
+            1,
         )
         .unwrap();
         match outcome {
             InductivenessOutcome::Cex(cex) => {
                 assert!(!cex.v.is_empty());
-                assert!(!cex.s.is_empty(), "a first-order cex always carries its inputs");
+                assert!(
+                    !cex.s.is_empty(),
+                    "a first-order cex always carries its inputs"
+                );
                 // Every violating value must indeed falsify the candidate.
                 for v in &cex.v {
                     assert!(!problem.eval_predicate(&candidate, v).unwrap());
@@ -368,6 +383,7 @@ mod tests {
             &Deadline::none(),
             PoolSpec::Known(&v_plus),
             &candidate,
+            1,
         )
         .unwrap();
         match outcome {
@@ -391,16 +407,16 @@ mod tests {
         // A candidate that rejects the empty list: `empty` itself is a
         // constructible constant, so visible inductiveness must fail even
         // with an empty V+.
-        let candidate = parse_expr(
-            "fun (l : list) -> match l with | Nil -> False | Cons (hd, tl) -> True end",
-        )
-        .unwrap();
+        let candidate =
+            parse_expr("fun (l : list) -> match l with | Nil -> False | Cons (hd, tl) -> True end")
+                .unwrap();
         let outcome = check_conditional_inductiveness(
             &problem,
             &VerifierBounds::quick(),
             &Deadline::none(),
             PoolSpec::Known(&[]),
             &candidate,
+            1,
         )
         .unwrap();
         match outcome {

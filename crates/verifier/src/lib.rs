@@ -28,10 +28,19 @@
 //! abstract-type values crossing the module boundary contribute to the
 //! counterexample sets.
 
+//! All three checks accept a `parallelism` knob (see
+//! [`Verifier::with_parallelism`]): candidate×value work is chunked over a
+//! scoped thread pool, short-circuiting on the first counterexample while
+//! keeping counterexample selection deterministic — the reported
+//! counterexample is always the least tuple under the enumeration order,
+//! regardless of which worker finds one first, so parallel runs are
+//! outcome-identical to serial runs.
+
 pub mod bounds;
 pub mod hof;
 pub mod inductive;
 pub mod outcome;
+pub mod parallel;
 pub mod pools;
 pub mod tester;
 pub mod verifier;
@@ -40,4 +49,5 @@ pub use bounds::{Deadline, VerifierBounds};
 pub use outcome::{
     InductivenessCex, InductivenessOutcome, SufficiencyCex, SufficiencyOutcome, VerifierError,
 };
+pub use parallel::effective_workers;
 pub use verifier::Verifier;

@@ -158,7 +158,10 @@ mod tests {
         let shown = cex.to_string();
         assert!(shown.contains("insert"));
         assert!(shown.contains("[1; 0]"));
-        let scex = SufficiencyCex { args: vec![Value::nat_list(&[1, 1])], abstract_args: vec![] };
+        let scex = SufficiencyCex {
+            args: vec![Value::nat_list(&[1, 1])],
+            abstract_args: vec![],
+        };
         assert!(scex.to_string().contains("[1; 1]"));
     }
 

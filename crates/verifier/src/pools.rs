@@ -33,7 +33,11 @@ impl<'p> CompiledPredicate<'p> {
             .evaluator()
             .eval(&problem.globals, predicate, &mut Fuel::new(fuel))
             .map_err(VerifierError::Eval)?;
-        Ok(CompiledPredicate { problem, closure, fuel })
+        Ok(CompiledPredicate {
+            problem,
+            closure,
+            fuel,
+        })
     }
 
     /// Tests the predicate on one value.  Any evaluation failure (divergence
@@ -74,7 +78,11 @@ pub fn bounded_product<'a, T, R, E>(
         if visited >= cap {
             return Ok(None);
         }
-        let current: Vec<&T> = indices.iter().zip(pools).map(|(&i, pool)| &pool[i]).collect();
+        let current: Vec<&T> = indices
+            .iter()
+            .zip(pools)
+            .map(|(&i, pool)| &pool[i])
+            .collect();
         match visit(&current)? {
             ControlFlow::Break(result) => return Ok(Some(result)),
             ControlFlow::Continue(()) => {}
@@ -95,6 +103,70 @@ pub fn bounded_product<'a, T, R, E>(
         }
     }
 }
+
+/// Number of tuples [`search_product`] will visit: the size of the cartesian
+/// product of `pools`, capped at `cap`.
+pub fn product_len<T>(pools: &[Vec<T>], cap: usize) -> usize {
+    let mut total = 1usize;
+    for pool in pools {
+        total = total.saturating_mul(pool.len());
+    }
+    total.min(cap)
+}
+
+/// Decodes a flat lexicographic index into one tuple of the cartesian
+/// product of `pools` (the last pool varies fastest, matching
+/// [`bounded_product`]'s visit order).
+pub fn decode_tuple<T>(pools: &[Vec<T>], mut flat: usize) -> Vec<&T> {
+    let mut tuple = vec![None; pools.len()];
+    for (slot, pool) in tuple.iter_mut().zip(pools).rev() {
+        *slot = Some(&pool[flat % pool.len()]);
+        flat /= pool.len();
+    }
+    tuple
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled"))
+        .collect()
+}
+
+/// Searches the (capped) cartesian product of `pools` for the first tuple on
+/// which `visit` breaks, distributing tuples over `workers` threads.
+///
+/// Serial-equivalent by construction: whatever thread breaks first, the
+/// reported break is always the one at the least lexicographic tuple index
+/// (see [`crate::parallel::find_first`]), so callers observe exactly the
+/// counterexample a `workers = 1` run would report.  `visit` must therefore
+/// be a pure function of the tuple.
+pub fn search_product<'a, T, R, E>(
+    pools: &'a [Vec<T>],
+    cap: usize,
+    workers: usize,
+    visit: impl Fn(&[&'a T]) -> Result<ControlFlow<R>, E> + Sync,
+) -> Result<Option<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+{
+    if pools.iter().any(|p| p.is_empty()) {
+        return Ok(None);
+    }
+    if workers <= 1 {
+        return bounded_product(pools, cap, visit);
+    }
+    let len = product_len(pools, cap);
+    crate::parallel::find_first(len, workers, PRODUCT_CHUNK, |flat| {
+        match visit(&decode_tuple(pools, flat))? {
+            ControlFlow::Break(result) => Ok(Some(result)),
+            ControlFlow::Continue(()) => Ok(None),
+        }
+    })
+}
+
+/// Chunk size for parallel product search: large enough to amortize the
+/// claim, small enough that the short-circuit cutoff stays tight (a tuple
+/// evaluation runs the interpreter, so chunks are already milliseconds).
+const PRODUCT_CHUNK: usize = 64;
 
 /// Collects the abstract-type components of a first-order value, guided by
 /// its interface-level type — the `{|v|}σ` function of Figure 3.
@@ -151,8 +223,7 @@ mod tests {
     fn predicate_evaluation_errors_count_as_false() {
         let problem = Problem::from_source(LIST_SET).unwrap();
         // A predicate that diverges on every input.
-        let pred =
-            parse_expr("fix loop (l : list) : bool = loop l").unwrap();
+        let pred = parse_expr("fix loop (l : list) : bool = loop l").unwrap();
         let compiled = CompiledPredicate::compile(&problem, &pred, 10_000).unwrap();
         assert!(!compiled.test(&Value::nat_list(&[])));
     }
@@ -209,11 +280,79 @@ mod tests {
     }
 
     #[test]
+    fn decode_tuple_matches_bounded_product_order() {
+        let pools = vec![vec![1, 2, 3], vec![10, 20], vec![100, 200]];
+        let mut visited: Vec<Vec<i32>> = Vec::new();
+        let _: Result<Option<()>, ()> = bounded_product(&pools, 1000, |tuple| {
+            visited.push(tuple.iter().map(|&&x| x).collect());
+            Ok(ControlFlow::Continue(()))
+        });
+        assert_eq!(visited.len(), product_len(&pools, 1000));
+        for (flat, expected) in visited.iter().enumerate() {
+            let decoded: Vec<i32> = decode_tuple(&pools, flat).into_iter().copied().collect();
+            assert_eq!(&decoded, expected, "flat index {flat}");
+        }
+    }
+
+    #[test]
+    fn search_product_is_serial_equivalent() {
+        // The first tuple whose components sum above a threshold; parallel
+        // search must find the same (lexicographically least) one as serial.
+        let pools = vec![
+            (0..7).collect::<Vec<i64>>(),
+            (0..9).collect(),
+            (0..5).collect(),
+        ];
+        for threshold in [3i64, 9, 14, 100] {
+            let serial: Option<Vec<i64>> = search_product(&pools, 10_000, 1, |tuple| {
+                let sum: i64 = tuple.iter().copied().sum();
+                Ok::<_, ()>(if sum >= threshold {
+                    ControlFlow::Break(tuple.iter().map(|&&x| x).collect())
+                } else {
+                    ControlFlow::Continue(())
+                })
+            })
+            .unwrap();
+            for workers in [2, 4, 8] {
+                let parallel: Option<Vec<i64>> = search_product(&pools, 10_000, workers, |tuple| {
+                    let sum: i64 = tuple.iter().copied().sum();
+                    Ok::<_, ()>(if sum >= threshold {
+                        ControlFlow::Break(tuple.iter().map(|&&x| x).collect())
+                    } else {
+                        ControlFlow::Continue(())
+                    })
+                })
+                .unwrap();
+                assert_eq!(parallel, serial, "threshold={threshold} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_product_respects_the_cap() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pools = vec![(0..100).collect::<Vec<i32>>(), (0..100).collect()];
+        for workers in [1, 4] {
+            let visited = AtomicUsize::new(0);
+            let found: Option<()> = search_product(&pools, 37, workers, |_| {
+                visited.fetch_add(1, Ordering::Relaxed);
+                Ok::<_, ()>(ControlFlow::Continue(()))
+            })
+            .unwrap();
+            assert_eq!(found, None);
+            assert_eq!(visited.load(Ordering::Relaxed), 37, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn collect_abstract_follows_the_signature() {
         let v = Value::pair(Value::nat_list(&[1]), Value::nat(3));
         let sig = Type::pair(Type::Abstract, Type::named("nat"));
         assert_eq!(collect_abstract(&v, &sig), vec![Value::nat_list(&[1])]);
-        assert_eq!(collect_abstract(&v, &Type::named("nat")), Vec::<Value>::new());
+        assert_eq!(
+            collect_abstract(&v, &Type::named("nat")),
+            Vec::<Value>::new()
+        );
         assert_eq!(
             collect_abstract(&Value::nat_list(&[2]), &Type::Abstract),
             vec![Value::nat_list(&[2])]

@@ -7,6 +7,7 @@
 //! `I`), up to the configured bounds, and reports the first violating tuple.
 
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
@@ -15,17 +16,21 @@ use hanoi_lang::value::Value;
 
 use crate::bounds::{Deadline, VerifierBounds};
 use crate::outcome::{SufficiencyCex, SufficiencyOutcome, VerifierError};
-use crate::pools::{bounded_product, enumerate_values, CompiledPredicate};
+use crate::parallel::par_retain;
+use crate::pools::{enumerate_values, search_product, CompiledPredicate};
 
 /// How often (in tuples) the deadline is polled.
 const DEADLINE_POLL: usize = 256;
 
-/// Checks sufficiency of `invariant` for the problem's specification.
+/// Checks sufficiency of `invariant` for the problem's specification,
+/// spreading tuple evaluation over `workers` threads (`1` = serial; parallel
+/// runs report the same outcome as serial ones, see [`crate::parallel`]).
 pub fn check_sufficiency(
     problem: &Problem,
     bounds: &VerifierBounds,
     deadline: &Deadline,
     invariant: &Expr,
+    workers: usize,
 ) -> Result<SufficiencyOutcome, VerifierError> {
     let spec = &problem.spec;
     let quantifiers = spec.arity();
@@ -35,36 +40,45 @@ pub fn check_sufficiency(
 
     let predicate = CompiledPredicate::compile(problem, invariant, bounds.fuel)?;
 
-    // Build one pool per quantified parameter.
+    // Build one pool per quantified parameter; filtering abstract-type pools
+    // by the candidate runs the interpreter per value, so it is spread over
+    // the workers too.
     let mut pools: Vec<Vec<Value>> = Vec::with_capacity(quantifiers);
     for (_, param_ty) in &spec.params {
         let concrete = param_ty.subst_abstract(problem.concrete_type());
         let mut values = enumerate_values(problem, &concrete, per_count, per_size);
         if param_ty.mentions_abstract() {
-            values.retain(|v| predicate.test(v));
+            par_retain(&mut values, workers, |v| predicate.test(v));
         }
         pools.push(values);
     }
 
     let abstract_positions = spec.abstract_positions();
-    let mut since_poll = 0usize;
-    let found = bounded_product(&pools, cap, |tuple| {
-        since_poll += 1;
-        if since_poll >= DEADLINE_POLL {
-            since_poll = 0;
-            if deadline.expired() {
-                return Err(VerifierError::Timeout);
-            }
+    let polls = AtomicUsize::new(0);
+    let found = search_product(&pools, cap, workers, |tuple| {
+        if polls
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(DEADLINE_POLL)
+            && deadline.expired()
+        {
+            return Err(VerifierError::Timeout);
         }
         let args: Vec<Value> = tuple.iter().map(|v| (*v).clone()).collect();
         let mut fuel = Fuel::new(bounds.fuel);
-        let holds = problem.eval_spec_with_fuel(&args, &mut fuel).unwrap_or(false);
+        let holds = problem
+            .eval_spec_with_fuel(&args, &mut fuel)
+            .unwrap_or(false);
         if holds {
             Ok(ControlFlow::Continue(()))
         } else {
-            let abstract_args =
-                abstract_positions.iter().map(|&i| args[i].clone()).collect::<Vec<_>>();
-            Ok(ControlFlow::Break(SufficiencyCex { args, abstract_args }))
+            let abstract_args = abstract_positions
+                .iter()
+                .map(|&i| args[i].clone())
+                .collect::<Vec<_>>();
+            Ok(ControlFlow::Break(SufficiencyCex {
+                args,
+                abstract_args,
+            }))
         }
     })?;
 
@@ -137,6 +151,7 @@ mod tests {
             &VerifierBounds::quick(),
             &Deadline::none(),
             &candidate,
+            1,
         )
         .unwrap();
         match outcome {
@@ -152,7 +167,10 @@ mod tests {
                     .collect();
                 let mut dedup = items.clone();
                 dedup.dedup();
-                assert!(dedup.len() < items.len(), "expected duplicates, got {items:?}");
+                assert!(
+                    dedup.len() < items.len(),
+                    "expected duplicates, got {items:?}"
+                );
             }
             SufficiencyOutcome::Valid => panic!("fun _ -> True must not be sufficient"),
         }
@@ -166,6 +184,7 @@ mod tests {
             &VerifierBounds::quick(),
             &Deadline::none(),
             &no_duplicates(),
+            1,
         )
         .unwrap();
         assert_eq!(outcome, SufficiencyOutcome::Valid);
@@ -180,9 +199,35 @@ mod tests {
             &VerifierBounds::quick(),
             &Deadline::none(),
             &candidate,
+            1,
         )
         .unwrap();
         assert_eq!(outcome, SufficiencyOutcome::Valid);
+    }
+
+    #[test]
+    fn parallel_runs_report_the_serial_counterexample() {
+        let problem = problem();
+        let candidate = parse_expr("fun (l : list) -> True").unwrap();
+        let serial = check_sufficiency(
+            &problem,
+            &VerifierBounds::quick(),
+            &Deadline::none(),
+            &candidate,
+            1,
+        )
+        .unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = check_sufficiency(
+                &problem,
+                &VerifierBounds::quick(),
+                &Deadline::none(),
+                &candidate,
+                workers,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
     }
 
     #[test]
@@ -193,7 +238,8 @@ mod tests {
         // With an already expired deadline the check either finds the (very
         // early) counterexample before the first poll or times out; both are
         // acceptable, but it must not loop.
-        let result = check_sufficiency(&problem, &VerifierBounds::quick(), &deadline, &candidate);
+        let result =
+            check_sufficiency(&problem, &VerifierBounds::quick(), &deadline, &candidate, 1);
         match result {
             Ok(_) | Err(VerifierError::Timeout) => {}
             Err(other) => panic!("unexpected error {other}"),

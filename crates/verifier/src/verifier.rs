@@ -20,12 +20,19 @@ pub struct Verifier<'p> {
     problem: &'p Problem,
     bounds: VerifierBounds,
     deadline: Deadline,
+    parallelism: usize,
 }
 
 impl<'p> Verifier<'p> {
-    /// A verifier with the paper's default bounds and no deadline.
+    /// A verifier with the paper's default bounds, no deadline, and serial
+    /// execution.
     pub fn new(problem: &'p Problem) -> Self {
-        Verifier { problem, bounds: VerifierBounds::default(), deadline: Deadline::none() }
+        Verifier {
+            problem,
+            bounds: VerifierBounds::default(),
+            deadline: Deadline::none(),
+            parallelism: 1,
+        }
     }
 
     /// Overrides the enumeration bounds.
@@ -40,6 +47,22 @@ impl<'p> Verifier<'p> {
         self
     }
 
+    /// Sets the number of worker threads used by every check: `1` (the
+    /// default) runs serially, `0` uses one worker per available core, any
+    /// other value is taken literally.  Parallel runs produce outcomes
+    /// identical to serial ones — counterexample selection is deterministic
+    /// (least tuple under the enumeration order), see [`crate::parallel`].
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The effective worker count of this verifier (with `0` resolved to the
+    /// available core count).
+    pub fn workers(&self) -> usize {
+        crate::parallel::effective_workers(self.parallelism)
+    }
+
     /// The problem being verified.
     pub fn problem(&self) -> &'p Problem {
         self.problem
@@ -52,7 +75,13 @@ impl<'p> Verifier<'p> {
 
     /// `Verify Suf φ M [I]`: is the candidate sufficient for the spec?
     pub fn check_sufficiency(&self, invariant: &Expr) -> Result<SufficiencyOutcome, VerifierError> {
-        check_sufficiency(self.problem, &self.bounds, &self.deadline, invariant)
+        check_sufficiency(
+            self.problem,
+            &self.bounds,
+            &self.deadline,
+            invariant,
+            self.workers(),
+        )
     }
 
     /// `CondInductive V+ I`: is the candidate visibly inductive relative to
@@ -68,6 +97,7 @@ impl<'p> Verifier<'p> {
             &self.deadline,
             PoolSpec::Known(v_plus),
             invariant,
+            self.workers(),
         )
     }
 
@@ -82,6 +112,7 @@ impl<'p> Verifier<'p> {
             &self.deadline,
             PoolSpec::Satisfying(invariant),
             invariant,
+            self.workers(),
         )
     }
 
@@ -99,6 +130,7 @@ impl<'p> Verifier<'p> {
             PoolSpec::Satisfying(invariant),
             invariant,
             Some(op),
+            self.workers(),
         )
     }
 
@@ -116,6 +148,7 @@ impl<'p> Verifier<'p> {
             &self.deadline,
             PoolSpec::Satisfying(p),
             q,
+            self.workers(),
         )
     }
 
@@ -134,15 +167,17 @@ impl<'p> Verifier<'p> {
             self.bounds.single_count,
             self.bounds.single_size,
         );
-        for (index, value) in values.iter().enumerate() {
+        crate::parallel::find_first(values.len(), self.workers(), 64, |index| {
             if index % 256 == 0 && self.deadline.expired() {
                 return Err(VerifierError::Timeout);
             }
-            if !compiled.test(value) {
-                return Ok(Some(value.clone()));
+            let value = &values[index];
+            if compiled.test(value) {
+                Ok(None)
+            } else {
+                Ok(Some(value.clone()))
             }
-        }
-        Ok(None)
+        })
     }
 
     /// The smallest `count` values of the concrete representation type — the
@@ -211,15 +246,24 @@ mod tests {
 
         // The paper's invariant passes all three checks.
         assert!(verifier.check_sufficiency(&no_dup).unwrap().is_valid());
-        assert!(verifier.check_full_inductiveness(&no_dup).unwrap().is_valid());
+        assert!(verifier
+            .check_full_inductiveness(&no_dup)
+            .unwrap()
+            .is_valid());
         let v_plus = vec![Value::nat_list(&[]), Value::nat_list(&[1])];
-        assert!(verifier.check_visible_inductiveness(&v_plus, &no_dup).unwrap().is_valid());
+        assert!(verifier
+            .check_visible_inductiveness(&v_plus, &no_dup)
+            .unwrap()
+            .is_valid());
 
         // `true` is inductive but not sufficient; `sorted-heads-not-1` is
         // neither.
         let trivial = parse_expr("fun (l : list) -> True").unwrap();
         assert!(!verifier.check_sufficiency(&trivial).unwrap().is_valid());
-        assert!(verifier.check_full_inductiveness(&trivial).unwrap().is_valid());
+        assert!(verifier
+            .check_full_inductiveness(&trivial)
+            .unwrap()
+            .is_valid());
     }
 
     #[test]
@@ -230,7 +274,12 @@ mod tests {
         let violation = verifier.find_violation(&Type::named("nat"), &pred).unwrap();
         assert_eq!(violation, Some(Value::nat(2)));
         let tautology = parse_expr("fun (n : nat) -> n == n").unwrap();
-        assert_eq!(verifier.find_violation(&Type::named("nat"), &tautology).unwrap(), None);
+        assert_eq!(
+            verifier
+                .find_violation(&Type::named("nat"), &tautology)
+                .unwrap(),
+            None
+        );
     }
 
     #[test]

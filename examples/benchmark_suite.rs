@@ -27,7 +27,10 @@ fn main() {
             benchmark.id,
             status,
             result.stats.total_time.as_secs_f64(),
-            result.stats.invariant_size.map_or("-".to_string(), |s| s.to_string()),
+            result
+                .stats
+                .invariant_size
+                .map_or("-".to_string(), |s| s.to_string()),
             result.stats.verification_calls,
             result.stats.synthesis_calls,
         );

@@ -27,7 +27,9 @@ fn main() {
     ];
 
     for (label, mode, optimizations) in configurations {
-        let config = HanoiConfig::quick().with_mode(mode).with_optimizations(optimizations);
+        let config = HanoiConfig::quick()
+            .with_mode(mode)
+            .with_optimizations(optimizations);
         let result = Driver::new(&problem, config).run();
         let status = match &result.outcome {
             Outcome::Invariant(_) => "ok",

@@ -87,7 +87,10 @@ fn main() {
 
     // Ground truth: saturate the constructible values and peek at a few.
     let oracle = ConstructibleOracle::compute(&problem, ConstructibleBounds::default());
-    println!("constructible queue representations found: {}", oracle.values().len());
+    println!(
+        "constructible queue representations found: {}",
+        oracle.values().len()
+    );
     for value in oracle.values().iter().take(5) {
         println!("  {value}");
     }
@@ -111,7 +114,10 @@ fn main() {
                 .iter()
                 .all(|v| problem.eval_predicate(&invariant, v).unwrap_or(false));
             println!("accepts every known-constructible value: {ok}");
-            println!("rejects the bogus queue: {}", !problem.eval_predicate(&invariant, &bogus).unwrap_or(true));
+            println!(
+                "rejects the bogus queue: {}",
+                !problem.eval_predicate(&invariant, &bogus).unwrap_or(true)
+            );
         }
         other => println!("inference did not produce an invariant: {other}"),
     }

@@ -43,7 +43,11 @@ const LIST_SET: &str = r#"
 fn main() {
     let problem = Problem::from_source(LIST_SET).expect("the example program elaborates");
     println!("module    : {}", problem.module.name);
-    println!("interface : {} ({} operations)", problem.interface.name, problem.interface.len());
+    println!(
+        "interface : {} ({} operations)",
+        problem.interface.name,
+        problem.interface.len()
+    );
     println!("concrete  : {}", problem.concrete_type());
     println!();
 

@@ -9,17 +9,26 @@ use hanoi_repro::verifier::{Verifier, VerifierBounds};
 fn run(id: &str, mode: Mode, optimizations: Optimizations) -> (bool, usize, usize) {
     let benchmark = benchmarks::find(id).unwrap();
     let problem = benchmark.problem().unwrap();
-    let config = HanoiConfig::quick().with_mode(mode).with_optimizations(optimizations);
+    let config = HanoiConfig::quick()
+        .with_mode(mode)
+        .with_optimizations(optimizations);
     let result = Driver::new(&problem, config).run();
     let success = match &result.outcome {
         Outcome::Invariant(invariant) => {
             let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
             verifier.check_sufficiency(invariant).unwrap().is_valid()
-                && verifier.check_full_inductiveness(invariant).unwrap().is_valid()
+                && verifier
+                    .check_full_inductiveness(invariant)
+                    .unwrap()
+                    .is_valid()
         }
         _ => false,
     };
-    (success, result.stats.verification_calls, result.stats.synthesis_calls)
+    (
+        success,
+        result.stats.verification_calls,
+        result.stats.synthesis_calls,
+    )
 }
 
 #[test]
@@ -52,8 +61,11 @@ fn synthesis_result_caching_reduces_synthesis_calls() {
     // V− resets; with the cache those revisits are free.
     let (_, _, with_cache_calls) =
         run("/coq/unique-list-::-set", Mode::Hanoi, Optimizations::all());
-    let (_, _, without_cache_calls) =
-        run("/coq/unique-list-::-set", Mode::Hanoi, Optimizations::without_src());
+    let (_, _, without_cache_calls) = run(
+        "/coq/unique-list-::-set",
+        Mode::Hanoi,
+        Optimizations::without_src(),
+    );
     assert!(
         with_cache_calls <= without_cache_calls,
         "caching increased synthesis calls: {with_cache_calls} > {without_cache_calls}"

@@ -11,7 +11,12 @@ use hanoi_repro::lang::value::Value;
 use hanoi_repro::verifier::{Verifier, VerifierBounds};
 
 /// Runs full Hanoi inference on one benchmark with quick bounds.
-fn infer(id: &str) -> (hanoi_repro::abstraction::Problem, hanoi_repro::hanoi::RunResult) {
+fn infer(
+    id: &str,
+) -> (
+    hanoi_repro::abstraction::Problem,
+    hanoi_repro::hanoi::RunResult,
+) {
     let benchmark = benchmarks::find(id).unwrap_or_else(|| panic!("unknown benchmark {id}"));
     let problem = benchmark.problem().expect("benchmark elaborates");
     let result = Driver::new(&problem, HanoiConfig::quick()).run();
@@ -25,10 +30,15 @@ fn validate_invariant(
     problem: &hanoi_repro::abstraction::Problem,
     invariant: &hanoi_repro::lang::ast::Expr,
 ) {
-    problem.typecheck_invariant(invariant).expect("invariant typechecks");
+    problem
+        .typecheck_invariant(invariant)
+        .expect("invariant typechecks");
 
     let oracle = ConstructibleOracle::compute(problem, ConstructibleBounds::default());
-    assert!(!oracle.values().is_empty(), "the oracle found no constructible values");
+    assert!(
+        !oracle.values().is_empty(),
+        "the oracle found no constructible values"
+    );
     for value in oracle.values() {
         assert!(
             problem.eval_predicate(invariant, value).unwrap_or(false),
@@ -42,7 +52,10 @@ fn validate_invariant(
         "invariant {invariant} is not sufficient"
     );
     assert!(
-        verifier.check_full_inductiveness(invariant).unwrap().is_valid(),
+        verifier
+            .check_full_inductiveness(invariant)
+            .unwrap()
+            .is_valid(),
         "invariant {invariant} is not inductive"
     );
 }
@@ -50,20 +63,36 @@ fn validate_invariant(
 #[test]
 fn unique_list_set_infers_a_no_duplicates_style_invariant() {
     let (problem, result) = infer("/coq/unique-list-::-set");
-    let invariant = result.outcome.invariant().expect("an invariant is inferred").clone();
+    let invariant = result
+        .outcome
+        .invariant()
+        .expect("an invariant is inferred")
+        .clone();
     validate_invariant(&problem, &invariant);
     // The spirit of the paper's I⋆: duplicate lists are rejected.
-    assert!(!problem.eval_predicate(&invariant, &Value::nat_list(&[4, 4])).unwrap());
-    assert!(problem.eval_predicate(&invariant, &Value::nat_list(&[5, 3, 1])).unwrap());
+    assert!(!problem
+        .eval_predicate(&invariant, &Value::nat_list(&[4, 4]))
+        .unwrap());
+    assert!(problem
+        .eval_predicate(&invariant, &Value::nat_list(&[5, 3, 1]))
+        .unwrap());
 }
 
 #[test]
 fn maxfirst_heap_infers_a_head_is_max_style_invariant() {
     let (problem, result) = infer("/coq/maxfirst-list-::-heap");
-    let invariant = result.outcome.invariant().expect("an invariant is inferred").clone();
+    let invariant = result
+        .outcome
+        .invariant()
+        .expect("an invariant is inferred")
+        .clone();
     validate_invariant(&problem, &invariant);
-    assert!(problem.eval_predicate(&invariant, &Value::nat_list(&[9, 2, 5])).unwrap());
-    assert!(!problem.eval_predicate(&invariant, &Value::nat_list(&[1, 5])).unwrap());
+    assert!(problem
+        .eval_predicate(&invariant, &Value::nat_list(&[9, 2, 5]))
+        .unwrap());
+    assert!(!problem
+        .eval_predicate(&invariant, &Value::nat_list(&[1, 5]))
+        .unwrap());
 }
 
 #[test]
@@ -76,7 +105,10 @@ fn cache_and_rational_and_sized_list_complete() {
             .unwrap_or_else(|| panic!("{id} did not produce an invariant: {}", result.outcome))
             .clone();
         validate_invariant(&problem, &invariant);
-        assert!(result.stats.verification_calls > 0, "{id} made no verification calls");
+        assert!(
+            result.stats.verification_calls > 0,
+            "{id} made no verification calls"
+        );
     }
 }
 
@@ -94,17 +126,30 @@ fn table_benchmarks_admit_the_trivial_invariant() {
             .clone();
         validate_invariant(&problem, &invariant);
         // Trivial-ish: small.
-        assert!(result.stats.invariant_size.unwrap() <= 10, "{id} produced a large invariant");
+        assert!(
+            result.stats.invariant_size.unwrap() <= 10,
+            "{id} produced a large invariant"
+        );
     }
 }
 
 #[test]
 fn sized_list_invariant_ties_the_cached_length_to_the_list() {
     let (problem, result) = infer("/other/sized-list");
-    let invariant = result.outcome.invariant().expect("an invariant is inferred").clone();
+    let invariant = result
+        .outcome
+        .invariant()
+        .expect("an invariant is inferred")
+        .clone();
     // MkSized (2, [7; 3]) is fine; MkSized (1, [7; 3]) is not.
-    let good = Value::Ctor("MkSized".into(), vec![Value::nat(2), Value::nat_list(&[7, 3])]);
-    let bad = Value::Ctor("MkSized".into(), vec![Value::nat(1), Value::nat_list(&[7, 3])]);
+    let good = Value::Ctor(
+        "MkSized".into(),
+        vec![Value::nat(2), Value::nat_list(&[7, 3])],
+    );
+    let bad = Value::Ctor(
+        "MkSized".into(),
+        vec![Value::nat(1), Value::nat_list(&[7, 3])],
+    );
     assert!(problem.eval_predicate(&invariant, &good).unwrap());
     assert!(!problem.eval_predicate(&invariant, &bad).unwrap());
 }
@@ -134,7 +179,10 @@ fn spec_violations_are_detected_end_to_end() {
                     break;
                 }
             }
-            assert!(violated, "reported witness {witness} does not violate the spec");
+            assert!(
+                violated,
+                "reported witness {witness} does not violate the spec"
+            );
         }
         other => panic!("expected a spec violation, got {other}"),
     }
