@@ -165,7 +165,7 @@ fn project_abstract(value: &Value, sig: &Type, _concrete: &Type) -> Vec<Value> {
         Type::Tuple(sigs) => match value {
             Value::Tuple(items) if items.len() == sigs.len() => sigs
                 .iter()
-                .zip(items)
+                .zip(items.iter())
                 .flat_map(|(s, v)| project_abstract(v, s, _concrete))
                 .collect(),
             _ => Vec::new(),

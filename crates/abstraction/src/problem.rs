@@ -48,9 +48,30 @@ impl Problem {
         Self::from_program(&program)
     }
 
+    /// Like [`Problem::from_source`], but with explicit control over whether
+    /// prelude and module closures go through the slot-resolution pass
+    /// (`true`, the default) or use the historical name-based environment
+    /// lookups (`false`) — the equivalence tests run both.
+    pub fn from_source_with(
+        source: &str,
+        resolve_globals: bool,
+    ) -> Result<Problem, AbstractionError> {
+        let program = parse_program(source)?;
+        Self::from_program_with(&program, resolve_globals)
+    }
+
     /// Elaborates an already parsed surface program.
     pub fn from_program(program: &Program) -> Result<Problem, AbstractionError> {
-        let elaborated = program.elaborate()?;
+        Self::from_program_with(program, true)
+    }
+
+    /// [`Problem::from_program`] with explicit control over slot resolution
+    /// of the global (prelude + module) closures.
+    pub fn from_program_with(
+        program: &Program,
+        resolve_globals: bool,
+    ) -> Result<Problem, AbstractionError> {
+        let elaborated = program.elaborate_with(resolve_globals)?;
         let tyenv = elaborated.tyenv.clone();
 
         let iface_decl = program
@@ -103,9 +124,14 @@ impl Problem {
                     top.name
                 ))
             })?;
-            let value = evaluator
-                .eval(&globals, &expr, &mut Fuel::new(1_000_000))
-                .map_err(AbstractionError::from)?;
+            let mut fuel = Fuel::new(1_000_000);
+            let value = if resolve_globals {
+                let resolved = hanoi_lang::resolve::resolve(&expr);
+                evaluator.eval_resolved(&globals, &resolved, &mut fuel)
+            } else {
+                evaluator.eval(&globals, &expr, &mut fuel)
+            }
+            .map_err(AbstractionError::from)?;
             globals = globals.bind(substituted.name.clone(), value);
             checker.declare_global(substituted.name.clone(), declared);
             module_lets.push(substituted);

@@ -1,4 +1,5 @@
-//! Serial vs parallel bounded verification.
+//! The CEGIS verification hot path: serial vs parallel checks, pool-cache
+//! behaviour and predicate-evaluation throughput.
 //!
 //! Measures the verifier's three checks on the §2 running example at
 //! parallelism 1 (serial), 2, 4 and 0 (one worker per core), reports each
@@ -12,9 +13,20 @@
 //! shape for parallelism, so the summary's `speedup` column directly reads
 //! off how much the parallel refactor buys on this host.
 //!
+//! On top of the serial/parallel comparison this bench instruments the
+//! shared pool cache: each workload reports its *cold* first run (pools
+//! enumerated) next to the warm median (pools served from cache), the
+//! session's hit/build counters, and the predicate-evaluation throughput of
+//! the warm runs — the three numbers the pool-cache + slot-resolution
+//! overhaul moves.
+//!
 //! ```text
-//! cargo bench -p hanoi-bench --bench parallel_verification
+//! cargo bench -p hanoi-bench --bench cegis_hot_path
 //! ```
+//!
+//! Set `CEGIS_HOT_PATH_QUICK=1` for a seconds-long smoke configuration
+//! (tiny bounds, three samples) used by the `bench-smoke` CI job to catch
+//! enumeration/eval regressions without a nightly runner.
 
 use std::time::{Duration, Instant};
 
@@ -22,13 +34,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hanoi_bench::json::Json;
 use hanoi_benchmarks::find;
 use hanoi_lang::parser::parse_expr;
-use hanoi_verifier::{Verifier, VerifierBounds};
+use hanoi_verifier::{PoolCacheStats, Verifier, VerifierBounds};
 
 /// Parallelism levels measured, in reporting order. `0` = all cores.
 const LEVELS: [usize; 4] = [1, 2, 4, 0];
 
-/// Samples per (workload, level) pair; the median is reported.
-const SAMPLES: usize = 7;
+fn quick_mode() -> bool {
+    std::env::var("CEGIS_HOT_PATH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn median_secs(mut samples: Vec<Duration>) -> f64 {
     samples.sort();
@@ -40,7 +53,8 @@ struct Workload {
     run: Box<dyn Fn(&Verifier<'_>)>,
 }
 
-fn bench_parallel_verification(c: &mut Criterion) {
+fn bench_cegis_hot_path(c: &mut Criterion) {
+    let samples: usize = if quick_mode() { 3 } else { 7 };
     let problem = find("/coq/unique-list-::-set")
         .unwrap()
         .problem()
@@ -51,19 +65,33 @@ fn bench_parallel_verification(c: &mut Criterion) {
     )
     .unwrap();
     // Paper-scale single-quantifier pools, reduced multi-quantifier pools:
-    // big enough for threading to matter, small enough for CI.
-    let bounds = VerifierBounds {
-        single_count: 1500,
-        single_size: 30,
-        multi_count: 400,
-        multi_size: 12,
-        total_cap: 12_000,
-        ..VerifierBounds::quick()
+    // big enough for threading and caching to matter, small enough for CI.
+    // Quick mode shrinks everything again so the smoke job finishes in
+    // seconds while still exercising every code path.
+    let bounds = if quick_mode() {
+        VerifierBounds {
+            single_count: 200,
+            single_size: 12,
+            multi_count: 60,
+            multi_size: 8,
+            total_cap: 1_000,
+            ..VerifierBounds::quick()
+        }
+    } else {
+        VerifierBounds {
+            single_count: 1500,
+            single_size: 30,
+            multi_count: 400,
+            multi_size: 12,
+            total_cap: 12_000,
+            ..VerifierBounds::quick()
+        }
     };
 
     let sufficiency = no_dup.clone();
     let full = no_dup.clone();
     let v_plus_inv = no_dup.clone();
+    let v_plus_count = if quick_mode() { 60 } else { 500 };
     let workloads = [
         Workload {
             name: "sufficiency_valid",
@@ -83,11 +111,11 @@ fn bench_parallel_verification(c: &mut Criterion) {
                 // V+ = the smallest constructible (duplicate-free) lists; the
                 // module operations preserve the invariant on them.
                 let v_plus: Vec<_> = v
-                    .smallest_concrete_values(500)
+                    .smallest_concrete_values(v_plus_count)
                     .into_iter()
                     .filter(|value| v.problem().eval_predicate(&v_plus_inv, value).unwrap())
                     .collect();
-                assert!(v_plus.len() >= 50, "expected a substantial V+ pool");
+                assert!(v_plus.len() >= 20, "expected a substantial V+ pool");
                 assert!(v
                     .check_visible_inductiveness(&v_plus, &v_plus_inv)
                     .unwrap()
@@ -96,25 +124,40 @@ fn bench_parallel_verification(c: &mut Criterion) {
         },
     ];
 
-    let mut group = c.benchmark_group("parallel_verification");
-    group.sample_size(SAMPLES);
+    let mut group = c.benchmark_group("cegis_hot_path");
+    group.sample_size(samples);
 
     let mut rows: Vec<Json> = Vec::new();
+    let mut session_stats = PoolCacheStats::default();
     for workload in &workloads {
         let mut median_by_level: Vec<(usize, f64)> = Vec::new();
+        let mut cold_secs = f64::NAN;
+        let mut warm_evals_per_sec = f64::NAN;
+        let mut cache_after = PoolCacheStats::default();
         for level in LEVELS {
             let verifier = Verifier::new(&problem)
                 .with_bounds(bounds)
                 .with_parallelism(level);
-            // Warm the interner and any lazy state once, outside timing.
+            // The first run is the *cold* path: it both warms the interner
+            // and pays the session's pool enumeration exactly once.
+            let cold_start = Instant::now();
             (workload.run)(&verifier);
-            let mut samples = Vec::with_capacity(SAMPLES);
-            for _ in 0..SAMPLES {
+            let cold = cold_start.elapsed();
+            let evals_before = verifier.pool_stats().predicate_evals;
+            let mut timings = Vec::with_capacity(samples);
+            for _ in 0..samples {
                 let start = Instant::now();
                 (workload.run)(&verifier);
-                samples.push(start.elapsed());
+                timings.push(start.elapsed());
             }
-            let median = median_secs(samples);
+            let warm_total: Duration = timings.iter().sum();
+            let median = median_secs(timings);
+            if level == 1 {
+                cold_secs = cold.as_secs_f64();
+                let evals = verifier.pool_stats().predicate_evals - evals_before;
+                warm_evals_per_sec = evals as f64 / warm_total.as_secs_f64().max(f64::MIN_POSITIVE);
+                cache_after = verifier.pool_stats();
+            }
             // Also surface the point through the criterion harness (one
             // timed iteration: the direct samples above are authoritative).
             group.bench_function(format!("{}_p{}", workload.name, level), |b| {
@@ -122,6 +165,10 @@ fn bench_parallel_verification(c: &mut Criterion) {
             });
             median_by_level.push((level, median));
         }
+        session_stats.hits += cache_after.hits;
+        session_stats.builds += cache_after.builds;
+        session_stats.slab_builds += cache_after.slab_builds;
+        session_stats.predicate_evals += cache_after.predicate_evals;
         let serial = median_by_level
             .iter()
             .find(|(level, _)| *level == 1)
@@ -150,6 +197,16 @@ fn bench_parallel_verification(c: &mut Criterion) {
             ("serial_secs", Json::Num(serial)),
             ("best_secs", Json::Num(best)),
             ("speedup_best_over_serial", Json::Num(serial / best)),
+            // Pool-cache instrumentation (serial session): the cold first
+            // run pays enumeration, warm runs are pure evaluation.
+            ("cold_secs", Json::Num(cold_secs)),
+            (
+                "speedup_warm_over_cold",
+                Json::Num(cold_secs / serial.max(f64::MIN_POSITIVE)),
+            ),
+            ("warm_evals_per_sec", Json::Num(warm_evals_per_sec)),
+            ("pool_cache_hits", Json::Num(cache_after.hits as f64)),
+            ("pool_cache_builds", Json::Num(cache_after.builds as f64)),
         ]));
     }
     group.finish();
@@ -163,15 +220,40 @@ fn bench_parallel_verification(c: &mut Criterion) {
             Json::Str("/coq/unique-list-::-set".to_string()),
         ),
         ("host_cores", Json::Num(cores as f64)),
-        ("samples_per_point", Json::Num(SAMPLES as f64)),
+        ("samples_per_point", Json::Num(samples as f64)),
+        ("quick_mode", Json::Bool(quick_mode())),
         ("workloads", Json::Arr(rows)),
+        // Aggregate pool-cache behaviour across the serial sessions of all
+        // workloads: `builds`/`slab_builds` stay constant as samples grow —
+        // enumeration happens once per session, not once per check.
+        (
+            "pool_cache",
+            Json::obj([
+                ("hits", Json::Num(session_stats.hits as f64)),
+                ("builds", Json::Num(session_stats.builds as f64)),
+                ("slab_builds", Json::Num(session_stats.slab_builds as f64)),
+                (
+                    "predicate_evals",
+                    Json::Num(session_stats.predicate_evals as f64),
+                ),
+            ]),
+        ),
     ]);
-    // Default to the workspace root regardless of the bench's CWD.
+    // Default to the workspace root regardless of the bench's CWD — except
+    // in quick mode, whose tiny-bounds numbers must never clobber the
+    // committed paper-scale results.
     let out = std::env::var("BENCH_VERIFICATION_OUT").unwrap_or_else(|_| {
-        format!(
-            "{}/../../BENCH_verification.json",
-            env!("CARGO_MANIFEST_DIR")
-        )
+        if quick_mode() {
+            std::env::temp_dir()
+                .join("BENCH_verification_smoke.json")
+                .display()
+                .to_string()
+        } else {
+            format!(
+                "{}/../../BENCH_verification.json",
+                env!("CARGO_MANIFEST_DIR")
+            )
+        }
     });
     match std::fs::write(&out, summary.render_pretty()) {
         Ok(()) => eprintln!("wrote {out}"),
@@ -179,5 +261,5 @@ fn bench_parallel_verification(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_parallel_verification);
+criterion_group!(benches, bench_cegis_hot_path);
 criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! consistent with the enlarged `V+`, restoring their negative examples
 //! directly.
 
+use std::collections::HashSet;
+
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
 use hanoi_lang::eval::Fuel;
@@ -68,6 +70,9 @@ impl CexListCache {
     /// Returns the negative examples to seed the new `V−` with (values that
     /// are now known positive are filtered out).
     pub fn replay(&mut self, problem: &Problem, v_plus: &[Value]) -> Vec<Value> {
+        // Set-based membership: the scan over negatives used to be
+        // O(|V−| · |V+|) per replay, which dominated replays on long traces.
+        let positives: HashSet<&Value> = v_plus.iter().collect();
         let mut restored = Vec::new();
         let mut keep = 0usize;
         for step in &self.trace {
@@ -83,7 +88,7 @@ impl CexListCache {
             restored.extend(
                 step.negatives
                     .iter()
-                    .filter(|n| !v_plus.contains(n))
+                    .filter(|n| !positives.contains(n))
                     .cloned(),
             );
         }

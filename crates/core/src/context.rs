@@ -71,11 +71,13 @@ impl<'p> InferenceContext<'p> {
         self.deadline.expired()
     }
 
-    /// Wraps up the run: fills the time and example-count statistics.
+    /// Wraps up the run: fills the time, example-count and pool-cache
+    /// statistics.
     pub fn finish(mut self, outcome: Outcome) -> RunResult {
         self.stats.total_time = self.started.elapsed();
         self.stats.final_positives = self.v_plus.len();
         self.stats.final_negatives = self.v_minus.len();
+        self.stats.record_pool_cache(self.verifier.pool_stats());
         RunResult::new(outcome, self.stats)
     }
 

@@ -101,9 +101,12 @@ fn spec_holds_on(ctx: &mut InferenceContext<'_>, sample: &Value) -> bool {
         if index == abstract_position {
             pools.push(vec![sample.clone()]);
         } else {
+            // Drawn from the session pool cache: this runs once per labelled
+            // sample, and re-enumerating the same small pools 30 times was
+            // pure waste.
             let concrete = ty.subst_abstract(ctx.problem.concrete_type());
-            let mut enumerator = hanoi_lang::enumerate::ValueEnumerator::new(&ctx.problem.tyenv);
-            pools.push(enumerator.first_values(&concrete, 20, 8));
+            let pool = ctx.verifier().pool_cache().pool(&concrete, 20, 8, 1);
+            pools.push(pool.as_ref().clone());
         }
     }
     let mut holds = true;

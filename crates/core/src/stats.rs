@@ -27,6 +27,17 @@ pub struct RunStats {
     pub synthesis_cache_hits: usize,
     /// Negative examples restored by counterexample-list caching.
     pub clc_restored_negatives: usize,
+    /// Verifier pool requests answered from the shared pool cache.
+    pub pool_cache_hits: u64,
+    /// Verifier pools actually enumerated (at most one per distinct
+    /// `(type, count, size)` — or function-pool key — per run).
+    pub pool_builds: u64,
+    /// Per-size enumeration slabs built by the pool cache (at most one per
+    /// `(type, size)` per run).
+    pub pool_slab_builds: u64,
+    /// Candidate-predicate evaluations performed by the verifier's compiled
+    /// predicates (pool filtering plus `P`/`Q` tests).
+    pub predicate_evals: u64,
     /// Size in AST nodes of the inferred invariant, when one was found.
     pub invariant_size: Option<usize>,
     /// Final number of positive examples.
@@ -57,6 +68,14 @@ impl RunStats {
     pub fn record_synthesis(&mut self, elapsed: Duration) {
         self.synthesis_calls += 1;
         self.synthesis_time += elapsed;
+    }
+
+    /// Copies a verifier pool-cache snapshot into the run statistics.
+    pub fn record_pool_cache(&mut self, pool: hanoi_verifier::PoolCacheStats) {
+        self.pool_cache_hits = pool.hits;
+        self.pool_builds = pool.builds;
+        self.pool_slab_builds = pool.slab_builds;
+        self.predicate_evals = pool.predicate_evals;
     }
 }
 

@@ -108,6 +108,15 @@ pub struct FixExpr {
 pub enum Expr {
     /// A variable reference.
     Var(Symbol),
+    /// A resolved local-slot reference produced by [`crate::resolve`]: the
+    /// `u32` is a de-Bruijn-style index into the interpreter's [`Locals`]
+    /// stack (`0` = innermost binding), the [`Symbol`] is the original
+    /// variable name, kept for display and diagnostics.  The parser never
+    /// produces this variant; it only appears in bodies that went through
+    /// the slot-resolution pass.
+    ///
+    /// [`Locals`]: crate::value::Locals
+    Local(u32, Symbol),
     /// A saturated constructor application.
     Ctor(Symbol, Vec<Expr>),
     /// A tuple literal (`Tuple(vec![])` is the unit value).
@@ -251,6 +260,8 @@ impl Expr {
                     out.insert(x.clone());
                 }
             }
+            // A resolved slot points at a lexical binder by construction.
+            Expr::Local(_, _) => {}
             Expr::Ctor(_, args) | Expr::Tuple(args) => {
                 args.iter().for_each(|e| e.free_vars_into(bound, out))
             }
@@ -391,7 +402,7 @@ impl TopLet {
     pub fn subst_abstract(&self, concrete: &Type) -> TopLet {
         fn subst_expr(e: &Expr, concrete: &Type) -> Expr {
             match e {
-                Expr::Var(_) => e.clone(),
+                Expr::Var(_) | Expr::Local(_, _) => e.clone(),
                 Expr::Ctor(c, args) => Expr::Ctor(
                     c.clone(),
                     args.iter().map(|a| subst_expr(a, concrete)).collect(),
@@ -552,7 +563,20 @@ impl Program {
     ///
     /// Module, interface and specification items are carried through
     /// untouched; the `hanoi-abstraction` crate elaborates those.
+    ///
+    /// Prelude bindings are evaluated through the slot-resolution pass
+    /// ([`crate::resolve`]), so the closures in the resulting environment run
+    /// on the interpreter's indexed fast path.  Use
+    /// [`Program::elaborate_with`] to opt out (the equivalence tests compare
+    /// the two paths).
     pub fn elaborate(&self) -> Result<Elaborated, LangError> {
+        self.elaborate_with(true)
+    }
+
+    /// [`Program::elaborate`] with explicit control over whether prelude
+    /// closures are slot-resolved (`true`, the default) or evaluated with
+    /// the historical name-based environment lookups (`false`).
+    pub fn elaborate_with(&self, resolve_globals: bool) -> Result<Elaborated, LangError> {
         let mut tyenv = TypeEnv::new();
         for decl in self.data_decls() {
             tyenv.declare(decl.clone())?;
@@ -570,9 +594,14 @@ impl Program {
                 )))
             })?;
             let evaluator = Evaluator::new(&tyenv);
-            let value = evaluator
-                .eval(&globals, &expr, &mut Fuel::new(1_000_000))
-                .map_err(LangError::Eval)?;
+            let mut fuel = Fuel::new(1_000_000);
+            let value = if resolve_globals {
+                let resolved = crate::resolve::resolve(&expr);
+                evaluator.eval_resolved(&globals, &resolved, &mut fuel)
+            } else {
+                evaluator.eval(&globals, &expr, &mut fuel)
+            }
+            .map_err(LangError::Eval)?;
             globals = globals.bind(top.name.clone(), value);
             checker.declare_global(top.name.clone(), declared);
             lets.push(top.clone());

@@ -66,7 +66,7 @@ impl<'a> ValueEnumerator<'a> {
                             .zip(&split)
                             .map(|(t, &s)| self.values_of_size(t, s))
                             .collect();
-                        cartesian(&groups, |items| out.push(Value::Tuple(items)));
+                        cartesian(&groups, |items| out.push(Value::Tuple(items.into())));
                     }
                     out
                 }
@@ -87,7 +87,7 @@ impl<'a> ValueEnumerator<'a> {
         for (ctor, args) in ctors {
             if args.is_empty() {
                 if size == 1 {
-                    out.push(Value::Ctor(ctor.clone(), Vec::new()));
+                    out.push(Value::Ctor(ctor.clone(), Arc::from([])));
                 }
                 continue;
             }
@@ -100,10 +100,21 @@ impl<'a> ValueEnumerator<'a> {
                     .zip(&split)
                     .map(|(t, &s)| self.values_of_size(t, s))
                     .collect();
-                cartesian(&groups, |items| out.push(Value::Ctor(ctor.clone(), items)));
+                cartesian(&groups, |items| {
+                    out.push(Value::Ctor(ctor.clone(), items.into()))
+                });
             }
         }
         out
+    }
+
+    /// Seeds the memo table with an externally computed slab — all values of
+    /// `ty` with exactly `size` nodes, in this enumerator's canonical order.
+    /// Callers that cache slabs across enumerator instances (the verifier's
+    /// pool cache) use this so a fresh enumerator does not recompute sizes
+    /// that are already known.
+    pub fn seed(&mut self, ty: &Type, size: usize, slab: Arc<Vec<Value>>) {
+        self.cache.insert((ty.clone(), size), slab);
     }
 
     /// All values of `ty` with at most `max_size` nodes, smallest first

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use crate::ast::{Expr, MatchArm, Pattern};
 use crate::error::EvalError;
 use crate::types::TypeEnv;
-use crate::value::{Closure, Env, NativeFn, Value};
+use crate::value::{Closure, Env, Locals, NativeFn, Value};
 
 /// A step budget for one evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +104,12 @@ impl<'a> Evaluator<'a> {
                 .lookup(x)
                 .cloned()
                 .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            // Slot references need the resolved-mode evaluator (which carries
+            // the Locals stack); reaching one here means a resolved body was
+            // evaluated through the name-based entry point.
+            Expr::Local(_, x) => Err(EvalError::Other(format!(
+                "slot reference `{x}` evaluated outside resolved mode"
+            ))),
             Expr::Ctor(c, args) => {
                 if let Some(info) = self.tyenv.ctor(c) {
                     if info.args.len() != args.len() {
@@ -118,19 +124,19 @@ impl<'a> Evaluator<'a> {
                 for a in args {
                     values.push(self.eval_at(env, a, fuel, depth + 1)?);
                 }
-                Ok(Value::Ctor(c.clone(), values))
+                Ok(Value::Ctor(c.clone(), values.into()))
             }
             Expr::Tuple(args) => {
                 let mut values = Vec::with_capacity(args.len());
                 for a in args {
                     values.push(self.eval_at(env, a, fuel, depth + 1)?);
                 }
-                Ok(Value::Tuple(values))
+                Ok(Value::Tuple(values.into()))
             }
             Expr::Proj(i, e) => {
                 let v = self.eval_at(env, e, fuel, depth + 1)?;
                 match v {
-                    Value::Tuple(mut items) if *i < items.len() => Ok(items.swap_remove(*i)),
+                    Value::Tuple(items) if *i < items.len() => Ok(items[*i].clone()),
                     other => Err(EvalError::BadProjection(other.to_string())),
                 }
             }
@@ -139,18 +145,18 @@ impl<'a> Evaluator<'a> {
                 let av = self.eval_at(env, arg, fuel, depth + 1)?;
                 self.apply_at(fv, av, fuel, depth + 1)
             }
-            Expr::Lambda(l) => Ok(Value::Closure(Arc::new(Closure {
-                param: l.param.clone(),
-                body: l.body.clone(),
-                env: env.clone(),
-                rec_name: None,
-            }))),
-            Expr::Fix(fx) => Ok(Value::Closure(Arc::new(Closure {
-                param: fx.param.clone(),
-                body: fx.body.clone(),
-                env: env.clone(),
-                rec_name: Some(fx.name.clone()),
-            }))),
+            Expr::Lambda(l) => Ok(Value::Closure(Arc::new(Closure::by_name(
+                l.param.clone(),
+                l.body.clone(),
+                env.clone(),
+                None,
+            )))),
+            Expr::Fix(fx) => Ok(Value::Closure(Arc::new(Closure::by_name(
+                fx.param.clone(),
+                fx.body.clone(),
+                env.clone(),
+                Some(fx.name.clone()),
+            )))),
             Expr::Match(scrutinee, arms) => {
                 let v = self.eval_at(env, scrutinee, fuel, depth + 1)?;
                 self.eval_match(env, &v, arms, fuel, depth + 1)
@@ -235,19 +241,200 @@ impl<'a> Evaluator<'a> {
             (Pattern::Var(x), v) => Some(env.bind(x.clone(), v.clone())),
             (Pattern::Ctor(c, ps), Value::Ctor(vc, vs)) if c == vc && ps.len() == vs.len() => {
                 let mut cur = env.clone();
-                for (p, v) in ps.iter().zip(vs) {
+                for (p, v) in ps.iter().zip(vs.iter()) {
                     cur = Self::match_pattern(p, v, &cur)?;
                 }
                 Some(cur)
             }
             (Pattern::Tuple(ps), Value::Tuple(vs)) if ps.len() == vs.len() => {
                 let mut cur = env.clone();
-                for (p, v) in ps.iter().zip(vs) {
+                for (p, v) in ps.iter().zip(vs.iter()) {
                     cur = Self::match_pattern(p, v, &cur)?;
                 }
                 Some(cur)
             }
             _ => None,
+        }
+    }
+
+    /// Evaluates a slot-resolved expression (see [`crate::resolve`]) in
+    /// `env`, starting from an empty local-slot stack.
+    ///
+    /// This is the interpreter's fast path: lexically-bound variables are
+    /// read from a [`Locals`] stack by index instead of walking the
+    /// environment chain by name.  Evaluation order, fuel consumption and
+    /// results are identical to [`Evaluator::eval`] on the unresolved
+    /// expression.
+    pub fn eval_resolved(
+        &self,
+        env: &Env,
+        expr: &Expr,
+        fuel: &mut Fuel,
+    ) -> Result<Value, EvalError> {
+        self.eval_res_at(env, &Locals::empty(), expr, fuel, 0)
+    }
+
+    /// Resolved-mode twin of [`Evaluator::eval_at`]: every arm mirrors the
+    /// name-based evaluator's recursion (including depth resets on the right
+    /// operands of `==`/`&&`/`||`) so the two paths consume fuel
+    /// identically.
+    fn eval_res_at(
+        &self,
+        env: &Env,
+        locals: &Locals,
+        expr: &Expr,
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<Value, EvalError> {
+        fuel.tick(depth)?;
+        match expr {
+            Expr::Local(slot, x) => locals
+                .get(*slot)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            // Free (global) variables keep their name-based lookup.
+            Expr::Var(x) => env
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            Expr::Ctor(c, args) => {
+                if let Some(info) = self.tyenv.ctor(c) {
+                    if info.args.len() != args.len() {
+                        return Err(EvalError::Other(format!(
+                            "constructor `{c}` applied to {} argument(s), expected {}",
+                            args.len(),
+                            info.args.len()
+                        )));
+                    }
+                }
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_res_at(env, locals, a, fuel, depth + 1)?);
+                }
+                Ok(Value::Ctor(c.clone(), values.into()))
+            }
+            Expr::Tuple(args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_res_at(env, locals, a, fuel, depth + 1)?);
+                }
+                Ok(Value::Tuple(values.into()))
+            }
+            Expr::Proj(i, e) => {
+                let v = self.eval_res_at(env, locals, e, fuel, depth + 1)?;
+                match v {
+                    Value::Tuple(items) if *i < items.len() => Ok(items[*i].clone()),
+                    other => Err(EvalError::BadProjection(other.to_string())),
+                }
+            }
+            Expr::App(f, arg) => {
+                let fv = self.eval_res_at(env, locals, f, fuel, depth + 1)?;
+                let av = self.eval_res_at(env, locals, arg, fuel, depth + 1)?;
+                self.apply_at(fv, av, fuel, depth + 1)
+            }
+            Expr::Lambda(l) => Ok(Value::Closure(Arc::new(Closure {
+                param: l.param.clone(),
+                body: l.body.clone(),
+                env: env.clone(),
+                rec_name: None,
+                locals: locals.clone(),
+                resolved: true,
+            }))),
+            Expr::Fix(fx) => Ok(Value::Closure(Arc::new(Closure {
+                param: fx.param.clone(),
+                body: fx.body.clone(),
+                env: env.clone(),
+                rec_name: Some(fx.name.clone()),
+                locals: locals.clone(),
+                resolved: true,
+            }))),
+            Expr::Match(scrutinee, arms) => {
+                let v = self.eval_res_at(env, locals, scrutinee, fuel, depth + 1)?;
+                for arm in arms {
+                    let mut chunk = Vec::new();
+                    if Self::match_pattern_collect(&arm.pattern, &v, &mut chunk) {
+                        let locals = locals.push_chunk(chunk);
+                        return self.eval_res_at(env, &locals, &arm.body, fuel, depth + 1);
+                    }
+                }
+                Err(EvalError::MatchFailure(v.to_string()))
+            }
+            Expr::Let(_, bound, body) => {
+                let bv = self.eval_res_at(env, locals, bound, fuel, depth + 1)?;
+                let locals = locals.push_chunk(vec![bv]);
+                self.eval_res_at(env, &locals, body, fuel, depth + 1)
+            }
+            Expr::If(cond, then, els) => {
+                let cv = self.eval_res_at(env, locals, cond, fuel, depth + 1)?;
+                match cv.as_bool() {
+                    Some(true) => self.eval_res_at(env, locals, then, fuel, depth + 1),
+                    Some(false) => self.eval_res_at(env, locals, els, fuel, depth + 1),
+                    None => Err(EvalError::NotABool(cv.to_string())),
+                }
+            }
+            Expr::Eq(a, b) => {
+                let av = self.eval_res_at(env, locals, a, fuel, depth + 1)?;
+                let bv = self.eval_res_at(env, locals, b, fuel, 0)?;
+                if !av.is_first_order() || !bv.is_first_order() {
+                    return Err(EvalError::EqualityOnClosure);
+                }
+                Ok(Value::bool(av == bv))
+            }
+            Expr::And(a, b) => {
+                let av = self.eval_res_at(env, locals, a, fuel, depth + 1)?;
+                match av.as_bool() {
+                    Some(false) => Ok(Value::fls()),
+                    Some(true) => {
+                        let bv = self.eval_res_at(env, locals, b, fuel, 0)?;
+                        bv.as_bool()
+                            .map(Value::bool)
+                            .ok_or_else(|| EvalError::NotABool(bv.to_string()))
+                    }
+                    None => Err(EvalError::NotABool(av.to_string())),
+                }
+            }
+            Expr::Or(a, b) => {
+                let av = self.eval_res_at(env, locals, a, fuel, depth + 1)?;
+                match av.as_bool() {
+                    Some(true) => Ok(Value::tru()),
+                    Some(false) => {
+                        let bv = self.eval_res_at(env, locals, b, fuel, 0)?;
+                        bv.as_bool()
+                            .map(Value::bool)
+                            .ok_or_else(|| EvalError::NotABool(bv.to_string()))
+                    }
+                    None => Err(EvalError::NotABool(av.to_string())),
+                }
+            }
+            Expr::Not(a) => {
+                let av = self.eval_res_at(env, locals, a, fuel, depth + 1)?;
+                av.as_bool()
+                    .map(|b| Value::bool(!b))
+                    .ok_or_else(|| EvalError::NotABool(av.to_string()))
+            }
+        }
+    }
+
+    /// Matches `value` against `pattern`, appending the bound values to
+    /// `out` in [`Pattern::bound_vars`] order (the order the resolution pass
+    /// numbers slots in).  Returns `false` — with `out` possibly partially
+    /// extended; callers discard it — when the pattern does not match.
+    fn match_pattern_collect(pattern: &Pattern, value: &Value, out: &mut Vec<Value>) -> bool {
+        match (pattern, value) {
+            (Pattern::Wildcard, _) => true,
+            (Pattern::Var(_), v) => {
+                out.push(v.clone());
+                true
+            }
+            (Pattern::Ctor(c, ps), Value::Ctor(vc, vs)) if c == vc && ps.len() == vs.len() => ps
+                .iter()
+                .zip(vs.iter())
+                .all(|(p, v)| Self::match_pattern_collect(p, v, out)),
+            (Pattern::Tuple(ps), Value::Tuple(vs)) if ps.len() == vs.len() => ps
+                .iter()
+                .zip(vs.iter())
+                .all(|(p, v)| Self::match_pattern_collect(p, v, out)),
+            _ => false,
         }
     }
 
@@ -265,6 +452,16 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Value, EvalError> {
         fuel.tick(depth)?;
         match f {
+            Value::Closure(clo) if clo.resolved => {
+                // Fast path: one chunk push instead of one or two Env nodes;
+                // the body reads its bindings by slot index.
+                let chunk = match &clo.rec_name {
+                    Some(_) => vec![Value::Closure(clo.clone()), arg],
+                    None => vec![arg],
+                };
+                let locals = clo.locals.push_chunk(chunk);
+                self.eval_res_at(&clo.env, &locals, &clo.body, fuel, depth + 1)
+            }
             Value::Closure(clo) => {
                 let mut env = clo.env.clone();
                 if let Some(name) = &clo.rec_name {

@@ -19,6 +19,9 @@
 //! * [`typecheck`] — a bidirectional-ish type checker for core expressions;
 //! * [`value`] / [`eval`] — runtime values, environments and a fuel-limited
 //!   call-by-value interpreter;
+//! * [`resolve`] — the slot-resolution pass that rewrites lexically-bound
+//!   variable references to indexed local slots, enabling the interpreter's
+//!   O(1)-per-binder fast path;
 //! * [`enumerate`] — size-ordered enumeration of first-order values, the
 //!   workhorse of the bounded enumerative verifier;
 //! * [`termgen`] — size-ordered enumeration of well-typed *terms*, used both
@@ -54,6 +57,7 @@ pub mod eval;
 pub mod parser;
 pub mod prelude;
 pub mod pretty;
+pub mod resolve;
 pub mod size;
 pub mod symbol;
 pub mod termgen;
@@ -67,4 +71,4 @@ pub use error::{EvalError, LangError, ParseError, TypeError};
 pub use eval::{Evaluator, Fuel};
 pub use symbol::Symbol;
 pub use types::{CtorDecl, DataDecl, Type, TypeEnv};
-pub use value::{Env, Value};
+pub use value::{Env, Locals, Value};

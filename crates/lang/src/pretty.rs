@@ -45,6 +45,9 @@ fn write_paren_if(
 fn write_expr(e: &Expr, prec: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match e {
         Expr::Var(x) => write!(f, "{x}"),
+        // Resolved slots print as their source name so resolved and
+        // unresolved code render identically.
+        Expr::Local(_, x) => write!(f, "{x}"),
         Expr::Ctor(c, args) if args.is_empty() => write!(f, "{c}"),
         Expr::Ctor(c, args) => write_paren_if(prec > Prec::App, f, |f| {
             write!(f, "{c} (")?;
@@ -227,7 +230,10 @@ mod tests {
             Value::pair(Value::nat(1), Value::tru()).to_string(),
             "(1, True)"
         );
-        assert_eq!(Value::Ctor("Leaf".into(), vec![]).to_string(), "Leaf");
+        assert_eq!(
+            Value::Ctor("Leaf".into(), vec![].into()).to_string(),
+            "Leaf"
+        );
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Slot resolution: rewriting lexically-bound variable references to
+//! de-Bruijn-style local-slot indices.
+//!
+//! The tree-walking interpreter historically looked every variable up by
+//! name in a linked-list [`Env`](crate::value::Env), paying a chain walk and
+//! an interned-name comparison per node — and global references (prelude
+//! functions, module operations) walk past *every* local binding and most of
+//! the global chain on every single evaluation.  This pass runs once per
+//! compiled expression and rewrites each variable reference that is bound by
+//! an enclosing `fun`/`fix`/`let`/`match` binder into
+//! [`Expr::Local`]`(slot, name)`, where `slot` counts the values pushed onto
+//! the interpreter's [`Locals`](crate::value::Locals) stack between the use
+//! and its binder.  The resolved-mode interpreter
+//! ([`Evaluator::eval_resolved`](crate::eval::Evaluator::eval_resolved))
+//! then services those references with a direct indexed read, while free
+//! variables keep their name-based lookup in the captured environment.
+//!
+//! Slot numbering mirrors the interpreter's binding events exactly:
+//!
+//! * applying a non-recursive closure pushes one chunk `[argument]`;
+//! * applying a recursive closure pushes one chunk `[closure, argument]`
+//!   (the same order [`Env`](crate::value::Env)-based application binds the
+//!   recursive name and then the parameter);
+//! * `let x = e1 in e2` pushes `[value of e1]` around `e2`;
+//! * a `match` arm pushes all of its pattern's bound values in
+//!   [`Pattern::bound_vars`](crate::ast::Pattern::bound_vars) order.
+//!
+//! Resolution is purely a renaming: evaluation order, fuel consumption and
+//! results are identical to the unresolved expression (pinned by the
+//! `env_resolution_equivalence` integration test).
+
+use std::sync::Arc;
+
+use crate::ast::{Expr, FixExpr, LambdaExpr, MatchArm};
+use crate::symbol::Symbol;
+use crate::value::{Closure, Value};
+
+/// The stack of binder frames in scope, mirroring the chunks the interpreter
+/// will push at run time.
+#[derive(Debug, Default)]
+struct Frames {
+    frames: Vec<Vec<Symbol>>,
+}
+
+impl Frames {
+    /// The slot index of `name`, if lexically bound: the number of values
+    /// pushed more recently than its binding.
+    fn slot_of(&self, name: &Symbol) -> Option<u32> {
+        let mut distance = 0u32;
+        for frame in self.frames.iter().rev() {
+            for bound in frame.iter().rev() {
+                if bound == name {
+                    return Some(distance);
+                }
+                distance += 1;
+            }
+        }
+        None
+    }
+}
+
+/// Rewrites every lexically-bound variable reference in `expr` (a closed
+/// expression, or one whose free variables live in a global environment) to a
+/// slot reference.  Free variables are left as [`Expr::Var`].
+pub fn resolve(expr: &Expr) -> Expr {
+    resolve_in(&mut Frames::default(), expr)
+}
+
+fn resolve_in(frames: &mut Frames, expr: &Expr) -> Expr {
+    match expr {
+        Expr::Var(x) => match frames.slot_of(x) {
+            Some(slot) => Expr::Local(slot, x.clone()),
+            None => expr.clone(),
+        },
+        // Already resolved (resolution is idempotent).
+        Expr::Local(_, _) => expr.clone(),
+        Expr::Ctor(c, args) => Expr::Ctor(
+            c.clone(),
+            args.iter().map(|a| resolve_in(frames, a)).collect(),
+        ),
+        Expr::Tuple(args) => Expr::Tuple(args.iter().map(|a| resolve_in(frames, a)).collect()),
+        Expr::Proj(i, e) => Expr::Proj(*i, Box::new(resolve_in(frames, e))),
+        Expr::App(f, a) => Expr::app(resolve_in(frames, f), resolve_in(frames, a)),
+        Expr::Lambda(l) => {
+            frames.frames.push(vec![l.param.clone()]);
+            let body = resolve_in(frames, &l.body);
+            frames.frames.pop();
+            Expr::Lambda(Arc::new(LambdaExpr {
+                param: l.param.clone(),
+                param_ty: l.param_ty.clone(),
+                body,
+            }))
+        }
+        Expr::Fix(fx) => {
+            // Application pushes [closure, argument]: the argument is the
+            // newer slot, exactly like `env.bind(name).bind(param)`.
+            frames.frames.push(vec![fx.name.clone(), fx.param.clone()]);
+            let body = resolve_in(frames, &fx.body);
+            frames.frames.pop();
+            Expr::Fix(Arc::new(FixExpr {
+                name: fx.name.clone(),
+                param: fx.param.clone(),
+                param_ty: fx.param_ty.clone(),
+                ret_ty: fx.ret_ty.clone(),
+                body,
+            }))
+        }
+        Expr::Match(scrutinee, arms) => {
+            let scrutinee = resolve_in(frames, scrutinee);
+            let arms = arms
+                .iter()
+                .map(|arm| {
+                    frames.frames.push(arm.pattern.bound_vars());
+                    let body = resolve_in(frames, &arm.body);
+                    frames.frames.pop();
+                    MatchArm::new(arm.pattern.clone(), body)
+                })
+                .collect();
+            Expr::Match(Box::new(scrutinee), arms)
+        }
+        Expr::Let(x, bound, body) => {
+            let bound = resolve_in(frames, bound);
+            frames.frames.push(vec![x.clone()]);
+            let body = resolve_in(frames, body);
+            frames.frames.pop();
+            Expr::Let(x.clone(), Box::new(bound), Box::new(body))
+        }
+        Expr::If(c, t, e) => Expr::if_(
+            resolve_in(frames, c),
+            resolve_in(frames, t),
+            resolve_in(frames, e),
+        ),
+        Expr::Eq(a, b) => Expr::eq(resolve_in(frames, a), resolve_in(frames, b)),
+        Expr::And(a, b) => Expr::and(resolve_in(frames, a), resolve_in(frames, b)),
+        Expr::Or(a, b) => Expr::or(resolve_in(frames, a), resolve_in(frames, b)),
+        Expr::Not(a) => Expr::not(resolve_in(frames, a)),
+    }
+}
+
+/// Rewrites a *closure value* onto the fast path: its body is resolved
+/// relative to the chunk its application will push, and the result is marked
+/// `resolved` so [`Evaluator::apply`](crate::eval::Evaluator::apply)
+/// dispatches to slot-mode evaluation.  Non-closure values (constructor
+/// trees, tuples, native functions) are returned unchanged; closures that
+/// are already resolved are returned unchanged too.
+///
+/// The captured environment is kept as-is: the resolved body still refers to
+/// its free (global) variables by name.
+pub fn resolve_closure_value(value: &Value) -> Value {
+    match value {
+        Value::Closure(clo) if !clo.resolved => {
+            let mut frames = Frames::default();
+            frames.frames.push(match &clo.rec_name {
+                Some(name) => vec![name.clone(), clo.param.clone()],
+                None => vec![clo.param.clone()],
+            });
+            let body = resolve_in(&mut frames, &clo.body);
+            Value::Closure(Arc::new(Closure {
+                param: clo.param.clone(),
+                body,
+                env: clo.env.clone(),
+                rec_name: clo.rec_name.clone(),
+                locals: clo.locals.clone(),
+                resolved: true,
+            }))
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pattern;
+    use crate::types::Type;
+
+    #[test]
+    fn lambda_params_resolve_to_slot_zero() {
+        let e = Expr::lambda("x", Type::named("nat"), Expr::var("x"));
+        match resolve(&e) {
+            Expr::Lambda(l) => assert_eq!(l.body, Expr::Local(0, Symbol::new("x"))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fix_binds_name_below_param() {
+        // fix f (x : nat) : nat = f x  — application pushes [f, x], so `x`
+        // is slot 0 and `f` is slot 1.
+        let e = Expr::fix(
+            "f",
+            "x",
+            Type::named("nat"),
+            Type::named("nat"),
+            Expr::call("f", [Expr::var("x")]),
+        );
+        match resolve(&e) {
+            Expr::Fix(fx) => {
+                assert_eq!(
+                    fx.body,
+                    Expr::app(
+                        Expr::Local(1, Symbol::new("f")),
+                        Expr::Local(0, Symbol::new("x"))
+                    )
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_arms_use_bound_var_order_and_shadowing_wins() {
+        // fun (l : list) -> match l with Cons (hd, tl) -> hd | Nil -> l end
+        let e = Expr::lambda(
+            "l",
+            Type::named("list"),
+            Expr::match_(
+                Expr::var("l"),
+                vec![
+                    MatchArm::new(
+                        Pattern::ctor("Cons", vec![Pattern::var("hd"), Pattern::var("tl")]),
+                        Expr::Tuple(vec![Expr::var("hd"), Expr::var("tl"), Expr::var("l")]),
+                    ),
+                    MatchArm::new(Pattern::ctor("Nil", vec![]), Expr::var("l")),
+                ],
+            ),
+        );
+        match resolve(&e) {
+            Expr::Lambda(l) => match &l.body {
+                Expr::Match(scrutinee, arms) => {
+                    assert_eq!(**scrutinee, Expr::Local(0, Symbol::new("l")));
+                    // Arm 1 pushes [hd, tl]: tl is slot 0, hd is slot 1, and
+                    // the lambda's `l` moves out to slot 2.
+                    assert_eq!(
+                        arms[0].body,
+                        Expr::Tuple(vec![
+                            Expr::Local(1, Symbol::new("hd")),
+                            Expr::Local(0, Symbol::new("tl")),
+                            Expr::Local(2, Symbol::new("l")),
+                        ])
+                    );
+                    // Arm 2 binds nothing: `l` stays slot 0.
+                    assert_eq!(arms[1].body, Expr::Local(0, Symbol::new("l")));
+                }
+                other => panic!("unexpected body {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_variables_stay_by_name() {
+        let e = Expr::lambda(
+            "x",
+            Type::named("nat"),
+            Expr::call("plus", [Expr::var("x"), Expr::var("x")]),
+        );
+        match resolve(&e) {
+            Expr::Lambda(l) => match &l.body {
+                Expr::App(inner, arg) => {
+                    assert_eq!(**arg, Expr::Local(0, Symbol::new("x")));
+                    match &**inner {
+                        Expr::App(f, _) => assert_eq!(**f, Expr::var("plus")),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                other => panic!("unexpected body {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_binding_shifts_outer_slots() {
+        // fun x -> let y = x in (x, y)
+        let e = Expr::lambda(
+            "x",
+            Type::named("nat"),
+            Expr::let_(
+                "y",
+                Expr::var("x"),
+                Expr::Tuple(vec![Expr::var("x"), Expr::var("y")]),
+            ),
+        );
+        match resolve(&e) {
+            Expr::Lambda(l) => match &l.body {
+                Expr::Let(_, bound, body) => {
+                    assert_eq!(**bound, Expr::Local(0, Symbol::new("x")));
+                    assert_eq!(
+                        **body,
+                        Expr::Tuple(vec![
+                            Expr::Local(1, Symbol::new("x")),
+                            Expr::Local(0, Symbol::new("y")),
+                        ])
+                    );
+                }
+                other => panic!("unexpected body {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolution_is_idempotent_and_display_preserving() {
+        let e = Expr::lambda(
+            "x",
+            Type::named("nat"),
+            Expr::let_("y", Expr::var("x"), Expr::var("y")),
+        );
+        let once = resolve(&e);
+        assert_eq!(resolve(&once), once);
+        assert_eq!(format!("{e}"), format!("{once}"));
+    }
+}

@@ -123,6 +123,13 @@ impl<'a> TypeChecker<'a> {
                 .or_else(|| self.globals.get(x))
                 .cloned()
                 .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
+            // Slot references only exist in already-checked code that went
+            // through the resolution pass; they are not re-checkable because
+            // the context is name-keyed.
+            Expr::Local(_, x) => Err(TypeError::Other(format!(
+                "resolved slot reference `{x}` cannot be type-checked; \
+                 check the unresolved expression instead"
+            ))),
             Expr::Ctor(c, args) => {
                 let info = self
                     .tyenv

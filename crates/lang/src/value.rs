@@ -11,6 +11,17 @@ use crate::symbol::Symbol;
 /// A runtime closure: a suspended function body together with the environment
 /// it was created in.  Recursive closures additionally remember their own
 /// name so applications can rebind it.
+///
+/// Closures come in two flavours distinguished by [`Closure::resolved`]:
+///
+/// * *name-based* closures (the default) look every variable up by name in
+///   the captured [`Env`];
+/// * *slot-resolved* closures carry a body whose lexically-bound variable
+///   references were rewritten to [`crate::ast::Expr::Local`] slot indices by
+///   [`crate::resolve`]; they additionally capture the [`Locals`] stack in
+///   effect at creation, and application pushes onto that stack instead of
+///   extending the environment.  Free (global) variables still resolve
+///   through `env`, so the `Env` API is unchanged.
 #[derive(Debug, Clone)]
 pub struct Closure {
     /// The parameter name.
@@ -21,6 +32,25 @@ pub struct Closure {
     pub env: Env,
     /// For recursive closures, the function's own name.
     pub rec_name: Option<Symbol>,
+    /// The captured local-slot stack (empty for name-based closures).
+    pub locals: Locals,
+    /// Whether `body` has been through the slot-resolution pass and must be
+    /// evaluated in resolved mode.
+    pub resolved: bool,
+}
+
+impl Closure {
+    /// A name-based (unresolved) closure — the historical representation.
+    pub fn by_name(param: Symbol, body: Expr, env: Env, rec_name: Option<Symbol>) -> Closure {
+        Closure {
+            param,
+            body,
+            env,
+            rec_name,
+            locals: Locals::empty(),
+            resolved: false,
+        }
+    }
 }
 
 /// A host-implemented function value.
@@ -58,12 +88,20 @@ impl fmt::Debug for NativeFn {
 /// First-order values (no closures) support structural equality, hashing and
 /// size measurement; these are the values the enumerative verifier and the
 /// synthesizers manipulate.
+///
+/// Constructor and tuple children are stored as `Arc<[Value]>` slabs, so
+/// **cloning a value is O(1)** — a tag copy plus a reference-count bump.
+/// This matters enormously on the interpreter's hot path: every variable
+/// lookup, every pattern binding and every pool filter clones values, and
+/// with boxed-slice children those clones no longer walk (or allocate) the
+/// tree.  Structural equality and hashing are unchanged (and equality
+/// short-circuits on shared slabs).
 #[derive(Debug, Clone)]
 pub enum Value {
     /// A saturated constructor application.
-    Ctor(Symbol, Vec<Value>),
+    Ctor(Symbol, Arc<[Value]>),
     /// A tuple (the empty tuple is the unit value).
-    Tuple(Vec<Value>),
+    Tuple(Arc<[Value]>),
     /// A function value.
     Closure(Arc<Closure>),
     /// A host-implemented function value.
@@ -71,14 +109,24 @@ pub enum Value {
 }
 
 impl Value {
+    /// A constructor application over owned children.
+    pub fn ctor_of(name: Symbol, args: Vec<Value>) -> Value {
+        Value::Ctor(name, args.into())
+    }
+
+    /// A tuple over owned children.
+    pub fn tuple_of(items: Vec<Value>) -> Value {
+        Value::Tuple(items.into())
+    }
+
     /// The boolean value `True`.
     pub fn tru() -> Value {
-        Value::Ctor(Symbol::new("True"), Vec::new())
+        Value::Ctor(Symbol::new("True"), Arc::from([]))
     }
 
     /// The boolean value `False`.
     pub fn fls() -> Value {
-        Value::Ctor(Symbol::new("False"), Vec::new())
+        Value::Ctor(Symbol::new("False"), Arc::from([]))
     }
 
     /// A boolean value.
@@ -92,30 +140,30 @@ impl Value {
 
     /// The Peano natural for `n` (`S (S ... O)`).
     pub fn nat(n: u64) -> Value {
-        let mut v = Value::Ctor(Symbol::new("O"), Vec::new());
+        let mut v = Value::Ctor(Symbol::new("O"), Arc::from([]));
         for _ in 0..n {
-            v = Value::Ctor(Symbol::new("S"), vec![v]);
+            v = Value::Ctor(Symbol::new("S"), Arc::from([v]));
         }
         v
     }
 
     /// A `list` of Peano naturals built from `Cons`/`Nil`.
     pub fn nat_list(items: &[u64]) -> Value {
-        let mut v = Value::Ctor(Symbol::new("Nil"), Vec::new());
+        let mut v = Value::Ctor(Symbol::new("Nil"), Arc::from([]));
         for &n in items.iter().rev() {
-            v = Value::Ctor(Symbol::new("Cons"), vec![Value::nat(n), v]);
+            v = Value::Ctor(Symbol::new("Cons"), Arc::from([Value::nat(n), v]));
         }
         v
     }
 
     /// The unit value.
     pub fn unit() -> Value {
-        Value::Tuple(Vec::new())
+        Value::Tuple(Arc::from([]))
     }
 
     /// A pair value.
     pub fn pair(a: Value, b: Value) -> Value {
-        Value::Tuple(vec![a, b])
+        Value::Tuple(Arc::from([a, b]))
     }
 
     /// Interprets the value as a boolean, if it is `True` or `False`.
@@ -198,7 +246,7 @@ impl Value {
         let mut out = Vec::new();
         fn walk(v: &Value, out: &mut Vec<Value>) {
             if let Value::Ctor(_, args) | Value::Tuple(args) = v {
-                for a in args {
+                for a in args.iter() {
                     out.push(a.clone());
                     walk(a, out);
                 }
@@ -257,6 +305,7 @@ fn _assert_runtime_types_are_thread_safe() {
     fn is_send_sync<T: Send + Sync>() {}
     is_send_sync::<Value>();
     is_send_sync::<Env>();
+    is_send_sync::<Locals>();
     is_send_sync::<Closure>();
     is_send_sync::<NativeFn>();
     is_send_sync::<Expr>();
@@ -266,8 +315,12 @@ fn _assert_runtime_types_are_thread_safe() {
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
-            (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => c1 == c2 && a1 == a2,
-            (Value::Tuple(a1), Value::Tuple(a2)) => a1 == a2,
+            // Shared slabs (clones of the same pooled value) compare equal
+            // without walking the tree.
+            (Value::Ctor(c1, a1), Value::Ctor(c2, a2)) => {
+                c1 == c2 && (Arc::ptr_eq(a1, a2) || a1 == a2)
+            }
+            (Value::Tuple(a1), Value::Tuple(a2)) => Arc::ptr_eq(a1, a2) || a1 == a2,
             (Value::Closure(c1), Value::Closure(c2)) => Arc::ptr_eq(c1, c2),
             (Value::Native(n1), Value::Native(n2)) => Arc::ptr_eq(n1, n2),
             _ => false,
@@ -353,6 +406,16 @@ impl Env {
         self.0.is_none()
     }
 
+    /// A cheap identity token for this environment: the address of its head
+    /// node (`0` when empty).  Two `Env` clones share an identity; two
+    /// independently constructed environments do not, even when their
+    /// bindings are structurally equal.  Caches keyed by "which global
+    /// environment were these values evaluated in" (the verifier's
+    /// function-candidate pool) use this instead of deep comparison.
+    pub fn identity(&self) -> usize {
+        self.0.as_ref().map_or(0, |node| Arc::as_ptr(node) as usize)
+    }
+
     /// Iterates over the bindings, most recent first.
     pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Value)> {
         EnvIter { cur: self }
@@ -361,6 +424,94 @@ impl Env {
     /// Number of (possibly shadowed) bindings.
     pub fn len(&self) -> usize {
         self.iter().count()
+    }
+}
+
+/// A persistent chunked stack of local-slot values, indexed de-Bruijn style
+/// (slot `0` is the most recently pushed value).
+///
+/// This is the backing store of the interpreter's slot-resolved fast path:
+/// where [`Env`] walks a linked list comparing interned names (and walks past
+/// every shadowed and global binding on the way), `Locals` jumps straight to
+/// the requested slot.  Each *binding event* — a function application, a
+/// `let`, one `match` arm — pushes a single chunk node holding all the values
+/// it binds, so the chain length is the lexical nesting depth, not the
+/// binding count, and lookups touch at most `depth` nodes with no name
+/// comparisons at all.
+///
+/// The stack is persistent (chunks are immutable and `Arc`-shared) so that
+/// closures can capture it as cheaply as they capture an [`Env`].
+#[derive(Clone, Default)]
+pub struct Locals(Option<Arc<LocalsNode>>);
+
+struct LocalsNode {
+    /// The values bound by one binding event, oldest first (the newest value
+    /// is `chunk.last()`, i.e. slot `0`).
+    chunk: Vec<Value>,
+    rest: Locals,
+}
+
+impl Locals {
+    /// The empty stack.
+    pub fn empty() -> Locals {
+        Locals(None)
+    }
+
+    /// Pushes one binding event: all of `values` become the newest slots, the
+    /// last element being slot `0`.  Empty chunks are skipped so slot indices
+    /// always address a value.
+    pub fn push_chunk(&self, values: Vec<Value>) -> Locals {
+        if values.is_empty() {
+            return self.clone();
+        }
+        Locals(Some(Arc::new(LocalsNode {
+            chunk: values,
+            rest: self.clone(),
+        })))
+    }
+
+    /// The value at slot `index` (`0` = most recently pushed).
+    pub fn get(&self, index: u32) -> Option<&Value> {
+        let mut remaining = index as usize;
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if remaining < node.chunk.len() {
+                return Some(&node.chunk[node.chunk.len() - 1 - remaining]);
+            }
+            remaining -= node.chunk.len();
+            cur = &node.rest;
+        }
+        None
+    }
+
+    /// `true` when no slots are bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Total number of bound slots.
+    pub fn len(&self) -> usize {
+        let mut total = 0usize;
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            total += node.chunk.len();
+            cur = &node.rest;
+        }
+        total
+    }
+}
+
+impl fmt::Debug for Locals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut list = f.debug_list();
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            for value in node.chunk.iter().rev() {
+                list.entry(&format!("{value}"));
+            }
+            cur = &node.rest;
+        }
+        list.finish()
     }
 }
 
@@ -458,6 +609,32 @@ mod tests {
     }
 
     #[test]
+    fn locals_index_from_the_top() {
+        let stack = Locals::empty();
+        assert!(stack.is_empty());
+        assert_eq!(stack.get(0), None);
+        // One application chunk [rec; arg] then a let chunk [bound].
+        let stack = stack.push_chunk(vec![Value::nat(10), Value::nat(11)]);
+        let stack = stack.push_chunk(vec![Value::nat(12)]);
+        assert_eq!(stack.len(), 3);
+        assert_eq!(stack.get(0), Some(&Value::nat(12)));
+        assert_eq!(stack.get(1), Some(&Value::nat(11)));
+        assert_eq!(stack.get(2), Some(&Value::nat(10)));
+        assert_eq!(stack.get(3), None);
+        // Persistence: pushing onto a captured stack leaves it untouched.
+        let captured = stack.clone();
+        let extended = stack.push_chunk(vec![Value::nat(13)]);
+        assert_eq!(captured.len(), 3);
+        assert_eq!(extended.get(0), Some(&Value::nat(13)));
+        assert_eq!(extended.get(1), Some(&Value::nat(12)));
+        // Empty chunks do not shift slot numbering.
+        assert_eq!(
+            captured.push_chunk(Vec::new()).get(0),
+            Some(&Value::nat(12))
+        );
+    }
+
+    #[test]
     fn has_type_checks_constructor_shapes() {
         use crate::types::{CtorDecl, DataDecl, Type, TypeEnv};
         let mut env = TypeEnv::new();
@@ -503,12 +680,12 @@ mod tests {
     #[test]
     fn first_order_detection() {
         assert!(Value::nat(3).is_first_order());
-        let clo = Value::Closure(Arc::new(Closure {
-            param: Symbol::new("x"),
-            body: Expr::var("x"),
-            env: Env::empty(),
-            rec_name: None,
-        }));
+        let clo = Value::Closure(Arc::new(Closure::by_name(
+            Symbol::new("x"),
+            Expr::var("x"),
+            Env::empty(),
+            None,
+        )));
         assert!(!clo.is_first_order());
         assert!(!Value::pair(Value::nat(0), clo).is_first_order());
     }

@@ -425,7 +425,7 @@ impl<'p> Engine<'p> {
                 if !ctor.args.is_empty() {
                     continue;
                 }
-                let value = Value::Ctor(ctor.name.clone(), Vec::new());
+                let value = Value::Ctor(ctor.name.clone(), std::sync::Arc::from([]));
                 let sig: Vec<Option<Value>> = worlds.iter().map(|_| Some(value.clone())).collect();
                 state.add(ty, 1, Expr::Ctor(ctor.name.clone(), Vec::new()), sig);
             }
@@ -527,7 +527,7 @@ impl<'p> Engine<'p> {
                                 .map(|w| {
                                     let args: Option<Vec<Value>> =
                                         choice.iter().map(|t| t.sig[w].clone()).collect();
-                                    args.map(|args| Value::Ctor(ctor_name.clone(), args))
+                                    args.map(|args| Value::Ctor(ctor_name.clone(), args.into()))
                                 })
                                 .collect();
                             let expr = Expr::Ctor(

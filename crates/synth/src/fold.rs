@@ -269,7 +269,7 @@ fn substitute_var(expr: &Expr, var: &Symbol, replacement: &Expr) -> Expr {
     use std::sync::Arc;
     match expr {
         Expr::Var(x) if x == var => replacement.clone(),
-        Expr::Var(_) => expr.clone(),
+        Expr::Var(_) | Expr::Local(_, _) => expr.clone(),
         Expr::Ctor(c, args) => Expr::Ctor(
             c.clone(),
             args.iter()

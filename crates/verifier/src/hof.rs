@@ -58,6 +58,9 @@ pub fn enumerate_function_candidates(
         }
         let mut fuel = Fuel::new(bounds.fuel);
         if let Ok(value) = evaluator.eval(&problem.globals, &expr, &mut fuel) {
+            // Candidates are applied over thousands of tuples each; put the
+            // closure body on the slot-resolved fast path once up front.
+            let value = hanoi_lang::resolve::resolve_closure_value(&value);
             out.push(FunctionCandidate {
                 expr,
                 value,

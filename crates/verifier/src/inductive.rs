@@ -31,10 +31,11 @@ use hanoi_lang::types::Type;
 use hanoi_lang::value::Value;
 
 use crate::bounds::{Deadline, VerifierBounds};
-use crate::hof::{enumerate_function_candidates, FunctionCandidate};
+use crate::hof::FunctionCandidate;
 use crate::outcome::{InductivenessCex, InductivenessOutcome, VerifierError};
 use crate::parallel::par_retain;
-use crate::pools::{collect_abstract, enumerate_values, search_product, CompiledPredicate};
+use crate::poolcache::PoolCache;
+use crate::pools::{collect_abstract, search_product, CompiledPredicate};
 
 /// How often (in tuples) the deadline is polled.
 const DEADLINE_POLL: usize = 256;
@@ -51,18 +52,32 @@ pub enum PoolSpec<'a> {
     Satisfying(&'a Expr),
 }
 
-/// One choice for one argument position.
-enum Choice {
-    Val(Value),
-    Fun(FunctionCandidate),
+/// One choice for one argument position, borrowed from a cached pool (or
+/// from the caller's `V+` slice).
+enum Choice<'a> {
+    Val(&'a Value),
+    Fun(&'a FunctionCandidate),
+}
+
+/// Where one argument position draws its values from; holds the cached pool
+/// `Arc`s alive while the per-candidate choice lists borrow from them.
+enum Source<'a> {
+    /// The caller's known-constructible set, used verbatim.
+    Known(&'a [Value]),
+    /// A cached value pool; `filter` says whether it must be narrowed to the
+    /// values satisfying `P` for this candidate.
+    Values(Arc<Vec<Value>>, bool),
+    /// A cached pool of enumerated functional arguments.
+    Functions(Arc<Vec<FunctionCandidate>>),
 }
 
 /// Checks `CondInductive P Q` where `P` is given by `pool` and `Q` is
 /// `invariant`, spreading tuple evaluation over `workers` threads (`1` =
 /// serial; parallel runs report the same counterexample as serial ones, see
-/// [`crate::parallel`]).
+/// [`crate::parallel`]).  Pools come from the shared `pools` cache.
 pub fn check_conditional_inductiveness(
     problem: &Problem,
+    pools: &PoolCache,
     bounds: &VerifierBounds,
     deadline: &Deadline,
     pool: PoolSpec<'_>,
@@ -70,7 +85,7 @@ pub fn check_conditional_inductiveness(
     workers: usize,
 ) -> Result<InductivenessOutcome, VerifierError> {
     check_conditional_inductiveness_filtered(
-        problem, bounds, deadline, pool, invariant, None, workers,
+        problem, pools, bounds, deadline, pool, invariant, None, workers,
     )
 }
 
@@ -80,6 +95,7 @@ pub fn check_conditional_inductiveness(
 #[allow(clippy::too_many_arguments)]
 pub fn check_conditional_inductiveness_filtered(
     problem: &Problem,
+    pools: &PoolCache,
     bounds: &VerifierBounds,
     deadline: &Deadline,
     pool: PoolSpec<'_>,
@@ -87,9 +103,17 @@ pub fn check_conditional_inductiveness_filtered(
     only_op: Option<&str>,
     workers: usize,
 ) -> Result<InductivenessOutcome, VerifierError> {
-    let q = CompiledPredicate::compile(problem, invariant, bounds.fuel)?;
+    let q = CompiledPredicate::compile(problem, invariant, bounds.fuel)?
+        .with_eval_counter(pools.eval_counter());
+    // Full inductiveness conditions on the candidate itself (`CondInductive
+    // I I`); reuse the compiled `Q` instead of compiling the same expression
+    // twice.
     let p_predicate = match pool {
-        PoolSpec::Satisfying(p) => Some(CompiledPredicate::compile(problem, p, bounds.fuel)?),
+        PoolSpec::Satisfying(p) if p == invariant => Some(q.clone()),
+        PoolSpec::Satisfying(p) => Some(
+            CompiledPredicate::compile(problem, p, bounds.fuel)?
+                .with_eval_counter(pools.eval_counter()),
+        ),
         PoolSpec::Known(_) => None,
     };
     let known: Option<HashSet<&Value>> = match pool {
@@ -116,33 +140,55 @@ pub fn check_conditional_inductiveness_filtered(
         let per_size = bounds.size_for(quantifiers);
         let cap = bounds.cap_for(quantifiers);
 
-        // Build the per-position choice pools.
-        let mut pools: Vec<Vec<Choice>> = Vec::with_capacity(arg_sigs.len());
-        for sig in &arg_sigs {
-            if let Type::Arrow(_, _) = sig {
-                let candidates = enumerate_function_candidates(problem, sig, bounds);
-                pools.push(candidates.into_iter().map(Choice::Fun).collect());
-            } else if sig.mentions_abstract() {
-                let values: Vec<Value> = match (&pool, sig) {
-                    (PoolSpec::Known(known_values), Type::Abstract) => known_values.to_vec(),
-                    _ => {
-                        let concrete = sig.subst_abstract(problem.concrete_type());
-                        let mut values = enumerate_values(problem, &concrete, per_count, per_size);
-                        par_retain(&mut values, workers, |v| {
+        // Resolve each argument position to its (cached) source, then build
+        // the per-candidate choice lists as borrows into those sources: the
+        // only per-candidate cost left is the `P` filter itself.
+        let sources: Vec<Source<'_>> = arg_sigs
+            .iter()
+            .map(|sig| {
+                if let Type::Arrow(_, _) = sig {
+                    Source::Functions(pools.function_pool(problem, sig, bounds))
+                } else if sig.mentions_abstract() {
+                    match (&pool, sig) {
+                        (PoolSpec::Known(known_values), Type::Abstract) => {
+                            Source::Known(known_values)
+                        }
+                        _ => {
+                            let concrete = sig.subst_abstract(problem.concrete_type());
+                            Source::Values(
+                                pools.pool(&concrete, per_count, per_size, workers),
+                                true,
+                            )
+                        }
+                    }
+                } else {
+                    Source::Values(pools.pool(sig, per_count, per_size, workers), false)
+                }
+            })
+            .collect();
+        let mut choice_pools: Vec<Vec<Choice<'_>>> = Vec::with_capacity(arg_sigs.len());
+        for (source, sig) in sources.iter().zip(&arg_sigs) {
+            match source {
+                Source::Known(values) => {
+                    choice_pools.push(values.iter().map(Choice::Val).collect());
+                }
+                Source::Functions(candidates) => {
+                    choice_pools.push(candidates.iter().map(Choice::Fun).collect());
+                }
+                Source::Values(values, filter) => {
+                    let mut refs: Vec<&Value> = values.iter().collect();
+                    if *filter {
+                        par_retain(&mut refs, workers, |v| {
                             collect_abstract(v, sig).iter().all(&satisfies_p)
                         });
-                        values
                     }
-                };
-                pools.push(values.into_iter().map(Choice::Val).collect());
-            } else {
-                let values = enumerate_values(problem, sig, per_count, per_size);
-                pools.push(values.into_iter().map(Choice::Val).collect());
+                    choice_pools.push(refs.into_iter().map(Choice::Val).collect());
+                }
             }
         }
 
         let polls = AtomicUsize::new(0);
-        let found = search_product(&pools, cap, workers, |tuple| {
+        let found = search_product(&choice_pools, cap, workers, |tuple| {
             if polls
                 .fetch_add(1, Ordering::Relaxed)
                 .is_multiple_of(DEADLINE_POLL)
@@ -159,8 +205,8 @@ pub fn check_conditional_inductiveness_filtered(
             for (choice, sig) in tuple.iter().zip(&arg_sigs) {
                 match choice {
                     Choice::Val(v) => {
-                        args.push(v.clone());
-                        display_args.push(v.clone());
+                        args.push((*v).clone());
+                        display_args.push((*v).clone());
                     }
                     Choice::Fun(candidate) => {
                         display_args.push(candidate.value.clone());
@@ -293,6 +339,7 @@ mod tests {
         let candidate = parse_expr("fun (l : list) -> True").unwrap();
         let outcome = check_conditional_inductiveness(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             PoolSpec::Satisfying(&candidate),
@@ -309,6 +356,7 @@ mod tests {
         let inv = no_duplicates();
         let outcome = check_conditional_inductiveness(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             PoolSpec::Satisfying(&inv),
@@ -338,6 +386,7 @@ mod tests {
         });
         let outcome = check_conditional_inductiveness(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             PoolSpec::Satisfying(&candidate),
@@ -379,6 +428,7 @@ mod tests {
         let v_plus = vec![Value::nat_list(&[])];
         let outcome = check_conditional_inductiveness(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             PoolSpec::Known(&v_plus),
@@ -412,6 +462,7 @@ mod tests {
                 .unwrap();
         let outcome = check_conditional_inductiveness(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             PoolSpec::Known(&[]),

@@ -41,6 +41,7 @@ pub mod hof;
 pub mod inductive;
 pub mod outcome;
 pub mod parallel;
+pub mod poolcache;
 pub mod pools;
 pub mod tester;
 pub mod verifier;
@@ -50,4 +51,5 @@ pub use outcome::{
     InductivenessCex, InductivenessOutcome, SufficiencyCex, SufficiencyOutcome, VerifierError,
 };
 pub use parallel::effective_workers;
+pub use poolcache::{PoolCache, PoolCacheStats};
 pub use verifier::Verifier;

@@ -2,11 +2,14 @@
 //! predicates, value pools and capped cartesian products.
 
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
 use hanoi_lang::enumerate::ValueEnumerator;
 use hanoi_lang::eval::Fuel;
+use hanoi_lang::resolve::resolve;
 use hanoi_lang::types::Type;
 use hanoi_lang::value::Value;
 
@@ -14,36 +17,55 @@ use crate::outcome::VerifierError;
 
 /// A candidate predicate (`τc -> bool`) evaluated once to a closure so that
 /// repeated tests only pay for one application each.
+///
+/// Compilation runs the slot-resolution pass
+/// ([`hanoi_lang::resolve::resolve`]) over the predicate first, so every
+/// subsequent test evaluates the body on the interpreter's indexed fast path
+/// instead of the name-based environment walk.
 #[derive(Debug, Clone)]
 pub struct CompiledPredicate<'p> {
     problem: &'p Problem,
     closure: Value,
     fuel: u64,
+    evals: Option<Arc<AtomicU64>>,
 }
 
 impl<'p> CompiledPredicate<'p> {
     /// Evaluates `predicate` (an expression closed over the problem's
-    /// globals) to a function value.
+    /// globals) to a function value, slot-resolving it first.
     pub fn compile(
         problem: &'p Problem,
         predicate: &Expr,
         fuel: u64,
     ) -> Result<Self, VerifierError> {
+        let resolved = resolve(predicate);
         let closure = problem
             .evaluator()
-            .eval(&problem.globals, predicate, &mut Fuel::new(fuel))
+            .eval_resolved(&problem.globals, &resolved, &mut Fuel::new(fuel))
             .map_err(VerifierError::Eval)?;
         Ok(CompiledPredicate {
             problem,
             closure,
             fuel,
+            evals: None,
         })
+    }
+
+    /// Wires the predicate to a shared evaluation counter (typically
+    /// [`crate::poolcache::PoolCache::eval_counter`]); every subsequent
+    /// [`CompiledPredicate::test`] increments it.
+    pub fn with_eval_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.evals = Some(counter);
+        self
     }
 
     /// Tests the predicate on one value.  Any evaluation failure (divergence
     /// of a synthesized candidate, a match failure, …) counts as `false`,
     /// matching the paper's treatment of misbehaving candidates.
     pub fn test(&self, value: &Value) -> bool {
+        if let Some(counter) = &self.evals {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         let mut fuel = Fuel::new(self.fuel);
         self.problem
             .evaluator()
@@ -176,7 +198,7 @@ pub fn collect_abstract(value: &Value, sig: &Type) -> Vec<Value> {
         Type::Tuple(sigs) => match value {
             Value::Tuple(items) if items.len() == sigs.len() => sigs
                 .iter()
-                .zip(items)
+                .zip(items.iter())
                 .flat_map(|(s, v)| collect_abstract(v, s))
                 .collect(),
             _ => Vec::new(),

@@ -8,6 +8,7 @@
 
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
@@ -17,7 +18,8 @@ use hanoi_lang::value::Value;
 use crate::bounds::{Deadline, VerifierBounds};
 use crate::outcome::{SufficiencyCex, SufficiencyOutcome, VerifierError};
 use crate::parallel::par_retain;
-use crate::pools::{enumerate_values, search_product, CompiledPredicate};
+use crate::poolcache::PoolCache;
+use crate::pools::{search_product, CompiledPredicate};
 
 /// How often (in tuples) the deadline is polled.
 const DEADLINE_POLL: usize = 256;
@@ -25,8 +27,11 @@ const DEADLINE_POLL: usize = 256;
 /// Checks sufficiency of `invariant` for the problem's specification,
 /// spreading tuple evaluation over `workers` threads (`1` = serial; parallel
 /// runs report the same outcome as serial ones, see [`crate::parallel`]).
+/// Quantifier pools are drawn from `pools`, so enumeration is paid at most
+/// once per `(type, count, size)` per session.
 pub fn check_sufficiency(
     problem: &Problem,
+    pools: &PoolCache,
     bounds: &VerifierBounds,
     deadline: &Deadline,
     invariant: &Expr,
@@ -38,24 +43,33 @@ pub fn check_sufficiency(
     let per_size = bounds.size_for(quantifiers);
     let cap = bounds.cap_for(quantifiers);
 
-    let predicate = CompiledPredicate::compile(problem, invariant, bounds.fuel)?;
+    let predicate = CompiledPredicate::compile(problem, invariant, bounds.fuel)?
+        .with_eval_counter(pools.eval_counter());
 
-    // Build one pool per quantified parameter; filtering abstract-type pools
-    // by the candidate runs the interpreter per value, so it is spread over
-    // the workers too.
-    let mut pools: Vec<Vec<Value>> = Vec::with_capacity(quantifiers);
-    for (_, param_ty) in &spec.params {
-        let concrete = param_ty.subst_abstract(problem.concrete_type());
-        let mut values = enumerate_values(problem, &concrete, per_count, per_size);
+    // One shared (cached) pool per quantified parameter; the per-candidate
+    // work is only the filter, which borrows from the cached slab instead of
+    // cloning it.  Filtering abstract-type pools by the candidate runs the
+    // interpreter per value, so it is spread over the workers too.
+    let shared: Vec<Arc<Vec<Value>>> = spec
+        .params
+        .iter()
+        .map(|(_, param_ty)| {
+            let concrete = param_ty.subst_abstract(problem.concrete_type());
+            pools.pool(&concrete, per_count, per_size, workers)
+        })
+        .collect();
+    let mut filtered: Vec<Vec<&Value>> = Vec::with_capacity(quantifiers);
+    for (pool, (_, param_ty)) in shared.iter().zip(&spec.params) {
+        let mut values: Vec<&Value> = pool.iter().collect();
         if param_ty.mentions_abstract() {
             par_retain(&mut values, workers, |v| predicate.test(v));
         }
-        pools.push(values);
+        filtered.push(values);
     }
 
     let abstract_positions = spec.abstract_positions();
     let polls = AtomicUsize::new(0);
-    let found = search_product(&pools, cap, workers, |tuple| {
+    let found = search_product(&filtered, cap, workers, |tuple| {
         if polls
             .fetch_add(1, Ordering::Relaxed)
             .is_multiple_of(DEADLINE_POLL)
@@ -63,7 +77,7 @@ pub fn check_sufficiency(
         {
             return Err(VerifierError::Timeout);
         }
-        let args: Vec<Value> = tuple.iter().map(|v| (*v).clone()).collect();
+        let args: Vec<Value> = tuple.iter().map(|v| (**v).clone()).collect();
         let mut fuel = Fuel::new(bounds.fuel);
         let holds = problem
             .eval_spec_with_fuel(&args, &mut fuel)
@@ -148,6 +162,7 @@ mod tests {
         let candidate = parse_expr("fun (l : list) -> True").unwrap();
         let outcome = check_sufficiency(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             &candidate,
@@ -181,6 +196,7 @@ mod tests {
         let problem = problem();
         let outcome = check_sufficiency(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             &no_duplicates(),
@@ -196,6 +212,7 @@ mod tests {
         let candidate = parse_expr("fun (l : list) -> False").unwrap();
         let outcome = check_sufficiency(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             &candidate,
@@ -211,6 +228,7 @@ mod tests {
         let candidate = parse_expr("fun (l : list) -> True").unwrap();
         let serial = check_sufficiency(
             &problem,
+            &PoolCache::for_problem(&problem),
             &VerifierBounds::quick(),
             &Deadline::none(),
             &candidate,
@@ -220,6 +238,7 @@ mod tests {
         for workers in [2, 4, 8] {
             let parallel = check_sufficiency(
                 &problem,
+                &PoolCache::for_problem(&problem),
                 &VerifierBounds::quick(),
                 &Deadline::none(),
                 &candidate,
@@ -238,8 +257,14 @@ mod tests {
         // With an already expired deadline the check either finds the (very
         // early) counterexample before the first poll or times out; both are
         // acceptable, but it must not loop.
-        let result =
-            check_sufficiency(&problem, &VerifierBounds::quick(), &deadline, &candidate, 1);
+        let result = check_sufficiency(
+            &problem,
+            &PoolCache::for_problem(&problem),
+            &VerifierBounds::quick(),
+            &deadline,
+            &candidate,
+            1,
+        );
         match result {
             Ok(_) | Err(VerifierError::Timeout) => {}
             Err(other) => panic!("unexpected error {other}"),

@@ -1,6 +1,8 @@
 //! The [`Verifier`] façade: one object bundling a problem, bounds and a
 //! deadline, exposing the three checks the inference driver needs.
 
+use std::sync::Arc;
+
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
 use hanoi_lang::types::Type;
@@ -11,27 +13,35 @@ use crate::inductive::{
     check_conditional_inductiveness, check_conditional_inductiveness_filtered, PoolSpec,
 };
 use crate::outcome::{InductivenessOutcome, SufficiencyOutcome, VerifierError};
-use crate::pools::{enumerate_values, CompiledPredicate};
+use crate::poolcache::{PoolCache, PoolCacheStats};
+use crate::pools::CompiledPredicate;
 use crate::tester::check_sufficiency;
 
 /// The bounded enumerative verifier.
+///
+/// A `Verifier` is one *verification session*: it owns a shared
+/// [`PoolCache`], so across all the checks made through it (a whole CEGIS
+/// run, typically) each `(type, count, size)` pool is enumerated at most
+/// once.  Cloning the verifier shares the cache.
 #[derive(Debug, Clone)]
 pub struct Verifier<'p> {
     problem: &'p Problem,
     bounds: VerifierBounds,
     deadline: Deadline,
     parallelism: usize,
+    pools: Arc<PoolCache>,
 }
 
 impl<'p> Verifier<'p> {
-    /// A verifier with the paper's default bounds, no deadline, and serial
-    /// execution.
+    /// A verifier with the paper's default bounds, no deadline, serial
+    /// execution, and a fresh pool cache.
     pub fn new(problem: &'p Problem) -> Self {
         Verifier {
             problem,
             bounds: VerifierBounds::default(),
             deadline: Deadline::none(),
             parallelism: 1,
+            pools: PoolCache::for_problem(problem),
         }
     }
 
@@ -57,6 +67,24 @@ impl<'p> Verifier<'p> {
         self
     }
 
+    /// Shares an existing pool cache (e.g. to keep pools warm across several
+    /// `Verifier` values over the same problem).
+    pub fn with_pool_cache(mut self, pools: Arc<PoolCache>) -> Self {
+        self.pools = pools;
+        self
+    }
+
+    /// The pool cache backing this verification session.
+    pub fn pool_cache(&self) -> &Arc<PoolCache> {
+        &self.pools
+    }
+
+    /// Counter snapshot of this session's pool activity (hits, builds,
+    /// predicate evaluations).
+    pub fn pool_stats(&self) -> PoolCacheStats {
+        self.pools.stats()
+    }
+
     /// The effective worker count of this verifier (with `0` resolved to the
     /// available core count).
     pub fn workers(&self) -> usize {
@@ -77,6 +105,7 @@ impl<'p> Verifier<'p> {
     pub fn check_sufficiency(&self, invariant: &Expr) -> Result<SufficiencyOutcome, VerifierError> {
         check_sufficiency(
             self.problem,
+            &self.pools,
             &self.bounds,
             &self.deadline,
             invariant,
@@ -93,6 +122,7 @@ impl<'p> Verifier<'p> {
     ) -> Result<InductivenessOutcome, VerifierError> {
         check_conditional_inductiveness(
             self.problem,
+            &self.pools,
             &self.bounds,
             &self.deadline,
             PoolSpec::Known(v_plus),
@@ -108,6 +138,7 @@ impl<'p> Verifier<'p> {
     ) -> Result<InductivenessOutcome, VerifierError> {
         check_conditional_inductiveness(
             self.problem,
+            &self.pools,
             &self.bounds,
             &self.deadline,
             PoolSpec::Satisfying(invariant),
@@ -125,6 +156,7 @@ impl<'p> Verifier<'p> {
     ) -> Result<InductivenessOutcome, VerifierError> {
         check_conditional_inductiveness_filtered(
             self.problem,
+            &self.pools,
             &self.bounds,
             &self.deadline,
             PoolSpec::Satisfying(invariant),
@@ -144,6 +176,7 @@ impl<'p> Verifier<'p> {
     ) -> Result<InductivenessOutcome, VerifierError> {
         check_conditional_inductiveness(
             self.problem,
+            &self.pools,
             &self.bounds,
             &self.deadline,
             PoolSpec::Satisfying(p),
@@ -160,12 +193,13 @@ impl<'p> Verifier<'p> {
         ty: &Type,
         predicate: &Expr,
     ) -> Result<Option<Value>, VerifierError> {
-        let compiled = CompiledPredicate::compile(self.problem, predicate, self.bounds.fuel)?;
-        let values = enumerate_values(
-            self.problem,
+        let compiled = CompiledPredicate::compile(self.problem, predicate, self.bounds.fuel)?
+            .with_eval_counter(self.pools.eval_counter());
+        let values = self.pools.pool(
             ty,
             self.bounds.single_count,
             self.bounds.single_size,
+            self.workers(),
         );
         crate::parallel::find_first(values.len(), self.workers(), 64, |index| {
             if index % 256 == 0 && self.deadline.expired() {
@@ -183,12 +217,15 @@ impl<'p> Verifier<'p> {
     /// The smallest `count` values of the concrete representation type — the
     /// sample the OneShot baseline labels with the specification.
     pub fn smallest_concrete_values(&self, count: usize) -> Vec<Value> {
-        enumerate_values(
-            self.problem,
-            self.problem.concrete_type(),
-            count,
-            self.bounds.single_size,
-        )
+        self.pools
+            .pool(
+                self.problem.concrete_type(),
+                count,
+                self.bounds.single_size,
+                self.workers(),
+            )
+            .as_ref()
+            .clone()
     }
 }
 

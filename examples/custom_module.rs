@@ -99,7 +99,7 @@ fn main() {
     // constructible (push always normalises).
     let bogus = Value::Ctor(
         "MkQueue".into(),
-        vec![Value::nat_list(&[]), Value::nat_list(&[7])],
+        vec![Value::nat_list(&[]), Value::nat_list(&[7])].into(),
     );
     println!("is {bogus} constructible? {}", oracle.contains(&bogus));
     println!();

@@ -144,11 +144,11 @@ fn sized_list_invariant_ties_the_cached_length_to_the_list() {
     // MkSized (2, [7; 3]) is fine; MkSized (1, [7; 3]) is not.
     let good = Value::Ctor(
         "MkSized".into(),
-        vec![Value::nat(2), Value::nat_list(&[7, 3])],
+        vec![Value::nat(2), Value::nat_list(&[7, 3])].into(),
     );
     let bad = Value::Ctor(
         "MkSized".into(),
-        vec![Value::nat(1), Value::nat_list(&[7, 3])],
+        vec![Value::nat(1), Value::nat_list(&[7, 3])].into(),
     );
     assert!(problem.eval_predicate(&invariant, &good).unwrap());
     assert!(!problem.eval_predicate(&invariant, &bad).unwrap());

@@ -1,0 +1,204 @@
+//! Slot-resolution equivalence: the interpreter's indexed fast path (slot
+//! resolution + `Locals` stack) is observationally identical to the
+//! historical linked-list environment path — same values, same errors, and
+//! the same fuel consumption, pinned over the tier-1 example modules and at
+//! every layer (expression evaluation, module operations, specifications,
+//! whole inference runs).
+
+use hanoi_repro::abstraction::Problem;
+use hanoi_repro::hanoi::{Driver, HanoiConfig};
+use hanoi_repro::lang::enumerate::ValueEnumerator;
+use hanoi_repro::lang::eval::Fuel;
+use hanoi_repro::lang::parser::parse_expr;
+use hanoi_repro::lang::resolve::resolve;
+use hanoi_repro::lang::value::Value;
+
+/// The tier-1 example modules: one spec with two quantifiers, a tree-based
+/// module and a size-tracking module — the same trio the parallel
+/// determinism suite pins.
+const MODULES: [&str; 3] = [
+    "/coq/unique-list-::-set",
+    "/other/cache",
+    "/other/sized-list",
+];
+
+/// Builds the same benchmark twice: once on the resolved fast path (the
+/// default) and once with name-based environment lookups only.
+fn both_paths(id: &str) -> (Problem, Problem) {
+    let source = hanoi_repro::benchmarks::find(id).unwrap().source;
+    let resolved = Problem::from_source(&source).unwrap();
+    let by_name = Problem::from_source_with(&source, false).unwrap();
+    (resolved, by_name)
+}
+
+/// Small sample values for every spec parameter of a problem.
+fn spec_sample_tuples(problem: &Problem) -> Vec<Vec<Value>> {
+    let mut pools: Vec<Vec<Value>> = Vec::new();
+    for (_, ty) in &problem.spec.params {
+        let concrete = ty.subst_abstract(problem.concrete_type());
+        let mut enumerator = ValueEnumerator::new(&problem.tyenv);
+        pools.push(enumerator.first_values(&concrete, 12, 8));
+    }
+    // Full cartesian product of the small pools, capped.
+    let mut tuples = vec![Vec::new()];
+    for pool in &pools {
+        let mut next = Vec::new();
+        for prefix in &tuples {
+            for value in pool {
+                let mut tuple = prefix.clone();
+                tuple.push(value.clone());
+                next.push(tuple);
+            }
+        }
+        tuples = next;
+        tuples.truncate(200);
+    }
+    tuples
+}
+
+#[test]
+fn specs_agree_on_values_and_fuel_across_both_paths() {
+    for id in MODULES {
+        let (resolved, by_name) = both_paths(id);
+        for tuple in spec_sample_tuples(&resolved) {
+            let mut fuel_resolved = Fuel::new(200_000);
+            let mut fuel_by_name = Fuel::new(200_000);
+            let fast = resolved.eval_spec_with_fuel(&tuple, &mut fuel_resolved);
+            let slow = by_name.eval_spec_with_fuel(&tuple, &mut fuel_by_name);
+            assert_eq!(fast, slow, "{id}: spec diverged on {tuple:?}");
+            assert_eq!(
+                fuel_resolved.used(),
+                fuel_by_name.used(),
+                "{id}: fuel consumption diverged on {tuple:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn module_operations_agree_on_values_and_fuel_across_both_paths() {
+    for id in MODULES {
+        let (resolved, by_name) = both_paths(id);
+        let mut enumerator = ValueEnumerator::new(&resolved.tyenv);
+        let mut checked = 0usize;
+        for op in resolved.inductive_ops() {
+            let (arg_sigs, _) = op.sig.uncurry();
+            // Instantiate every argument with the smallest value of its
+            // (concretised) type, plus a couple of slightly larger ones for
+            // the first argument.
+            let arg_pools: Vec<Vec<Value>> = arg_sigs
+                .iter()
+                .enumerate()
+                .map(|(i, sig)| {
+                    let concrete = sig.subst_abstract(resolved.concrete_type());
+                    enumerator.first_values(&concrete, if i == 0 { 8 } else { 2 }, 8)
+                })
+                .collect();
+            if arg_pools.iter().any(|p| p.is_empty()) {
+                continue; // higher-order positions have no enumerable values
+            }
+            let mut tuples = vec![Vec::new()];
+            for pool in &arg_pools {
+                let mut next = Vec::new();
+                for prefix in &tuples {
+                    for value in pool {
+                        let mut tuple = prefix.clone();
+                        tuple.push(value.clone());
+                        next.push(tuple);
+                    }
+                }
+                tuples = next;
+                tuples.truncate(32);
+            }
+            for tuple in tuples {
+                let mut fuel_resolved = Fuel::new(200_000);
+                let mut fuel_by_name = Fuel::new(200_000);
+                let fast =
+                    resolved.eval_call_with_fuel(op.name.as_str(), &tuple, &mut fuel_resolved);
+                let slow = by_name.eval_call_with_fuel(op.name.as_str(), &tuple, &mut fuel_by_name);
+                assert_eq!(fast, slow, "{id}: op `{}` diverged on {tuple:?}", op.name);
+                assert_eq!(
+                    fuel_resolved.used(),
+                    fuel_by_name.used(),
+                    "{id}: op `{}` fuel diverged on {tuple:?}",
+                    op.name
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "{id}: no operation tuples were compared");
+    }
+}
+
+#[test]
+fn candidate_predicates_agree_across_eval_and_eval_resolved() {
+    let (problem, _) = both_paths("/coq/unique-list-::-set");
+    let candidates = [
+        "fix inv (l : list) : bool = \
+           match l with | Nil -> True | Cons (hd, tl) -> not (lookup tl hd) && inv tl end",
+        "fun (l : list) -> True",
+        "fun (l : list) -> match l with | Nil -> True | Cons (hd, tl) -> not (hd == 1) end",
+        "fun (l : list) -> let x = lookup l 0 in not x",
+    ];
+    let mut enumerator = ValueEnumerator::new(&problem.tyenv);
+    let samples = enumerator.first_values(problem.concrete_type(), 40, 10);
+    let evaluator = problem.evaluator();
+    for source in candidates {
+        let expr = parse_expr(source).unwrap();
+        let resolved_expr = resolve(&expr);
+        // Compile both flavours of the closure with identical budgets.
+        let mut fuel_fast = Fuel::new(100_000);
+        let mut fuel_slow = Fuel::new(100_000);
+        let fast_closure = evaluator
+            .eval_resolved(&problem.globals, &resolved_expr, &mut fuel_fast)
+            .unwrap();
+        let slow_closure = evaluator
+            .eval(&problem.globals, &expr, &mut fuel_slow)
+            .unwrap();
+        assert_eq!(fuel_fast.used(), fuel_slow.used(), "compile fuel: {source}");
+        for value in &samples {
+            let mut fuel_fast = Fuel::new(100_000);
+            let mut fuel_slow = Fuel::new(100_000);
+            let fast = evaluator.apply_pred(&fast_closure, value, &mut fuel_fast);
+            let slow = evaluator.apply_pred(&slow_closure, value, &mut fuel_slow);
+            assert_eq!(fast, slow, "{source} diverged on {value}");
+            assert_eq!(
+                fuel_fast.used(),
+                fuel_slow.used(),
+                "{source} fuel diverged on {value}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_inference_runs_agree_across_both_paths() {
+    // The strongest form of the equivalence: the complete CEGIS trajectory
+    // (outcome, iteration count, final example sets) is identical whether
+    // the globals run on the slot-indexed or the linked-list path, at
+    // parallelism 1, 2 and 0.
+    for id in MODULES {
+        let (resolved, by_name) = both_paths(id);
+        for parallelism in [1usize, 2, 0] {
+            let config = HanoiConfig::quick().with_parallelism(parallelism);
+            let fast = Driver::new(&resolved, config.clone()).run();
+            let slow = Driver::new(&by_name, config).run();
+            assert_eq!(
+                fast.outcome, slow.outcome,
+                "{id}: outcome diverged at parallelism {parallelism}"
+            );
+            assert_eq!(
+                fast.stats.iterations, slow.stats.iterations,
+                "{id}: iterations diverged at parallelism {parallelism}"
+            );
+            assert_eq!(
+                fast.stats.final_positives, slow.stats.final_positives,
+                "{id}: V+ diverged at parallelism {parallelism}"
+            );
+            assert_eq!(
+                fast.stats.final_negatives, slow.stats.final_negatives,
+                "{id}: V− diverged at parallelism {parallelism}"
+            );
+        }
+    }
+}

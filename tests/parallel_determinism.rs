@@ -134,7 +134,7 @@ impl Gen {
             2 => Value::pair(self.value(depth - 1), self.value(depth - 1)),
             _ => Value::Ctor(
                 hanoi_repro::lang::Symbol::new("Node"),
-                vec![self.value(depth - 1), self.value(depth - 1)],
+                vec![self.value(depth - 1), self.value(depth - 1)].into(),
             ),
         }
     }
