@@ -179,7 +179,14 @@ impl Problem {
         // Elaborate and check the specification: every parameter type must be
         // well formed, and the body must be boolean once the abstract type is
         // substituted away.
-        let spec = Spec::from_decl(spec_decl);
+        let mut spec = Spec::from_decl(spec_decl);
+        if resolve_globals {
+            // The spec body is evaluated once per enumerated argument tuple
+            // in the verifier's sufficiency sweep and once per sample in the
+            // OneShot baseline — resolve it here so all of those run on the
+            // interpreter's slot-indexed fast path.
+            spec.resolve_body();
+        }
         if spec.abstract_arity() == 0 {
             return Err(AbstractionError::BadSpec(
                 "the specification must quantify over at least one value of abstract type".into(),
@@ -265,7 +272,16 @@ impl Problem {
         for ((name, _), value) in self.spec.params.iter().zip(args) {
             env = env.bind(name.clone(), value.clone());
         }
-        self.evaluator().eval_bool(&env, &self.spec.body, fuel)
+        // The resolved body (when elaboration built one) is fuel-identical to
+        // the name-based original, so both paths report the same outcomes.
+        match &self.spec.resolved_body {
+            Some(resolved) => {
+                let v = self.evaluator().eval_resolved(&env, resolved, fuel)?;
+                v.as_bool()
+                    .ok_or_else(|| EvalError::NotABool(v.to_string()))
+            }
+            None => self.evaluator().eval_bool(&env, &self.spec.body, fuel),
+        }
     }
 
     /// Evaluates a candidate invariant (an expression of type `τc -> bool`
@@ -283,6 +299,22 @@ impl Problem {
     ) -> Result<bool, EvalError> {
         let evaluator = self.evaluator();
         let pred_value = evaluator.eval(&self.globals, predicate, fuel)?;
+        evaluator.apply_pred(&pred_value, arg, fuel)
+    }
+
+    /// Evaluates a candidate invariant that has already been through the
+    /// slot-resolution pass ([`hanoi_lang::resolve::resolve`]), on the
+    /// interpreter's indexed fast path.  Fuel consumption and results are
+    /// identical to [`Problem::eval_predicate_with_fuel`] on the unresolved
+    /// expression.
+    pub fn eval_predicate_resolved_with_fuel(
+        &self,
+        predicate: &Expr,
+        arg: &Value,
+        fuel: &mut Fuel,
+    ) -> Result<bool, EvalError> {
+        let evaluator = self.evaluator();
+        let pred_value = evaluator.eval_resolved(&self.globals, predicate, fuel)?;
         evaluator.apply_pred(&pred_value, arg, fuel)
     }
 

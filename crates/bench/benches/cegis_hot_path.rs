@@ -34,6 +34,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hanoi_bench::json::Json;
 use hanoi_benchmarks::find;
 use hanoi_lang::parser::parse_expr;
+use hanoi_lang::util::Deadline;
+use hanoi_lang::value::Value;
+use hanoi_synth::engine::Engine;
+use hanoi_synth::{ExampleSet, SearchConfig, TermBank};
 use hanoi_verifier::{PoolCacheStats, Verifier, VerifierBounds};
 
 /// Parallelism levels measured, in reporting order. `0` = all cores.
@@ -51,6 +55,190 @@ fn median_secs(mut samples: Vec<Duration>) -> f64 {
 struct Workload {
     name: &'static str,
     run: Box<dyn Fn(&Verifier<'_>)>,
+}
+
+/// The incremental-synthesis workload: a scripted CEGIS-like sequence of
+/// growing example sets, run once with a throwaway term bank per iteration
+/// (*cold*, the rebuild-per-iteration behaviour the persistent bank
+/// replaces) and once with a single persistent bank (*warm*).  Both runs
+/// return identical predicates (asserted, serial and parallel); the summary
+/// reports the medians, the warm/cold speedup and the bank counters.
+fn bench_synthesis_multi_cex(c: &mut Criterion, samples: usize) -> Json {
+    let problem = find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .expect("benchmark elaborates");
+    // Example values sized like a mid-run CEGIS state at paper verifier
+    // bounds: the positives are duplicate-free lists up to several elements
+    // (what visible-inductiveness sweeps feed back), the negatives are the
+    // duplicate-carrying counterexamples full-inductiveness produces.
+    let positives: Vec<Value> = [
+        vec![],
+        vec![0],
+        vec![1],
+        vec![2],
+        vec![1, 0],
+        vec![2, 0],
+        vec![3, 1],
+        vec![2, 1, 0],
+        vec![4, 2, 1],
+        vec![5, 3, 2, 0],
+        vec![6, 4, 3, 1],
+        vec![5, 4, 3, 2, 1],
+        vec![7, 5, 4, 2, 1, 0],
+        vec![8, 6, 5, 4, 3, 2, 1],
+    ]
+    .iter()
+    .map(|items| Value::nat_list(items))
+    .collect();
+    let negative_stream: &[&[u64]] = if quick_mode() {
+        &[&[0, 0], &[1, 1], &[3, 2, 2], &[4, 1, 4, 0]]
+    } else {
+        &[
+            &[0, 0],
+            &[1, 1],
+            &[3, 2, 2],
+            &[4, 1, 4, 0],
+            &[2, 5, 3, 2],
+            &[5, 4, 4, 1, 0],
+            &[6, 3, 2, 6, 1],
+            &[4, 3, 2, 1, 4, 0],
+            &[7, 6, 5, 3, 3, 1],
+            &[8, 7, 5, 4, 2, 1, 8],
+        ]
+    };
+    let sequence: Vec<ExampleSet> = (1..=negative_stream.len())
+        .map(|step| {
+            let examples = ExampleSet::from_sets(
+                positives.iter().cloned(),
+                negative_stream[..step].iter().map(|n| Value::nat_list(n)),
+            )
+            .expect("scripted example sets are disjoint");
+            examples
+                .trace_completed(&problem.tyenv, problem.concrete_type())
+                .0
+        })
+        .collect();
+    let config = if quick_mode() {
+        SearchConfig {
+            schedule: vec![(0, 5), (1, 7)],
+            ..SearchConfig::quick()
+        }
+    } else {
+        SearchConfig {
+            schedule: vec![(0, 5), (1, 7), (1, 9)],
+            ..SearchConfig::default()
+        }
+    };
+    let engine = Engine::new(&problem, config.clone());
+
+    let run_sequence = |persistent: Option<&TermBank>| -> Vec<Option<hanoi_lang::ast::Expr>> {
+        sequence
+            .iter()
+            .map(|examples| {
+                let fresh;
+                let bank = match persistent {
+                    Some(bank) => bank,
+                    None => {
+                        fresh = TermBank::new();
+                        &fresh
+                    }
+                };
+                engine
+                    .synthesize_with_bank(bank, examples, &Deadline::none())
+                    .ok()
+            })
+            .collect()
+    };
+
+    // Correctness first: warm ≡ cold, and parallel ≡ serial.
+    let cold_predicates = run_sequence(None);
+    let warm_bank = TermBank::new();
+    let warm_predicates = run_sequence(Some(&warm_bank));
+    assert_eq!(
+        warm_predicates, cold_predicates,
+        "a persistent bank must not change synthesis results"
+    );
+    let parallel_engine = Engine::new(
+        &problem,
+        SearchConfig {
+            parallelism: Some(0),
+            ..config
+        },
+    );
+    let parallel_bank = TermBank::new();
+    let parallel_predicates: Vec<Option<hanoi_lang::ast::Expr>> = sequence
+        .iter()
+        .map(|examples| {
+            parallel_engine
+                .synthesize_with_bank(&parallel_bank, examples, &Deadline::none())
+                .ok()
+        })
+        .collect();
+    assert_eq!(
+        parallel_predicates, cold_predicates,
+        "parallel synthesis must be outcome-identical to serial"
+    );
+    let warm_stats = warm_bank.stats();
+    assert!(warm_stats.column_appends > 0);
+    assert!(warm_stats.bank_hits > 0);
+
+    // Timings: each sample replays the whole sequence from scratch.
+    let mut cold_timings = Vec::with_capacity(samples);
+    let mut warm_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let _ = run_sequence(None);
+        cold_timings.push(start.elapsed());
+        let bank = TermBank::new();
+        let start = Instant::now();
+        let _ = run_sequence(Some(&bank));
+        warm_timings.push(start.elapsed());
+    }
+    let cold_secs = median_secs(cold_timings);
+    let warm_secs = median_secs(warm_timings);
+
+    let mut group = c.benchmark_group("synthesis_multi_cex");
+    group.sample_size(samples);
+    group.bench_function("cold_rebuild_per_iteration", |b| {
+        b.iter(|| run_sequence(None))
+    });
+    group.bench_function("warm_persistent_bank", |b| {
+        b.iter(|| {
+            let bank = TermBank::new();
+            run_sequence(Some(&bank))
+        })
+    });
+    group.finish();
+
+    Json::obj([
+        (
+            "benchmark",
+            Json::Str("/coq/unique-list-::-set".to_string()),
+        ),
+        ("iterations", Json::Num(sequence.len() as f64)),
+        ("cold_secs", Json::Num(cold_secs)),
+        ("warm_secs", Json::Num(warm_secs)),
+        (
+            "speedup_warm_over_cold",
+            Json::Num(cold_secs / warm_secs.max(f64::MIN_POSITIVE)),
+        ),
+        (
+            "terms_enumerated",
+            Json::Num(warm_stats.terms_enumerated as f64),
+        ),
+        (
+            "signature_column_appends",
+            Json::Num(warm_stats.column_appends as f64),
+        ),
+        (
+            "eq_class_splits",
+            Json::Num(warm_stats.eq_class_splits as f64),
+        ),
+        ("bank_hits", Json::Num(warm_stats.bank_hits as f64)),
+        ("bank_misses", Json::Num(warm_stats.bank_misses as f64)),
+        ("parallel_identical", Json::Bool(true)),
+    ])
 }
 
 fn bench_cegis_hot_path(c: &mut Criterion) {
@@ -211,6 +399,8 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
     }
     group.finish();
 
+    let synthesis = bench_synthesis_multi_cex(c, samples);
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -238,6 +428,9 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
                 ),
             ]),
         ),
+        // The incremental-synthesis workload: cold rebuilds the term pool
+        // per CEGIS iteration, warm reuses the session's persistent bank.
+        ("synthesis_multi_cex", synthesis),
     ]);
     // Default to the workspace root regardless of the bench's CWD — except
     // in quick mode, whose tiny-bounds numbers must never clobber the

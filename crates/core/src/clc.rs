@@ -22,6 +22,9 @@ use hanoi_lang::value::Value;
 pub struct TraceStep {
     /// The candidate invariant of this step.
     pub candidate: Expr,
+    /// The candidate slot-resolved at record time, so every replay probe
+    /// runs on the interpreter's indexed fast path.
+    resolved: Expr,
     /// The negative examples added after checking it.
     pub negatives: Vec<Value>,
 }
@@ -40,8 +43,10 @@ impl CexListCache {
 
     /// Records that `candidate` was answered with `negatives`.
     pub fn record(&mut self, candidate: Expr, negatives: Vec<Value>) {
+        let resolved = hanoi_lang::resolve::resolve(&candidate);
         self.trace.push(TraceStep {
             candidate,
+            resolved,
             negatives,
         });
     }
@@ -78,7 +83,7 @@ impl CexListCache {
         for step in &self.trace {
             let consistent = v_plus.iter().all(|v| {
                 problem
-                    .eval_predicate_with_fuel(&step.candidate, v, &mut Fuel::standard())
+                    .eval_predicate_resolved_with_fuel(&step.resolved, v, &mut Fuel::standard())
                     .unwrap_or(false)
             });
             if !consistent {

@@ -47,10 +47,7 @@ impl<'p> InferenceContext<'p> {
             .with_bounds(config.bounds)
             .with_deadline(deadline)
             .with_parallelism(config.parallelism);
-        let synthesizer: Box<dyn Synthesizer> = match config.synthesizer {
-            SynthChoice::Myth => Box::new(MythSynth::with_config(config.search.clone())),
-            SynthChoice::Fold => Box::new(FoldSynth::new().with_config(config.search.clone())),
-        };
+        let synthesizer = Self::make_synthesizer(&config);
         InferenceContext {
             problem,
             config,
@@ -66,18 +63,36 @@ impl<'p> InferenceContext<'p> {
         }
     }
 
+    /// Builds the configured synthesizer, threading the run's parallelism
+    /// knob into the search configuration so synthesis-side layer
+    /// construction uses the same worker pool size as the verifier.  An
+    /// explicitly set `SearchConfig::parallelism` (including `Some(1)`,
+    /// forced-serial) takes precedence over the run-wide knob.
+    pub fn make_synthesizer(config: &HanoiConfig) -> Box<dyn Synthesizer> {
+        let mut search = config.search.clone();
+        if search.parallelism.is_none() {
+            search.parallelism = Some(config.parallelism);
+        }
+        match config.synthesizer {
+            SynthChoice::Myth => Box::new(MythSynth::with_config(search)),
+            SynthChoice::Fold => Box::new(FoldSynth::new().with_config(search)),
+        }
+    }
+
     /// `true` once the run's wall-clock budget is exhausted.
     pub fn timed_out(&self) -> bool {
         self.deadline.expired()
     }
 
-    /// Wraps up the run: fills the time, example-count and pool-cache
-    /// statistics.
+    /// Wraps up the run: fills the time, example-count, pool-cache and
+    /// term-bank statistics.
     pub fn finish(mut self, outcome: Outcome) -> RunResult {
         self.stats.total_time = self.started.elapsed();
         self.stats.final_positives = self.v_plus.len();
         self.stats.final_negatives = self.v_minus.len();
         self.stats.record_pool_cache(self.verifier.pool_stats());
+        self.stats
+            .record_term_bank(self.synthesizer.term_bank_stats());
         RunResult::new(outcome, self.stats)
     }
 

@@ -10,7 +10,6 @@
 
 use hanoi_lang::eval::Fuel;
 use hanoi_lang::value::Value;
-use hanoi_synth::ExampleSet;
 use hanoi_verifier::{InductivenessOutcome, SufficiencyOutcome};
 
 use crate::context::InferenceContext;
@@ -42,32 +41,12 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
         }
     }
 
-    let examples = match ExampleSet::from_sets(
-        labels.iter().filter(|(_, b)| *b).map(|(v, _)| v.clone()),
-        labels.iter().filter(|(_, b)| !*b).map(|(v, _)| v.clone()),
-    ) {
-        Ok(examples) => examples,
-        Err(e) => return ctx.finish(Outcome::SynthesisFailure(e.to_string())),
-    };
-    let (examples, _) = examples.trace_completed(&ctx.problem.tyenv, ctx.problem.concrete_type());
-
-    let candidate = {
-        let start = std::time::Instant::now();
-        let mut synth: Box<dyn hanoi_synth::Synthesizer> = match ctx.config.synthesizer {
-            crate::config::SynthChoice::Myth => Box::new(hanoi_synth::MythSynth::with_config(
-                ctx.config.search.clone(),
-            )),
-            crate::config::SynthChoice::Fold => {
-                Box::new(hanoi_synth::FoldSynth::new().with_config(ctx.config.search.clone()))
-            }
-        };
-        let result = synth.synthesize(ctx.problem, &examples, &ctx.deadline);
-        ctx.stats.record_synthesis(start.elapsed());
-        match result {
-            Ok(candidate) => candidate,
-            Err(hanoi_synth::SynthError::Timeout) => return ctx.finish(Outcome::Timeout),
-            Err(other) => return ctx.finish(Outcome::SynthesisFailure(other.to_string())),
-        }
+    // The labelled samples are already in `V+`/`V−`; the context builds the
+    // trace-completed example set and drives the session synthesizer (and
+    // with it the run's persistent term bank and statistics).
+    let candidate = match ctx.synthesize_candidate() {
+        Ok(candidate) => candidate,
+        Err(outcome) => return ctx.finish(outcome),
     };
 
     // Whatever was synthesized is the answer; it still has to be a sufficient

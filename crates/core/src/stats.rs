@@ -38,6 +38,18 @@ pub struct RunStats {
     /// Candidate-predicate evaluations performed by the verifier's compiled
     /// predicates (pool filtering plus `P`/`Q` tests).
     pub predicate_evals: u64,
+    /// Candidate terms enumerated by the synthesis engine (pre-dedup) across
+    /// all guesses of the run.
+    pub synth_terms_enumerated: u64,
+    /// Signature columns appended to the synthesizer's persistent term bank
+    /// after the first synthesis call (one per new example world).
+    pub synth_column_appends: u64,
+    /// Observational-equivalence classes re-split because a freshly appended
+    /// signature column distinguished previously-merged terms.
+    pub synth_eq_class_splits: u64,
+    /// Signature evaluations served from the term bank without touching the
+    /// interpreter.
+    pub synth_bank_hits: u64,
     /// Size in AST nodes of the inferred invariant, when one was found.
     pub invariant_size: Option<usize>,
     /// Final number of positive examples.
@@ -76,6 +88,14 @@ impl RunStats {
         self.pool_builds = pool.builds;
         self.pool_slab_builds = pool.slab_builds;
         self.predicate_evals = pool.predicate_evals;
+    }
+
+    /// Copies a synthesizer term-bank snapshot into the run statistics.
+    pub fn record_term_bank(&mut self, bank: hanoi_synth::TermBankStats) {
+        self.synth_terms_enumerated = bank.terms_enumerated;
+        self.synth_column_appends = bank.column_appends;
+        self.synth_eq_class_splits = bank.eq_class_splits;
+        self.synth_bank_hits = bank.bank_hits;
     }
 }
 

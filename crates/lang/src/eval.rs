@@ -271,6 +271,15 @@ impl<'a> Evaluator<'a> {
         expr: &Expr,
         fuel: &mut Fuel,
     ) -> Result<Value, EvalError> {
+        // An unresolved expression evaluated here would silently read
+        // same-named *globals* where it meant lexically-bound locals
+        // (resolved-mode `let`/`match` never extend `env`).  Resolution is
+        // idempotent, so a properly resolved expression is a fixed point.
+        debug_assert!(
+            crate::resolve::resolve(expr) == *expr,
+            "eval_resolved requires a slot-resolved expression \
+             (run hanoi_lang::resolve::resolve first)"
+        );
         self.eval_res_at(env, &Locals::empty(), expr, fuel, 0)
     }
 

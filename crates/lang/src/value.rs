@@ -120,13 +120,24 @@ impl Value {
     }
 
     /// The boolean value `True`.
+    ///
+    /// The two boolean values are interned process-wide: every call returns
+    /// a clone of the same allocation, so producing a boolean (the single
+    /// most common operation in signature evaluation and predicate testing)
+    /// is a reference-count bump, and equality between interned booleans
+    /// short-circuits on the shared slab pointer.
     pub fn tru() -> Value {
-        Value::Ctor(Symbol::new("True"), Arc::from([]))
+        static TRUE: std::sync::OnceLock<Value> = std::sync::OnceLock::new();
+        TRUE.get_or_init(|| Value::Ctor(Symbol::new("True"), Arc::from([])))
+            .clone()
     }
 
-    /// The boolean value `False`.
+    /// The boolean value `False` (interned, see [`Value::tru`]).
     pub fn fls() -> Value {
-        Value::Ctor(Symbol::new("False"), Arc::from([]))
+        static FALSE: std::sync::OnceLock<Value> = std::sync::OnceLock::new();
+        FALSE
+            .get_or_init(|| Value::Ctor(Symbol::new("False"), Arc::from([])))
+            .clone()
     }
 
     /// A boolean value.

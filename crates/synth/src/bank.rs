@@ -1,0 +1,517 @@
+//! The persistent term bank: incremental, memoized signature evaluation for
+//! the synthesis engine.
+//!
+//! `Engine::guess` historically rebuilt its observational-equivalence term
+//! pool from zero on every call: each CEGIS iteration — often triggered by a
+//! *single* new counterexample — re-enumerated every term and re-ran the
+//! interpreter on every `(term, example world)` pair, even though all but one
+//! column of the signature matrix had already been computed in the previous
+//! iteration.  [`TermBank`] makes the expensive parts of that matrix a
+//! once-per-session cost, the same way the verifier's
+//! `hanoi_verifier::poolcache::PoolCache` made quantifier pools a
+//! once-per-session cost:
+//!
+//! * **value interner** — every value that ever appears in a signature cell
+//!   is interned to a dense `u32` id ([`TermBank::intern`]), once per
+//!   distinct value per session.  Signature rows, deduplication and the
+//!   evaluation store all operate on ids, so the hot path hashes and
+//!   compares machine integers instead of walking constructor trees; the
+//!   booleans get the fixed ids [`TRUE_ID`]/[`FALSE_ID`], making boolean
+//!   cells (equality tests, connectives) entirely allocation- and hash-free;
+//! * **column-keyed evaluation store** — a signature cell for a
+//!   component-application term `f t₁ … tₖ` on world `w` depends only on the
+//!   component and the argument value ids `(sig(t₁)[w], …, sig(tₖ)[w])`,
+//!   never on the world index.  The bank memoizes
+//!   `(component, argument ids) → result id`, so when a new counterexample
+//!   appends a column to the signature matrix, every cell of every *old*
+//!   column is a cache hit and only the new column's genuinely new argument
+//!   rows reach the interpreter.  The memoization is semantically
+//!   transparent (each evaluation runs under a fresh fuel budget of the
+//!   same size, which is part of the key), which is what makes a
+//!   bank-backed engine return byte-identical predicates to a
+//!   rebuild-per-iteration engine — pinned by
+//!   `tests/synth_incremental_equivalence.rs`;
+//! * **constructor store** — structural cells (`S (S O)`-style constants)
+//!   are memoized by `(constructor, argument ids)` too, so repeated worlds
+//!   share one construction;
+//! * **world registry** — the root example values the bank has seen, used to
+//!   tag each guess's worlds as *old columns* (already paid for) or *new
+//!   columns* (this iteration's counterexamples) and to count column
+//!   appends;
+//! * **instrumentation hub** — terms enumerated, signature-column appends,
+//!   equivalence-class splits (previously-merged terms distinguished by a
+//!   new column) and bank hit/miss counters, surfaced through `RunStats`
+//!   and the `cegis_hot_path` bench's `synthesis_multi_cex` workload.
+//!
+//! The bank is owned by the CEGIS session (each synthesizer instance holds
+//! one across all of its `synthesize` calls) and is safe to share with the
+//! engine's parallel per-size layer construction: the stores sit behind
+//! mutexes with short critical sections, and concurrent misses for the same
+//! key simply evaluate the same pure function twice.  Which `u32` a value
+//! interns to may differ between runs, but every engine decision depends
+//! only on id *equality* within one bank, so outcomes are identical across
+//! worker counts.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hanoi_lang::eval::{Evaluator, Fuel};
+use hanoi_lang::symbol::Symbol;
+use hanoi_lang::value::Value;
+
+/// A fast, non-cryptographic hasher (splitmix64 finalization per write) for
+/// the bank's integer-keyed tables and the engine's signature-row sets.
+/// Lookup keys here are dense ids and id rows, where SipHash's per-hash
+/// overhead dominated the actual probe cost.
+#[derive(Debug, Default, Clone)]
+pub struct IdHasher(u64);
+
+impl IdHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        let mut z = (self.0 ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf) ^ (chunk.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// The [`std::hash::BuildHasher`] for [`IdHasher`]-backed tables.
+pub type IdHashBuilder = BuildHasherDefault<IdHasher>;
+
+/// The interned id of `True` (pre-interned by every bank).
+pub const TRUE_ID: u32 = 0;
+/// The interned id of `False` (pre-interned by every bank).
+pub const FALSE_ID: u32 = 1;
+
+/// The id of a boolean value.
+pub fn bool_id(b: bool) -> u32 {
+    if b {
+        TRUE_ID
+    } else {
+        FALSE_ID
+    }
+}
+
+/// The boolean denoted by an interned id, if it is one.  Because the two
+/// booleans are pre-interned at fixed ids, this never needs the interner.
+pub fn bool_of(id: u32) -> Option<bool> {
+    match id {
+        TRUE_ID => Some(true),
+        FALSE_ID => Some(false),
+        _ => None,
+    }
+}
+
+/// Counter snapshot of one synthesis session's term-bank activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TermBankStats {
+    /// Candidate terms enumerated (pre-deduplication) across all guesses.
+    pub terms_enumerated: u64,
+    /// Signature columns appended after the first synthesize call: one per
+    /// new example world (counterexamples plus their trace-completion
+    /// subvalues).
+    pub column_appends: u64,
+    /// Observational-equivalence classes re-split because a freshly appended
+    /// column distinguished previously-merged terms.
+    pub eq_class_splits: u64,
+    /// Component-application evaluations served from the bank without
+    /// touching the interpreter.
+    pub bank_hits: u64,
+    /// Component-application evaluations that reached the interpreter (each
+    /// becomes a cached row for every later iteration).
+    pub bank_misses: u64,
+    /// Number of `synthesize` calls the bank has served.
+    pub sessions: u64,
+    /// Distinct values interned by the session.
+    pub interned_values: u64,
+}
+
+impl TermBankStats {
+    /// Total component-application signature evaluations requested.
+    pub fn requests(&self) -> u64 {
+        self.bank_hits + self.bank_misses
+    }
+}
+
+/// The session-wide value interner: structural value ↔ dense id.
+#[derive(Debug)]
+struct Interner {
+    ids: HashMap<Value, u32, IdHashBuilder>,
+    values: Vec<Value>,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        let mut interner = Interner {
+            ids: HashMap::default(),
+            values: Vec::new(),
+        };
+        // Fixed boolean ids (see `TRUE_ID`/`FALSE_ID`).
+        interner.intern(&Value::tru());
+        interner.intern(&Value::fls());
+        interner
+    }
+
+    fn intern(&mut self, value: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.clone());
+        self.ids.insert(value.clone(), id);
+        id
+    }
+
+    fn value_of(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+}
+
+/// The interned argument-id tuple of an application or construction key.
+/// Tuples of up to four arguments (every benchmark component) are stored
+/// inline, so a cache probe allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ArgsKey {
+    Inline([u32; 4], u8),
+    Heap(Box<[u32]>),
+}
+
+impl ArgsKey {
+    fn new(args: &[u32]) -> ArgsKey {
+        if args.len() <= 4 {
+            let mut inline = [u32::MAX; 4];
+            inline[..args.len()].copy_from_slice(args);
+            ArgsKey::Inline(inline, args.len() as u8)
+        } else {
+            ArgsKey::Heap(args.into())
+        }
+    }
+}
+
+/// Key of one memoized application or construction: the interned name id of
+/// the component (or constructor), the interned argument ids, and — for
+/// applications — the fuel budget the evaluation ran under.
+type AppKey = (u32, ArgsKey, u64);
+type CtorKey = (u32, ArgsKey);
+
+/// The persistent term bank of one CEGIS session.
+#[derive(Debug)]
+pub struct TermBank {
+    interner: Mutex<Interner>,
+    /// Component/constructor names interned to dense ids, so cache keys hash
+    /// integers instead of strings.
+    names: Mutex<HashMap<Symbol, u32, IdHashBuilder>>,
+    /// `(component, argument ids, fuel) → result id` (`None` = the
+    /// application failed or ran out of fuel; failures are memoized too).
+    apps: Mutex<HashMap<AppKey, Option<u32>, IdHashBuilder>>,
+    /// `(constructor, argument ids) → constructed value id`.
+    ctors: Mutex<HashMap<CtorKey, u32, IdHashBuilder>>,
+    /// Ids of root example values whose signature columns have been paid
+    /// for.
+    worlds: Mutex<HashSet<u32, IdHashBuilder>>,
+    sessions: AtomicU64,
+    terms: AtomicU64,
+    appends: AtomicU64,
+    splits: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for TermBank {
+    fn default() -> Self {
+        TermBank {
+            interner: Mutex::new(Interner::new()),
+            names: Mutex::new(HashMap::default()),
+            apps: Mutex::new(HashMap::default()),
+            ctors: Mutex::new(HashMap::default()),
+            worlds: Mutex::new(HashSet::default()),
+            sessions: AtomicU64::new(0),
+            terms: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TermBank {
+    /// An empty bank.
+    pub fn new() -> TermBank {
+        TermBank::default()
+    }
+
+    /// Interns a value (idempotent; one tree walk per distinct value per
+    /// session).
+    pub fn intern(&self, value: &Value) -> u32 {
+        self.interner.lock().unwrap().intern(value)
+    }
+
+    /// The value denoted by an interned id.
+    pub fn value_of(&self, id: u32) -> Value {
+        self.interner.lock().unwrap().value_of(id).clone()
+    }
+
+    /// Interns a component or constructor *name* to a dense id (distinct
+    /// from the value-id space), so evaluation-cache keys hash integers.
+    pub fn name_id(&self, name: &Symbol) -> u32 {
+        let mut names = self.names.lock().unwrap();
+        let next = names.len() as u32;
+        *names.entry(name.clone()).or_insert(next)
+    }
+
+    /// Begins one `synthesize` call: registers the root example values and
+    /// returns, per example, its interned id and whether its signature
+    /// column is *new* to the bank.  Columns arriving after the first call
+    /// are counted as appends — the incremental cost of one CEGIS iteration.
+    pub fn begin_session(&self, examples: &[(Value, bool)]) -> Vec<(u32, bool)> {
+        let first = self.sessions.fetch_add(1, Ordering::Relaxed) == 0;
+        let columns: Vec<(u32, bool)> = examples
+            .iter()
+            .map(|(value, _)| {
+                let id = self.intern(value);
+                let is_new = self.worlds.lock().unwrap().insert(id);
+                (id, is_new)
+            })
+            .collect();
+        if !first {
+            let appended = columns.iter().filter(|(_, new)| *new).count() as u64;
+            self.appends.fetch_add(appended, Ordering::Relaxed);
+        }
+        columns
+    }
+
+    /// Evaluates `component` (with interned name id `name`) on the values
+    /// denoted by `arg_ids`, memoized.  Every actual evaluation runs under a
+    /// fresh `fuel`-step budget (part of the key), so the cached result is
+    /// exactly what an unmemoized engine would have computed.
+    pub fn apply_component(
+        &self,
+        evaluator: &Evaluator<'_>,
+        name: u32,
+        component: &Value,
+        arg_ids: &[u32],
+        fuel: u64,
+    ) -> Option<u32> {
+        let key: AppKey = (name, ArgsKey::new(arg_ids), fuel);
+        if let Some(cached) = self.apps.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let args: Vec<Value> = {
+            let interner = self.interner.lock().unwrap();
+            arg_ids
+                .iter()
+                .map(|&id| interner.value_of(id).clone())
+                .collect()
+        };
+        let result = evaluator
+            .apply_many(component.clone(), &args, &mut Fuel::new(fuel))
+            .ok()
+            .map(|value| self.intern(&value));
+        self.apps.lock().unwrap().insert(key, result);
+        result
+    }
+
+    /// Builds (and interns) the constructor application `ctor(args…)`,
+    /// memoized by argument ids so repeated worlds share one construction.
+    /// `name` is the interned name id, `ctor` the constructor symbol.
+    pub fn make_ctor(&self, name: u32, ctor: &Symbol, arg_ids: &[u32]) -> u32 {
+        let key: CtorKey = (name, ArgsKey::new(arg_ids));
+        if let Some(&cached) = self.ctors.lock().unwrap().get(&key) {
+            return cached;
+        }
+        let value = {
+            let interner = self.interner.lock().unwrap();
+            let args: Vec<Value> = arg_ids
+                .iter()
+                .map(|&id| interner.value_of(id).clone())
+                .collect();
+            Value::Ctor(ctor.clone(), args.into())
+        };
+        let id = self.intern(&value);
+        self.ctors.lock().unwrap().insert(key, id);
+        id
+    }
+
+    /// Records one guess's enumeration counters.
+    pub fn record_guess(&self, terms: u64, splits: u64) {
+        self.terms.fetch_add(terms, Ordering::Relaxed);
+        self.splits.fetch_add(splits, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the session counters.
+    pub fn stats(&self) -> TermBankStats {
+        TermBankStats {
+            terms_enumerated: self.terms.load(Ordering::Relaxed),
+            column_appends: self.appends.load(Ordering::Relaxed),
+            eq_class_splits: self.splits.load(Ordering::Relaxed),
+            bank_hits: self.hits.load(Ordering::Relaxed),
+            bank_misses: self.misses.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            interned_values: self.interner.lock().unwrap().values.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanoi_lang::types::TypeEnv;
+
+    fn nat_succ() -> Value {
+        Value::native("succ", 1, |args| {
+            Ok(Value::nat(args[0].as_nat().unwrap_or(0) + 1))
+        })
+    }
+
+    #[test]
+    fn booleans_have_fixed_ids() {
+        let bank = TermBank::new();
+        assert_eq!(bank.intern(&Value::tru()), TRUE_ID);
+        assert_eq!(bank.intern(&Value::fls()), FALSE_ID);
+        assert_eq!(bool_id(true), TRUE_ID);
+        assert_eq!(bool_of(FALSE_ID), Some(false));
+        // A freshly built structural boolean interns to the same id.
+        assert_eq!(bank.intern(&Value::bool(true)), TRUE_ID);
+        // Non-boolean ids are never booleans.
+        let nat = bank.intern(&Value::nat(3));
+        assert_eq!(bool_of(nat), None);
+        assert_eq!(bank.value_of(nat), Value::nat(3));
+    }
+
+    #[test]
+    fn application_results_are_memoized_including_failures() {
+        let tyenv = TypeEnv::new();
+        let evaluator = Evaluator::new(&tyenv);
+        let bank = TermBank::new();
+        let succ = nat_succ();
+        let name = bank.name_id(&Symbol::new("succ"));
+        assert_eq!(name, bank.name_id(&Symbol::new("succ")));
+        let one = bank.intern(&Value::nat(1));
+
+        let first = bank.apply_component(&evaluator, name, &succ, &[one], 100);
+        assert_eq!(first.map(|id| bank.value_of(id)), Some(Value::nat(2)));
+        let second = bank.apply_component(&evaluator, name, &succ, &[one], 100);
+        assert_eq!(second, first);
+        let stats = bank.stats();
+        assert_eq!(stats.bank_hits, 1);
+        assert_eq!(stats.bank_misses, 1);
+
+        // A non-function "component" fails to apply; the failure is memoized
+        // too.
+        let broken = Value::nat(0);
+        let broken_name = bank.name_id(&Symbol::new("broken"));
+        assert_ne!(broken_name, name);
+        assert_eq!(
+            bank.apply_component(&evaluator, broken_name, &broken, &[one], 100),
+            None
+        );
+        assert_eq!(
+            bank.apply_component(&evaluator, broken_name, &broken, &[one], 100),
+            None
+        );
+        assert_eq!(bank.stats().bank_hits, 2);
+    }
+
+    #[test]
+    fn constructor_cells_are_shared() {
+        let bank = TermBank::new();
+        let zero = bank.intern(&Value::nat(0));
+        let s = Symbol::new("S");
+        let s_id = bank.name_id(&s);
+        let one_a = bank.make_ctor(s_id, &s, &[zero]);
+        let one_b = bank.make_ctor(s_id, &s, &[zero]);
+        assert_eq!(one_a, one_b);
+        assert_eq!(bank.value_of(one_a), Value::nat(1));
+        // And the constructed value coincides with independent interning.
+        assert_eq!(bank.intern(&Value::nat(1)), one_a);
+    }
+
+    #[test]
+    fn inline_and_heap_argument_keys_roundtrip() {
+        let bank = TermBank::new();
+        let ids: Vec<u32> = (0..6).map(|n| bank.intern(&Value::nat(n))).collect();
+        let tuple = Symbol::new("Wide");
+        let wide = bank.name_id(&tuple);
+        // Six arguments exceed the inline capacity and fall back to the heap
+        // key; memoization must still hit.
+        let a = bank.make_ctor(wide, &tuple, &ids);
+        let b = bank.make_ctor(wide, &tuple, &ids);
+        assert_eq!(a, b);
+        assert_ne!(ArgsKey::new(&ids[..2]), ArgsKey::new(&ids[..3]));
+    }
+
+    #[test]
+    fn sessions_tag_new_columns_and_count_appends() {
+        let bank = TermBank::new();
+        let first = bank.begin_session(&[(Value::nat(0), true), (Value::nat(1), false)]);
+        // The initial population is not an append.
+        assert_eq!(
+            first.iter().map(|(_, new)| *new).collect::<Vec<_>>(),
+            vec![true, true]
+        );
+        assert_eq!(bank.stats().column_appends, 0);
+
+        // One counterexample arrives: exactly one new column.
+        let second = bank.begin_session(&[
+            (Value::nat(0), true),
+            (Value::nat(1), false),
+            (Value::nat(2), false),
+        ]);
+        assert_eq!(
+            second.iter().map(|(_, new)| *new).collect::<Vec<_>>(),
+            vec![false, false, true]
+        );
+        // Ids are stable across sessions.
+        assert_eq!(first[0].0, second[0].0);
+        assert_eq!(first[1].0, second[1].0);
+        let stats = bank.stats();
+        assert_eq!(stats.column_appends, 1);
+        assert_eq!(stats.sessions, 2);
+
+        // Re-running with the same examples appends nothing.
+        let third = bank.begin_session(&[(Value::nat(2), false)]);
+        assert_eq!(third, vec![(second[2].0, false)]);
+        assert_eq!(bank.stats().column_appends, 1);
+    }
+}

@@ -13,9 +13,16 @@ use hanoi_lang::eval::Fuel;
 use crate::examples::ExampleSet;
 
 /// A store of previously synthesized candidate invariants.
+///
+/// Candidates are slot-resolved once at insertion, so every consistency probe
+/// against the growing example sets runs on the interpreter's indexed fast
+/// path (fuel-identical to the name-based walk, so lookup outcomes are
+/// unchanged).
 #[derive(Debug, Clone, Default)]
 pub struct SynthesisCache {
     candidates: Vec<Expr>,
+    /// Slot-resolved twin of each candidate, index-parallel to `candidates`.
+    resolved: Vec<Expr>,
     hits: usize,
     misses: usize,
 }
@@ -29,6 +36,7 @@ impl SynthesisCache {
     /// Records a candidate (deduplicated syntactically).
     pub fn insert(&mut self, candidate: Expr) {
         if !self.candidates.contains(&candidate) {
+            self.resolved.push(hanoi_lang::resolve::resolve(&candidate));
             self.candidates.push(candidate);
         }
     }
@@ -40,15 +48,16 @@ impl SynthesisCache {
         let found = self
             .candidates
             .iter()
-            .find(|candidate| {
+            .zip(&self.resolved)
+            .find(|(_, resolved)| {
                 labeled.iter().all(|(value, expected)| {
                     problem
-                        .eval_predicate_with_fuel(candidate, value, &mut Fuel::standard())
+                        .eval_predicate_resolved_with_fuel(resolved, value, &mut Fuel::standard())
                         .map(|actual| actual == *expected)
                         .unwrap_or(false)
                 })
             })
-            .cloned();
+            .map(|(candidate, _)| candidate.clone());
         if found.is_some() {
             self.hits += 1;
         } else {

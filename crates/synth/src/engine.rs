@@ -21,17 +21,43 @@
 //! against the examples with *real* recursion, and returning it only if it
 //! still separates them — this preserves the `Synth` soundness contract even
 //! where trace completeness was imperfect.
+//!
+//! # Incremental, parallel guessing
+//!
+//! Guessing is backed by a persistent [`TermBank`] (see [`crate::bank`]):
+//!
+//! * the expensive signature cells — interpreter runs of component
+//!   applications — are memoized in the bank by `(component, argument
+//!   values)`, so a CEGIS iteration that adds one counterexample only pays
+//!   for that example's *column* of the signature matrix;
+//! * component-application batches (one `compositions` split × cartesian
+//!   product of argument layers) are evaluated in parallel on
+//!   [`hanoi_verifier::parallel::par_map`], with results merged back in
+//!   enumeration order — a parallel guess returns byte-identical predicates
+//!   to a serial one;
+//! * signature cells are interned value ids (see [`crate::bank`]), so
+//!   deduplication hashes rows of machine integers into 64-bit table
+//!   fingerprints instead of comparing `Vec<Option<Value>>` deeply, boolean
+//!   cells never allocate, and the old-column row projection detects
+//!   equivalence classes that a freshly appended column has split;
+//! * component closures, candidate predicates and the examples-consistency
+//!   re-check all run on the interpreter's slot-resolved fast path
+//!   ([`hanoi_lang::resolve`]).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::{Expr, MatchArm, Pattern};
 use hanoi_lang::eval::Fuel;
+use hanoi_lang::resolve::{resolve, resolve_closure_value};
 use hanoi_lang::symbol::Symbol;
 use hanoi_lang::types::{Type, TypeEnv};
 use hanoi_lang::util::Deadline;
 use hanoi_lang::value::Value;
+use hanoi_verifier::parallel::{effective_workers, par_map};
 
+use crate::bank::{bool_id, bool_of, IdHashBuilder, TermBank};
 use crate::error::SynthError;
 use crate::examples::ExampleSet;
 
@@ -39,6 +65,13 @@ use crate::examples::ExampleSet;
 pub const REC_NAME: &str = "inv";
 /// The name of the predicate's argument.
 pub const ARG_NAME: &str = "x";
+
+/// Minimum component-application batch size worth fanning out to the scoped
+/// thread pool.  `par_map` spawns and joins fresh OS threads per call (tens
+/// of microseconds), and a warm-bank batch cell costs ~0.1µs, so small
+/// batches — the overwhelmingly common case at small term sizes — are
+/// evaluated inline.
+const PAR_BATCH_MIN: usize = 64;
 
 /// An additional component made available to the search (used by
 /// [`crate::FoldSynth`] for the auxiliary catamorphisms it synthesizes
@@ -72,6 +105,12 @@ pub struct SearchConfig {
     pub allow_recursion: bool,
     /// Extra components (beyond the problem's prelude and module operations).
     pub extra_components: Vec<ExtraComponent>,
+    /// Worker threads for per-size layer construction: `None` (the
+    /// default) inherits the run-wide knob when driver-constructed and is
+    /// serial otherwise; `Some(1)` forces serial, `Some(0)` uses one worker
+    /// per available core, any other value is taken literally.  Parallel
+    /// guessing is outcome-identical to serial guessing.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -82,6 +121,7 @@ impl Default for SearchConfig {
             fuel: 20_000,
             allow_recursion: true,
             extra_components: Vec::new(),
+            parallelism: None,
         }
     }
 }
@@ -101,25 +141,40 @@ impl SearchConfig {
 #[derive(Debug, Clone)]
 struct FuncComponent {
     name: Symbol,
+    /// The name interned in the session bank (evaluation-cache key).
+    bank_id: u32,
     arg_tys: Vec<Type>,
     ret_ty: Type,
     value: Value,
 }
+
+/// A term signature: one evaluation result per example world, as interned
+/// value ids (`None` = the evaluation failed on that world).  Rows are
+/// shared by reference and compared as integer slices.
+type SigRow = Arc<[Option<u32>]>;
+
+/// The old-column projection of a signature row (split detection).
+type OldRow = Box<[Option<u32>]>;
 
 /// A term kept in the enumeration pool: its syntax and its evaluation
 /// signature across the example worlds.
 #[derive(Debug, Clone)]
 struct PoolTerm {
     expr: Expr,
-    sig: Vec<Option<Value>>,
+    sig: SigRow,
 }
 
 /// The example worlds for one search node: per world, the values of every
-/// in-scope variable (parallel to the context) and the expected output.
+/// in-scope variable (parallel to the context) with their interned ids, the
+/// expected output, and whether this world's signature column is new to the
+/// session's term bank.
 #[derive(Debug, Clone)]
 struct WorldRow {
     values: Vec<Value>,
+    /// `values` interned in the session bank, index-parallel.
+    ids: Vec<u32>,
     expected: bool,
+    is_new: bool,
 }
 
 /// The search engine.
@@ -141,26 +196,50 @@ impl<'p> Engine<'p> {
     }
 
     /// Synthesizes a predicate of type `τc -> bool` consistent with
-    /// `examples` (which the caller should already have trace-completed).
+    /// `examples` (which the caller should already have trace-completed),
+    /// with a throwaway term bank — the rebuild-per-call baseline.
     pub fn synthesize(
         &self,
         examples: &ExampleSet,
         deadline: &Deadline,
     ) -> Result<Expr, SynthError> {
+        self.synthesize_with_bank(&TermBank::new(), examples, deadline)
+    }
+
+    /// [`Engine::synthesize`] against a persistent [`TermBank`]: signature
+    /// evaluations already paid for by earlier calls (previous CEGIS
+    /// iterations) are reused, so only the new examples' signature columns
+    /// reach the interpreter.  Results are identical to a fresh-bank call.
+    pub fn synthesize_with_bank(
+        &self,
+        bank: &TermBank,
+        examples: &ExampleSet,
+        deadline: &Deadline,
+    ) -> Result<Expr, SynthError> {
         let concrete = self.problem.concrete_type().clone();
         let labeled = examples.labeled();
-        let example_table: HashMap<Value, bool> = labeled.iter().cloned().collect();
+        let columns = bank.begin_session(&labeled);
+        // Labels keyed by interned id: recursive-call signatures probe this
+        // once per world without rehashing the value.
+        let example_table: HashMap<u32, bool> = columns
+            .iter()
+            .zip(&labeled)
+            .map(|((id, _), (_, expected))| (*id, *expected))
+            .collect();
 
         let ctx = vec![(Symbol::new(ARG_NAME), concrete.clone())];
         let worlds: Vec<WorldRow> = labeled
             .iter()
-            .map(|(v, expected)| WorldRow {
+            .zip(&columns)
+            .map(|((v, expected), (id, is_new))| WorldRow {
                 values: vec![v.clone()],
+                ids: vec![*id],
                 expected: *expected,
+                is_new: *is_new,
             })
             .collect();
 
-        let components = self.function_components();
+        let components = self.function_components(bank);
         let mut counter = 0usize;
 
         for &(match_depth, guess_size) in &self.config.schedule {
@@ -168,6 +247,7 @@ impl<'p> Engine<'p> {
                 return Err(SynthError::Timeout);
             }
             let body = self.synth_node(
+                bank,
                 &ctx,
                 &worlds,
                 match_depth,
@@ -214,18 +294,27 @@ impl<'p> Engine<'p> {
     }
 
     /// Checks an assembled predicate against the examples using real
-    /// recursion.
+    /// recursion, on the slot-resolved fast path (fuel-identical to the
+    /// name-based walk).
     fn consistent_with_examples(&self, predicate: &Expr, examples: &ExampleSet) -> bool {
+        let resolved = resolve(predicate);
         examples.labeled().iter().all(|(value, expected)| {
             self.problem
-                .eval_predicate_with_fuel(predicate, value, &mut Fuel::new(self.config.fuel * 10))
+                .eval_predicate_resolved_with_fuel(
+                    &resolved,
+                    value,
+                    &mut Fuel::new(self.config.fuel * 10),
+                )
                 .map(|actual| actual == *expected)
                 .unwrap_or(false)
         })
     }
 
-    /// The function-like components visible to term generation.
-    fn function_components(&self) -> Vec<FuncComponent> {
+    /// The function-like components visible to term generation, with their
+    /// closures slot-resolved so signature evaluation runs on the
+    /// interpreter's indexed fast path, and their names interned in the
+    /// session bank.
+    fn function_components(&self, bank: &TermBank) -> Vec<FuncComponent> {
         let mut out = Vec::new();
         for (name, ty) in self.problem.synthesis_components() {
             let (args, ret) = ty.uncurry();
@@ -236,14 +325,15 @@ impl<'p> Engine<'p> {
             {
                 continue;
             }
-            let Some(value) = self.problem.globals.lookup(&name).cloned() else {
+            let Some(value) = self.problem.globals.lookup(&name) else {
                 continue;
             };
             out.push(FuncComponent {
+                bank_id: bank.name_id(&name),
                 name,
                 arg_tys: args.into_iter().cloned().collect(),
                 ret_ty: ret.clone(),
-                value,
+                value: resolve_closure_value(value),
             });
         }
         for extra in &self.config.extra_components {
@@ -253,9 +343,10 @@ impl<'p> Engine<'p> {
             }
             out.push(FuncComponent {
                 name: extra.name.clone(),
+                bank_id: bank.name_id(&extra.name),
                 arg_tys: args.into_iter().cloned().collect(),
                 ret_ty: ret.clone(),
-                value: extra.value.clone(),
+                value: resolve_closure_value(&extra.value),
             });
         }
         out
@@ -280,12 +371,13 @@ impl<'p> Engine<'p> {
     #[allow(clippy::too_many_arguments)]
     fn synth_node(
         &self,
+        bank: &TermBank,
         ctx: &[(Symbol, Type)],
         worlds: &[WorldRow],
         match_depth: usize,
         guess_size: usize,
         components: &[FuncComponent],
-        example_table: &HashMap<Value, bool>,
+        example_table: &HashMap<u32, bool>,
         counter: &mut usize,
         deadline: &Deadline,
         matched_vars: &mut HashSet<Symbol>,
@@ -296,9 +388,15 @@ impl<'p> Engine<'p> {
         if worlds.is_empty() {
             return Ok(Some(Expr::tru()));
         }
-        if let Some(found) =
-            self.guess(ctx, worlds, guess_size, components, example_table, deadline)?
-        {
+        if let Some(found) = self.guess(
+            bank,
+            ctx,
+            worlds,
+            guess_size,
+            components,
+            example_table,
+            deadline,
+        )? {
             return Ok(Some(found));
         }
         if match_depth == 0 {
@@ -342,16 +440,23 @@ impl<'p> Engine<'p> {
                     .filter_map(|row| match &row.values[index] {
                         Value::Ctor(c, args) if c == &ctor.name => {
                             let mut values = row.values.clone();
-                            values.extend(args.iter().cloned());
+                            let mut ids = row.ids.clone();
+                            for arg in args.iter() {
+                                ids.push(bank.intern(arg));
+                                values.push(arg.clone());
+                            }
                             Some(WorldRow {
                                 values,
+                                ids,
                                 expected: row.expected,
+                                is_new: row.is_new,
                             })
                         }
                         _ => None,
                     })
                     .collect();
                 let body = self.synth_node(
+                    bank,
                     &arm_ctx,
                     &arm_worlds,
                     match_depth - 1,
@@ -387,34 +492,67 @@ impl<'p> Engine<'p> {
         Ok(None)
     }
 
-    /// Bottom-up, observational-equivalence-pruned term guessing.
+    /// Bottom-up, observational-equivalence-pruned term guessing, with
+    /// bank-memoized signature evaluation and parallel per-size layer
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
     fn guess(
         &self,
+        bank: &TermBank,
         ctx: &[(Symbol, Type)],
         worlds: &[WorldRow],
         max_size: usize,
         components: &[FuncComponent],
-        example_table: &HashMap<Value, bool>,
+        example_table: &HashMap<u32, bool>,
         deadline: &Deadline,
     ) -> Result<Option<Expr>, SynthError> {
-        let target: Vec<Option<Value>> = worlds
-            .iter()
-            .map(|w| Some(Value::bool(w.expected)))
-            .collect();
         let types = self.types_of_interest(ctx, components);
+        let target: SigRow = worlds.iter().map(|w| Some(bool_id(w.expected))).collect();
+        let old_mask: Vec<bool> = worlds.iter().map(|w| !w.is_new).collect();
+        let mut pool = Pool::new(&types, max_size);
+        let mut sieve = Sieve::new(&types, target, old_mask, self.config.max_terms_per_layer);
+        let result = self.guess_into(
+            bank,
+            ctx,
+            worlds,
+            max_size,
+            components,
+            example_table,
+            deadline,
+            &mut pool,
+            &mut sieve,
+        );
+        bank.record_guess(sieve.terms, sieve.splits);
+        result.map(|()| sieve.matched)
+    }
+
+    /// The generation loop of [`Engine::guess`], writing into `pool`/`sieve`.
+    #[allow(clippy::too_many_arguments)]
+    fn guess_into(
+        &self,
+        bank: &TermBank,
+        ctx: &[(Symbol, Type)],
+        worlds: &[WorldRow],
+        max_size: usize,
+        components: &[FuncComponent],
+        example_table: &HashMap<u32, bool>,
+        deadline: &Deadline,
+        pool: &mut Pool,
+        sieve: &mut Sieve,
+    ) -> Result<(), SynthError> {
         let concrete = self.problem.concrete_type();
         let tyenv = &self.problem.tyenv;
         let evaluator = self.problem.evaluator();
-
-        let mut state = GuessState::new(&types, target, max_size, self.config.max_terms_per_layer);
+        let bool_ty = Type::bool();
+        let workers = effective_workers(self.config.parallelism.unwrap_or(1));
+        // Iterate types in stratification order (HashMap iteration order is
+        // nondeterministic; generation must not be).
+        let types = sieve.type_order.clone();
 
         // Size 1: variables and nullary constructors.
         for (index, (name, ty)) in ctx.iter().enumerate() {
-            let sig: Vec<Option<Value>> = worlds
-                .iter()
-                .map(|w| Some(w.values[index].clone()))
-                .collect();
-            state.add(ty, 1, Expr::Var(name.clone()), sig);
+            let sig: SigRow = worlds.iter().map(|w| Some(w.ids[index])).collect();
+            sieve.add(ty, sig, || Expr::Var(name.clone()));
         }
         for ty in &types {
             let Type::Named(type_name) = ty else { continue };
@@ -425,13 +563,14 @@ impl<'p> Engine<'p> {
                 if !ctor.args.is_empty() {
                     continue;
                 }
-                let value = Value::Ctor(ctor.name.clone(), std::sync::Arc::from([]));
-                let sig: Vec<Option<Value>> = worlds.iter().map(|_| Some(value.clone())).collect();
-                state.add(ty, 1, Expr::Ctor(ctor.name.clone(), Vec::new()), sig);
+                let id = bank.make_ctor(bank.name_id(&ctor.name), &ctor.name, &[]);
+                let sig: SigRow = worlds.iter().map(|_| Some(id)).collect();
+                sieve.add(ty, sig, || Expr::Ctor(ctor.name.clone(), Vec::new()));
             }
         }
-        if state.matched.is_some() {
-            return Ok(state.matched);
+        pool.freeze(sieve, 1);
+        if sieve.matched.is_some() {
+            return Ok(());
         }
 
         // Larger sizes.
@@ -447,50 +586,63 @@ impl<'p> Engine<'p> {
                     if ty != concrete {
                         continue;
                     }
-                    let sig: Vec<Option<Value>> = worlds
+                    let sig: SigRow = worlds
                         .iter()
-                        .map(|w| example_table.get(&w.values[index]).map(|b| Value::bool(*b)))
+                        .map(|w| example_table.get(&w.ids[index]).map(|b| bool_id(*b)))
                         .collect();
-                    let expr = Expr::call(REC_NAME, [Expr::Var(name.clone())]);
-                    state.add(&Type::bool(), size, expr, sig);
+                    sieve.add(&bool_ty, sig, || {
+                        Expr::call(REC_NAME, [Expr::Var(name.clone())])
+                    });
                 }
             }
 
-            // Saturated applications of function components.
+            // Saturated applications of function components: the one place
+            // signature evaluation runs the interpreter.  Each
+            // (component, size split) batch is evaluated through the term
+            // bank — in parallel when large enough — and merged back in
+            // enumeration order, so parallel guessing stays deterministic.
             for component in components {
                 let k = component.arg_tys.len();
-                if size < 1 + 2 * k || !state.has_type(&component.ret_ty) {
+                if size < 1 + 2 * k || !pool.has_type(&component.ret_ty) {
                     continue;
                 }
-                for split in compositions(size - 1 - k, k) {
-                    let Some(arg_layers) = state.layers(&component.arg_tys, &split) else {
+                for split in compositions(size - 1 - k, k).iter() {
+                    let Some(arg_layers) = pool.gather(&component.arg_tys, split) else {
                         continue;
                     };
-                    let slices: Vec<&[PoolTerm]> = arg_layers.iter().map(Vec::as_slice).collect();
-                    let mut new_terms = Vec::new();
-                    cartesian(&slices, &mut |choice: &[&PoolTerm]| {
-                        let sig: Vec<Option<Value>> = (0..worlds.len())
+                    let choices = cartesian_choices(&arg_layers);
+                    let eval_row = |choice: &Vec<&PoolTerm>| -> SigRow {
+                        let mut arg_ids = vec![0u32; choice.len()];
+                        (0..worlds.len())
                             .map(|w| {
-                                let args: Option<Vec<Value>> =
-                                    choice.iter().map(|t| t.sig[w].clone()).collect();
-                                let args = args?;
-                                let mut fuel = Fuel::new(self.config.fuel);
-                                evaluator
-                                    .apply_many(component.value.clone(), &args, &mut fuel)
-                                    .ok()
+                                for (slot, term) in choice.iter().enumerate() {
+                                    arg_ids[slot] = term.sig[w]?;
+                                }
+                                bank.apply_component(
+                                    &evaluator,
+                                    component.bank_id,
+                                    &component.value,
+                                    &arg_ids,
+                                    self.config.fuel,
+                                )
                             })
-                            .collect();
-                        let expr = Expr::apps(
-                            Expr::Var(component.name.clone()),
-                            choice.iter().map(|t| t.expr.clone()),
-                        );
-                        new_terms.push((expr, sig));
-                    });
-                    for (expr, sig) in new_terms {
-                        state.add(&component.ret_ty, size, expr, sig);
+                            .collect()
+                    };
+                    let rows: Vec<SigRow> = if workers > 1 && choices.len() >= PAR_BATCH_MIN {
+                        par_map(&choices, workers, eval_row)
+                    } else {
+                        choices.iter().map(eval_row).collect()
+                    };
+                    for (choice, sig) in choices.iter().zip(rows) {
+                        sieve.add(&component.ret_ty, sig, || {
+                            Expr::apps(
+                                Expr::Var(component.name.clone()),
+                                choice.iter().map(|t| t.expr.clone()),
+                            )
+                        });
                     }
-                    if state.matched.is_some() {
-                        return Ok(state.matched);
+                    if sieve.matched.is_some() {
+                        return Ok(());
                     }
                 }
             }
@@ -515,32 +667,30 @@ impl<'p> Engine<'p> {
                     if k == 0 || size < 1 + k {
                         continue;
                     }
-                    for split in compositions(size - 1, k) {
-                        let Some(arg_layers) = state.layers(&ctor_args, &split) else {
+                    let ctor_id = bank.name_id(&ctor_name);
+                    for split in compositions(size - 1, k).iter() {
+                        let Some(arg_layers) = pool.gather(&ctor_args, split) else {
                             continue;
                         };
-                        let slices: Vec<&[PoolTerm]> =
-                            arg_layers.iter().map(Vec::as_slice).collect();
-                        let mut new_terms = Vec::new();
-                        cartesian(&slices, &mut |choice: &[&PoolTerm]| {
-                            let sig: Vec<Option<Value>> = (0..worlds.len())
+                        cartesian(&arg_layers, &mut |choice: &[&PoolTerm]| {
+                            let mut arg_ids = vec![0u32; choice.len()];
+                            let sig: SigRow = (0..worlds.len())
                                 .map(|w| {
-                                    let args: Option<Vec<Value>> =
-                                        choice.iter().map(|t| t.sig[w].clone()).collect();
-                                    args.map(|args| Value::Ctor(ctor_name.clone(), args.into()))
+                                    for (slot, term) in choice.iter().enumerate() {
+                                        arg_ids[slot] = term.sig[w]?;
+                                    }
+                                    Some(bank.make_ctor(ctor_id, &ctor_name, &arg_ids))
                                 })
                                 .collect();
-                            let expr = Expr::Ctor(
-                                ctor_name.clone(),
-                                choice.iter().map(|t| t.expr.clone()).collect(),
-                            );
-                            new_terms.push((expr, sig));
+                            sieve.add(ty, sig, || {
+                                Expr::Ctor(
+                                    ctor_name.clone(),
+                                    choice.iter().map(|t| t.expr.clone()).collect(),
+                                )
+                            });
                         });
-                        for (expr, sig) in new_terms {
-                            state.add(ty, size, expr, sig);
-                        }
-                        if state.matched.is_some() {
-                            return Ok(state.matched);
+                        if sieve.matched.is_some() {
+                            return Ok(());
                         }
                     }
                 }
@@ -549,32 +699,30 @@ impl<'p> Engine<'p> {
             // Structural equality between same-type terms.
             if size >= 3 {
                 for ty in &types {
-                    if ty == &Type::bool() {
+                    if ty == &bool_ty {
                         continue;
                     }
-                    for split in compositions(size - 1, 2) {
-                        let Some(arg_layers) = state.layers(&[ty.clone(), ty.clone()], &split)
-                        else {
+                    for split in compositions(size - 1, 2).iter() {
+                        let lhs = pool.layer(ty, split[0]);
+                        let rhs = pool.layer(ty, split[1]);
+                        if lhs.is_empty() || rhs.is_empty() {
                             continue;
-                        };
-                        for a in &arg_layers[0] {
-                            for b in &arg_layers[1] {
-                                let sig: Vec<Option<Value>> = (0..worlds.len())
-                                    .map(|w| match (&a.sig[w], &b.sig[w]) {
-                                        (Some(x), Some(y)) => Some(Value::bool(x == y)),
+                        }
+                        for a in lhs {
+                            for b in rhs {
+                                let sig: SigRow = (0..worlds.len())
+                                    .map(|w| match (a.sig[w], b.sig[w]) {
+                                        (Some(x), Some(y)) => Some(bool_id(x == y)),
                                         _ => None,
                                     })
                                     .collect();
-                                state.add(
-                                    &Type::bool(),
-                                    size,
-                                    Expr::eq(a.expr.clone(), b.expr.clone()),
-                                    sig,
-                                );
+                                sieve.add(&bool_ty, sig, || {
+                                    Expr::eq(a.expr.clone(), b.expr.clone())
+                                });
                             }
                         }
-                        if state.matched.is_some() {
-                            return Ok(state.matched);
+                        if sieve.matched.is_some() {
+                            return Ok(());
                         }
                     }
                 }
@@ -582,140 +730,225 @@ impl<'p> Engine<'p> {
 
             // Boolean connectives.
             if size >= 2 {
-                let nots: Vec<PoolTerm> = state.layer(&Type::bool(), size - 1).to_vec();
-                for term in nots {
-                    let sig: Vec<Option<Value>> = term
+                for term in pool.layer(&bool_ty, size - 1) {
+                    let sig: SigRow = term
                         .sig
                         .iter()
-                        .map(|v| v.as_ref().and_then(Value::as_bool).map(|b| Value::bool(!b)))
+                        .map(|v| v.and_then(bool_of).map(|b| bool_id(!b)))
                         .collect();
-                    state.add(&Type::bool(), size, Expr::not(term.expr.clone()), sig);
+                    sieve.add(&bool_ty, sig, || Expr::not(term.expr.clone()));
                 }
             }
             if size >= 3 {
-                for split in compositions(size - 1, 2) {
-                    let lhs = state.layer(&Type::bool(), split[0]).to_vec();
-                    let rhs = state.layer(&Type::bool(), split[1]).to_vec();
-                    for a in &lhs {
-                        for b in &rhs {
+                for split in compositions(size - 1, 2).iter() {
+                    let lhs = pool.layer(&bool_ty, split[0]);
+                    let rhs = pool.layer(&bool_ty, split[1]);
+                    for a in lhs {
+                        for b in rhs {
                             for conj in [true, false] {
-                                let sig: Vec<Option<Value>> = (0..worlds.len())
+                                let sig: SigRow = (0..worlds.len())
                                     .map(|w| {
-                                        let x = a.sig[w].as_ref().and_then(Value::as_bool)?;
-                                        let y = b.sig[w].as_ref().and_then(Value::as_bool)?;
-                                        Some(Value::bool(if conj { x && y } else { x || y }))
+                                        let x = a.sig[w].and_then(bool_of)?;
+                                        let y = b.sig[w].and_then(bool_of)?;
+                                        Some(bool_id(if conj { x && y } else { x || y }))
                                     })
                                     .collect();
-                                let expr = if conj {
-                                    Expr::and(a.expr.clone(), b.expr.clone())
-                                } else {
-                                    Expr::or(a.expr.clone(), b.expr.clone())
-                                };
-                                state.add(&Type::bool(), size, expr, sig);
+                                sieve.add(&bool_ty, sig, || {
+                                    if conj {
+                                        Expr::and(a.expr.clone(), b.expr.clone())
+                                    } else {
+                                        Expr::or(a.expr.clone(), b.expr.clone())
+                                    }
+                                });
                             }
                         }
                     }
-                    if state.matched.is_some() {
-                        return Ok(state.matched);
+                    if sieve.matched.is_some() {
+                        return Ok(());
                     }
                 }
             }
-            if state.matched.is_some() {
-                return Ok(state.matched);
+            pool.freeze(sieve, size);
+            if sieve.matched.is_some() {
+                return Ok(());
             }
         }
-        Ok(state.matched)
+        Ok(())
     }
 }
 
-/// The term pool of one guessing pass, stratified by type and size and pruned
-/// by observational equivalence.
-struct GuessState {
-    pool: HashMap<Type, Vec<Vec<PoolTerm>>>,
-    seen: HashMap<Type, HashSet<Vec<Option<Value>>>>,
-    target: Vec<Option<Value>>,
-    matched: Option<Expr>,
-    max_per_layer: usize,
+/// The frozen layers of one guessing pass, stratified by type and size.
+/// Layers below the size currently being generated are immutable, so reads
+/// hand out slices (no snapshot clones) while the current size accumulates
+/// in the [`Sieve`]'s staging area.
+struct Pool {
+    layers: HashMap<Type, Vec<Vec<PoolTerm>>>,
 }
 
-impl GuessState {
-    fn new(
-        types: &[Type],
-        target: Vec<Option<Value>>,
-        max_size: usize,
-        max_per_layer: usize,
-    ) -> Self {
-        GuessState {
-            pool: types
+impl Pool {
+    fn new(types: &[Type], max_size: usize) -> Pool {
+        Pool {
+            layers: types
                 .iter()
                 .map(|t| (t.clone(), vec![Vec::new(); max_size]))
                 .collect(),
-            seen: types.iter().map(|t| (t.clone(), HashSet::new())).collect(),
-            target,
-            matched: None,
-            max_per_layer,
         }
     }
 
     fn has_type(&self, ty: &Type) -> bool {
-        self.pool.contains_key(ty)
+        self.layers.contains_key(ty)
     }
 
     /// The terms of `ty` with exactly `size` nodes (empty slice if the type
     /// is not tracked).
     fn layer(&self, ty: &Type, size: usize) -> &[PoolTerm] {
-        self.pool
+        self.layers
             .get(ty)
             .and_then(|layers| layers.get(size - 1))
             .map_or(&[], Vec::as_slice)
     }
 
-    /// Clones the layers for an argument-type/size split, or `None` when a
+    /// The layer slices for an argument-type/size split, or `None` when a
     /// type is untracked or a layer is empty.
-    fn layers(&self, tys: &[Type], split: &[usize]) -> Option<Vec<Vec<PoolTerm>>> {
+    fn gather<'a>(&'a self, tys: &[Type], split: &[usize]) -> Option<Vec<&'a [PoolTerm]>> {
         let mut out = Vec::with_capacity(tys.len());
         for (ty, &size) in tys.iter().zip(split) {
             let layer = self.layer(ty, size);
             if layer.is_empty() {
                 return None;
             }
-            out.push(layer.to_vec());
+            out.push(layer);
         }
         Some(out)
     }
 
-    /// Adds a term unless an observationally equivalent one is present;
-    /// records a match when a boolean term hits the target signature.
-    fn add(&mut self, ty: &Type, size: usize, expr: Expr, sig: Vec<Option<Value>>) {
-        if self.matched.is_some() {
-            return;
+    /// Moves the sieve's staged terms into this pool as the (now immutable)
+    /// layer for `size`.
+    fn freeze(&mut self, sieve: &mut Sieve, size: usize) {
+        for (ty, staged) in sieve.staging.iter_mut() {
+            if let Some(layers) = self.layers.get_mut(ty) {
+                if let Some(layer) = layers.get_mut(size - 1) {
+                    *layer = std::mem::take(staged);
+                }
+            }
         }
-        let Some(layers) = self.pool.get_mut(ty) else {
-            return;
-        };
-        let Some(layer) = layers.get_mut(size - 1) else {
-            return;
-        };
-        if layer.len() >= self.max_per_layer {
-            return;
-        }
-        let seen = self
-            .seen
-            .get_mut(ty)
-            .expect("seen table mirrors pool table");
-        if !seen.insert(sig.clone()) {
-            return;
-        }
-        if ty == &Type::bool() && sig == self.target {
-            self.matched = Some(expr);
-            return;
-        }
-        layer.push(PoolTerm { expr, sig });
     }
 }
 
-/// All ways to write `total` as an ordered sum of `parts` positive integers.
-fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+/// The deduplication and match-detection state of one guessing pass.
+///
+/// Signature rows are interned-id slices, hashed whole into the seen-set's
+/// 64-bit table fingerprints — a handful of integer operations per probe
+/// where the engine used to hash and compare `Vec<Option<Value>>` trees.
+/// When the pass has both old and new signature columns (an incremental
+/// CEGIS iteration), each kept term's row is also projected onto the old
+/// columns alone: a projection collision with full-row distinctness means a
+/// previously-merged equivalence class has been split by the new columns,
+/// which is counted for the session statistics.
+struct Sieve {
+    /// Insertion-ordered stratification types (generation must not depend on
+    /// `HashMap` iteration order).
+    type_order: Vec<Type>,
+    /// Terms kept at the size currently being generated.
+    staging: HashMap<Type, Vec<PoolTerm>>,
+    /// Signature rows of every kept term, per type.
+    seen: HashMap<Type, HashSet<SigRow, IdHashBuilder>>,
+    /// Old-column projections of kept rows (only tracked incrementally).
+    seen_old: HashMap<Type, HashSet<OldRow, IdHashBuilder>>,
+    /// Per world: `true` when the column was already known to the bank.
+    old_mask: Vec<bool>,
+    /// Whether this pass mixes old and new columns.
+    track_splits: bool,
+    target: SigRow,
+    bool_ty: Type,
+    matched: Option<Expr>,
+    max_per_layer: usize,
+    terms: u64,
+    splits: u64,
+}
+
+impl Sieve {
+    fn new(types: &[Type], target: SigRow, old_mask: Vec<bool>, max_per_layer: usize) -> Sieve {
+        let track_splits = old_mask.iter().any(|&o| o) && old_mask.iter().any(|&o| !o);
+        Sieve {
+            type_order: types.to_vec(),
+            staging: types.iter().map(|t| (t.clone(), Vec::new())).collect(),
+            seen: types
+                .iter()
+                .map(|t| (t.clone(), HashSet::default()))
+                .collect(),
+            seen_old: types
+                .iter()
+                .map(|t| (t.clone(), HashSet::default()))
+                .collect(),
+            old_mask,
+            track_splits,
+            target,
+            bool_ty: Type::bool(),
+            matched: None,
+            max_per_layer,
+            terms: 0,
+            splits: 0,
+        }
+    }
+
+    /// Considers one candidate term: deduplicates by signature, records a
+    /// match when a boolean term hits the target, stages the term otherwise.
+    /// `make_expr` is only invoked for terms that survive deduplication, so
+    /// pruned duplicates never pay for syntax construction.
+    fn add(&mut self, ty: &Type, sig: SigRow, make_expr: impl FnOnce() -> Expr) {
+        if self.matched.is_some() {
+            return;
+        }
+        let Some(staged) = self.staging.get(ty) else {
+            return;
+        };
+        self.terms += 1;
+        if staged.len() >= self.max_per_layer {
+            return;
+        }
+        if !self
+            .seen
+            .get_mut(ty)
+            .expect("seen table mirrors staging table")
+            .insert(sig.clone())
+        {
+            return;
+        }
+        if self.track_splits {
+            let projection: OldRow = sig
+                .iter()
+                .zip(&self.old_mask)
+                .filter(|(_, old)| **old)
+                .map(|(cell, _)| *cell)
+                .collect();
+            if !self
+                .seen_old
+                .get_mut(ty)
+                .expect("seen_old table mirrors staging table")
+                .insert(projection)
+            {
+                self.splits += 1;
+            }
+        }
+        if ty == &self.bool_ty && sig[..] == self.target[..] {
+            self.matched = Some(make_expr());
+            return;
+        }
+        self.staging
+            .get_mut(ty)
+            .expect("staging entry checked above")
+            .push(PoolTerm {
+                expr: make_expr(),
+                sig,
+            });
+    }
+}
+
+/// All ways to write `total` as an ordered sum of `parts` positive integers,
+/// memoized process-wide (the same handful of `(total, parts)` keys is
+/// requested for every component × size pair of every guess).
+fn compositions(total: usize, parts: usize) -> Arc<Vec<Vec<usize>>> {
     fn rec(total: usize, parts: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
         if parts == 1 {
             current.push(total);
@@ -729,11 +962,21 @@ fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
             current.pop();
         }
     }
+    type Memo = Mutex<HashMap<(usize, usize), Arc<Vec<Vec<usize>>>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Memo::default);
+    if let Some(cached) = memo.lock().unwrap().get(&(total, parts)) {
+        return Arc::clone(cached);
+    }
     let mut out = Vec::new();
     if parts > 0 && total >= parts {
         rec(total, parts, &mut Vec::with_capacity(parts), &mut out);
     }
-    out
+    let computed = Arc::new(out);
+    memo.lock()
+        .unwrap()
+        .insert((total, parts), Arc::clone(&computed));
+    computed
 }
 
 /// Visits the cartesian product of term slices.
@@ -758,6 +1001,14 @@ fn cartesian<'a>(groups: &[&'a [PoolTerm]], visit: &mut impl FnMut(&[&'a PoolTer
         return;
     }
     rec(groups, 0, &mut Vec::new(), visit);
+}
+
+/// Materializes the cartesian product of term slices in visitation order
+/// (the shape `par_map` batches over).
+fn cartesian_choices<'a>(groups: &[&'a [PoolTerm]]) -> Vec<Vec<&'a PoolTerm>> {
+    let mut out = Vec::new();
+    cartesian(groups, &mut |choice| out.push(choice.to_vec()));
+    out
 }
 
 #[cfg(test)]
@@ -888,6 +1139,75 @@ mod tests {
     }
 
     #[test]
+    fn parallel_guessing_matches_serial_guessing() {
+        let problem = problem();
+        let examples = ExampleSet::from_sets(
+            [
+                Value::nat_list(&[]),
+                Value::nat_list(&[0]),
+                Value::nat_list(&[1]),
+                Value::nat_list(&[1, 0]),
+                Value::nat_list(&[2, 1]),
+            ],
+            [
+                Value::nat_list(&[0, 0]),
+                Value::nat_list(&[1, 1]),
+                Value::nat_list(&[0, 1, 0]),
+            ],
+        )
+        .unwrap();
+        let examples = trace_completed(&problem, examples);
+        let serial = Engine::new(&problem, SearchConfig::default())
+            .synthesize(&examples, &Deadline::none())
+            .unwrap();
+        for parallelism in [2usize, 0] {
+            let config = SearchConfig {
+                parallelism: Some(parallelism),
+                ..SearchConfig::default()
+            };
+            let parallel = Engine::new(&problem, config)
+                .synthesize(&examples, &Deadline::none())
+                .unwrap();
+            assert_eq!(parallel, serial, "parallelism={parallelism}");
+        }
+    }
+
+    #[test]
+    fn a_persistent_bank_reproduces_fresh_results_incrementally() {
+        let problem = problem();
+        let engine = Engine::new(&problem, SearchConfig::quick());
+        let bank = TermBank::new();
+        // A CEGIS-like sequence: the positives stay, negatives accumulate.
+        let negatives_by_iteration: [&[&[u64]]; 3] = [
+            &[&[0, 0]],
+            &[&[0, 0], &[1, 1]],
+            &[&[0, 0], &[1, 1], &[0, 1, 0]],
+        ];
+        for negatives in negatives_by_iteration {
+            let examples = ExampleSet::from_sets(
+                [
+                    Value::nat_list(&[]),
+                    Value::nat_list(&[0]),
+                    Value::nat_list(&[1, 0]),
+                ],
+                negatives.iter().map(|items| Value::nat_list(items)),
+            )
+            .unwrap();
+            let examples = trace_completed(&problem, examples);
+            let fresh = engine.synthesize(&examples, &Deadline::none());
+            let banked = engine.synthesize_with_bank(&bank, &examples, &Deadline::none());
+            assert_eq!(banked, fresh);
+        }
+        let stats = bank.stats();
+        assert!(stats.bank_hits > 0, "later iterations reuse evaluations");
+        assert!(
+            stats.column_appends > 0,
+            "new counterexamples append columns"
+        );
+        assert_eq!(stats.sessions, 3);
+    }
+
+    #[test]
     fn inconsistent_examples_cannot_be_separated() {
         let problem = problem();
         let engine = Engine::new(&problem, SearchConfig::quick());
@@ -923,7 +1243,12 @@ mod tests {
 
     #[test]
     fn compositions_helper() {
-        assert_eq!(compositions(4, 2), vec![vec![1, 3], vec![2, 2], vec![3, 1]]);
+        assert_eq!(
+            *compositions(4, 2),
+            vec![vec![1, 3], vec![2, 2], vec![3, 1]]
+        );
         assert!(compositions(1, 2).is_empty());
+        // The memo serves repeated requests from the same allocation.
+        assert!(Arc::ptr_eq(&compositions(4, 2), &compositions(4, 2)));
     }
 }

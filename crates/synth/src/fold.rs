@@ -27,6 +27,7 @@ use hanoi_lang::types::Type;
 use hanoi_lang::util::Deadline;
 use hanoi_lang::value::Value;
 
+use crate::bank::{TermBank, TermBankStats};
 use crate::engine::{Engine, ExtraComponent, SearchConfig};
 use crate::error::SynthError;
 use crate::examples::ExampleSet;
@@ -60,10 +61,20 @@ impl Default for FoldConfig {
 }
 
 /// The fold-capable synthesizer.
+///
+/// Like [`crate::MythSynth`], it owns a persistent [`TermBank`] for its
+/// lifetime; the helper-fold library is regenerated deterministically per
+/// call, so the bank's memoized `fold*` signature evaluations stay valid
+/// across CEGIS iterations.
 #[derive(Debug, Clone, Default)]
 pub struct FoldSynth {
     config: SearchConfig,
     fold_config: FoldConfig,
+    bank: std::sync::Arc<TermBank>,
+    /// The globals environment of the problem the bank's evaluations belong
+    /// to, pinned so the identity comparison cannot suffer address reuse (a
+    /// different problem swaps in a fresh bank, like [`crate::MythSynth`]).
+    problem_globals: Option<hanoi_lang::value::Env>,
 }
 
 impl FoldSynth {
@@ -208,7 +219,9 @@ impl FoldSynth {
                 .map(|(&i, bodies)| bodies[i].clone())
                 .collect();
             let definition = assemble(&arm_bodies);
-            if let Ok(value) = evaluator.eval(&problem.globals, &definition, &mut Fuel::standard())
+            if let Ok(value) = evaluator
+                .eval(&problem.globals, &definition, &mut Fuel::standard())
+                .map(|v| hanoi_lang::resolve::resolve_closure_value(&v))
             {
                 let signature: Vec<Option<Value>> = samples
                     .iter()
@@ -346,10 +359,21 @@ impl Synthesizer for FoldSynth {
         examples: &ExampleSet,
         deadline: &Deadline,
     ) -> Result<Expr, SynthError> {
+        let identity = problem.globals.identity();
+        if self.problem_globals.as_ref().map(|env| env.identity()) != Some(identity) {
+            if self.problem_globals.is_some() {
+                self.bank = std::sync::Arc::new(TermBank::new());
+            }
+            self.problem_globals = Some(problem.globals.clone());
+        }
         let mut config = self.config.clone();
         config.extra_components = self.helper_folds(problem);
         let engine = Engine::new(problem, config);
-        engine.synthesize(examples, deadline)
+        engine.synthesize_with_bank(&self.bank, examples, deadline)
+    }
+
+    fn term_bank_stats(&self) -> TermBankStats {
+        self.bank.stats()
     }
 }
 

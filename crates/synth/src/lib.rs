@@ -21,8 +21,13 @@
 //!   synthesizes auxiliary catamorphisms (folds) over the representation type
 //!   and then reuses the same search, letting it find invariants that need
 //!   accumulating helper functions;
-//! * [`cache::SynthesisCache`] — synthesis-result caching (§4.4).
+//! * [`cache::SynthesisCache`] — synthesis-result caching (§4.4);
+//! * [`bank::TermBank`] — the persistent, session-scoped store backing
+//!   incremental guessing: memoized signature evaluation keyed by
+//!   `(component, argument values)`, signature-column bookkeeping per
+//!   example world, and equivalence-class split accounting.
 
+pub mod bank;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -31,6 +36,7 @@ pub mod fold;
 pub mod myth;
 pub mod traits;
 
+pub use bank::{TermBank, TermBankStats};
 pub use cache::SynthesisCache;
 pub use engine::SearchConfig;
 pub use error::SynthError;

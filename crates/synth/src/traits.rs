@@ -4,6 +4,7 @@ use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
 use hanoi_lang::util::Deadline;
 
+use crate::bank::TermBankStats;
 use crate::error::SynthError;
 use crate::examples::ExampleSet;
 
@@ -25,6 +26,13 @@ pub trait Synthesizer {
         examples: &ExampleSet,
         deadline: &Deadline,
     ) -> Result<Expr, SynthError>;
+
+    /// Counter snapshot of the synthesizer's persistent term bank, when it
+    /// keeps one (the engine-backed synthesizers do; the default is an empty
+    /// snapshot for synthesizers without incremental state).
+    fn term_bank_stats(&self) -> TermBankStats {
+        TermBankStats::default()
+    }
 }
 
 #[cfg(test)]

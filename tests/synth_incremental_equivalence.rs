@@ -1,0 +1,205 @@
+//! Incremental synthesis correctness: an engine backed by a persistent
+//! [`hanoi_repro::synth::TermBank`] must return *identical* predicates (and
+//! enumerate identical term counts at parallelism 1) to a
+//! rebuild-per-iteration engine, across every benchmark of the suite and a
+//! CEGIS-like sequence of growing example sets — and parallel guessing must
+//! be outcome-identical to serial guessing.
+
+use hanoi_repro::hanoi::{Driver, HanoiConfig};
+use hanoi_repro::lang::enumerate::ValueEnumerator;
+use hanoi_repro::lang::util::Deadline;
+use hanoi_repro::lang::value::Value;
+use hanoi_repro::synth::engine::Engine;
+use hanoi_repro::synth::{ExampleSet, SearchConfig, TermBank};
+
+/// A small search configuration: big enough to exercise every generation
+/// rule (components, constructors, equality, connectives, match refinement,
+/// recursion), small enough that even a failed search over 28 benchmarks
+/// stays fast in debug builds.
+fn test_config(parallelism: usize) -> SearchConfig {
+    SearchConfig {
+        schedule: vec![(0, 4), (1, 5)],
+        max_terms_per_layer: 300,
+        fuel: 4_000,
+        allow_recursion: true,
+        extra_components: Vec::new(),
+        parallelism: Some(parallelism),
+    }
+}
+
+/// A CEGIS-like example sequence for one benchmark: the smallest enumerable
+/// values of the concrete type split into a fixed positive set and a stream
+/// of negatives added one per iteration, each step trace-completed exactly
+/// like the inference driver does.
+fn example_sequence(problem: &hanoi_repro::abstraction::Problem) -> Vec<ExampleSet> {
+    let concrete = problem.concrete_type().clone();
+    let values = ValueEnumerator::new(&problem.tyenv).first_values(&concrete, 9, 7);
+    if values.len() < 3 {
+        return Vec::new();
+    }
+    let split = (values.len() * 2) / 3;
+    let (positives, negatives) = values.split_at(split);
+    let mut sequence = Vec::new();
+    for step in 1..=negatives.len() {
+        let examples =
+            ExampleSet::from_sets(positives.iter().cloned(), negatives[..step].iter().cloned())
+                .expect("enumerated values are distinct");
+        let (closed, _) = examples.trace_completed(&problem.tyenv, &concrete);
+        sequence.push(closed);
+    }
+    sequence
+}
+
+#[test]
+fn persistent_bank_engines_match_fresh_engines_on_every_benchmark() {
+    for benchmark in hanoi_repro::benchmarks::registry() {
+        let problem = benchmark
+            .problem()
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.id));
+        let sequence = example_sequence(&problem);
+        assert!(
+            !sequence.is_empty(),
+            "{}: no example sequence",
+            benchmark.id
+        );
+
+        let serial_engine = Engine::new(&problem, test_config(1));
+        let parallel_engines: Vec<(usize, Engine<'_>)> = [2usize, 0]
+            .into_iter()
+            .map(|p| (p, Engine::new(&problem, test_config(p))))
+            .collect();
+        let bank = TermBank::new();
+        let parallel_banks: Vec<TermBank> =
+            parallel_engines.iter().map(|_| TermBank::new()).collect();
+
+        for (iteration, examples) in sequence.iter().enumerate() {
+            // Rebuild-per-iteration baseline: a throwaway bank per call.
+            let fresh_bank = TermBank::new();
+            let fresh =
+                serial_engine.synthesize_with_bank(&fresh_bank, examples, &Deadline::none());
+
+            // Persistent-bank run of the same iteration.
+            let terms_before = bank.stats().terms_enumerated;
+            let banked = serial_engine.synthesize_with_bank(&bank, examples, &Deadline::none());
+            let banked_terms = bank.stats().terms_enumerated - terms_before;
+
+            assert_eq!(
+                banked, fresh,
+                "{}: iteration {iteration} diverged between persistent and \
+                 fresh banks",
+                benchmark.id
+            );
+            assert_eq!(
+                banked_terms,
+                fresh_bank.stats().terms_enumerated,
+                "{}: iteration {iteration} enumerated a different number of \
+                 terms with a persistent bank",
+                benchmark.id
+            );
+
+            // Parallel guessing (own persistent banks) must be
+            // outcome-identical to the serial run.
+            for ((parallelism, engine), pbank) in parallel_engines.iter().zip(&parallel_banks) {
+                let parallel = engine.synthesize_with_bank(pbank, examples, &Deadline::none());
+                assert_eq!(
+                    parallel, banked,
+                    "{}: iteration {iteration} diverged at parallelism \
+                     {parallelism}",
+                    benchmark.id
+                );
+            }
+        }
+
+        // Later iterations of a growing example sequence must actually have
+        // exercised the incremental machinery.
+        let stats = bank.stats();
+        assert_eq!(stats.sessions as usize, sequence.len(), "{}", benchmark.id);
+        assert!(
+            stats.column_appends > 0,
+            "{}: new negatives must append signature columns",
+            benchmark.id
+        );
+    }
+}
+
+#[test]
+fn bank_reuse_across_iterations_serves_hits() {
+    // On a benchmark with real function components the warm iterations must
+    // be served largely from the bank.
+    let problem = hanoi_repro::benchmarks::find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .unwrap();
+    let engine = Engine::new(&problem, test_config(1));
+    let bank = TermBank::new();
+    for examples in example_sequence(&problem) {
+        let _ = engine.synthesize_with_bank(&bank, &examples, &Deadline::none());
+    }
+    let stats = bank.stats();
+    assert!(stats.bank_misses > 0, "cold columns reach the interpreter");
+    assert!(
+        stats.bank_hits > stats.bank_misses,
+        "warm iterations must be dominated by bank hits: hits={} misses={}",
+        stats.bank_hits,
+        stats.bank_misses
+    );
+}
+
+#[test]
+fn eq_class_splits_are_detected_when_a_column_distinguishes_terms() {
+    // [0] and [1] are indistinguishable to size-1 terms until an example
+    // involving their contents arrives; growing the example set must report
+    // re-splits of previously merged equivalence classes.
+    let problem = hanoi_repro::benchmarks::find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .unwrap();
+    let engine = Engine::new(&problem, test_config(1));
+    let bank = TermBank::new();
+    let first = ExampleSet::from_sets([Value::nat_list(&[])], [Value::nat_list(&[0, 0])]).unwrap();
+    let (first, _) = first.trace_completed(&problem.tyenv, problem.concrete_type());
+    let _ = engine.synthesize_with_bank(&bank, &first, &Deadline::none());
+
+    let second = ExampleSet::from_sets(
+        [
+            Value::nat_list(&[]),
+            Value::nat_list(&[1]),
+            Value::nat_list(&[2, 1]),
+        ],
+        [
+            Value::nat_list(&[0, 0]),
+            Value::nat_list(&[1, 1]),
+            Value::nat_list(&[2, 2]),
+        ],
+    )
+    .unwrap();
+    let (second, _) = second.trace_completed(&problem.tyenv, problem.concrete_type());
+    let _ = engine.synthesize_with_bank(&bank, &second, &Deadline::none());
+
+    let stats = bank.stats();
+    assert!(stats.column_appends > 0);
+    assert!(
+        stats.eq_class_splits > 0,
+        "new columns must re-split previously merged classes: {stats:?}"
+    );
+}
+
+#[test]
+fn run_stats_surface_the_synthesis_counters() {
+    let problem = hanoi_repro::benchmarks::find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .unwrap();
+    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    assert!(result.is_success(), "{:?}", result.outcome);
+    let stats = &result.stats;
+    assert!(stats.synth_terms_enumerated > 0, "terms are counted");
+    assert!(
+        stats.synth_column_appends > 0,
+        "counterexamples append signature columns: {stats:?}"
+    );
+    assert!(
+        stats.synth_bank_hits > 0,
+        "later iterations reuse banked evaluations: {stats:?}"
+    );
+}
