@@ -241,6 +241,134 @@ fn bench_synthesis_multi_cex(c: &mut Criterion, samples: usize) -> Json {
     ])
 }
 
+/// The cross-run reuse workloads: the same problem solved twice through one
+/// long-lived `hanoi::Engine` (the second run starts from warm pools,
+/// function-candidate pools and a warm term bank) versus two fresh engines
+/// (the old `Driver` cold-run behaviour).  Two problems are measured: the
+/// first-order running example (where per-run predicate sweeps dominate and
+/// warmth buys little) and its higher-order variant (where the cold run pays
+/// the expensive §4.2 function-candidate enumeration that the engine's pool
+/// cache keeps warm).  Warm runs are asserted outcome-identical to cold
+/// runs; the summary reports per-workload medians and second-run speedups.
+fn bench_cross_run_warm(c: &mut Criterion, samples: usize) -> Json {
+    use hanoi::{Engine as InferenceEngine, RunOptions};
+
+    // Paper-scale single-quantifier pools and HOF limits in the default mode
+    // so enumeration is a realistic share of a run; quick mode shrinks
+    // everything for the CI smoke job.
+    let bounds = if quick_mode() {
+        VerifierBounds {
+            single_count: 200,
+            single_size: 12,
+            multi_count: 60,
+            multi_size: 8,
+            total_cap: 1_000,
+            ..VerifierBounds::quick()
+        }
+    } else {
+        VerifierBounds {
+            single_count: 1500,
+            single_size: 30,
+            multi_count: 400,
+            multi_size: 12,
+            total_cap: 12_000,
+            hof_body_size: 6,
+            hof_max_functions: 40,
+            ..VerifierBounds::quick()
+        }
+    };
+    let options = RunOptions::quick().with_bounds(bounds);
+
+    let workloads = [
+        ("first_order", "/coq/unique-list-::-set"),
+        ("higher_order", "/coq/unique-list-::-set+hofs"),
+    ];
+    let mut rows: Vec<Json> = Vec::new();
+    let mut group = c.benchmark_group("cross_run_warm");
+    group.sample_size(samples);
+    for (name, id) in workloads {
+        let problem = find(id).unwrap().problem().expect("benchmark elaborates");
+
+        // Correctness first: the warm second run must match a cold run
+        // exactly.
+        let cold_reference = InferenceEngine::with_defaults().run(&problem, &options);
+        let warm_engine = InferenceEngine::with_defaults();
+        let _first = warm_engine.run(&problem, &options);
+        let warm_reference = warm_engine.run(&problem, &options);
+        assert_eq!(
+            warm_reference.outcome, cold_reference.outcome,
+            "{id}: a warm engine must not change inference results"
+        );
+        assert_eq!(
+            warm_reference.stats.pool_builds, 0,
+            "{id}: the warm run re-enumerated pools"
+        );
+
+        // Timings: cold = a fresh engine per run; warm = the second run
+        // through an engine that has already solved the problem once.
+        let mut cold_timings = Vec::with_capacity(samples);
+        let mut warm_timings = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let result = InferenceEngine::with_defaults().run(&problem, &options);
+            cold_timings.push(start.elapsed());
+            assert!(result.is_success(), "{id}: {}", result.outcome);
+
+            let engine = InferenceEngine::with_defaults();
+            let _ = engine.run(&problem, &options);
+            let start = Instant::now();
+            let result = engine.run(&problem, &options);
+            warm_timings.push(start.elapsed());
+            assert!(result.is_success(), "{id}: {}", result.outcome);
+        }
+        let cold_secs = median_secs(cold_timings);
+        let warm_secs = median_secs(warm_timings);
+
+        group.bench_function(format!("{name}_cold_fresh_engine_per_run"), |b| {
+            b.iter(|| InferenceEngine::with_defaults().run(&problem, &options))
+        });
+        let timed_engine = InferenceEngine::with_defaults();
+        let _ = timed_engine.run(&problem, &options);
+        group.bench_function(format!("{name}_warm_second_run_same_engine"), |b| {
+            b.iter(|| timed_engine.run(&problem, &options))
+        });
+
+        rows.push(Json::obj([
+            ("workload", Json::Str(name.to_string())),
+            ("benchmark", Json::Str(id.to_string())),
+            ("cold_secs", Json::Num(cold_secs)),
+            ("warm_secs", Json::Num(warm_secs)),
+            (
+                "speedup_warm_over_cold",
+                Json::Num(cold_secs / warm_secs.max(f64::MIN_POSITIVE)),
+            ),
+            (
+                "warm_pool_builds",
+                Json::Num(warm_reference.stats.pool_builds as f64),
+            ),
+            (
+                "cold_pool_builds",
+                Json::Num(cold_reference.stats.pool_builds as f64),
+            ),
+            (
+                "warm_terms_enumerated",
+                Json::Num(warm_reference.stats.synth_terms_enumerated as f64),
+            ),
+            (
+                "cold_terms_enumerated",
+                Json::Num(cold_reference.stats.synth_terms_enumerated as f64),
+            ),
+            (
+                "warm_bank_hits",
+                Json::Num(warm_reference.stats.synth_bank_hits as f64),
+            ),
+            ("outcome_identical", Json::Bool(true)),
+        ]));
+    }
+    group.finish();
+    Json::Arr(rows)
+}
+
 fn bench_cegis_hot_path(c: &mut Criterion) {
     let samples: usize = if quick_mode() { 3 } else { 7 };
     let problem = find("/coq/unique-list-::-set")
@@ -400,6 +528,7 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
     group.finish();
 
     let synthesis = bench_synthesis_multi_cex(c, samples);
+    let cross_run = bench_cross_run_warm(c, samples);
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -431,6 +560,9 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
         // The incremental-synthesis workload: cold rebuilds the term pool
         // per CEGIS iteration, warm reuses the session's persistent bank.
         ("synthesis_multi_cex", synthesis),
+        // The cross-run reuse workload: the same problem solved twice
+        // through one long-lived engine vs two fresh engines.
+        ("cross_run_warm", cross_run),
     ]);
     // Default to the workspace root regardless of the bench's CWD — except
     // in quick mode, whose tiny-bounds numbers must never clobber the

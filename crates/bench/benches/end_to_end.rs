@@ -1,9 +1,13 @@
 //! End-to-end inference benchmarks: the full CEGIS loop on fast benchmarks
 //! with reduced verifier bounds (the shape of Figure 7 in miniature — the
 //! figure7 binary regenerates the real table).
+//!
+//! Cold iterations build a fresh engine per run (the old `Driver`
+//! behaviour); the warm variants reuse one engine so later iterations start
+//! from warm pools and term banks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hanoi::{Driver, HanoiConfig, Mode};
+use hanoi::{Engine, Mode, RunOptions};
 use hanoi_benchmarks::find;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -17,9 +21,17 @@ fn bench_end_to_end(c: &mut Criterion) {
     ] {
         let benchmark = find(id).unwrap();
         let problem = benchmark.problem().expect("benchmark elaborates");
-        group.bench_function(format!("hanoi{}", id.replace('/', "_")), |b| {
+        group.bench_function(format!("hanoi_cold{}", id.replace('/', "_")), |b| {
             b.iter(|| {
-                let result = Driver::new(&problem, HanoiConfig::quick()).run();
+                let result = Engine::with_defaults().run(&problem, &RunOptions::quick());
+                assert!(result.is_success(), "{id} failed: {}", result.outcome);
+                result
+            })
+        });
+        let warm_engine = Engine::with_defaults();
+        group.bench_function(format!("hanoi_warm{}", id.replace('/', "_")), |b| {
+            b.iter(|| {
+                let result = warm_engine.run(&problem, &RunOptions::quick());
                 assert!(result.is_success(), "{id} failed: {}", result.outcome);
                 result
             })
@@ -31,11 +43,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     let problem = benchmark.problem().expect("benchmark elaborates");
     group.bench_function("la_other_cache", |b| {
         b.iter(|| {
-            Driver::new(
+            Engine::with_defaults().run(
                 &problem,
-                HanoiConfig::quick().with_mode(Mode::LinearArbitrary),
+                &RunOptions::quick().with_mode(Mode::LinearArbitrary),
             )
-            .run()
         })
     });
     group.finish();

@@ -2,57 +2,54 @@
 //! fold-capable prototype synthesizer, over the quick benchmark subset (or
 //! the full suite with `--full`).
 //!
+//! The §5.4 headline is a myth-vs-fold *total time* ratio, so every
+//! (benchmark, back end) run uses a fresh engine — the second back end must
+//! not run against caches the first one warmed.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p hanoi-bench --release --bin ablation_synth [-- --full] [-- --timeout <secs>]
 //! ```
 
-use std::time::Duration;
-
 use hanoi::{Mode, Optimizations};
+use hanoi_bench::cli::HarnessArgs;
 use hanoi_bench::report::{completion_summary, figure7_table};
-use hanoi_bench::{ablation_synthesizers, run_benchmark, HarnessConfig, Row};
+use hanoi_bench::{ablation_synthesizers, run_benchmark, run_problem, Row};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let timeout = args
-        .iter()
-        .position(|a| a == "--timeout")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs);
-
-    let mut harness = if full {
-        HarnessConfig::full()
-    } else {
-        HarnessConfig::quick()
-    };
-    if let Some(timeout) = timeout {
-        harness.timeout = timeout;
-    }
-    let benchmarks = if full {
-        hanoi_benchmarks::registry()
-    } else {
-        hanoi_benchmarks::quick_subset()
-    };
+    let args = HarnessArgs::parse(true);
+    let harness = args.harness();
+    let benchmarks = args.benchmarks();
 
     let mut rows: Vec<Row> = Vec::new();
-    for (label, choice) in ablation_synthesizers() {
-        eprintln!("synthesizer {label}");
-        for benchmark in &benchmarks {
-            let config = harness
-                .inference_config(Mode::Hanoi, Optimizations::all())
+    for benchmark in &benchmarks {
+        let problem = benchmark.problem();
+        for (label, choice) in ablation_synthesizers() {
+            let options = harness
+                .run_options(Mode::Hanoi, Optimizations::all())
                 .with_synthesizer(choice);
-            let row = run_benchmark(benchmark, config, label);
+            // A fresh engine per run: the timing comparison must be cold.
+            let engine = harness.engine();
+            let row = match &problem {
+                Ok(problem) => run_problem(&engine, problem, benchmark, options, label),
+                Err(_) => run_benchmark(&engine, benchmark, options, label),
+            };
             eprintln!(
-                "  {} -> {:?} in {:.1}s",
-                benchmark.id, row.status, row.time_secs
+                "  {} [{label}] -> {:?} in {:.1}s",
+                benchmark.id,
+                row.status,
+                row.time_secs()
             );
             rows.push(row);
         }
     }
+    rows.sort_by_key(|row| {
+        ablation_synthesizers()
+            .iter()
+            .position(|(label, _)| *label == row.mode)
+            .unwrap_or(usize::MAX)
+    });
 
     println!("{}", figure7_table(&rows));
     println!("{}", completion_summary(&rows));
@@ -78,7 +75,7 @@ fn main() {
         let total = |label: &str| -> f64 {
             rows.iter()
                 .filter(|r| r.mode == label && solved_by_both.contains(&r.id.as_str()))
-                .map(|r| r.time_secs)
+                .map(|r| r.time_secs())
                 .sum()
         };
         let myth = total("myth");

@@ -12,48 +12,17 @@
 //! per benchmark and averages 10 runs; pass `--timeout 1800` to match (and
 //! expect a long wall-clock time).
 
-use std::time::Duration;
-
 use hanoi::{Mode, Optimizations};
+use hanoi_bench::cli::HarnessArgs;
 use hanoi_bench::report::{completion_summary, figure7_table};
-use hanoi_bench::{run_benchmark, HarnessConfig, Row};
+use hanoi_bench::{run_benchmark, Row};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let timeout = args
-        .iter()
-        .position(|a| a == "--timeout")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs);
-    let parallelism = args
-        .iter()
-        .position(|a| a == "--parallelism")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(1);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "target/figure7.json".to_string());
-
-    let mut harness = if quick {
-        HarnessConfig::quick()
-    } else {
-        HarnessConfig::full()
-    };
-    if let Some(timeout) = timeout {
-        harness.timeout = timeout;
-    }
-    harness.parallelism = parallelism;
-    let benchmarks = if quick {
-        hanoi_benchmarks::quick_subset()
-    } else {
-        hanoi_benchmarks::registry()
-    };
+    let args = HarnessArgs::parse(false);
+    let harness = args.harness();
+    let benchmarks = args.benchmarks();
+    let out_path = args.out_or("target/figure7.json");
+    let engine = harness.engine();
 
     eprintln!(
         "figure7: running {} benchmark(s), timeout {:?}, {} bounds",
@@ -69,11 +38,14 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for benchmark in &benchmarks {
         eprintln!("  running {} ...", benchmark.id);
-        let config = harness.inference_config(Mode::Hanoi, Optimizations::all());
-        let row = run_benchmark(benchmark, config, "Hanoi");
+        let options = harness.run_options(Mode::Hanoi, Optimizations::all());
+        let row = run_benchmark(&engine, benchmark, options, "Hanoi");
         eprintln!(
             "    -> {:?} in {:.1}s (TVC {}, TSC {})",
-            row.status, row.time_secs, row.tvc, row.tsc
+            row.status,
+            row.time_secs(),
+            row.tvc(),
+            row.tsc()
         );
         rows.push(row);
     }

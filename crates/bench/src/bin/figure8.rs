@@ -1,53 +1,27 @@
 //! Regenerates Figure 8: cumulative benchmarks completed over time for the
 //! six configurations (Hanoi, Hanoi−SRC, Hanoi−CLC, ∧Str, LA, OneShot).
 //!
+//! Figure 8 is a *wall-clock* comparison (completions within time
+//! thresholds), so every (benchmark, mode) run uses a fresh engine: the
+//! modes must not warm each other's caches, or later modes would report
+//! inflated completion counts.  Use one long-lived engine only when the
+//! wall clock is not the measurement (see `hanoi_bench::run_problem`).
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p hanoi-bench --release --bin figure8 [-- --quick] [-- --timeout <secs>] [-- --parallelism <n>] [-- --out <path>]
 //! ```
 
-use std::time::Duration;
-
+use hanoi_bench::cli::HarnessArgs;
 use hanoi_bench::report::{completion_summary, figure8_series};
-use hanoi_bench::{run_benchmark, HarnessConfig, Row};
+use hanoi_bench::{run_benchmark, run_problem, Row};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let timeout = args
-        .iter()
-        .position(|a| a == "--timeout")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs);
-    let parallelism = args
-        .iter()
-        .position(|a| a == "--parallelism")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(1);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "target/figure8.json".to_string());
-
-    let mut harness = if quick {
-        HarnessConfig::quick()
-    } else {
-        HarnessConfig::full()
-    };
-    if let Some(timeout) = timeout {
-        harness.timeout = timeout;
-    }
-    harness.parallelism = parallelism;
-    let benchmarks = if quick {
-        hanoi_benchmarks::quick_subset()
-    } else {
-        hanoi_benchmarks::registry()
-    };
+    let args = HarnessArgs::parse(false);
+    let harness = args.harness();
+    let benchmarks = args.benchmarks();
+    let out_path = args.out_or("target/figure8.json");
 
     eprintln!(
         "figure8: running {} benchmark(s) x 6 modes, timeout {:?}",
@@ -56,18 +30,34 @@ fn main() {
     );
 
     let mut rows: Vec<Row> = Vec::new();
-    for (label, mode, optimizations) in hanoi_bench::figure8_modes() {
-        eprintln!("mode {label}");
-        for benchmark in &benchmarks {
-            let config = harness.inference_config(mode, optimizations);
-            let row = run_benchmark(benchmark, config, label);
+    for benchmark in &benchmarks {
+        let problem = benchmark.problem();
+        for (label, mode, optimizations) in hanoi_bench::figure8_modes() {
+            let options = harness.run_options(mode, optimizations);
+            // A fresh engine per run: cold, standalone cost, like the paper.
+            let engine = harness.engine();
+            let row = match &problem {
+                Ok(problem) => run_problem(&engine, problem, benchmark, options, label),
+                // Elaboration failed: fall back to the per-benchmark path,
+                // which renders the error row.
+                Err(_) => run_benchmark(&engine, benchmark, options, label),
+            };
             eprintln!(
-                "  {} -> {:?} in {:.1}s",
-                benchmark.id, row.status, row.time_secs
+                "  {} [{label}] -> {:?} in {:.1}s",
+                benchmark.id,
+                row.status,
+                row.time_secs()
             );
             rows.push(row);
         }
     }
+    // Figure 8 groups by mode: keep rows in mode-major order for the tables.
+    rows.sort_by_key(|row| {
+        hanoi_bench::figure8_modes()
+            .iter()
+            .position(|(label, _, _)| *label == row.mode)
+            .unwrap_or(usize::MAX)
+    });
 
     let max = harness.timeout.as_secs_f64();
     let thresholds: Vec<f64> = [0.02, 0.05, 0.1, 0.2, 0.5]

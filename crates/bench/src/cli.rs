@@ -1,0 +1,129 @@
+//! Shared command-line parsing for the harness binaries.
+//!
+//! All three binaries (`figure7`, `figure8`, `ablation_synth`) accept the
+//! same flags; this module replaces the three hand-rolled copies of the
+//! parsing loop they used to carry.
+
+use std::time::Duration;
+
+use crate::HarnessConfig;
+
+/// Parsed harness command-line arguments.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// `--quick` (alias `!--full`): reduced bounds and the fast subset.
+    pub quick: bool,
+    /// `--timeout <secs>`: per-benchmark wall-clock budget override.
+    pub timeout: Option<Duration>,
+    /// `--parallelism <n>`: verifier worker threads.
+    pub parallelism: usize,
+    /// `--out <path>`: where to write the JSON rows.
+    pub out: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, treating `default_quick` as the mode when
+    /// neither `--quick` nor `--full` is given.
+    pub fn parse(default_quick: bool) -> Self {
+        Self::from_args(&std::env::args().skip(1).collect::<Vec<_>>(), default_quick)
+    }
+
+    /// Parses an explicit argument list (exposed for tests).
+    pub fn from_args(args: &[String], default_quick: bool) -> Self {
+        let flag = |name: &str| args.iter().any(|a| a == name);
+        let value = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+        };
+        let quick = if flag("--quick") {
+            true
+        } else if flag("--full") {
+            false
+        } else {
+            default_quick
+        };
+        HarnessArgs {
+            quick,
+            timeout: value("--timeout")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_secs),
+            parallelism: value("--parallelism")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1),
+            out: value("--out").cloned(),
+        }
+    }
+
+    /// Builds the harness configuration these arguments describe.
+    pub fn harness(&self) -> HarnessConfig {
+        let mut harness = if self.quick {
+            HarnessConfig::quick()
+        } else {
+            HarnessConfig::full()
+        };
+        if let Some(timeout) = self.timeout {
+            harness.timeout = timeout;
+        }
+        harness.parallelism = self.parallelism;
+        harness
+    }
+
+    /// The benchmark set these arguments select.
+    pub fn benchmarks(&self) -> Vec<hanoi_benchmarks::Benchmark> {
+        if self.quick {
+            hanoi_benchmarks::quick_subset()
+        } else {
+            hanoi_benchmarks::registry()
+        }
+    }
+
+    /// The output path, with a fallback default.
+    pub fn out_or(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_and_default() {
+        let args = HarnessArgs::from_args(
+            &strings(&[
+                "--quick",
+                "--timeout",
+                "7",
+                "--parallelism",
+                "3",
+                "--out",
+                "x.json",
+            ]),
+            false,
+        );
+        assert!(args.quick);
+        assert_eq!(args.timeout, Some(Duration::from_secs(7)));
+        assert_eq!(args.parallelism, 3);
+        assert_eq!(args.out_or("d.json"), "x.json");
+        let harness = args.harness();
+        assert_eq!(harness.timeout, Duration::from_secs(7));
+        assert!(!harness.paper_bounds);
+        assert_eq!(harness.parallelism, 3);
+
+        let defaults = HarnessArgs::from_args(&strings(&[]), true);
+        assert!(defaults.quick);
+        assert_eq!(defaults.parallelism, 1);
+        assert_eq!(defaults.out_or("d.json"), "d.json");
+        assert!(!defaults.benchmarks().is_empty());
+
+        let full = HarnessArgs::from_args(&strings(&["--full"]), true);
+        assert!(!full.quick);
+        assert!(full.harness().paper_bounds);
+        assert_eq!(full.benchmarks().len(), 28);
+    }
+}

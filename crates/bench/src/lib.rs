@@ -11,16 +11,27 @@
 //! * Criterion benches (`benches/`) — component micro-benchmarks (evaluator,
 //!   enumeration, verification, synthesis, end-to-end inference).
 //!
+//! Runs go through a [`hanoi::Engine`]; whether runs share one engine is a
+//! *measurement* decision.  `figure7` (one configuration) uses a single
+//! engine; `figure8` and `ablation_synth` compare wall-clock across
+//! configurations, so they build a fresh engine per run — sharing would let
+//! later configurations start from caches earlier ones warmed and inflate
+//! their completion counts.  To reuse warm state deliberately, elaborate the
+//! benchmark once and pass the same [`hanoi_abstraction::Problem`] and
+//! engine to [`run_problem`] repeatedly.
+//!
 //! Absolute numbers are not expected to match the paper (different machine,
 //! different synthesizer implementation); the harness exists to reproduce the
 //! *shape* of the results, and EXPERIMENTS.md records the comparison.
 
+pub mod cli;
 pub mod json;
 pub mod report;
 
 use std::time::Duration;
 
-use hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome, SynthChoice};
+use hanoi::{Engine, Mode, Optimizations, Outcome, RunOptions, RunStats, SynthChoice};
+use hanoi_abstraction::Problem;
 use hanoi_benchmarks::Benchmark;
 use hanoi_verifier::VerifierBounds;
 
@@ -33,6 +44,8 @@ pub enum RunStatus {
     Completed,
     /// The run hit its wall-clock budget.
     TimedOut,
+    /// The run was cancelled through its `CancelToken`.
+    Cancelled,
     /// The synthesizer gave up or the module violated its spec.
     Failed,
 }
@@ -43,6 +56,7 @@ impl RunStatus {
         match self {
             RunStatus::Completed => "Completed",
             RunStatus::TimedOut => "TimedOut",
+            RunStatus::Cancelled => "Cancelled",
             RunStatus::Failed => "Failed",
         }
     }
@@ -52,13 +66,16 @@ impl RunStatus {
         match s {
             "Completed" => Some(RunStatus::Completed),
             "TimedOut" => Some(RunStatus::TimedOut),
+            "Cancelled" => Some(RunStatus::Cancelled),
             "Failed" => Some(RunStatus::Failed),
             _ => None,
         }
     }
 }
 
-/// One row of a result table.
+/// One row of a result table: run identity and outcome, with the full
+/// [`RunStats`] embedded (serialized through `RunStats::to_json`, not
+/// re-formatted by hand).
 #[derive(Debug, Clone)]
 pub struct Row {
     /// Benchmark id.
@@ -69,20 +86,8 @@ pub struct Row {
     pub status: RunStatus,
     /// Inferred invariant (pretty-printed), when available.
     pub invariant: Option<String>,
-    /// Invariant size in AST nodes (the paper's *Size*).
-    pub size: Option<usize>,
-    /// Total wall-clock seconds (*Time*).
-    pub time_secs: f64,
-    /// Total verification seconds (*TVT*).
-    pub tvt_secs: f64,
-    /// Verification call count (*TVC*).
-    pub tvc: usize,
-    /// Total synthesis seconds (*TST*).
-    pub tst_secs: f64,
-    /// Synthesis call count (*TSC*).
-    pub tsc: usize,
-    /// CEGIS iterations.
-    pub iterations: usize,
+    /// The run's statistics (every Figure 7 column plus the cache counters).
+    pub stats: RunStats,
     /// Invariant size reported by the paper, for comparison.
     pub paper_size: Option<usize>,
     /// Time reported by the paper (seconds), for comparison.
@@ -90,6 +95,51 @@ pub struct Row {
 }
 
 impl Row {
+    /// Invariant size in AST nodes (the paper's *Size*).
+    pub fn size(&self) -> Option<usize> {
+        self.stats.invariant_size
+    }
+
+    /// Total wall-clock seconds (*Time*).
+    pub fn time_secs(&self) -> f64 {
+        self.stats.total_time.as_secs_f64()
+    }
+
+    /// Total verification seconds (*TVT*).
+    pub fn tvt_secs(&self) -> f64 {
+        self.stats.verification_time.as_secs_f64()
+    }
+
+    /// Verification call count (*TVC*).
+    pub fn tvc(&self) -> usize {
+        self.stats.verification_calls
+    }
+
+    /// Total synthesis seconds (*TST*).
+    pub fn tst_secs(&self) -> f64 {
+        self.stats.synthesis_time.as_secs_f64()
+    }
+
+    /// Synthesis call count (*TSC*).
+    pub fn tsc(&self) -> usize {
+        self.stats.synthesis_calls
+    }
+
+    /// CEGIS iterations.
+    pub fn iterations(&self) -> usize {
+        self.stats.iterations
+    }
+
+    /// Mean verification time per call (*MVT*), seconds.
+    pub fn mvt_secs(&self) -> Option<f64> {
+        self.stats.mean_verification_time().map(|t| t.as_secs_f64())
+    }
+
+    /// Mean synthesis time per call (*MST*), seconds.
+    pub fn mst_secs(&self) -> Option<f64> {
+        self.stats.mean_synthesis_time().map(|t| t.as_secs_f64())
+    }
+
     /// Serialises the row to a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -97,13 +147,7 @@ impl Row {
             ("mode", Json::Str(self.mode.clone())),
             ("status", Json::Str(self.status.as_str().to_string())),
             ("invariant", Json::opt(self.invariant.clone(), Json::Str)),
-            ("size", Json::opt(self.size, |s| Json::Num(s as f64))),
-            ("time_secs", Json::Num(self.time_secs)),
-            ("tvt_secs", Json::Num(self.tvt_secs)),
-            ("tvc", Json::Num(self.tvc as f64)),
-            ("tst_secs", Json::Num(self.tst_secs)),
-            ("tsc", Json::Num(self.tsc as f64)),
-            ("iterations", Json::Num(self.iterations as f64)),
+            ("stats", self.stats.to_json()),
             (
                 "paper_size",
                 Json::opt(self.paper_size, |s| Json::Num(s as f64)),
@@ -147,44 +191,10 @@ impl Row {
                 .get("invariant")
                 .and_then(Json::as_str)
                 .map(str::to_string),
-            size: value.get("size").and_then(Json::as_usize),
-            time_secs: value
-                .get("time_secs")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| missing("time_secs"))?,
-            tvt_secs: value
-                .get("tvt_secs")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| missing("tvt_secs"))?,
-            tvc: value
-                .get("tvc")
-                .and_then(Json::as_usize)
-                .ok_or_else(|| missing("tvc"))?,
-            tst_secs: value
-                .get("tst_secs")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| missing("tst_secs"))?,
-            tsc: value
-                .get("tsc")
-                .and_then(Json::as_usize)
-                .ok_or_else(|| missing("tsc"))?,
-            iterations: value
-                .get("iterations")
-                .and_then(Json::as_usize)
-                .ok_or_else(|| missing("iterations"))?,
+            stats: RunStats::from_json_value(value.get("stats").ok_or_else(|| missing("stats"))?)?,
             paper_size: value.get("paper_size").and_then(Json::as_usize),
             paper_time_secs: value.get("paper_time_secs").and_then(Json::as_f64),
         })
-    }
-
-    /// Mean verification time per call (*MVT*), seconds.
-    pub fn mvt_secs(&self) -> Option<f64> {
-        (self.tvc > 0).then(|| self.tvt_secs / self.tvc as f64)
-    }
-
-    /// Mean synthesis time per call (*MST*), seconds.
-    pub fn mst_secs(&self) -> Option<f64> {
-        (self.tsc > 0).then(|| self.tst_secs / self.tsc as f64)
     }
 }
 
@@ -228,52 +238,42 @@ impl HarnessConfig {
         self
     }
 
-    /// Builds the inference configuration for one mode.
-    pub fn inference_config(&self, mode: Mode, optimizations: Optimizations) -> HanoiConfig {
+    /// Builds the engine for one experiment run.
+    pub fn engine(&self) -> Engine {
+        Engine::new(hanoi::EngineConfig::default().with_parallelism(self.parallelism))
+            .expect("harness engine config is valid")
+    }
+
+    /// Builds the per-run options for one mode.
+    pub fn run_options(&self, mode: Mode, optimizations: Optimizations) -> RunOptions {
         let bounds = if self.paper_bounds {
             VerifierBounds::paper()
         } else {
             VerifierBounds::quick()
         };
-        HanoiConfig {
-            mode,
-            bounds,
-            optimizations,
-            timeout: Some(self.timeout),
-            parallelism: self.parallelism,
-            ..HanoiConfig::default()
-        }
+        RunOptions::paper()
+            .with_mode(mode)
+            .with_bounds(bounds)
+            .with_optimizations(optimizations)
+            .with_timeout(Some(self.timeout))
     }
 }
 
-/// Runs one benchmark under one configuration and produces a table row.
-pub fn run_benchmark(benchmark: &Benchmark, config: HanoiConfig, mode_label: &str) -> Row {
-    let paper_size = benchmark.paper_size;
-    let paper_time_secs = benchmark.paper_time_secs;
-    let problem = match benchmark.problem() {
-        Ok(problem) => problem,
-        Err(e) => {
-            return Row {
-                id: benchmark.id.to_string(),
-                mode: mode_label.to_string(),
-                status: RunStatus::Failed,
-                invariant: Some(format!("elaboration error: {e}")),
-                size: None,
-                time_secs: 0.0,
-                tvt_secs: 0.0,
-                tvc: 0,
-                tst_secs: 0.0,
-                tsc: 0,
-                iterations: 0,
-                paper_size,
-                paper_time_secs,
-            }
-        }
-    };
-    let result = Driver::new(&problem, config).run();
+/// Runs one already-elaborated problem through the engine and produces a
+/// table row.  Runs sharing `problem` (and the engine) reuse its warm pools
+/// and term banks.
+pub fn run_problem(
+    engine: &Engine,
+    problem: &Problem,
+    benchmark: &Benchmark,
+    options: RunOptions,
+    mode_label: &str,
+) -> Row {
+    let result = engine.run(problem, &options);
     let status = match &result.outcome {
         Outcome::Invariant(_) => RunStatus::Completed,
         Outcome::Timeout => RunStatus::TimedOut,
+        Outcome::Cancelled => RunStatus::Cancelled,
         Outcome::SpecViolation(_) | Outcome::SynthesisFailure(_) => RunStatus::Failed,
     };
     Row {
@@ -281,15 +281,32 @@ pub fn run_benchmark(benchmark: &Benchmark, config: HanoiConfig, mode_label: &st
         mode: mode_label.to_string(),
         status,
         invariant: result.outcome.invariant().map(|e| e.to_string()),
-        size: result.stats.invariant_size,
-        time_secs: result.stats.total_time.as_secs_f64(),
-        tvt_secs: result.stats.verification_time.as_secs_f64(),
-        tvc: result.stats.verification_calls,
-        tst_secs: result.stats.synthesis_time.as_secs_f64(),
-        tsc: result.stats.synthesis_calls,
-        iterations: result.stats.iterations,
-        paper_size,
-        paper_time_secs,
+        stats: result.stats,
+        paper_size: benchmark.paper_size,
+        paper_time_secs: benchmark.paper_time_secs,
+    }
+}
+
+/// Runs one benchmark under one configuration and produces a table row,
+/// elaborating the benchmark source first (elaboration failures become
+/// [`RunStatus::Failed`] rows).
+pub fn run_benchmark(
+    engine: &Engine,
+    benchmark: &Benchmark,
+    options: RunOptions,
+    mode_label: &str,
+) -> Row {
+    match benchmark.problem() {
+        Ok(problem) => run_problem(engine, &problem, benchmark, options, mode_label),
+        Err(e) => Row {
+            id: benchmark.id.to_string(),
+            mode: mode_label.to_string(),
+            status: RunStatus::Failed,
+            invariant: Some(format!("elaboration error: {e}")),
+            stats: RunStats::default(),
+            paper_size: benchmark.paper_size,
+            paper_time_secs: benchmark.paper_time_secs,
+        },
     }
 }
 
@@ -318,22 +335,41 @@ mod tests {
     fn quick_run_on_an_easy_benchmark_completes() {
         let benchmark = hanoi_benchmarks::find("/other/cache").unwrap();
         let harness = HarnessConfig::quick();
-        let config = harness.inference_config(Mode::Hanoi, Optimizations::all());
-        let row = run_benchmark(&benchmark, config, "Hanoi");
+        let engine = harness.engine();
+        let options = harness.run_options(Mode::Hanoi, Optimizations::all());
+        let row = run_benchmark(&engine, &benchmark, options.clone(), "Hanoi");
         assert_eq!(row.status, RunStatus::Completed, "row: {row:?}");
-        assert!(row.size.is_some());
+        assert!(row.size().is_some());
         assert!(row.mvt_secs().is_some());
-        assert!(row.time_secs > 0.0);
-        // Serialises cleanly.
+        assert!(row.time_secs() > 0.0);
+        // Serialises cleanly, including the embedded statistics.
         let json = row.to_json().render();
         let back = Row::from_json(&json).unwrap();
         assert_eq!(back.id, row.id);
         assert_eq!(back.status, row.status);
+        assert_eq!(back.stats.iterations, row.stats.iterations);
+        assert_eq!(back.tvc(), row.tvc());
+
+        // A warm re-run through the same engine must agree and skip pool
+        // enumeration entirely.
+        let problem = benchmark.problem().unwrap();
+        let warm = run_problem(&engine, &problem, &benchmark, options.clone(), "Hanoi-warm");
+        // (Distinct `Problem` values have distinct cache entries; run twice
+        // on the *same* problem to observe warmth.)
+        let warmer = run_problem(&engine, &problem, &benchmark, options, "Hanoi-warm");
+        assert_eq!(warm.status, warmer.status);
+        assert_eq!(warm.invariant, warmer.invariant);
+        assert_eq!(warmer.stats.pool_builds, 0, "{:?}", warmer.stats);
     }
 
     #[test]
     fn mode_and_ablation_tables_are_complete() {
         assert_eq!(figure8_modes().len(), 6);
         assert_eq!(ablation_synthesizers().len(), 2);
+        assert_eq!(
+            RunStatus::from_str_name("Cancelled"),
+            Some(RunStatus::Cancelled)
+        );
+        assert_eq!(RunStatus::Cancelled.as_str(), "Cancelled");
     }
 }

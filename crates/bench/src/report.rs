@@ -25,33 +25,43 @@ pub fn figure7_table(rows: &[Row]) -> String {
     for row in rows {
         let (size, time, tvt, tvc, mvt, tst, tsc, mst) = match row.status {
             RunStatus::Completed => (
-                row.size.map_or("-".into(), |s| s.to_string()),
-                format!("{:.1}", row.time_secs),
-                format!("{:.1}", row.tvt_secs),
-                row.tvc.to_string(),
+                row.size().map_or("-".into(), |s| s.to_string()),
+                format!("{:.1}", row.time_secs()),
+                format!("{:.1}", row.tvt_secs()),
+                row.tvc().to_string(),
                 row.mvt_secs().map_or("undef".into(), |t| format!("{t:.2}")),
-                format!("{:.1}", row.tst_secs),
-                row.tsc.to_string(),
+                format!("{:.1}", row.tst_secs()),
+                row.tsc().to_string(),
                 row.mst_secs().map_or("undef".into(), |t| format!("{t:.2}")),
             ),
-            RunStatus::TimedOut => (
-                "t/o".into(),
-                "t/o".into(),
-                "t/o".into(),
-                row.tvc.to_string(),
-                "t/o".into(),
-                "t/o".into(),
-                row.tsc.to_string(),
-                "t/o".into(),
-            ),
+            RunStatus::TimedOut | RunStatus::Cancelled => {
+                // "t/o" for a run that exhausted its budget, "stop" for one
+                // cancelled externally — kept distinct across the whole row
+                // so the Time column never misattributes a cancellation.
+                let marker = if row.status == RunStatus::Cancelled {
+                    "stop"
+                } else {
+                    "t/o"
+                };
+                (
+                    marker.into(),
+                    marker.into(),
+                    marker.into(),
+                    row.tvc().to_string(),
+                    marker.into(),
+                    marker.into(),
+                    row.tsc().to_string(),
+                    marker.into(),
+                )
+            }
             RunStatus::Failed => (
                 "fail".into(),
-                format!("{:.1}", row.time_secs),
-                format!("{:.1}", row.tvt_secs),
-                row.tvc.to_string(),
+                format!("{:.1}", row.time_secs()),
+                format!("{:.1}", row.tvt_secs()),
+                row.tvc().to_string(),
                 "-".into(),
-                format!("{:.1}", row.tst_secs),
-                row.tsc.to_string(),
+                format!("{:.1}", row.tst_secs()),
+                row.tsc().to_string(),
                 "-".into(),
             ),
         };
@@ -92,7 +102,7 @@ pub fn figure8_series(rows: &[Row], thresholds: &[f64]) -> String {
             let completed = rows
                 .iter()
                 .filter(|r| {
-                    r.mode == mode && r.status == RunStatus::Completed && r.time_secs <= threshold
+                    r.mode == mode && r.status == RunStatus::Completed && r.time_secs() <= threshold
                 })
                 .count();
             out.push_str(&format!(" {completed:>8}"));
@@ -127,18 +137,22 @@ mod tests {
     use super::*;
 
     fn sample_row(mode: &str, status: RunStatus, time: f64) -> Row {
+        let mut stats = hanoi::RunStats {
+            total_time: std::time::Duration::from_secs_f64(time),
+            verification_time: std::time::Duration::from_secs_f64(time * 0.8),
+            verification_calls: 10,
+            synthesis_time: std::time::Duration::from_secs_f64(time * 0.1),
+            synthesis_calls: 3,
+            iterations: 7,
+            ..hanoi::RunStats::default()
+        };
+        stats.invariant_size = Some(18);
         Row {
             id: "/coq/unique-list-::-set".into(),
             mode: mode.into(),
             status,
             invariant: None,
-            size: Some(18),
-            time_secs: time,
-            tvt_secs: time * 0.8,
-            tvc: 10,
-            tst_secs: time * 0.1,
-            tsc: 3,
-            iterations: 7,
+            stats,
             paper_size: Some(35),
             paper_time_secs: Some(13.2),
         }

@@ -1,5 +1,21 @@
-//! Configuration of an inference run.
+//! Configuration of the inference service.
+//!
+//! Configuration is split along the lifetime of the state it describes:
+//!
+//! * [`EngineConfig`] — engine-wide settings that shape the *shared* state a
+//!   long-lived [`crate::Engine`] owns (worker threads, cache budgets).
+//!   Fixed for the engine's lifetime.
+//! * [`RunOptions`] — per-run options (mode, synthesizer, verifier bounds,
+//!   search schedule, optimizations, wall-clock budget).  Every
+//!   [`crate::Session`] run picks its own.
+//!
+//! Both carry validating builders: setters keep the value well-formed where
+//! possible, and `validate()` rejects the combinations the engine cannot
+//! execute (reported as [`ConfigError`]).  The legacy [`HanoiConfig`] bundle
+//! is kept for the deprecated [`crate::Driver`] entry point and converts
+//! losslessly via [`HanoiConfig::split`] / [`HanoiConfig::from_parts`].
 
+use std::fmt;
 use std::time::Duration;
 
 use hanoi_synth::SearchConfig;
@@ -113,7 +129,205 @@ impl Optimizations {
     }
 }
 
+/// A configuration value the engine cannot execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be positive was zero.
+    ZeroField(&'static str),
+    /// The synthesizer's search schedule is empty.
+    EmptySchedule,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField(field) => write!(f, "`{field}` must be positive"),
+            ConfigError::EmptySchedule => f.write_str("the synthesizer search schedule is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Engine-wide settings: the shape of the shared state a long-lived
+/// [`crate::Engine`] owns, fixed for the engine's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for every parallel stage (bounded verification, pool
+    /// slab construction, synthesis layer evaluation, batch execution): `1`
+    /// (the default) runs serially like the paper's implementation, `0` uses
+    /// one worker per available core, any other value is taken literally.
+    /// Parallel runs are outcome-identical to serial runs.
+    pub parallelism: usize,
+    /// How many distinct problems the engine keeps warm caches (value pools,
+    /// term banks) for.  When a new problem would exceed the budget, the
+    /// least-recently-used entry is dropped.
+    pub max_cached_problems: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            parallelism: 1,
+            max_cached_problems: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default engine configuration (serial, 64 cached problems).
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Sets the worker-thread count (`1` = serial, `0` = one worker per
+    /// available core).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the per-problem cache budget.
+    pub fn with_max_cached_problems(mut self, max_cached_problems: usize) -> Self {
+        self.max_cached_problems = max_cached_problems;
+        self
+    }
+
+    /// Checks the configuration is executable.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_cached_problems == 0 {
+            return Err(ConfigError::ZeroField("max_cached_problems"));
+        }
+        Ok(())
+    }
+}
+
+/// Per-run options: everything one inference run through a
+/// [`crate::Session`] may choose independently of the engine it runs on.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The algorithm to run.
+    pub mode: Mode,
+    /// The synthesizer backing `Synth`.
+    pub synthesizer: SynthChoice,
+    /// Bounds for the enumerative verifier.
+    pub bounds: VerifierBounds,
+    /// Search configuration for the synthesizer.  A `parallelism` of `None`
+    /// inherits the engine-wide knob.
+    pub search: SearchConfig,
+    /// Which optimizations are enabled.
+    pub optimizations: Optimizations,
+    /// Wall-clock budget for the run (`None` = unlimited).  The paper uses
+    /// 30 minutes.  Independent of external cancellation, which is always
+    /// available through a [`crate::CancelToken`].
+    pub timeout: Option<Duration>,
+    /// Safety cap on CEGIS iterations.
+    pub max_iterations: usize,
+    /// Number of smallest values the OneShot baseline labels (30 in §5.5).
+    pub one_shot_samples: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            mode: Mode::Hanoi,
+            synthesizer: SynthChoice::Myth,
+            bounds: VerifierBounds::default(),
+            search: SearchConfig::default(),
+            optimizations: Optimizations::default(),
+            timeout: Some(Duration::from_secs(30 * 60)),
+            max_iterations: 400,
+            one_shot_samples: 30,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The paper's options: full Hanoi, Myth-style synthesis, paper verifier
+    /// bounds, 30-minute timeout.
+    pub fn paper() -> Self {
+        RunOptions::default()
+    }
+
+    /// Options for unit/integration tests and quick experiment runs: reduced
+    /// verifier bounds and a short timeout.
+    pub fn quick() -> Self {
+        RunOptions {
+            bounds: VerifierBounds::quick(),
+            timeout: Some(Duration::from_secs(60)),
+            max_iterations: 150,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Switches the inference mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Switches the synthesizer.
+    pub fn with_synthesizer(mut self, synthesizer: SynthChoice) -> Self {
+        self.synthesizer = synthesizer;
+        self
+    }
+
+    /// Overrides the verifier bounds.
+    pub fn with_bounds(mut self, bounds: VerifierBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Overrides the synthesizer search configuration.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Switches the optimizations.
+    pub fn with_optimizations(mut self, optimizations: Optimizations) -> Self {
+        self.optimizations = optimizations;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the CEGIS iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Checks the options are executable.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_iterations == 0 {
+            return Err(ConfigError::ZeroField("max_iterations"));
+        }
+        if self.one_shot_samples == 0 {
+            return Err(ConfigError::ZeroField("one_shot_samples"));
+        }
+        if self.bounds.single_count == 0 {
+            return Err(ConfigError::ZeroField("bounds.single_count"));
+        }
+        if self.bounds.fuel == 0 {
+            return Err(ConfigError::ZeroField("bounds.fuel"));
+        }
+        if self.search.schedule.is_empty() {
+            return Err(ConfigError::EmptySchedule);
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of one inference run.
+///
+/// This is the legacy all-in-one bundle consumed by the deprecated
+/// [`crate::Driver`].  New code holds an [`EngineConfig`] for the engine and
+/// a [`RunOptions`] per run; [`HanoiConfig::split`] converts.
 #[derive(Debug, Clone)]
 pub struct HanoiConfig {
     /// The algorithm to run.
@@ -205,6 +419,39 @@ impl HanoiConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Splits the bundle into its engine-wide and per-run halves.
+    pub fn split(&self) -> (EngineConfig, RunOptions) {
+        (
+            EngineConfig::default().with_parallelism(self.parallelism),
+            RunOptions {
+                mode: self.mode,
+                synthesizer: self.synthesizer,
+                bounds: self.bounds,
+                search: self.search.clone(),
+                optimizations: self.optimizations,
+                timeout: self.timeout,
+                max_iterations: self.max_iterations,
+                one_shot_samples: self.one_shot_samples,
+            },
+        )
+    }
+
+    /// Rebuilds a bundle from its halves (inverse of [`HanoiConfig::split`]
+    /// up to the engine's cache budget, which the bundle does not carry).
+    pub fn from_parts(engine: &EngineConfig, run: &RunOptions) -> Self {
+        HanoiConfig {
+            mode: run.mode,
+            synthesizer: run.synthesizer,
+            bounds: run.bounds,
+            search: run.search.clone(),
+            optimizations: run.optimizations,
+            timeout: run.timeout,
+            max_iterations: run.max_iterations,
+            one_shot_samples: run.one_shot_samples,
+            parallelism: engine.parallelism,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +478,47 @@ mod tests {
         assert!(!Optimizations::without_clc().counterexample_list_caching);
         assert!(Optimizations::without_clc().synthesis_result_caching);
         assert!(!Optimizations::none().synthesis_result_caching);
+    }
+
+    #[test]
+    fn split_and_from_parts_round_trip() {
+        let config = HanoiConfig::quick()
+            .with_mode(Mode::ConjStr)
+            .with_synthesizer(SynthChoice::Fold)
+            .with_parallelism(3);
+        let (engine, run) = config.split();
+        assert_eq!(engine.parallelism, 3);
+        assert_eq!(run.mode, Mode::ConjStr);
+        assert_eq!(run.synthesizer, SynthChoice::Fold);
+        assert_eq!(run.timeout, config.timeout);
+        let back = HanoiConfig::from_parts(&engine, &run);
+        assert_eq!(back.parallelism, config.parallelism);
+        assert_eq!(back.mode, config.mode);
+        assert_eq!(back.max_iterations, config.max_iterations);
+    }
+
+    #[test]
+    fn validation_rejects_unexecutable_values() {
+        assert_eq!(EngineConfig::default().validate(), Ok(()));
+        assert_eq!(
+            EngineConfig::default()
+                .with_max_cached_problems(0)
+                .validate(),
+            Err(ConfigError::ZeroField("max_cached_problems"))
+        );
+        assert_eq!(RunOptions::paper().validate(), Ok(()));
+        assert_eq!(RunOptions::quick().validate(), Ok(()));
+        assert_eq!(
+            RunOptions::quick().with_max_iterations(0).validate(),
+            Err(ConfigError::ZeroField("max_iterations"))
+        );
+        let mut empty_schedule = RunOptions::quick();
+        empty_schedule.search.schedule.clear();
+        assert_eq!(empty_schedule.validate(), Err(ConfigError::EmptySchedule));
+        assert!(ConfigError::EmptySchedule.to_string().contains("schedule"));
+        assert!(ConfigError::ZeroField("max_iterations")
+            .to_string()
+            .contains("max_iterations"));
     }
 
     #[test]

@@ -1,27 +1,35 @@
-//! Shared state and plumbing for the inference driver and the baseline modes:
-//! example sets, timed verifier/synthesizer calls, caches and statistics.
+//! Shared state and plumbing for the inference session and the baseline
+//! modes: example sets, timed verifier/synthesizer calls, caches, statistics,
+//! event streaming and cancellation.
 
 use std::time::Instant;
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
-use hanoi_lang::util::{Deadline, OrderedSet};
+use hanoi_lang::util::{CancelToken, Deadline, OrderedSet};
 use hanoi_lang::value::Value;
 use hanoi_synth::{ExampleSet, FoldSynth, MythSynth, SynthError, SynthesisCache, Synthesizer};
 use hanoi_verifier::{InductivenessOutcome, SufficiencyOutcome, Verifier, VerifierError};
 
 use crate::clc::CexListCache;
-use crate::config::{HanoiConfig, SynthChoice};
+use crate::config::{RunOptions, SynthChoice};
+use crate::events::{RunEvent, RunObserver, RunPhase};
 use crate::outcome::{Outcome, RunResult};
 use crate::stats::RunStats;
 
 /// Mutable state of one inference run, shared by all modes.
-pub struct InferenceContext<'p> {
+///
+/// A context is built by a [`crate::Session`] (warm caches from the engine)
+/// or standalone via [`InferenceContext::new`] (fresh caches); either way it
+/// carries the run's deadline and cancellation token, streams [`RunEvent`]s
+/// to the run's observer, and owns the verifier/synthesizer pair every mode
+/// drives.
+pub struct InferenceContext<'p, 'o> {
     /// The problem being solved.
     pub problem: &'p Problem,
-    /// The run configuration.
-    pub config: HanoiConfig,
-    /// The shared wall-clock deadline.
+    /// The per-run options.
+    pub options: RunOptions,
+    /// The shared wall-clock deadline (carries the cancellation token).
     pub deadline: Deadline,
     /// Statistics being accumulated.
     pub stats: RunStats,
@@ -29,70 +37,175 @@ pub struct InferenceContext<'p> {
     pub v_plus: OrderedSet<Value>,
     /// Values the current candidate must reject (`V−`).
     pub v_minus: OrderedSet<Value>,
+    cancel: Option<CancelToken>,
+    observer: Option<&'o mut dyn RunObserver>,
     verifier: Verifier<'p>,
     synthesizer: Box<dyn Synthesizer>,
     synth_cache: SynthesisCache,
     cex_cache: CexListCache,
     started: Instant,
+    /// Counter snapshots taken at run start.  The engine's caches live
+    /// *across* runs, so their counters are cumulative; `RunStats` reports
+    /// the per-run delta (a fully warm run shows `pool_builds == 0`).
+    pool_base: hanoi_verifier::PoolCacheStats,
+    check_base: hanoi_verifier::CheckCacheStats,
+    bank_base: hanoi_synth::TermBankStats,
 }
 
-impl<'p> InferenceContext<'p> {
-    /// Creates a fresh context for one run.
-    pub fn new(problem: &'p Problem, config: HanoiConfig) -> Self {
-        let deadline = match config.timeout {
+impl<'p, 'o> InferenceContext<'p, 'o> {
+    /// Creates a fresh, cold context for one standalone run: new pool cache,
+    /// new term bank, no observer, no external cancellation.
+    ///
+    /// `parallelism` is the engine-wide worker-thread knob (`1` = serial,
+    /// `0` = one worker per core).
+    pub fn new(problem: &'p Problem, options: RunOptions, parallelism: usize) -> Self {
+        let deadline = match options.timeout {
             Some(timeout) => Deadline::after(timeout),
             None => Deadline::none(),
         };
         let verifier = Verifier::new(problem)
-            .with_bounds(config.bounds)
-            .with_deadline(deadline)
-            .with_parallelism(config.parallelism);
-        let synthesizer = Self::make_synthesizer(&config);
-        InferenceContext {
+            .with_bounds(options.bounds)
+            .with_deadline(deadline.clone())
+            .with_parallelism(parallelism);
+        let synthesizer = Self::make_synthesizer(&options, parallelism);
+        Self::from_parts(
             problem,
-            config,
+            options,
+            deadline,
+            None,
+            None,
+            verifier,
+            synthesizer,
+        )
+    }
+
+    /// Assembles a context from externally owned parts — the constructor the
+    /// [`crate::Session`] uses to hand a run warm caches, an observer and a
+    /// cancellation token.  `deadline` must already carry `cancel` (when
+    /// given) so the verifier and synthesizer workers poll it.
+    pub(crate) fn from_parts(
+        problem: &'p Problem,
+        options: RunOptions,
+        deadline: Deadline,
+        cancel: Option<CancelToken>,
+        observer: Option<&'o mut dyn RunObserver>,
+        verifier: Verifier<'p>,
+        synthesizer: Box<dyn Synthesizer>,
+    ) -> Self {
+        let pool_base = verifier.pool_stats();
+        let check_base = verifier.check_cache_stats();
+        let bank_base = synthesizer.term_bank_stats();
+        let mut ctx = InferenceContext {
+            problem,
+            options,
             deadline,
             stats: RunStats::default(),
             v_plus: OrderedSet::new(),
             v_minus: OrderedSet::new(),
+            cancel,
+            observer,
             verifier,
             synthesizer,
             synth_cache: SynthesisCache::new(),
             cex_cache: CexListCache::new(),
             started: Instant::now(),
-        }
+            pool_base,
+            check_base,
+            bank_base,
+        };
+        ctx.emit(RunEvent::RunStarted {
+            mode: ctx.options.mode,
+            synthesizer: ctx.options.synthesizer,
+        });
+        ctx
     }
 
-    /// Builds the configured synthesizer, threading the run's parallelism
-    /// knob into the search configuration so synthesis-side layer
+    /// Builds the configured synthesizer, threading the engine-wide
+    /// parallelism knob into the search configuration so synthesis-side layer
     /// construction uses the same worker pool size as the verifier.  An
     /// explicitly set `SearchConfig::parallelism` (including `Some(1)`,
-    /// forced-serial) takes precedence over the run-wide knob.
-    pub fn make_synthesizer(config: &HanoiConfig) -> Box<dyn Synthesizer> {
-        let mut search = config.search.clone();
+    /// forced-serial) takes precedence over the engine-wide knob.
+    pub fn make_synthesizer(options: &RunOptions, parallelism: usize) -> Box<dyn Synthesizer> {
+        let mut search = options.search.clone();
         if search.parallelism.is_none() {
-            search.parallelism = Some(config.parallelism);
+            search.parallelism = Some(parallelism);
         }
-        match config.synthesizer {
+        match options.synthesizer {
             SynthChoice::Myth => Box::new(MythSynth::with_config(search)),
             SynthChoice::Fold => Box::new(FoldSynth::new().with_config(search)),
         }
     }
 
-    /// `true` once the run's wall-clock budget is exhausted.
+    /// Streams an event to the run's observer, if one is registered.
+    pub fn emit(&mut self, event: RunEvent) {
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.on_event(&event);
+        }
+    }
+
+    /// Streams a [`RunEvent::CandidateProposed`], cloning the candidate
+    /// expression only when someone is listening.
+    fn emit_candidate(&mut self, candidate: &Expr, from_cache: bool) {
+        if self.observer.is_none() {
+            return;
+        }
+        let event = RunEvent::CandidateProposed {
+            iteration: self.stats.iterations,
+            candidate: candidate.clone(),
+            from_cache,
+        };
+        self.emit(event);
+    }
+
+    /// `true` once the run's wall-clock budget is exhausted or the run was
+    /// cancelled.
     pub fn timed_out(&self) -> bool {
         self.deadline.expired()
     }
 
+    /// The outcome to abort with, when the run can no longer continue:
+    /// [`Outcome::Cancelled`] when the cancellation token fired,
+    /// [`Outcome::Timeout`] when the wall clock ran out, `None` otherwise.
+    pub fn interrupted(&self) -> Option<Outcome> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(Outcome::Cancelled);
+        }
+        if self.deadline.expired() {
+            return Some(Outcome::Timeout);
+        }
+        None
+    }
+
     /// Wraps up the run: fills the time, example-count, pool-cache and
-    /// term-bank statistics.
+    /// term-bank statistics, and emits the final event.
     pub fn finish(mut self, outcome: Outcome) -> RunResult {
         self.stats.total_time = self.started.elapsed();
         self.stats.final_positives = self.v_plus.len();
         self.stats.final_negatives = self.v_minus.len();
-        self.stats.record_pool_cache(self.verifier.pool_stats());
+        // The caches may be shared across runs: report this run's delta.
+        let pools = self.verifier.pool_stats();
         self.stats
-            .record_term_bank(self.synthesizer.term_bank_stats());
+            .record_pool_cache(hanoi_verifier::PoolCacheStats {
+                hits: pools.hits - self.pool_base.hits,
+                builds: pools.builds - self.pool_base.builds,
+                slab_builds: pools.slab_builds - self.pool_base.slab_builds,
+                predicate_evals: pools.predicate_evals - self.pool_base.predicate_evals,
+            });
+        self.stats.verification_cache_hits =
+            self.verifier.check_cache_stats().hits - self.check_base.hits;
+        let bank = self.synthesizer.term_bank_stats();
+        self.stats.record_term_bank(hanoi_synth::TermBankStats {
+            terms_enumerated: bank.terms_enumerated - self.bank_base.terms_enumerated,
+            column_appends: bank.column_appends - self.bank_base.column_appends,
+            eq_class_splits: bank.eq_class_splits - self.bank_base.eq_class_splits,
+            bank_hits: bank.bank_hits - self.bank_base.bank_hits,
+            ..bank
+        });
+        self.emit(RunEvent::RunFinished {
+            success: outcome.is_success(),
+            iterations: self.stats.iterations,
+            total: self.stats.total_time,
+        });
         RunResult::new(outcome, self.stats)
     }
 
@@ -122,9 +235,10 @@ impl<'p> InferenceContext<'p> {
     /// when enabled and possible, otherwise by calling the synthesizer.
     pub fn synthesize_candidate(&mut self) -> Result<Expr, Outcome> {
         let examples = self.current_examples()?;
-        if self.config.optimizations.synthesis_result_caching {
+        if self.options.optimizations.synthesis_result_caching {
             if let Some(cached) = self.synth_cache.find_consistent(self.problem, &examples) {
                 self.stats.synthesis_cache_hits += 1;
+                self.emit_candidate(&cached, true);
                 return Ok(cached);
             }
         }
@@ -132,13 +246,19 @@ impl<'p> InferenceContext<'p> {
         let result = self
             .synthesizer
             .synthesize(self.problem, &examples, &self.deadline);
-        self.stats.record_synthesis(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.record_synthesis(elapsed);
+        self.emit(RunEvent::PhaseFinished {
+            phase: RunPhase::Synthesis,
+            elapsed,
+        });
         match result {
             Ok(candidate) => {
                 self.synth_cache.insert(candidate.clone());
+                self.emit_candidate(&candidate, false);
                 Ok(candidate)
             }
-            Err(SynthError::Timeout) => Err(Outcome::Timeout),
+            Err(SynthError::Timeout) => Err(self.interrupted().unwrap_or(Outcome::Timeout)),
             Err(other) => Err(Outcome::SynthesisFailure(other.to_string())),
         }
     }
@@ -149,24 +269,24 @@ impl<'p> InferenceContext<'p> {
         let result = self
             .verifier
             .check_visible_inductiveness(self.v_plus.as_slice(), candidate);
-        self.stats.record_verification(start.elapsed());
-        Self::map_verifier_result(result)
+        self.record_check(RunPhase::VisibleInductiveness, start);
+        self.map_verifier_result(result)
     }
 
     /// Timed sufficiency check.
     pub fn check_sufficiency(&mut self, candidate: &Expr) -> Result<SufficiencyOutcome, Outcome> {
         let start = Instant::now();
         let result = self.verifier.check_sufficiency(candidate);
-        self.stats.record_verification(start.elapsed());
-        Self::map_verifier_result(result)
+        self.record_check(RunPhase::Sufficiency, start);
+        self.map_verifier_result(result)
     }
 
     /// Timed full-inductiveness check.
     pub fn check_full(&mut self, candidate: &Expr) -> Result<InductivenessOutcome, Outcome> {
         let start = Instant::now();
         let result = self.verifier.check_full_inductiveness(candidate);
-        self.stats.record_verification(start.elapsed());
-        Self::map_verifier_result(result)
+        self.record_check(RunPhase::FullInductiveness, start);
+        self.map_verifier_result(result)
     }
 
     /// Timed single-operation full-inductiveness check (LA baseline).
@@ -177,14 +297,22 @@ impl<'p> InferenceContext<'p> {
     ) -> Result<InductivenessOutcome, Outcome> {
         let start = Instant::now();
         let result = self.verifier.check_op_inductiveness(op, candidate);
-        self.stats.record_verification(start.elapsed());
-        Self::map_verifier_result(result)
+        self.record_check(RunPhase::OpInductiveness, start);
+        self.map_verifier_result(result)
     }
 
-    fn map_verifier_result<T>(result: Result<T, VerifierError>) -> Result<T, Outcome> {
+    fn record_check(&mut self, phase: RunPhase, start: Instant) {
+        let elapsed = start.elapsed();
+        self.stats.record_verification(elapsed);
+        self.emit(RunEvent::PhaseFinished { phase, elapsed });
+    }
+
+    fn map_verifier_result<T>(&self, result: Result<T, VerifierError>) -> Result<T, Outcome> {
         match result {
             Ok(value) => Ok(value),
-            Err(VerifierError::Timeout) => Err(Outcome::Timeout),
+            // The verifier reports every deadline expiry as a timeout; when
+            // the deadline's cancellation token fired, the run was cancelled.
+            Err(VerifierError::Timeout) => Err(self.interrupted().unwrap_or(Outcome::Timeout)),
             Err(other) => Err(Outcome::SynthesisFailure(format!(
                 "verifier failed: {other}"
             ))),
@@ -194,15 +322,20 @@ impl<'p> InferenceContext<'p> {
     /// Registers newly discovered constructible values: extends `V+`, resets
     /// `V−` (replaying the counterexample-list cache when enabled).
     pub fn add_positives(&mut self, values: impl IntoIterator<Item = Value>) {
-        self.v_plus.extend(values);
+        let added = self.v_plus.extend(values);
         self.v_minus.clear();
-        if self.config.optimizations.counterexample_list_caching {
+        if self.options.optimizations.counterexample_list_caching {
             let restored = self.cex_cache.replay(self.problem, self.v_plus.as_slice());
             self.stats.clc_restored_negatives += restored.len();
             self.v_minus.extend(restored);
         } else {
             self.cex_cache = CexListCache::new();
         }
+        let event = RunEvent::PositivesAdded {
+            added,
+            total: self.v_plus.len(),
+        };
+        self.emit(event);
     }
 
     /// Registers negative examples produced in response to `candidate`:
@@ -220,6 +353,11 @@ impl<'p> InferenceContext<'p> {
         if !fresh.is_empty() {
             self.cex_cache.record(candidate.clone(), fresh.clone());
         }
+        let event = RunEvent::NegativesAdded {
+            added: fresh.len(),
+            total: self.v_minus.len(),
+        };
+        self.emit(event);
         fresh
     }
 }
@@ -255,8 +393,9 @@ mod tests {
     #[test]
     fn example_bookkeeping() {
         let problem = Problem::from_source(SIMPLE).unwrap();
-        let mut ctx = InferenceContext::new(&problem, HanoiConfig::quick());
+        let mut ctx = InferenceContext::new(&problem, RunOptions::quick(), 1);
         assert!(!ctx.timed_out());
+        assert_eq!(ctx.interrupted(), None);
 
         let candidate = hanoi_lang::parser::parse_expr("fun (l : list) -> True").unwrap();
         let added = ctx.add_negatives(&candidate, &[Value::nat_list(&[1, 1])]);
@@ -279,8 +418,8 @@ mod tests {
     #[test]
     fn disabling_clc_resets_v_minus_completely() {
         let problem = Problem::from_source(SIMPLE).unwrap();
-        let config = HanoiConfig::quick().with_optimizations(Optimizations::without_clc());
-        let mut ctx = InferenceContext::new(&problem, config);
+        let options = RunOptions::quick().with_optimizations(Optimizations::without_clc());
+        let mut ctx = InferenceContext::new(&problem, options, 1);
         let candidate = hanoi_lang::parser::parse_expr("fun (l : list) -> True").unwrap();
         ctx.add_negatives(&candidate, &[Value::nat_list(&[1, 1])]);
         ctx.add_positives([Value::nat_list(&[])]);
@@ -291,7 +430,7 @@ mod tests {
     #[test]
     fn negatives_already_positive_are_not_added() {
         let problem = Problem::from_source(SIMPLE).unwrap();
-        let mut ctx = InferenceContext::new(&problem, HanoiConfig::quick());
+        let mut ctx = InferenceContext::new(&problem, RunOptions::quick(), 1);
         ctx.add_positives([Value::nat_list(&[2])]);
         let candidate = hanoi_lang::parser::parse_expr("fun (l : list) -> True").unwrap();
         let added = ctx.add_negatives(&candidate, &[Value::nat_list(&[2]), Value::nat_list(&[3])]);
@@ -301,7 +440,7 @@ mod tests {
     #[test]
     fn synthesize_candidate_uses_the_cache() {
         let problem = Problem::from_source(SIMPLE).unwrap();
-        let mut ctx = InferenceContext::new(&problem, HanoiConfig::quick());
+        let mut ctx = InferenceContext::new(&problem, RunOptions::quick(), 1);
         let first = ctx.synthesize_candidate().unwrap();
         assert_eq!(ctx.stats.synthesis_calls, 1);
         let second = ctx.synthesize_candidate().unwrap();
@@ -312,5 +451,101 @@ mod tests {
         let result = ctx.finish(Outcome::Invariant(first));
         assert!(result.is_success());
         assert!(result.stats.total_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn events_stream_to_the_observer() {
+        use crate::events::CollectingObserver;
+
+        let problem = Problem::from_source(SIMPLE).unwrap();
+        let mut observer = CollectingObserver::new();
+        let options = RunOptions::quick();
+        let deadline = Deadline::none();
+        let verifier = Verifier::new(&problem)
+            .with_bounds(options.bounds)
+            .with_deadline(deadline.clone());
+        let synthesizer = InferenceContext::make_synthesizer(&options, 1);
+        let mut ctx = InferenceContext::from_parts(
+            &problem,
+            options,
+            deadline,
+            None,
+            Some(&mut observer),
+            verifier,
+            synthesizer,
+        );
+        let candidate = ctx.synthesize_candidate().unwrap();
+        let cached = ctx.synthesize_candidate().unwrap();
+        assert_eq!(candidate, cached);
+        ctx.add_negatives(&candidate, &[Value::nat_list(&[1, 1])]);
+        let _ = ctx.check_sufficiency(&candidate).unwrap();
+        let result = ctx.finish(Outcome::Invariant(candidate));
+        assert!(result.is_success());
+
+        let events = &observer.events;
+        assert!(matches!(events[0], RunEvent::RunStarted { .. }));
+        assert!(matches!(
+            events.last(),
+            Some(RunEvent::RunFinished { success: true, .. })
+        ));
+        assert_eq!(
+            observer.count(|e| matches!(
+                e,
+                RunEvent::CandidateProposed {
+                    from_cache: false,
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            observer.count(|e| matches!(
+                e,
+                RunEvent::CandidateProposed {
+                    from_cache: true,
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            observer.count(|e| matches!(
+                e,
+                RunEvent::PhaseFinished {
+                    phase: RunPhase::Sufficiency,
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            observer.count(|e| matches!(e, RunEvent::NegativesAdded { added: 1, .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn cancellation_maps_to_the_cancelled_outcome() {
+        let problem = Problem::from_source(SIMPLE).unwrap();
+        let options = RunOptions::quick();
+        let token = CancelToken::new();
+        let deadline = Deadline::none().with_cancel(token.clone());
+        let verifier = Verifier::new(&problem)
+            .with_bounds(options.bounds)
+            .with_deadline(deadline.clone());
+        let synthesizer = InferenceContext::make_synthesizer(&options, 1);
+        let ctx = InferenceContext::from_parts(
+            &problem,
+            options,
+            deadline,
+            Some(token.clone()),
+            None,
+            verifier,
+            synthesizer,
+        );
+        assert_eq!(ctx.interrupted(), None);
+        token.cancel();
+        assert_eq!(ctx.interrupted(), Some(Outcome::Cancelled));
+        assert!(ctx.timed_out(), "cancellation expires the shared deadline");
     }
 }

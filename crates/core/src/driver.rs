@@ -1,19 +1,32 @@
-//! The inference driver: Figure 4 of the paper, plus mode dispatch.
+//! The legacy per-call inference driver, kept as a thin shim over
+//! [`Engine`]/[`crate::Session`].
+//!
+//! `Driver::new(problem, config).run()` was the original one-shot entry
+//! point; it rebuilt every cache per call.  New code should hold a long-lived
+//! [`Engine`] and run [`crate::Session`]s against it — see the README's
+//! migration table.  The shim exists so old call sites keep compiling and
+//! behaving identically (a fresh engine per call is exactly the old cold-run
+//! behaviour).
 
 use hanoi_abstraction::Problem;
-use hanoi_verifier::{InductivenessOutcome, SufficiencyOutcome};
 
-use crate::config::{HanoiConfig, Mode};
-use crate::context::InferenceContext;
-use crate::modes;
-use crate::outcome::{Outcome, RunResult};
+use crate::config::HanoiConfig;
+use crate::engine::Engine;
+use crate::outcome::RunResult;
 
-/// Runs representation-invariant inference on one problem.
+/// Runs representation-invariant inference on one problem, rebuilding all
+/// caches per call.
+#[deprecated(
+    since = "0.1.0",
+    note = "use a long-lived `Engine` and `Session::run` (see the README migration table); \
+            `Driver` rebuilds every cache per call"
+)]
 pub struct Driver<'p> {
     problem: &'p Problem,
     config: HanoiConfig,
 }
 
+#[allow(deprecated)]
 impl<'p> Driver<'p> {
     /// Creates a driver with the given configuration.
     pub fn new(problem: &'p Problem, config: HanoiConfig) -> Self {
@@ -31,88 +44,30 @@ impl<'p> Driver<'p> {
     }
 
     /// Runs inference to completion (or timeout) and returns the outcome with
-    /// its statistics.
+    /// its statistics.  Equivalent to one cold run through a fresh
+    /// [`Engine`].
     pub fn run(&self) -> RunResult {
-        let ctx = InferenceContext::new(self.problem, self.config.clone());
-        match self.config.mode {
-            Mode::Hanoi => run_hanoi(ctx),
-            Mode::ConjStr => modes::conj_str::run(ctx),
-            Mode::LinearArbitrary => modes::linear_arbitrary::run(ctx),
-            Mode::OneShot => modes::one_shot::run(ctx),
-        }
-    }
-}
-
-/// The Hanoi algorithm of Figure 4, in iterative form.
-///
-/// Each iteration corresponds to one recursive call of the figure: synthesize
-/// a candidate from the current `V+`/`V−`, weaken it via visible
-/// inductiveness (`ClosedPositives`), and only once it is visibly inductive
-/// check sufficiency and full inductiveness (`NoNegatives`), strengthening on
-/// their counterexamples.
-fn run_hanoi(mut ctx: InferenceContext<'_>) -> RunResult {
-    loop {
-        if ctx.timed_out() {
-            return ctx.finish(Outcome::Timeout);
-        }
-        ctx.stats.iterations += 1;
-        if ctx.stats.iterations > ctx.config.max_iterations {
-            let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
-            return ctx.finish(Outcome::SynthesisFailure(message));
-        }
-
-        // Synth V+ V−
-        let candidate = match ctx.synthesize_candidate() {
-            Ok(candidate) => candidate,
-            Err(outcome) => return ctx.finish(outcome),
+        let (engine_config, options) = self.config.split();
+        let engine = match Engine::new(engine_config) {
+            Ok(engine) => engine,
+            Err(error) => {
+                return RunResult::new(
+                    crate::outcome::Outcome::SynthesisFailure(format!(
+                        "invalid engine config: {error}"
+                    )),
+                    crate::stats::RunStats::default(),
+                )
+            }
         };
-
-        // ClosedPositives V+ I: weaken until visibly inductive.
-        match ctx.check_visible(&candidate) {
-            Ok(InductivenessOutcome::Valid) => {}
-            Ok(InductivenessOutcome::Cex(cex)) => {
-                // Everything reachable in one step from V+ is constructible.
-                ctx.add_positives(cex.v);
-                continue;
-            }
-            Err(outcome) => return ctx.finish(outcome),
-        }
-
-        // NoNegatives I: sufficiency first…
-        match ctx.check_sufficiency(&candidate) {
-            Ok(SufficiencyOutcome::Valid) => {}
-            Ok(SufficiencyOutcome::Cex(cex)) => {
-                let fresh = ctx.add_negatives(&candidate, &cex.abstract_args);
-                if fresh.is_empty() {
-                    // Every witness is known constructible: the module
-                    // genuinely violates its specification.
-                    return ctx.finish(Outcome::SpecViolation(cex.abstract_args));
-                }
-                continue;
-            }
-            Err(outcome) => return ctx.finish(outcome),
-        }
-
-        // …then full inductiveness.
-        match ctx.check_full(&candidate) {
-            Ok(InductivenessOutcome::Valid) => {
-                return ctx.finish(Outcome::Invariant(candidate));
-            }
-            Ok(InductivenessOutcome::Cex(cex)) => {
-                let fresh = ctx.add_negatives(&candidate, &cex.s);
-                if fresh.is_empty() {
-                    return ctx.finish(Outcome::SpecViolation(cex.s));
-                }
-                continue;
-            }
-            Err(outcome) => return ctx.finish(outcome),
-        }
+        engine.run(self.problem, &options)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::outcome::Outcome;
     use hanoi_lang::value::Value;
 
     /// The paper's running example (§2).
@@ -187,6 +142,16 @@ mod tests {
         assert!(result.stats.invariant_size.is_some());
         assert!(result.stats.iterations > 1);
         assert!(result.stats.final_positives > 0);
+    }
+
+    #[test]
+    fn the_shim_matches_a_cold_engine_run() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let shimmed = Driver::new(&problem, HanoiConfig::quick()).run();
+        let (_, options) = HanoiConfig::quick().split();
+        let direct = Engine::with_defaults().run(&problem, &options);
+        assert_eq!(shimmed.outcome, direct.outcome);
+        assert_eq!(shimmed.stats.iterations, direct.stats.iterations);
     }
 
     #[test]

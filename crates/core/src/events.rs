@@ -1,0 +1,181 @@
+//! Streaming run events: the [`RunObserver`] interface.
+//!
+//! A long-running inference service cannot wait for [`crate::RunResult`] to
+//! learn what a run is doing — experiment dashboards want candidates as they
+//! are proposed, counterexamples as they are found, and phase timings as they
+//! complete.  Every run accepts an optional observer
+//! ([`crate::Session::run_observed`]); the inference context emits a
+//! [`RunEvent`] at each step of the CEGIS loop, superseding the previous
+//! practice of polling intermediate `RunStats` snapshots.
+//!
+//! Events are emitted synchronously from the run's thread, in a deterministic
+//! order for a deterministic run; observers should be cheap (buffer, forward
+//! to a channel) and must not block.
+
+use std::time::Duration;
+
+use hanoi_lang::ast::Expr;
+
+use crate::config::{Mode, SynthChoice};
+
+/// The phase of the CEGIS loop a timed event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunPhase {
+    /// A synthesizer call (`Synth V+ V−`).
+    Synthesis,
+    /// A visible-inductiveness check (`ClosedPositives`).
+    VisibleInductiveness,
+    /// A sufficiency check (`Verify Suf`).
+    Sufficiency,
+    /// A full-inductiveness check (`NoNegatives`).
+    FullInductiveness,
+    /// A single-operation inductiveness check (the LA baseline).
+    OpInductiveness,
+}
+
+impl RunPhase {
+    /// The label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunPhase::Synthesis => "synthesis",
+            RunPhase::VisibleInductiveness => "visible-inductiveness",
+            RunPhase::Sufficiency => "sufficiency",
+            RunPhase::FullInductiveness => "full-inductiveness",
+            RunPhase::OpInductiveness => "op-inductiveness",
+        }
+    }
+}
+
+/// One step of an inference run, streamed to the run's [`RunObserver`].
+#[derive(Debug, Clone)]
+pub enum RunEvent {
+    /// The run started.
+    RunStarted {
+        /// The algorithm being run.
+        mode: Mode,
+        /// The synthesizer backing it.
+        synthesizer: SynthChoice,
+    },
+    /// A candidate invariant was produced (by the synthesizer or from the
+    /// synthesis-result cache).
+    CandidateProposed {
+        /// The CEGIS iteration the candidate belongs to (1-based; `0` for
+        /// calls outside the iteration counter, e.g. OneShot's single guess
+        /// before its iteration is recorded).
+        iteration: usize,
+        /// The candidate predicate.
+        candidate: Expr,
+        /// `true` when the candidate was served from the synthesis-result
+        /// cache without a synthesizer call.
+        from_cache: bool,
+    },
+    /// Constructible values were learned (a visible-inductiveness
+    /// counterexample): `V+` grew and `V−` was reset/replayed.
+    PositivesAdded {
+        /// How many genuinely new values entered `V+`.
+        added: usize,
+        /// Size of `V+` afterwards.
+        total: usize,
+    },
+    /// Negative examples were learned (a sufficiency or full-inductiveness
+    /// counterexample).
+    NegativesAdded {
+        /// How many genuinely new values entered `V−`.
+        added: usize,
+        /// Size of `V−` afterwards.
+        total: usize,
+    },
+    /// A synthesis call or verifier check completed.
+    PhaseFinished {
+        /// Which phase.
+        phase: RunPhase,
+        /// Its wall-clock duration.
+        elapsed: Duration,
+    },
+    /// The run ended.
+    RunFinished {
+        /// `true` when an invariant was produced.
+        success: bool,
+        /// CEGIS iterations executed.
+        iterations: usize,
+        /// Total wall-clock time.
+        total: Duration,
+    },
+}
+
+/// A sink for [`RunEvent`]s, registered per run.
+///
+/// Observers run on the inference thread: keep `on_event` cheap and
+/// non-blocking.  The `Send` bound lets [`crate::Engine::run_batch`] carry
+/// runs (and their observers) to worker threads.
+pub trait RunObserver: Send {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &RunEvent);
+}
+
+/// Every `FnMut(&RunEvent)` closure is an observer.
+impl<F: FnMut(&RunEvent) + Send> RunObserver for F {
+    fn on_event(&mut self, event: &RunEvent) {
+        self(event)
+    }
+}
+
+/// An observer that buffers every event — convenient for tests and one-shot
+/// tools that inspect the stream after the run.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    /// The events observed so far, in emission order.
+    pub events: Vec<RunEvent>,
+}
+
+impl CollectingObserver {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingObserver::default()
+    }
+
+    /// How many collected events match `predicate`.
+    pub fn count(&self, predicate: impl Fn(&RunEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| predicate(e)).count()
+    }
+}
+
+impl RunObserver for CollectingObserver {
+    fn on_event(&mut self, event: &RunEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_and_collectors_observe() {
+        let event = RunEvent::PhaseFinished {
+            phase: RunPhase::Synthesis,
+            elapsed: Duration::from_millis(5),
+        };
+        let mut seen = 0usize;
+        {
+            let mut closure = |_: &RunEvent| seen += 1;
+            closure.on_event(&event);
+            closure.on_event(&event);
+        }
+        assert_eq!(seen, 2);
+
+        let mut collector = CollectingObserver::new();
+        collector.on_event(&event);
+        collector.on_event(&RunEvent::RunFinished {
+            success: true,
+            iterations: 3,
+            total: Duration::from_secs(1),
+        });
+        assert_eq!(collector.events.len(), 2);
+        assert_eq!(
+            collector.count(|e| matches!(e, RunEvent::PhaseFinished { .. })),
+            1
+        );
+        assert_eq!(RunPhase::Sufficiency.label(), "sufficiency");
+    }
+}

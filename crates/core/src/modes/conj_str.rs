@@ -16,21 +16,21 @@ use crate::modes::conjoin;
 use crate::outcome::{Outcome, RunResult};
 
 /// Runs the ∧Str baseline to completion.
-pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
+pub fn run(mut ctx: InferenceContext<'_, '_>) -> RunResult {
     let concrete = ctx.problem.concrete_type().clone();
     'restart: loop {
-        if ctx.timed_out() {
-            return ctx.finish(Outcome::Timeout);
+        if let Some(outcome) = ctx.interrupted() {
+            return ctx.finish(outcome);
         }
         // Phase 1: find a sufficient first conjunct.
         ctx.v_minus.clear();
         let first = loop {
-            if ctx.timed_out() {
-                return ctx.finish(Outcome::Timeout);
+            if let Some(outcome) = ctx.interrupted() {
+                return ctx.finish(outcome);
             }
             ctx.stats.iterations += 1;
-            if ctx.stats.iterations > ctx.config.max_iterations {
-                let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
+            if ctx.stats.iterations > ctx.options.max_iterations {
+                let message = format!("iteration cap of {} reached", ctx.options.max_iterations);
                 return ctx.finish(Outcome::SynthesisFailure(message));
             }
             let candidate = match ctx.synthesize_candidate() {
@@ -52,12 +52,12 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
         // Phase 2: strengthen the conjunction until it is inductive.
         let mut conjuncts = vec![first];
         loop {
-            if ctx.timed_out() {
-                return ctx.finish(Outcome::Timeout);
+            if let Some(outcome) = ctx.interrupted() {
+                return ctx.finish(outcome);
             }
             ctx.stats.iterations += 1;
-            if ctx.stats.iterations > ctx.config.max_iterations {
-                let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
+            if ctx.stats.iterations > ctx.options.max_iterations {
+                let message = format!("iteration cap of {} reached", ctx.options.max_iterations);
                 return ctx.finish(Outcome::SynthesisFailure(message));
             }
             let conjunction = conjoin(&concrete, &conjuncts);
@@ -94,8 +94,8 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{HanoiConfig, Mode};
-    use crate::driver::Driver;
+    use crate::config::{Mode, RunOptions};
+    use crate::engine::Engine;
     use hanoi_abstraction::Problem;
     use hanoi_lang::value::Value;
 
@@ -135,8 +135,8 @@ mod tests {
     #[test]
     fn conj_str_solves_the_running_example() {
         let problem = Problem::from_source(LIST_SET).unwrap();
-        let config = HanoiConfig::quick().with_mode(Mode::ConjStr);
-        let result = Driver::new(&problem, config).run();
+        let options = RunOptions::quick().with_mode(Mode::ConjStr);
+        let result = Engine::with_defaults().run(&problem, &options);
         match &result.outcome {
             Outcome::Invariant(invariant) => {
                 assert!(problem

@@ -11,7 +11,7 @@ use crate::context::InferenceContext;
 use crate::outcome::{Outcome, RunResult};
 
 /// Runs the LA baseline to completion.
-pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
+pub fn run(mut ctx: InferenceContext<'_, '_>) -> RunResult {
     let op_names: Vec<String> = ctx
         .problem
         .inductive_ops()
@@ -20,12 +20,12 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
         .collect();
 
     loop {
-        if ctx.timed_out() {
-            return ctx.finish(Outcome::Timeout);
+        if let Some(outcome) = ctx.interrupted() {
+            return ctx.finish(outcome);
         }
         ctx.stats.iterations += 1;
-        if ctx.stats.iterations > ctx.config.max_iterations {
-            let message = format!("iteration cap of {} reached", ctx.config.max_iterations);
+        if ctx.stats.iterations > ctx.options.max_iterations {
+            let message = format!("iteration cap of {} reached", ctx.options.max_iterations);
             return ctx.finish(Outcome::SynthesisFailure(message));
         }
 
@@ -81,8 +81,8 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{HanoiConfig, Mode};
-    use crate::driver::Driver;
+    use crate::config::{Mode, RunOptions};
+    use crate::engine::Engine;
     use hanoi_abstraction::Problem;
     use hanoi_lang::value::Value;
 
@@ -122,8 +122,8 @@ mod tests {
     #[test]
     fn la_solves_the_running_example() {
         let problem = Problem::from_source(LIST_SET).unwrap();
-        let config = HanoiConfig::quick().with_mode(Mode::LinearArbitrary);
-        let result = Driver::new(&problem, config).run();
+        let options = RunOptions::quick().with_mode(Mode::LinearArbitrary);
+        let result = Engine::with_defaults().run(&problem, &options);
         match &result.outcome {
             Outcome::Invariant(invariant) => {
                 assert!(problem

@@ -1,13 +1,16 @@
-//! The comparison modes of §5.5: ∧Str (conjunctive strengthening à la
+//! The inference modes: the main Hanoi algorithm (Figure 4) and the
+//! comparison modes of §5.5 — ∧Str (conjunctive strengthening à la
 //! LoopInvGen), LA (LinearArbitrary-style counterexample handling) and
 //! OneShot (a single synthesis call over labelled small values).
 //!
 //! Each mode reuses the same synthesizer, verifier and example bookkeeping as
 //! the main algorithm through [`crate::context::InferenceContext`]; only the
 //! counterexample-handling strategy differs, which is exactly the comparison
-//! the paper's Figure 8 makes.
+//! the paper's Figure 8 makes.  Modes are dispatched by
+//! [`crate::Session::run`] on [`crate::RunOptions::mode`].
 
 pub mod conj_str;
+pub mod hanoi;
 pub mod linear_arbitrary;
 pub mod one_shot;
 

@@ -16,7 +16,7 @@ use crate::context::InferenceContext;
 use crate::outcome::{Outcome, RunResult};
 
 /// Runs the OneShot baseline.
-pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
+pub fn run(mut ctx: InferenceContext<'_, '_>) -> RunResult {
     if ctx.problem.spec.abstract_arity() != 1 {
         return ctx.finish(Outcome::SynthesisFailure(
             "OneShot requires a specification with exactly one abstract-type quantifier".into(),
@@ -28,7 +28,7 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
     // base-type quantifier instantiated over a small enumeration.
     let samples = ctx
         .verifier()
-        .smallest_concrete_values(ctx.config.one_shot_samples);
+        .smallest_concrete_values(ctx.options.one_shot_samples);
     let labels: Vec<(Value, bool)> = samples
         .iter()
         .map(|sample| (sample.clone(), spec_holds_on(&mut ctx, sample)))
@@ -72,7 +72,7 @@ pub fn run(mut ctx: InferenceContext<'_>) -> RunResult {
 /// Evaluates the specification on `sample` at the abstract position, with all
 /// base-type quantifiers instantiated over a small enumeration; `true` only
 /// when every instantiation satisfies the spec.
-fn spec_holds_on(ctx: &mut InferenceContext<'_>, sample: &Value) -> bool {
+fn spec_holds_on(ctx: &mut InferenceContext<'_, '_>, sample: &Value) -> bool {
     let spec = &ctx.problem.spec;
     let abstract_position = spec.abstract_positions()[0];
     let mut pools: Vec<Vec<Value>> = Vec::new();
@@ -123,8 +123,8 @@ fn spec_holds_on(ctx: &mut InferenceContext<'_>, sample: &Value) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use crate::config::{HanoiConfig, Mode};
-    use crate::driver::Driver;
+    use crate::config::{Mode, RunOptions};
+    use crate::engine::Engine;
     use crate::outcome::Outcome;
     use hanoi_abstraction::Problem;
 
@@ -168,15 +168,15 @@ mod tests {
         // terminate quickly with a definite outcome and exactly one synthesis
         // call.
         let problem = Problem::from_source(UNIQUE_LIST).unwrap();
-        let config = HanoiConfig::quick().with_mode(Mode::OneShot);
-        let result = Driver::new(&problem, config).run();
+        let options = RunOptions::quick().with_mode(Mode::OneShot);
+        let result = Engine::with_defaults().run(&problem, &options);
         match &result.outcome {
             Outcome::Invariant(inv) => {
                 assert!(!problem
                     .eval_predicate(inv, &hanoi_lang::value::Value::nat_list(&[1, 1]))
                     .unwrap());
             }
-            Outcome::SynthesisFailure(_) | Outcome::Timeout => {}
+            Outcome::SynthesisFailure(_) | Outcome::Timeout | Outcome::Cancelled => {}
             Outcome::SpecViolation(_) => panic!("the module satisfies its spec"),
         }
         assert!(result.stats.synthesis_calls <= 1);
@@ -190,8 +190,8 @@ mod tests {
             "spec (s1 : t) (s2 : t) (i : nat) = lookup (insert s1 i) i",
         );
         let problem = Problem::from_source(&src).unwrap();
-        let config = HanoiConfig::quick().with_mode(Mode::OneShot);
-        let result = Driver::new(&problem, config).run();
+        let options = RunOptions::quick().with_mode(Mode::OneShot);
+        let result = Engine::with_defaults().run(&problem, &options);
         assert!(matches!(result.outcome, Outcome::SynthesisFailure(_)));
     }
 }

@@ -22,6 +22,9 @@ pub enum Outcome {
     SynthesisFailure(String),
     /// The wall-clock budget was exhausted.
     Timeout,
+    /// The run was stopped through its [`crate::CancelToken`] before it
+    /// reached a verdict.
+    Cancelled,
 }
 
 impl Outcome {
@@ -55,6 +58,7 @@ impl fmt::Display for Outcome {
             }
             Outcome::SynthesisFailure(msg) => write!(f, "synthesis failure: {msg}"),
             Outcome::Timeout => f.write_str("timed out"),
+            Outcome::Cancelled => f.write_str("cancelled"),
         }
     }
 }
@@ -93,6 +97,8 @@ mod tests {
         assert!(inv.is_success());
         assert_eq!(inv.invariant(), Some(&Expr::tru()));
         assert!(!Outcome::Timeout.is_success());
+        assert!(!Outcome::Cancelled.is_success());
+        assert_eq!(Outcome::Cancelled.to_string(), "cancelled");
         assert!(Outcome::SpecViolation(vec![Value::nat(1)])
             .to_string()
             .contains('1'));

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::json::{Json, JsonError};
+
 /// Statistics collected during one inference run.
 ///
 /// The field names follow the columns of Figure 7: `TVT` (total verification
@@ -38,6 +40,9 @@ pub struct RunStats {
     /// Candidate-predicate evaluations performed by the verifier's compiled
     /// predicates (pool filtering plus `P`/`Q` tests).
     pub predicate_evals: u64,
+    /// Verifier checks answered from the engine's cross-run check-outcome
+    /// cache without re-running their sweep.
+    pub verification_cache_hits: u64,
     /// Candidate terms enumerated by the synthesis engine (pre-dedup) across
     /// all guesses of the run.
     pub synth_terms_enumerated: u64,
@@ -97,6 +102,111 @@ impl RunStats {
         self.synth_eq_class_splits = bank.eq_class_splits;
         self.synth_bank_hits = bank.bank_hits;
     }
+
+    /// Serializes every counter to a JSON object (durations in seconds),
+    /// round-tripped by [`RunStats::from_json_value`].  This is the one
+    /// serial form of run statistics; the experiment harness embeds it in
+    /// its result rows instead of re-formatting each column by hand.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_secs", Json::Num(self.total_time.as_secs_f64())),
+            (
+                "verification_secs",
+                Json::Num(self.verification_time.as_secs_f64()),
+            ),
+            (
+                "verification_calls",
+                Json::Num(self.verification_calls as f64),
+            ),
+            (
+                "synthesis_secs",
+                Json::Num(self.synthesis_time.as_secs_f64()),
+            ),
+            ("synthesis_calls", Json::Num(self.synthesis_calls as f64)),
+            ("iterations", Json::Num(self.iterations as f64)),
+            (
+                "synthesis_cache_hits",
+                Json::Num(self.synthesis_cache_hits as f64),
+            ),
+            (
+                "clc_restored_negatives",
+                Json::Num(self.clc_restored_negatives as f64),
+            ),
+            ("pool_cache_hits", Json::Num(self.pool_cache_hits as f64)),
+            ("pool_builds", Json::Num(self.pool_builds as f64)),
+            ("pool_slab_builds", Json::Num(self.pool_slab_builds as f64)),
+            ("predicate_evals", Json::Num(self.predicate_evals as f64)),
+            (
+                "verification_cache_hits",
+                Json::Num(self.verification_cache_hits as f64),
+            ),
+            (
+                "synth_terms_enumerated",
+                Json::Num(self.synth_terms_enumerated as f64),
+            ),
+            (
+                "synth_column_appends",
+                Json::Num(self.synth_column_appends as f64),
+            ),
+            (
+                "synth_eq_class_splits",
+                Json::Num(self.synth_eq_class_splits as f64),
+            ),
+            ("synth_bank_hits", Json::Num(self.synth_bank_hits as f64)),
+            (
+                "invariant_size",
+                Json::opt(self.invariant_size, |s| Json::Num(s as f64)),
+            ),
+            ("final_positives", Json::Num(self.final_positives as f64)),
+            ("final_negatives", Json::Num(self.final_negatives as f64)),
+        ])
+    }
+
+    /// Deserializes statistics from the output of [`RunStats::to_json`].
+    pub fn from_json_value(value: &Json) -> Result<RunStats, JsonError> {
+        let missing = |field: &str| JsonError {
+            message: format!("missing or ill-typed stats field `{field}`"),
+            offset: 0,
+        };
+        let secs = |field: &'static str| -> Result<Duration, JsonError> {
+            value
+                .get(field)
+                .and_then(Json::as_f64)
+                .filter(|s| *s >= 0.0)
+                .map(Duration::from_secs_f64)
+                .ok_or_else(|| missing(field))
+        };
+        let count = |field: &'static str| -> Result<usize, JsonError> {
+            value
+                .get(field)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing(field))
+        };
+        let counter =
+            |field: &'static str| -> Result<u64, JsonError> { count(field).map(|n| n as u64) };
+        Ok(RunStats {
+            total_time: secs("total_secs")?,
+            verification_time: secs("verification_secs")?,
+            verification_calls: count("verification_calls")?,
+            synthesis_time: secs("synthesis_secs")?,
+            synthesis_calls: count("synthesis_calls")?,
+            iterations: count("iterations")?,
+            synthesis_cache_hits: count("synthesis_cache_hits")?,
+            clc_restored_negatives: count("clc_restored_negatives")?,
+            pool_cache_hits: counter("pool_cache_hits")?,
+            pool_builds: counter("pool_builds")?,
+            pool_slab_builds: counter("pool_slab_builds")?,
+            predicate_evals: counter("predicate_evals")?,
+            verification_cache_hits: counter("verification_cache_hits")?,
+            synth_terms_enumerated: counter("synth_terms_enumerated")?,
+            synth_column_appends: counter("synth_column_appends")?,
+            synth_eq_class_splits: counter("synth_eq_class_splits")?,
+            synth_bank_hits: counter("synth_bank_hits")?,
+            invariant_size: value.get("invariant_size").and_then(Json::as_usize),
+            final_positives: count("final_positives")?,
+            final_negatives: count("final_negatives")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +228,46 @@ mod tests {
         );
         assert_eq!(stats.mean_synthesis_time(), Some(Duration::from_millis(8)));
         assert_eq!(stats.synthesis_time, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn json_round_trips_every_counter() {
+        let stats = RunStats {
+            total_time: Duration::from_millis(1500),
+            verification_time: Duration::from_millis(900),
+            verification_calls: 12,
+            synthesis_time: Duration::from_millis(400),
+            synthesis_calls: 5,
+            iterations: 7,
+            synthesis_cache_hits: 2,
+            clc_restored_negatives: 3,
+            pool_cache_hits: 40,
+            pool_builds: 4,
+            pool_slab_builds: 9,
+            predicate_evals: 12345,
+            verification_cache_hits: 4,
+            synth_terms_enumerated: 678,
+            synth_column_appends: 6,
+            synth_eq_class_splits: 2,
+            synth_bank_hits: 500,
+            invariant_size: Some(18),
+            final_positives: 11,
+            final_negatives: 8,
+        };
+        let json = stats.to_json();
+        let text = json.render();
+        let parsed = crate::json::parse(&text).unwrap();
+        let back = RunStats::from_json_value(&parsed).unwrap();
+        assert_eq!(back, stats);
+
+        // `None` sizes survive too.
+        let empty = RunStats::default();
+        let back = RunStats::from_json_value(&empty.to_json()).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.invariant_size, None);
+
+        // Missing fields are reported by name.
+        let err = RunStats::from_json_value(&Json::obj([])).unwrap_err();
+        assert!(err.message.contains("total_secs"), "{err}");
     }
 }

@@ -1,6 +1,6 @@
 //! Size-ordered enumeration of first-order values.
 //!
-//! The paper's verifier (§4.3) "test[s] the predicate on data structures,
+//! The paper's verifier (§4.3) "test\[s\] the predicate on data structures,
 //! from smallest to largest, until either 3000 data structures have been
 //! processed, or the data structure has over 30 AST nodes".  This module
 //! provides exactly that stream: all values of a 0-order type, grouped and

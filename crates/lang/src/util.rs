@@ -2,40 +2,103 @@
 
 use std::collections::HashSet;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared, thread-safe cooperative-cancellation flag.
+///
+/// A token is cheap to clone (`Arc` of one atomic); every clone observes the
+/// same flag.  Long-running components never poll tokens directly — they poll
+/// the [`Deadline`] the token is attached to via [`Deadline::with_cancel`],
+/// so the verifier's and the synthesizer's existing per-tuple deadline checks
+/// double as cancellation points.  Cancellation is level-triggered and
+/// permanent: once [`CancelToken::cancel`] has been called every in-flight
+/// and future check against the flag aborts.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.  Idempotent; safe to call from any thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
 
 /// A wall-clock deadline shared by long-running components (the verifier, the
 /// synthesizers and the inference driver), checked cooperatively.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// A deadline can additionally carry a [`CancelToken`]; [`Deadline::expired`]
+/// then reports `true` as soon as *either* the wall clock runs out or the
+/// token is cancelled, so every existing deadline poll is also a cancellation
+/// point.
+#[derive(Debug, Clone, Default)]
 pub struct Deadline {
     at: Option<Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl Deadline {
     /// No deadline: run to completion.
     pub fn none() -> Self {
-        Deadline { at: None }
+        Deadline {
+            at: None,
+            cancel: None,
+        }
     }
 
     /// A deadline `duration` from now.
     pub fn after(duration: Duration) -> Self {
         Deadline {
             at: Some(Instant::now() + duration),
+            cancel: None,
         }
     }
 
     /// A deadline at an absolute instant.
     pub fn at(instant: Instant) -> Self {
-        Deadline { at: Some(instant) }
+        Deadline {
+            at: Some(instant),
+            cancel: None,
+        }
     }
 
-    /// `true` once the deadline has passed.
+    /// Attaches a cancellation token: the deadline also counts as expired
+    /// once the token is cancelled.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` once the deadline has passed or the attached cancellation
+    /// token (if any) has been cancelled.
     pub fn expired(&self) -> bool {
-        self.at.is_some_and(|at| Instant::now() >= at)
+        self.cancelled() || self.at.is_some_and(|at| Instant::now() >= at)
     }
 
-    /// Time remaining, if a deadline is set (zero once expired).
+    /// `true` when an attached cancellation token has been cancelled
+    /// (independent of the wall clock).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Time remaining, if a deadline is set (zero once expired or cancelled).
     pub fn remaining(&self) -> Option<Duration> {
+        if self.cancelled() {
+            return Some(Duration::ZERO);
+        }
         self.at
             .map(|at| at.saturating_duration_since(Instant::now()))
     }
@@ -182,6 +245,25 @@ mod tests {
         let past = Deadline::at(Instant::now() - Duration::from_millis(1));
         assert!(past.expired());
         assert_eq!(past.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancellation_expires_deadlines() {
+        let token = CancelToken::new();
+        let unlimited = Deadline::none().with_cancel(token.clone());
+        let timed = Deadline::after(Duration::from_secs(3600)).with_cancel(token.clone());
+        assert!(!unlimited.expired());
+        assert!(!timed.expired());
+        assert!(!unlimited.cancelled());
+
+        // Cancelling any clone flips every deadline holding the token.
+        token.clone().cancel();
+        assert!(token.is_cancelled());
+        assert!(unlimited.expired() && unlimited.cancelled());
+        assert!(timed.expired() && timed.cancelled());
+        assert_eq!(timed.remaining(), Some(Duration::ZERO));
+        // A deadline without the token is unaffected.
+        assert!(!Deadline::none().expired());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The shared type- and example-directed search engine.
 //!
 //! Both synthesizers ([`crate::MythSynth`] and [`crate::FoldSynth`]) are thin
-//! wrappers around this engine, which mirrors the structure of Myth [19]:
+//! wrappers around this engine, which mirrors the structure of Myth \[19\]:
 //!
 //! 1. **E-guessing** — enumerate expressions bottom-up by size, pruning by
 //!    *observational equivalence* (two terms that evaluate identically on

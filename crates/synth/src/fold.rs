@@ -375,6 +375,15 @@ impl Synthesizer for FoldSynth {
     fn term_bank_stats(&self) -> TermBankStats {
         self.bank.stats()
     }
+
+    fn adopt_bank(&mut self, bank: std::sync::Arc<TermBank>, globals: &hanoi_lang::value::Env) {
+        self.bank = bank;
+        self.problem_globals = Some(globals.clone());
+    }
+
+    fn shared_bank(&self) -> Option<std::sync::Arc<TermBank>> {
+        Some(std::sync::Arc::clone(&self.bank))
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,15 @@ impl Synthesizer for MythSynth {
     fn term_bank_stats(&self) -> TermBankStats {
         self.bank.stats()
     }
+
+    fn adopt_bank(&mut self, bank: Arc<TermBank>, globals: &Env) {
+        self.bank = bank;
+        self.problem_globals = Some(globals.clone());
+    }
+
+    fn shared_bank(&self) -> Option<Arc<TermBank>> {
+        Some(Arc::clone(&self.bank))
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,13 @@
 //! The synthesizer interface the inference driver is parameterized by.
 
+use std::sync::Arc;
+
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
 use hanoi_lang::util::Deadline;
+use hanoi_lang::value::Env;
 
-use crate::bank::TermBankStats;
+use crate::bank::{TermBank, TermBankStats};
 use crate::error::SynthError;
 use crate::examples::ExampleSet;
 
@@ -32,6 +35,29 @@ pub trait Synthesizer {
     /// snapshot for synthesizers without incremental state).
     fn term_bank_stats(&self) -> TermBankStats {
         TermBankStats::default()
+    }
+
+    /// Hands the synthesizer an externally owned term bank to evaluate
+    /// signatures through, together with the globals environment of the
+    /// problem the bank's memoized evaluations belong to.
+    ///
+    /// This is how a long-lived inference engine keeps signature evaluations
+    /// warm *across* runs: the bank outlives any one synthesizer instance,
+    /// and every synthesizer adopted into it appends to (and is served from)
+    /// the same memoized store.  Callers must only adopt a bank into
+    /// synthesizers working on the problem whose globals are given —
+    /// bank-backed synthesizers still guard against mismatches and will swap
+    /// in a fresh bank rather than serve stale evaluations.
+    ///
+    /// The default is a no-op for synthesizers without incremental state.
+    fn adopt_bank(&mut self, _bank: Arc<TermBank>, _globals: &Env) {}
+
+    /// The synthesizer's shareable term bank, when it keeps one.  A caller
+    /// that wants the bank to survive this synthesizer (cross-run reuse)
+    /// clones the `Arc` and [`Synthesizer::adopt_bank`]s it into the next
+    /// instance.
+    fn shared_bank(&self) -> Option<Arc<TermBank>> {
+        None
     }
 }
 

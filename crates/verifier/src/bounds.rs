@@ -3,7 +3,7 @@
 pub use hanoi_lang::util::Deadline;
 
 /// Size and count bounds for bounded enumerative verification (§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VerifierBounds {
     /// Maximum number of structures tried for a single-quantifier property.
     pub single_count: usize,

@@ -1,0 +1,298 @@
+//! The cross-run check-outcome cache.
+//!
+//! Bounded enumerative checks are *deterministic*: the outcome of
+//! `Verify Suf`/`CondInductive` is a pure function of the problem, the
+//! candidate, the bounds and (for visible inductiveness) the known-positive
+//! set — parallelism never changes it (see [`crate::parallel`]), and the
+//! deadline can only abort a check, not change its verdict.  A CEGIS re-run
+//! of the same problem therefore re-computes byte-identical sweeps: dozens of
+//! candidates × three checks × thousands of tuples, all previously answered.
+//!
+//! [`CheckCache`] memoizes completed check outcomes under exactly that
+//! function's arguments.  A long-lived engine keeps one per problem, so
+//! re-running a problem (experiment-harness reruns, figure8 ablations,
+//! repeated service requests) skips entire verification sweeps instead of
+//! merely re-reading warm value pools.  Keys hold the full inputs (the
+//! pretty-printed candidate, the `V+` values, the bounds) — no fingerprint
+//! collisions — and only *completed* outcomes are stored: a check aborted by
+//! a deadline or cancellation is never cached.
+//!
+//! The cache is bounded: when it reaches `capacity` entries it stops
+//! admitting new ones (the working set of one CEGIS problem is small; a
+//! pathological candidate stream cannot grow it without bound).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hanoi_lang::value::Value;
+
+use crate::bounds::VerifierBounds;
+use crate::outcome::{InductivenessOutcome, SufficiencyOutcome};
+
+/// One memoized check, keyed by the complete argument tuple of the check
+/// function.  The candidate participates as its pretty-printed form (exprs
+/// print deterministically and the printer is total).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CheckKey {
+    /// `Verify Suf φ M [I]`.
+    Sufficiency { candidate: String },
+    /// `CondInductive V+ I` (visible inductiveness): the pool is the known
+    /// set itself, so it is part of the key, in order (the sweep enumerates
+    /// it in order).
+    Visible {
+        candidate: String,
+        v_plus: Vec<Value>,
+    },
+    /// `CondInductive I I` (full inductiveness).
+    Full { candidate: String },
+    /// `CondInductive I I` restricted to one operation (the LA baseline).
+    Op { op: String, candidate: String },
+}
+
+/// A memoized outcome (checks have two result shapes).
+#[derive(Debug, Clone)]
+enum CachedOutcome {
+    Inductiveness(InductivenessOutcome),
+    Sufficiency(SufficiencyOutcome),
+}
+
+/// Counter snapshot of a check cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCacheStats {
+    /// Checks answered from the cache (no sweep executed).
+    pub hits: u64,
+    /// Checks that ran their sweep (and, if completed, were recorded).
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// A shared, bounded memo of completed verifier check outcomes for one
+/// problem.  Cheap to share (`Arc`), safe to use concurrently.
+#[derive(Debug)]
+pub struct CheckCache {
+    entries: Mutex<HashMap<(CheckKey, VerifierBounds), CachedOutcome>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CheckCache {
+    fn default() -> Self {
+        CheckCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl CheckCache {
+    /// Default entry budget: generous for any realistic CEGIS working set.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An empty cache holding at most `capacity` outcomes.
+    pub fn new(capacity: usize) -> Self {
+        CheckCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CheckCacheStats {
+        CheckCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len() as u64,
+        }
+    }
+
+    fn lookup(&self, key: &(CheckKey, VerifierBounds)) -> Option<CachedOutcome> {
+        let found = self.entries.lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: (CheckKey, VerifierBounds), outcome: CachedOutcome) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() < self.capacity || entries.contains_key(&key) {
+            entries.insert(key, outcome);
+        }
+    }
+
+    /// Memoizes an inductiveness-shaped check: returns the cached outcome or
+    /// runs `compute`, recording its result when it completed.
+    fn inductiveness(
+        &self,
+        key: CheckKey,
+        bounds: VerifierBounds,
+        compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
+    ) -> Result<InductivenessOutcome, crate::VerifierError> {
+        let key = (key, bounds);
+        if let Some(CachedOutcome::Inductiveness(outcome)) = self.lookup(&key) {
+            return Ok(outcome);
+        }
+        let outcome = compute()?;
+        self.store(key, CachedOutcome::Inductiveness(outcome.clone()));
+        Ok(outcome)
+    }
+
+    /// Memoized sufficiency check (see [`CheckCache::inductiveness`]).
+    pub(crate) fn sufficiency(
+        &self,
+        candidate: String,
+        bounds: VerifierBounds,
+        compute: impl FnOnce() -> Result<SufficiencyOutcome, crate::VerifierError>,
+    ) -> Result<SufficiencyOutcome, crate::VerifierError> {
+        let key = (CheckKey::Sufficiency { candidate }, bounds);
+        if let Some(CachedOutcome::Sufficiency(outcome)) = self.lookup(&key) {
+            return Ok(outcome);
+        }
+        let outcome = compute()?;
+        self.store(key, CachedOutcome::Sufficiency(outcome.clone()));
+        Ok(outcome)
+    }
+
+    /// Memoized visible-inductiveness check.
+    pub(crate) fn visible(
+        &self,
+        candidate: String,
+        v_plus: &[Value],
+        bounds: VerifierBounds,
+        compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
+    ) -> Result<InductivenessOutcome, crate::VerifierError> {
+        self.inductiveness(
+            CheckKey::Visible {
+                candidate,
+                v_plus: v_plus.to_vec(),
+            },
+            bounds,
+            compute,
+        )
+    }
+
+    /// Memoized full-inductiveness check.
+    pub(crate) fn full(
+        &self,
+        candidate: String,
+        bounds: VerifierBounds,
+        compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
+    ) -> Result<InductivenessOutcome, crate::VerifierError> {
+        self.inductiveness(CheckKey::Full { candidate }, bounds, compute)
+    }
+
+    /// Memoized single-operation inductiveness check.
+    pub(crate) fn op(
+        &self,
+        op: &str,
+        candidate: String,
+        bounds: VerifierBounds,
+        compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
+    ) -> Result<InductivenessOutcome, crate::VerifierError> {
+        self.inductiveness(
+            CheckKey::Op {
+                op: op.to_string(),
+                candidate,
+            },
+            bounds,
+            compute,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::InductivenessCex;
+    use hanoi_lang::symbol::Symbol;
+
+    fn cex() -> InductivenessOutcome {
+        InductivenessOutcome::Cex(InductivenessCex {
+            op: Symbol::new("insert"),
+            args: vec![Value::nat(1)],
+            s: vec![],
+            v: vec![Value::nat_list(&[1, 1])],
+        })
+    }
+
+    #[test]
+    fn completed_outcomes_are_served_from_the_cache() {
+        let cache = CheckCache::default();
+        let bounds = VerifierBounds::quick();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let outcome = cache
+                .full("inv".to_string(), bounds, || {
+                    computed += 1;
+                    Ok(cex())
+                })
+                .unwrap();
+            assert_eq!(outcome, cex());
+        }
+        assert_eq!(computed, 1, "the sweep must run exactly once");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn errors_are_never_cached() {
+        let cache = CheckCache::default();
+        let bounds = VerifierBounds::quick();
+        let timeout: Result<InductivenessOutcome, crate::VerifierError> =
+            cache.full("inv".into(), bounds, || Err(crate::VerifierError::Timeout));
+        assert!(timeout.is_err());
+        // The next call computes for real.
+        let ok = cache.full("inv".into(), bounds, || Ok(InductivenessOutcome::Valid));
+        assert_eq!(ok.unwrap(), InductivenessOutcome::Valid);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn keys_distinguish_kind_bounds_and_v_plus() {
+        let cache = CheckCache::default();
+        let quick = VerifierBounds::quick();
+        let paper = VerifierBounds::paper();
+        let valid = || Ok(InductivenessOutcome::Valid);
+        cache.full("inv".into(), quick, valid).unwrap();
+        // Same candidate, different bounds: a distinct entry.
+        cache.full("inv".into(), paper, valid).unwrap();
+        // Same candidate, visible with two different V+ sets: distinct.
+        cache
+            .visible("inv".into(), &[Value::nat(0)], quick, valid)
+            .unwrap();
+        cache
+            .visible("inv".into(), &[Value::nat(1)], quick, valid)
+            .unwrap();
+        cache.op("insert", "inv".into(), quick, valid).unwrap();
+        assert_eq!(cache.stats().entries, 5);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn the_capacity_bounds_admission() {
+        let cache = CheckCache::new(2);
+        let bounds = VerifierBounds::quick();
+        for i in 0..5 {
+            cache
+                .full(format!("inv{i}"), bounds, || {
+                    Ok(InductivenessOutcome::Valid)
+                })
+                .unwrap();
+        }
+        assert_eq!(cache.stats().entries, 2);
+        // Entries admitted before the cap still hit.
+        let mut computed = false;
+        cache
+            .full("inv0".into(), bounds, || {
+                computed = true;
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        assert!(!computed);
+    }
+}

@@ -37,6 +37,7 @@
 //! outcome-identical to serial runs.
 
 pub mod bounds;
+pub mod checkcache;
 pub mod hof;
 pub mod inductive;
 pub mod outcome;
@@ -47,6 +48,7 @@ pub mod tester;
 pub mod verifier;
 
 pub use bounds::{Deadline, VerifierBounds};
+pub use checkcache::{CheckCache, CheckCacheStats};
 pub use outcome::{
     InductivenessCex, InductivenessOutcome, SufficiencyCex, SufficiencyOutcome, VerifierError,
 };

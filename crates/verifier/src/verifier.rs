@@ -9,6 +9,7 @@ use hanoi_lang::types::Type;
 use hanoi_lang::value::Value;
 
 use crate::bounds::{Deadline, VerifierBounds};
+use crate::checkcache::{CheckCache, CheckCacheStats};
 use crate::inductive::{
     check_conditional_inductiveness, check_conditional_inductiveness_filtered, PoolSpec,
 };
@@ -22,7 +23,10 @@ use crate::tester::check_sufficiency;
 /// A `Verifier` is one *verification session*: it owns a shared
 /// [`PoolCache`], so across all the checks made through it (a whole CEGIS
 /// run, typically) each `(type, count, size)` pool is enumerated at most
-/// once.  Cloning the verifier shares the cache.
+/// once.  Cloning the verifier shares the cache.  An optional
+/// [`CheckCache`] ([`Verifier::with_check_cache`]) additionally memoizes
+/// whole check *outcomes* — the long-lived engine shares one per problem so
+/// re-runs skip entire sweeps.
 #[derive(Debug, Clone)]
 pub struct Verifier<'p> {
     problem: &'p Problem,
@@ -30,6 +34,7 @@ pub struct Verifier<'p> {
     deadline: Deadline,
     parallelism: usize,
     pools: Arc<PoolCache>,
+    checks: Option<Arc<CheckCache>>,
 }
 
 impl<'p> Verifier<'p> {
@@ -42,6 +47,7 @@ impl<'p> Verifier<'p> {
             deadline: Deadline::none(),
             parallelism: 1,
             pools: PoolCache::for_problem(problem),
+            checks: None,
         }
     }
 
@@ -74,6 +80,22 @@ impl<'p> Verifier<'p> {
         self
     }
 
+    /// Shares a check-outcome cache: completed checks are memoized under
+    /// their full inputs (check kind, candidate, `V+`, bounds) and served
+    /// without re-sweeping.  The cache must only ever be shared between
+    /// verifiers over the *same* problem — outcomes are not keyed by module
+    /// semantics.
+    pub fn with_check_cache(mut self, checks: Arc<CheckCache>) -> Self {
+        self.checks = Some(checks);
+        self
+    }
+
+    /// Counter snapshot of the shared check-outcome cache (zeros when none
+    /// is installed).
+    pub fn check_cache_stats(&self) -> CheckCacheStats {
+        self.checks.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
     /// The pool cache backing this verification session.
     pub fn pool_cache(&self) -> &Arc<PoolCache> {
         &self.pools
@@ -103,14 +125,20 @@ impl<'p> Verifier<'p> {
 
     /// `Verify Suf φ M [I]`: is the candidate sufficient for the spec?
     pub fn check_sufficiency(&self, invariant: &Expr) -> Result<SufficiencyOutcome, VerifierError> {
-        check_sufficiency(
-            self.problem,
-            &self.pools,
-            &self.bounds,
-            &self.deadline,
-            invariant,
-            self.workers(),
-        )
+        let compute = || {
+            check_sufficiency(
+                self.problem,
+                &self.pools,
+                &self.bounds,
+                &self.deadline,
+                invariant,
+                self.workers(),
+            )
+        };
+        match &self.checks {
+            Some(cache) => cache.sufficiency(invariant.to_string(), self.bounds, compute),
+            None => compute(),
+        }
     }
 
     /// `CondInductive V+ I`: is the candidate visibly inductive relative to
@@ -120,15 +148,21 @@ impl<'p> Verifier<'p> {
         v_plus: &[Value],
         invariant: &Expr,
     ) -> Result<InductivenessOutcome, VerifierError> {
-        check_conditional_inductiveness(
-            self.problem,
-            &self.pools,
-            &self.bounds,
-            &self.deadline,
-            PoolSpec::Known(v_plus),
-            invariant,
-            self.workers(),
-        )
+        let compute = || {
+            check_conditional_inductiveness(
+                self.problem,
+                &self.pools,
+                &self.bounds,
+                &self.deadline,
+                PoolSpec::Known(v_plus),
+                invariant,
+                self.workers(),
+            )
+        };
+        match &self.checks {
+            Some(cache) => cache.visible(invariant.to_string(), v_plus, self.bounds, compute),
+            None => compute(),
+        }
     }
 
     /// `CondInductive I I`: is the candidate fully inductive?
@@ -136,15 +170,21 @@ impl<'p> Verifier<'p> {
         &self,
         invariant: &Expr,
     ) -> Result<InductivenessOutcome, VerifierError> {
-        check_conditional_inductiveness(
-            self.problem,
-            &self.pools,
-            &self.bounds,
-            &self.deadline,
-            PoolSpec::Satisfying(invariant),
-            invariant,
-            self.workers(),
-        )
+        let compute = || {
+            check_conditional_inductiveness(
+                self.problem,
+                &self.pools,
+                &self.bounds,
+                &self.deadline,
+                PoolSpec::Satisfying(invariant),
+                invariant,
+                self.workers(),
+            )
+        };
+        match &self.checks {
+            Some(cache) => cache.full(invariant.to_string(), self.bounds, compute),
+            None => compute(),
+        }
     }
 
     /// `CondInductive I I` restricted to a single module operation — the
@@ -154,16 +194,22 @@ impl<'p> Verifier<'p> {
         op: &str,
         invariant: &Expr,
     ) -> Result<InductivenessOutcome, VerifierError> {
-        check_conditional_inductiveness_filtered(
-            self.problem,
-            &self.pools,
-            &self.bounds,
-            &self.deadline,
-            PoolSpec::Satisfying(invariant),
-            invariant,
-            Some(op),
-            self.workers(),
-        )
+        let compute = || {
+            check_conditional_inductiveness_filtered(
+                self.problem,
+                &self.pools,
+                &self.bounds,
+                &self.deadline,
+                PoolSpec::Satisfying(invariant),
+                invariant,
+                Some(op),
+                self.workers(),
+            )
+        };
+        match &self.checks {
+            Some(cache) => cache.op(op, invariant.to_string(), self.bounds, compute),
+            None => compute(),
+        }
     }
 
     /// `CondInductive P Q` with an arbitrary conditioning predicate — used by

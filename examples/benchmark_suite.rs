@@ -6,19 +6,21 @@
 //! `cargo run -p hanoi-bench --bin figure7 --release`.)
 
 use hanoi_repro::benchmarks;
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+use hanoi_repro::hanoi::{Engine, Outcome, RunOptions};
 
 fn main() {
     println!(
         "{:<36} {:>9} {:>6} {:>5} {:>5} {:>5}",
         "benchmark", "result", "time", "size", "TVC", "TSC"
     );
+    let engine = Engine::with_defaults();
     for benchmark in benchmarks::quick_subset() {
         let problem = benchmark.problem().expect("benchmark elaborates");
-        let result = Driver::new(&problem, HanoiConfig::quick()).run();
+        let result = engine.run(&problem, &RunOptions::quick());
         let status = match &result.outcome {
             Outcome::Invariant(_) => "ok",
             Outcome::Timeout => "t/o",
+            Outcome::Cancelled => "stop",
             Outcome::SpecViolation(_) => "specviol",
             Outcome::SynthesisFailure(_) => "fail",
         };

@@ -5,12 +5,16 @@
 //! Run with `cargo run --example compare_modes --release`.
 
 use hanoi_repro::benchmarks;
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome};
+use hanoi_repro::hanoi::{Engine, Mode, Optimizations, Outcome, RunOptions};
 
 fn main() {
     let benchmark = benchmarks::find("/coq/unique-list-::-set").expect("benchmark exists");
     let problem = benchmark.problem().expect("benchmark elaborates");
     println!("benchmark: {}", benchmark.id);
+    // One engine for every mode: modes after the first start from warm
+    // value pools and (per synthesizer) term banks.
+    let engine = Engine::with_defaults();
+    let session = engine.session(&problem);
     println!();
     println!(
         "{:<12} {:>9} {:>8} {:>5} {:>5} {:>6}",
@@ -27,13 +31,14 @@ fn main() {
     ];
 
     for (label, mode, optimizations) in configurations {
-        let config = HanoiConfig::quick()
+        let options = RunOptions::quick()
             .with_mode(mode)
             .with_optimizations(optimizations);
-        let result = Driver::new(&problem, config).run();
+        let result = session.run(&options);
         let status = match &result.outcome {
             Outcome::Invariant(_) => "ok",
             Outcome::Timeout => "t/o",
+            Outcome::Cancelled => "stop",
             Outcome::SpecViolation(_) => "specviol",
             Outcome::SynthesisFailure(_) => "fail",
         };

@@ -8,7 +8,7 @@
 //! Run with `cargo run --example custom_module --release`.
 
 use hanoi_repro::abstraction::{constructible::ConstructibleBounds, ConstructibleOracle, Problem};
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+use hanoi_repro::hanoi::{Engine, Outcome, RunOptions};
 use hanoi_repro::lang::value::Value;
 
 const TWO_LIST_QUEUE: &str = r#"
@@ -104,7 +104,7 @@ fn main() {
     println!("is {bogus} constructible? {}", oracle.contains(&bogus));
     println!();
 
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    let result = Engine::with_defaults().run(&problem, &RunOptions::quick());
     match result.outcome {
         Outcome::Invariant(invariant) => {
             println!("inferred invariant: {invariant}");

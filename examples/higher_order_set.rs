@@ -8,7 +8,7 @@
 //! Run with `cargo run --example higher_order_set --release`.
 
 use hanoi_repro::abstraction::Problem;
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+use hanoi_repro::hanoi::{Engine, Outcome, RunOptions};
 
 const HOF_SET: &str = r#"
     type nat = O | S of nat
@@ -62,7 +62,7 @@ fn main() {
         problem.interface.name,
         !problem.interface.is_first_order()
     );
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    let result = Engine::with_defaults().run(&problem, &RunOptions::quick());
     match result.outcome {
         Outcome::Invariant(invariant) => {
             println!("inferred invariant: {invariant}");

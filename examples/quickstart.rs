@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart --release`.
 
 use hanoi_repro::abstraction::Problem;
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+use hanoi_repro::hanoi::{Engine, Outcome, RunEvent, RunOptions};
 
 /// The ListSet module of Figure 1, its SET interface, and the specification φ.
 const LIST_SET: &str = r#"
@@ -51,9 +51,24 @@ fn main() {
     println!("concrete  : {}", problem.concrete_type());
     println!();
 
-    // `HanoiConfig::quick()` uses reduced verifier bounds so the example runs
-    // in seconds; `HanoiConfig::paper()` uses the paper's 3000/30 bounds.
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    // A long-lived `Engine` owns the caches every run shares; `RunOptions`
+    // pick the per-run knobs.  `RunOptions::quick()` uses reduced verifier
+    // bounds so the example runs in seconds; `RunOptions::paper()` uses the
+    // paper's 3000/30 bounds.
+    let engine = Engine::with_defaults();
+    let session = engine.session(&problem);
+
+    // Stream run events as the CEGIS loop progresses.
+    let mut iterations_seen = 0usize;
+    let mut observer = |event: &RunEvent| {
+        if let RunEvent::CandidateProposed { iteration, .. } = event {
+            if *iteration > iterations_seen {
+                iterations_seen = *iteration;
+                eprintln!("  [event] iteration {iteration}: new candidate proposed");
+            }
+        }
+    };
+    let result = session.run_observed(&RunOptions::quick(), &mut observer);
     match result.outcome {
         Outcome::Invariant(invariant) => {
             println!("inferred representation invariant:");

@@ -3,16 +3,16 @@
 //! sufficient invariant), and the optimizations must not change outcomes.
 
 use hanoi_repro::benchmarks;
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Mode, Optimizations, Outcome};
+use hanoi_repro::hanoi::{Engine, Mode, Optimizations, Outcome, RunOptions};
 use hanoi_repro::verifier::{Verifier, VerifierBounds};
 
 fn run(id: &str, mode: Mode, optimizations: Optimizations) -> (bool, usize, usize) {
     let benchmark = benchmarks::find(id).unwrap();
     let problem = benchmark.problem().unwrap();
-    let config = HanoiConfig::quick()
+    let options = RunOptions::quick()
         .with_mode(mode)
         .with_optimizations(optimizations);
-    let result = Driver::new(&problem, config).run();
+    let result = Engine::with_defaults().run(&problem, &options);
     let success = match &result.outcome {
         Outcome::Invariant(invariant) => {
             let verifier = Verifier::new(&problem).with_bounds(VerifierBounds::quick());
@@ -80,8 +80,8 @@ fn one_shot_is_cheap_but_usually_insufficient() {
     for id in ["/coq/unique-list-::-set", "/other/cache", "/other/rational"] {
         let benchmark = benchmarks::find(id).unwrap();
         let problem = benchmark.problem().unwrap();
-        let config = HanoiConfig::quick().with_mode(Mode::OneShot);
-        let result = Driver::new(&problem, config).run();
+        let options = RunOptions::quick().with_mode(Mode::OneShot);
+        let result = Engine::with_defaults().run(&problem, &options);
         assert!(result.stats.synthesis_calls <= 1);
         total_calls += result.stats.synthesis_calls;
         assert!(result.stats.iterations <= 1);

@@ -5,7 +5,7 @@
 use hanoi_repro::abstraction::constructible::ConstructibleBounds;
 use hanoi_repro::abstraction::ConstructibleOracle;
 use hanoi_repro::benchmarks;
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+use hanoi_repro::hanoi::{Engine, Outcome, RunOptions};
 use hanoi_repro::lang::eval::Fuel;
 use hanoi_repro::lang::value::Value;
 use hanoi_repro::verifier::{Verifier, VerifierBounds};
@@ -19,7 +19,7 @@ fn infer(
 ) {
     let benchmark = benchmarks::find(id).unwrap_or_else(|| panic!("unknown benchmark {id}"));
     let problem = benchmark.problem().expect("benchmark elaborates");
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    let result = Engine::with_defaults().run(&problem, &RunOptions::quick());
     (problem, result)
 }
 
@@ -163,7 +163,7 @@ fn spec_violations_are_detected_end_to_end() {
         .source
         .replace("if lookup l x then l else Cons (x, l)", "Cons (x, l)");
     let problem = hanoi_repro::abstraction::Problem::from_source(&source).unwrap();
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    let result = Engine::with_defaults().run(&problem, &RunOptions::quick());
     match result.outcome {
         Outcome::SpecViolation(witnesses) => {
             // The witnesses really do violate the spec for some index.

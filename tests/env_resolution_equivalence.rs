@@ -6,7 +6,7 @@
 //! whole inference runs).
 
 use hanoi_repro::abstraction::Problem;
-use hanoi_repro::hanoi::{Driver, HanoiConfig};
+use hanoi_repro::hanoi::{Engine, EngineConfig, RunOptions};
 use hanoi_repro::lang::enumerate::ValueEnumerator;
 use hanoi_repro::lang::eval::Fuel;
 use hanoi_repro::lang::parser::parse_expr;
@@ -180,9 +180,11 @@ fn whole_inference_runs_agree_across_both_paths() {
     for id in MODULES {
         let (resolved, by_name) = both_paths(id);
         for parallelism in [1usize, 2, 0] {
-            let config = HanoiConfig::quick().with_parallelism(parallelism);
-            let fast = Driver::new(&resolved, config.clone()).run();
-            let slow = Driver::new(&by_name, config).run();
+            let engine =
+                Engine::new(EngineConfig::default().with_parallelism(parallelism)).unwrap();
+            let options = RunOptions::quick();
+            let fast = engine.run(&resolved, &options);
+            let slow = engine.run(&by_name, &options);
             assert_eq!(
                 fast.outcome, slow.outcome,
                 "{id}: outcome diverged at parallelism {parallelism}"

@@ -13,7 +13,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
-use hanoi_repro::hanoi::{Driver, HanoiConfig, Outcome};
+use hanoi_repro::hanoi::{Engine, EngineConfig, Outcome, RunOptions};
 use hanoi_repro::lang::parser::parse_expr;
 use hanoi_repro::lang::value::Value;
 use hanoi_repro::verifier::{Verifier, VerifierBounds};
@@ -34,10 +34,11 @@ fn whole_inference_runs_are_parallelism_independent() {
     for id in MODULES {
         let benchmark = hanoi_repro::benchmarks::find(id).unwrap();
         let problem = benchmark.problem().unwrap();
-        let serial = Driver::new(&problem, HanoiConfig::quick().with_parallelism(1)).run();
+        let serial = Engine::with_defaults().run(&problem, &RunOptions::quick());
         for workers in PARALLELISM_LEVELS {
-            let parallel =
-                Driver::new(&problem, HanoiConfig::quick().with_parallelism(workers)).run();
+            let parallel = Engine::new(EngineConfig::default().with_parallelism(workers))
+                .unwrap()
+                .run(&problem, &RunOptions::quick());
             assert_eq!(
                 parallel.outcome, serial.outcome,
                 "{id}: outcome diverged at parallelism {workers}"

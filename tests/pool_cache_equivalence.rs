@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use hanoi_repro::hanoi::{Driver, HanoiConfig};
+use hanoi_repro::hanoi::{Engine, RunOptions};
 use hanoi_repro::lang::parser::parse_expr;
 use hanoi_repro::lang::Type;
 use hanoi_repro::verifier::poolcache::PoolCache;
@@ -130,7 +130,7 @@ fn run_stats_surface_the_pool_and_eval_counters() {
         .unwrap()
         .problem()
         .unwrap();
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    let result = Engine::with_defaults().run(&problem, &RunOptions::quick());
     assert!(result.is_success(), "{:?}", result.outcome);
     let stats = &result.stats;
     assert!(stats.pool_builds > 0, "a run enumerates some pools");

@@ -5,7 +5,7 @@
 //! CEGIS-like sequence of growing example sets — and parallel guessing must
 //! be outcome-identical to serial guessing.
 
-use hanoi_repro::hanoi::{Driver, HanoiConfig};
+use hanoi_repro::hanoi::{Engine as InferenceEngine, RunOptions};
 use hanoi_repro::lang::enumerate::ValueEnumerator;
 use hanoi_repro::lang::util::Deadline;
 use hanoi_repro::lang::value::Value;
@@ -190,7 +190,7 @@ fn run_stats_surface_the_synthesis_counters() {
         .unwrap()
         .problem()
         .unwrap();
-    let result = Driver::new(&problem, HanoiConfig::quick()).run();
+    let result = InferenceEngine::with_defaults().run(&problem, &RunOptions::quick());
     assert!(result.is_success(), "{:?}", result.outcome);
     let stats = &result.stats;
     assert!(stats.synth_terms_enumerated > 0, "terms are counted");
