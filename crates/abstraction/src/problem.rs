@@ -2,6 +2,7 @@
 //! and ready for the verifier, the synthesizer and the inference driver.
 
 use hanoi_lang::ast::{Expr, Program, TopLet};
+use hanoi_lang::digest::{Digest, DigestBuilder};
 use hanoi_lang::error::EvalError;
 use hanoi_lang::eval::{Evaluator, Fuel};
 use hanoi_lang::parser::parse_program;
@@ -227,6 +228,70 @@ impl Problem {
         &self.module.concrete
     }
 
+    /// A stable structural fingerprint of the whole problem *definition*:
+    /// the declared data types, every prelude and module binding (the
+    /// definitional source of the globals environment — the environment
+    /// itself is a deterministic function of them), the interface, the
+    /// concrete representation type and the specification.
+    ///
+    /// Two problems share a fingerprint exactly when every cache the engine
+    /// keys by problem — value pools, check outcomes, term banks — may be
+    /// shared between them, up to the 2⁻¹²⁸ digest collision bound.  Being
+    /// interner-independent ([`hanoi_lang::digest`]), the fingerprint is
+    /// valid *across processes*: it names the per-problem warm-start
+    /// snapshot files (`Engine::save_state` / `EngineConfig::warm_start_dir`
+    /// in the core crate).
+    pub fn fingerprint(&self) -> Digest {
+        let mut b = DigestBuilder::new("hanoi-problem-v1");
+        let decls = self.tyenv.decls();
+        b.add_u64(decls.len() as u64);
+        for decl in decls {
+            b.add_str(decl.name.as_str());
+            b.add_u64(decl.ctors.len() as u64);
+            for ctor in &decl.ctors {
+                b.add_str(ctor.name.as_str());
+                b.add_u64(ctor.args.len() as u64);
+                for arg in &ctor.args {
+                    b.add_digest(Digest::of_type(arg));
+                }
+            }
+        }
+        let mut add_lets = |label: &str, lets: &[TopLet]| {
+            b.add_str(label);
+            b.add_u64(lets.len() as u64);
+            for top in lets {
+                b.add_str(top.name.as_str());
+                b.add_u64(top.recursive as u64);
+                b.add_digest(Digest::of_type(&top.ty()));
+                // Whole-binding digest: `to_expr` folds the parameters into
+                // binders, so parameter *names* drop out (α-invariance)
+                // while their order and types stay significant.
+                b.add_digest(Digest::of_expr(&top.to_expr()));
+            }
+        };
+        add_lets("prelude", &self.prelude);
+        add_lets("module", &self.module_lets);
+        b.add_str("interface");
+        b.add_str(self.interface.name.as_str());
+        b.add_u64(self.interface.ops.len() as u64);
+        for op in &self.interface.ops {
+            b.add_str(op.name.as_str());
+            b.add_digest(Digest::of_type(&op.ty));
+        }
+        b.add_str("concrete");
+        b.add_digest(Digest::of_type(self.concrete_type()));
+        b.add_str("spec");
+        b.add_u64(self.spec.params.len() as u64);
+        for (name, ty) in &self.spec.params {
+            // Spec parameters are free variables of the body, so their
+            // names are significant (unlike binder names).
+            b.add_str(name.as_str());
+            b.add_digest(Digest::of_type(ty));
+        }
+        b.add_digest(Digest::of_expr(&self.spec.body));
+        b.finish()
+    }
+
     /// An interpreter over this problem's data types.
     pub fn evaluator(&self) -> Evaluator<'_> {
         Evaluator::new(&self.tyenv)
@@ -395,6 +460,31 @@ mod tests {
             .synthesis_components()
             .iter()
             .any(|(n, _)| n.as_str() == "lookup"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_spec_sensitive() {
+        let a = Problem::from_source(LIST_SET).unwrap();
+        let b = Problem::from_source(LIST_SET).unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "identical sources share a fingerprint (across elaborations)"
+        );
+        // The name is presentation, not semantics.
+        assert_eq!(a.with_name("x").fingerprint(), b.fingerprint());
+
+        // A clone with a weakened spec (sharing the globals Env!) must get
+        // its own fingerprint — check outcomes depend on the spec.
+        let mut weaker = b.clone();
+        weaker.spec.body = hanoi_lang::parser::parse_expr("not (lookup empty i)").unwrap();
+        assert_ne!(weaker.fingerprint(), b.fingerprint());
+
+        // A buggy module body changes the fingerprint even though every
+        // type and signature is unchanged.
+        let buggy = LIST_SET.replace("if lookup l x then l else Cons (x, l)", "Cons (x, l)");
+        let buggy = Problem::from_source(&buggy).unwrap();
+        assert_ne!(buggy.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -250,13 +250,13 @@ fn bench_synthesis_multi_cex(c: &mut Criterion, samples: usize) -> Json {
 /// the expensive §4.2 function-candidate enumeration that the engine's pool
 /// cache keeps warm).  Warm runs are asserted outcome-identical to cold
 /// runs; the summary reports per-workload medians and second-run speedups.
-fn bench_cross_run_warm(c: &mut Criterion, samples: usize) -> Json {
-    use hanoi::{Engine as InferenceEngine, RunOptions};
-
-    // Paper-scale single-quantifier pools and HOF limits in the default mode
-    // so enumeration is a realistic share of a run; quick mode shrinks
-    // everything for the CI smoke job.
-    let bounds = if quick_mode() {
+/// The bounds shared by the two cross-engine warm workloads
+/// ([`bench_cross_run_warm`], [`bench_cross_process_warm`]): paper-scale
+/// single-quantifier pools and HOF limits in the default mode so enumeration
+/// is a realistic share of a run; quick mode shrinks everything for the CI
+/// smoke job.
+fn warm_workload_bounds() -> VerifierBounds {
+    if quick_mode() {
         VerifierBounds {
             single_count: 200,
             single_size: 12,
@@ -276,8 +276,13 @@ fn bench_cross_run_warm(c: &mut Criterion, samples: usize) -> Json {
             hof_max_functions: 40,
             ..VerifierBounds::quick()
         }
-    };
-    let options = RunOptions::quick().with_bounds(bounds);
+    }
+}
+
+fn bench_cross_run_warm(c: &mut Criterion, samples: usize) -> Json {
+    use hanoi::{Engine as InferenceEngine, RunOptions};
+
+    let options = RunOptions::quick().with_bounds(warm_workload_bounds());
 
     let workloads = [
         ("first_order", "/coq/unique-list-::-set"),
@@ -366,6 +371,132 @@ fn bench_cross_run_warm(c: &mut Criterion, samples: usize) -> Json {
         ]));
     }
     group.finish();
+    Json::Arr(rows)
+}
+
+/// The cross-*process* warm workload: the same problem solved by two
+/// engines that share nothing but a warm-start directory on disk.  Engine A
+/// runs cold and checkpoints (`Engine::save_state`); engine B is a
+/// brand-new engine that restores the snapshot purely from the file — the
+/// exact code path a second OS process executes (structural digests carry
+/// no in-process state, so running both halves in one bench process changes
+/// nothing).  The restored run answers every verifier check from the
+/// snapshot and is asserted outcome-identical to a cold run; the summary
+/// reports cold vs restored medians, the restore speedup and the snapshot
+/// size on disk.
+fn bench_cross_process_warm(c: &mut Criterion, samples: usize) -> Json {
+    use hanoi::{Engine as InferenceEngine, EngineConfig, RunOptions};
+
+    let options = RunOptions::quick().with_bounds(warm_workload_bounds());
+    let warm_dir =
+        std::env::temp_dir().join(format!("hanoi-cross-process-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let warm_engine = |dir: &std::path::Path| {
+        InferenceEngine::new(EngineConfig::default().with_warm_start_dir(dir))
+            .expect("warm engine config is valid")
+    };
+
+    let workloads = [
+        ("first_order", "/coq/unique-list-::-set"),
+        ("higher_order", "/coq/unique-list-::-set+hofs"),
+    ];
+    let mut rows: Vec<Json> = Vec::new();
+    let mut group = c.benchmark_group("cross_process_warm");
+    group.sample_size(samples);
+    for (name, id) in workloads {
+        let problem = find(id).unwrap().problem().expect("benchmark elaborates");
+        let snapshot_path = warm_dir.join(format!("{}.json", problem.fingerprint().to_hex()));
+
+        // Correctness first: "process 1" solves and checkpoints, "process 2"
+        // restores from disk and must match a cold run exactly while
+        // answering every check from the snapshot.
+        let cold_reference = InferenceEngine::with_defaults().run(&problem, &options);
+        let saver = warm_engine(&warm_dir);
+        let first = saver.run(&problem, &options);
+        assert!(first.is_success(), "{id}: {}", first.outcome);
+        assert_eq!(
+            first.stats.warm_start_loads, 0,
+            "{id}: nothing to restore on the first process"
+        );
+        saver
+            .save_state(&warm_dir)
+            .expect("snapshot write succeeds");
+        let snapshot_bytes = std::fs::metadata(&snapshot_path)
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let restored_engine = warm_engine(&warm_dir);
+        let restored = restored_engine.run(&problem, &options);
+        assert_eq!(
+            restored.outcome, cold_reference.outcome,
+            "{id}: a disk-restored engine must not change inference results"
+        );
+        assert!(
+            restored.stats.warm_start_loads > 0,
+            "{id}: the second process must actually restore the snapshot"
+        );
+        assert_eq!(
+            restored.stats.verification_cache_hits as usize, restored.stats.verification_calls,
+            "{id}: every restored check must be a snapshot hit: {:?}",
+            restored.stats
+        );
+        assert_eq!(
+            restored.stats.pool_builds, 0,
+            "{id}: a fully warm restored run never enumerates a pool"
+        );
+
+        // Timings: cold = fresh engine, no store; restored = brand-new
+        // engine whose only warmth is the snapshot file.
+        let mut cold_timings = Vec::with_capacity(samples);
+        let mut restored_timings = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let result = InferenceEngine::with_defaults().run(&problem, &options);
+            cold_timings.push(start.elapsed());
+            assert!(result.is_success(), "{id}: {}", result.outcome);
+
+            let engine = warm_engine(&warm_dir);
+            let start = Instant::now();
+            let result = engine.run(&problem, &options);
+            restored_timings.push(start.elapsed());
+            assert!(result.is_success(), "{id}: {}", result.outcome);
+        }
+        let cold_secs = median_secs(cold_timings);
+        let restored_secs = median_secs(restored_timings);
+
+        group.bench_function(format!("{name}_cold_no_store"), |b| {
+            b.iter(|| InferenceEngine::with_defaults().run(&problem, &options))
+        });
+        group.bench_function(format!("{name}_restored_from_disk_snapshot"), |b| {
+            b.iter(|| warm_engine(&warm_dir).run(&problem, &options))
+        });
+
+        rows.push(Json::obj([
+            ("workload", Json::Str(name.to_string())),
+            ("benchmark", Json::Str(id.to_string())),
+            ("cold_secs", Json::Num(cold_secs)),
+            ("restored_secs", Json::Num(restored_secs)),
+            (
+                "speedup_restored_over_cold",
+                Json::Num(cold_secs / restored_secs.max(f64::MIN_POSITIVE)),
+            ),
+            ("snapshot_bytes", Json::Num(snapshot_bytes as f64)),
+            (
+                "warm_start_loads",
+                Json::Num(restored.stats.warm_start_loads as f64),
+            ),
+            (
+                "restored_verification_cache_hits",
+                Json::Num(restored.stats.verification_cache_hits as f64),
+            ),
+            (
+                "restored_pool_builds",
+                Json::Num(restored.stats.pool_builds as f64),
+            ),
+            ("outcome_identical", Json::Bool(true)),
+        ]));
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&warm_dir);
     Json::Arr(rows)
 }
 
@@ -529,6 +660,7 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
 
     let synthesis = bench_synthesis_multi_cex(c, samples);
     let cross_run = bench_cross_run_warm(c, samples);
+    let cross_process = bench_cross_process_warm(c, samples);
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -563,6 +695,9 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
         // The cross-run reuse workload: the same problem solved twice
         // through one long-lived engine vs two fresh engines.
         ("cross_run_warm", cross_run),
+        // The cross-process reuse workload: a brand-new engine restored
+        // from a warm-start snapshot on disk vs a cold engine.
+        ("cross_process_warm", cross_process),
     ]);
     // Default to the workspace root regardless of the bench's CWD — except
     // in quick mode, whose tiny-bounds numbers must never clobber the

@@ -19,6 +19,15 @@ pub struct HarnessArgs {
     pub parallelism: usize,
     /// `--out <path>`: where to write the JSON rows.
     pub out: Option<String>,
+    /// `--warm-dir <path>`: the warm-start store.  Every engine the harness
+    /// builds loads per-problem cache snapshots from this directory, and the
+    /// binaries save their engines' state back into it when they finish — so
+    /// a *second invocation of the binary* (a fresh process) starts from the
+    /// first one's caches.  Unset = fully cold, no filesystem access.
+    pub warm_dir: Option<String>,
+    /// `--benchmark <id>` (repeatable): restrict the run to specific
+    /// benchmark ids.  Empty = the full selection of the mode.
+    pub benchmark_filter: Vec<String>,
 }
 
 impl HarnessArgs {
@@ -36,6 +45,13 @@ impl HarnessArgs {
                 .position(|a| a == name)
                 .and_then(|i| args.get(i + 1))
         };
+        let values = |name: &str| -> Vec<String> {
+            args.iter()
+                .enumerate()
+                .filter(|(_, a)| *a == name)
+                .filter_map(|(i, _)| args.get(i + 1).cloned())
+                .collect()
+        };
         let quick = if flag("--quick") {
             true
         } else if flag("--full") {
@@ -52,6 +68,8 @@ impl HarnessArgs {
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(1),
             out: value("--out").cloned(),
+            warm_dir: value("--warm-dir").cloned(),
+            benchmark_filter: values("--benchmark"),
         }
     }
 
@@ -66,16 +84,24 @@ impl HarnessArgs {
             harness.timeout = timeout;
         }
         harness.parallelism = self.parallelism;
+        harness.warm_dir = self.warm_dir.clone();
         harness
     }
 
-    /// The benchmark set these arguments select.
+    /// The benchmark set these arguments select (`--quick` subset or the
+    /// full registry, narrowed by any `--benchmark` filters).
     pub fn benchmarks(&self) -> Vec<hanoi_benchmarks::Benchmark> {
-        if self.quick {
+        let all = if self.quick {
             hanoi_benchmarks::quick_subset()
         } else {
             hanoi_benchmarks::registry()
+        };
+        if self.benchmark_filter.is_empty() {
+            return all;
         }
+        all.into_iter()
+            .filter(|b| self.benchmark_filter.iter().any(|id| id == b.id))
+            .collect()
     }
 
     /// The output path, with a fallback default.
@@ -110,10 +136,12 @@ mod tests {
         assert_eq!(args.timeout, Some(Duration::from_secs(7)));
         assert_eq!(args.parallelism, 3);
         assert_eq!(args.out_or("d.json"), "x.json");
+        assert_eq!(args.warm_dir, None);
         let harness = args.harness();
         assert_eq!(harness.timeout, Duration::from_secs(7));
         assert!(!harness.paper_bounds);
         assert_eq!(harness.parallelism, 3);
+        assert_eq!(harness.warm_dir, None);
 
         let defaults = HarnessArgs::from_args(&strings(&[]), true);
         assert!(defaults.quick);
@@ -125,5 +153,27 @@ mod tests {
         assert!(!full.quick);
         assert!(full.harness().paper_bounds);
         assert_eq!(full.benchmarks().len(), 28);
+    }
+
+    #[test]
+    fn warm_dir_and_benchmark_filters_parse() {
+        let args = HarnessArgs::from_args(
+            &strings(&[
+                "--warm-dir",
+                "/tmp/warm",
+                "--benchmark",
+                "/other/cache",
+                "--benchmark",
+                "/other/rational",
+            ]),
+            false,
+        );
+        assert_eq!(args.warm_dir.as_deref(), Some("/tmp/warm"));
+        assert_eq!(args.harness().warm_dir.as_deref(), Some("/tmp/warm"));
+        let ids: Vec<&str> = args.benchmarks().iter().map(|b| b.id).collect();
+        assert_eq!(ids, vec!["/other/cache", "/other/rational"]);
+        // An unknown id filters to nothing rather than erroring.
+        let none = HarnessArgs::from_args(&strings(&["--benchmark", "/no/such"]), false);
+        assert!(none.benchmarks().is_empty());
     }
 }

@@ -199,7 +199,7 @@ impl Row {
 }
 
 /// Harness-level configuration: which bounds/timeout to use for every run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Per-benchmark wall-clock budget.
     pub timeout: Duration,
@@ -209,6 +209,12 @@ pub struct HarnessConfig {
     /// worker per available core). Outcomes are identical either way; only
     /// the wall-clock columns change.
     pub parallelism: usize,
+    /// The warm-start store directory (`--warm-dir`): every engine built by
+    /// [`HarnessConfig::engine`] restores per-problem snapshots from it, and
+    /// the binaries save state back into it on exit, so re-invoking a
+    /// harness binary starts warm from the previous *process*'s caches.
+    /// `None` = cold engines, no filesystem access.
+    pub warm_dir: Option<String>,
 }
 
 impl HarnessConfig {
@@ -219,6 +225,7 @@ impl HarnessConfig {
             timeout: Duration::from_secs(20),
             paper_bounds: false,
             parallelism: 1,
+            warm_dir: None,
         }
     }
 
@@ -229,6 +236,7 @@ impl HarnessConfig {
             timeout: Duration::from_secs(300),
             paper_bounds: true,
             parallelism: 1,
+            warm_dir: None,
         }
     }
 
@@ -238,10 +246,31 @@ impl HarnessConfig {
         self
     }
 
-    /// Builds the engine for one experiment run.
+    /// Builds the engine for one experiment run, attached to the warm-start
+    /// store when one is configured.
     pub fn engine(&self) -> Engine {
-        Engine::new(hanoi::EngineConfig::default().with_parallelism(self.parallelism))
-            .expect("harness engine config is valid")
+        let mut config = hanoi::EngineConfig::default().with_parallelism(self.parallelism);
+        if let Some(dir) = &self.warm_dir {
+            config = config.with_warm_start_dir(dir);
+        }
+        Engine::new(config).expect("harness engine config is valid")
+    }
+
+    /// Checkpoints an engine into the configured warm-start store (a no-op
+    /// without `--warm-dir`), logging failures instead of aborting a
+    /// finished experiment.
+    pub fn save_engine(&self, engine: &Engine) {
+        if self.warm_dir.is_none() {
+            return;
+        }
+        match engine.save_state_to_warm_dir() {
+            Ok(written) if written > 0 => eprintln!(
+                "saved {written} warm-start snapshot(s) to {}",
+                self.warm_dir.as_deref().unwrap_or_default()
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("warm-start save failed: {e}"),
+        }
     }
 
     /// Builds the per-run options for one mode.

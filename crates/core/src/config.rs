@@ -16,6 +16,7 @@
 //! losslessly via [`HanoiConfig::split`] / [`HanoiConfig::from_parts`].
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use hanoi_synth::SearchConfig;
@@ -68,11 +69,21 @@ pub enum SynthChoice {
 }
 
 impl SynthChoice {
-    /// The label used in experiment reports.
+    /// The label used in experiment reports (and as the bank key inside
+    /// warm-start snapshot files).
     pub fn label(&self) -> &'static str {
         match self {
             SynthChoice::Myth => "myth",
             SynthChoice::Fold => "fold",
+        }
+    }
+
+    /// Inverse of [`SynthChoice::label`].
+    pub fn from_label(label: &str) -> Option<SynthChoice> {
+        match label {
+            "myth" => Some(SynthChoice::Myth),
+            "fold" => Some(SynthChoice::Fold),
+            _ => None,
         }
     }
 }
@@ -163,6 +174,16 @@ pub struct EngineConfig {
     /// term banks) for.  When a new problem would exceed the budget, the
     /// least-recently-used entry is dropped.
     pub max_cached_problems: usize,
+    /// The warm-start store: a directory of per-problem cache snapshots.
+    ///
+    /// When set, opening a session on a problem the engine has no live entry
+    /// for first looks for `<dir>/<problem fingerprint>.json` (written by
+    /// [`crate::Engine::save_state`], possibly by an *earlier process*) and
+    /// transparently restores the problem's check-outcome cache and term
+    /// banks from it — corrupt, version-mismatched or foreign snapshots are
+    /// silently ignored and the problem starts cold.  `None` (the default)
+    /// disables both loading and any filesystem access.
+    pub warm_start_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -170,6 +191,7 @@ impl Default for EngineConfig {
         EngineConfig {
             parallelism: 1,
             max_cached_problems: 64,
+            warm_start_dir: None,
         }
     }
 }
@@ -190,6 +212,13 @@ impl EngineConfig {
     /// Sets the per-problem cache budget.
     pub fn with_max_cached_problems(mut self, max_cached_problems: usize) -> Self {
         self.max_cached_problems = max_cached_problems;
+        self
+    }
+
+    /// Points the engine at a warm-start snapshot directory (see
+    /// [`EngineConfig::warm_start_dir`]).
+    pub fn with_warm_start_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.warm_start_dir = Some(dir.into());
         self
     }
 

@@ -191,8 +191,9 @@ impl<'p, 'o> InferenceContext<'p, 'o> {
                 slab_builds: pools.slab_builds - self.pool_base.slab_builds,
                 predicate_evals: pools.predicate_evals - self.pool_base.predicate_evals,
             });
-        self.stats.verification_cache_hits =
-            self.verifier.check_cache_stats().hits - self.check_base.hits;
+        let checks = self.verifier.check_cache_stats();
+        self.stats.verification_cache_hits = checks.hits - self.check_base.hits;
+        self.stats.check_cache_evictions = checks.evictions - self.check_base.evictions;
         let bank = self.synthesizer.term_bank_stats();
         self.stats.record_term_bank(hanoi_synth::TermBankStats {
             terms_enumerated: bank.terms_enumerated - self.bank_base.terms_enumerated,

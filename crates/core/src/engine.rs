@@ -19,17 +19,37 @@
 //!
 //! Cache entries are keyed by the identity of the problem's globals
 //! environment (pinned, so address reuse can never alias two distinct
-//! problems) *together with* a structural fingerprint of the
-//! specification, interface and type environment — a `Problem` clone with
-//! the same globals but, say, an edited spec gets its own entry rather
-//! than another problem's memoized outcomes.  The registry holds at most
+//! problems) *together with* the problem's structural fingerprint
+//! ([`Problem::fingerprint`]) — a `Problem` clone with the same globals
+//! but, say, an edited spec gets its own entry rather than another
+//! problem's memoized outcomes.  The registry holds at most
 //! [`EngineConfig::max_cached_problems`] entries and evicts the least
 //! recently used beyond that.
+//!
+//! # The warm-start store
+//!
+//! Warmth survives the process.  [`Engine::save_state`] snapshots every
+//! live entry's *persistable* caches — the check-outcome cache and the term
+//! banks, whose keys are structural digests valid across processes — into
+//! one JSON file per problem, named by the problem fingerprint and written
+//! atomically (temp file, then rename).  An engine configured with
+//! [`EngineConfig::warm_start_dir`] transparently restores those snapshots
+//! when a problem is first opened: a freshly started process re-running a
+//! problem an earlier process solved answers its verifier checks from the
+//! restored cache without a single sweep (`RunStats::warm_start_loads`
+//! reports the restore; the `cross_process_warm` workload of the
+//! `cegis_hot_path` bench measures it).  Snapshots are advisory: corrupt,
+//! truncated, version-mismatched or wrong-problem files are ignored and the
+//! problem starts cold — never a wrong answer, as
+//! `tests/warm_start_equivalence.rs` pins across the benchmark suite.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use hanoi_abstraction::Problem;
+use hanoi_lang::digest::Digest;
+use hanoi_lang::json::Json;
 use hanoi_lang::value::Env;
 use hanoi_synth::TermBank;
 use hanoi_verifier::{CheckCache, PoolCache};
@@ -38,6 +58,16 @@ use crate::config::{ConfigError, EngineConfig, RunOptions, SynthChoice};
 use crate::outcome::RunResult;
 use crate::session::Session;
 
+/// The format version of the per-problem warm-start snapshot files written
+/// by [`Engine::save_state`].  The file wraps the component snapshots
+/// (check cache, term banks), which carry their own versions; this one
+/// covers the wrapper layout.
+const WARM_START_VERSION: u64 = 1;
+
+/// Snapshot files larger than this are ignored on load (a corrupt or
+/// foreign file cannot make session-open allocate unboundedly).
+const MAX_SNAPSHOT_BYTES: u64 = 256 * 1024 * 1024;
+
 /// The warm caches the engine keeps for one problem.
 #[derive(Debug)]
 pub(crate) struct ProblemCaches {
@@ -45,8 +75,14 @@ pub(crate) struct ProblemCaches {
     /// address identity) can never suffer address reuse while the entry
     /// lives.
     globals: Env,
+    /// The problem's stable structural fingerprint — the warm-start file
+    /// name, and the check that a snapshot belongs to this problem.
+    fingerprint: Digest,
     /// The shared verifier pool cache: `(type, count, size)` pools enumerated
-    /// at most once per engine, not once per run.
+    /// at most once per engine, not once per run.  Pools are *not*
+    /// persisted: a fully warm restored run answers every check from the
+    /// check-outcome cache and never requests one, and a partially warm run
+    /// re-enumerates only what it actually sweeps.
     pools: Arc<PoolCache>,
     /// The shared check-outcome cache: completed verifier checks memoized
     /// under their full inputs, so re-runs skip entire sweeps.
@@ -55,16 +91,81 @@ pub(crate) struct ProblemCaches {
     /// synthesizer and the OneShot baseline of the same session (and every
     /// later run of the problem) share the bank of their back end.
     banks: Mutex<HashMap<SynthChoice, Arc<TermBank>>>,
+    /// How many snapshot components (check cache + term banks) this entry
+    /// was restored from on creation (`0` = cold start).  Surfaced as
+    /// `RunStats::warm_start_loads`.
+    warm_start_loads: u64,
 }
 
 impl ProblemCaches {
-    fn new(problem: &Problem) -> Self {
+    fn new(problem: &Problem, fingerprint: Digest) -> Self {
         ProblemCaches {
             globals: problem.globals.clone(),
+            fingerprint,
             pools: PoolCache::for_problem(problem),
             checks: Arc::new(CheckCache::default()),
             banks: Mutex::new(HashMap::new()),
+            warm_start_loads: 0,
         }
+    }
+
+    /// Builds the entry for `problem`, restoring the check cache and term
+    /// banks from `<warm_dir>/<fingerprint>.json` when a valid snapshot for
+    /// this problem exists there.  Every failure mode — missing file, I/O
+    /// error, parse error, version or fingerprint mismatch, corrupt
+    /// component — degrades to a cold start; a snapshot can never make a
+    /// session fail or (fingerprint collisions aside) answer for a
+    /// different problem.
+    fn restore_or_new(problem: &Problem, fingerprint: Digest, warm_dir: &Path) -> Self {
+        let mut caches = ProblemCaches::new(problem, fingerprint);
+        let path = warm_dir.join(format!("{}.json", fingerprint.to_hex()));
+        if let Some((checks, banks, loads)) = load_snapshot(&path, fingerprint) {
+            caches.checks = Arc::new(checks);
+            caches.banks = Mutex::new(banks);
+            caches.warm_start_loads = loads;
+        }
+        caches
+    }
+
+    /// Serializes this entry's persistable caches.  Banks that cannot be
+    /// encoded structurally are skipped; the check cache always serializes
+    /// (only completed, first-order outcomes ever reach it).
+    fn snapshot_json(&self) -> Json {
+        let banks = self.banks.lock().unwrap();
+        let bank_objs: Vec<(String, Json)> = banks
+            .iter()
+            .filter_map(|(choice, bank)| Some((choice.label().to_string(), bank.to_json()?)))
+            .collect();
+        Json::Obj(
+            [
+                ("version".to_string(), Json::Num(WARM_START_VERSION as f64)),
+                (
+                    "kind".to_string(),
+                    Json::Str("hanoi-warm-start".to_string()),
+                ),
+                (
+                    "fingerprint".to_string(),
+                    Json::Str(self.fingerprint.to_hex()),
+                ),
+                ("check_cache".to_string(), self.checks.to_json()),
+                (
+                    "banks".to_string(),
+                    Json::Obj(bank_objs.into_iter().collect()),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    /// The problem fingerprint this entry is keyed by.
+    pub(crate) fn fingerprint(&self) -> Digest {
+        self.fingerprint
+    }
+
+    /// How many snapshot components this entry was warm-started from.
+    pub(crate) fn warm_start_loads(&self) -> u64 {
+        self.warm_start_loads
     }
 
     /// The pinned globals environment this entry belongs to.
@@ -90,36 +191,76 @@ impl ProblemCaches {
     }
 }
 
+/// Reads and validates one warm-start snapshot file.  Returns the restored
+/// components and their count, or `None` on any defect (all-or-nothing: a
+/// snapshot with one corrupt component is wholly ignored, so partial
+/// restores can never mix states from different saves).
+#[allow(clippy::type_complexity)]
+fn load_snapshot(
+    path: &Path,
+    fingerprint: Digest,
+) -> Option<(CheckCache, HashMap<SynthChoice, Arc<TermBank>>, u64)> {
+    let metadata = std::fs::metadata(path).ok()?;
+    if !metadata.is_file() || metadata.len() > MAX_SNAPSHOT_BYTES {
+        return None;
+    }
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = hanoi_lang::json::parse(&text).ok()?;
+    if json.get("version").and_then(Json::as_usize)? as u64 != WARM_START_VERSION {
+        return None;
+    }
+    if json.get("kind").and_then(Json::as_str)? != "hanoi-warm-start" {
+        return None;
+    }
+    // The fingerprint inside the file must match the problem being opened:
+    // a renamed or copied snapshot is rejected rather than trusted.
+    let stored = Digest::from_hex(json.get("fingerprint").and_then(Json::as_str)?)?;
+    if stored != fingerprint {
+        return None;
+    }
+    let checks =
+        CheckCache::from_json(json.get("check_cache")?, CheckCache::DEFAULT_CAPACITY).ok()?;
+    let mut loads = 1;
+    let mut banks = HashMap::new();
+    if let Json::Obj(bank_objs) = json.get("banks")? {
+        for (label, bank_json) in bank_objs {
+            let choice = SynthChoice::from_label(label)?;
+            let bank = TermBank::from_json(bank_json).ok()?;
+            banks.insert(choice, Arc::new(bank));
+            loads += 1;
+        }
+    } else {
+        return None;
+    }
+    Some((checks, banks, loads))
+}
+
 /// The registry key for one problem's caches.
 ///
 /// The globals identity alone is *not* enough: `Problem` fields are public,
 /// so a clone sharing the globals `Env` can carry a different specification,
 /// interface or type environment — and the memoized check outcomes depend on
 /// all of them.  The key therefore pairs the identity (covering module
-/// semantics — the closures the pools and banks captured) with a structural
-/// fingerprint of everything else a check outcome depends on.
+/// semantics — the closures the pools and banks captured) with the problem's
+/// structural fingerprint ([`Problem::fingerprint`]), which covers
+/// everything else a check outcome depends on — and doubles as the
+/// warm-start snapshot file name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ProblemKey {
     /// Address identity of the globals environment (pinned by the entry).
     globals: usize,
-    /// Debug rendering of the specification, the interface, the concrete
-    /// type and the declared data types.  Computed once per session open;
-    /// collisions require structurally identical values, which is exactly
-    /// when sharing is correct.
-    fingerprint: String,
+    /// Structural fingerprint of the problem definition.  Computed once per
+    /// session open; collisions require structurally identical definitions
+    /// (up to the 2⁻¹²⁸ digest bound), which is exactly when sharing is
+    /// correct.
+    fingerprint: Digest,
 }
 
 impl ProblemKey {
     fn for_problem(problem: &Problem) -> Self {
         ProblemKey {
             globals: problem.globals.identity(),
-            fingerprint: format!(
-                "{:?}|{:?}|{:?}|{:?}",
-                problem.spec,
-                problem.interface,
-                problem.concrete_type(),
-                problem.tyenv
-            ),
+            fingerprint: problem.fingerprint(),
         }
     }
 }
@@ -246,19 +387,76 @@ impl Engine {
         self.registry.lock().unwrap().entries.len()
     }
 
+    /// Persists every live cache entry to `dir` as one snapshot file per
+    /// problem, named by the problem fingerprint.  Files are written to a
+    /// temporary sibling first and atomically renamed into place, so a crash
+    /// (or a concurrent reader — another engine process warm-starting from
+    /// the same directory) never observes a torn snapshot.  Returns how many
+    /// snapshots were written.
+    ///
+    /// Saving is cheap relative to the sweeps the snapshots replace, but not
+    /// free; a long-lived service calls this at checkpoints (shutdown,
+    /// deploy, periodic flush), not per run.
+    pub fn save_state(&self, dir: impl AsRef<Path>) -> std::io::Result<usize> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        // Snapshot the entry list, then serialize outside the registry lock
+        // (serialization can be large; sessions must not stall behind it).
+        let entries: Vec<Arc<ProblemCaches>> = {
+            let registry = self.registry.lock().unwrap();
+            registry
+                .entries
+                .values()
+                .map(|(_, entry)| Arc::clone(entry))
+                .collect()
+        };
+        let mut written = 0;
+        for caches in entries {
+            let hex = caches.fingerprint().to_hex();
+            let tmp = dir.join(format!("{hex}.json.tmp"));
+            let path = dir.join(format!("{hex}.json"));
+            std::fs::write(&tmp, caches.snapshot_json().render_pretty())?;
+            std::fs::rename(&tmp, &path)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// [`Engine::save_state`] into the configured
+    /// [`EngineConfig::warm_start_dir`]; a no-op returning `0` when none is
+    /// configured.
+    pub fn save_state_to_warm_dir(&self) -> std::io::Result<usize> {
+        match &self.config.warm_start_dir {
+            Some(dir) => self.save_state(dir),
+            None => Ok(0),
+        }
+    }
+
     /// Looks up (or creates) the cache entry for `problem`, refreshing its
     /// recency and evicting the least recently used entry beyond the budget.
+    /// Entry creation consults the warm-start store when one is configured.
     fn caches_for(&self, problem: &Problem) -> Arc<ProblemCaches> {
         let key = ProblemKey::for_problem(problem);
+        if let Some(entry) = self.touch(&key) {
+            return entry;
+        }
+        // Build the entry — including any warm-start disk restore — *outside*
+        // the registry lock: a multi-megabyte snapshot parse must not stall
+        // concurrent session opens on other problems.
+        let fresh = Arc::new(match &self.config.warm_start_dir {
+            Some(dir) => ProblemCaches::restore_or_new(problem, key.fingerprint, dir),
+            None => ProblemCaches::new(problem, key.fingerprint),
+        });
         let mut registry = self.registry.lock().unwrap();
         registry.clock += 1;
         let stamp = registry.clock;
+        // Double-checked: another session may have created the entry while we
+        // were restoring; keep theirs so every session shares one entry.
         if let Some((recency, entry)) = registry.entries.get_mut(&key) {
             *recency = stamp;
             return Arc::clone(entry);
         }
-        let entry = Arc::new(ProblemCaches::new(problem));
-        registry.entries.insert(key, (stamp, Arc::clone(&entry)));
+        registry.entries.insert(key, (stamp, Arc::clone(&fresh)));
         while registry.entries.len() > self.config.max_cached_problems {
             let oldest = registry
                 .entries
@@ -268,7 +466,17 @@ impl Engine {
                 .expect("non-empty registry");
             registry.entries.remove(&oldest);
         }
-        entry
+        fresh
+    }
+
+    /// Refreshes and returns the live entry for `key`, when one exists.
+    fn touch(&self, key: &ProblemKey) -> Option<Arc<ProblemCaches>> {
+        let mut registry = self.registry.lock().unwrap();
+        registry.clock += 1;
+        let stamp = registry.clock;
+        let (recency, entry) = registry.entries.get_mut(key)?;
+        *recency = stamp;
+        Some(Arc::clone(entry))
     }
 }
 
@@ -424,6 +632,101 @@ mod tests {
         // A's caches survived: a new session on A shares them.
         let a_caches = engine.caches_for(&problem_a);
         assert!(Arc::ptr_eq(&a_caches, a.caches()));
+    }
+
+    /// A unique temp directory per test (no external tempfile crate in the
+    /// offline build).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hanoi-warm-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn warm_start_store_round_trips_across_engines() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let options = RunOptions::quick();
+        let dir = scratch_dir("roundtrip");
+
+        // "Process 1": solve, then checkpoint.
+        let first_engine = Engine::with_defaults();
+        let cold = first_engine.run(&problem, &options);
+        assert!(cold.is_success(), "{}", cold.outcome);
+        assert_eq!(cold.stats.warm_start_loads, 0);
+        assert_eq!(first_engine.save_state(&dir).unwrap(), 1);
+        let snapshot_path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));
+        assert!(snapshot_path.is_file(), "{snapshot_path:?}");
+
+        // "Process 2": a brand-new engine restores from disk; every check of
+        // the re-run is answered from the restored cache.
+        let second_engine = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+        let restored = second_engine.run(&problem, &options);
+        assert_eq!(restored.outcome, cold.outcome);
+        assert_eq!(restored.stats.iterations, cold.stats.iterations);
+        assert!(
+            restored.stats.warm_start_loads >= 2,
+            "check cache + at least one bank: {:?}",
+            restored.stats
+        );
+        assert_eq!(
+            restored.stats.verification_cache_hits as usize, restored.stats.verification_calls,
+            "restored checks must all be snapshot hits: {:?}",
+            restored.stats
+        );
+        assert_eq!(
+            restored.stats.pool_builds, 0,
+            "a fully warm restored run never needs a pool"
+        );
+
+        // save_state_to_warm_dir writes through the configured directory.
+        assert_eq!(second_engine.save_state_to_warm_dir().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshots_fall_back_to_a_cold_start() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let options = RunOptions::quick();
+        let dir = scratch_dir("corrupt");
+        let engine = Engine::with_defaults();
+        let cold = engine.run(&problem, &options);
+        engine.save_state(&dir).unwrap();
+        let path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));
+
+        // Truncate the snapshot mid-file: parse fails, the run is cold and
+        // still correct.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let tampered = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+        let result = tampered.run(&problem, &options);
+        assert_eq!(result.outcome, cold.outcome);
+        assert_eq!(result.stats.warm_start_loads, 0, "{:?}", result.stats);
+        assert_eq!(result.stats.verification_cache_hits, 0);
+
+        // A version bump is rejected just as cleanly.
+        let bumped = text.replacen("\"version\": 1", "\"version\": 999", 1);
+        assert_ne!(bumped, text, "the version field must be present");
+        std::fs::write(&path, bumped).unwrap();
+        let mismatched = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+        let result = mismatched.run(&problem, &options);
+        assert_eq!(result.outcome, cold.outcome);
+        assert_eq!(result.stats.warm_start_loads, 0);
+
+        // A snapshot renamed onto another problem's fingerprint is refused.
+        std::fs::write(&path, &text).unwrap();
+        let buggy = LIST_SET.replace("if lookup l x then l else Cons (x, l)", "Cons (x, l)");
+        let other = Problem::from_source(&buggy).unwrap();
+        let stolen = dir.join(format!("{}.json", other.fingerprint().to_hex()));
+        std::fs::copy(&path, &stolen).unwrap();
+        let refusing = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+        let result = refusing.run(&other, &options);
+        assert_eq!(result.stats.warm_start_loads, 0, "wrong-problem snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,11 +40,15 @@ pub mod context;
 pub mod driver;
 pub mod engine;
 pub mod events;
-pub mod json;
 pub mod modes;
 pub mod outcome;
 pub mod session;
 pub mod stats;
+
+/// The hand-rolled JSON reader/writer (re-exported from
+/// [`hanoi_lang::json`], where it moved so the verifier's and synthesizer's
+/// warm-start snapshots can use it without depending on this crate).
+pub use hanoi_lang::json;
 
 pub use cancel::CancelToken;
 pub use config::{

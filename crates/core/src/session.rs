@@ -137,12 +137,14 @@ impl<'e, 'p> Session<'e, 'p> {
             verifier,
             synthesizer,
         );
-        match options.mode {
+        let mut result = match options.mode {
             Mode::Hanoi => modes::hanoi::run(ctx),
             Mode::ConjStr => modes::conj_str::run(ctx),
             Mode::LinearArbitrary => modes::linear_arbitrary::run(ctx),
             Mode::OneShot => modes::one_shot::run(ctx),
-        }
+        };
+        result.stats.warm_start_loads = self.caches.warm_start_loads();
+        result
     }
 }
 

@@ -43,6 +43,15 @@ pub struct RunStats {
     /// Verifier checks answered from the engine's cross-run check-outcome
     /// cache without re-running their sweep.
     pub verification_cache_hits: u64,
+    /// Check-outcome cache entries evicted (LRU) during the run because an
+    /// insert exceeded the cache capacity.
+    pub check_cache_evictions: u64,
+    /// Snapshot components (check cache + term banks) the problem's engine
+    /// entry was restored from via the warm-start store
+    /// (`EngineConfig::warm_start_dir`).  `0` for cold starts and for
+    /// engines without a warm-start directory; identical for every run
+    /// sharing the restored entry.
+    pub warm_start_loads: u64,
     /// Candidate terms enumerated by the synthesis engine (pre-dedup) across
     /// all guesses of the run.
     pub synth_terms_enumerated: u64,
@@ -141,6 +150,11 @@ impl RunStats {
                 Json::Num(self.verification_cache_hits as f64),
             ),
             (
+                "check_cache_evictions",
+                Json::Num(self.check_cache_evictions as f64),
+            ),
+            ("warm_start_loads", Json::Num(self.warm_start_loads as f64)),
+            (
                 "synth_terms_enumerated",
                 Json::Num(self.synth_terms_enumerated as f64),
             ),
@@ -198,6 +212,8 @@ impl RunStats {
             pool_slab_builds: counter("pool_slab_builds")?,
             predicate_evals: counter("predicate_evals")?,
             verification_cache_hits: counter("verification_cache_hits")?,
+            check_cache_evictions: counter("check_cache_evictions")?,
+            warm_start_loads: counter("warm_start_loads")?,
             synth_terms_enumerated: counter("synth_terms_enumerated")?,
             synth_column_appends: counter("synth_column_appends")?,
             synth_eq_class_splits: counter("synth_eq_class_splits")?,
@@ -246,6 +262,8 @@ mod tests {
             pool_slab_builds: 9,
             predicate_evals: 12345,
             verification_cache_hits: 4,
+            check_cache_evictions: 2,
+            warm_start_loads: 3,
             synth_terms_enumerated: 678,
             synth_column_appends: 6,
             synth_eq_class_splits: 2,

@@ -1,14 +1,19 @@
-//! A tiny JSON reader/writer (shared by the experiment harness and the
-//! run-statistics serializers).
+//! A tiny JSON reader/writer (shared by the experiment harness, the
+//! run-statistics serializers and the warm-start cache snapshots).
 //!
 //! The build environment is fully offline, so `serde`/`serde_json` are not
-//! available; the harness only needs to round-trip flat result rows, which
-//! this module covers with a plain recursive-descent parser and a pretty
-//! printer. The surface is deliberately small: [`Json`] values, [`parse`],
-//! [`Json::render`] / [`Json::render_pretty`], and typed accessors.
+//! available; the consumers only need to round-trip flat result rows and
+//! cache snapshots, which this module covers with a plain recursive-descent
+//! parser and a pretty printer. The surface is deliberately small: [`Json`]
+//! values, [`parse`], [`Json::render`] / [`Json::render_pretty`], typed
+//! accessors, and the structural encoding of first-order runtime values
+//! ([`value_to_json`] / [`value_from_json`]).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+use crate::symbol::Symbol;
+use crate::value::Value;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,6 +186,51 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Serializes a first-order [`Value`] structurally: a constructor
+/// application becomes `{"c": name, "a": [children…]}`, a tuple becomes
+/// `{"t": [children…]}`.  Closures and native functions have no structural
+/// denotation and yield `None` — callers persisting caches skip such entries
+/// rather than guessing.
+///
+/// The encoding is the disk format of the warm-start snapshots, so it must
+/// stay stable; [`value_from_json`] is its inverse.
+pub fn value_to_json(value: &Value) -> Option<Json> {
+    match value {
+        Value::Ctor(name, args) => {
+            let args: Option<Vec<Json>> = args.iter().map(value_to_json).collect();
+            Some(Json::obj([
+                ("c", Json::Str(name.as_str().to_string())),
+                ("a", Json::Arr(args?)),
+            ]))
+        }
+        Value::Tuple(items) => {
+            let items: Option<Vec<Json>> = items.iter().map(value_to_json).collect();
+            Some(Json::obj([("t", Json::Arr(items?))]))
+        }
+        Value::Closure(_) | Value::Native(_) => None,
+    }
+}
+
+/// Parses the structural value encoding of [`value_to_json`].  Returns
+/// `None` on any shape mismatch (snapshot loaders treat that as a corrupt
+/// snapshot and fall back to a cold start).
+pub fn value_from_json(json: &Json) -> Option<Value> {
+    if let Some(name) = json.get("c").and_then(Json::as_str) {
+        let args: Option<Vec<Value>> = json
+            .get("a")?
+            .as_arr()?
+            .iter()
+            .map(value_from_json)
+            .collect();
+        return Some(Value::ctor_of(Symbol::new(name), args?));
+    }
+    if let Some(items) = json.get("t").and_then(Json::as_arr) {
+        let items: Option<Vec<Value>> = items.iter().map(value_from_json).collect();
+        return Some(Value::tuple_of(items?));
+    }
+    None
 }
 
 /// A JSON parse error with a byte offset.
@@ -419,5 +469,42 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("nul").is_err());
         assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn values_round_trip_structurally() {
+        for value in [
+            Value::nat(3),
+            Value::nat_list(&[1, 0, 2]),
+            Value::tru(),
+            Value::unit(),
+            Value::pair(Value::nat(1), Value::nat_list(&[])),
+        ] {
+            let encoded = value_to_json(&value).unwrap();
+            let text = encoded.render();
+            let back = value_from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(back, value, "{text}");
+        }
+    }
+
+    #[test]
+    fn closures_do_not_serialize_and_bad_shapes_do_not_parse() {
+        use crate::ast::Expr;
+        use crate::value::{Closure, Env};
+        use std::sync::Arc;
+        let clo = Value::Closure(Arc::new(Closure::by_name(
+            Symbol::new("x"),
+            Expr::var("x"),
+            Env::empty(),
+            None,
+        )));
+        assert_eq!(value_to_json(&clo), None);
+        assert_eq!(value_to_json(&Value::pair(Value::nat(0), clo)), None);
+        assert_eq!(value_from_json(&Json::Num(3.0)), None);
+        assert_eq!(value_from_json(&Json::obj([("c", Json::Num(1.0))])), None);
+        assert_eq!(
+            value_from_json(&parse(r#"{"c":"S","a":[{"x":1}]}"#).unwrap()),
+            None
+        );
     }
 }

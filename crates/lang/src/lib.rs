@@ -27,7 +27,12 @@
 //! * [`termgen`] — size-ordered enumeration of well-typed *terms*, used both
 //!   by the synthesizers and by the higher-order-argument generator;
 //! * [`pretty`] / [`size`] — pretty-printing and AST-size metrics (the
-//!   paper's "Size" column measures invariants in AST nodes).
+//!   paper's "Size" column measures invariants in AST nodes);
+//! * [`digest`] — stable, interner-independent structural fingerprints of
+//!   expressions, values and types, the keys of every disk-persistable cache;
+//! * [`json`] — a dependency-free JSON reader/writer (the build environment
+//!   is offline, so `serde` is unavailable), including the structural
+//!   encoding of first-order [`value::Value`]s that cache snapshots use.
 //!
 //! # Example
 //!
@@ -51,9 +56,11 @@
 //! ```
 
 pub mod ast;
+pub mod digest;
 pub mod enumerate;
 pub mod error;
 pub mod eval;
+pub mod json;
 pub mod parser;
 pub mod prelude;
 pub mod pretty;

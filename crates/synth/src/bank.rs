@@ -58,6 +58,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hanoi_lang::eval::{Evaluator, Fuel};
+use hanoi_lang::json::{value_from_json, value_to_json, Json, JsonError};
 use hanoi_lang::symbol::Symbol;
 use hanoi_lang::value::Value;
 
@@ -224,6 +225,13 @@ impl ArgsKey {
             ArgsKey::Heap(args.into())
         }
     }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            ArgsKey::Inline(inline, len) => &inline[..*len as usize],
+            ArgsKey::Heap(args) => args,
+        }
+    }
 }
 
 /// Key of one memoized application or construction: the interned name id of
@@ -379,6 +387,278 @@ impl TermBank {
         self.splits.fetch_add(splits, Ordering::Relaxed);
     }
 
+    /// The snapshot format version written by [`TermBank::to_json`].  Bump
+    /// it whenever the value encoding or the table layout changes shape;
+    /// loaders reject mismatching versions cleanly.
+    pub const SNAPSHOT_VERSION: u64 = 1;
+
+    /// Hard ceiling on the size of any one snapshot table — a corrupt or
+    /// hostile snapshot cannot make [`TermBank::from_json`] allocate
+    /// unboundedly, and [`TermBank::to_json`] refuses to write a bank that
+    /// has outgrown it (`None`).
+    pub const MAX_SNAPSHOT_ENTRIES: usize = 1 << 20;
+
+    /// Serializes the bank to a versioned snapshot: the interned values in
+    /// id order (so a restore reproduces the same dense ids), the name
+    /// table, and the memoized application/constructor/world tables.
+    /// Returns `None` when the bank cannot be snapshot faithfully — an
+    /// interned value has no structural encoding (never the case for
+    /// signature cells, which are first-order by construction) or a table
+    /// exceeds [`TermBank::MAX_SNAPSHOT_ENTRIES`].
+    ///
+    /// Counters are *not* persisted (except the session count, which decides
+    /// whether future columns count as appends): a restored bank reports
+    /// only the activity of its own process.
+    pub fn to_json(&self) -> Option<Json> {
+        // Copy all five tables out under their locks — held together so the
+        // snapshot is *consistent* (no app row can reference a value id
+        // interned after the value table was copied) — and do the expensive
+        // part (sorting, JSON construction) after releasing them, so
+        // concurrent synthesis on the same bank stalls only for the copies.
+        let (values, names, mut app_rows, mut ctor_rows, mut world_ids) = {
+            let interner = self.interner.lock().unwrap();
+            let names = self.names.lock().unwrap();
+            let apps = self.apps.lock().unwrap();
+            let ctors = self.ctors.lock().unwrap();
+            let worlds = self.worlds.lock().unwrap();
+            if interner.values.len() > Self::MAX_SNAPSHOT_ENTRIES
+                || apps.len() > Self::MAX_SNAPSHOT_ENTRIES
+                || ctors.len() > Self::MAX_SNAPSHOT_ENTRIES
+            {
+                return None;
+            }
+            let app_rows: Vec<(u32, Vec<u32>, u64, Option<u32>)> = apps
+                .iter()
+                .map(|((name, args, fuel), result)| {
+                    (*name, args.as_slice().to_vec(), *fuel, *result)
+                })
+                .collect();
+            let ctor_rows: Vec<(u32, Vec<u32>, u32)> = ctors
+                .iter()
+                .map(|((name, args), result)| (*name, args.as_slice().to_vec(), *result))
+                .collect();
+            (
+                interner.values.clone(),
+                names.clone(),
+                app_rows,
+                ctor_rows,
+                worlds.iter().copied().collect::<Vec<u32>>(),
+            )
+        };
+
+        let values: Option<Vec<Json>> = values.iter().map(value_to_json).collect();
+
+        // Invert the name table into id order.
+        let mut names_by_id: Vec<Option<&Symbol>> = vec![None; names.len()];
+        for (name, &id) in names.iter() {
+            *names_by_id.get_mut(id as usize)? = Some(name);
+        }
+        let names_json: Option<Vec<Json>> = names_by_id
+            .iter()
+            .map(|n| n.map(|s| Json::Str(s.as_str().to_string())))
+            .collect();
+
+        // Deterministic table order keeps snapshots byte-stable for a given
+        // bank state.
+        app_rows.sort();
+        let apps_json: Vec<Json> = app_rows
+            .into_iter()
+            .map(|(name, args, fuel, result)| {
+                Json::obj([
+                    ("n", Json::Num(name as f64)),
+                    (
+                        "a",
+                        Json::Arr(args.into_iter().map(|a| Json::Num(a as f64)).collect()),
+                    ),
+                    ("f", Json::Num(fuel as f64)),
+                    ("r", Json::opt(result, |r| Json::Num(r as f64))),
+                ])
+            })
+            .collect();
+        ctor_rows.sort();
+        let ctors_json: Vec<Json> = ctor_rows
+            .into_iter()
+            .map(|(name, args, result)| {
+                Json::obj([
+                    ("n", Json::Num(name as f64)),
+                    (
+                        "a",
+                        Json::Arr(args.into_iter().map(|a| Json::Num(a as f64)).collect()),
+                    ),
+                    ("r", Json::Num(result as f64)),
+                ])
+            })
+            .collect();
+        world_ids.sort_unstable();
+
+        Some(Json::obj([
+            ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+            ("kind", Json::Str("term-bank".to_string())),
+            (
+                "sessions",
+                Json::Num(self.sessions.load(Ordering::Relaxed) as f64),
+            ),
+            ("values", Json::Arr(values?)),
+            ("names", Json::Arr(names_json?)),
+            ("apps", Json::Arr(apps_json)),
+            ("ctors", Json::Arr(ctors_json)),
+            (
+                "worlds",
+                Json::Arr(world_ids.into_iter().map(|w| Json::Num(w as f64)).collect()),
+            ),
+        ]))
+    }
+
+    /// Rebuilds a bank from the output of [`TermBank::to_json`].  Rejects
+    /// version mismatches, structural corruption, dangling ids and oversized
+    /// tables — a rejected snapshot leaves the caller exactly where a cold
+    /// start would.
+    pub fn from_json(json: &Json) -> Result<TermBank, JsonError> {
+        let corrupt = |message: &str| JsonError {
+            message: format!("term-bank snapshot: {message}"),
+            offset: 0,
+        };
+        let version = json
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| corrupt("missing version"))?;
+        if version as u64 != Self::SNAPSHOT_VERSION {
+            return Err(corrupt(&format!(
+                "version {version} does not match supported version {}",
+                Self::SNAPSHOT_VERSION
+            )));
+        }
+        if json.get("kind").and_then(Json::as_str) != Some("term-bank") {
+            return Err(corrupt("wrong snapshot kind"));
+        }
+        let table = |field: &'static str| -> Result<&[Json], JsonError> {
+            let items = json
+                .get(field)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| corrupt(&format!("missing `{field}` table")))?;
+            if items.len() > Self::MAX_SNAPSHOT_ENTRIES {
+                return Err(corrupt(&format!("`{field}` exceeds the entry ceiling")));
+            }
+            Ok(items)
+        };
+
+        let bank = TermBank::new();
+        let values = table("values")?;
+        {
+            let mut interner = bank.interner.lock().unwrap();
+            for (index, encoded) in values.iter().enumerate() {
+                let value = value_from_json(encoded).ok_or_else(|| corrupt("unparseable value"))?;
+                let id = interner.intern(&value);
+                // Ids are positional: interning snapshot values in order must
+                // reproduce index = id (values[0] = True, values[1] = False,
+                // no duplicates).  Anything else is a corrupt snapshot.
+                if id as usize != index {
+                    return Err(corrupt("value table is not a dense id ordering"));
+                }
+            }
+        }
+        let value_count = values.len() as u32;
+        let check_id = |id: u32| -> Result<u32, JsonError> {
+            if id < value_count {
+                Ok(id)
+            } else {
+                Err(corrupt("dangling value id"))
+            }
+        };
+
+        let names = table("names")?;
+        {
+            let mut name_table = bank.names.lock().unwrap();
+            for (index, name) in names.iter().enumerate() {
+                let name = name.as_str().ok_or_else(|| corrupt("non-string name"))?;
+                name_table.insert(Symbol::new(name), index as u32);
+            }
+            if name_table.len() != names.len() {
+                return Err(corrupt("duplicate names in the name table"));
+            }
+        }
+        let name_count = names.len() as u32;
+        let check_name = |id: u32| -> Result<u32, JsonError> {
+            if id < name_count {
+                Ok(id)
+            } else {
+                Err(corrupt("dangling name id"))
+            }
+        };
+        let parse_args = |row: &Json| -> Result<Vec<u32>, JsonError> {
+            row.get("a")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| corrupt("row without args"))?
+                .iter()
+                .map(|a| {
+                    a.as_usize()
+                        .map(|a| a as u32)
+                        .ok_or_else(|| corrupt("non-numeric arg id"))
+                        .and_then(check_id)
+                })
+                .collect()
+        };
+
+        {
+            let mut apps = bank.apps.lock().unwrap();
+            for row in table("apps")? {
+                let name = check_name(
+                    row.get("n")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("app row without name id"))?
+                        as u32,
+                )?;
+                let args = parse_args(row)?;
+                let fuel =
+                    row.get("f")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("app row without fuel"))? as u64;
+                let result = match row.get("r") {
+                    Some(Json::Null) | None => None,
+                    Some(r) => Some(check_id(
+                        r.as_usize().ok_or_else(|| corrupt("non-numeric result"))? as u32,
+                    )?),
+                };
+                apps.insert((name, ArgsKey::new(&args), fuel), result);
+            }
+        }
+        {
+            let mut ctors = bank.ctors.lock().unwrap();
+            for row in table("ctors")? {
+                let name = check_name(
+                    row.get("n")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("ctor row without name id"))?
+                        as u32,
+                )?;
+                let args = parse_args(row)?;
+                let result = check_id(
+                    row.get("r")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("ctor row without result"))?
+                        as u32,
+                )?;
+                ctors.insert((name, ArgsKey::new(&args)), result);
+            }
+        }
+        {
+            let mut worlds = bank.worlds.lock().unwrap();
+            for id in table("worlds")? {
+                let id = check_id(
+                    id.as_usize()
+                        .ok_or_else(|| corrupt("non-numeric world id"))? as u32,
+                )?;
+                worlds.insert(id);
+            }
+        }
+        let sessions = json
+            .get("sessions")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| corrupt("missing session count"))? as u64;
+        bank.sessions.store(sessions, Ordering::Relaxed);
+        Ok(bank)
+    }
+
     /// A snapshot of the session counters.
     pub fn stats(&self) -> TermBankStats {
         TermBankStats {
@@ -479,6 +759,96 @@ mod tests {
         let b = bank.make_ctor(wide, &tuple, &ids);
         assert_eq!(a, b);
         assert_ne!(ArgsKey::new(&ids[..2]), ArgsKey::new(&ids[..3]));
+    }
+
+    #[test]
+    fn snapshots_round_trip_every_table() {
+        let tyenv = TypeEnv::new();
+        let evaluator = Evaluator::new(&tyenv);
+        let bank = TermBank::new();
+        let succ = nat_succ();
+        let succ_name = bank.name_id(&Symbol::new("succ"));
+        let one = bank.intern(&Value::nat(1));
+        let two = bank
+            .apply_component(&evaluator, succ_name, &succ, &[one], 100)
+            .unwrap();
+        // A memoized failure too.
+        let broken_name = bank.name_id(&Symbol::new("broken"));
+        assert_eq!(
+            bank.apply_component(&evaluator, broken_name, &Value::nat(0), &[one], 100),
+            None
+        );
+        let s = Symbol::new("S");
+        let s_id = bank.name_id(&s);
+        let three = bank.make_ctor(s_id, &s, &[two]);
+        bank.begin_session(&[(Value::nat(1), true)]);
+
+        let snapshot = bank.to_json().expect("first-order bank snapshots");
+        let text = snapshot.render_pretty();
+        let restored = TermBank::from_json(&hanoi_lang::json::parse(&text).unwrap()).unwrap();
+
+        // Ids are reproduced positionally.
+        assert_eq!(restored.intern(&Value::tru()), TRUE_ID);
+        assert_eq!(restored.intern(&Value::nat(1)), one);
+        assert_eq!(restored.value_of(two), Value::nat(2));
+        assert_eq!(restored.value_of(three), Value::nat(3));
+        // Memoized applications (including the failure) answer without the
+        // interpreter: a broken component would error if re-evaluated, and
+        // the hit counter proves the store was consulted.
+        assert_eq!(
+            restored.apply_component(&evaluator, succ_name, &succ, &[one], 100),
+            Some(two)
+        );
+        assert_eq!(
+            restored.apply_component(&evaluator, broken_name, &Value::nat(0), &[one], 100),
+            None
+        );
+        assert_eq!(restored.stats().bank_hits, 2);
+        assert_eq!(restored.stats().bank_misses, 0);
+        // The name table survived (same ids for the same names).
+        assert_eq!(restored.name_id(&Symbol::new("succ")), succ_name);
+        assert_eq!(restored.name_id(&s), s_id);
+        // Worlds survived: re-registering the same example is not an append.
+        let columns = restored.begin_session(&[(Value::nat(1), true)]);
+        assert_eq!(columns, vec![(one, false)]);
+        assert_eq!(restored.stats().column_appends, 0);
+        // …but a genuinely new world still counts as one.
+        restored.begin_session(&[(Value::nat(9), true)]);
+        assert_eq!(restored.stats().column_appends, 1);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_bank_snapshots_are_rejected() {
+        let bank = TermBank::new();
+        let one = bank.intern(&Value::nat(1));
+        let s = Symbol::new("S");
+        let s_id = bank.name_id(&s);
+        bank.make_ctor(s_id, &s, &[one]);
+        let good = bank.to_json().unwrap();
+
+        let mutate = |field: &str, value: Json| -> Json {
+            let mut copy = good.clone();
+            if let Json::Obj(map) = &mut copy {
+                map.insert(field.to_string(), value);
+            }
+            copy
+        };
+        assert!(TermBank::from_json(&mutate("version", Json::Num(99.0))).is_err());
+        assert!(TermBank::from_json(&mutate("kind", Json::Str("check-cache".into()))).is_err());
+        // A value table not headed by True/False cannot reproduce the fixed
+        // boolean ids.
+        assert!(TermBank::from_json(&mutate(
+            "values",
+            Json::Arr(vec![
+                hanoi_lang::json::value_to_json(&Value::nat(1)).unwrap()
+            ])
+        ))
+        .is_err());
+        // Dangling ids are rejected.
+        assert!(
+            TermBank::from_json(&mutate("worlds", Json::Arr(vec![Json::Num(10_000.0)]))).is_err()
+        );
+        assert!(TermBank::from_json(&Json::Num(1.0)).is_err());
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //!   `(component, argument values)`, signature-column bookkeeping per
 //!   example world, and equivalence-class split accounting.
 
+#![warn(missing_docs)]
+
 pub mod bank;
 pub mod cache;
 pub mod engine;

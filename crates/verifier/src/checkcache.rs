@@ -1,4 +1,4 @@
-//! The cross-run check-outcome cache.
+//! The cross-run, disk-persistable check-outcome cache.
 //!
 //! Bounded enumerative checks are *deterministic*: the outcome of
 //! `Verify Suf`/`CondInductive` is a pure function of the problem, the
@@ -12,46 +12,112 @@
 //! function's arguments.  A long-lived engine keeps one per problem, so
 //! re-running a problem (experiment-harness reruns, figure8 ablations,
 //! repeated service requests) skips entire verification sweeps instead of
-//! merely re-reading warm value pools.  Keys hold the full inputs (the
-//! pretty-printed candidate, the `V+` values, the bounds) — no fingerprint
-//! collisions — and only *completed* outcomes are stored: a check aborted by
-//! a deadline or cancellation is never cached.
+//! merely re-reading warm value pools.  Only *completed* outcomes are stored:
+//! a check aborted by a deadline or cancellation is never cached, and errors
+//! are never persisted.
 //!
-//! The cache is bounded: when it reaches `capacity` entries it stops
-//! admitting new ones (the working set of one CEGIS problem is small; a
-//! pathological candidate stream cannot grow it without bound).
+//! # Keys
+//!
+//! Check inputs participate as **structural digests**
+//! ([`hanoi_lang::digest::Digest`]): the candidate as the α-invariant
+//! 128-bit fingerprint of its resolved AST, the `V+` set as the fingerprint
+//! of its ordered value sequence, plus the full [`VerifierBounds`] and (for
+//! per-operation checks) the operation name.  Digest keys replaced the
+//! previous pretty-printed candidate strings for two reasons: they are
+//! small and constant-size (a sweep-size candidate used to pretty-print to
+//! kilobytes, and `V+` values were stored wholesale), and they are
+//! *interner-independent* — valid across processes, which is what makes the
+//! cache snapshotable to disk ([`CheckCache::to_json`] /
+//! [`CheckCache::from_json`]).  The price is a 2⁻¹²⁸ per-pair collision
+//! probability instead of exact keys; see the "cache soundness" section of
+//! `docs/ARCHITECTURE.md`.
+//!
+//! # Eviction
+//!
+//! The cache is bounded by a true LRU: when an insert would exceed
+//! `capacity`, the least-recently-*used* entry (hits refresh recency) is
+//! evicted and counted ([`CheckCacheStats::evictions`], surfaced as
+//! `RunStats::check_cache_evictions`).  This replaced the previous
+//! stop-admitting-at-capacity policy, under which a long-lived service
+//! session could permanently pin a stale working set while every new
+//! candidate missed.
+//!
+//! # Snapshots
+//!
+//! [`CheckCache::to_json`] serializes the entries (keys, outcomes,
+//! counterexample values) in recency order; [`CheckCache::from_json`]
+//! rebuilds a cache from a snapshot, rejecting version mismatches, corrupt
+//! structure and oversized entry lists.  Counterexample values serialize
+//! through [`hanoi_lang::json::value_to_json`]; entries whose values cannot
+//! be serialized structurally (they never arise — counterexample values are
+//! first-order — but the code does not assume it) are skipped rather than
+//! guessed at.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use hanoi_lang::digest::Digest;
+use hanoi_lang::json::{value_from_json, value_to_json, Json, JsonError};
+use hanoi_lang::symbol::Symbol;
 use hanoi_lang::value::Value;
 
 use crate::bounds::VerifierBounds;
-use crate::outcome::{InductivenessOutcome, SufficiencyOutcome};
+use crate::outcome::{InductivenessCex, InductivenessOutcome, SufficiencyCex, SufficiencyOutcome};
+
+/// Which of the verifier's checks an entry memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CheckKind {
+    /// `Verify Suf φ M [I]`.
+    Sufficiency,
+    /// `CondInductive V+ I` (visible inductiveness).
+    Visible,
+    /// `CondInductive I I` (full inductiveness).
+    Full,
+    /// `CondInductive I I` restricted to one operation (the LA baseline).
+    Op,
+}
+
+impl CheckKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            CheckKind::Sufficiency => "sufficiency",
+            CheckKind::Visible => "visible",
+            CheckKind::Full => "full",
+            CheckKind::Op => "op",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<CheckKind> {
+        match s {
+            "sufficiency" => Some(CheckKind::Sufficiency),
+            "visible" => Some(CheckKind::Visible),
+            "full" => Some(CheckKind::Full),
+            "op" => Some(CheckKind::Op),
+            _ => None,
+        }
+    }
+}
 
 /// One memoized check, keyed by the complete argument tuple of the check
-/// function.  The candidate participates as its pretty-printed form (exprs
-/// print deterministically and the printer is total).
+/// function in digest form.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CheckKey {
-    /// `Verify Suf φ M [I]`.
-    Sufficiency { candidate: String },
-    /// `CondInductive V+ I` (visible inductiveness): the pool is the known
-    /// set itself, so it is part of the key, in order (the sweep enumerates
-    /// it in order).
-    Visible {
-        candidate: String,
-        v_plus: Vec<Value>,
-    },
-    /// `CondInductive I I` (full inductiveness).
-    Full { candidate: String },
-    /// `CondInductive I I` restricted to one operation (the LA baseline).
-    Op { op: String, candidate: String },
+struct CheckKey {
+    kind: CheckKind,
+    /// α-invariant structural digest of the (resolved) candidate.
+    candidate: Digest,
+    /// Digest of the ordered `V+` sequence ([`CheckKind::Visible`] only;
+    /// `Digest(0)` otherwise).
+    v_plus: Digest,
+    /// The restricted operation ([`CheckKind::Op`] only; empty otherwise).
+    op: String,
+    /// The bounds the sweep ran under — part of the check function's
+    /// arguments, so part of the key.
+    bounds: VerifierBounds,
 }
 
 /// A memoized outcome (checks have two result shapes).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum CachedOutcome {
     Inductiveness(InductivenessOutcome),
     Sufficiency(SufficiencyOutcome),
@@ -66,16 +132,68 @@ pub struct CheckCacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: u64,
+    /// Entries evicted because an insert exceeded the capacity (LRU order).
+    pub evictions: u64,
 }
 
-/// A shared, bounded memo of completed verifier check outcomes for one
-/// problem.  Cheap to share (`Arc`), safe to use concurrently.
+/// The LRU store: entries carry a recency stamp, and a stamp-ordered index
+/// finds the least recently used entry in `O(log n)`.
+#[derive(Debug, Default)]
+struct LruState {
+    entries: HashMap<CheckKey, (u64, CachedOutcome)>,
+    recency: BTreeMap<u64, CheckKey>,
+    clock: u64,
+}
+
+impl LruState {
+    fn touch(&mut self, key: &CheckKey) -> Option<CachedOutcome> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let (old, outcome) = match self.entries.get_mut(key) {
+            Some((old_stamp, outcome)) => {
+                let old = *old_stamp;
+                *old_stamp = stamp;
+                (old, outcome.clone())
+            }
+            None => return None,
+        };
+        self.recency.remove(&old);
+        self.recency.insert(stamp, key.clone());
+        Some(outcome)
+    }
+
+    /// Inserts (or refreshes) an entry; returns how many entries were
+    /// evicted to stay within `capacity`.
+    fn insert(&mut self, key: CheckKey, outcome: CachedOutcome, capacity: usize) -> u64 {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((old, _)) = self.entries.insert(key.clone(), (stamp, outcome)) {
+            self.recency.remove(&old);
+        }
+        self.recency.insert(stamp, key);
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let (_, oldest) = self
+                .recency
+                .pop_first()
+                .expect("recency index tracks every entry");
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A shared, LRU-bounded memo of completed verifier check outcomes for one
+/// problem.  Cheap to share (`Arc`), safe to use concurrently, and
+/// snapshotable to disk for cross-process reuse.
 #[derive(Debug)]
 pub struct CheckCache {
-    entries: Mutex<HashMap<(CheckKey, VerifierBounds), CachedOutcome>>,
+    state: Mutex<LruState>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for CheckCache {
@@ -88,13 +206,24 @@ impl CheckCache {
     /// Default entry budget: generous for any realistic CEGIS working set.
     pub const DEFAULT_CAPACITY: usize = 4096;
 
+    /// Hard ceiling on how many entries a snapshot may carry — a corrupt or
+    /// hostile snapshot cannot make [`CheckCache::from_json`] allocate
+    /// unboundedly.
+    pub const MAX_SNAPSHOT_ENTRIES: usize = 65_536;
+
+    /// The snapshot format version written by [`CheckCache::to_json`].  Bump
+    /// it whenever the key digests ([`hanoi_lang::digest`]) or the entry
+    /// encoding change shape; loaders reject mismatching versions cleanly.
+    pub const SNAPSHOT_VERSION: u64 = 1;
+
     /// An empty cache holding at most `capacity` outcomes.
     pub fn new(capacity: usize) -> Self {
         CheckCache {
-            entries: Mutex::new(HashMap::new()),
+            state: Mutex::new(LruState::default()),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -103,12 +232,13 @@ impl CheckCache {
         CheckCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().unwrap().len() as u64,
+            entries: self.state.lock().unwrap().entries.len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
-    fn lookup(&self, key: &(CheckKey, VerifierBounds)) -> Option<CachedOutcome> {
-        let found = self.entries.lock().unwrap().get(key).cloned();
+    fn lookup(&self, key: &CheckKey) -> Option<CachedOutcome> {
+        let found = self.state.lock().unwrap().touch(key);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -116,10 +246,14 @@ impl CheckCache {
         found
     }
 
-    fn store(&self, key: (CheckKey, VerifierBounds), outcome: CachedOutcome) {
-        let mut entries = self.entries.lock().unwrap();
-        if entries.len() < self.capacity || entries.contains_key(&key) {
-            entries.insert(key, outcome);
+    fn store(&self, key: CheckKey, outcome: CachedOutcome) {
+        let evicted = self
+            .state
+            .lock()
+            .unwrap()
+            .insert(key, outcome, self.capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
@@ -128,10 +262,8 @@ impl CheckCache {
     fn inductiveness(
         &self,
         key: CheckKey,
-        bounds: VerifierBounds,
         compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
     ) -> Result<InductivenessOutcome, crate::VerifierError> {
-        let key = (key, bounds);
         if let Some(CachedOutcome::Inductiveness(outcome)) = self.lookup(&key) {
             return Ok(outcome);
         }
@@ -143,11 +275,17 @@ impl CheckCache {
     /// Memoized sufficiency check (see [`CheckCache::inductiveness`]).
     pub(crate) fn sufficiency(
         &self,
-        candidate: String,
+        candidate: Digest,
         bounds: VerifierBounds,
         compute: impl FnOnce() -> Result<SufficiencyOutcome, crate::VerifierError>,
     ) -> Result<SufficiencyOutcome, crate::VerifierError> {
-        let key = (CheckKey::Sufficiency { candidate }, bounds);
+        let key = CheckKey {
+            kind: CheckKind::Sufficiency,
+            candidate,
+            v_plus: Digest(0),
+            op: String::new(),
+            bounds,
+        };
         if let Some(CachedOutcome::Sufficiency(outcome)) = self.lookup(&key) {
             return Ok(outcome);
         }
@@ -156,20 +294,23 @@ impl CheckCache {
         Ok(outcome)
     }
 
-    /// Memoized visible-inductiveness check.
+    /// Memoized visible-inductiveness check: `v_plus` is the digest of the
+    /// ordered known-positive sequence ([`Digest::of_values`]).
     pub(crate) fn visible(
         &self,
-        candidate: String,
-        v_plus: &[Value],
+        candidate: Digest,
+        v_plus: Digest,
         bounds: VerifierBounds,
         compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
     ) -> Result<InductivenessOutcome, crate::VerifierError> {
         self.inductiveness(
-            CheckKey::Visible {
+            CheckKey {
+                kind: CheckKind::Visible,
                 candidate,
-                v_plus: v_plus.to_vec(),
+                v_plus,
+                op: String::new(),
+                bounds,
             },
-            bounds,
             compute,
         )
     }
@@ -177,37 +318,255 @@ impl CheckCache {
     /// Memoized full-inductiveness check.
     pub(crate) fn full(
         &self,
-        candidate: String,
+        candidate: Digest,
         bounds: VerifierBounds,
         compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
     ) -> Result<InductivenessOutcome, crate::VerifierError> {
-        self.inductiveness(CheckKey::Full { candidate }, bounds, compute)
+        self.inductiveness(
+            CheckKey {
+                kind: CheckKind::Full,
+                candidate,
+                v_plus: Digest(0),
+                op: String::new(),
+                bounds,
+            },
+            compute,
+        )
     }
 
     /// Memoized single-operation inductiveness check.
     pub(crate) fn op(
         &self,
         op: &str,
-        candidate: String,
+        candidate: Digest,
         bounds: VerifierBounds,
         compute: impl FnOnce() -> Result<InductivenessOutcome, crate::VerifierError>,
     ) -> Result<InductivenessOutcome, crate::VerifierError> {
         self.inductiveness(
-            CheckKey::Op {
-                op: op.to_string(),
+            CheckKey {
+                kind: CheckKind::Op,
                 candidate,
+                v_plus: Digest(0),
+                op: op.to_string(),
+                bounds,
             },
-            bounds,
             compute,
         )
     }
+
+    /// Serializes the cache to a versioned snapshot.  Entries are written in
+    /// recency order (least recently used first), so a restored cache evicts
+    /// in the same order the live one would have.  Completed outcomes only
+    /// ever reach the cache, so nothing error-shaped can be persisted.
+    pub fn to_json(&self) -> Json {
+        // Copy the entries out under the lock (cheap `Arc`/value clones),
+        // then encode outside it: concurrent checks on the same problem must
+        // not stall behind JSON construction.
+        let snapshot: Vec<(CheckKey, CachedOutcome)> = {
+            let state = self.state.lock().unwrap();
+            state
+                .recency
+                .values()
+                .filter_map(|key| Some((key.clone(), state.entries.get(key)?.1.clone())))
+                .collect()
+        };
+        let entries: Vec<Json> = snapshot
+            .iter()
+            .filter_map(|(key, outcome)| {
+                let outcome = outcome_to_json(outcome)?;
+                Some(Json::obj([("key", key_to_json(key)), ("outcome", outcome)]))
+            })
+            .collect();
+        Json::obj([
+            ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+            ("kind", Json::Str("check-cache".to_string())),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+
+    /// Rebuilds a cache (with entry budget `capacity`) from the output of
+    /// [`CheckCache::to_json`].  Rejects version mismatches, structural
+    /// corruption and snapshots carrying more than
+    /// [`CheckCache::MAX_SNAPSHOT_ENTRIES`] entries; when a snapshot holds
+    /// more entries than `capacity`, only the most recently used `capacity`
+    /// of them are kept.  Counters start at zero — a restored cache reports
+    /// only the activity of its own process.
+    pub fn from_json(json: &Json, capacity: usize) -> Result<CheckCache, JsonError> {
+        let corrupt = |message: &str| JsonError {
+            message: format!("check-cache snapshot: {message}"),
+            offset: 0,
+        };
+        let version = json
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| corrupt("missing version"))?;
+        if version as u64 != Self::SNAPSHOT_VERSION {
+            return Err(corrupt(&format!(
+                "version {version} does not match supported version {}",
+                Self::SNAPSHOT_VERSION
+            )));
+        }
+        if json.get("kind").and_then(Json::as_str) != Some("check-cache") {
+            return Err(corrupt("wrong snapshot kind"));
+        }
+        let entries = json
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("missing entries"))?;
+        if entries.len() > Self::MAX_SNAPSHOT_ENTRIES {
+            return Err(corrupt("snapshot exceeds the entry ceiling"));
+        }
+        let cache = CheckCache::new(capacity);
+        {
+            let mut state = cache.state.lock().unwrap();
+            // Oldest first: inserting in written order reproduces recency.
+            for entry in entries {
+                let key = key_from_json(
+                    entry
+                        .get("key")
+                        .ok_or_else(|| corrupt("entry without key"))?,
+                )
+                .ok_or_else(|| corrupt("malformed key"))?;
+                let outcome = outcome_from_json(
+                    entry
+                        .get("outcome")
+                        .ok_or_else(|| corrupt("entry without outcome"))?,
+                )
+                .ok_or_else(|| corrupt("malformed outcome"))?;
+                state.insert(key, outcome, capacity);
+            }
+        }
+        Ok(cache)
+    }
+}
+
+fn bounds_to_json(bounds: &VerifierBounds) -> Json {
+    Json::Arr(
+        [
+            bounds.single_count as f64,
+            bounds.single_size as f64,
+            bounds.multi_count as f64,
+            bounds.multi_size as f64,
+            bounds.total_cap as f64,
+            bounds.hof_body_size as f64,
+            bounds.hof_max_functions as f64,
+            bounds.fuel as f64,
+        ]
+        .into_iter()
+        .map(Json::Num)
+        .collect(),
+    )
+}
+
+fn bounds_from_json(json: &Json) -> Option<VerifierBounds> {
+    let fields = json.as_arr()?;
+    if fields.len() != 8 {
+        return None;
+    }
+    let at = |i: usize| fields[i].as_usize();
+    Some(VerifierBounds {
+        single_count: at(0)?,
+        single_size: at(1)?,
+        multi_count: at(2)?,
+        multi_size: at(3)?,
+        total_cap: at(4)?,
+        hof_body_size: at(5)?,
+        hof_max_functions: at(6)?,
+        fuel: at(7)? as u64,
+    })
+}
+
+fn key_to_json(key: &CheckKey) -> Json {
+    Json::obj([
+        ("kind", Json::Str(key.kind.as_str().to_string())),
+        ("candidate", Json::Str(key.candidate.to_hex())),
+        ("v_plus", Json::Str(key.v_plus.to_hex())),
+        ("op", Json::Str(key.op.clone())),
+        ("bounds", bounds_to_json(&key.bounds)),
+    ])
+}
+
+fn key_from_json(json: &Json) -> Option<CheckKey> {
+    Some(CheckKey {
+        kind: CheckKind::from_str(json.get("kind")?.as_str()?)?,
+        candidate: Digest::from_hex(json.get("candidate")?.as_str()?)?,
+        v_plus: Digest::from_hex(json.get("v_plus")?.as_str()?)?,
+        op: json.get("op")?.as_str()?.to_string(),
+        bounds: bounds_from_json(json.get("bounds")?)?,
+    })
+}
+
+fn values_to_json(values: &[Value]) -> Option<Json> {
+    let items: Option<Vec<Json>> = values.iter().map(value_to_json).collect();
+    Some(Json::Arr(items?))
+}
+
+fn values_from_json(json: &Json) -> Option<Vec<Value>> {
+    json.as_arr()?.iter().map(value_from_json).collect()
+}
+
+fn outcome_to_json(outcome: &CachedOutcome) -> Option<Json> {
+    Some(match outcome {
+        CachedOutcome::Inductiveness(InductivenessOutcome::Valid) => {
+            Json::obj([("inductiveness", Json::Str("valid".to_string()))])
+        }
+        CachedOutcome::Inductiveness(InductivenessOutcome::Cex(cex)) => Json::obj([(
+            "inductiveness",
+            Json::obj([
+                ("op", Json::Str(cex.op.as_str().to_string())),
+                ("args", values_to_json(&cex.args)?),
+                ("s", values_to_json(&cex.s)?),
+                ("v", values_to_json(&cex.v)?),
+            ]),
+        )]),
+        CachedOutcome::Sufficiency(SufficiencyOutcome::Valid) => {
+            Json::obj([("sufficiency", Json::Str("valid".to_string()))])
+        }
+        CachedOutcome::Sufficiency(SufficiencyOutcome::Cex(cex)) => Json::obj([(
+            "sufficiency",
+            Json::obj([
+                ("args", values_to_json(&cex.args)?),
+                ("abstract_args", values_to_json(&cex.abstract_args)?),
+            ]),
+        )]),
+    })
+}
+
+fn outcome_from_json(json: &Json) -> Option<CachedOutcome> {
+    if let Some(body) = json.get("inductiveness") {
+        if body.as_str() == Some("valid") {
+            return Some(CachedOutcome::Inductiveness(InductivenessOutcome::Valid));
+        }
+        return Some(CachedOutcome::Inductiveness(InductivenessOutcome::Cex(
+            InductivenessCex {
+                op: Symbol::new(body.get("op")?.as_str()?),
+                args: values_from_json(body.get("args")?)?,
+                s: values_from_json(body.get("s")?)?,
+                v: values_from_json(body.get("v")?)?,
+            },
+        )));
+    }
+    if let Some(body) = json.get("sufficiency") {
+        if body.as_str() == Some("valid") {
+            return Some(CachedOutcome::Sufficiency(SufficiencyOutcome::Valid));
+        }
+        return Some(CachedOutcome::Sufficiency(SufficiencyOutcome::Cex(
+            SufficiencyCex {
+                args: values_from_json(body.get("args")?)?,
+                abstract_args: values_from_json(body.get("abstract_args")?)?,
+            },
+        )));
+    }
+    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::outcome::InductivenessCex;
-    use hanoi_lang::symbol::Symbol;
+
+    fn digest_of(name: &str) -> Digest {
+        Digest::of_str(name)
+    }
 
     fn cex() -> InductivenessOutcome {
         InductivenessOutcome::Cex(InductivenessCex {
@@ -225,7 +584,7 @@ mod tests {
         let mut computed = 0;
         for _ in 0..3 {
             let outcome = cache
-                .full("inv".to_string(), bounds, || {
+                .full(digest_of("inv"), bounds, || {
                     computed += 1;
                     Ok(cex())
                 })
@@ -237,6 +596,7 @@ mod tests {
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -244,10 +604,12 @@ mod tests {
         let cache = CheckCache::default();
         let bounds = VerifierBounds::quick();
         let timeout: Result<InductivenessOutcome, crate::VerifierError> =
-            cache.full("inv".into(), bounds, || Err(crate::VerifierError::Timeout));
+            cache.full(digest_of("inv"), bounds, || {
+                Err(crate::VerifierError::Timeout)
+            });
         assert!(timeout.is_err());
         // The next call computes for real.
-        let ok = cache.full("inv".into(), bounds, || Ok(InductivenessOutcome::Valid));
+        let ok = cache.full(digest_of("inv"), bounds, || Ok(InductivenessOutcome::Valid));
         assert_eq!(ok.unwrap(), InductivenessOutcome::Valid);
         assert_eq!(cache.stats().entries, 1);
     }
@@ -258,41 +620,214 @@ mod tests {
         let quick = VerifierBounds::quick();
         let paper = VerifierBounds::paper();
         let valid = || Ok(InductivenessOutcome::Valid);
-        cache.full("inv".into(), quick, valid).unwrap();
+        cache.full(digest_of("inv"), quick, valid).unwrap();
         // Same candidate, different bounds: a distinct entry.
-        cache.full("inv".into(), paper, valid).unwrap();
+        cache.full(digest_of("inv"), paper, valid).unwrap();
         // Same candidate, visible with two different V+ sets: distinct.
         cache
-            .visible("inv".into(), &[Value::nat(0)], quick, valid)
+            .visible(
+                digest_of("inv"),
+                Digest::of_values(&[Value::nat(0)]),
+                quick,
+                valid,
+            )
             .unwrap();
         cache
-            .visible("inv".into(), &[Value::nat(1)], quick, valid)
+            .visible(
+                digest_of("inv"),
+                Digest::of_values(&[Value::nat(1)]),
+                quick,
+                valid,
+            )
             .unwrap();
-        cache.op("insert", "inv".into(), quick, valid).unwrap();
+        cache.op("insert", digest_of("inv"), quick, valid).unwrap();
         assert_eq!(cache.stats().entries, 5);
         assert_eq!(cache.stats().hits, 0);
     }
 
     #[test]
-    fn the_capacity_bounds_admission() {
+    fn eviction_is_lru_and_counted() {
+        let cache = CheckCache::new(2);
+        let bounds = VerifierBounds::quick();
+        let valid = || Ok(InductivenessOutcome::Valid);
+        cache.full(digest_of("a"), bounds, valid).unwrap();
+        cache.full(digest_of("b"), bounds, valid).unwrap();
+        // Touch `a` so `b` becomes the least recently used entry…
+        let mut recomputed = false;
+        cache
+            .full(digest_of("a"), bounds, || {
+                recomputed = true;
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        assert!(!recomputed, "`a` must still be cached");
+        // …then exceed the capacity: `b` is evicted, `a` survives.
+        cache.full(digest_of("c"), bounds, valid).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        let mut b_recomputed = false;
+        cache
+            .full(digest_of("b"), bounds, || {
+                b_recomputed = true;
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        assert!(b_recomputed, "`b` was the LRU entry and must be gone");
+        // Re-inserting `b` evicted `a` (the LRU among {a, c}); `c`, the most
+        // recently inserted entry, survives.
+        assert_eq!(cache.stats().evictions, 2);
+        let mut c_recomputed = false;
+        cache
+            .full(digest_of("c"), bounds, || {
+                c_recomputed = true;
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        assert!(!c_recomputed, "`c` must have survived the second eviction");
+    }
+
+    #[test]
+    fn admission_never_stops_new_entries_keep_landing() {
+        // The pre-LRU behaviour stopped admitting at capacity; now the
+        // *newest* entry always lands and the oldest leaves.
         let cache = CheckCache::new(2);
         let bounds = VerifierBounds::quick();
         for i in 0..5 {
             cache
-                .full(format!("inv{i}"), bounds, || {
+                .full(digest_of(&format!("inv{i}")), bounds, || {
                     Ok(InductivenessOutcome::Valid)
                 })
                 .unwrap();
         }
-        assert_eq!(cache.stats().entries, 2);
-        // Entries admitted before the cap still hit.
-        let mut computed = false;
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 3);
+        // The most recent entry is resident.
+        let mut recomputed = false;
         cache
-            .full("inv0".into(), bounds, || {
-                computed = true;
+            .full(digest_of("inv4"), bounds, || {
+                recomputed = true;
                 Ok(InductivenessOutcome::Valid)
             })
             .unwrap();
-        assert!(!computed);
+        assert!(!recomputed);
+    }
+
+    #[test]
+    fn snapshots_round_trip_entries_and_recency() {
+        let cache = CheckCache::new(8);
+        let bounds = VerifierBounds::quick();
+        cache.full(digest_of("a"), bounds, || Ok(cex())).unwrap();
+        cache
+            .sufficiency(digest_of("b"), bounds, || Ok(SufficiencyOutcome::Valid))
+            .unwrap();
+        cache
+            .sufficiency(digest_of("s"), bounds, || {
+                Ok(SufficiencyOutcome::Cex(SufficiencyCex {
+                    args: vec![Value::nat_list(&[1, 1]), Value::nat(1)],
+                    abstract_args: vec![Value::nat_list(&[1, 1])],
+                }))
+            })
+            .unwrap();
+        cache
+            .visible(
+                digest_of("a"),
+                Digest::of_values(&[Value::nat(0)]),
+                bounds,
+                || Ok(InductivenessOutcome::Valid),
+            )
+            .unwrap();
+        cache
+            .op("insert", digest_of("a"), bounds, || {
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+
+        let snapshot = cache.to_json().render_pretty();
+        let parsed = hanoi_lang::json::parse(&snapshot).unwrap();
+        let restored = CheckCache::from_json(&parsed, 8).unwrap();
+        assert_eq!(restored.stats().entries, 5);
+        assert_eq!(restored.stats().hits, 0, "restored counters start at zero");
+
+        // Every entry answers from the restored cache without recomputing.
+        let mut recomputed = false;
+        let outcome = restored
+            .full(digest_of("a"), bounds, || {
+                recomputed = true;
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        assert!(!recomputed);
+        assert_eq!(outcome, cex(), "counterexample values survived the disk");
+        let suf = restored
+            .sufficiency(digest_of("s"), bounds, || {
+                recomputed = true;
+                Ok(SufficiencyOutcome::Valid)
+            })
+            .unwrap();
+        assert!(!recomputed);
+        assert!(matches!(suf, SufficiencyOutcome::Cex(_)));
+    }
+
+    #[test]
+    fn snapshot_restore_respects_a_smaller_capacity() {
+        let cache = CheckCache::new(8);
+        let bounds = VerifierBounds::quick();
+        for i in 0..6 {
+            cache
+                .full(digest_of(&format!("inv{i}")), bounds, || {
+                    Ok(InductivenessOutcome::Valid)
+                })
+                .unwrap();
+        }
+        let restored = CheckCache::from_json(&cache.to_json(), 3).unwrap();
+        assert_eq!(restored.stats().entries, 3);
+        // The *most recently used* entries survive the shrink.
+        let mut recomputed = false;
+        restored
+            .full(digest_of("inv5"), bounds, || {
+                recomputed = true;
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        assert!(!recomputed);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_snapshots_are_rejected() {
+        let cache = CheckCache::default();
+        let bounds = VerifierBounds::quick();
+        cache
+            .full(digest_of("inv"), bounds, || Ok(InductivenessOutcome::Valid))
+            .unwrap();
+        let good = cache.to_json();
+
+        // Version mismatch.
+        let mut wrong_version = good.clone();
+        if let Json::Obj(map) = &mut wrong_version {
+            map.insert("version".to_string(), Json::Num(99.0));
+        }
+        assert!(CheckCache::from_json(&wrong_version, 8).is_err());
+
+        // Wrong kind.
+        let mut wrong_kind = good.clone();
+        if let Json::Obj(map) = &mut wrong_kind {
+            map.insert("kind".to_string(), Json::Str("term-bank".to_string()));
+        }
+        assert!(CheckCache::from_json(&wrong_kind, 8).is_err());
+
+        // Structural corruption inside an entry.
+        let mut bad_entry = good.clone();
+        if let Json::Obj(map) = &mut bad_entry {
+            map.insert(
+                "entries".to_string(),
+                Json::Arr(vec![Json::obj([("key", Json::Num(1.0))])]),
+            );
+        }
+        assert!(CheckCache::from_json(&bad_entry, 8).is_err());
+
+        // Not an object at all.
+        assert!(CheckCache::from_json(&Json::Num(3.0), 8).is_err());
     }
 }

@@ -36,6 +36,8 @@
 //! regardless of which worker finds one first, so parallel runs are
 //! outcome-identical to serial runs.
 
+#![warn(missing_docs)]
+
 pub mod bounds;
 pub mod checkcache;
 pub mod hof;

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::Expr;
+use hanoi_lang::digest::Digest;
 use hanoi_lang::types::Type;
 use hanoi_lang::value::Value;
 
@@ -81,10 +82,11 @@ impl<'p> Verifier<'p> {
     }
 
     /// Shares a check-outcome cache: completed checks are memoized under
-    /// their full inputs (check kind, candidate, `V+`, bounds) and served
-    /// without re-sweeping.  The cache must only ever be shared between
-    /// verifiers over the *same* problem — outcomes are not keyed by module
-    /// semantics.
+    /// structural digests of their full inputs (check kind, candidate, `V+`,
+    /// bounds) and served without re-sweeping.  The cache must only ever be
+    /// shared between verifiers over the *same* problem — outcomes are not
+    /// keyed by module semantics (the engine's warm-start store keys the
+    /// snapshot *files* by a problem fingerprint for exactly that reason).
     pub fn with_check_cache(mut self, checks: Arc<CheckCache>) -> Self {
         self.checks = Some(checks);
         self
@@ -136,7 +138,7 @@ impl<'p> Verifier<'p> {
             )
         };
         match &self.checks {
-            Some(cache) => cache.sufficiency(invariant.to_string(), self.bounds, compute),
+            Some(cache) => cache.sufficiency(Digest::of_expr(invariant), self.bounds, compute),
             None => compute(),
         }
     }
@@ -160,7 +162,12 @@ impl<'p> Verifier<'p> {
             )
         };
         match &self.checks {
-            Some(cache) => cache.visible(invariant.to_string(), v_plus, self.bounds, compute),
+            Some(cache) => cache.visible(
+                Digest::of_expr(invariant),
+                Digest::of_values(v_plus),
+                self.bounds,
+                compute,
+            ),
             None => compute(),
         }
     }
@@ -182,7 +189,7 @@ impl<'p> Verifier<'p> {
             )
         };
         match &self.checks {
-            Some(cache) => cache.full(invariant.to_string(), self.bounds, compute),
+            Some(cache) => cache.full(Digest::of_expr(invariant), self.bounds, compute),
             None => compute(),
         }
     }
@@ -207,7 +214,7 @@ impl<'p> Verifier<'p> {
             )
         };
         match &self.checks {
-            Some(cache) => cache.op(op, invariant.to_string(), self.bounds, compute),
+            Some(cache) => cache.op(op, Digest::of_expr(invariant), self.bounds, compute),
             None => compute(),
         }
     }

@@ -1,0 +1,243 @@
+//! Warm-start store correctness: a run restored from a *disk snapshot* in a
+//! brand-new engine — the cross-process reuse path — must produce results
+//! identical to a cold run on every benchmark of the suite, and a tampered
+//! or version-mismatched snapshot must degrade to a clean cold start, never
+//! a wrong answer.
+//!
+//! This is the cross-process analogue of `tests/engine_reuse_equivalence.rs`
+//! (which pins in-process warm ≡ cold): here the warmth travels through
+//! `Engine::save_state` → JSON files keyed by `Problem::fingerprint()` →
+//! `EngineConfig::warm_start_dir`, exercising the structural digest keys,
+//! the check-cache and term-bank serializers and the snapshot validation,
+//! none of which may depend on in-process state.
+//!
+//! The run options are chosen deterministic (no wall-clock timeout, a small
+//! iteration cap, a small search schedule) so outcomes are pure functions of
+//! the problem and the caches: any restored/cold divergence is a snapshot
+//! bug, not scheduling noise.
+
+use std::path::PathBuf;
+
+use hanoi_repro::benchmarks;
+use hanoi_repro::hanoi::{Engine, EngineConfig, Outcome, RunOptions};
+use hanoi_repro::synth::SearchConfig;
+use hanoi_repro::verifier::VerifierBounds;
+
+/// Deterministic options, mirroring `tests/engine_reuse_equivalence.rs`.
+fn test_options() -> RunOptions {
+    RunOptions::quick()
+        .with_timeout(None)
+        .with_max_iterations(5)
+        .with_bounds(VerifierBounds {
+            single_count: 250,
+            single_size: 12,
+            multi_count: 100,
+            multi_size: 8,
+            total_cap: 2_500,
+            ..VerifierBounds::quick()
+        })
+        .with_search(SearchConfig {
+            schedule: vec![(0, 4), (1, 5)],
+            max_terms_per_layer: 300,
+            fuel: 4_000,
+            ..SearchConfig::quick()
+        })
+}
+
+/// A label for outcome comparison that is total (invariants compare by
+/// expression, failures by kind+message).
+fn outcome_key(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Invariant(inv) => format!("invariant: {inv}"),
+        other => other.to_string(),
+    }
+}
+
+/// A unique scratch directory (the offline build has no tempfile crate).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hanoi-warm-start-eq-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn warm_engine(dir: &PathBuf) -> Engine {
+    Engine::new(EngineConfig::default().with_warm_start_dir(dir)).unwrap()
+}
+
+#[test]
+fn snapshot_restored_engines_match_cold_engines_on_every_benchmark() {
+    let dir = scratch_dir("suite");
+    for benchmark in benchmarks::registry() {
+        let problem = benchmark
+            .problem()
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.id));
+        let options = test_options();
+
+        // Cold: a fresh engine with no store, exactly one run.
+        let cold = Engine::with_defaults().run(&problem, &options);
+
+        // "Process 1": solve once and checkpoint to disk.
+        let saver = warm_engine(&dir);
+        let first = saver.run(&problem, &options);
+        assert_eq!(
+            outcome_key(&first.outcome),
+            outcome_key(&cold.outcome),
+            "{}: a store-attached engine diverged before any snapshot existed",
+            benchmark.id
+        );
+        assert!(
+            saver.save_state(&dir).unwrap() >= 1,
+            "{}: snapshot write",
+            benchmark.id
+        );
+
+        // "Process 2": a brand-new engine whose only warmth is the disk
+        // snapshot.  Outcome, iteration count and V± must be identical.
+        let restored = warm_engine(&dir).run(&problem, &options);
+        assert_eq!(
+            outcome_key(&restored.outcome),
+            outcome_key(&cold.outcome),
+            "{}: snapshot-restored run diverged from a cold run",
+            benchmark.id
+        );
+        assert_eq!(
+            restored.stats.iterations, cold.stats.iterations,
+            "{}: restored run took a different CEGIS path",
+            benchmark.id
+        );
+        assert_eq!(
+            restored.stats.final_positives, cold.stats.final_positives,
+            "{}: restored run learned a different V+",
+            benchmark.id
+        );
+        assert_eq!(
+            restored.stats.final_negatives, cold.stats.final_negatives,
+            "{}: restored run learned a different V−",
+            benchmark.id
+        );
+
+        // The warmth must be real and must have come from the disk.
+        assert!(
+            restored.stats.warm_start_loads > 0,
+            "{}: nothing was restored ({:?})",
+            benchmark.id,
+            restored.stats
+        );
+        assert_eq!(
+            restored.stats.verification_cache_hits as usize, restored.stats.verification_calls,
+            "{}: a restored identical re-run must answer every check from \
+             the snapshot ({:?})",
+            benchmark.id, restored.stats
+        );
+        assert_eq!(
+            restored.stats.pool_builds, 0,
+            "{}: a fully warm restored run enumerated pools",
+            benchmark.id
+        );
+        assert!(
+            restored.stats.synth_terms_enumerated <= cold.stats.synth_terms_enumerated,
+            "{}: a restored bank enumerated more terms than a cold one ({} > {})",
+            benchmark.id,
+            restored.stats.synth_terms_enumerated,
+            cold.stats.synth_terms_enumerated
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_snapshots_fall_back_to_cold_never_a_wrong_answer() {
+    let dir = scratch_dir("tamper");
+    let benchmark = benchmarks::find("/coq/unique-list-::-set").unwrap();
+    let problem = benchmark.problem().unwrap();
+    let options = test_options();
+    let cold = Engine::with_defaults().run(&problem, &options);
+
+    let saver = warm_engine(&dir);
+    let _ = saver.run(&problem, &options);
+    saver.save_state(&dir).unwrap();
+    let path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));
+    let pristine = std::fs::read_to_string(&path).unwrap();
+
+    // Each tampering mode must yield a *cold* run with the *correct*
+    // outcome: no error surfaces, nothing is restored, nothing is wrong.
+    let truncated = pristine[..pristine.len() / 3].to_string();
+    let garbage = "this is not json{{{".to_string();
+    let version_bumped = pristine.replacen("\"version\": 1", "\"version\": 42", 1);
+    assert_ne!(version_bumped, pristine);
+    let wrong_kind = pristine.replacen("hanoi-warm-start", "some-other-kind", 1);
+    // Valid JSON, valid wrapper, corrupt component: break the check cache's
+    // entry list structurally.
+    let broken_component = pristine.replacen("\"entries\": [", "\"entries\": [17, ", 1);
+    assert_ne!(broken_component, pristine);
+    for (tag, tampered) in [
+        ("truncated", &truncated),
+        ("garbage", &garbage),
+        ("version-bumped", &version_bumped),
+        ("wrong-kind", &wrong_kind),
+        ("broken-component", &broken_component),
+    ] {
+        std::fs::write(&path, tampered).unwrap();
+        let result = warm_engine(&dir).run(&problem, &options);
+        assert_eq!(
+            outcome_key(&result.outcome),
+            outcome_key(&cold.outcome),
+            "{tag}: tampered snapshot changed the outcome"
+        );
+        assert_eq!(
+            result.stats.warm_start_loads, 0,
+            "{tag}: a tampered snapshot must not partially restore"
+        );
+        assert_eq!(
+            result.stats.verification_cache_hits, 0,
+            "{tag}: nothing may be served from a rejected snapshot"
+        );
+        assert_eq!(
+            result.stats.iterations, cold.stats.iterations,
+            "{tag}: the fallback run must be exactly the cold run"
+        );
+    }
+
+    // And the pristine snapshot still restores after all that.
+    std::fs::write(&path, &pristine).unwrap();
+    let restored = warm_engine(&dir).run(&problem, &options);
+    assert_eq!(outcome_key(&restored.outcome), outcome_key(&cold.outcome));
+    assert!(restored.stats.warm_start_loads > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshots_accumulate_across_save_load_generations() {
+    // Store round trips compose: solve problem A in process 1, problem B in
+    // process 2 (which restores A's snapshot untouched), then run both in
+    // process 3 — both warm.
+    let dir = scratch_dir("generations");
+    let options = test_options();
+    let a = benchmarks::find("/other/cache").unwrap().problem().unwrap();
+    let b = benchmarks::find("/other/rational")
+        .unwrap()
+        .problem()
+        .unwrap();
+
+    let p1 = warm_engine(&dir);
+    let a_cold = p1.run(&a, &options);
+    p1.save_state(&dir).unwrap();
+
+    let p2 = warm_engine(&dir);
+    let b_cold = p2.run(&b, &options);
+    assert_eq!(p2.save_state(&dir).unwrap(), 1, "p2 only touched B");
+
+    let p3 = warm_engine(&dir);
+    let a_warm = p3.run(&a, &options);
+    let b_warm = p3.run(&b, &options);
+    assert_eq!(outcome_key(&a_warm.outcome), outcome_key(&a_cold.outcome));
+    assert_eq!(outcome_key(&b_warm.outcome), outcome_key(&b_cold.outcome));
+    assert!(a_warm.stats.warm_start_loads > 0, "{:?}", a_warm.stats);
+    assert!(b_warm.stats.warm_start_loads > 0, "{:?}", b_warm.stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
