@@ -182,6 +182,13 @@ fn bench_synthesis_multi_cex(c: &mut Criterion, samples: usize) -> Json {
     let warm_stats = warm_bank.stats();
     assert!(warm_stats.column_appends > 0);
     assert!(warm_stats.bank_hits > 0);
+    assert!(
+        warm_stats.guess_memo_hits > 0,
+        "a growing example sequence must replay unchanged sub-guesses \
+         from the guess memo: {warm_stats:?}"
+    );
+    assert!(warm_stats.probe_batches > 0);
+    assert!(warm_stats.bitset_row_ops > 0);
 
     // Timings: each sample replays the whole sequence from scratch.
     let mut cold_timings = Vec::with_capacity(samples);
@@ -237,7 +244,144 @@ fn bench_synthesis_multi_cex(c: &mut Criterion, samples: usize) -> Json {
         ),
         ("bank_hits", Json::Num(warm_stats.bank_hits as f64)),
         ("bank_misses", Json::Num(warm_stats.bank_misses as f64)),
+        (
+            "guess_memo_hits",
+            Json::Num(warm_stats.guess_memo_hits as f64),
+        ),
+        ("probe_batches", Json::Num(warm_stats.probe_batches as f64)),
+        (
+            "bitset_row_ops",
+            Json::Num(warm_stats.bitset_row_ops as f64),
+        ),
         ("parallel_identical", Json::Bool(true)),
+    ])
+}
+
+/// The high-parallelism synthesis workload: one big guessing pass — a wide
+/// example set (more than 64 worlds, so bitset lanes span multiple words)
+/// and a deep schedule — run cold at each parallelism level.  This is the
+/// shape where per-probe bank locking used to dominate: every candidate
+/// application took the application-store lock individually, so workers
+/// serialized on the bank.  With batched probes ([`TermBank::apply_batch`])
+/// each worker takes one lock round per component×split chunk; the
+/// `probes_per_batch` column is the direct lock-amortization measure (and
+/// the honest evidence on single-core CI hosts, where wall-clock speedups
+/// cannot show).  Outcomes are asserted identical across every level.
+fn bench_high_parallelism_synth(c: &mut Criterion, samples: usize) -> Json {
+    use hanoi_lang::enumerate::ValueEnumerator;
+
+    let problem = find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .expect("benchmark elaborates");
+    let concrete = problem.concrete_type().clone();
+    // Enough enumerated values that the trace-completed world set straddles
+    // the 64-world bitset word boundary.
+    let pool = ValueEnumerator::new(&problem.tyenv).first_values(&concrete, 90, 12);
+    let split = (pool.len() * 2) / 5;
+    let (positives, negatives) = pool.split_at(split);
+    let examples = ExampleSet::from_sets(positives.iter().cloned(), negatives.iter().cloned())
+        .expect("enumerated values are distinct")
+        .trace_completed(&problem.tyenv, &concrete)
+        .0;
+    let worlds = examples.len();
+    let config = if quick_mode() {
+        SearchConfig {
+            schedule: vec![(0, 5), (1, 6)],
+            ..SearchConfig::quick()
+        }
+    } else {
+        SearchConfig {
+            schedule: vec![(0, 5), (1, 7)],
+            ..SearchConfig::default()
+        }
+    };
+
+    let mut group = c.benchmark_group("high_parallelism_synth");
+    group.sample_size(samples);
+    let mut median_by_level: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<Option<hanoi_lang::ast::Expr>> = None;
+    let mut serial_stats = None;
+    for level in LEVELS {
+        let engine = Engine::new(
+            &problem,
+            SearchConfig {
+                parallelism: Some(level),
+                ..config.clone()
+            },
+        );
+        let mut timings = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let bank = TermBank::new();
+            let start = Instant::now();
+            let outcome = engine
+                .synthesize_with_bank(&bank, &examples, &Deadline::none())
+                .ok();
+            timings.push(start.elapsed());
+            match &reference {
+                Some(expected) => assert_eq!(
+                    &outcome, expected,
+                    "parallelism {level} changed the synthesis outcome"
+                ),
+                None => reference = Some(outcome),
+            }
+            if level == 1 && serial_stats.is_none() {
+                serial_stats = Some(bank.stats());
+            }
+        }
+        group.bench_function(format!("cold_guess_p{level}"), |b| {
+            b.iter(|| {
+                let bank = TermBank::new();
+                engine.synthesize_with_bank(&bank, &examples, &Deadline::none())
+            })
+        });
+        median_by_level.push((level, median_secs(timings)));
+    }
+    group.finish();
+
+    let stats = serial_stats.expect("level 1 is measured");
+    let probes = stats.bank_hits + stats.bank_misses;
+    let serial = median_by_level
+        .iter()
+        .find(|(level, _)| *level == 1)
+        .map(|(_, t)| *t)
+        .unwrap_or(f64::NAN);
+    let best = median_by_level
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min);
+    let levels_json = Json::Obj(
+        median_by_level
+            .iter()
+            .map(|&(level, secs)| {
+                let key = if level == 0 {
+                    "auto".to_string()
+                } else {
+                    level.to_string()
+                };
+                (key, Json::Num(secs))
+            })
+            .collect(),
+    );
+    Json::obj([
+        (
+            "benchmark",
+            Json::Str("/coq/unique-list-::-set".to_string()),
+        ),
+        ("worlds", Json::Num(worlds as f64)),
+        ("median_secs_by_parallelism", levels_json),
+        ("serial_secs", Json::Num(serial)),
+        ("best_secs", Json::Num(best)),
+        ("speedup_best_over_serial", Json::Num(serial / best)),
+        ("terms_enumerated", Json::Num(stats.terms_enumerated as f64)),
+        ("bank_probes", Json::Num(probes as f64)),
+        ("probe_batches", Json::Num(stats.probe_batches as f64)),
+        (
+            "probes_per_batch",
+            Json::Num(probes as f64 / (stats.probe_batches as f64).max(1.0)),
+        ),
+        ("bitset_row_ops", Json::Num(stats.bitset_row_ops as f64)),
+        ("outcome_identical_across_levels", Json::Bool(true)),
     ])
 }
 
@@ -659,6 +803,7 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
     group.finish();
 
     let synthesis = bench_synthesis_multi_cex(c, samples);
+    let high_parallelism = bench_high_parallelism_synth(c, samples);
     let cross_run = bench_cross_run_warm(c, samples);
     let cross_process = bench_cross_process_warm(c, samples);
 
@@ -692,6 +837,10 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
         // The incremental-synthesis workload: cold rebuilds the term pool
         // per CEGIS iteration, warm reuses the session's persistent bank.
         ("synthesis_multi_cex", synthesis),
+        // The high-parallelism guessing workload: one wide, deep cold guess
+        // per parallelism level; `probes_per_batch` measures the bank-lock
+        // amortization of batched probes.
+        ("high_parallelism_synth", high_parallelism),
         // The cross-run reuse workload: the same problem solved twice
         // through one long-lived engine vs two fresh engines.
         ("cross_run_warm", cross_run),

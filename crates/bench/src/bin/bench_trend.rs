@@ -1,0 +1,160 @@
+//! Appends one bench run's headline numbers to `BENCH_history.jsonl`.
+//!
+//! The cross-PR perf trajectory (a carried ROADMAP item) is invisible when
+//! each PR only rewrites `BENCH_verification.json` in place; this tool
+//! extracts the headline speedups of one summary and *appends* them as a
+//! single JSON line, so the history file reads as a time series.
+//!
+//! ```text
+//! bench_trend [summary.json] [history.jsonl] [label]
+//! ```
+//!
+//! Defaults: `BENCH_verification.json`, `BENCH_history.jsonl`, and a label
+//! from the `BENCH_TREND_LABEL` environment variable (empty otherwise —
+//! CI passes the commit SHA).  Exits non-zero when the summary is missing
+//! or unreadable; absent fields are recorded as `null` rather than
+//! failing, so older summary layouts still append a (sparser) line.
+
+use hanoi_bench::json::Json;
+
+/// Follows `path` ("a.b.c") through nested objects to a number, if present.
+fn num_at(root: &Json, path: &str) -> Option<f64> {
+    let mut node = root;
+    for step in path.split('.') {
+        node = node.get(step)?;
+    }
+    node.as_f64()
+}
+
+/// `num_at` over the rows of a `Json::Arr` of workload objects, selecting
+/// the row whose `workload` field equals `which`.
+fn num_in_row(root: &Json, table: &str, which: &str, field: &str) -> Option<f64> {
+    let Json::Arr(rows) = root.get(table)? else {
+        return None;
+    };
+    rows.iter()
+        .find(|row| row.get("workload").and_then(Json::as_str) == Some(which))
+        .and_then(|row| row.get(field))
+        .and_then(Json::as_f64)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let summary_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_verification.json".to_string());
+    let history_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+    let label = args
+        .next()
+        .or_else(|| std::env::var("BENCH_TREND_LABEL").ok())
+        .unwrap_or_default();
+
+    let text = match std::fs::read_to_string(&summary_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_trend: cannot read {summary_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let summary = match hanoi_bench::json::parse(&text) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("bench_trend: {summary_path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let opt = |value: Option<f64>| Json::opt(value, Json::Num);
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as f64)
+        .unwrap_or(0.0);
+    let line = Json::obj([
+        ("unix_secs", Json::Num(unix_secs)),
+        ("label", Json::Str(label)),
+        (
+            "quick_mode",
+            summary
+                .get("quick_mode")
+                .cloned()
+                .unwrap_or(Json::Bool(false)),
+        ),
+        // The headline speedups, one per workload family.
+        (
+            "synthesis_warm_speedup",
+            opt(num_at(
+                &summary,
+                "synthesis_multi_cex.speedup_warm_over_cold",
+            )),
+        ),
+        (
+            "synthesis_guess_memo_hits",
+            opt(num_at(&summary, "synthesis_multi_cex.guess_memo_hits")),
+        ),
+        (
+            "high_parallelism_best_speedup",
+            opt(num_at(
+                &summary,
+                "high_parallelism_synth.speedup_best_over_serial",
+            )),
+        ),
+        (
+            "high_parallelism_probes_per_batch",
+            opt(num_at(&summary, "high_parallelism_synth.probes_per_batch")),
+        ),
+        (
+            "cross_run_first_order_speedup",
+            opt(num_in_row(
+                &summary,
+                "cross_run_warm",
+                "first_order",
+                "speedup_warm_over_cold",
+            )),
+        ),
+        (
+            "cross_run_higher_order_speedup",
+            opt(num_in_row(
+                &summary,
+                "cross_run_warm",
+                "higher_order",
+                "speedup_warm_over_cold",
+            )),
+        ),
+        (
+            "cross_process_first_order_speedup",
+            opt(num_in_row(
+                &summary,
+                "cross_process_warm",
+                "first_order",
+                "speedup_restored_over_cold",
+            )),
+        ),
+        (
+            "cross_process_higher_order_speedup",
+            opt(num_in_row(
+                &summary,
+                "cross_process_warm",
+                "higher_order",
+                "speedup_restored_over_cold",
+            )),
+        ),
+    ]);
+
+    let mut rendered = line.render();
+    rendered.push('\n');
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut file| file.write_all(rendered.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!("appended to {history_path}"),
+        Err(e) => {
+            eprintln!("bench_trend: cannot append to {history_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -165,10 +165,25 @@ impl std::error::Error for ConfigError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for every parallel stage (bounded verification, pool
-    /// slab construction, synthesis layer evaluation, batch execution): `1`
-    /// (the default) runs serially like the paper's implementation, `0` uses
-    /// one worker per available core, any other value is taken literally.
-    /// Parallel runs are outcome-identical to serial runs.
+    /// slab construction, synthesis layer evaluation, batch execution).
+    ///
+    /// **This is the canonical statement of the parallelism contract**; the
+    /// synthesizer-level knob
+    /// ([`hanoi_synth::SearchConfig::parallelism`]) cross-links here.
+    ///
+    /// * `1` (the default) runs serially, like the paper's implementation.
+    /// * `0` uses one worker per available core.
+    /// * Any other value is taken literally.
+    ///
+    /// The per-run [`SearchConfig::parallelism`](hanoi_synth::SearchConfig::parallelism) is an
+    /// `Option<usize>` layered on top: `None` (its default) **inherits**
+    /// this engine-wide value; `Some(n)` overrides it for that run's
+    /// synthesizer only, with the same `1`-serial / `0`-per-core reading —
+    /// so `Some(1)` forces serial synthesis on a parallel engine.  Every
+    /// combination is outcome-identical: parallel stages are deterministic
+    /// by construction (pinned by `tests/parallel_determinism.rs` and
+    /// `tests/synth_incremental_equivalence.rs`), so the knobs trade wall
+    /// clock, never answers.
     pub parallelism: usize,
     /// How many distinct problems the engine keeps warm caches (value pools,
     /// term banks) for.  When a new problem would exceed the budget, the
@@ -241,8 +256,9 @@ pub struct RunOptions {
     pub synthesizer: SynthChoice,
     /// Bounds for the enumerative verifier.
     pub bounds: VerifierBounds,
-    /// Search configuration for the synthesizer.  A `parallelism` of `None`
-    /// inherits the engine-wide knob.
+    /// Search configuration for the synthesizer.  Its `parallelism` of
+    /// `None` inherits the engine-wide knob — see
+    /// [`EngineConfig::parallelism`] for the full contract.
     pub search: SearchConfig,
     /// Which optimizations are enabled.
     pub optimizations: Optimizations,

@@ -189,6 +189,7 @@ impl<'p, 'o> InferenceContext<'p, 'o> {
                 hits: pools.hits - self.pool_base.hits,
                 builds: pools.builds - self.pool_base.builds,
                 slab_builds: pools.slab_builds - self.pool_base.slab_builds,
+                slab_restores: pools.slab_restores - self.pool_base.slab_restores,
                 predicate_evals: pools.predicate_evals - self.pool_base.predicate_evals,
             });
         let checks = self.verifier.check_cache_stats();
@@ -200,6 +201,9 @@ impl<'p, 'o> InferenceContext<'p, 'o> {
             column_appends: bank.column_appends - self.bank_base.column_appends,
             eq_class_splits: bank.eq_class_splits - self.bank_base.eq_class_splits,
             bank_hits: bank.bank_hits - self.bank_base.bank_hits,
+            bitset_row_ops: bank.bitset_row_ops - self.bank_base.bitset_row_ops,
+            guess_memo_hits: bank.guess_memo_hits - self.bank_base.guess_memo_hits,
+            probe_batches: bank.probe_batches - self.bank_base.probe_batches,
             ..bank
         });
         self.emit(RunEvent::RunFinished {

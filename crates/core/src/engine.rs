@@ -61,8 +61,9 @@ use crate::session::Session;
 /// The format version of the per-problem warm-start snapshot files written
 /// by [`Engine::save_state`].  The file wraps the component snapshots
 /// (check cache, term banks), which carry their own versions; this one
-/// covers the wrapper layout.
-const WARM_START_VERSION: u64 = 1;
+/// covers the wrapper layout.  Version 2 added the `pool_shapes` table
+/// (slab shape keys for the lazy pool-cache rebuild).
+const WARM_START_VERSION: u64 = 2;
 
 /// Snapshot files larger than this are ignored on load (a corrupt or
 /// foreign file cannot make session-open allocate unboundedly).
@@ -79,10 +80,13 @@ pub(crate) struct ProblemCaches {
     /// name, and the check that a snapshot belongs to this problem.
     fingerprint: Digest,
     /// The shared verifier pool cache: `(type, count, size)` pools enumerated
-    /// at most once per engine, not once per run.  Pools are *not*
-    /// persisted: a fully warm restored run answers every check from the
-    /// check-outcome cache and never requests one, and a partially warm run
-    /// re-enumerates only what it actually sweeps.
+    /// at most once per engine, not once per run.  Pool *values* are not
+    /// persisted (they are deterministically re-derivable), but the snapshot
+    /// records the slab *shape keys* (`(type, size)`), which a restored
+    /// entry rebuilds lazily, once, on its first pool request
+    /// (`RunStats::pool_slab_restores`).  A fully warm restored run answers
+    /// every check from the check-outcome cache, never requests a pool, and
+    /// never pays for the rebuild.
     pools: Arc<PoolCache>,
     /// The shared check-outcome cache: completed verifier checks memoized
     /// under their full inputs, so re-runs skip entire sweeps.
@@ -119,9 +123,10 @@ impl ProblemCaches {
     fn restore_or_new(problem: &Problem, fingerprint: Digest, warm_dir: &Path) -> Self {
         let mut caches = ProblemCaches::new(problem, fingerprint);
         let path = warm_dir.join(format!("{}.json", fingerprint.to_hex()));
-        if let Some((checks, banks, loads)) = load_snapshot(&path, fingerprint) {
+        if let Some((checks, banks, shapes, loads)) = load_snapshot(&path, fingerprint) {
             caches.checks = Arc::new(checks);
             caches.banks = Mutex::new(banks);
+            caches.pools.set_pending_shapes(shapes);
             caches.warm_start_loads = loads;
         }
         caches
@@ -135,6 +140,20 @@ impl ProblemCaches {
         let bank_objs: Vec<(String, Json)> = banks
             .iter()
             .filter_map(|(choice, bank)| Some((choice.label().to_string(), bank.to_json()?)))
+            .collect();
+        // Slab shape keys, serialized through the type syntax.  Shapes whose
+        // type does not render/re-parse identically (e.g. the abstract `t`)
+        // are skipped — persistence is advisory, and dropping a shape only
+        // costs a later on-demand re-derivation.
+        let shape_objs: Vec<Json> = self
+            .pools
+            .slab_shapes()
+            .into_iter()
+            .filter_map(|(ty, size)| {
+                let text = ty.to_string();
+                (hanoi_lang::parser::parse_type(&text).ok()? == ty)
+                    .then(|| Json::obj([("ty", Json::Str(text)), ("size", Json::Num(size as f64))]))
+            })
             .collect();
         Json::Obj(
             [
@@ -152,6 +171,7 @@ impl ProblemCaches {
                     "banks".to_string(),
                     Json::Obj(bank_objs.into_iter().collect()),
                 ),
+                ("pool_shapes".to_string(), Json::Arr(shape_objs)),
             ]
             .into_iter()
             .collect(),
@@ -199,7 +219,12 @@ impl ProblemCaches {
 fn load_snapshot(
     path: &Path,
     fingerprint: Digest,
-) -> Option<(CheckCache, HashMap<SynthChoice, Arc<TermBank>>, u64)> {
+) -> Option<(
+    CheckCache,
+    HashMap<SynthChoice, Arc<TermBank>>,
+    Vec<(hanoi_lang::types::Type, usize)>,
+    u64,
+)> {
     let metadata = std::fs::metadata(path).ok()?;
     if !metadata.is_file() || metadata.len() > MAX_SNAPSHOT_BYTES {
         return None;
@@ -232,7 +257,16 @@ fn load_snapshot(
     } else {
         return None;
     }
-    Some((checks, banks, loads))
+    let mut shapes = Vec::new();
+    let Json::Arr(shape_objs) = json.get("pool_shapes")? else {
+        return None;
+    };
+    for shape in shape_objs {
+        let ty = hanoi_lang::parser::parse_type(shape.get("ty").and_then(Json::as_str)?).ok()?;
+        let size = shape.get("size").and_then(Json::as_usize)?;
+        shapes.push((ty, size));
+    }
+    Some((checks, banks, shapes, loads))
 }
 
 /// The registry key for one problem's caches.
@@ -689,6 +723,41 @@ mod tests {
     }
 
     #[test]
+    fn restored_pool_shapes_rebuild_lazily_once() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let options = RunOptions::quick();
+        let dir = scratch_dir("shapes");
+        let first = Engine::with_defaults();
+        let cold = first.run(&problem, &options);
+        assert!(cold.is_success(), "{}", cold.outcome);
+        assert!(cold.stats.pool_slab_builds > 0);
+        assert_eq!(
+            cold.stats.pool_slab_restores, 0,
+            "cold runs restore nothing"
+        );
+        first.save_state(&dir).unwrap();
+
+        let second = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+        let pools = second.caches_for(&problem).pools();
+        assert_eq!(
+            pools.stats().slab_builds,
+            0,
+            "restored shapes must not rebuild before a pool is requested"
+        );
+        // The first pool request rebuilds every recorded shape, once.
+        let _ = pools.pool(&hanoi_lang::types::Type::named("list"), 5, 4, 1);
+        let stats = pools.stats();
+        assert_eq!(
+            stats.slab_restores, cold.stats.pool_slab_builds,
+            "the rebuild must cover exactly the recorded shapes: {stats:?}"
+        );
+        // Later requests are served from the rebuilt slabs.
+        let _ = pools.pool(&hanoi_lang::types::Type::named("list"), 5, 4, 1);
+        assert_eq!(pools.stats().slab_builds, stats.slab_builds);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_snapshots_fall_back_to_a_cold_start() {
         let problem = Problem::from_source(LIST_SET).unwrap();
         let options = RunOptions::quick();
@@ -709,7 +778,7 @@ mod tests {
         assert_eq!(result.stats.verification_cache_hits, 0);
 
         // A version bump is rejected just as cleanly.
-        let bumped = text.replacen("\"version\": 1", "\"version\": 999", 1);
+        let bumped = text.replacen("\"version\": 2", "\"version\": 999", 1);
         assert_ne!(bumped, text, "the version field must be present");
         std::fs::write(&path, bumped).unwrap();
         let mismatched = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();

@@ -37,6 +37,10 @@ pub struct RunStats {
     /// Per-size enumeration slabs built by the pool cache (at most one per
     /// `(type, size)` per run).
     pub pool_slab_builds: u64,
+    /// Enumeration slabs rebuilt from recorded shapes when a warm-start
+    /// snapshot was restored (`0` for cold starts; counted once, lazily, on
+    /// the first pool request after a restore).
+    pub pool_slab_restores: u64,
     /// Candidate-predicate evaluations performed by the verifier's compiled
     /// predicates (pool filtering plus `P`/`Q` tests).
     pub predicate_evals: u64,
@@ -64,6 +68,15 @@ pub struct RunStats {
     /// Signature evaluations served from the term bank without touching the
     /// interpreter.
     pub synth_bank_hits: u64,
+    /// `u64` bitset words processed by the packed signature matrix (dedup,
+    /// target matching and boolean connectives over 64 worlds per op).
+    pub synth_bitset_row_ops: u64,
+    /// Whole guess outcomes replayed from the term bank's cross-iteration
+    /// guess memo instead of re-enumerating.
+    pub synth_guess_memo_hits: u64,
+    /// Batched term-bank probe calls (one bank lock round per batch instead
+    /// of one per candidate application).
+    pub synth_probe_batches: u64,
     /// Size in AST nodes of the inferred invariant, when one was found.
     pub invariant_size: Option<usize>,
     /// Final number of positive examples.
@@ -101,6 +114,7 @@ impl RunStats {
         self.pool_cache_hits = pool.hits;
         self.pool_builds = pool.builds;
         self.pool_slab_builds = pool.slab_builds;
+        self.pool_slab_restores = pool.slab_restores;
         self.predicate_evals = pool.predicate_evals;
     }
 
@@ -110,6 +124,9 @@ impl RunStats {
         self.synth_column_appends = bank.column_appends;
         self.synth_eq_class_splits = bank.eq_class_splits;
         self.synth_bank_hits = bank.bank_hits;
+        self.synth_bitset_row_ops = bank.bitset_row_ops;
+        self.synth_guess_memo_hits = bank.guess_memo_hits;
+        self.synth_probe_batches = bank.probe_batches;
     }
 
     /// Serializes every counter to a JSON object (durations in seconds),
@@ -144,6 +161,10 @@ impl RunStats {
             ("pool_cache_hits", Json::Num(self.pool_cache_hits as f64)),
             ("pool_builds", Json::Num(self.pool_builds as f64)),
             ("pool_slab_builds", Json::Num(self.pool_slab_builds as f64)),
+            (
+                "pool_slab_restores",
+                Json::Num(self.pool_slab_restores as f64),
+            ),
             ("predicate_evals", Json::Num(self.predicate_evals as f64)),
             (
                 "verification_cache_hits",
@@ -167,6 +188,18 @@ impl RunStats {
                 Json::Num(self.synth_eq_class_splits as f64),
             ),
             ("synth_bank_hits", Json::Num(self.synth_bank_hits as f64)),
+            (
+                "synth_bitset_row_ops",
+                Json::Num(self.synth_bitset_row_ops as f64),
+            ),
+            (
+                "synth_guess_memo_hits",
+                Json::Num(self.synth_guess_memo_hits as f64),
+            ),
+            (
+                "synth_probe_batches",
+                Json::Num(self.synth_probe_batches as f64),
+            ),
             (
                 "invariant_size",
                 Json::opt(self.invariant_size, |s| Json::Num(s as f64)),
@@ -210,6 +243,7 @@ impl RunStats {
             pool_cache_hits: counter("pool_cache_hits")?,
             pool_builds: counter("pool_builds")?,
             pool_slab_builds: counter("pool_slab_builds")?,
+            pool_slab_restores: counter("pool_slab_restores")?,
             predicate_evals: counter("predicate_evals")?,
             verification_cache_hits: counter("verification_cache_hits")?,
             check_cache_evictions: counter("check_cache_evictions")?,
@@ -218,6 +252,9 @@ impl RunStats {
             synth_column_appends: counter("synth_column_appends")?,
             synth_eq_class_splits: counter("synth_eq_class_splits")?,
             synth_bank_hits: counter("synth_bank_hits")?,
+            synth_bitset_row_ops: counter("synth_bitset_row_ops")?,
+            synth_guess_memo_hits: counter("synth_guess_memo_hits")?,
+            synth_probe_batches: counter("synth_probe_batches")?,
             invariant_size: value.get("invariant_size").and_then(Json::as_usize),
             final_positives: count("final_positives")?,
             final_negatives: count("final_negatives")?,
@@ -260,6 +297,7 @@ mod tests {
             pool_cache_hits: 40,
             pool_builds: 4,
             pool_slab_builds: 9,
+            pool_slab_restores: 5,
             predicate_evals: 12345,
             verification_cache_hits: 4,
             check_cache_evictions: 2,
@@ -268,6 +306,9 @@ mod tests {
             synth_column_appends: 6,
             synth_eq_class_splits: 2,
             synth_bank_hits: 500,
+            synth_bitset_row_ops: 4321,
+            synth_guess_memo_hits: 7,
+            synth_probe_batches: 31,
             invariant_size: Some(18),
             final_positives: 11,
             final_negatives: 8,

@@ -38,10 +38,24 @@
 //!   tag each guess's worlds as *old columns* (already paid for) or *new
 //!   columns* (this iteration's counterexamples) and to count column
 //!   appends;
+//! * **signature matrix** ([`SigMatrix`]) — boolean signature rows are packed
+//!   into `u64` bitset words (one bit lane plus one validity-mask lane per
+//!   row; see [`BitRow`]), so row deduplication, target matching and the
+//!   boolean connectives of the guess loop are word-parallel integer
+//!   operations; rows over non-boolean types keep the dense-id
+//!   representation as a fallback lane ([`Sig::Ids`]);
+//! * **guess memo** — whole guess outcomes, keyed by a structural digest of
+//!   everything a guess reads (see `Engine::guess`), are memoized across
+//!   schedule entries, CEGIS iterations and — via the snapshot — processes;
+//! * **batched probes** — [`TermBank::apply_batch`] answers a whole
+//!   component×split batch of signature probes with one lock round-trip per
+//!   table instead of one per probe, which is what keeps parallel guess
+//!   workers off each other's locks;
 //! * **instrumentation hub** — terms enumerated, signature-column appends,
 //!   equivalence-class splits (previously-merged terms distinguished by a
-//!   new column) and bank hit/miss counters, surfaced through `RunStats`
-//!   and the `cegis_hot_path` bench's `synthesis_multi_cex` workload.
+//!   new column), bank hit/miss, bitset-op, memo-hit and probe-batch
+//!   counters, surfaced through `RunStats` and the `cegis_hot_path` bench's
+//!   `synthesis_multi_cex` workload.
 //!
 //! The bank is owned by the CEGIS session (each synthesizer instance holds
 //! one across all of its `synthesize` calls) and is safe to share with the
@@ -55,10 +69,13 @@
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use hanoi_lang::ast::Expr;
+use hanoi_lang::digest::Digest;
 use hanoi_lang::eval::{Evaluator, Fuel};
 use hanoi_lang::json::{value_from_json, value_to_json, Json, JsonError};
+use hanoi_lang::parser::parse_expr;
 use hanoi_lang::symbol::Symbol;
 use hanoi_lang::value::Value;
 
@@ -141,6 +158,363 @@ pub fn bool_of(id: u32) -> Option<bool> {
     }
 }
 
+/// A boolean signature row packed into `u64` bitset words: one *bit lane*
+/// holding the boolean cell values and one *validity lane* marking which
+/// cells hold a boolean at all (a zero validity bit is an error/absent
+/// cell).  Two invariants make word-wise equality exactly cell-wise
+/// equality: `bits ⊆ valid` (invalid cells carry a zero bit), and bits past
+/// the row length are zero in both lanes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    len: u32,
+    bits: Box<[u64]>,
+    valid: Box<[u64]>,
+}
+
+impl BitRow {
+    /// The cell at world `w` as an interned id ([`TRUE_ID`]/[`FALSE_ID`], or
+    /// `None` for an invalid cell).
+    pub fn cell(&self, w: usize) -> Option<u32> {
+        let (word, bit) = (w / 64, w % 64);
+        if self.valid[word] >> bit & 1 == 1 {
+            Some(bool_id(self.bits[word] >> bit & 1 == 1))
+        } else {
+            None
+        }
+    }
+
+    /// Number of worlds (columns) in the row.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the row has zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One term signature across the example worlds, in *canonical* form: a row
+/// of a boolean-typed term whose cells are all booleans-or-errors packs to
+/// [`Sig::Bits`]; every other row (non-boolean types, or a boolean-typed row
+/// holding a non-boolean id) keeps the dense-id fallback lane [`Sig::Ids`].
+/// Because the representation is a pure function of the cell contents, equal
+/// logical rows always share a variant, so derived equality/hashing is
+/// exactly cell-wise row equality — pinned by
+/// `tests/synth_incremental_equivalence.rs`, which runs the id-row fallback
+/// path against the packed path on the whole benchmark suite.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sig {
+    /// A packed boolean row (shared by reference; rows are immutable).
+    Bits(Arc<BitRow>),
+    /// One interned value id per world (`None` = evaluation failed there).
+    Ids(Arc<[Option<u32>]>),
+}
+
+impl Sig {
+    /// The cell at world `w`.
+    pub fn cell(&self, w: usize) -> Option<u32> {
+        match self {
+            Sig::Bits(row) => row.cell(w),
+            Sig::Ids(cells) => cells[w],
+        }
+    }
+
+    /// Number of worlds (columns) in the row.
+    pub fn len(&self) -> usize {
+        match self {
+            Sig::Bits(row) => row.len(),
+            Sig::Ids(cells) => cells.len(),
+        }
+    }
+
+    /// Whether the row has zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The old-column projection of a signature row (equivalence-class split
+/// detection).  Canonical exactly like [`Sig`]: if every *old* cell is a
+/// boolean-or-error the projection is the masked word lanes (new columns
+/// zeroed in both lanes, so word equality is old-cell equality); otherwise
+/// it is the compacted old-cell id row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OldSig {
+    /// Masked lanes of a packed (or packable-on-old-columns) row.
+    Bits {
+        /// The bit lane with new columns zeroed.
+        bits: Box<[u64]>,
+        /// The validity lane with new columns zeroed.
+        valid: Box<[u64]>,
+    },
+    /// The old-column cells of an unpackable row, compacted.
+    Ids(Box<[Option<u32>]>),
+}
+
+/// The signature-matrix factory of one guess: builds canonical [`Sig`] rows
+/// of a fixed width, applies the boolean connectives and old-column
+/// projections word-parallel where rows are packed, and counts the `u64`
+/// word operations it performs (surfaced as
+/// [`TermBankStats::bitset_row_ops`]).  With `enabled = false` every row
+/// stays in the id-row fallback lane — the pre-bitset representation, kept
+/// as a test oracle.
+///
+/// The matrix is shared by reference with parallel guess workers; the op
+/// counter is atomic and all methods take `&self`.
+#[derive(Debug)]
+pub struct SigMatrix {
+    width: usize,
+    enabled: bool,
+    ops: AtomicU64,
+}
+
+impl SigMatrix {
+    /// A matrix factory for rows of `width` worlds.
+    pub fn new(width: usize, enabled: bool) -> SigMatrix {
+        SigMatrix {
+            width,
+            enabled,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// The row width (number of example worlds).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Words per packed lane.
+    fn words(&self) -> usize {
+        self.width.div_ceil(64)
+    }
+
+    fn count_ops(&self) {
+        self.ops.fetch_add(self.words() as u64, Ordering::Relaxed);
+    }
+
+    /// Word operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Packs boolean-or-error cells into lanes.  `cells` yielding ids other
+    /// than [`TRUE_ID`]/[`FALSE_ID`] is a caller bug (checked by `pack`).
+    fn pack_lanes(&self, cells: impl Iterator<Item = Option<u32>>) -> BitRow {
+        let words = self.words();
+        let mut bits = vec![0u64; words];
+        let mut valid = vec![0u64; words];
+        for (w, cell) in cells.enumerate() {
+            if let Some(id) = cell {
+                valid[w / 64] |= 1 << (w % 64);
+                if id == TRUE_ID {
+                    bits[w / 64] |= 1 << (w % 64);
+                }
+            }
+        }
+        self.count_ops();
+        BitRow {
+            len: self.width as u32,
+            bits: bits.into(),
+            valid: valid.into(),
+        }
+    }
+
+    /// The canonical row for `cells`: packed when `boolean` (the term's type
+    /// is `bool`), the matrix is enabled, and every cell is a
+    /// boolean-or-error; the id row otherwise.
+    pub fn pack(&self, boolean: bool, cells: Vec<Option<u32>>) -> Sig {
+        debug_assert_eq!(cells.len(), self.width);
+        if self.enabled
+            && boolean
+            && cells
+                .iter()
+                .all(|cell| cell.is_none_or(|id| bool_of(id).is_some()))
+        {
+            Sig::Bits(Arc::new(self.pack_lanes(cells.into_iter())))
+        } else {
+            Sig::Ids(cells.into())
+        }
+    }
+
+    /// Strict boolean negation of a row: non-boolean and error cells stay
+    /// invalid.  Word-parallel on packed rows.
+    pub fn not(&self, sig: &Sig) -> Sig {
+        match sig {
+            Sig::Bits(row) => {
+                let bits: Box<[u64]> = row
+                    .bits
+                    .iter()
+                    .zip(row.valid.iter())
+                    .map(|(b, v)| !b & v)
+                    .collect();
+                self.count_ops();
+                Sig::Bits(Arc::new(BitRow {
+                    len: row.len,
+                    bits,
+                    valid: row.valid.clone(),
+                }))
+            }
+            Sig::Ids(cells) => self.pack(
+                true,
+                cells
+                    .iter()
+                    .map(|v| v.and_then(bool_of).map(|b| bool_id(!b)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Strict conjunction (`conj`) or disjunction of two rows: a cell is
+    /// valid only where both operand cells are booleans.  Word-parallel when
+    /// both rows are packed.
+    pub fn connective(&self, a: &Sig, b: &Sig, conj: bool) -> Sig {
+        if let (Sig::Bits(x), Sig::Bits(y)) = (a, b) {
+            let valid: Box<[u64]> = x
+                .valid
+                .iter()
+                .zip(y.valid.iter())
+                .map(|(p, q)| p & q)
+                .collect();
+            let bits: Box<[u64]> = if conj {
+                x.bits
+                    .iter()
+                    .zip(y.bits.iter())
+                    .map(|(p, q)| p & q)
+                    .collect()
+            } else {
+                x.bits
+                    .iter()
+                    .zip(y.bits.iter())
+                    .zip(valid.iter())
+                    .map(|((p, q), v)| (p | q) & v)
+                    .collect()
+            };
+            self.count_ops();
+            return Sig::Bits(Arc::new(BitRow {
+                len: x.len,
+                bits,
+                valid,
+            }));
+        }
+        self.pack(
+            true,
+            (0..self.width)
+                .map(|w| {
+                    let x = a.cell(w).and_then(bool_of)?;
+                    let y = b.cell(w).and_then(bool_of)?;
+                    Some(bool_id(if conj { x && y } else { x || y }))
+                })
+                .collect(),
+        )
+    }
+
+    /// The structural-equality row of two same-type rows: `bool_id(x == y)`
+    /// where both cells are present, invalid elsewhere.  The result is a
+    /// boolean row and packs.
+    pub fn equality(&self, a: &Sig, b: &Sig) -> Sig {
+        self.pack(
+            true,
+            (0..self.width)
+                .map(|w| match (a.cell(w), b.cell(w)) {
+                    (Some(x), Some(y)) => Some(bool_id(x == y)),
+                    _ => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// Whether a candidate row hits the target row (both are canonical, so
+    /// plain equality is cell-wise equality; the packed/packed case is one
+    /// word compare per lane word).
+    pub fn matches(&self, sig: &Sig, target: &Sig) -> bool {
+        if let (Sig::Bits(_), Sig::Bits(_)) = (sig, target) {
+            self.count_ops();
+        }
+        sig == target
+    }
+
+    /// The old-column mask as lane words (for [`SigMatrix::project`]).
+    pub fn mask_words(&self, mask: &[bool]) -> Box<[u64]> {
+        let mut words = vec![0u64; self.words()];
+        for (w, &old) in mask.iter().enumerate() {
+            if old {
+                words[w / 64] |= 1 << (w % 64);
+            }
+        }
+        words.into()
+    }
+
+    /// Projects a row onto the old columns (`mask[w]`/`mask_words` flag the
+    /// old worlds), in canonical [`OldSig`] form: masked word lanes whenever
+    /// every old cell is a boolean-or-error, the compacted id row otherwise.
+    pub fn project(&self, sig: &Sig, mask_words: &[u64], mask: &[bool]) -> OldSig {
+        match sig {
+            Sig::Bits(row) => {
+                self.count_ops();
+                OldSig::Bits {
+                    bits: row
+                        .bits
+                        .iter()
+                        .zip(mask_words)
+                        .map(|(b, m)| b & m)
+                        .collect(),
+                    valid: row
+                        .valid
+                        .iter()
+                        .zip(mask_words)
+                        .map(|(v, m)| v & m)
+                        .collect(),
+                }
+            }
+            Sig::Ids(cells) => {
+                let old_cells = || cells.iter().zip(mask).filter(|(_, &old)| old);
+                if self.enabled
+                    && old_cells().all(|(cell, _)| cell.is_none_or(|id| bool_of(id).is_some()))
+                {
+                    let words = self.words();
+                    let mut bits = vec![0u64; words];
+                    let mut valid = vec![0u64; words];
+                    for (w, cell) in cells.iter().enumerate() {
+                        if !mask[w] {
+                            continue;
+                        }
+                        if let Some(b) = cell.and_then(bool_of) {
+                            valid[w / 64] |= 1 << (w % 64);
+                            if b {
+                                bits[w / 64] |= 1 << (w % 64);
+                            }
+                        }
+                    }
+                    self.count_ops();
+                    OldSig::Bits {
+                        bits: bits.into(),
+                        valid: valid.into(),
+                    }
+                } else {
+                    OldSig::Ids(old_cells().map(|(cell, _)| *cell).collect())
+                }
+            }
+        }
+    }
+}
+
+/// One memoized whole-guess outcome (see `Engine::guess`): the result plus
+/// the enumeration counters to *replay* on a hit, so a memo-served guess
+/// reports exactly the terms/splits a recomputation would have — which is
+/// what keeps the persistent-bank ≡ fresh-bank counter equivalences exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuessMemo {
+    /// The guess outcome: a matching boolean term, or `None` when the guess
+    /// exhausted its size budget without a match (failures are memoized too
+    /// — they are the expensive case).
+    pub result: Option<Expr>,
+    /// Terms the original enumeration counted.
+    pub terms: u64,
+    /// Equivalence-class splits the original enumeration counted.
+    pub splits: u64,
+}
+
 /// Counter snapshot of one synthesis session's term-bank activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TermBankStats {
@@ -163,6 +537,15 @@ pub struct TermBankStats {
     pub sessions: u64,
     /// Distinct values interned by the session.
     pub interned_values: u64,
+    /// Word-parallel `u64` operations performed on packed signature rows
+    /// (packing, connectives, target matches, old-column projections).
+    pub bitset_row_ops: u64,
+    /// Whole-guess outcomes served from the guess memo instead of being
+    /// re-enumerated.
+    pub guess_memo_hits: u64,
+    /// Batched signature-probe calls ([`TermBank::apply_batch`]): each is one
+    /// lock round-trip per bank table for a whole component×split batch.
+    pub probe_batches: u64,
 }
 
 impl TermBankStats {
@@ -255,12 +638,18 @@ pub struct TermBank {
     /// Ids of root example values whose signature columns have been paid
     /// for.
     worlds: Mutex<HashSet<u32, IdHashBuilder>>,
+    /// Whole-guess outcomes keyed by the guess digest (see `Engine::guess`
+    /// for the key derivation and the soundness argument).
+    guesses: Mutex<HashMap<u128, GuessMemo, IdHashBuilder>>,
     sessions: AtomicU64,
     terms: AtomicU64,
     appends: AtomicU64,
     splits: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    bit_ops: AtomicU64,
+    memo_hits: AtomicU64,
+    batches: AtomicU64,
 }
 
 impl Default for TermBank {
@@ -271,12 +660,16 @@ impl Default for TermBank {
             apps: Mutex::new(HashMap::default()),
             ctors: Mutex::new(HashMap::default()),
             worlds: Mutex::new(HashSet::default()),
+            guesses: Mutex::new(HashMap::default()),
             sessions: AtomicU64::new(0),
             terms: AtomicU64::new(0),
             appends: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bit_ops: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         }
     }
 }
@@ -360,6 +753,136 @@ impl TermBank {
         result
     }
 
+    /// Evaluates a whole batch of component-application probes with one lock
+    /// round-trip per bank table, instead of one per probe as
+    /// [`TermBank::apply_component`] does.  `probes` is `valid.len()` probes
+    /// of `arity` argument ids each, flattened; a probe with `valid[p] ==
+    /// false` (an argument failed to evaluate) answers `None` without
+    /// touching the bank — exactly the per-probe short-circuit of the
+    /// unbatched path.
+    ///
+    /// Hit/miss accounting matches a sequential probe-by-probe run: the
+    /// first occurrence of a missing key in the batch is a miss, duplicate
+    /// occurrences are hits.  All misses are evaluated outside any lock and
+    /// inserted together.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_batch(
+        &self,
+        evaluator: &Evaluator<'_>,
+        name: u32,
+        component: &Value,
+        fuel: u64,
+        arity: usize,
+        probes: &[u32],
+        valid: &[bool],
+    ) -> Vec<Option<u32>> {
+        debug_assert_eq!(probes.len(), valid.len() * arity);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut results: Vec<Option<u32>> = vec![None; valid.len()];
+        // Pass 1 — one probe of the application store for the whole batch.
+        // `pending` holds the genuinely new keys in first-occurrence order;
+        // `targets[j]` lists the result slots pending key `j` must fill.
+        let mut pending: Vec<AppKey> = Vec::new();
+        let mut targets: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut first_seen: HashMap<AppKey, usize, IdHashBuilder> = HashMap::default();
+            let apps = self.apps.lock().unwrap();
+            let mut hits = 0u64;
+            for (p, &ok) in valid.iter().enumerate() {
+                if !ok {
+                    continue;
+                }
+                let key: AppKey = (
+                    name,
+                    ArgsKey::new(&probes[p * arity..(p + 1) * arity]),
+                    fuel,
+                );
+                if let Some(cached) = apps.get(&key) {
+                    hits += 1;
+                    results[p] = *cached;
+                    continue;
+                }
+                match first_seen.get(&key) {
+                    Some(&j) => {
+                        // A duplicate of an in-batch miss: a sequential run
+                        // would have found it cached by now.
+                        hits += 1;
+                        targets[j].push(p);
+                    }
+                    None => {
+                        first_seen.insert(key.clone(), pending.len());
+                        targets.push(vec![p]);
+                        pending.push(key);
+                    }
+                }
+            }
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+            self.misses
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        }
+        if pending.is_empty() {
+            return results;
+        }
+        // Pass 2 — materialize every distinct argument tuple under one
+        // interner lock, then evaluate lock-free.
+        let arg_values: Vec<Vec<Value>> = {
+            let interner = self.interner.lock().unwrap();
+            pending
+                .iter()
+                .map(|(_, args, _)| {
+                    args.as_slice()
+                        .iter()
+                        .map(|&id| interner.value_of(id).clone())
+                        .collect()
+                })
+                .collect()
+        };
+        let outcomes: Vec<Option<Value>> = arg_values
+            .iter()
+            .map(|args| {
+                evaluator
+                    .apply_many(component.clone(), args, &mut Fuel::new(fuel))
+                    .ok()
+            })
+            .collect();
+        // Pass 3 — intern all results under one interner lock, then publish
+        // them to the application store under one store lock.
+        let ids: Vec<Option<u32>> = {
+            let mut interner = self.interner.lock().unwrap();
+            outcomes
+                .iter()
+                .map(|value| value.as_ref().map(|v| interner.intern(v)))
+                .collect()
+        };
+        {
+            let mut apps = self.apps.lock().unwrap();
+            for (key, &id) in pending.into_iter().zip(&ids) {
+                apps.insert(key, id);
+            }
+        }
+        for (j, slots) in targets.iter().enumerate() {
+            for &p in slots {
+                results[p] = ids[j];
+            }
+        }
+        results
+    }
+
+    /// Looks up a memoized whole-guess outcome.  A hit bumps the
+    /// [`TermBankStats::guess_memo_hits`] counter.
+    pub fn guess_memo_get(&self, key: Digest) -> Option<GuessMemo> {
+        let memo = self.guesses.lock().unwrap().get(&key.0).cloned();
+        if memo.is_some() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        memo
+    }
+
+    /// Stores a whole-guess outcome under its digest key.
+    pub fn guess_memo_put(&self, key: Digest, memo: GuessMemo) {
+        self.guesses.lock().unwrap().insert(key.0, memo);
+    }
+
     /// Builds (and interns) the constructor application `ctor(args…)`,
     /// memoized by argument ids so repeated worlds share one construction.
     /// `name` is the interned name id, `ctor` the constructor symbol.
@@ -381,16 +904,20 @@ impl TermBank {
         id
     }
 
-    /// Records one guess's enumeration counters.
-    pub fn record_guess(&self, terms: u64, splits: u64) {
+    /// Records one guess's enumeration counters (terms, equivalence-class
+    /// splits, and word operations on packed signature rows).  A memo-served
+    /// guess replays its stored terms/splits here with `bit_ops = 0`.
+    pub fn record_guess(&self, terms: u64, splits: u64, bit_ops: u64) {
         self.terms.fetch_add(terms, Ordering::Relaxed);
         self.splits.fetch_add(splits, Ordering::Relaxed);
+        self.bit_ops.fetch_add(bit_ops, Ordering::Relaxed);
     }
 
     /// The snapshot format version written by [`TermBank::to_json`].  Bump
     /// it whenever the value encoding or the table layout changes shape;
-    /// loaders reject mismatching versions cleanly.
-    pub const SNAPSHOT_VERSION: u64 = 1;
+    /// loaders reject mismatching versions cleanly.  Version 2 added the
+    /// guess-memo table.
+    pub const SNAPSHOT_VERSION: u64 = 2;
 
     /// Hard ceiling on the size of any one snapshot table — a corrupt or
     /// hostile snapshot cannot make [`TermBank::from_json`] allocate
@@ -410,20 +937,22 @@ impl TermBank {
     /// whether future columns count as appends): a restored bank reports
     /// only the activity of its own process.
     pub fn to_json(&self) -> Option<Json> {
-        // Copy all five tables out under their locks — held together so the
+        // Copy all six tables out under their locks — held together so the
         // snapshot is *consistent* (no app row can reference a value id
         // interned after the value table was copied) — and do the expensive
         // part (sorting, JSON construction) after releasing them, so
         // concurrent synthesis on the same bank stalls only for the copies.
-        let (values, names, mut app_rows, mut ctor_rows, mut world_ids) = {
+        let (values, names, mut app_rows, mut ctor_rows, mut world_ids, mut guess_rows) = {
             let interner = self.interner.lock().unwrap();
             let names = self.names.lock().unwrap();
             let apps = self.apps.lock().unwrap();
             let ctors = self.ctors.lock().unwrap();
             let worlds = self.worlds.lock().unwrap();
+            let guesses = self.guesses.lock().unwrap();
             if interner.values.len() > Self::MAX_SNAPSHOT_ENTRIES
                 || apps.len() > Self::MAX_SNAPSHOT_ENTRIES
                 || ctors.len() > Self::MAX_SNAPSHOT_ENTRIES
+                || guesses.len() > Self::MAX_SNAPSHOT_ENTRIES
             {
                 return None;
             }
@@ -437,12 +966,17 @@ impl TermBank {
                 .iter()
                 .map(|((name, args), result)| (*name, args.as_slice().to_vec(), *result))
                 .collect();
+            let guess_rows: Vec<(String, GuessMemo)> = guesses
+                .iter()
+                .map(|(key, memo)| (Digest(*key).to_hex(), memo.clone()))
+                .collect();
             (
                 interner.values.clone(),
                 names.clone(),
                 app_rows,
                 ctor_rows,
                 worlds.iter().copied().collect::<Vec<u32>>(),
+                guess_rows,
             )
         };
 
@@ -491,6 +1025,33 @@ impl TermBank {
             .collect();
         world_ids.sort_unstable();
 
+        // Guess outcomes persist as pretty-printed expressions.  An entry is
+        // written only if its rendering parses back to the identical
+        // expression — a self-check that makes persistence *advisory*: a
+        // non-round-tripping expression costs a warm hit, never correctness.
+        guess_rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let guesses_json: Vec<Json> = guess_rows
+            .into_iter()
+            .filter_map(|(key, memo)| {
+                let rendered = match &memo.result {
+                    None => Json::Null,
+                    Some(expr) => {
+                        let text = expr.to_string();
+                        if parse_expr(&text).ok().as_ref() != Some(expr) {
+                            return None;
+                        }
+                        Json::Str(text)
+                    }
+                };
+                Some(Json::obj([
+                    ("k", Json::Str(key)),
+                    ("e", rendered),
+                    ("t", Json::Num(memo.terms as f64)),
+                    ("s", Json::Num(memo.splits as f64)),
+                ]))
+            })
+            .collect();
+
         Some(Json::obj([
             ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
             ("kind", Json::Str("term-bank".to_string())),
@@ -506,6 +1067,7 @@ impl TermBank {
                 "worlds",
                 Json::Arr(world_ids.into_iter().map(|w| Json::Num(w as f64)).collect()),
             ),
+            ("guesses", Json::Arr(guesses_json)),
         ]))
     }
 
@@ -651,6 +1213,41 @@ impl TermBank {
                 worlds.insert(id);
             }
         }
+        {
+            let mut guesses = bank.guesses.lock().unwrap();
+            for row in table("guesses")? {
+                let key = row
+                    .get("k")
+                    .and_then(Json::as_str)
+                    .and_then(Digest::from_hex)
+                    .ok_or_else(|| corrupt("guess row without digest key"))?;
+                let result = match row.get("e") {
+                    Some(Json::Null) => None,
+                    Some(Json::Str(text)) => Some(
+                        parse_expr(text).map_err(|_| corrupt("unparseable guess expression"))?,
+                    ),
+                    _ => return Err(corrupt("guess row without expression")),
+                };
+                let terms = row
+                    .get("t")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| corrupt("guess row without term count"))?
+                    as u64;
+                let splits = row
+                    .get("s")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| corrupt("guess row without split count"))?
+                    as u64;
+                guesses.insert(
+                    key.0,
+                    GuessMemo {
+                        result,
+                        terms,
+                        splits,
+                    },
+                );
+            }
+        }
         let sessions = json
             .get("sessions")
             .and_then(Json::as_usize)
@@ -669,6 +1266,9 @@ impl TermBank {
             bank_misses: self.misses.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
             interned_values: self.interner.lock().unwrap().values.len() as u64,
+            bitset_row_ops: self.bit_ops.load(Ordering::Relaxed),
+            guess_memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            probe_batches: self.batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -815,6 +1415,95 @@ mod tests {
         // …but a genuinely new world still counts as one.
         restored.begin_session(&[(Value::nat(9), true)]);
         assert_eq!(restored.stats().column_appends, 1);
+    }
+
+    #[test]
+    fn batched_probes_match_sequential_semantics() {
+        let tyenv = TypeEnv::new();
+        let evaluator = Evaluator::new(&tyenv);
+        let succ = nat_succ();
+
+        let batched = TermBank::new();
+        let name = batched.name_id(&Symbol::new("succ"));
+        let ids: Vec<u32> = (0..4).map(|n| batched.intern(&Value::nat(n))).collect();
+        // Rows: fresh, fresh, in-batch duplicate, invalid, fresh.
+        let probes = vec![ids[0], ids[1], ids[1], ids[2], ids[3]];
+        let valid = vec![true, true, true, false, true];
+        let results = batched.apply_batch(&evaluator, name, &succ, 100, 1, &probes, &valid);
+
+        let sequential = TermBank::new();
+        let sname = sequential.name_id(&Symbol::new("succ"));
+        let sids: Vec<u32> = (0..4).map(|n| sequential.intern(&Value::nat(n))).collect();
+        let expected: Vec<Option<u32>> = vec![
+            sequential.apply_component(&evaluator, sname, &succ, &[sids[0]], 100),
+            sequential.apply_component(&evaluator, sname, &succ, &[sids[1]], 100),
+            sequential.apply_component(&evaluator, sname, &succ, &[sids[1]], 100),
+            None,
+            sequential.apply_component(&evaluator, sname, &succ, &[sids[3]], 100),
+        ];
+        assert_eq!(results, expected);
+        let (b, s) = (batched.stats(), sequential.stats());
+        assert_eq!(
+            b.bank_hits, s.bank_hits,
+            "in-batch duplicates count as hits"
+        );
+        assert_eq!(b.bank_misses, s.bank_misses);
+        assert_eq!(b.probe_batches, 1);
+        assert_eq!(s.probe_batches, 0);
+        // A second identical batch is answered entirely from the store.
+        let again = batched.apply_batch(&evaluator, name, &succ, 100, 1, &probes, &valid);
+        assert_eq!(again, results);
+        let b2 = batched.stats();
+        assert_eq!(b2.bank_misses, b.bank_misses, "no re-evaluation");
+        assert_eq!(b2.probe_batches, 2);
+    }
+
+    #[test]
+    fn guess_memos_round_trip_and_count_hits() {
+        let bank = TermBank::new();
+        let key = Digest(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+        let expr = parse_expr("S (S x0) == x1").unwrap();
+        bank.guess_memo_put(
+            key,
+            GuessMemo {
+                result: Some(expr.clone()),
+                terms: 42,
+                splits: 3,
+            },
+        );
+        let failed_key = Digest(7);
+        bank.guess_memo_put(
+            failed_key,
+            GuessMemo {
+                result: None,
+                terms: 5,
+                splits: 0,
+            },
+        );
+        assert!(bank.guess_memo_get(Digest(99)).is_none());
+        assert_eq!(bank.stats().guess_memo_hits, 0, "misses are not hits");
+
+        let snapshot = bank.to_json().expect("guess memos serialize");
+        let text = snapshot.render_pretty();
+        let restored = TermBank::from_json(&hanoi_lang::json::parse(&text).unwrap()).unwrap();
+        let hit = restored.guess_memo_get(key).expect("memo survived");
+        assert_eq!(hit.result, Some(expr));
+        assert_eq!((hit.terms, hit.splits), (42, 3));
+        // Memoized *failures* survive too — replaying "no predicate of this
+        // size exists" is exactly as sound as replaying a found predicate.
+        let miss = restored
+            .guess_memo_get(failed_key)
+            .expect("failure survived");
+        assert_eq!(miss.result, None);
+        assert_eq!((miss.terms, miss.splits), (5, 0));
+        assert_eq!(restored.stats().guess_memo_hits, 2);
+
+        // A corrupt guesses table rejects the whole snapshot.
+        let mut copy = snapshot.clone();
+        if let Json::Obj(map) = &mut copy {
+            map.insert("guesses".to_string(), Json::Num(3.0));
+        }
+        assert!(TermBank::from_json(&copy).is_err());
     }
 
     #[test]

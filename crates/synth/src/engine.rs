@@ -31,15 +31,22 @@
 //!   values)`, so a CEGIS iteration that adds one counterexample only pays
 //!   for that example's *column* of the signature matrix;
 //! * component-application batches (one `compositions` split × cartesian
-//!   product of argument layers) are evaluated in parallel on
-//!   [`hanoi_verifier::parallel::par_map`], with results merged back in
-//!   enumeration order — a parallel guess returns byte-identical predicates
-//!   to a serial one;
-//! * signature cells are interned value ids (see [`crate::bank`]), so
-//!   deduplication hashes rows of machine integers into 64-bit table
-//!   fingerprints instead of comparing `Vec<Option<Value>>` deeply, boolean
-//!   cells never allocate, and the old-column row projection detects
-//!   equivalence classes that a freshly appended column has split;
+//!   product of argument layers) are evaluated through
+//!   [`TermBank::apply_batch`] — one bank-lock round-trip per batch — and
+//!   chunked across [`hanoi_verifier::parallel::par_map`] workers, with
+//!   results merged back in enumeration order: a parallel guess returns
+//!   byte-identical predicates to a serial one;
+//! * boolean signature rows are packed `u64` bitset lanes
+//!   ([`crate::bank::SigMatrix`]), so deduplication, target matching and the
+//!   boolean connectives are word-parallel integer operations; rows over
+//!   non-boolean types remain interned-id rows, and the old-column
+//!   projection (either form) detects equivalence classes that a freshly
+//!   appended column has split;
+//! * whole guess outcomes are memoized in the bank per `(problem, search
+//!   limits, context, worlds, size)` digest — see `Engine::guess` for the
+//!   exact key — so repeated guesses across schedule entries and CEGIS
+//!   iterations (e.g. match arms whose worlds a new counterexample did not
+//!   reach) replay instantly and report identical counters;
 //! * component closures, candidate predicates and the examples-consistency
 //!   re-check all run on the interpreter's slot-resolved fast path
 //!   ([`hanoi_lang::resolve`]).
@@ -49,6 +56,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::ast::{Expr, MatchArm, Pattern};
+use hanoi_lang::digest::{Digest, DigestBuilder};
 use hanoi_lang::eval::Fuel;
 use hanoi_lang::resolve::{resolve, resolve_closure_value};
 use hanoi_lang::symbol::Symbol;
@@ -57,7 +65,7 @@ use hanoi_lang::util::Deadline;
 use hanoi_lang::value::Value;
 use hanoi_verifier::parallel::{effective_workers, par_map};
 
-use crate::bank::{bool_id, bool_of, IdHashBuilder, TermBank};
+use crate::bank::{bool_id, GuessMemo, IdHashBuilder, OldSig, Sig, SigMatrix, TermBank};
 use crate::error::SynthError;
 use crate::examples::ExampleSet;
 
@@ -105,12 +113,21 @@ pub struct SearchConfig {
     pub allow_recursion: bool,
     /// Extra components (beyond the problem's prelude and module operations).
     pub extra_components: Vec<ExtraComponent>,
-    /// Worker threads for per-size layer construction: `None` (the
-    /// default) inherits the run-wide knob when driver-constructed and is
-    /// serial otherwise; `Some(1)` forces serial, `Some(0)` uses one worker
-    /// per available core, any other value is taken literally.  Parallel
-    /// guessing is outcome-identical to serial guessing.
+    /// Worker threads for per-size layer construction.  `None` (the default)
+    /// *inherits* the engine-wide knob when the search is driver-constructed
+    /// (`hanoi::InferenceContext::make_synthesizer` fills it in) and is
+    /// serial otherwise; `Some(n)` takes precedence over the engine-wide
+    /// knob — `Some(1)` forces serial, `Some(0)` uses one worker per
+    /// available core, any other value is taken literally.  The full
+    /// contract (and the outcome-identity guarantee) is documented once, on
+    /// `EngineConfig::parallelism` in the `hanoi` core crate.
     pub parallelism: Option<usize>,
+    /// Whether boolean signature rows use the packed `u64` bitset lanes
+    /// ([`crate::bank::SigMatrix`]).  `false` keeps every row in the
+    /// per-cell interned-id representation — a strictly slower path kept as
+    /// a test oracle: outcomes and enumeration counters are identical either
+    /// way, pinned by `tests/synth_incremental_equivalence.rs`.
+    pub use_bitset_rows: bool,
 }
 
 impl Default for SearchConfig {
@@ -122,6 +139,7 @@ impl Default for SearchConfig {
             allow_recursion: true,
             extra_components: Vec::new(),
             parallelism: None,
+            use_bitset_rows: true,
         }
     }
 }
@@ -148,20 +166,13 @@ struct FuncComponent {
     value: Value,
 }
 
-/// A term signature: one evaluation result per example world, as interned
-/// value ids (`None` = the evaluation failed on that world).  Rows are
-/// shared by reference and compared as integer slices.
-type SigRow = Arc<[Option<u32>]>;
-
-/// The old-column projection of a signature row (split detection).
-type OldRow = Box<[Option<u32>]>;
-
 /// A term kept in the enumeration pool: its syntax and its evaluation
-/// signature across the example worlds.
+/// signature across the example worlds (packed bitset lanes for boolean
+/// rows, interned-id rows otherwise — see [`Sig`]).
 #[derive(Debug, Clone)]
 struct PoolTerm {
     expr: Expr,
-    sig: SigRow,
+    sig: Sig,
 }
 
 /// The example worlds for one search node: per world, the values of every
@@ -240,6 +251,7 @@ impl<'p> Engine<'p> {
             .collect();
 
         let components = self.function_components(bank);
+        let session = self.session_digest(&concrete, &components);
         let mut counter = 0usize;
 
         for &(match_depth, guess_size) in &self.config.schedule {
@@ -254,6 +266,7 @@ impl<'p> Engine<'p> {
                 guess_size,
                 &components,
                 &example_table,
+                &session,
                 &mut counter,
                 deadline,
                 &mut HashSet::new(),
@@ -352,6 +365,82 @@ impl<'p> Engine<'p> {
         out
     }
 
+    /// The session-constant half of the guess-memo key: everything a guess
+    /// outcome depends on that does not vary between guesses of one
+    /// `synthesize` call — the problem (structural fingerprint, which covers
+    /// component semantics and the type environment), the search limits that
+    /// shape enumeration, and the component roster with its types.
+    fn session_digest(&self, concrete: &Type, components: &[FuncComponent]) -> Digest {
+        let mut b = DigestBuilder::new("guess-session");
+        b.add_digest(self.problem.fingerprint());
+        b.add_digest(Digest::of_type(concrete));
+        b.add_u64(self.config.fuel);
+        b.add_u64(self.config.max_terms_per_layer as u64);
+        b.add_u64(self.config.allow_recursion as u64);
+        b.add_u64(components.len() as u64);
+        for component in components {
+            b.add_str(component.name.as_str());
+            b.add_u64(component.arg_tys.len() as u64);
+            for ty in &component.arg_tys {
+                b.add_digest(Digest::of_type(ty));
+            }
+            b.add_digest(Digest::of_type(&component.ret_ty));
+        }
+        b.add_u64(self.config.extra_components.len() as u64);
+        for extra in &self.config.extra_components {
+            b.add_str(extra.name.as_str());
+            b.add_digest(Digest::of_expr(&extra.definition));
+        }
+        b.finish()
+    }
+
+    /// The full guess-memo key for one guess: the session digest plus the
+    /// per-node inputs — context (variable names matter: the memoized
+    /// expression refers to them; the deterministic `x{counter}` naming
+    /// reproduces them), worlds (expected label and the interned id of every
+    /// in-scope value — ids are bank-local and reproduced positionally by a
+    /// snapshot restore, so persisted keys stay valid), the example-table
+    /// labels recursion reads for concrete-typed non-root slots, and the
+    /// size budget.  The `is_new` world flags are deliberately *not* keyed:
+    /// they steer only the split statistics, not the outcome or term count.
+    fn guess_key(
+        &self,
+        session: &Digest,
+        ctx: &[(Symbol, Type)],
+        worlds: &[WorldRow],
+        max_size: usize,
+        example_table: &HashMap<u32, bool>,
+    ) -> Digest {
+        let concrete = self.problem.concrete_type();
+        let mut b = DigestBuilder::new("guess-memo");
+        b.add_digest(*session);
+        b.add_u64(max_size as u64);
+        b.add_u64(ctx.len() as u64);
+        for (name, ty) in ctx {
+            b.add_str(name.as_str());
+            b.add_digest(Digest::of_type(ty));
+        }
+        b.add_u64(worlds.len() as u64);
+        for world in worlds {
+            b.add_u64(world.expected as u64);
+            for &id in &world.ids {
+                b.add_u64(id as u64);
+            }
+            // The labels recursive-call signatures would read (`inv v` on
+            // non-root concrete-typed slots).
+            for (index, (_, ty)) in ctx.iter().enumerate().skip(1) {
+                if ty == concrete {
+                    b.add_u64(match example_table.get(&world.ids[index]) {
+                        None => 0,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    });
+                }
+            }
+        }
+        b.finish()
+    }
+
     /// The 0-order types the term pool is stratified by.
     fn types_of_interest(&self, ctx: &[(Symbol, Type)], components: &[FuncComponent]) -> Vec<Type> {
         let mut types = vec![Type::bool(), self.problem.concrete_type().clone()];
@@ -378,6 +467,7 @@ impl<'p> Engine<'p> {
         guess_size: usize,
         components: &[FuncComponent],
         example_table: &HashMap<u32, bool>,
+        session: &Digest,
         counter: &mut usize,
         deadline: &Deadline,
         matched_vars: &mut HashSet<Symbol>,
@@ -395,6 +485,7 @@ impl<'p> Engine<'p> {
             guess_size,
             components,
             example_table,
+            session,
             deadline,
         )? {
             return Ok(Some(found));
@@ -463,6 +554,7 @@ impl<'p> Engine<'p> {
                     guess_size,
                     components,
                     example_table,
+                    session,
                     counter,
                     deadline,
                     matched_vars,
@@ -493,8 +585,16 @@ impl<'p> Engine<'p> {
     }
 
     /// Bottom-up, observational-equivalence-pruned term guessing, with
-    /// bank-memoized signature evaluation and parallel per-size layer
-    /// construction.
+    /// whole-outcome memoization, bank-memoized signature evaluation and
+    /// parallel per-size layer construction.
+    ///
+    /// The memo is sound because a guess outcome (and its term/split
+    /// counters) is a deterministic function of exactly what
+    /// [`Engine::guess_key`] digests: enumeration order is fixed, signature
+    /// cells are pure functions of `(component, argument ids, fuel)`, and
+    /// the bank's evaluation memo is semantically transparent.  Replaying
+    /// the stored counters on a hit therefore reports the numbers a
+    /// recomputation would have produced.  Timeouts are never memoized.
     #[allow(clippy::too_many_arguments)]
     fn guess(
         &self,
@@ -504,13 +604,29 @@ impl<'p> Engine<'p> {
         max_size: usize,
         components: &[FuncComponent],
         example_table: &HashMap<u32, bool>,
+        session: &Digest,
         deadline: &Deadline,
     ) -> Result<Option<Expr>, SynthError> {
+        let key = self.guess_key(session, ctx, worlds, max_size, example_table);
+        if let Some(memo) = bank.guess_memo_get(key) {
+            bank.record_guess(memo.terms, memo.splits, 0);
+            return Ok(memo.result);
+        }
         let types = self.types_of_interest(ctx, components);
-        let target: SigRow = worlds.iter().map(|w| Some(bool_id(w.expected))).collect();
+        let matrix = SigMatrix::new(worlds.len(), self.config.use_bitset_rows);
+        let target = matrix.pack(
+            true,
+            worlds.iter().map(|w| Some(bool_id(w.expected))).collect(),
+        );
         let old_mask: Vec<bool> = worlds.iter().map(|w| !w.is_new).collect();
         let mut pool = Pool::new(&types, max_size);
-        let mut sieve = Sieve::new(&types, target, old_mask, self.config.max_terms_per_layer);
+        let mut sieve = Sieve::new(
+            &types,
+            &matrix,
+            target,
+            old_mask,
+            self.config.max_terms_per_layer,
+        );
         let result = self.guess_into(
             bank,
             ctx,
@@ -519,11 +635,22 @@ impl<'p> Engine<'p> {
             components,
             example_table,
             deadline,
+            &matrix,
             &mut pool,
             &mut sieve,
         );
-        bank.record_guess(sieve.terms, sieve.splits);
-        result.map(|()| sieve.matched)
+        bank.record_guess(sieve.terms, sieve.splits, matrix.ops());
+        result.map(|()| {
+            bank.guess_memo_put(
+                key,
+                GuessMemo {
+                    result: sieve.matched.clone(),
+                    terms: sieve.terms,
+                    splits: sieve.splits,
+                },
+            );
+            sieve.matched
+        })
     }
 
     /// The generation loop of [`Engine::guess`], writing into `pool`/`sieve`.
@@ -537,6 +664,7 @@ impl<'p> Engine<'p> {
         components: &[FuncComponent],
         example_table: &HashMap<u32, bool>,
         deadline: &Deadline,
+        matrix: &SigMatrix,
         pool: &mut Pool,
         sieve: &mut Sieve,
     ) -> Result<(), SynthError> {
@@ -551,8 +679,11 @@ impl<'p> Engine<'p> {
 
         // Size 1: variables and nullary constructors.
         for (index, (name, ty)) in ctx.iter().enumerate() {
-            let sig: SigRow = worlds.iter().map(|w| Some(w.ids[index])).collect();
-            sieve.add(ty, sig, || Expr::Var(name.clone()));
+            let sig = matrix.pack(
+                ty == &bool_ty,
+                worlds.iter().map(|w| Some(w.ids[index])).collect(),
+            );
+            sieve.add(matrix, ty, sig, || Expr::Var(name.clone()));
         }
         for ty in &types {
             let Type::Named(type_name) = ty else { continue };
@@ -564,8 +695,10 @@ impl<'p> Engine<'p> {
                     continue;
                 }
                 let id = bank.make_ctor(bank.name_id(&ctor.name), &ctor.name, &[]);
-                let sig: SigRow = worlds.iter().map(|_| Some(id)).collect();
-                sieve.add(ty, sig, || Expr::Ctor(ctor.name.clone(), Vec::new()));
+                let sig = matrix.pack(ty == &bool_ty, worlds.iter().map(|_| Some(id)).collect());
+                sieve.add(matrix, ty, sig, || {
+                    Expr::Ctor(ctor.name.clone(), Vec::new())
+                });
             }
         }
         pool.freeze(sieve, 1);
@@ -586,11 +719,14 @@ impl<'p> Engine<'p> {
                     if ty != concrete {
                         continue;
                     }
-                    let sig: SigRow = worlds
-                        .iter()
-                        .map(|w| example_table.get(&w.ids[index]).map(|b| bool_id(*b)))
-                        .collect();
-                    sieve.add(&bool_ty, sig, || {
+                    let sig = matrix.pack(
+                        true,
+                        worlds
+                            .iter()
+                            .map(|w| example_table.get(&w.ids[index]).map(|b| bool_id(*b)))
+                            .collect(),
+                    );
+                    sieve.add(matrix, &bool_ty, sig, || {
                         Expr::call(REC_NAME, [Expr::Var(name.clone())])
                     });
                 }
@@ -598,43 +734,69 @@ impl<'p> Engine<'p> {
 
             // Saturated applications of function components: the one place
             // signature evaluation runs the interpreter.  Each
-            // (component, size split) batch is evaluated through the term
-            // bank — in parallel when large enough — and merged back in
-            // enumeration order, so parallel guessing stays deterministic.
+            // (component, size split) batch is answered by one
+            // `TermBank::apply_batch` call — one lock round-trip per bank
+            // table for the whole batch.  Parallel workers take contiguous
+            // chunks of the choice list (one batch each, flattened back in
+            // enumeration order), so parallel guessing stays deterministic
+            // and workers stay off each other's locks.
             for component in components {
                 let k = component.arg_tys.len();
                 if size < 1 + 2 * k || !pool.has_type(&component.ret_ty) {
                     continue;
                 }
+                let boolean_ret = component.ret_ty == bool_ty;
                 for split in compositions(size - 1 - k, k).iter() {
                     let Some(arg_layers) = pool.gather(&component.arg_tys, split) else {
                         continue;
                     };
                     let choices = cartesian_choices(&arg_layers);
-                    let eval_row = |choice: &Vec<&PoolTerm>| -> SigRow {
-                        let mut arg_ids = vec![0u32; choice.len()];
-                        (0..worlds.len())
-                            .map(|w| {
+                    let eval_chunk = |chunk: &[Vec<&PoolTerm>]| -> Vec<Sig> {
+                        let width = worlds.len();
+                        let mut probes = vec![0u32; chunk.len() * width * k];
+                        let mut valid = vec![true; chunk.len() * width];
+                        for (c, choice) in chunk.iter().enumerate() {
+                            for w in 0..width {
+                                let p = c * width + w;
                                 for (slot, term) in choice.iter().enumerate() {
-                                    arg_ids[slot] = term.sig[w]?;
+                                    match term.sig.cell(w) {
+                                        Some(id) => probes[p * k + slot] = id,
+                                        None => {
+                                            valid[p] = false;
+                                            break;
+                                        }
+                                    }
                                 }
-                                bank.apply_component(
-                                    &evaluator,
-                                    component.bank_id,
-                                    &component.value,
-                                    &arg_ids,
-                                    self.config.fuel,
-                                )
+                            }
+                        }
+                        let results = bank.apply_batch(
+                            &evaluator,
+                            component.bank_id,
+                            &component.value,
+                            self.config.fuel,
+                            k,
+                            &probes,
+                            &valid,
+                        );
+                        (0..chunk.len())
+                            .map(|c| {
+                                matrix
+                                    .pack(boolean_ret, results[c * width..(c + 1) * width].to_vec())
                             })
                             .collect()
                     };
-                    let rows: Vec<SigRow> = if workers > 1 && choices.len() >= PAR_BATCH_MIN {
-                        par_map(&choices, workers, eval_row)
+                    let rows: Vec<Sig> = if workers > 1 && choices.len() >= PAR_BATCH_MIN {
+                        let chunk_len = choices.len().div_ceil(workers);
+                        let chunks: Vec<&[Vec<&PoolTerm>]> = choices.chunks(chunk_len).collect();
+                        par_map(&chunks, workers, |chunk| eval_chunk(chunk))
+                            .into_iter()
+                            .flatten()
+                            .collect()
                     } else {
-                        choices.iter().map(eval_row).collect()
+                        eval_chunk(&choices)
                     };
                     for (choice, sig) in choices.iter().zip(rows) {
-                        sieve.add(&component.ret_ty, sig, || {
+                        sieve.add(matrix, &component.ret_ty, sig, || {
                             Expr::apps(
                                 Expr::Var(component.name.clone()),
                                 choice.iter().map(|t| t.expr.clone()),
@@ -674,15 +836,16 @@ impl<'p> Engine<'p> {
                         };
                         cartesian(&arg_layers, &mut |choice: &[&PoolTerm]| {
                             let mut arg_ids = vec![0u32; choice.len()];
-                            let sig: SigRow = (0..worlds.len())
+                            let cells: Vec<Option<u32>> = (0..worlds.len())
                                 .map(|w| {
                                     for (slot, term) in choice.iter().enumerate() {
-                                        arg_ids[slot] = term.sig[w]?;
+                                        arg_ids[slot] = term.sig.cell(w)?;
                                     }
                                     Some(bank.make_ctor(ctor_id, &ctor_name, &arg_ids))
                                 })
                                 .collect();
-                            sieve.add(ty, sig, || {
+                            let sig = matrix.pack(ty == &bool_ty, cells);
+                            sieve.add(matrix, ty, sig, || {
                                 Expr::Ctor(
                                     ctor_name.clone(),
                                     choice.iter().map(|t| t.expr.clone()).collect(),
@@ -710,13 +873,8 @@ impl<'p> Engine<'p> {
                         }
                         for a in lhs {
                             for b in rhs {
-                                let sig: SigRow = (0..worlds.len())
-                                    .map(|w| match (a.sig[w], b.sig[w]) {
-                                        (Some(x), Some(y)) => Some(bool_id(x == y)),
-                                        _ => None,
-                                    })
-                                    .collect();
-                                sieve.add(&bool_ty, sig, || {
+                                let sig = matrix.equality(&a.sig, &b.sig);
+                                sieve.add(matrix, &bool_ty, sig, || {
                                     Expr::eq(a.expr.clone(), b.expr.clone())
                                 });
                             }
@@ -728,15 +886,11 @@ impl<'p> Engine<'p> {
                 }
             }
 
-            // Boolean connectives.
+            // Boolean connectives: word-parallel on packed rows.
             if size >= 2 {
                 for term in pool.layer(&bool_ty, size - 1) {
-                    let sig: SigRow = term
-                        .sig
-                        .iter()
-                        .map(|v| v.and_then(bool_of).map(|b| bool_id(!b)))
-                        .collect();
-                    sieve.add(&bool_ty, sig, || Expr::not(term.expr.clone()));
+                    let sig = matrix.not(&term.sig);
+                    sieve.add(matrix, &bool_ty, sig, || Expr::not(term.expr.clone()));
                 }
             }
             if size >= 3 {
@@ -746,14 +900,8 @@ impl<'p> Engine<'p> {
                     for a in lhs {
                         for b in rhs {
                             for conj in [true, false] {
-                                let sig: SigRow = (0..worlds.len())
-                                    .map(|w| {
-                                        let x = a.sig[w].and_then(bool_of)?;
-                                        let y = b.sig[w].and_then(bool_of)?;
-                                        Some(bool_id(if conj { x && y } else { x || y }))
-                                    })
-                                    .collect();
-                                sieve.add(&bool_ty, sig, || {
+                                let sig = matrix.connective(&a.sig, &b.sig, conj);
+                                sieve.add(matrix, &bool_ty, sig, || {
                                     if conj {
                                         Expr::and(a.expr.clone(), b.expr.clone())
                                     } else {
@@ -837,12 +985,12 @@ impl Pool {
 
 /// The deduplication and match-detection state of one guessing pass.
 ///
-/// Signature rows are interned-id slices, hashed whole into the seen-set's
-/// 64-bit table fingerprints — a handful of integer operations per probe
-/// where the engine used to hash and compare `Vec<Option<Value>>` trees.
-/// When the pass has both old and new signature columns (an incremental
-/// CEGIS iteration), each kept term's row is also projected onto the old
-/// columns alone: a projection collision with full-row distinctness means a
+/// Signature rows arrive in canonical [`Sig`] form: packed `u64` bitset
+/// lanes for boolean rows (dedup hashing and target matching are then a few
+/// word operations per row), interned-id rows otherwise.  When the pass has
+/// both old and new signature columns (an incremental CEGIS iteration),
+/// each kept term's row is also projected onto the old columns alone: a
+/// projection collision with full-row distinctness means a
 /// previously-merged equivalence class has been split by the new columns,
 /// which is counted for the session statistics.
 struct Sieve {
@@ -852,14 +1000,16 @@ struct Sieve {
     /// Terms kept at the size currently being generated.
     staging: HashMap<Type, Vec<PoolTerm>>,
     /// Signature rows of every kept term, per type.
-    seen: HashMap<Type, HashSet<SigRow, IdHashBuilder>>,
+    seen: HashMap<Type, HashSet<Sig, IdHashBuilder>>,
     /// Old-column projections of kept rows (only tracked incrementally).
-    seen_old: HashMap<Type, HashSet<OldRow, IdHashBuilder>>,
+    seen_old: HashMap<Type, HashSet<OldSig, IdHashBuilder>>,
     /// Per world: `true` when the column was already known to the bank.
     old_mask: Vec<bool>,
+    /// `old_mask` as bitset lane words (the packed projection mask).
+    old_mask_words: Box<[u64]>,
     /// Whether this pass mixes old and new columns.
     track_splits: bool,
-    target: SigRow,
+    target: Sig,
     bool_ty: Type,
     matched: Option<Expr>,
     max_per_layer: usize,
@@ -868,7 +1018,13 @@ struct Sieve {
 }
 
 impl Sieve {
-    fn new(types: &[Type], target: SigRow, old_mask: Vec<bool>, max_per_layer: usize) -> Sieve {
+    fn new(
+        types: &[Type],
+        matrix: &SigMatrix,
+        target: Sig,
+        old_mask: Vec<bool>,
+        max_per_layer: usize,
+    ) -> Sieve {
         let track_splits = old_mask.iter().any(|&o| o) && old_mask.iter().any(|&o| !o);
         Sieve {
             type_order: types.to_vec(),
@@ -881,6 +1037,7 @@ impl Sieve {
                 .iter()
                 .map(|t| (t.clone(), HashSet::default()))
                 .collect(),
+            old_mask_words: matrix.mask_words(&old_mask),
             old_mask,
             track_splits,
             target,
@@ -896,7 +1053,7 @@ impl Sieve {
     /// match when a boolean term hits the target, stages the term otherwise.
     /// `make_expr` is only invoked for terms that survive deduplication, so
     /// pruned duplicates never pay for syntax construction.
-    fn add(&mut self, ty: &Type, sig: SigRow, make_expr: impl FnOnce() -> Expr) {
+    fn add(&mut self, matrix: &SigMatrix, ty: &Type, sig: Sig, make_expr: impl FnOnce() -> Expr) {
         if self.matched.is_some() {
             return;
         }
@@ -916,12 +1073,7 @@ impl Sieve {
             return;
         }
         if self.track_splits {
-            let projection: OldRow = sig
-                .iter()
-                .zip(&self.old_mask)
-                .filter(|(_, old)| **old)
-                .map(|(cell, _)| *cell)
-                .collect();
+            let projection = matrix.project(&sig, &self.old_mask_words, &self.old_mask);
             if !self
                 .seen_old
                 .get_mut(ty)
@@ -931,7 +1083,7 @@ impl Sieve {
                 self.splits += 1;
             }
         }
-        if ty == &self.bool_ty && sig[..] == self.target[..] {
+        if ty == &self.bool_ty && matrix.matches(&sig, &self.target) {
             self.matched = Some(make_expr());
             return;
         }

@@ -2,8 +2,10 @@
 //! [`hanoi_repro::synth::TermBank`] must return *identical* predicates (and
 //! enumerate identical term counts at parallelism 1) to a
 //! rebuild-per-iteration engine, across every benchmark of the suite and a
-//! CEGIS-like sequence of growing example sets — and parallel guessing must
-//! be outcome-identical to serial guessing.
+//! CEGIS-like sequence of growing example sets — parallel guessing must be
+//! outcome-identical to serial guessing, and the packed bitset signature
+//! rows must be indistinguishable (outcomes, terms enumerated, eq-class
+//! splits) from the per-cell id rows they replace.
 
 use hanoi_repro::hanoi::{Engine as InferenceEngine, RunOptions};
 use hanoi_repro::lang::enumerate::ValueEnumerator;
@@ -24,6 +26,17 @@ fn test_config(parallelism: usize) -> SearchConfig {
         allow_recursion: true,
         extra_components: Vec::new(),
         parallelism: Some(parallelism),
+        use_bitset_rows: true,
+    }
+}
+
+/// The same search with the packed bitset rows disabled: every signature
+/// stays a per-cell id row.  The two representations must be observably
+/// identical.
+fn id_row_config(parallelism: usize) -> SearchConfig {
+    SearchConfig {
+        use_bitset_rows: false,
+        ..test_config(parallelism)
     }
 }
 
@@ -68,9 +81,14 @@ fn persistent_bank_engines_match_fresh_engines_on_every_benchmark() {
             .into_iter()
             .map(|p| (p, Engine::new(&problem, test_config(p))))
             .collect();
+        let idrow_engines: Vec<(usize, Engine<'_>)> = [1usize, 2, 0]
+            .into_iter()
+            .map(|p| (p, Engine::new(&problem, id_row_config(p))))
+            .collect();
         let bank = TermBank::new();
         let parallel_banks: Vec<TermBank> =
             parallel_engines.iter().map(|_| TermBank::new()).collect();
+        let idrow_banks: Vec<TermBank> = idrow_engines.iter().map(|_| TermBank::new()).collect();
 
         for (iteration, examples) in sequence.iter().enumerate() {
             // Rebuild-per-iteration baseline: a throwaway bank per call.
@@ -108,7 +126,40 @@ fn persistent_bank_engines_match_fresh_engines_on_every_benchmark() {
                     benchmark.id
                 );
             }
+
+            // Per-cell id rows (own persistent banks) must match the packed
+            // bitset rows — outcome *and* terms enumerated, at every
+            // parallelism level.
+            for ((parallelism, engine), ibank) in idrow_engines.iter().zip(&idrow_banks) {
+                let iterms_before = ibank.stats().terms_enumerated;
+                let idrow = engine.synthesize_with_bank(ibank, examples, &Deadline::none());
+                assert_eq!(
+                    idrow, banked,
+                    "{}: iteration {iteration} diverged between bitset and \
+                     id rows at parallelism {parallelism}",
+                    benchmark.id
+                );
+                if *parallelism == 1 {
+                    assert_eq!(
+                        ibank.stats().terms_enumerated - iterms_before,
+                        banked_terms,
+                        "{}: iteration {iteration} enumerated a different \
+                         number of terms with id rows",
+                        benchmark.id
+                    );
+                }
+            }
         }
+
+        // The bitset and id-row representations must partition terms into
+        // identical equivalence classes: same split counts over the whole
+        // sequence.
+        assert_eq!(
+            bank.stats().eq_class_splits,
+            idrow_banks[0].stats().eq_class_splits,
+            "{}: bitset and id rows disagreed on eq-class splits",
+            benchmark.id
+        );
 
         // Later iterations of a growing example sequence must actually have
         // exercised the incremental machinery.
@@ -182,6 +233,193 @@ fn eq_class_splits_are_detected_when_a_column_distinguishes_terms() {
         stats.eq_class_splits > 0,
         "new columns must re-split previously merged classes: {stats:?}"
     );
+}
+
+/// The packed signature matrix itself: packing, connectives, equality and
+/// projection must behave cell-for-cell like the id rows they replace —
+/// including error cells (`None`), mixed boolean/non-boolean rows, and
+/// columns that straddle the 64-world word boundary.
+mod sig_matrix_units {
+    use hanoi_repro::synth::bank::{bool_id, Sig, SigMatrix, FALSE_ID, TRUE_ID};
+
+    /// A deterministic mixed row over `width` worlds: errors every 7th
+    /// world, true/false elsewhere by parity.
+    fn bool_cells(width: usize, phase: usize) -> Vec<Option<u32>> {
+        (0..width)
+            .map(|w| {
+                (!(w + phase).is_multiple_of(7)).then(|| bool_id((w + phase).is_multiple_of(2)))
+            })
+            .collect()
+    }
+
+    fn cells_of(sig: &Sig, width: usize) -> Vec<Option<u32>> {
+        (0..width).map(|w| sig.cell(w)).collect()
+    }
+
+    #[test]
+    fn boolean_rows_pack_and_read_back_across_word_boundaries() {
+        for width in [1usize, 63, 64, 65, 70, 128, 130] {
+            let matrix = SigMatrix::new(width, true);
+            let cells = bool_cells(width, 0);
+            let sig = matrix.pack(true, cells.clone());
+            assert!(
+                matches!(sig, Sig::Bits(_)),
+                "width {width}: boolean rows must pack"
+            );
+            assert_eq!(cells_of(&sig, width), cells, "width {width}");
+        }
+    }
+
+    #[test]
+    fn non_boolean_and_mixed_rows_fall_back_to_id_rows() {
+        let matrix = SigMatrix::new(66, true);
+        // A non-boolean type never packs, even when its ids look boolean.
+        let sig = matrix.pack(false, vec![Some(TRUE_ID); 66]);
+        assert!(matches!(sig, Sig::Ids(_)));
+        // A boolean-typed row with one non-boolean id (impossible in real
+        // runs, the canonical guard) falls back too.
+        let mut cells = bool_cells(66, 0);
+        cells[65] = Some(17);
+        let sig = matrix.pack(true, cells.clone());
+        assert!(matches!(sig, Sig::Ids(_)));
+        assert_eq!(cells_of(&sig, 66), cells);
+        // With the matrix disabled nothing packs.
+        let disabled = SigMatrix::new(66, false);
+        let sig = disabled.pack(true, bool_cells(66, 0));
+        assert!(matches!(sig, Sig::Ids(_)));
+    }
+
+    #[test]
+    fn connectives_match_per_cell_semantics_with_error_cells() {
+        for width in [5usize, 64, 65, 130] {
+            let packed = SigMatrix::new(width, true);
+            let plain = SigMatrix::new(width, false);
+            let (a, b) = (bool_cells(width, 0), bool_cells(width, 3));
+            let pa = packed.pack(true, a.clone());
+            let pb = packed.pack(true, b.clone());
+            let ia = plain.pack(true, a);
+            let ib = plain.pack(true, b);
+            for (bits, ids) in [
+                (packed.not(&pa), plain.not(&ia)),
+                (
+                    packed.connective(&pa, &pb, true),
+                    plain.connective(&ia, &ib, true),
+                ),
+                (
+                    packed.connective(&pa, &pb, false),
+                    plain.connective(&ia, &ib, false),
+                ),
+                (packed.equality(&pa, &pb), plain.equality(&ia, &ib)),
+            ] {
+                assert_eq!(
+                    cells_of(&bits, width),
+                    cells_of(&ids, width),
+                    "width {width}: bitset and id connectives diverged"
+                );
+            }
+            // An error operand poisons exactly its own world.
+            let not_a = packed.not(&pa);
+            for w in 0..width {
+                assert_eq!(not_a.cell(w).is_none(), pa.cell(w).is_none(), "world {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_of_id_rows_packs_boolean_results() {
+        let matrix = SigMatrix::new(65, true);
+        let a = matrix.pack(false, (0..65).map(|w| Some(w as u32 + 2)).collect());
+        let b = matrix.pack(
+            false,
+            (0..65)
+                .map(|w| Some(if w % 3 == 0 { w as u32 + 2 } else { 1_000_000 }))
+                .collect(),
+        );
+        let eq = matrix.equality(&a, &b);
+        assert!(
+            matches!(eq, Sig::Bits(_)),
+            "equality outcomes are boolean and must pack"
+        );
+        for w in 0..65 {
+            assert_eq!(eq.cell(w), Some(bool_id(w % 3 == 0)), "world {w}");
+        }
+    }
+
+    #[test]
+    fn projections_are_canonical_across_representations() {
+        // The same logical row must project to the same `OldSig` whether it
+        // was packed or not — otherwise split counts would depend on the
+        // representation.
+        for width in [8usize, 64, 66, 129] {
+            let packed = SigMatrix::new(width, true);
+            let plain = SigMatrix::new(width, false);
+            let mask: Vec<bool> = (0..width).map(|w| w % 3 != 1).collect();
+            let cells = bool_cells(width, 1);
+            let from_bits = {
+                let sig = packed.pack(true, cells.clone());
+                assert!(matches!(sig, Sig::Bits(_)));
+                packed.project(&sig, &packed.mask_words(&mask), &mask)
+            };
+            let from_ids = {
+                let sig = plain.pack(true, cells);
+                assert!(matches!(sig, Sig::Ids(_)));
+                // Project through the *enabled* matrix, as `Sieve::add` does
+                // when a packable id row arrives.
+                packed.project(&sig, &packed.mask_words(&mask), &mask)
+            };
+            assert_eq!(from_bits, from_ids, "width {width}");
+        }
+    }
+
+    #[test]
+    fn matches_compares_whole_rows() {
+        let matrix = SigMatrix::new(70, true);
+        let target = matrix.pack(true, vec![Some(TRUE_ID); 70]);
+        let mut almost = vec![Some(TRUE_ID); 70];
+        almost[69] = Some(FALSE_ID);
+        assert!(matrix.matches(&target, &matrix.pack(true, vec![Some(TRUE_ID); 70])));
+        assert!(!matrix.matches(&matrix.pack(true, almost), &target));
+        assert!(matrix.ops() > 0, "bitset comparisons are counted");
+    }
+}
+
+#[test]
+fn word_boundary_example_sets_agree_across_representations() {
+    // More than 64 example worlds forces multi-word bitset lanes; the
+    // packed and per-cell engines must still agree exactly.
+    let problem = hanoi_repro::benchmarks::find("/coq/unique-list-::-set")
+        .unwrap()
+        .problem()
+        .unwrap();
+    let concrete = problem.concrete_type().clone();
+    let values = ValueEnumerator::new(&problem.tyenv).first_values(&concrete, 90, 12);
+    assert!(
+        values.len() >= 80,
+        "need enough worlds, got {}",
+        values.len()
+    );
+    let (positives, negatives) = values.split_at(40);
+    let examples = ExampleSet::from_sets(positives.iter().cloned(), negatives.iter().cloned())
+        .expect("enumerated values are distinct");
+    let (examples, _) = examples.trace_completed(&problem.tyenv, &concrete);
+    assert!(
+        examples.len() > 64,
+        "the closed example set must straddle the word boundary, got {}",
+        examples.len()
+    );
+
+    let bitset_engine = Engine::new(&problem, test_config(1));
+    let idrow_engine = Engine::new(&problem, id_row_config(1));
+    let bitset_bank = TermBank::new();
+    let idrow_bank = TermBank::new();
+    let packed = bitset_engine.synthesize_with_bank(&bitset_bank, &examples, &Deadline::none());
+    let plain = idrow_engine.synthesize_with_bank(&idrow_bank, &examples, &Deadline::none());
+    assert_eq!(packed, plain);
+    let (b, i) = (bitset_bank.stats(), idrow_bank.stats());
+    assert_eq!(b.terms_enumerated, i.terms_enumerated);
+    assert_eq!(b.eq_class_splits, i.eq_class_splits);
+    assert!(b.bitset_row_ops > 0, "the packed path must be exercised");
+    assert_eq!(i.bitset_row_ops, 0, "the id-row path must not pack");
 }
 
 #[test]
