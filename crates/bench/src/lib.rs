@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod json;
+pub mod latency;
 pub mod report;
 
 use std::time::Duration;

@@ -45,7 +45,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use hanoi_abstraction::Problem;
 use hanoi_lang::digest::Digest;
@@ -68,6 +68,22 @@ const WARM_START_VERSION: u64 = 2;
 /// Snapshot files larger than this are ignored on load (a corrupt or
 /// foreign file cannot make session-open allocate unboundedly).
 const MAX_SNAPSHOT_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Locks a mutex, recovering from poison.
+///
+/// The engine's locks only ever guard single map operations (insert, remove,
+/// lookup on `HashMap`s), which cannot be observed half-applied: a panic on
+/// one session thread therefore leaves the guarded data intact, and
+/// propagating the poison would turn one isolated panic into an engine-wide
+/// outage — exactly what a long-lived service must not do.  The deeper
+/// caches (pool cache, check cache, term bank) keep standard poisoning; a
+/// panic inside *them* is handled by [`crate::Session::run_caught`], which
+/// evicts the problem's whole entry.
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The warm caches the engine keeps for one problem.
 #[derive(Debug)]
@@ -99,6 +115,10 @@ pub(crate) struct ProblemCaches {
     /// was restored from on creation (`0` = cold start).  Surfaced as
     /// `RunStats::warm_start_loads`.
     warm_start_loads: u64,
+    /// `1` when a snapshot file existed for this problem but failed to
+    /// restore and was quarantined (renamed to `<fingerprint>.json.corrupt`)
+    /// at entry creation.  Surfaced as `RunStats::warm_start_quarantined`.
+    warm_start_quarantined: u64,
 }
 
 impl ProblemCaches {
@@ -110,6 +130,7 @@ impl ProblemCaches {
             checks: Arc::new(CheckCache::default()),
             banks: Mutex::new(HashMap::new()),
             warm_start_loads: 0,
+            warm_start_quarantined: 0,
         }
     }
 
@@ -119,15 +140,35 @@ impl ProblemCaches {
     /// error, parse error, version or fingerprint mismatch, corrupt
     /// component — degrades to a cold start; a snapshot can never make a
     /// session fail or (fingerprint collisions aside) answer for a
-    /// different problem.
+    /// different problem.  A file that *existed but failed to restore* is
+    /// additionally quarantined: renamed to `<fingerprint>.json.corrupt` so
+    /// the next process start does not re-parse the same broken bytes (and
+    /// so the defect stays on disk for diagnosis instead of being silently
+    /// overwritten by the next checkpoint).
     fn restore_or_new(problem: &Problem, fingerprint: Digest, warm_dir: &Path) -> Self {
         let mut caches = ProblemCaches::new(problem, fingerprint);
         let path = warm_dir.join(format!("{}.json", fingerprint.to_hex()));
-        if let Some((checks, banks, shapes, loads)) = load_snapshot(&path, fingerprint) {
-            caches.checks = Arc::new(checks);
-            caches.banks = Mutex::new(banks);
-            caches.pools.set_pending_shapes(shapes);
-            caches.warm_start_loads = loads;
+        match load_snapshot(&path, fingerprint) {
+            SnapshotLoad::Loaded {
+                checks,
+                banks,
+                shapes,
+                loads,
+            } => {
+                caches.checks = Arc::new(checks);
+                caches.banks = Mutex::new(banks);
+                caches.pools.set_pending_shapes(shapes);
+                caches.warm_start_loads = loads;
+            }
+            SnapshotLoad::Corrupt => {
+                // Quarantine is best-effort: a read-only store (or a
+                // concurrent process racing for the same file) must not
+                // break session opens.
+                let quarantine = warm_dir.join(format!("{}.json.corrupt", fingerprint.to_hex()));
+                let _ = std::fs::rename(&path, &quarantine);
+                caches.warm_start_quarantined = 1;
+            }
+            SnapshotLoad::Missing => {}
         }
         caches
     }
@@ -136,7 +177,7 @@ impl ProblemCaches {
     /// encoded structurally are skipped; the check cache always serializes
     /// (only completed, first-order outcomes ever reach it).
     fn snapshot_json(&self) -> Json {
-        let banks = self.banks.lock().unwrap();
+        let banks = lock_tolerant(&self.banks);
         let bank_objs: Vec<(String, Json)> = banks
             .iter()
             .filter_map(|(choice, bank)| Some((choice.label().to_string(), bank.to_json()?)))
@@ -188,6 +229,12 @@ impl ProblemCaches {
         self.warm_start_loads
     }
 
+    /// Whether a defective snapshot was quarantined when this entry was
+    /// created.
+    pub(crate) fn warm_start_quarantined(&self) -> u64 {
+        self.warm_start_quarantined
+    }
+
     /// The pinned globals environment this entry belongs to.
     pub(crate) fn globals(&self) -> &Env {
         &self.globals
@@ -206,27 +253,49 @@ impl ProblemCaches {
     /// The persistent term bank for one synthesizer back end, created on
     /// first use.
     pub(crate) fn bank(&self, choice: SynthChoice) -> Arc<TermBank> {
-        let mut banks = self.banks.lock().unwrap();
+        let mut banks = lock_tolerant(&self.banks);
         Arc::clone(banks.entry(choice).or_default())
     }
 }
 
-/// Reads and validates one warm-start snapshot file.  Returns the restored
-/// components and their count, or `None` on any defect (all-or-nothing: a
-/// snapshot with one corrupt component is wholly ignored, so partial
-/// restores can never mix states from different saves).
+/// The outcome of reading one warm-start snapshot file: absent, defective,
+/// or fully restored (all-or-nothing: a snapshot with one corrupt component
+/// is wholly rejected, so partial restores can never mix states from
+/// different saves).  The caller quarantines `Corrupt` files — which
+/// includes version- and fingerprint-mismatched ones, both equally useless
+/// on every future process start.
+enum SnapshotLoad {
+    /// No snapshot file exists for the problem.
+    Missing,
+    /// A file exists but failed validation and must not be re-read.
+    Corrupt,
+    /// The snapshot restored cleanly.
+    Loaded {
+        checks: CheckCache,
+        banks: HashMap<SynthChoice, Arc<TermBank>>,
+        shapes: Vec<(hanoi_lang::types::Type, usize)>,
+        loads: u64,
+    },
+}
+
+/// Reads and validates one warm-start snapshot file.
+fn load_snapshot(path: &Path, fingerprint: Digest) -> SnapshotLoad {
+    let Ok(metadata) = std::fs::metadata(path) else {
+        return SnapshotLoad::Missing;
+    };
+    if !metadata.is_file() {
+        return SnapshotLoad::Missing;
+    }
+    match try_load_snapshot(path, fingerprint, metadata.len()) {
+        Some(loaded) => loaded,
+        None => SnapshotLoad::Corrupt,
+    }
+}
+
+/// The validation pipeline of [`load_snapshot`]; `None` means any defect.
 #[allow(clippy::type_complexity)]
-fn load_snapshot(
-    path: &Path,
-    fingerprint: Digest,
-) -> Option<(
-    CheckCache,
-    HashMap<SynthChoice, Arc<TermBank>>,
-    Vec<(hanoi_lang::types::Type, usize)>,
-    u64,
-)> {
-    let metadata = std::fs::metadata(path).ok()?;
-    if !metadata.is_file() || metadata.len() > MAX_SNAPSHOT_BYTES {
+fn try_load_snapshot(path: &Path, fingerprint: Digest, len: u64) -> Option<SnapshotLoad> {
+    if len > MAX_SNAPSHOT_BYTES {
         return None;
     }
     let text = std::fs::read_to_string(path).ok()?;
@@ -266,7 +335,12 @@ fn load_snapshot(
         let size = shape.get("size").and_then(Json::as_usize)?;
         shapes.push((ty, size));
     }
-    Some((checks, banks, shapes, loads))
+    Some(SnapshotLoad::Loaded {
+        checks,
+        banks,
+        shapes,
+        loads,
+    })
 }
 
 /// The registry key for one problem's caches.
@@ -418,26 +492,44 @@ impl Engine {
 
     /// How many problems currently have warm caches.
     pub fn cached_problems(&self) -> usize {
-        self.registry.lock().unwrap().entries.len()
+        lock_tolerant(&self.registry).entries.len()
+    }
+
+    /// Drops the cache entry for `problem`, returning whether one existed.
+    ///
+    /// This is the panic-isolation hook: when a run panics mid-flight
+    /// ([`crate::Session::run_caught`]), the problem's caches may hold
+    /// poisoned locks or half-applied state, so the entry is discarded —
+    /// the next session on the problem starts cold (or from the warm-start
+    /// store) but *correct*, and no other problem is affected.  Sessions
+    /// already holding the old entry keep their `Arc` and simply stop
+    /// sharing.
+    pub fn evict_problem(&self, problem: &Problem) -> bool {
+        let key = ProblemKey::for_problem(problem);
+        lock_tolerant(&self.registry).entries.remove(&key).is_some()
     }
 
     /// Persists every live cache entry to `dir` as one snapshot file per
-    /// problem, named by the problem fingerprint.  Files are written to a
-    /// temporary sibling first and atomically renamed into place, so a crash
-    /// (or a concurrent reader — another engine process warm-starting from
-    /// the same directory) never observes a torn snapshot.  Returns how many
-    /// snapshots were written.
+    /// problem, named by the problem fingerprint.  Each file is written to a
+    /// temporary sibling, **fsynced**, and only then atomically renamed into
+    /// place, so neither a crash mid-checkpoint nor a concurrent reader —
+    /// another engine process warm-starting from the same directory — can
+    /// ever observe a torn snapshot: without the fsync, the rename could be
+    /// durable before the data, and a power loss would leave a
+    /// correctly-named file with truncated contents for every later restore
+    /// to reject.  Returns how many snapshots were written.
     ///
     /// Saving is cheap relative to the sweeps the snapshots replace, but not
     /// free; a long-lived service calls this at checkpoints (shutdown,
     /// deploy, periodic flush), not per run.
     pub fn save_state(&self, dir: impl AsRef<Path>) -> std::io::Result<usize> {
+        use std::io::Write as _;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         // Snapshot the entry list, then serialize outside the registry lock
         // (serialization can be large; sessions must not stall behind it).
         let entries: Vec<Arc<ProblemCaches>> = {
-            let registry = self.registry.lock().unwrap();
+            let registry = lock_tolerant(&self.registry);
             registry
                 .entries
                 .values()
@@ -449,9 +541,20 @@ impl Engine {
             let hex = caches.fingerprint().to_hex();
             let tmp = dir.join(format!("{hex}.json.tmp"));
             let path = dir.join(format!("{hex}.json"));
-            std::fs::write(&tmp, caches.snapshot_json().render_pretty())?;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(caches.snapshot_json().render_pretty().as_bytes())?;
+            // Durability point: the bytes must hit stable storage before the
+            // rename makes them reachable under the real name.
+            file.sync_all()?;
+            drop(file);
             std::fs::rename(&tmp, &path)?;
             written += 1;
+        }
+        // Make the renames themselves durable (directory metadata).  Not
+        // every platform lets a directory be fsynced; this is best-effort on
+        // top of the per-file guarantee above.
+        if written > 0 {
+            let _ = std::fs::File::open(dir).and_then(|d| d.sync_all());
         }
         Ok(written)
     }
@@ -481,7 +584,7 @@ impl Engine {
             Some(dir) => ProblemCaches::restore_or_new(problem, key.fingerprint, dir),
             None => ProblemCaches::new(problem, key.fingerprint),
         });
-        let mut registry = self.registry.lock().unwrap();
+        let mut registry = lock_tolerant(&self.registry);
         registry.clock += 1;
         let stamp = registry.clock;
         // Double-checked: another session may have created the entry while we
@@ -505,7 +608,7 @@ impl Engine {
 
     /// Refreshes and returns the live entry for `key`, when one exists.
     fn touch(&self, key: &ProblemKey) -> Option<Arc<ProblemCaches>> {
-        let mut registry = self.registry.lock().unwrap();
+        let mut registry = lock_tolerant(&self.registry);
         registry.clock += 1;
         let stamp = registry.clock;
         let (recency, entry) = registry.entries.get_mut(key)?;
@@ -768,7 +871,8 @@ mod tests {
         let path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));
 
         // Truncate the snapshot mid-file: parse fails, the run is cold and
-        // still correct.
+        // still correct — and the broken file is quarantined so the next
+        // process start does not re-parse it.
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() / 2]).unwrap();
         let tampered = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
@@ -776,6 +880,10 @@ mod tests {
         assert_eq!(result.outcome, cold.outcome);
         assert_eq!(result.stats.warm_start_loads, 0, "{:?}", result.stats);
         assert_eq!(result.stats.verification_cache_hits, 0);
+        assert_eq!(result.stats.warm_start_quarantined, 1, "{:?}", result.stats);
+        let quarantined = dir.join(format!("{}.json.corrupt", problem.fingerprint().to_hex()));
+        assert!(quarantined.is_file(), "{quarantined:?}");
+        assert!(!path.is_file(), "the broken file must be moved, not copied");
 
         // A version bump is rejected just as cleanly.
         let bumped = text.replacen("\"version\": 2", "\"version\": 999", 1);
@@ -785,6 +893,7 @@ mod tests {
         let result = mismatched.run(&problem, &options);
         assert_eq!(result.outcome, cold.outcome);
         assert_eq!(result.stats.warm_start_loads, 0);
+        assert_eq!(result.stats.warm_start_quarantined, 1);
 
         // A snapshot renamed onto another problem's fingerprint is refused.
         std::fs::write(&path, &text).unwrap();

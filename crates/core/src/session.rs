@@ -144,7 +144,48 @@ impl<'e, 'p> Session<'e, 'p> {
             Mode::OneShot => modes::one_shot::run(ctx),
         };
         result.stats.warm_start_loads = self.caches.warm_start_loads();
+        result.stats.warm_start_quarantined = self.caches.warm_start_quarantined();
         result
+    }
+
+    /// [`Session::run_with`], with the run isolated behind a panic boundary.
+    ///
+    /// A long-lived service cannot let one defective run take down the
+    /// process: this entry point catches a panic anywhere inside the run
+    /// (interpreter, verifier, synthesizer, observer) and converts it into
+    /// an `Err` carrying the panic message.  Because the panicking thread
+    /// may have been holding locks inside this problem's shared caches —
+    /// leaving them poisoned or half-updated — the problem's engine entry is
+    /// **evicted** ([`Engine::evict_problem`]) before returning: subsequent
+    /// runs of the problem start from a fresh (or warm-start-restored) entry
+    /// instead of tripping over the wreckage, and no other problem's caches
+    /// are touched.  Runs that complete normally are unaffected: their
+    /// caches stay warm.
+    pub fn run_caught(
+        &self,
+        options: &RunOptions,
+        observer: Option<&mut dyn RunObserver>,
+        cancel: Option<CancelToken>,
+    ) -> Result<RunResult, String> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_with(options, observer, cancel)
+        }));
+        outcome.map_err(|payload| {
+            self.engine.evict_problem(self.problem);
+            panic_message(payload.as_ref())
+        })
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -241,6 +282,39 @@ mod tests {
         let result = session.run_cancellable(&RunOptions::quick(), token);
         assert_eq!(result.outcome, Outcome::Cancelled);
         assert_eq!(result.stats.synthesis_calls, 0);
+    }
+
+    #[test]
+    fn panicking_runs_are_caught_and_quarantine_the_entry() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let engine = Engine::with_defaults();
+        let session = engine.session(&problem);
+        assert_eq!(engine.cached_problems(), 1);
+
+        // An observer that panics mid-run stands in for any defect inside
+        // the run boundary (interpreter bug, poisoned cache, …).
+        let mut bomb = |_: &RunEvent| panic!("chaos: observer exploded");
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log clean
+        let caught = session.run_caught(&RunOptions::quick(), Some(&mut bomb), None);
+        std::panic::set_hook(hook);
+        let message = caught.expect_err("the run must report the panic");
+        assert!(message.contains("observer exploded"), "{message}");
+
+        // The possibly-wrecked entry is gone; a fresh run works and is
+        // correct.
+        assert_eq!(engine.cached_problems(), 0, "entry must be evicted");
+        let retry = engine.run(&problem, &RunOptions::quick());
+        assert!(retry.is_success(), "{}", retry.outcome);
+
+        // Runs that do not panic pass through run_caught untouched — and
+        // keep their caches.
+        let session = engine.session(&problem);
+        let fine = session
+            .run_caught(&RunOptions::quick(), None, None)
+            .expect("clean run");
+        assert_eq!(fine.outcome, retry.outcome);
+        assert_eq!(fine.stats.pool_builds, 0, "warm entry survived");
     }
 
     #[test]

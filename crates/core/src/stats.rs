@@ -56,6 +56,12 @@ pub struct RunStats {
     /// engines without a warm-start directory; identical for every run
     /// sharing the restored entry.
     pub warm_start_loads: u64,
+    /// Warm-start snapshot files that failed to restore and were quarantined
+    /// (renamed to `<fingerprint>.json.corrupt`) when the problem's engine
+    /// entry was created.  `0` when the snapshot was missing or restored
+    /// cleanly; like `warm_start_loads`, identical for every run sharing the
+    /// entry.
+    pub warm_start_quarantined: u64,
     /// Candidate terms enumerated by the synthesis engine (pre-dedup) across
     /// all guesses of the run.
     pub synth_terms_enumerated: u64,
@@ -176,6 +182,10 @@ impl RunStats {
             ),
             ("warm_start_loads", Json::Num(self.warm_start_loads as f64)),
             (
+                "warm_start_quarantined",
+                Json::Num(self.warm_start_quarantined as f64),
+            ),
+            (
                 "synth_terms_enumerated",
                 Json::Num(self.synth_terms_enumerated as f64),
             ),
@@ -248,6 +258,7 @@ impl RunStats {
             verification_cache_hits: counter("verification_cache_hits")?,
             check_cache_evictions: counter("check_cache_evictions")?,
             warm_start_loads: counter("warm_start_loads")?,
+            warm_start_quarantined: counter("warm_start_quarantined")?,
             synth_terms_enumerated: counter("synth_terms_enumerated")?,
             synth_column_appends: counter("synth_column_appends")?,
             synth_eq_class_splits: counter("synth_eq_class_splits")?,
@@ -302,6 +313,7 @@ mod tests {
             verification_cache_hits: 4,
             check_cache_evictions: 2,
             warm_start_loads: 3,
+            warm_start_quarantined: 1,
             synth_terms_enumerated: 678,
             synth_column_appends: 6,
             synth_eq_class_splits: 2,

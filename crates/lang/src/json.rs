@@ -1,16 +1,25 @@
 //! A tiny JSON reader/writer (shared by the experiment harness, the
-//! run-statistics serializers and the warm-start cache snapshots).
+//! run-statistics serializers, the warm-start cache snapshots and the
+//! network server's wire protocol).
 //!
 //! The build environment is fully offline, so `serde`/`serde_json` are not
 //! available; the consumers only need to round-trip flat result rows and
 //! cache snapshots, which this module covers with a plain recursive-descent
 //! parser and a pretty printer. The surface is deliberately small: [`Json`]
-//! values, [`parse`], [`Json::render`] / [`Json::render_pretty`], typed
-//! accessors, and the structural encoding of first-order runtime values
-//! ([`value_to_json`] / [`value_from_json`]).
+//! values, [`parse`] / [`parse_with_limits`], [`Json::render`] /
+//! [`Json::render_pretty`], typed accessors, the structural encoding of
+//! first-order runtime values ([`value_to_json`] / [`value_from_json`]), and
+//! the newline-delimited framing layer ([`FrameReader`] / [`write_frame`])
+//! the TCP front end and its clients speak.
+//!
+//! The parser is recursive-descent, so untrusted input could otherwise
+//! overflow the stack with a deeply nested document; every entry point
+//! therefore enforces a nesting-depth ceiling ([`DEFAULT_MAX_DEPTH`] unless
+//! the caller picks a tighter one).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{ErrorKind, Read, Write};
 
 use crate::symbol::Symbol;
 use crate::value::Value;
@@ -250,11 +259,27 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Parses a complete JSON document (trailing whitespace allowed).
+/// The nesting-depth ceiling of [`parse`].  Deep enough for every snapshot
+/// the repo writes (structural value encodings nest two levels per
+/// constructor, and verifier bounds keep values small), shallow enough that
+/// a crafted `[[[[…` document errors out long before the parser's recursion
+/// threatens the stack.
+pub const DEFAULT_MAX_DEPTH: usize = 1024;
+
+/// Parses a complete JSON document (trailing whitespace allowed), with the
+/// [`DEFAULT_MAX_DEPTH`] nesting ceiling.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
+    parse_with_limits(input, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse`] with an explicit nesting-depth ceiling — servers decoding
+/// untrusted frames pick a much tighter bound than the snapshot loaders.
+pub fn parse_with_limits(input: &str, max_depth: usize) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -268,6 +293,8 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
@@ -319,12 +346,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -335,6 +372,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -344,10 +382,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -363,6 +403,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -437,6 +478,170 @@ impl Parser<'_> {
     }
 }
 
+/// The default per-frame byte ceiling of the newline-delimited framing
+/// layer (1 MiB — an order of magnitude above any legitimate problem
+/// submission, far below what an unbounded line could allocate).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One step of [`FrameReader::read_frame`].
+///
+/// `Oversized` and `InvalidUtf8` are *per-frame* defects: the stream's line
+/// framing survives them, so a server can reply with a structured error and
+/// keep the connection — unlike `Err`, after which the transport is gone.
+#[derive(Debug)]
+pub enum FrameResult {
+    /// One complete newline-terminated line (without the terminator).
+    Frame(String),
+    /// The read timed out (the socket's read timeout elapsed) with the frame
+    /// still incomplete; poll again.  [`FrameReader::partial_len`] tells how
+    /// many bytes of the unfinished frame have arrived — the caller's
+    /// slow-writer watchdog feeds on it.
+    WouldBlock,
+    /// End of stream.  Clean when no partial frame was pending
+    /// ([`FrameReader::partial_len`] `== 0`), a mid-frame disconnect
+    /// otherwise.
+    Closed {
+        /// `true` when the peer disconnected mid-frame.
+        mid_frame: bool,
+    },
+    /// The current line exceeded the byte ceiling.  The offending line's
+    /// remaining bytes are discarded internally; subsequent reads resume at
+    /// the next line.
+    Oversized {
+        /// The configured ceiling that was exceeded.
+        limit: usize,
+    },
+    /// A complete line arrived but was not valid UTF-8; the frame is
+    /// discarded, the stream remains framed.
+    InvalidUtf8,
+    /// A transport error other than a timeout.
+    Err(std::io::Error),
+}
+
+/// An incremental decoder for newline-delimited frames over any [`Read`].
+///
+/// The reader owns a bounded buffer: a line longer than `max_bytes` is
+/// reported as [`FrameResult::Oversized`] and *discarded as it streams in*,
+/// so a hostile peer can make the server hold at most `max_bytes + 8 KiB`,
+/// never an unbounded line.  Partial frames persist across calls, which is
+/// what lets the transport carry a read timeout: a timeout surfaces as
+/// [`FrameResult::WouldBlock`] and the next call resumes exactly where the
+/// bytes stopped.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already handed out as frames (consumed prefix).
+    start: usize,
+    max_bytes: usize,
+    /// `true` while discarding the tail of an oversized line.
+    discarding: bool,
+}
+
+impl FrameReader {
+    /// A reader enforcing the given per-frame byte ceiling.
+    pub fn new(max_bytes: usize) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            max_bytes,
+            discarding: false,
+        }
+    }
+
+    /// How many bytes of an unfinished frame are currently buffered.
+    pub fn partial_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Reads until one frame (or one of the structured defects) is
+    /// available.  Blocks only as long as the underlying transport does.
+    pub fn read_frame(&mut self, reader: &mut impl Read) -> FrameResult {
+        let mut chunk = [0u8; 8192];
+        loop {
+            // Serve a complete line from the buffer first.
+            while let Some(nl) = self.buf[self.start..].iter().position(|b| *b == b'\n') {
+                let line_end = self.start + nl;
+                let line: Vec<u8> = self.buf[self.start..line_end].to_vec();
+                self.start = line_end + 1;
+                self.compact();
+                if self.discarding {
+                    // The tail of an oversized line: swallow it and resume
+                    // normal framing with the next line.
+                    self.discarding = false;
+                    continue;
+                }
+                if line.len() > self.max_bytes {
+                    // The whole line arrived before the cap check ran (one
+                    // large read): same defect, nothing left to discard.
+                    return FrameResult::Oversized {
+                        limit: self.max_bytes,
+                    };
+                }
+                // Tolerate CRLF peers.
+                let line = match line.last() {
+                    Some(b'\r') => &line[..line.len() - 1],
+                    _ => &line[..],
+                };
+                // Skip blank keep-alive lines rather than erroring on them.
+                if line.is_empty() {
+                    continue;
+                }
+                return match String::from_utf8(line.to_vec()) {
+                    Ok(text) => FrameResult::Frame(text),
+                    Err(_) => FrameResult::InvalidUtf8,
+                };
+            }
+            if self.discarding {
+                // Still inside an oversized line: drop everything buffered.
+                self.buf.clear();
+                self.start = 0;
+            } else if self.partial_len() > self.max_bytes {
+                self.buf.clear();
+                self.start = 0;
+                self.discarding = true;
+                return FrameResult::Oversized {
+                    limit: self.max_bytes,
+                };
+            }
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    return FrameResult::Closed {
+                        mid_frame: self.partial_len() > 0 || self.discarding,
+                    }
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    return FrameResult::WouldBlock
+                }
+                Err(e) => return FrameResult::Err(e),
+            }
+        }
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Writes `json` as one newline-terminated frame and flushes, so a frame is
+/// either fully on the wire or reported as an error — readers never see a
+/// torn line from a well-behaved writer.
+pub fn write_frame(writer: &mut impl Write, json: &Json) -> std::io::Result<()> {
+    let mut line = json.render();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +674,116 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("nul").is_err());
         assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the ceiling: fine (depth counts containers, so 8 nested
+        // arrays parse with max_depth 8).
+        let ok = format!("{}1{}", "[".repeat(8), "]".repeat(8));
+        assert!(parse_with_limits(&ok, 8).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(9), "]".repeat(9));
+        let err = parse_with_limits(&too_deep, 8).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Mixed containers count too.
+        assert!(parse_with_limits(r#"{"a":[{"b":[1]}]}"#, 3).is_err());
+        assert!(parse_with_limits(r#"{"a":[{"b":[1]}]}"#, 4).is_ok());
+        // The default ceiling refuses a pathological document instead of
+        // recursing toward a stack overflow.
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+        // Siblings do not accumulate depth.
+        assert!(parse_with_limits("[[1],[2],[3]]", 2).is_ok());
+    }
+
+    #[test]
+    fn frames_split_and_survive_defects() {
+        let mut reader = FrameReader::new(64);
+        // Two frames in one chunk, a CRLF line, a blank keep-alive.
+        let mut input = std::io::Cursor::new(b"{\"a\":1}\n\r\n{\"b\":2}\r\n".to_vec());
+        match reader.read_frame(&mut input) {
+            FrameResult::Frame(s) => assert_eq!(s, "{\"a\":1}"),
+            other => panic!("{other:?}"),
+        }
+        match reader.read_frame(&mut input) {
+            FrameResult::Frame(s) => assert_eq!(s, "{\"b\":2}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            reader.read_frame(&mut input),
+            FrameResult::Closed { mid_frame: false }
+        ));
+
+        // Oversized line in one read, then framing resumes on the next line.
+        let mut reader = FrameReader::new(8);
+        let mut input = std::io::Cursor::new(b"waaaaaaaaaay too long\nok\n".to_vec());
+        assert!(matches!(
+            reader.read_frame(&mut input),
+            FrameResult::Oversized { limit: 8 }
+        ));
+        match reader.read_frame(&mut input) {
+            FrameResult::Frame(s) => assert_eq!(s, "ok"),
+            other => panic!("{other:?}"),
+        }
+
+        // Oversized line streamed in small chunks: bounded buffering, then
+        // resync.
+        struct Trickle(Vec<u8>, usize);
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                let n = buf.len().min(3).min(self.0.len() - self.1);
+                buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                Ok(n)
+            }
+        }
+        let mut reader = FrameReader::new(8);
+        let mut input = Trickle(b"0123456789abcdef0123\nnext\n".to_vec(), 0);
+        assert!(matches!(
+            reader.read_frame(&mut input),
+            FrameResult::Oversized { .. }
+        ));
+        match reader.read_frame(&mut input) {
+            FrameResult::Frame(s) => assert_eq!(s, "next"),
+            other => panic!("{other:?}"),
+        }
+
+        // Non-UTF-8 is a per-frame defect.
+        let mut reader = FrameReader::new(64);
+        let mut input = std::io::Cursor::new(b"\xff\xfe\xfd\nstill here\n".to_vec());
+        assert!(matches!(
+            reader.read_frame(&mut input),
+            FrameResult::InvalidUtf8
+        ));
+        match reader.read_frame(&mut input) {
+            FrameResult::Frame(s) => assert_eq!(s, "still here"),
+            other => panic!("{other:?}"),
+        }
+
+        // EOF mid-frame is distinguishable from a clean close.
+        let mut reader = FrameReader::new(64);
+        let mut input = std::io::Cursor::new(b"{\"half\":".to_vec());
+        assert!(matches!(
+            reader.read_frame(&mut input),
+            FrameResult::Closed { mid_frame: true }
+        ));
+    }
+
+    #[test]
+    fn write_frame_round_trips() {
+        let json = Json::obj([("op", Json::Str("ping".into())), ("n", Json::Num(3.0))]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &json).unwrap();
+        assert!(wire.ends_with(b"\n"));
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+        let mut input = std::io::Cursor::new(wire);
+        match reader.read_frame(&mut input) {
+            FrameResult::Frame(s) => assert_eq!(parse(&s).unwrap(), json),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Bounded admission: the load-shedding queue between connections and the
+//! worker pool.
+//!
+//! Admission is where the server turns *overload* into *backpressure*
+//! instead of latency collapse.  The queue is strictly bounded
+//! ([`crate::ServerConfig::max_queue_depth`]); a submit beyond the bound (or
+//! beyond the submitting client's fair share,
+//! [`crate::ServerConfig::per_client_quota`]) is rejected immediately with a
+//! [`ShedReason`] and a `retry_after_ms` hint that scales with the current
+//! backlog per worker — clients learn to back off harder the more overloaded
+//! the server is.
+//!
+//! The queue is also the drain gate: [`Admission::begin_drain`] atomically
+//! stops admission (everything new sheds with [`ShedReason::Draining`])
+//! while letting queued and running work finish, and
+//! [`Admission::wait_idle`] lets the drain coordinator wait for the backlog
+//! to clear.  All waiting is condvar-based; locks are poison-tolerant so a
+//! panicking worker cannot wedge admission for everyone else.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::protocol::ShedReason;
+
+/// Ceiling on the backoff hint handed to shed clients.
+const MAX_RETRY_AFTER_MS: u64 = 30_000;
+
+/// The bounded admission queue.  `J` is the job payload; the queue itself
+/// only interprets the submitting client's id (for fairness accounting).
+#[derive(Debug)]
+pub struct Admission<J> {
+    state: Mutex<State<J>>,
+    wake: Condvar,
+    workers: usize,
+    max_depth: usize,
+    quota: usize,
+    retry_base_ms: u64,
+}
+
+#[derive(Debug)]
+struct State<J> {
+    queue: VecDeque<(u64, J)>,
+    /// Queued + running jobs per client id.
+    in_flight: HashMap<u64, usize>,
+    /// Jobs currently running on workers.
+    active: usize,
+    draining: bool,
+    shutdown: bool,
+}
+
+/// What a worker's [`Admission::next`] poll produced.
+#[derive(Debug)]
+pub enum Next<J> {
+    /// A job to execute, with the id of the client that submitted it.
+    Job(u64, J),
+    /// Nothing arrived within the patience window; poll again.
+    Idle,
+    /// The queue is shut down and empty; the worker should exit.
+    Shutdown,
+}
+
+impl<J> Admission<J> {
+    /// Creates a queue sized by the server's admission budget.
+    pub fn new(workers: usize, max_depth: usize, quota: usize, retry_base_ms: u64) -> Self {
+        Admission {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                in_flight: HashMap::new(),
+                active: 0,
+                draining: false,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            workers: workers.max(1),
+            max_depth,
+            quota,
+            retry_base_ms,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<J>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The backoff hint: the base interval scaled by how many jobs are
+    /// already waiting or running per worker.
+    fn retry_hint(&self, state: &State<J>) -> u64 {
+        let backlog_per_worker = (state.queue.len() + state.active) as u64 / self.workers as u64;
+        self.retry_base_ms
+            .saturating_mul(1 + backlog_per_worker)
+            .min(MAX_RETRY_AFTER_MS)
+    }
+
+    /// Admits a job, or sheds it with a reason and a backoff hint.  Returns
+    /// the queue depth the job joined at (including itself).
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, client: u64, job: J) -> Result<usize, (ShedReason, u64)> {
+        let mut state = self.lock();
+        if state.draining || state.shutdown {
+            let hint = self.retry_hint(&state);
+            return Err((ShedReason::Draining, hint));
+        }
+        if state.in_flight.get(&client).copied().unwrap_or(0) >= self.quota {
+            let hint = self.retry_hint(&state);
+            return Err((ShedReason::ClientQuota, hint));
+        }
+        if state.queue.len() >= self.max_depth {
+            let hint = self.retry_hint(&state);
+            return Err((ShedReason::QueueFull, hint));
+        }
+        *state.in_flight.entry(client).or_insert(0) += 1;
+        state.queue.push_back((client, job));
+        self.wake.notify_one();
+        Ok(state.queue.len())
+    }
+
+    /// Takes the next job, waiting up to `patience` for one to arrive.
+    /// Workers call this in a loop; [`Next::Idle`] lets them interleave
+    /// shutdown checks with waiting.
+    pub fn next(&self, patience: Duration) -> Next<J> {
+        let mut state = self.lock();
+        if let Some((client, job)) = state.queue.pop_front() {
+            state.active += 1;
+            return Next::Job(client, job);
+        }
+        if state.shutdown {
+            return Next::Shutdown;
+        }
+        let (mut state, _) = self
+            .wake
+            .wait_timeout(state, patience)
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some((client, job)) = state.queue.pop_front() {
+            state.active += 1;
+            return Next::Job(client, job);
+        }
+        if state.shutdown {
+            Next::Shutdown
+        } else {
+            Next::Idle
+        }
+    }
+
+    /// Marks a job taken by [`Admission::next`] as finished, releasing its
+    /// client-quota slot and waking idle waiters.
+    pub fn finish(&self, client: u64) {
+        let mut state = self.lock();
+        state.active = state.active.saturating_sub(1);
+        release_quota(&mut state.in_flight, client);
+        self.wake.notify_all();
+    }
+
+    /// Stops admission: every later submit sheds with
+    /// [`ShedReason::Draining`].  Queued and running jobs are unaffected.
+    /// Idempotent.
+    pub fn begin_drain(&self) {
+        self.lock().draining = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Shuts the queue down: workers drain remaining jobs, then see
+    /// [`Next::Shutdown`].
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.wake.notify_all();
+    }
+
+    /// Waits until no job is queued or running, up to `timeout`.  Returns
+    /// whether the queue went idle in time.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.queue.is_empty() && state.active == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            state = self
+                .wake
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Empties the queue, returning the jobs that never started (their
+    /// quota slots are released).  The drain coordinator uses this to
+    /// cancel queued work when the drain patience runs out.
+    pub fn drain_queue(&self) -> Vec<(u64, J)> {
+        let mut state = self.lock();
+        let jobs: Vec<(u64, J)> = state.queue.drain(..).collect();
+        for (client, _) in &jobs {
+            release_quota(&mut state.in_flight, *client);
+        }
+        self.wake.notify_all();
+        jobs
+    }
+
+    /// Current load: `(queued, active)`.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.lock();
+        (state.queue.len(), state.active)
+    }
+}
+
+fn release_quota(in_flight: &mut HashMap<u64, usize>, client: u64) {
+    if let Some(count) = in_flight.get_mut(&client) {
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            in_flight.remove(&client);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_quota_and_shed_reasons() {
+        // 1 worker, depth 2, quota 2.
+        let queue: Admission<&'static str> = Admission::new(1, 2, 2, 100);
+        assert_eq!(queue.submit(1, "a"), Ok(1));
+        assert_eq!(queue.submit(1, "b"), Ok(2));
+        // Client 1 is at quota; client 2 hits the depth bound instead.
+        let (reason, hint) = queue.submit(1, "c").unwrap_err();
+        assert_eq!(reason, ShedReason::ClientQuota);
+        assert!(hint >= 100);
+        let (reason, _) = queue.submit(2, "d").unwrap_err();
+        assert_eq!(reason, ShedReason::QueueFull);
+
+        // A worker takes one; the freed depth admits client 2, but client 1
+        // stays at quota until `finish` (quota covers queued + running).
+        assert!(matches!(
+            queue.next(Duration::from_millis(1)),
+            Next::Job(1, "a")
+        ));
+        assert!(matches!(
+            queue.submit(1, "e"),
+            Err((ShedReason::ClientQuota, _))
+        ));
+        assert_eq!(queue.submit(2, "f"), Ok(2));
+        queue.finish(1);
+        // Client 1's quota slot is freed, but the depth bound (2) is full
+        // again ("b" and "f"): the shed reason switches.
+        let (reason, _) = queue.submit(1, "g").unwrap_err();
+        assert_eq!(reason, ShedReason::QueueFull);
+        assert_eq!(queue.load(), (2, 0));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog() {
+        let queue: Admission<usize> = Admission::new(1, 4, 64, 100);
+        for job in 0..4 {
+            queue.submit(9, job).unwrap();
+        }
+        let (_, hint) = queue.submit(9, 99).unwrap_err();
+        // 4 queued jobs on 1 worker: base * (1 + 4).
+        assert_eq!(hint, 500);
+    }
+
+    #[test]
+    fn drain_stops_admission_and_idles() {
+        let queue: Admission<usize> = Admission::new(1, 8, 8, 10);
+        queue.submit(1, 7).unwrap();
+        queue.begin_drain();
+        assert!(queue.is_draining());
+        assert!(matches!(queue.submit(1, 8), Err((ShedReason::Draining, _))));
+        // Still one queued job: not idle yet.
+        assert!(!queue.wait_idle(Duration::from_millis(10)));
+        let leftover = queue.drain_queue();
+        assert_eq!(leftover, vec![(1, 7)]);
+        assert!(queue.wait_idle(Duration::from_millis(10)));
+        // Quota slot was released with the queue entry.
+        assert!(queue.load() == (0, 0));
+        queue.shutdown();
+        assert!(matches!(
+            queue.next(Duration::from_millis(1)),
+            Next::Shutdown
+        ));
+    }
+}

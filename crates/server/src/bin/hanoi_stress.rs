@@ -1,0 +1,947 @@
+//! Stress and chaos harness for `hanoi-server`.
+//!
+//! ```text
+//! hanoi_stress --spawn [--mode stress|chaos|both] [--clients N]
+//!              [--requests N] [--out BENCH_verification.json]
+//! hanoi_stress --addr HOST:PORT [--mode stress] [...]
+//! ```
+//!
+//! With `--spawn` the harness runs a chaos-enabled server in-process
+//! (including a deliberately corrupted warm-start directory at boot, to
+//! exercise snapshot quarantine) and asserts the full robustness contract:
+//!
+//! * **stress** — many concurrent clients hammer the server with
+//!   inference runs, honouring `retry_after_ms` backoff when shed;
+//!   round-trip latency lands in a p50/p95/p99 histogram.  An overload
+//!   burst at 2× the admission budget must produce `shed` replies carrying
+//!   `retry_after_ms`.
+//! * **chaos** — malformed / truncated / oversized / non-UTF-8 / over-deep
+//!   frames, mid-frame disconnects, slow-loris writers, cancel storms and
+//!   injected worker panics, interleaved with well-formed requests that
+//!   must keep working; completed answers are verified against direct
+//!   [`Engine`] runs.
+//! * **drain** — a protocol-level `drain` must checkpoint warm-start
+//!   snapshots, and a fresh engine booted from them must report
+//!   `warm_start_loads > 0`.
+//!
+//! Any violated expectation is reported on stderr and the process exits
+//! non-zero.  With `--out`, the measurements are merged into the given
+//! JSON report under a `server_stress` key (other keys are preserved).
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hanoi::{Engine, EngineConfig, RunOptions};
+use hanoi_abstraction::Problem;
+use hanoi_bench::latency::LatencyHistogram;
+use hanoi_lang::json::{self, Json};
+use hanoi_server::{Server, ServerConfig};
+
+/// A named chaos scenario: a closure probing one failure mode of the server.
+type Scenario<'a> = Box<dyn Fn() -> Result<(), String> + 'a>;
+
+/// A problem cheap enough to run hundreds of times under stress.
+const TRIVIAL: &str = r#"
+    type nat = O | S of nat
+    interface I = sig
+      type t
+      val make : t
+    end
+    module M : I = struct
+      type t = nat
+      let make : t = O
+    end
+    spec (s : t) = s == s
+"#;
+
+/// A problem with a real (non-trivial) invariant, for answer verification.
+const LIST_SET: &str = r#"
+    type nat = O | S of nat
+    type list = Nil | Cons of nat * list
+
+    interface SET = sig
+      type t
+      val empty : t
+      val insert : t -> nat -> t
+      val delete : t -> nat -> t
+      val lookup : t -> nat -> bool
+    end
+
+    module ListSet : SET = struct
+      type t = list
+      let empty : t = Nil
+      let rec lookup (l : t) (x : nat) : bool =
+        match l with
+        | Nil -> False
+        | Cons (hd, tl) -> hd == x || lookup tl x
+        end
+      let insert (l : t) (x : nat) : t =
+        if lookup l x then l else Cons (x, l)
+      let rec delete (l : t) (x : nat) : t =
+        match l with
+        | Nil -> Nil
+        | Cons (hd, tl) -> if hd == x then tl else Cons (hd, delete tl x)
+        end
+    end
+
+    spec (s : t) (i : nat) =
+      not (lookup empty i) && lookup (insert s i) i && not (lookup (delete s i) i)
+"#;
+
+// ---------------------------------------------------------------------------
+// Protocol client
+// ---------------------------------------------------------------------------
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    /// Answers that arrived while waiting for a different id (runs finish
+    /// in completion order, not submission order).
+    parked: std::collections::HashMap<String, Json>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            parked: std::collections::HashMap::new(),
+        })
+    }
+
+    fn send(&mut self, frame: &Json) -> std::io::Result<()> {
+        json::write_frame(self.reader.get_mut(), frame)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.reader.get_mut().write_all(bytes)?;
+        self.reader.get_mut().flush()
+    }
+
+    fn read_frame(&mut self) -> std::io::Result<Json> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return json::parse(trimmed)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+        }
+    }
+
+    /// Reads frames until the `result` or `error` frame for `id` arrives
+    /// (skipping `accepted` acks and streamed events).  A `shed` frame for
+    /// `id` is returned as-is.  Answers for *other* ids are parked, not
+    /// dropped — pipelined runs complete in whatever order the workers
+    /// finish them.
+    fn wait_answer(&mut self, id: &str) -> std::io::Result<Json> {
+        if let Some(frame) = self.parked.remove(id) {
+            return Ok(frame);
+        }
+        loop {
+            let frame = self.read_frame()?;
+            let reply = frame.get("reply").and_then(Json::as_str).unwrap_or("");
+            let frame_id = frame.get("id").and_then(Json::as_str).unwrap_or("");
+            match reply {
+                "result" | "error" | "shed" if frame_id == id => return Ok(frame),
+                "result" | "error" | "shed" if !frame_id.is_empty() => {
+                    self.parked.insert(frame_id.to_string(), frame);
+                }
+                _ => continue,
+            }
+        }
+    }
+}
+
+fn submit_frame(id: &str, source: &str) -> Json {
+    Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("source", Json::Str(source.to_string())),
+    ])
+}
+
+fn chaos_submit_frame(id: &str, source: &str, kind: &str, ms: u64) -> Json {
+    let chaos = if kind == "sleep" {
+        Json::obj([
+            ("kind", Json::Str("sleep".to_string())),
+            ("ms", Json::Num(ms as f64)),
+        ])
+    } else {
+        Json::obj([("kind", Json::Str(kind.to_string()))])
+    };
+    Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("source", Json::Str(source.to_string())),
+        ("chaos", chaos),
+    ])
+}
+
+fn op_frame(op: &str) -> Json {
+    Json::obj([("op", Json::Str(op.to_string()))])
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Report {
+    latency: LatencyHistogram,
+    accepted: u64,
+    shed: u64,
+    overload_submitted: u64,
+    overload_accepted: u64,
+    overload_shed: u64,
+    chaos_scenarios: u64,
+    violations: Vec<String>,
+    drain_snapshots: Option<usize>,
+    restart_warm_loads: Option<u64>,
+}
+
+impl Report {
+    fn violation(&mut self, message: impl Into<String>) {
+        let message = message.into();
+        eprintln!("VIOLATION: {message}");
+        self.violations.push(message);
+    }
+
+    fn summary(&mut self, clients: usize, requests: usize) -> Json {
+        Json::obj([
+            ("clients", Json::Num(clients as f64)),
+            ("requests_per_client", Json::Num(requests as f64)),
+            ("latency", self.latency.summary()),
+            ("accepted", Json::Num(self.accepted as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            (
+                "overload",
+                Json::obj([
+                    ("submitted", Json::Num(self.overload_submitted as f64)),
+                    ("accepted", Json::Num(self.overload_accepted as f64)),
+                    ("shed", Json::Num(self.overload_shed as f64)),
+                ]),
+            ),
+            ("chaos_scenarios", Json::Num(self.chaos_scenarios as f64)),
+            ("violations", Json::Num(self.violations.len() as f64)),
+            (
+                "drain_snapshots",
+                match self.drain_snapshots {
+                    Some(n) => Json::Num(n as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "restart_warm_loads",
+                match self.restart_warm_loads {
+                    Some(n) => Json::Num(n as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stress phase
+// ---------------------------------------------------------------------------
+
+/// One client worker: `requests` sequential submits, honouring shed
+/// backoff.  Returns `(latencies, accepted, shed, violations)`.
+fn stress_client(
+    addr: &str,
+    who: usize,
+    requests: usize,
+) -> (Vec<Duration>, u64, u64, Vec<String>) {
+    let mut latencies = Vec::new();
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    let mut violations = Vec::new();
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => return (latencies, 0, 0, vec![format!("client {who}: connect: {e}")]),
+    };
+    for request in 0..requests {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 200 {
+                violations.push(format!("client {who}: request {request} never accepted"));
+                break;
+            }
+            let id = format!("c{who}-r{request}-a{attempts}");
+            let started = Instant::now();
+            if let Err(e) = client.send(&submit_frame(&id, TRIVIAL)) {
+                violations.push(format!("client {who}: send: {e}"));
+                return (latencies, accepted, shed, violations);
+            }
+            let answer = match client.wait_answer(&id) {
+                Ok(answer) => answer,
+                Err(e) => {
+                    violations.push(format!("client {who}: read: {e}"));
+                    return (latencies, accepted, shed, violations);
+                }
+            };
+            match answer.get("reply").and_then(Json::as_str) {
+                Some("shed") => {
+                    shed += 1;
+                    let backoff = answer
+                        .get("retry_after_ms")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(0);
+                    if backoff == 0 {
+                        violations.push(format!("client {who}: shed without retry_after_ms hint"));
+                    }
+                    std::thread::sleep(Duration::from_millis((backoff as u64).clamp(1, 500)));
+                }
+                Some("result") => {
+                    accepted += 1;
+                    latencies.push(started.elapsed());
+                    let status = answer.get("status").and_then(Json::as_str).unwrap_or("");
+                    if status != "invariant" {
+                        violations.push(format!(
+                            "client {who}: trivial run ended `{status}`, expected an invariant"
+                        ));
+                    }
+                    break;
+                }
+                other => {
+                    violations.push(format!(
+                        "client {who}: unexpected answer {:?} to a well-formed submit",
+                        other
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    (latencies, accepted, shed, violations)
+}
+
+fn stress_phase(addr: &str, clients: usize, requests: usize, report: &Mutex<Report>) {
+    let results: Vec<(Vec<Duration>, u64, u64, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|who| scope.spawn(move || stress_client(addr, who, requests)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut report = report.lock().unwrap();
+    for (latencies, accepted, shed, violations) in results {
+        for sample in latencies {
+            report.latency.record(sample);
+        }
+        report.accepted += accepted;
+        report.shed += shed;
+        for violation in violations {
+            report.violation(violation);
+        }
+    }
+}
+
+/// Fires ~2× the admission budget at the server at once (sleep-chaos runs
+/// keep the workers busy so the queue genuinely fills) and checks that
+/// overload produces `shed` replies carrying backoff hints.
+fn overload_phase(addr: &str, budget: usize, quota: usize, report: &Mutex<Report>) {
+    let target = 2 * budget;
+    let client_count = target.div_ceil(quota);
+    let results: Vec<(u64, u64, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..client_count)
+            .map(|who| {
+                scope.spawn(move || {
+                    let mut accepted_ids = Vec::new();
+                    let mut accepted = 0u64;
+                    let mut shed = 0u64;
+                    let mut violations = Vec::new();
+                    let mut client = match Client::connect(addr) {
+                        Ok(client) => client,
+                        Err(e) => return (0, 0, vec![format!("overload {who}: connect: {e}")]),
+                    };
+                    // Pipeline a full quota without waiting: worst-case burst.
+                    for i in 0..quota {
+                        let id = format!("o{who}-{i}");
+                        let frame = chaos_submit_frame(&id, TRIVIAL, "sleep", 150);
+                        if let Err(e) = client.send(&frame) {
+                            violations.push(format!("overload {who}: send: {e}"));
+                            return (accepted, shed, violations);
+                        }
+                    }
+                    let mut pending = 0usize;
+                    for _ in 0..quota {
+                        let frame = match client.read_frame() {
+                            Ok(frame) => frame,
+                            Err(e) => {
+                                violations.push(format!("overload {who}: read: {e}"));
+                                return (accepted, shed, violations);
+                            }
+                        };
+                        match frame.get("reply").and_then(Json::as_str) {
+                            Some("accepted") => {
+                                accepted += 1;
+                                pending += 1;
+                                if let Some(id) = frame.get("id").and_then(Json::as_str) {
+                                    accepted_ids.push(id.to_string());
+                                }
+                            }
+                            Some("shed") => {
+                                shed += 1;
+                                if frame
+                                    .get("retry_after_ms")
+                                    .and_then(Json::as_usize)
+                                    .unwrap_or(0)
+                                    == 0
+                                {
+                                    violations.push(format!(
+                                        "overload {who}: shed without retry_after_ms"
+                                    ));
+                                }
+                            }
+                            other => violations.push(format!(
+                                "overload {who}: unexpected reply {other:?} to a burst submit"
+                            )),
+                        }
+                    }
+                    // Wait the accepted runs out so the server quiesces.
+                    for id in accepted_ids.iter().take(pending) {
+                        if client.wait_answer(id).is_err() {
+                            violations.push(format!("overload {who}: lost the answer to {id}"));
+                            break;
+                        }
+                    }
+                    (accepted, shed, violations)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut report = report.lock().unwrap();
+    for (accepted, shed, violations) in results {
+        report.overload_submitted += quota as u64;
+        report.overload_accepted += accepted;
+        report.overload_shed += shed;
+        for violation in violations {
+            report.violation(violation);
+        }
+    }
+    if report.overload_shed == 0 {
+        report.violation(format!(
+            "overload at 2x budget ({target} submits) produced no shed replies"
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos phase
+// ---------------------------------------------------------------------------
+
+/// Sends `line` raw and expects a structured error reply with `code`,
+/// then proves the stream is still synchronized with a ping.
+fn expect_error_then_ping(addr: &str, raw: &[u8], want_code: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client.send_raw(raw).map_err(|e| format!("send: {e}"))?;
+    let frame = client.read_frame().map_err(|e| format!("read: {e}"))?;
+    let reply = frame.get("reply").and_then(Json::as_str).unwrap_or("");
+    let code = frame.get("code").and_then(Json::as_str).unwrap_or("");
+    if reply != "error" || code != want_code {
+        return Err(format!(
+            "expected an `error`/`{want_code}` reply, got `{reply}`/`{code}`"
+        ));
+    }
+    client
+        .send(&op_frame("ping"))
+        .map_err(|e| format!("ping send: {e}"))?;
+    let pong = client.read_frame().map_err(|e| format!("pong read: {e}"))?;
+    if pong.get("reply").and_then(Json::as_str) != Some("pong") {
+        return Err("stream desynchronized: ping after error did not pong".to_string());
+    }
+    Ok(())
+}
+
+fn scenario_malformed(addr: &str) -> Result<(), String> {
+    for (raw, code) in [
+        (&b"this is not json\n"[..], "parse"),
+        (&b"{\"op\":\n"[..], "parse"),
+        (&b"[1,2,3]\n"[..], "bad-request"),
+        (&b"{\"op\":\"frobnicate\"}\n"[..], "bad-request"),
+        (&b"{\"op\":\"submit\",\"id\":\"x\"}\n"[..], "bad-request"),
+        (&b"\xff\xfe garbage \xfa\n"[..], "encoding"),
+    ] {
+        expect_error_then_ping(addr, raw, code)
+            .map_err(|e| format!("input {:?}: {e}", String::from_utf8_lossy(raw)))?;
+    }
+    // Over-deep nesting: balanced but past the server's depth limit.
+    let mut deep = Vec::new();
+    deep.extend(std::iter::repeat_n(b'[', 300));
+    deep.extend(std::iter::repeat_n(b']', 300));
+    deep.push(b'\n');
+    expect_error_then_ping(addr, &deep, "parse").map_err(|e| format!("deep nesting: {e}"))
+}
+
+fn scenario_oversized(addr: &str, max_frame_bytes: usize) -> Result<(), String> {
+    let mut line = vec![b'a'; max_frame_bytes + 64];
+    line.push(b'\n');
+    expect_error_then_ping(addr, &line, "oversized")
+}
+
+fn scenario_mid_frame_disconnect(addr: &str) -> Result<(), String> {
+    {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        client
+            .send_raw(br#"{"op":"submit","id":"trunc","sour"#)
+            .map_err(|e| format!("send: {e}"))?;
+        // Connection dropped mid-frame here.
+    }
+    let mut probe = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+    probe
+        .send(&op_frame("ping"))
+        .map_err(|e| format!("ping: {e}"))?;
+    let pong = probe.read_frame().map_err(|e| format!("pong: {e}"))?;
+    if pong.get("reply").and_then(Json::as_str) != Some("pong") {
+        return Err("server unavailable after a mid-frame disconnect".to_string());
+    }
+    Ok(())
+}
+
+/// Writes one byte at a time, slower than the server's frame timeout; the
+/// server must cut the connection rather than hold a buffer open forever.
+fn scenario_slow_loris(addr: &str, frame_timeout: Duration) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let deadline = Instant::now() + frame_timeout * 10 + Duration::from_secs(5);
+    let mut cut = false;
+    while Instant::now() < deadline {
+        if client.send_raw(b"{").is_err() {
+            cut = true; // write side failed: server closed on us
+            break;
+        }
+        match client.read_frame() {
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                cut = true;
+                break;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // still open; keep dripping
+            }
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                cut = true;
+                break;
+            }
+            Err(e) => return Err(format!("unexpected read error: {e}")),
+            Ok(frame) => {
+                return Err(format!(
+                    "server answered a partial frame: {}",
+                    frame.render()
+                ))
+            }
+        }
+        std::thread::sleep(frame_timeout / 4);
+    }
+    if !cut {
+        return Err("slow-loris writer was never disconnected".to_string());
+    }
+    // And the server still serves others.
+    let mut probe = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+    probe
+        .send(&op_frame("ping"))
+        .map_err(|e| format!("ping: {e}"))?;
+    probe.read_frame().map_err(|e| format!("pong: {e}"))?;
+    Ok(())
+}
+
+fn scenario_panic_isolation(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    // Warm the caches with a clean run first.
+    client
+        .send(&submit_frame("warm", TRIVIAL))
+        .map_err(|e| format!("send: {e}"))?;
+    let warm = client
+        .wait_answer("warm")
+        .map_err(|e| format!("read: {e}"))?;
+    if warm.get("status").and_then(Json::as_str) != Some("invariant") {
+        return Err("warm-up run failed".to_string());
+    }
+    // Injected worker panic: the answer is a structured error, not a hang.
+    client
+        .send(&chaos_submit_frame("boom", TRIVIAL, "panic", 0))
+        .map_err(|e| format!("send: {e}"))?;
+    let boom = client
+        .wait_answer("boom")
+        .map_err(|e| format!("read: {e}"))?;
+    if boom.get("reply").and_then(Json::as_str) != Some("error")
+        || boom.get("code").and_then(Json::as_str) != Some("panic")
+    {
+        return Err(format!(
+            "expected a `panic` error for the injected panic, got {}",
+            boom.render()
+        ));
+    }
+    // The process survived, the connection survived, and the problem's warm
+    // caches survived (a worker-layer panic never touches them): the next
+    // run must not rebuild the value pools.
+    client
+        .send(&submit_frame("after", TRIVIAL))
+        .map_err(|e| format!("send: {e}"))?;
+    let after = client
+        .wait_answer("after")
+        .map_err(|e| format!("read: {e}"))?;
+    if after.get("status").and_then(Json::as_str) != Some("invariant") {
+        return Err("run after the panic failed".to_string());
+    }
+    let pool_builds = after
+        .get("stats")
+        .and_then(|s| s.get("pool_builds"))
+        .and_then(Json::as_usize);
+    if pool_builds != Some(0) {
+        return Err(format!(
+            "warm caches lost across the panic: pool_builds = {pool_builds:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn scenario_cancel_storm(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let ids: Vec<String> = (0..4).map(|i| format!("storm-{i}")).collect();
+    for id in &ids {
+        client
+            .send(&chaos_submit_frame(id, TRIVIAL, "sleep", 300))
+            .map_err(|e| format!("send: {e}"))?;
+    }
+    for id in &ids {
+        let cancel = Json::obj([
+            ("op", Json::Str("cancel".to_string())),
+            ("id", Json::Str(id.clone())),
+        ]);
+        client.send(&cancel).map_err(|e| format!("cancel: {e}"))?;
+    }
+    // Every run must terminate with an answer: accepted ones with a result
+    // (cancelled or completed — the race is fair game), shed ones with the
+    // shed reply itself.
+    for id in &ids {
+        let answer = client.wait_answer(id).map_err(|e| format!("answer: {e}"))?;
+        let reply = answer.get("reply").and_then(Json::as_str).unwrap_or("");
+        if !matches!(reply, "result" | "shed") {
+            return Err(format!("run {id} ended with `{reply}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Every completed server answer must match a direct engine run bit for
+/// bit (same invariant text).
+fn scenario_correctness(addr: &str) -> Result<(), String> {
+    let engine = Engine::with_defaults();
+    for (name, source) in [("trivial", TRIVIAL), ("list-set", LIST_SET)] {
+        let problem = Problem::from_source(source).map_err(|e| format!("{name}: {e}"))?;
+        let direct = engine.run(&problem, &RunOptions::quick());
+        let expect = direct
+            .outcome
+            .invariant()
+            .map(|e| e.to_string())
+            .ok_or_else(|| format!("{name}: direct run found no invariant"))?;
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let id = format!("verify-{name}");
+        client
+            .send(&submit_frame(&id, source))
+            .map_err(|e| format!("send: {e}"))?;
+        let answer = client.wait_answer(&id).map_err(|e| format!("read: {e}"))?;
+        let got = answer
+            .get("invariant")
+            .and_then(Json::as_str)
+            .unwrap_or("<none>");
+        if got != expect {
+            return Err(format!(
+                "{name}: server answered `{got}`, direct engine run answered `{expect}`"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The server booted from a corrupted warm-start snapshot: the first runs
+/// over that problem must report it quarantined (and still succeed).
+fn scenario_quarantine(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .send(&submit_frame("quarantine", TRIVIAL))
+        .map_err(|e| format!("send: {e}"))?;
+    let answer = client
+        .wait_answer("quarantine")
+        .map_err(|e| format!("read: {e}"))?;
+    if answer.get("status").and_then(Json::as_str) != Some("invariant") {
+        return Err(format!(
+            "run over the corrupted snapshot failed: {}",
+            answer.render()
+        ));
+    }
+    let quarantined = answer
+        .get("stats")
+        .and_then(|s| s.get("warm_start_quarantined"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    if quarantined == 0 {
+        return Err("corrupted snapshot was not quarantined".to_string());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Drain + report plumbing
+// ---------------------------------------------------------------------------
+
+fn merge_into_bench_report(path: &str, section: Json) -> Result<(), String> {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => json::parse(&text).map_err(|e| format!("{path}: {e}"))?,
+        Err(e) if e.kind() == ErrorKind::NotFound => Json::obj([]),
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    match &mut root {
+        Json::Obj(map) => {
+            map.insert("server_stress".to_string(), section);
+        }
+        _ => return Err(format!("{path}: top level is not an object")),
+    }
+    std::fs::write(path, root.render_pretty() + "\n").map_err(|e| format!("{path}: {e}"))
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hanoi-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let number = |name: &str, default: usize| {
+        value(name)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+
+    let spawn = flag("--spawn");
+    let clients = number("--clients", 100);
+    let requests = number("--requests", 3);
+    let mode = value("--mode").map(String::as_str).unwrap_or("both");
+    let run_stress = matches!(mode, "stress" | "both");
+    let run_chaos = matches!(mode, "chaos" | "both");
+    let out = value("--out").cloned();
+
+    // Quiet one-line panic log: injected chaos panics are expected noise.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("hanoi-stress: isolated panic: {info}");
+    }));
+
+    // Spawn an in-process server (chaos-enabled, small budgets so overload
+    // is reachable, short frame timeout so slow-loris is testable) — or
+    // target an external one.
+    let workers = 2;
+    let queue_depth = 8;
+    let quota = 4;
+    let max_frame_bytes = 32 * 1024;
+    let frame_timeout = Duration::from_millis(700);
+    let mut report = Mutex::new(Report::default());
+
+    let (addr, server_ctx) = if spawn {
+        let warm_dir = scratch_dir("warm");
+        // Corrupt warm-start store at boot: write a real snapshot for the
+        // trivial problem, then garble every snapshot file in place.
+        {
+            let engine = Engine::new(EngineConfig::default().with_warm_start_dir(&warm_dir))
+                .expect("engine config");
+            let problem = Problem::from_source(TRIVIAL).expect("trivial problem");
+            let run = engine.run(&problem, &RunOptions::quick());
+            assert!(run.is_success(), "seed run failed: {}", run.outcome);
+            engine
+                .save_state_to_warm_dir()
+                .expect("seed warm-start save");
+            let mut garbled = 0;
+            for entry in std::fs::read_dir(&warm_dir).expect("read warm dir") {
+                let path = entry.expect("dir entry").path();
+                if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                    std::fs::write(&path, b"{ truncated garbage").expect("garble");
+                    garbled += 1;
+                }
+            }
+            assert!(garbled > 0, "no snapshot to garble");
+        }
+        let config = ServerConfig::default()
+            .with_workers(workers)
+            .with_max_queue_depth(queue_depth)
+            .with_per_client_quota(quota)
+            .with_max_frame_bytes(max_frame_bytes)
+            .with_frame_timeout(frame_timeout)
+            .with_drain_timeout(Duration::from_secs(10))
+            .with_watchdog(Duration::from_secs(30))
+            .with_chaos(true)
+            .with_engine(EngineConfig::default().with_warm_start_dir(&warm_dir));
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve());
+        (handle.addr().to_string(), Some((handle, join, warm_dir)))
+    } else {
+        let addr = value("--addr").cloned().unwrap_or_else(|| {
+            eprintln!("hanoi-stress: need --spawn or --addr HOST:PORT");
+            std::process::exit(2);
+        });
+        (addr, None)
+    };
+    eprintln!("hanoi-stress: target {addr} (mode: {mode})");
+
+    if spawn && run_chaos {
+        // Must run before anything else touches the trivial problem: the
+        // quarantine happens when its engine cache entry is first created.
+        report.get_mut().unwrap().chaos_scenarios += 1;
+        if let Err(e) = scenario_quarantine(&addr) {
+            report
+                .get_mut()
+                .unwrap()
+                .violation(format!("quarantine: {e}"));
+        }
+    }
+
+    if run_stress {
+        eprintln!("hanoi-stress: stress phase ({clients} clients x {requests} requests)");
+        stress_phase(&addr, clients, requests, &report);
+        if spawn {
+            eprintln!("hanoi-stress: overload burst (2x admission budget)");
+            overload_phase(&addr, workers + queue_depth, quota, &report);
+        }
+    }
+
+    if run_chaos {
+        let scenarios: Vec<(&str, Scenario<'_>)> = vec![
+            ("malformed", Box::new(|| scenario_malformed(&addr))),
+            (
+                "mid-frame-disconnect",
+                Box::new(|| scenario_mid_frame_disconnect(&addr)),
+            ),
+            ("cancel-storm", Box::new(|| scenario_cancel_storm(&addr))),
+            (
+                "panic-isolation",
+                Box::new(|| scenario_panic_isolation(&addr)),
+            ),
+            ("correctness", Box::new(|| scenario_correctness(&addr))),
+        ];
+        for (name, scenario) in &scenarios {
+            eprintln!("hanoi-stress: chaos scenario `{name}`");
+            let mut r = report.lock().unwrap();
+            r.chaos_scenarios += 1;
+            drop(r);
+            if let Err(e) = scenario() {
+                report.lock().unwrap().violation(format!("{name}: {e}"));
+            }
+        }
+        if spawn {
+            for (name, result) in [
+                ("oversized", scenario_oversized(&addr, max_frame_bytes)),
+                ("slow-loris", scenario_slow_loris(&addr, frame_timeout)),
+            ] {
+                eprintln!("hanoi-stress: chaos scenario `{name}`");
+                let mut r = report.lock().unwrap();
+                r.chaos_scenarios += 1;
+                match result {
+                    Ok(()) => {}
+                    Err(e) => r.violation(format!("{name}: {e}")),
+                }
+            }
+        }
+    }
+
+    // Drain the spawned server through the protocol and prove the
+    // warm-start checkpoint landed.
+    if let Some((handle, join, warm_dir)) = server_ctx {
+        eprintln!("hanoi-stress: draining");
+        match Client::connect(&addr) {
+            Ok(mut client) => {
+                if client.send(&op_frame("drain")).is_err() {
+                    report.get_mut().unwrap().violation("drain request failed");
+                }
+            }
+            Err(e) => report
+                .get_mut()
+                .unwrap()
+                .violation(format!("drain connect: {e}")),
+        }
+        match handle.wait_drained(Duration::from_secs(60)) {
+            Some(snapshots) => {
+                let report = report.get_mut().unwrap();
+                report.drain_snapshots = Some(snapshots);
+                if snapshots == 0 {
+                    report.violation("drain wrote no warm-start snapshots");
+                }
+            }
+            None => report.get_mut().unwrap().violation("drain timed out"),
+        }
+        match join.join() {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => report
+                .get_mut()
+                .unwrap()
+                .violation(format!("serve returned an error: {e}")),
+            Err(_) => report
+                .get_mut()
+                .unwrap()
+                .violation("server thread panicked"),
+        }
+        // A fresh engine must boot warm from the drained snapshots.
+        let engine = Engine::new(EngineConfig::default().with_warm_start_dir(&warm_dir))
+            .expect("engine config");
+        let problem = Problem::from_source(TRIVIAL).expect("trivial problem");
+        let restarted = engine.run(&problem, &RunOptions::quick());
+        let report = report.get_mut().unwrap();
+        report.restart_warm_loads = Some(restarted.stats.warm_start_loads);
+        if restarted.stats.warm_start_loads == 0 {
+            report.violation("restart after drain found no warm-start snapshots to load");
+        }
+        let _ = std::fs::remove_dir_all(&warm_dir);
+    }
+
+    // Report.
+    let mut report = report.into_inner().unwrap();
+    let section = report.summary(clients, requests);
+    println!("{}", section.render_pretty());
+    if let Some(path) = out {
+        match merge_into_bench_report(&path, section) {
+            Ok(()) => eprintln!("hanoi-stress: wrote `server_stress` section to {path}"),
+            Err(e) => {
+                report.violation(format!("report: {e}"));
+            }
+        }
+    }
+    if report.violations.is_empty() {
+        eprintln!(
+            "hanoi-stress: OK ({} accepted, {} shed, {} chaos scenario(s))",
+            report.accepted + report.overload_accepted,
+            report.shed + report.overload_shed,
+            report.chaos_scenarios
+        );
+    } else {
+        eprintln!(
+            "hanoi-stress: FAILED with {} violation(s)",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Server configuration: every robustness knob in one place.
+
+use std::time::Duration;
+
+use hanoi::EngineConfig;
+
+/// Configuration of a [`crate::Server`].
+///
+/// The defaults are sized for the single-machine service shape: a small
+/// worker pool over one shared [`hanoi::Engine`], a queue a few times deeper
+/// than the pool, and timeouts that favour shedding over waiting.  Every
+/// limit exists to bound a resource a hostile or unlucky client could
+/// otherwise grow without bound — connections, queued work, line bytes,
+/// frame nesting, per-run wall clock.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing inference runs.  The *admission budget* —
+    /// with [`ServerConfig::max_queue_depth`], the number of runs the server
+    /// holds before it sheds.
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet running) runs.  A submit beyond
+    /// this is shed with a `retry_after_ms` hint instead of queued.
+    pub max_queue_depth: usize,
+    /// Maximum runs one client connection may have in flight
+    /// (queued + running) before its submits are shed — per-client fairness
+    /// over the worker budget: one greedy client cannot occupy the whole
+    /// queue.
+    pub per_client_quota: usize,
+    /// Hard per-run wall-clock ceiling.  Client-requested timeouts are
+    /// clamped to it, and a watchdog thread cancels (via the run's
+    /// `CancelToken`) any run still alive past the ceiling plus
+    /// [`ServerConfig::watchdog_grace`].
+    pub watchdog: Duration,
+    /// Extra slack the watchdog grants beyond the clamped timeout before it
+    /// force-cancels — covers runs wedged somewhere that polls the deadline
+    /// rarely.
+    pub watchdog_grace: Duration,
+    /// How long a drain waits for in-flight runs to finish before
+    /// cancelling them.
+    pub drain_timeout: Duration,
+    /// Connections idle (no bytes at all) longer than this are closed.
+    pub idle_timeout: Duration,
+    /// A frame that stays incomplete longer than this is a slow-loris
+    /// writer: the connection is closed.
+    pub frame_timeout: Duration,
+    /// Per-frame byte ceiling (longer lines are discarded and reported as a
+    /// structured `oversized` error).
+    pub max_frame_bytes: usize,
+    /// JSON nesting ceiling for incoming frames.
+    pub max_frame_depth: usize,
+    /// Maximum concurrent client connections; further accepts are turned
+    /// away with a `busy` error frame.
+    pub max_connections: usize,
+    /// Base of the `retry_after_ms` backpressure hint; the hint scales with
+    /// how overloaded the queue is.
+    pub retry_after_base_ms: u64,
+    /// Distinct problem sources the server keeps elaborated (an elaborated
+    /// problem pins the `Env` identity the engine's cache registry is keyed
+    /// by, so re-submissions of the same source share warm caches).
+    pub max_cached_sources: usize,
+    /// Enables the chaos directives (`"chaos": …` on submit) used by the
+    /// fault-injection harness.  Never enable in production.
+    pub enable_chaos: bool,
+    /// Configuration of the engine the server owns.  Set
+    /// [`EngineConfig::warm_start_dir`] to make drain checkpoint warm state
+    /// to disk (and boot restore it).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            max_queue_depth: 64,
+            per_client_quota: 8,
+            watchdog: Duration::from_secs(120),
+            watchdog_grace: Duration::from_millis(500),
+            drain_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            frame_timeout: Duration::from_secs(10),
+            max_frame_bytes: hanoi_lang::json::DEFAULT_MAX_FRAME_BYTES,
+            max_frame_depth: 128,
+            max_connections: 512,
+            retry_after_base_ms: 100,
+            max_cached_sources: 64,
+            enable_chaos: false,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        ServerConfig::default()
+    }
+
+    /// Sets the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission-queue depth.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Sets the per-client in-flight quota.
+    pub fn with_per_client_quota(mut self, quota: usize) -> Self {
+        self.per_client_quota = quota;
+        self
+    }
+
+    /// Sets the per-run watchdog ceiling.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the drain patience before in-flight runs are cancelled.
+    pub fn with_drain_timeout(mut self, drain_timeout: Duration) -> Self {
+        self.drain_timeout = drain_timeout;
+        self
+    }
+
+    /// Sets the slow-loris frame-completion deadline.
+    pub fn with_frame_timeout(mut self, frame_timeout: Duration) -> Self {
+        self.frame_timeout = frame_timeout;
+        self
+    }
+
+    /// Sets the idle-connection deadline.
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Sets the per-frame byte ceiling.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Sets the connection ceiling.
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Enables the chaos fault-injection directives.
+    pub fn with_chaos(mut self, enable: bool) -> Self {
+        self.enable_chaos = enable;
+        self
+    }
+
+    /// Sets the engine configuration (warm-start dir, parallelism, cache
+    /// budget).
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Checks the configuration is executable.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("workers", self.workers),
+            ("max_queue_depth", self.max_queue_depth),
+            ("per_client_quota", self.per_client_quota),
+            ("max_frame_bytes", self.max_frame_bytes),
+            ("max_frame_depth", self.max_frame_depth),
+            ("max_connections", self.max_connections),
+            ("max_cached_sources", self.max_cached_sources),
+        ] {
+            if value == 0 {
+                return Err(format!("`{name}` must be at least 1"));
+            }
+        }
+        if self.watchdog.is_zero() {
+            return Err("`watchdog` must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_zero_knobs_do_not() {
+        assert!(ServerConfig::default().validate().is_ok());
+        assert!(ServerConfig::default().with_workers(0).validate().is_err());
+        assert!(ServerConfig::default()
+            .with_max_queue_depth(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::default()
+            .with_watchdog(Duration::ZERO)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! A fault-tolerant TCP front end for the hanoi inference engine.
+//!
+//! The engine ([`hanoi::Engine`]) is a long-lived in-process service; this
+//! crate puts a network boundary in front of it without giving up the
+//! robustness properties a shared service needs:
+//!
+//! * **Bounded admission & load shedding** ([`admission`]) — a strictly
+//!   bounded queue with per-client fairness; overload produces immediate
+//!   structured `shed` replies with `retry_after_ms` backoff hints, never
+//!   unbounded latency.
+//! * **Panic isolation** ([`server`]) — every run executes behind
+//!   `catch_unwind` (and [`hanoi::Session::run_caught`], which additionally
+//!   evicts a possibly-poisoned cache entry): one defective run answers one
+//!   client with a structured `panic` error and cannot take down the
+//!   process or other problems' warm caches.
+//! * **Deadlines & watchdog** — client timeouts are clamped to a hard
+//!   per-run ceiling and a watchdog thread force-cancels anything that
+//!   outlives it, so a wedged run cannot occupy a worker forever.
+//! * **Graceful drain** — on the `drain` op (or
+//!   [`ServerHandle::drain`], typically wired to SIGTERM): stop admitting,
+//!   finish or cancel in-flight runs, checkpoint the engine's warm-start
+//!   snapshots to disk, then exit.  A restarted server boots warm.
+//! * **Hostile-input tolerance** ([`protocol`]) — newline-delimited JSON
+//!   with per-frame byte and nesting limits; malformed, truncated,
+//!   non-UTF-8 and oversized input produce structured `error` replies on a
+//!   still-synchronized stream.
+//!
+//! Two binaries accompany the library: `hanoi_serve` (the production
+//! entry point, with signal-driven drain) and `hanoi_stress` (a
+//! stress/chaos harness that hammers a server with concurrent clients and
+//! fault injection, verifying answers against direct engine runs).
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod config;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use config::ServerConfig;
+pub use server::{Server, ServerHandle};
+pub use stats::ServerStats;

@@ -1,0 +1,767 @@
+//! The server proper: accept loop, connection threads, worker pool,
+//! watchdog, and the graceful-drain coordinator.
+//!
+//! # Thread shape
+//!
+//! [`Server::serve`] blocks inside one `std::thread::scope`:
+//!
+//! * the calling thread runs the (non-blocking, polled) **accept loop**;
+//! * one scoped thread per accepted socket runs the **connection loop** —
+//!   frame decoding, request dispatch, timeout enforcement;
+//! * [`crate::ServerConfig::workers`] scoped threads run the **worker
+//!   loop** — they pull admitted jobs and execute inference runs against
+//!   the one shared [`Engine`];
+//! * one scoped **watchdog** thread force-cancels runs that outlive their
+//!   deadline.
+//!
+//! When a drain is requested (the `drain` protocol op, or
+//! [`ServerHandle::drain`] — typically wired to SIGTERM by the binary), the
+//! accept loop exits and runs the drain sequence: stop admitting, wait for
+//! in-flight work (cancelling whatever outlives the patience window),
+//! checkpoint the engine's warm state to disk, then release every thread
+//! and return.  The scope guarantees nothing leaks.
+//!
+//! # Fault isolation
+//!
+//! Every worker iteration runs behind `catch_unwind`, and the run itself
+//! behind [`hanoi::Session::run_caught`] — a panicking run produces a
+//! structured `error` frame for its one client (and, for run-internal
+//! panics, evicts that problem's possibly-wrecked cache entry) while the
+//! process, the other connections, and every *other* problem's warm caches
+//! carry on.  Connection threads own all socket I/O; a client that
+//! disconnects mid-run simply has its runs cancelled via their
+//! [`CancelToken`]s.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hanoi::{CancelToken, Engine, Outcome, RunEvent, RunOptions, RunResult, RunStats};
+use hanoi_abstraction::Problem;
+use hanoi_lang::json::{self, FrameReader, FrameResult, Json};
+
+use crate::admission::{Admission, Next};
+use crate::config::ServerConfig;
+use crate::protocol::{self, ChaosDirective, ProtocolError, Request, ShedReason, SubmitRequest};
+use crate::stats::{bump, ServerStats};
+
+/// How often blocked loops (accept, connection reads, worker polls, the
+/// watchdog) wake to re-check shutdown flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Write-side patience before a stuck client counts as gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One admitted inference run, queued for a worker.
+#[derive(Debug)]
+struct Job {
+    id: String,
+    client: Arc<ClientHandle>,
+    source: String,
+    options: RunOptions,
+    events: bool,
+    chaos: Option<ChaosDirective>,
+    token: CancelToken,
+    submitted_at: Instant,
+}
+
+/// Cancellation and deadline state of one in-flight run, keyed by
+/// `(connection id, run id)`.
+#[derive(Debug)]
+struct RunControl {
+    token: CancelToken,
+    /// Set when a worker picks the job up; the watchdog only times running
+    /// jobs.
+    started: Option<Instant>,
+    /// The run's wall-clock ceiling (its clamped timeout).
+    limit: Duration,
+}
+
+/// The write half of one client connection, shared between its connection
+/// thread and the workers streaming frames back to it.
+#[derive(Debug)]
+struct ClientHandle {
+    id: u64,
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ClientHandle {
+    /// Sends one frame; on any write failure the client is marked dead so
+    /// later sends (and event streams) short-circuit.
+    fn send(&self, stats: &ServerStats, frame: &Json) -> bool {
+        if !self.alive.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut writer = lock(&self.writer);
+        match json::write_frame(&mut *writer, frame) {
+            Ok(()) => true,
+            Err(_) => {
+                self.alive.store(false, Ordering::Relaxed);
+                bump(&stats.write_errors);
+                false
+            }
+        }
+    }
+}
+
+/// State shared by every thread of one server.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    engine: Engine,
+    stats: ServerStats,
+    admission: Admission<Job>,
+    /// In-flight runs (queued or running), for cancel/watchdog/disconnect.
+    runs: Mutex<HashMap<(u64, String), RunControl>>,
+    /// Elaborated problems keyed by source text, most recent last.  The
+    /// engine keys its warm caches by the elaborated problem's identity, so
+    /// re-elaborating the same source would always start cold: this cache is
+    /// what makes repeat submissions of one problem share warmth across
+    /// connections.
+    problems: Mutex<Vec<(String, Arc<Problem>)>>,
+    drain_requested: AtomicBool,
+    shutdown: AtomicBool,
+    open_connections: AtomicUsize,
+    next_conn_id: AtomicU64,
+    /// Snapshot count once the drain completes.
+    drained: Mutex<Option<usize>>,
+    drained_cv: Condvar,
+}
+
+impl Shared {
+    fn request_drain(&self) {
+        self.drain_requested.store(true, Ordering::Relaxed);
+        self.admission.begin_drain();
+    }
+}
+
+/// A bounded, fault-isolated TCP front end over one shared [`Engine`].
+///
+/// Bind with [`Server::bind`], grab a [`ServerHandle`] for out-of-band
+/// control, then call [`Server::serve`] (blocking until drained):
+///
+/// ```no_run
+/// use hanoi_server::{Server, ServerConfig};
+///
+/// let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let handle = server.handle();
+/// std::thread::spawn(move || server.serve());
+/// // … later, e.g. from a signal handler loop:
+/// handle.drain();
+/// handle.wait_drained(std::time::Duration::from_secs(60));
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Out-of-band control of a running [`Server`]: its address, a drain
+/// trigger, and a way to wait for the drain to finish.  Clonable and
+/// `Send`; the binary wires [`ServerHandle::drain`] to SIGTERM/SIGINT.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The server's bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: stop admitting, finish (or cancel)
+    /// in-flight runs, checkpoint warm state, shut down.  Idempotent,
+    /// callable from any thread (it only flips flags — safe from a signal
+    /// polling loop).
+    pub fn drain(&self) {
+        self.shared.request_drain();
+    }
+
+    /// Waits up to `timeout` for the drain to complete; returns the number
+    /// of warm-start snapshots written, or `None` on timeout.
+    pub fn wait_drained(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut drained = lock(&self.shared.drained);
+        loop {
+            if let Some(snapshots) = *drained {
+                return Some(snapshots);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            drained = self
+                .shared
+                .drained_cv
+                .wait_timeout(drained, deadline - now)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Live server counters (same payload as the `stats` protocol reply's
+    /// `server` field).
+    pub fn stats_json(&self) -> Json {
+        self.shared.stats.to_json()
+    }
+}
+
+impl Server {
+    /// Binds a listener and builds the engine; the server is not serving
+    /// until [`Server::serve`] is called.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        let engine = Engine::new(config.engine.clone())
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let admission = Admission::new(
+            config.workers,
+            config.max_queue_depth,
+            config.per_client_quota,
+            config.retry_after_base_ms,
+        );
+        let shared = Arc::new(Shared {
+            engine,
+            stats: ServerStats::default(),
+            admission,
+            runs: Mutex::new(HashMap::new()),
+            problems: Mutex::new(Vec::new()),
+            drain_requested: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
+            drained: Mutex::new(None),
+            drained_cv: Condvar::new(),
+            config,
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle, valid before and during [`Server::serve`].
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until drained; returns the number of warm-start snapshots the
+    /// drain checkpoint wrote.
+    pub fn serve(self) -> std::io::Result<usize> {
+        let Server {
+            listener, shared, ..
+        } = self;
+        let shared = &*shared;
+        thread::scope(|scope| {
+            for _ in 0..shared.config.workers {
+                scope.spawn(|| worker_loop(shared));
+            }
+            scope.spawn(|| watchdog_loop(shared));
+            while !shared.drain_requested.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => accept_connection(shared, stream, scope),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+                    Err(_) => thread::sleep(POLL_INTERVAL),
+                }
+            }
+            drop(listener);
+            drain(shared)
+        })
+    }
+}
+
+fn accept_connection<'scope, 'env>(
+    shared: &'scope Shared,
+    stream: TcpStream,
+    scope: &'scope thread::Scope<'scope, 'env>,
+) {
+    if shared.open_connections.load(Ordering::Relaxed) >= shared.config.max_connections {
+        bump(&shared.stats.connections_rejected);
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let _ = json::write_frame(
+            &mut stream,
+            &protocol::error_frame(
+                &ProtocolError::new("busy", "connection limit reached"),
+                None,
+            ),
+        );
+        return;
+    }
+    shared.open_connections.fetch_add(1, Ordering::Relaxed);
+    bump(&shared.stats.connections_opened);
+    scope.spawn(move || handle_connection(shared, stream));
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let client = match stream.try_clone() {
+        Ok(writer) => {
+            let _ = writer.set_write_timeout(Some(WRITE_TIMEOUT));
+            Arc::new(ClientHandle {
+                id: conn_id,
+                writer: Mutex::new(writer),
+                alive: AtomicBool::new(true),
+            })
+        }
+        Err(_) => {
+            bump(&shared.stats.connections_closed);
+            shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = stream;
+    let mut frames = FrameReader::new(shared.config.max_frame_bytes);
+    let mut last_activity = Instant::now();
+    let mut partial_since: Option<Instant> = None;
+    let timed_out = loop {
+        if shared.shutdown.load(Ordering::Relaxed) || !client.alive.load(Ordering::Relaxed) {
+            break false;
+        }
+        match frames.read_frame(&mut reader) {
+            FrameResult::Frame(line) => {
+                last_activity = Instant::now();
+                partial_since = None;
+                bump(&shared.stats.frames_received);
+                handle_frame(shared, &client, &line);
+            }
+            FrameResult::WouldBlock => {
+                let now = Instant::now();
+                if frames.partial_len() > 0 {
+                    // A frame has been trickling in: slow-loris defence.
+                    let since = *partial_since.get_or_insert(now);
+                    if now.duration_since(since) > shared.config.frame_timeout {
+                        break true;
+                    }
+                } else {
+                    partial_since = None;
+                    if now.duration_since(last_activity) > shared.config.idle_timeout {
+                        break true;
+                    }
+                }
+            }
+            FrameResult::Closed { .. } => break false,
+            FrameResult::Oversized { limit } => {
+                bump(&shared.stats.oversized_frames);
+                client.send(
+                    &shared.stats,
+                    &protocol::error_frame(
+                        &ProtocolError::new(
+                            "oversized",
+                            format!("frame exceeds the {limit}-byte limit"),
+                        ),
+                        None,
+                    ),
+                );
+            }
+            FrameResult::InvalidUtf8 => {
+                bump(&shared.stats.encoding_errors);
+                client.send(
+                    &shared.stats,
+                    &protocol::error_frame(
+                        &ProtocolError::new("encoding", "frame is not valid UTF-8"),
+                        None,
+                    ),
+                );
+            }
+            FrameResult::Err(_) => break false,
+        }
+    };
+    if timed_out {
+        bump(&shared.stats.connections_timed_out);
+    }
+    // Teardown: the client's in-flight runs are moot — cancel them so
+    // workers stop spending budget on answers nobody will read.
+    client.alive.store(false, Ordering::Relaxed);
+    {
+        let runs = lock(&shared.runs);
+        for ((owner, _), control) in runs.iter() {
+            if *owner == conn_id {
+                control.token.cancel();
+            }
+        }
+    }
+    bump(&shared.stats.connections_closed);
+    shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn handle_frame(shared: &Shared, client: &Arc<ClientHandle>, line: &str) {
+    let frame = match json::parse_with_limits(line, shared.config.max_frame_depth) {
+        Ok(frame) => frame,
+        Err(e) => {
+            bump(&shared.stats.protocol_errors);
+            client.send(
+                &shared.stats,
+                &protocol::error_frame(&ProtocolError::new("parse", e.to_string()), None),
+            );
+            return;
+        }
+    };
+    let request = match protocol::parse_request(&frame) {
+        Ok(request) => request,
+        Err(error) => {
+            bump(&shared.stats.protocol_errors);
+            client.send(
+                &shared.stats,
+                &protocol::error_frame(&error, protocol::request_id(&frame)),
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Ping => {
+            client.send(&shared.stats, &protocol::pong_frame());
+        }
+        Request::Stats => {
+            let (queued, active) = shared.admission.load();
+            client.send(
+                &shared.stats,
+                &protocol::stats_frame(
+                    shared.stats.to_json(),
+                    shared.engine.cached_problems(),
+                    queued,
+                    active,
+                    shared.admission.is_draining(),
+                ),
+            );
+        }
+        Request::Drain => {
+            shared.request_drain();
+            client.send(&shared.stats, &protocol::draining_frame());
+        }
+        Request::Cancel { id } => {
+            let found = {
+                let runs = lock(&shared.runs);
+                match runs.get(&(client.id, id.clone())) {
+                    Some(control) => {
+                        control.token.cancel();
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if found {
+                bump(&shared.stats.cancels_honoured);
+            }
+            client.send(&shared.stats, &protocol::cancelled_frame(&id, found));
+        }
+        Request::Submit(submit) => handle_submit(shared, client, *submit),
+    }
+}
+
+fn handle_submit(shared: &Shared, client: &Arc<ClientHandle>, submit: SubmitRequest) {
+    if submit.chaos.is_some() && !shared.config.enable_chaos {
+        bump(&shared.stats.protocol_errors);
+        client.send(
+            &shared.stats,
+            &protocol::error_frame(
+                &ProtocolError::new(
+                    "chaos-disabled",
+                    "chaos directives require a server started with chaos enabled",
+                ),
+                Some(&submit.id),
+            ),
+        );
+        return;
+    }
+    let key = (client.id, submit.id.clone());
+    if lock(&shared.runs).contains_key(&key) {
+        bump(&shared.stats.protocol_errors);
+        client.send(
+            &shared.stats,
+            &protocol::error_frame(
+                &ProtocolError::new("bad-request", "run id already in flight"),
+                Some(&submit.id),
+            ),
+        );
+        return;
+    }
+    // The watchdog ceiling is a hard bound: client timeouts are clamped to
+    // it, never trusted beyond it.
+    let watchdog = shared.config.watchdog;
+    let mut options = submit.options;
+    options.timeout = Some(options.timeout.map_or(watchdog, |t| t.min(watchdog)));
+    let limit = options.timeout.unwrap_or(watchdog);
+    let token = CancelToken::new();
+    let job = Job {
+        id: submit.id.clone(),
+        client: Arc::clone(client),
+        source: submit.source,
+        options,
+        events: submit.events,
+        chaos: submit.chaos,
+        token: token.clone(),
+        submitted_at: Instant::now(),
+    };
+    match shared.admission.submit(client.id, job) {
+        Ok(queued) => {
+            bump(&shared.stats.runs_accepted);
+            lock(&shared.runs).insert(
+                key,
+                RunControl {
+                    token,
+                    started: None,
+                    limit,
+                },
+            );
+            client.send(&shared.stats, &protocol::accepted_frame(&submit.id, queued));
+        }
+        Err((reason, retry_after_ms)) => {
+            bump(match reason {
+                ShedReason::QueueFull => &shared.stats.shed_queue_full,
+                ShedReason::ClientQuota => &shared.stats.shed_client_quota,
+                ShedReason::Draining => &shared.stats.shed_draining,
+            });
+            client.send(
+                &shared.stats,
+                &protocol::shed_frame(&submit.id, reason, retry_after_ms),
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.admission.next(POLL_INTERVAL * 2) {
+            Next::Shutdown => return,
+            Next::Idle => continue,
+            Next::Job(client_id, job) => {
+                // The panic boundary: a defect anywhere in job execution
+                // (including injected chaos) is contained to this job.
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
+                if let Err(payload) = outcome {
+                    bump(&shared.stats.runs_panicked);
+                    job.client.send(
+                        &shared.stats,
+                        &protocol::error_frame(
+                            &ProtocolError::new("panic", panic_text(payload.as_ref())),
+                            Some(&job.id),
+                        ),
+                    );
+                }
+                lock(&shared.runs).remove(&(client_id, job.id.clone()));
+                shared.admission.finish(client_id);
+            }
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job) {
+    if let Some(chaos) = job.chaos {
+        match chaos {
+            ChaosDirective::Sleep(ms) => thread::sleep(Duration::from_millis(ms.min(60_000))),
+            ChaosDirective::Panic => panic!("chaos: injected worker panic"),
+        }
+    }
+    let queue_ms = job.submitted_at.elapsed().as_millis() as u64;
+    if job.token.is_cancelled() {
+        // Cancelled (or disconnected) while queued: answer without paying
+        // for elaboration or a run.
+        let result = RunResult::new(Outcome::Cancelled, RunStats::default());
+        bump(&shared.stats.runs_completed);
+        bump(&shared.stats.runs_cancelled);
+        job.client.send(
+            &shared.stats,
+            &protocol::result_frame(&job.id, &result, queue_ms, 0),
+        );
+        return;
+    }
+    let problem = match cached_problem(shared, &job.source) {
+        Ok(problem) => problem,
+        Err(message) => {
+            bump(&shared.stats.runs_rejected);
+            job.client.send(
+                &shared.stats,
+                &protocol::error_frame(&ProtocolError::new("bad-problem", message), Some(&job.id)),
+            );
+            return;
+        }
+    };
+    // Arm the watchdog: the run is now spending wall clock.
+    {
+        let mut runs = lock(&shared.runs);
+        if let Some(control) = runs.get_mut(&(job.client.id, job.id.clone())) {
+            control.started = Some(Instant::now());
+        }
+    }
+    let started = Instant::now();
+    let session = shared.engine.session(&problem);
+    let outcome = if job.events {
+        let stats = &shared.stats;
+        let handle = &job.client;
+        let id = &job.id;
+        let token = job.token.clone();
+        let mut observer = |event: &RunEvent| {
+            bump(&stats.events_sent);
+            if !handle.send(stats, &protocol::event_frame(id, event)) {
+                // The client is gone; stop spending budget on the run.
+                token.cancel();
+            }
+        };
+        session.run_caught(&job.options, Some(&mut observer), Some(job.token.clone()))
+    } else {
+        session.run_caught(&job.options, None, Some(job.token.clone()))
+    };
+    let run_ms = started.elapsed().as_millis() as u64;
+    match outcome {
+        Ok(result) => {
+            bump(&shared.stats.runs_completed);
+            match &result.outcome {
+                Outcome::Invariant(_) => bump(&shared.stats.runs_invariant),
+                Outcome::Cancelled => bump(&shared.stats.runs_cancelled),
+                Outcome::Timeout => bump(&shared.stats.runs_timeout),
+                _ => {}
+            }
+            job.client.send(
+                &shared.stats,
+                &protocol::result_frame(&job.id, &result, queue_ms, run_ms),
+            );
+        }
+        Err(message) => {
+            bump(&shared.stats.runs_panicked);
+            job.client.send(
+                &shared.stats,
+                &protocol::error_frame(
+                    &ProtocolError::new("panic", format!("run panicked: {message}")),
+                    Some(&job.id),
+                ),
+            );
+        }
+    }
+}
+
+/// Looks up (or elaborates) the problem for `source`, LRU-bounded by
+/// [`crate::ServerConfig::max_cached_sources`].  Sharing the elaborated
+/// `Problem` is what lets repeat submissions share the engine's warm
+/// caches: the engine keys cache entries by problem identity, so a fresh
+/// elaboration per submit would always run cold.
+fn cached_problem(shared: &Shared, source: &str) -> Result<Arc<Problem>, String> {
+    {
+        let mut cache = lock(&shared.problems);
+        if let Some(pos) = cache.iter().position(|(s, _)| s == source) {
+            let entry = cache.remove(pos);
+            let problem = Arc::clone(&entry.1);
+            cache.push(entry);
+            return Ok(problem);
+        }
+    }
+    // Elaborate outside the lock: it can be slow, and sibling workers must
+    // not stall behind it.
+    let problem = Arc::new(Problem::from_source(source).map_err(|e| e.to_string())?);
+    let mut cache = lock(&shared.problems);
+    if let Some(pos) = cache.iter().position(|(s, _)| s == source) {
+        // A sibling elaborated the same source concurrently; share theirs,
+        // since two elaborations never share engine-side warmth.
+        return Ok(Arc::clone(&cache[pos].1));
+    }
+    cache.push((source.to_string(), Arc::clone(&problem)));
+    while cache.len() > shared.config.max_cached_sources {
+        cache.remove(0);
+    }
+    Ok(problem)
+}
+
+fn watchdog_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        thread::sleep(POLL_INTERVAL);
+        let grace = shared.config.watchdog_grace;
+        let runs = lock(&shared.runs);
+        for control in runs.values() {
+            if let Some(started) = control.started {
+                if started.elapsed() > control.limit + grace && !control.token.is_cancelled() {
+                    control.token.cancel();
+                    bump(&shared.stats.watchdog_cancels);
+                }
+            }
+        }
+    }
+}
+
+/// The drain sequence; returns how many warm-start snapshots were written.
+fn drain(shared: &Shared) -> std::io::Result<usize> {
+    shared.admission.begin_drain();
+    if !shared.admission.wait_idle(shared.config.drain_timeout) {
+        // Patience exhausted.  Queued jobs never started: answer them
+        // `cancelled` directly.
+        for (client_id, job) in shared.admission.drain_queue() {
+            job.token.cancel();
+            let result = RunResult::new(Outcome::Cancelled, RunStats::default());
+            bump(&shared.stats.runs_completed);
+            bump(&shared.stats.runs_cancelled);
+            job.client.send(
+                &shared.stats,
+                &protocol::result_frame(
+                    &job.id,
+                    &result,
+                    job.submitted_at.elapsed().as_millis() as u64,
+                    0,
+                ),
+            );
+            lock(&shared.runs).remove(&(client_id, job.id));
+        }
+        // Running jobs get cancelled and a second patience window to unwind
+        // through their cancellation points.
+        {
+            let runs = lock(&shared.runs);
+            for control in runs.values() {
+                control.token.cancel();
+            }
+        }
+        shared.admission.wait_idle(shared.config.drain_timeout);
+    }
+    // Checkpoint warm state while the engine is quiescent.
+    let written = shared.engine.save_state_to_warm_dir();
+    if let Ok(count) = written {
+        for _ in 0..count {
+            bump(&shared.stats.drain_snapshots);
+        }
+    }
+    // Release every thread: workers, watchdog, connection loops.
+    shared.shutdown.store(true, Ordering::Relaxed);
+    shared.admission.shutdown();
+    {
+        let mut drained = lock(&shared.drained);
+        *drained = Some(*written.as_ref().unwrap_or(&0));
+        shared.drained_cv.notify_all();
+    }
+    written
+}
+
+/// Renders a panic payload as text.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

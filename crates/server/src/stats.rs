@@ -1,0 +1,122 @@
+//! Service-level counters, exposed through the `stats` protocol command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hanoi_lang::json::Json;
+
+/// Monotonic counters covering every admission, shedding, failure and drain
+/// event the server handles.  All counters are relaxed atomics: they are
+/// operational telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Client connections accepted.
+    pub connections_opened: AtomicU64,
+    /// Client connections that ended (any reason).
+    pub connections_closed: AtomicU64,
+    /// Connections turned away at accept time (connection ceiling).
+    pub connections_rejected: AtomicU64,
+    /// Connections closed for exceeding the idle or frame timeout
+    /// (slow-loris defence).
+    pub connections_timed_out: AtomicU64,
+    /// Complete frames received (before parsing).
+    pub frames_received: AtomicU64,
+    /// Frames answered with a structured protocol error (bad JSON, bad
+    /// request shape, unknown op, over-deep nesting).
+    pub protocol_errors: AtomicU64,
+    /// Lines discarded for exceeding the frame byte ceiling.
+    pub oversized_frames: AtomicU64,
+    /// Complete lines that were not valid UTF-8.
+    pub encoding_errors: AtomicU64,
+    /// Runs admitted to the queue.
+    pub runs_accepted: AtomicU64,
+    /// Submits shed because the admission queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Submits shed because the client exceeded its in-flight quota.
+    pub shed_client_quota: AtomicU64,
+    /// Submits shed because the server was draining.
+    pub shed_draining: AtomicU64,
+    /// Runs that returned a result (any outcome).
+    pub runs_completed: AtomicU64,
+    /// Runs that ended with an inferred invariant.
+    pub runs_invariant: AtomicU64,
+    /// Runs that ended cancelled (client cancel, disconnect, watchdog or
+    /// drain).
+    pub runs_cancelled: AtomicU64,
+    /// Runs that ended in a timeout outcome.
+    pub runs_timeout: AtomicU64,
+    /// Runs that panicked and were isolated (structured `panic` error to the
+    /// one client; process and sibling runs unaffected).
+    pub runs_panicked: AtomicU64,
+    /// Submits rejected because the problem source failed to elaborate.
+    pub runs_rejected: AtomicU64,
+    /// Runs force-cancelled by the watchdog for outliving their deadline.
+    pub watchdog_cancels: AtomicU64,
+    /// Run events streamed to clients.
+    pub events_sent: AtomicU64,
+    /// Frames dropped because the client's write side failed or timed out.
+    pub write_errors: AtomicU64,
+    /// Cancel commands honoured (a matching in-flight run existed).
+    pub cancels_honoured: AtomicU64,
+    /// Snapshot files written by the drain checkpoint.
+    pub drain_snapshots: AtomicU64,
+}
+
+/// Increments a counter.
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+impl ServerStats {
+    /// Reads one counter.
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Serializes every counter (used by the `stats` reply).
+    pub fn to_json(&self) -> Json {
+        let n = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        Json::obj([
+            ("connections_opened", n(&self.connections_opened)),
+            ("connections_closed", n(&self.connections_closed)),
+            ("connections_rejected", n(&self.connections_rejected)),
+            ("connections_timed_out", n(&self.connections_timed_out)),
+            ("frames_received", n(&self.frames_received)),
+            ("protocol_errors", n(&self.protocol_errors)),
+            ("oversized_frames", n(&self.oversized_frames)),
+            ("encoding_errors", n(&self.encoding_errors)),
+            ("runs_accepted", n(&self.runs_accepted)),
+            ("shed_queue_full", n(&self.shed_queue_full)),
+            ("shed_client_quota", n(&self.shed_client_quota)),
+            ("shed_draining", n(&self.shed_draining)),
+            ("runs_completed", n(&self.runs_completed)),
+            ("runs_invariant", n(&self.runs_invariant)),
+            ("runs_cancelled", n(&self.runs_cancelled)),
+            ("runs_timeout", n(&self.runs_timeout)),
+            ("runs_panicked", n(&self.runs_panicked)),
+            ("runs_rejected", n(&self.runs_rejected)),
+            ("watchdog_cancels", n(&self.watchdog_cancels)),
+            ("events_sent", n(&self.events_sent)),
+            ("write_errors", n(&self.write_errors)),
+            ("cancels_honoured", n(&self.cancels_honoured)),
+            ("drain_snapshots", n(&self.drain_snapshots)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_serialize() {
+        let stats = ServerStats::default();
+        bump(&stats.runs_accepted);
+        bump(&stats.runs_accepted);
+        bump(&stats.shed_queue_full);
+        let json = stats.to_json();
+        assert_eq!(json.get("runs_accepted").unwrap().as_usize(), Some(2));
+        assert_eq!(json.get("shed_queue_full").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("drain_snapshots").unwrap().as_usize(), Some(0));
+        assert_eq!(stats.get(&stats.runs_accepted), 2);
+    }
+}

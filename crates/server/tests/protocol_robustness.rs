@@ -1,0 +1,398 @@
+//! Protocol robustness: every malformed, truncated, oversized, mis-encoded
+//! or absurdly nested input a client can send must come back as a
+//! *structured error frame* — never a panic, never a closed stream, never a
+//! desynchronized one.  After any rejected frame the same connection must
+//! keep working (the error frames are answers, not punishments).
+//!
+//! These are the table-driven counterparts of the live chaos scenarios in
+//! `src/bin/hanoi_stress.rs`, pinned as deterministic tests.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hanoi_lang::json::{self, Json};
+use hanoi_server::{Server, ServerConfig, ServerHandle};
+
+const TRIVIAL: &str = r#"
+    type nat = O | S of nat
+    interface I = sig
+      type t
+      val make : t
+    end
+    module M : I = struct
+      type t = nat
+      let make : t = O
+    end
+    spec (s : t) = s == s
+"#;
+
+/// Spawns an ephemeral server; the returned guard drains it on drop so a
+/// failing assertion cannot leak the serve thread past the test.
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    join: Option<JoinHandle<std::io::Result<usize>>>,
+}
+
+impl TestServer {
+    fn spawn(config: ServerConfig) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let handle = server.handle();
+        let addr = handle.addr().to_string();
+        let join = Some(std::thread::spawn(move || server.serve()));
+        TestServer { addr, handle, join }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Conn {
+            reader: BufReader::new(stream),
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.drain();
+        self.handle.wait_drained(Duration::from_secs(30));
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.reader.get_mut().write_all(bytes).expect("write");
+        self.reader.get_mut().flush().expect("flush");
+    }
+
+    fn send(&mut self, frame: &Json) {
+        json::write_frame(self.reader.get_mut(), frame).expect("write frame");
+    }
+
+    fn read_frame(&mut self) -> Json {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).expect("read");
+            assert!(n > 0, "server closed the connection");
+            if line.trim().is_empty() {
+                continue;
+            }
+            return json::parse(line.trim()).expect("reply frames are valid JSON");
+        }
+    }
+
+    /// Reads until the result/error answer for `id`.
+    fn wait_answer(&mut self, id: &str) -> Json {
+        loop {
+            let frame = self.read_frame();
+            let reply = frame.get("reply").and_then(Json::as_str).unwrap_or("");
+            if matches!(reply, "result" | "error" | "shed")
+                && frame.get("id").and_then(Json::as_str) == Some(id)
+            {
+                return frame;
+            }
+        }
+    }
+
+    fn ping_pong(&mut self) {
+        self.send(&Json::obj([("op", Json::Str("ping".to_string()))]));
+        let pong = self.read_frame();
+        assert_eq!(
+            pong.get("reply").and_then(Json::as_str),
+            Some("pong"),
+            "stream desynchronized: {}",
+            pong.render()
+        );
+    }
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig::default()
+        .with_workers(1)
+        .with_max_frame_bytes(8 * 1024)
+}
+
+#[test]
+fn malformed_inputs_become_structured_errors_and_the_stream_stays_synced() {
+    let server = TestServer::spawn(small_config());
+    // (raw input, expected error code); each runs on a FRESH connection and
+    // must be answered by exactly one error frame followed by a working ping.
+    let table: &[(&[u8], &str)] = &[
+        // Truncated / non-JSON frames.
+        (b"this is not json\n", "parse"),
+        (b"{\"op\":\"submit\",\"id\":\"x\",\"sour\n", "parse"),
+        (b"{\"op\": \n", "parse"),
+        (b"\"just a string\"\n", "bad-request"),
+        (b"[1,2,3]\n", "bad-request"),
+        (b"42\n", "bad-request"),
+        // Structurally valid, semantically broken requests.
+        (b"{}\n", "bad-request"),
+        (b"{\"op\":\"frobnicate\"}\n", "bad-request"),
+        (b"{\"op\":\"submit\"}\n", "bad-request"),
+        (b"{\"op\":\"submit\",\"id\":\"x\"}\n", "bad-request"),
+        (
+            b"{\"op\":\"submit\",\"id\":\"\",\"source\":\"s\"}\n",
+            "bad-request",
+        ),
+        (b"{\"op\":\"cancel\"}\n", "bad-request"),
+        (
+            b"{\"op\":\"submit\",\"id\":\"x\",\"source\":\"spec\",\"options\":7}\n",
+            "bad-request",
+        ),
+        // Bytes that are not UTF-8 at all.
+        (b"\xff\xfe\xfd garbage\n", "encoding"),
+    ];
+    for (raw, want) in table {
+        let mut conn = server.connect();
+        conn.send_raw(raw);
+        let frame = conn.read_frame();
+        assert_eq!(
+            frame.get("reply").and_then(Json::as_str),
+            Some("error"),
+            "input {:?} got {}",
+            String::from_utf8_lossy(raw),
+            frame.render()
+        );
+        assert_eq!(
+            frame.get("code").and_then(Json::as_str),
+            Some(*want),
+            "input {:?} got {}",
+            String::from_utf8_lossy(raw),
+            frame.render()
+        );
+        assert!(
+            frame.get("message").and_then(Json::as_str).is_some(),
+            "errors carry a human-readable message"
+        );
+        conn.ping_pong();
+    }
+}
+
+#[test]
+fn a_connection_survives_a_burst_of_garbage_and_still_serves_runs() {
+    let server = TestServer::spawn(small_config());
+    let mut conn = server.connect();
+    // Many bad frames on ONE connection: one error each, in order.
+    for _ in 0..20 {
+        conn.send_raw(b"!!!not json!!!\n");
+    }
+    for _ in 0..20 {
+        let frame = conn.read_frame();
+        assert_eq!(frame.get("code").and_then(Json::as_str), Some("parse"));
+    }
+    // The very same connection still runs real work.
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("after-garbage".to_string())),
+        ("source", Json::Str(TRIVIAL.to_string())),
+    ]));
+    let answer = conn.wait_answer("after-garbage");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        answer.render()
+    );
+}
+
+#[test]
+fn oversized_lines_are_rejected_with_the_limit_and_skipped() {
+    let server = TestServer::spawn(small_config());
+    let mut conn = server.connect();
+    let mut line = vec![b'x'; 9 * 1024]; // over the 8 KiB config limit
+    line.push(b'\n');
+    conn.send_raw(&line);
+    let frame = conn.read_frame();
+    assert_eq!(frame.get("code").and_then(Json::as_str), Some("oversized"));
+    // The offending line is consumed, not replayed: the stream works.
+    conn.ping_pong();
+}
+
+#[test]
+fn overdeep_json_is_rejected_as_a_parse_error_not_a_stack_overflow() {
+    let server = TestServer::spawn(small_config());
+    let mut conn = server.connect();
+    let mut deep = Vec::new();
+    deep.extend(std::iter::repeat_n(b'[', 2_000));
+    deep.extend(std::iter::repeat_n(b']', 2_000));
+    deep.push(b'\n');
+    conn.send_raw(&deep);
+    let frame = conn.read_frame();
+    assert_eq!(frame.get("code").and_then(Json::as_str), Some("parse"));
+    conn.ping_pong();
+}
+
+#[test]
+fn unelaboratable_sources_are_rejected_per_run_not_per_connection() {
+    let server = TestServer::spawn(small_config());
+    let mut conn = server.connect();
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("bad".to_string())),
+        (
+            "source",
+            Json::Str("spec (s : t) = undefined_symbol".to_string()),
+        ),
+    ]));
+    let answer = conn.wait_answer("bad");
+    assert_eq!(
+        answer.get("code").and_then(Json::as_str),
+        Some("bad-problem"),
+        "{}",
+        answer.render()
+    );
+    // Correlation: the error carries the submit's id, and the connection
+    // still serves good problems.
+    assert_eq!(answer.get("id").and_then(Json::as_str), Some("bad"));
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("good".to_string())),
+        ("source", Json::Str(TRIVIAL.to_string())),
+    ]));
+    let answer = conn.wait_answer("good");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant")
+    );
+}
+
+#[test]
+fn chaos_directives_are_refused_unless_enabled() {
+    let server = TestServer::spawn(small_config()); // chaos off by default
+    let mut conn = server.connect();
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("boom".to_string())),
+        ("source", Json::Str(TRIVIAL.to_string())),
+        (
+            "chaos",
+            Json::obj([("kind", Json::Str("panic".to_string()))]),
+        ),
+    ]));
+    let answer = conn.wait_answer("boom");
+    assert_eq!(
+        answer.get("code").and_then(Json::as_str),
+        Some("chaos-disabled"),
+        "{}",
+        answer.render()
+    );
+    conn.ping_pong();
+}
+
+#[test]
+fn mid_frame_disconnects_leave_the_server_available() {
+    let server = TestServer::spawn(small_config());
+    for _ in 0..5 {
+        let mut conn = server.connect();
+        conn.send_raw(br#"{"op":"submit","id":"trunc","sourc"#);
+        drop(conn); // disconnect mid-frame
+    }
+    let mut probe = server.connect();
+    probe.ping_pong();
+}
+
+#[test]
+fn stats_and_drain_report_over_the_wire() {
+    let server = TestServer::spawn(small_config());
+    let mut conn = server.connect();
+    conn.send(&Json::obj([("op", Json::Str("stats".to_string()))]));
+    let stats = conn.read_frame();
+    assert_eq!(stats.get("reply").and_then(Json::as_str), Some("stats"));
+    assert!(stats.get("server").is_some(), "{}", stats.render());
+    assert!(
+        stats
+            .get("server")
+            .unwrap()
+            .get("frames_received")
+            .is_some(),
+        "{}",
+        stats.render()
+    );
+
+    conn.send(&Json::obj([("op", Json::Str("drain".to_string()))]));
+    let ack = conn.read_frame();
+    assert_eq!(ack.get("reply").and_then(Json::as_str), Some("draining"));
+    // After the drain ack, new submits shed with reason `draining`.
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("late".to_string())),
+        ("source", Json::Str(TRIVIAL.to_string())),
+    ]));
+    let shed = conn.wait_answer("late");
+    assert_eq!(shed.get("reply").and_then(Json::as_str), Some("shed"));
+    assert_eq!(
+        shed.get("reason").and_then(Json::as_str),
+        Some("draining"),
+        "{}",
+        shed.render()
+    );
+    assert!(
+        shed.get("retry_after_ms")
+            .and_then(Json::as_usize)
+            .unwrap_or(0)
+            > 0
+    );
+}
+
+#[test]
+fn read_timeouts_do_not_poison_idle_connections() {
+    // An idle (but not expired) connection must stay usable across the
+    // server's internal 50 ms read-polling ticks.
+    let server = TestServer::spawn(small_config());
+    let mut conn = server.connect();
+    conn.ping_pong();
+    std::thread::sleep(Duration::from_millis(400));
+    conn.ping_pong();
+}
+
+#[test]
+fn slow_loris_writers_are_cut_off_by_the_frame_timeout() {
+    let config = small_config().with_frame_timeout(Duration::from_millis(300));
+    let server = TestServer::spawn(config);
+    let mut conn = server.connect();
+    conn.reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    // Drip one byte of a never-finished frame, slower than the timeout
+    // allows; the server must cut us off within a few seconds.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut cut = false;
+    while std::time::Instant::now() < deadline {
+        if conn.reader.get_mut().write_all(b"{").is_err() {
+            cut = true;
+            break;
+        }
+        let mut line = String::new();
+        match conn.reader.read_line(&mut line) {
+            Ok(0) => {
+                cut = true;
+                break;
+            }
+            Ok(_) => panic!("server answered an unfinished frame: {line}"),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                cut = true;
+                break;
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    assert!(cut, "slow-loris writer was never disconnected");
+    // And the server still answers everyone else.
+    let mut probe = server.connect();
+    probe.ping_pong();
+}

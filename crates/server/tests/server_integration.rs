@@ -1,0 +1,490 @@
+//! End-to-end server behavior: answers must match direct engine runs,
+//! overload must shed with backoff hints, quotas must keep one client from
+//! starving the rest, cancellation must work at the protocol level, an
+//! injected worker panic must cost exactly one run (never the process, the
+//! connection, or the warm caches), and a graceful drain must checkpoint
+//! warm-start state that a fresh engine can boot from.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hanoi::{Engine, EngineConfig, RunOptions};
+use hanoi_abstraction::Problem;
+use hanoi_lang::json::{self, Json};
+use hanoi_server::{Server, ServerConfig, ServerHandle};
+
+const TRIVIAL: &str = r#"
+    type nat = O | S of nat
+    interface I = sig
+      type t
+      val make : t
+    end
+    module M : I = struct
+      type t = nat
+      let make : t = O
+    end
+    spec (s : t) = s == s
+"#;
+
+const LIST_SET: &str = r#"
+    type nat = O | S of nat
+    type list = Nil | Cons of nat * list
+
+    interface SET = sig
+      type t
+      val empty : t
+      val insert : t -> nat -> t
+      val delete : t -> nat -> t
+      val lookup : t -> nat -> bool
+    end
+
+    module ListSet : SET = struct
+      type t = list
+      let empty : t = Nil
+      let rec lookup (l : t) (x : nat) : bool =
+        match l with
+        | Nil -> False
+        | Cons (hd, tl) -> hd == x || lookup tl x
+        end
+      let insert (l : t) (x : nat) : t =
+        if lookup l x then l else Cons (x, l)
+      let rec delete (l : t) (x : nat) : t =
+        match l with
+        | Nil -> Nil
+        | Cons (hd, tl) -> if hd == x then tl else Cons (hd, delete tl x)
+        end
+    end
+
+    spec (s : t) (i : nat) =
+      not (lookup empty i) && lookup (insert s i) i && not (lookup (delete s i) i)
+"#;
+
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    join: Option<JoinHandle<std::io::Result<usize>>>,
+}
+
+impl TestServer {
+    fn spawn(config: ServerConfig) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let handle = server.handle();
+        let addr = handle.addr().to_string();
+        let join = Some(std::thread::spawn(move || server.serve()));
+        TestServer { addr, handle, join }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Conn {
+            reader: BufReader::new(stream),
+            parked: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Drains and returns the number of warm-start snapshots written.
+    fn drain(mut self) -> usize {
+        self.handle.drain();
+        let snapshots = self
+            .handle
+            .wait_drained(Duration::from_secs(60))
+            .expect("drain timed out");
+        if let Some(join) = self.join.take() {
+            join.join().expect("serve thread").expect("serve result");
+        }
+        snapshots
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.drain();
+        self.handle.wait_drained(Duration::from_secs(60));
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    parked: std::collections::HashMap<String, Json>,
+}
+
+impl Conn {
+    fn send(&mut self, frame: &Json) {
+        json::write_frame(self.reader.get_mut(), frame).expect("write frame");
+    }
+
+    fn submit(&mut self, id: &str, source: &str) {
+        self.send(&Json::obj([
+            ("op", Json::Str("submit".to_string())),
+            ("id", Json::Str(id.to_string())),
+            ("source", Json::Str(source.to_string())),
+        ]));
+    }
+
+    fn submit_chaos(&mut self, id: &str, kind: &str, ms: u64) {
+        let chaos = if kind == "sleep" {
+            Json::obj([
+                ("kind", Json::Str("sleep".to_string())),
+                ("ms", Json::Num(ms as f64)),
+            ])
+        } else {
+            Json::obj([("kind", Json::Str(kind.to_string()))])
+        };
+        self.send(&Json::obj([
+            ("op", Json::Str("submit".to_string())),
+            ("id", Json::Str(id.to_string())),
+            ("source", Json::Str(TRIVIAL.to_string())),
+            ("chaos", chaos),
+        ]));
+    }
+
+    fn read_frame(&mut self) -> Json {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).expect("read");
+            assert!(n > 0, "server closed the connection");
+            if line.trim().is_empty() {
+                continue;
+            }
+            return json::parse(line.trim()).expect("reply frames are valid JSON");
+        }
+    }
+
+    /// The result/error/shed answer for `id`; answers for other pipelined
+    /// ids are parked (runs complete in worker order, not submit order).
+    fn wait_answer(&mut self, id: &str) -> Json {
+        if let Some(frame) = self.parked.remove(id) {
+            return frame;
+        }
+        loop {
+            let frame = self.read_frame();
+            let reply = frame.get("reply").and_then(Json::as_str).unwrap_or("");
+            if !matches!(reply, "result" | "error" | "shed") {
+                continue;
+            }
+            let frame_id = frame.get("id").and_then(Json::as_str).unwrap_or("");
+            if frame_id == id {
+                return frame;
+            }
+            if !frame_id.is_empty() {
+                self.parked.insert(frame_id.to_string(), frame);
+            }
+        }
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hanoi-server-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn answers_match_direct_engine_runs() {
+    let server = TestServer::spawn(ServerConfig::default().with_workers(2));
+    let engine = Engine::with_defaults();
+    for (name, source) in [("trivial", TRIVIAL), ("list-set", LIST_SET)] {
+        let direct = engine.run(&Problem::from_source(source).unwrap(), &RunOptions::quick());
+        let expected = direct
+            .outcome
+            .invariant()
+            .unwrap_or_else(|| panic!("{name}: direct run failed: {}", direct.outcome))
+            .to_string();
+        let mut conn = server.connect();
+        conn.submit(name, source);
+        let answer = conn.wait_answer(name);
+        assert_eq!(
+            answer.get("status").and_then(Json::as_str),
+            Some("invariant"),
+            "{name}: {}",
+            answer.render()
+        );
+        assert_eq!(
+            answer.get("invariant").and_then(Json::as_str),
+            Some(expected.as_str()),
+            "{name}: the served answer differs from a direct engine run"
+        );
+        // Accounting rode along: stats and timing are on the frame.
+        assert!(answer.get("stats").is_some());
+        assert!(answer.get("run_ms").and_then(Json::as_usize).is_some());
+    }
+}
+
+#[test]
+fn event_streams_arrive_in_protocol_order() {
+    let server = TestServer::spawn(ServerConfig::default().with_workers(1));
+    let mut conn = server.connect();
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("observed".to_string())),
+        ("source", Json::Str(TRIVIAL.to_string())),
+        ("events", Json::Bool(true)),
+    ]));
+    let mut kinds = Vec::new();
+    let result = loop {
+        let frame = conn.read_frame();
+        match frame.get("reply").and_then(Json::as_str) {
+            Some("event") => {
+                kinds.push(
+                    frame
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .expect("events carry a kind")
+                        .to_string(),
+                );
+            }
+            Some("result") => break frame,
+            Some("accepted") => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+    assert_eq!(
+        result.get("status").and_then(Json::as_str),
+        Some("invariant")
+    );
+    assert_eq!(kinds.first().map(String::as_str), Some("run-started"));
+    assert_eq!(kinds.last().map(String::as_str), Some("run-finished"));
+}
+
+#[test]
+fn overload_at_twice_the_budget_sheds_with_retry_hints() {
+    // 1 worker, queue depth 2, generous quota: budget = 3 concurrent jobs.
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_max_queue_depth(2)
+            .with_per_client_quota(64)
+            .with_chaos(true),
+    );
+    let mut conn = server.connect();
+    let burst = 6; // 2x the admission budget
+    for i in 0..burst {
+        // Sleep-chaos keeps the worker busy so the queue genuinely fills.
+        conn.submit_chaos(&format!("burst-{i}"), "sleep", 200);
+    }
+    let mut accepted = 0;
+    let mut shed = 0;
+    for i in 0..burst {
+        let answer = conn.wait_answer(&format!("burst-{i}"));
+        match answer.get("reply").and_then(Json::as_str) {
+            Some("shed") => {
+                shed += 1;
+                assert_eq!(
+                    answer.get("reason").and_then(Json::as_str),
+                    Some("queue-full"),
+                    "{}",
+                    answer.render()
+                );
+                let hint = answer
+                    .get("retry_after_ms")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0);
+                assert!(hint > 0, "shed replies must carry a backoff hint");
+            }
+            Some("result") => accepted += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(accepted >= 1, "the in-budget prefix must be served");
+    assert!(
+        shed >= burst - 3,
+        "an overload burst of {burst} against a budget of 3 shed only {shed}"
+    );
+}
+
+#[test]
+fn per_client_quota_protects_other_clients() {
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_max_queue_depth(16)
+            .with_per_client_quota(2)
+            .with_chaos(true),
+    );
+    let mut greedy = server.connect();
+    for i in 0..4 {
+        greedy.submit_chaos(&format!("greedy-{i}"), "sleep", 300);
+    }
+    let mut shed_reasons = Vec::new();
+    for i in 0..4 {
+        let answer = greedy.wait_answer(&format!("greedy-{i}"));
+        if answer.get("reply").and_then(Json::as_str) == Some("shed") {
+            shed_reasons.push(
+                answer
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            );
+        }
+    }
+    assert!(
+        shed_reasons.iter().any(|r| r == "client-quota"),
+        "a client 2x over quota was never shed: {shed_reasons:?}"
+    );
+    // A different client was never locked out (the queue had room).
+    let mut modest = server.connect();
+    modest.submit("modest", TRIVIAL);
+    let answer = modest.wait_answer("modest");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        answer.render()
+    );
+}
+
+#[test]
+fn queued_runs_can_be_cancelled_over_the_wire() {
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_max_queue_depth(8)
+            .with_chaos(true),
+    );
+    let mut conn = server.connect();
+    // Occupy the single worker, then queue a victim behind it.
+    conn.submit_chaos("blocker", "sleep", 500);
+    conn.submit("victim", TRIVIAL);
+    conn.send(&Json::obj([
+        ("op", Json::Str("cancel".to_string())),
+        ("id", Json::Str("victim".to_string())),
+    ]));
+    let ack = loop {
+        let frame = conn.read_frame();
+        if frame.get("reply").and_then(Json::as_str) == Some("cancelled") {
+            break frame;
+        }
+    };
+    assert_eq!(ack.get("found").and_then(Json::as_bool), Some(true));
+    let victim = conn.wait_answer("victim");
+    assert_eq!(
+        victim.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "{}",
+        victim.render()
+    );
+    // Cancelling an unknown id is answered honestly.
+    conn.send(&Json::obj([
+        ("op", Json::Str("cancel".to_string())),
+        ("id", Json::Str("never-was".to_string())),
+    ]));
+    let ack = loop {
+        let frame = conn.read_frame();
+        if frame.get("reply").and_then(Json::as_str) == Some("cancelled") {
+            break frame;
+        }
+    };
+    assert_eq!(ack.get("found").and_then(Json::as_bool), Some(false));
+}
+
+#[test]
+fn watchdog_ceiling_clamps_client_timeouts() {
+    // The client asks for a 10-minute budget; the server's watchdog ceiling
+    // is far smaller and must win.
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_watchdog(Duration::from_millis(1)),
+    );
+    let mut conn = server.connect();
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str("hog".to_string())),
+        ("source", Json::Str(LIST_SET.to_string())),
+        ("options", Json::obj([("timeout_ms", Json::Num(600_000.0))])),
+    ]));
+    let answer = conn.wait_answer("hog");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("timeout"),
+        "{}",
+        answer.render()
+    );
+}
+
+#[test]
+fn a_panicking_run_is_isolated_and_warm_caches_survive() {
+    let server = TestServer::spawn(ServerConfig::default().with_workers(2).with_chaos(true));
+    let mut conn = server.connect();
+    // Warm the problem's caches with a clean run.
+    conn.submit("warm", TRIVIAL);
+    let warm = conn.wait_answer("warm");
+    assert_eq!(warm.get("status").and_then(Json::as_str), Some("invariant"));
+
+    // A worker panic becomes a structured error on the SAME connection.
+    conn.submit_chaos("boom", "panic", 0);
+    let boom = conn.wait_answer("boom");
+    assert_eq!(
+        boom.get("reply").and_then(Json::as_str),
+        Some("error"),
+        "{}",
+        boom.render()
+    );
+    assert_eq!(boom.get("code").and_then(Json::as_str), Some("panic"));
+
+    // The process, the connection, and the warm caches all survived: the
+    // next run must not rebuild its value pools.
+    conn.submit("after", TRIVIAL);
+    let after = conn.wait_answer("after");
+    assert_eq!(
+        after.get("status").and_then(Json::as_str),
+        Some("invariant")
+    );
+    let pool_builds = after
+        .get("stats")
+        .and_then(|s| s.get("pool_builds"))
+        .and_then(Json::as_usize);
+    assert_eq!(
+        pool_builds,
+        Some(0),
+        "warm caches were lost across the panic: {}",
+        after.render()
+    );
+}
+
+#[test]
+fn drain_checkpoints_warm_state_a_fresh_engine_boots_from() {
+    let dir = scratch_dir("drain");
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_engine(EngineConfig::default().with_warm_start_dir(&dir)),
+    );
+    let mut conn = server.connect();
+    conn.submit("seed", TRIVIAL);
+    let seed = conn.wait_answer("seed");
+    assert_eq!(seed.get("status").and_then(Json::as_str), Some("invariant"));
+    let snapshots = server.drain();
+    assert!(snapshots >= 1, "drain wrote no warm-start snapshots");
+
+    // "Next process": a brand-new engine pointed at the drained store must
+    // come up warm.
+    let engine = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+    let restarted = engine.run(
+        &Problem::from_source(TRIVIAL).unwrap(),
+        &RunOptions::quick(),
+    );
+    assert!(restarted.is_success());
+    assert!(
+        restarted.stats.warm_start_loads > 0,
+        "restart found nothing to load: {:?}",
+        restarted.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,8 +1,9 @@
 //! Warm-start store correctness: a run restored from a *disk snapshot* in a
 //! brand-new engine — the cross-process reuse path — must produce results
 //! identical to a cold run on every benchmark of the suite, and a tampered
-//! or version-mismatched snapshot must degrade to a clean cold start, never
-//! a wrong answer.
+//! or version-mismatched snapshot must degrade to a clean cold start —
+//! never a wrong answer — while the defective file is quarantined
+//! (renamed to `<fingerprint>.json.corrupt`) so it is parsed exactly once.
 //!
 //! This is the cross-process analogue of `tests/engine_reuse_equivalence.rs`
 //! (which pins in-process warm ≡ cold): here the warmth travels through
@@ -175,6 +176,7 @@ fn tampered_snapshots_fall_back_to_cold_never_a_wrong_answer() {
     // entry list structurally.
     let broken_component = pristine.replacen("\"entries\": [", "\"entries\": [17, ", 1);
     assert_ne!(broken_component, pristine);
+    let quarantine_path = dir.join(format!("{}.json.corrupt", problem.fingerprint().to_hex()));
     for (tag, tampered) in [
         ("truncated", &truncated),
         ("garbage", &garbage),
@@ -201,13 +203,36 @@ fn tampered_snapshots_fall_back_to_cold_never_a_wrong_answer() {
             result.stats.iterations, cold.stats.iterations,
             "{tag}: the fallback run must be exactly the cold run"
         );
+        // Every rejected-but-present snapshot is quarantined: moved aside
+        // to `<fingerprint>.json.corrupt` (so the next process start does
+        // not re-parse the same broken bytes) and reported in the stats.
+        assert_eq!(
+            result.stats.warm_start_quarantined, 1,
+            "{tag}: a rejected snapshot must be reported as quarantined"
+        );
+        assert!(
+            quarantine_path.is_file(),
+            "{tag}: the broken snapshot must be preserved at {quarantine_path:?}"
+        );
+        assert!(
+            !path.is_file(),
+            "{tag}: the broken snapshot must be moved aside, not left in place"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&quarantine_path).unwrap(),
+            **tampered,
+            "{tag}: quarantine must preserve the defective bytes for diagnosis"
+        );
     }
 
-    // And the pristine snapshot still restores after all that.
+    // And the pristine snapshot still restores after all that — with
+    // nothing quarantined on the clean path.
     std::fs::write(&path, &pristine).unwrap();
     let restored = warm_engine(&dir).run(&problem, &options);
     assert_eq!(outcome_key(&restored.outcome), outcome_key(&cold.outcome));
     assert!(restored.stats.warm_start_loads > 0);
+    assert_eq!(restored.stats.warm_start_quarantined, 0);
+    assert!(path.is_file(), "a valid snapshot stays in place");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
