@@ -140,6 +140,22 @@ fn main() {
                 "speedup_restored_over_cold",
             )),
         ),
+        // Server durability: reconnect-storm end-to-end latency (the p95
+        // run time across a forced mid-stream disconnect and resume).
+        (
+            "server_resume_storm_p95_ms",
+            opt(num_at(
+                &summary,
+                "server_stress.resume_storm.latency.p95_ms",
+            )),
+        ),
+        (
+            "server_resume_storm_disconnects",
+            opt(num_at(
+                &summary,
+                "server_stress.resume_storm.forced_disconnects",
+            )),
+        ),
     ]);
 
     let mut rendered = line.render();

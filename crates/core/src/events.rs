@@ -103,6 +103,68 @@ pub enum RunEvent {
     },
 }
 
+/// A [`RunEvent`] paired with its 1-based sequence number in the run's
+/// stream.
+///
+/// Sequence numbers give an event stream an identity that survives the
+/// transport that carried it: a consumer that saw events `1..=k` before its
+/// connection died can prove, after reconnecting, that a replayed stream
+/// continues exactly where it stopped (the next event is `k+1`) and that
+/// nothing was silently dropped in between.  Within one run, sequence
+/// numbers are consecutive from 1 in emission order.
+#[derive(Debug, Clone)]
+pub struct SequencedEvent {
+    /// Position in the run's event stream (1-based, consecutive).
+    pub seq: u64,
+    /// The event itself.
+    pub event: RunEvent,
+}
+
+/// Issues the consecutive, 1-based sequence numbers of one run's event
+/// stream.
+///
+/// The counter is deliberately separable from the events: journaling layers
+/// (e.g. a replay buffer that also stamps the run's terminal result) need to
+/// draw numbers from the same sequence as the events proper, so the stream
+/// stays contiguous end to end.
+#[derive(Debug, Clone)]
+pub struct Sequencer {
+    next: u64,
+}
+
+impl Default for Sequencer {
+    fn default() -> Self {
+        Sequencer::new()
+    }
+}
+
+impl Sequencer {
+    /// A sequencer whose first issued number is 1.
+    pub fn new() -> Self {
+        Sequencer { next: 1 }
+    }
+
+    /// Issues the next sequence number.
+    pub fn issue(&mut self) -> u64 {
+        let seq = self.next;
+        self.next += 1;
+        seq
+    }
+
+    /// Stamps `event` with the next sequence number.
+    pub fn stamp(&mut self, event: RunEvent) -> SequencedEvent {
+        SequencedEvent {
+            seq: self.issue(),
+            event,
+        }
+    }
+
+    /// The number the next [`Sequencer::issue`] will return.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+}
+
 /// A sink for [`RunEvent`]s, registered per run.
 ///
 /// Observers run on the inference thread: keep `on_event` cheap and
@@ -177,5 +239,20 @@ mod tests {
             1
         );
         assert_eq!(RunPhase::Sufficiency.label(), "sufficiency");
+    }
+
+    #[test]
+    fn sequencers_issue_consecutive_one_based_numbers() {
+        let mut sequencer = Sequencer::new();
+        assert_eq!(sequencer.next_seq(), 1);
+        let stamped = sequencer.stamp(RunEvent::RunFinished {
+            success: true,
+            iterations: 1,
+            total: Duration::from_millis(1),
+        });
+        assert_eq!(stamped.seq, 1);
+        assert_eq!(sequencer.issue(), 2);
+        assert_eq!(sequencer.issue(), 3);
+        assert_eq!(sequencer.next_seq(), 4);
     }
 }

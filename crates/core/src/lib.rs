@@ -57,7 +57,7 @@ pub use config::{
 #[allow(deprecated)]
 pub use driver::Driver;
 pub use engine::{BatchJob, Engine};
-pub use events::{CollectingObserver, RunEvent, RunObserver, RunPhase};
+pub use events::{CollectingObserver, RunEvent, RunObserver, RunPhase, SequencedEvent, Sequencer};
 pub use outcome::{Outcome, RunResult};
 pub use session::Session;
 pub use stats::RunStats;

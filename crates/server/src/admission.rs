@@ -8,7 +8,13 @@
 //! [`crate::ServerConfig::per_client_quota`]) is rejected immediately with a
 //! [`ShedReason`] and a `retry_after_ms` hint that scales with the current
 //! backlog per worker — clients learn to back off harder the more overloaded
-//! the server is.
+//! the server is.  The hint carries ±25% of deterministic jitter: identical
+//! hints to a burst of shed clients would synchronize their retries into a
+//! thundering herd that re-overloads the queue at the same instant.
+//!
+//! The bounds themselves are read from the server's [`HotTunables`] on
+//! every submit, so a hot config reload resizes the queue and quotas for
+//! the very next request without restarting workers.
 //!
 //! The queue is also the drain gate: [`Admission::begin_drain`] atomically
 //! stops admission (everything new sheds with [`ShedReason::Draining`])
@@ -18,10 +24,13 @@
 //! panicking worker cannot wedge admission for everyone else.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::config::HotTunables;
 use crate::protocol::ShedReason;
+use crate::registry::splitmix64;
 
 /// Ceiling on the backoff hint handed to shed clients.
 const MAX_RETRY_AFTER_MS: u64 = 30_000;
@@ -33,9 +42,9 @@ pub struct Admission<J> {
     state: Mutex<State<J>>,
     wake: Condvar,
     workers: usize,
-    max_depth: usize,
-    quota: usize,
-    retry_base_ms: u64,
+    tunables: Arc<HotTunables>,
+    /// Stream state for the retry-hint jitter (SplitMix64 counter).
+    jitter: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -61,8 +70,9 @@ pub enum Next<J> {
 }
 
 impl<J> Admission<J> {
-    /// Creates a queue sized by the server's admission budget.
-    pub fn new(workers: usize, max_depth: usize, quota: usize, retry_base_ms: u64) -> Self {
+    /// Creates a queue reading its depth, quota, and retry base from the
+    /// server's hot tunables on every submit.
+    pub fn new(workers: usize, tunables: Arc<HotTunables>) -> Self {
         Admission {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -73,9 +83,8 @@ impl<J> Admission<J> {
             }),
             wake: Condvar::new(),
             workers: workers.max(1),
-            max_depth,
-            quota,
-            retry_base_ms,
+            tunables,
+            jitter: AtomicU64::new(0x005e_ed0f_ad15_5105),
         }
     }
 
@@ -84,29 +93,35 @@ impl<J> Admission<J> {
     }
 
     /// The backoff hint: the base interval scaled by how many jobs are
-    /// already waiting or running per worker.
-    fn retry_hint(&self, state: &State<J>) -> u64 {
+    /// already waiting or running per worker, then spread by ±25% of
+    /// bounded jitter so a burst of simultaneous sheds does not come back
+    /// as a synchronized retry herd.
+    fn retry_hint(&self, state: &State<J>, base_ms: u64) -> u64 {
         let backlog_per_worker = (state.queue.len() + state.active) as u64 / self.workers as u64;
-        self.retry_base_ms
+        let hint = base_ms
             .saturating_mul(1 + backlog_per_worker)
-            .min(MAX_RETRY_AFTER_MS)
+            .min(MAX_RETRY_AFTER_MS);
+        let spread = hint / 2;
+        let rand = splitmix64(self.jitter.fetch_add(1, Ordering::Relaxed));
+        (hint - hint / 4 + rand % (spread + 1)).clamp(1, MAX_RETRY_AFTER_MS)
     }
 
     /// Admits a job, or sheds it with a reason and a backoff hint.  Returns
     /// the queue depth the job joined at (including itself).
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, client: u64, job: J) -> Result<usize, (ShedReason, u64)> {
+        let tunables = self.tunables.get();
         let mut state = self.lock();
         if state.draining || state.shutdown {
-            let hint = self.retry_hint(&state);
+            let hint = self.retry_hint(&state, tunables.retry_after_base_ms);
             return Err((ShedReason::Draining, hint));
         }
-        if state.in_flight.get(&client).copied().unwrap_or(0) >= self.quota {
-            let hint = self.retry_hint(&state);
+        if state.in_flight.get(&client).copied().unwrap_or(0) >= tunables.per_client_quota {
+            let hint = self.retry_hint(&state, tunables.retry_after_base_ms);
             return Err((ShedReason::ClientQuota, hint));
         }
-        if state.queue.len() >= self.max_depth {
-            let hint = self.retry_hint(&state);
+        if state.queue.len() >= tunables.max_queue_depth {
+            let hint = self.retry_hint(&state, tunables.retry_after_base_ms);
             return Err((ShedReason::QueueFull, hint));
         }
         *state.in_flight.entry(client).or_insert(0) += 1;
@@ -224,17 +239,26 @@ fn release_quota(in_flight: &mut HashMap<u64, usize>, client: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{ServerConfig, Tunables};
+
+    fn tunables(depth: usize, quota: usize, base_ms: u64) -> Arc<HotTunables> {
+        let mut tunables = Tunables::from_config(&ServerConfig::new());
+        tunables.max_queue_depth = depth;
+        tunables.per_client_quota = quota;
+        tunables.retry_after_base_ms = base_ms;
+        Arc::new(HotTunables::new(tunables))
+    }
 
     #[test]
     fn bounds_quota_and_shed_reasons() {
         // 1 worker, depth 2, quota 2.
-        let queue: Admission<&'static str> = Admission::new(1, 2, 2, 100);
+        let queue: Admission<&'static str> = Admission::new(1, tunables(2, 2, 100));
         assert_eq!(queue.submit(1, "a"), Ok(1));
         assert_eq!(queue.submit(1, "b"), Ok(2));
         // Client 1 is at quota; client 2 hits the depth bound instead.
         let (reason, hint) = queue.submit(1, "c").unwrap_err();
         assert_eq!(reason, ShedReason::ClientQuota);
-        assert!(hint >= 100);
+        assert!(hint >= 100, "jitter floor is -25% of the base hint: {hint}");
         let (reason, _) = queue.submit(2, "d").unwrap_err();
         assert_eq!(reason, ShedReason::QueueFull);
 
@@ -258,19 +282,44 @@ mod tests {
     }
 
     #[test]
-    fn retry_hint_scales_with_backlog() {
-        let queue: Admission<usize> = Admission::new(1, 4, 64, 100);
+    fn retry_hint_scales_with_backlog_and_jitter_spreads_the_herd() {
+        let queue: Admission<usize> = Admission::new(1, tunables(4, 64, 100));
         for job in 0..4 {
             queue.submit(9, job).unwrap();
         }
-        let (_, hint) = queue.submit(9, 99).unwrap_err();
-        // 4 queued jobs on 1 worker: base * (1 + 4).
-        assert_eq!(hint, 500);
+        // 4 queued jobs on 1 worker: the deterministic hint is
+        // base * (1 + 4) = 500 ms; jitter keeps it within ±25%.
+        let hints: Vec<u64> = (0..32)
+            .map(|_| queue.submit(9, 99).unwrap_err().1)
+            .collect();
+        for &hint in &hints {
+            assert!((375..=625).contains(&hint), "hint {hint} out of band");
+        }
+        // The herd is actually spread: a burst of sheds does not hand every
+        // client the same retry instant.
+        let distinct: std::collections::HashSet<u64> = hints.iter().copied().collect();
+        assert!(distinct.len() > 8, "only {} distinct hints", distinct.len());
+    }
+
+    #[test]
+    fn reloaded_tunables_govern_the_next_submit() {
+        let hot = tunables(1, 8, 100);
+        let queue: Admission<usize> = Admission::new(1, hot.clone());
+        queue.submit(1, 0).unwrap();
+        assert!(matches!(
+            queue.submit(1, 1),
+            Err((ShedReason::QueueFull, _))
+        ));
+        // A hot reload deepens the queue: the very next submit is admitted.
+        let mut wider = (*hot.get()).clone();
+        wider.max_queue_depth = 4;
+        hot.swap(wider);
+        assert_eq!(queue.submit(1, 1), Ok(2));
     }
 
     #[test]
     fn drain_stops_admission_and_idles() {
-        let queue: Admission<usize> = Admission::new(1, 8, 8, 10);
+        let queue: Admission<usize> = Admission::new(1, tunables(8, 8, 10));
         queue.submit(1, 7).unwrap();
         queue.begin_drain();
         assert!(queue.is_draining());

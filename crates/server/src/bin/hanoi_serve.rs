@@ -1,16 +1,22 @@
 //! The production server binary: a bounded, fault-isolated TCP front end
-//! over one long-lived inference engine, with signal-driven graceful drain.
+//! over one long-lived inference engine, with signal-driven graceful drain
+//! and SIGHUP-driven hot config reload.
 //!
 //! ```text
 //! hanoi_serve [--addr HOST:PORT] [--workers N] [--queue N] [--quota N]
-//!             [--parallelism N] [--warm-dir DIR] [--watchdog-secs N]
-//!             [--drain-secs N] [--max-conns N] [--chaos]
+//!             [--rate PER_SEC] [--burst N] [--grace-secs N]
+//!             [--config FILE] [--parallelism N] [--warm-dir DIR]
+//!             [--watchdog-secs N] [--drain-secs N] [--max-conns N]
+//!             [--chaos]
 //! ```
 //!
 //! SIGTERM or SIGINT triggers a graceful drain: stop admitting, finish (or
 //! cancel) in-flight runs, checkpoint warm-start snapshots into
-//! `--warm-dir`, exit.  `--chaos` enables the fault-injection protocol
-//! directives used by `hanoi_stress` — never enable it in production.
+//! `--warm-dir`, exit.  SIGHUP re-reads `--config` (a flat JSON object of
+//! tunables — see [`hanoi_server::Tunables::overlaid`]) and swaps the
+//! operational tunables atomically, without dropping in-flight runs.
+//! `--chaos` enables the fault-injection protocol directives used by
+//! `hanoi_stress` — never enable it in production.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -20,7 +26,10 @@ use hanoi_server::{Server, ServerConfig};
 
 /// Flipped by the signal handler; polled by the drain watcher thread.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Flipped by SIGHUP; polled by the same watcher, which runs the reload.
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
+const SIGHUP: i32 = 1;
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
@@ -29,9 +38,13 @@ extern "C" {
     fn signal(signum: i32, handler: usize) -> usize;
 }
 
-/// The handler body is one atomic store: async-signal-safe.
+/// The handler bodies are one atomic store each: async-signal-safe.
 extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" fn on_reload(_signum: i32) {
+    RELOAD.store(true, Ordering::Relaxed);
 }
 
 fn main() {
@@ -61,6 +74,18 @@ fn main() {
     if let Some(quota) = number("--quota") {
         config = config.with_per_client_quota(quota);
     }
+    if let Some(rate) = value("--rate").and_then(|v| v.parse::<f64>().ok()) {
+        let burst = value("--burst")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(16.0);
+        config = config.with_rate_limit(rate, burst);
+    }
+    if let Some(secs) = number("--grace-secs") {
+        config = config.with_disconnect_grace(Duration::from_secs(secs as u64));
+    }
+    if let Some(path) = value("--config") {
+        config = config.with_config_path(path);
+    }
     if let Some(secs) = number("--watchdog-secs") {
         config = config.with_watchdog(Duration::from_secs(secs as u64));
     }
@@ -80,6 +105,7 @@ fn main() {
     unsafe {
         signal(SIGTERM, on_signal as *const () as usize);
         signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGHUP, on_reload as *const () as usize);
     }
 
     let server = match Server::bind(&addr, config) {
@@ -91,12 +117,23 @@ fn main() {
     };
     eprintln!("hanoi-serve: listening on {}", server.local_addr());
     let handle = server.handle();
-    let drain_handle = handle.clone();
+    let watcher_handle = handle.clone();
     std::thread::spawn(move || loop {
         if SHUTDOWN.load(Ordering::Relaxed) {
             eprintln!("hanoi-serve: signal received, draining");
-            drain_handle.drain();
+            watcher_handle.drain();
             return;
+        }
+        if RELOAD.swap(false, Ordering::Relaxed) {
+            match watcher_handle.reload_from_file() {
+                Ok(tunables) => {
+                    eprintln!("hanoi-serve: reloaded tunables: {}", tunables.render());
+                }
+                Err(e) => {
+                    // A bad reload keeps the previous tunables in force.
+                    eprintln!("hanoi-serve: reload failed ({}): {}", e.code, e.message);
+                }
+            }
         }
         std::thread::sleep(Duration::from_millis(100));
     });

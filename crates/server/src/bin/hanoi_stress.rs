@@ -20,6 +20,19 @@
 //!   injected worker panics, interleaved with well-formed requests that
 //!   must keep working; completed answers are verified against direct
 //!   [`Engine`] runs.
+//! * **resume equivalence** — for several benchmark problems, a run whose
+//!   client is forcibly disconnected at assorted stream offsets and
+//!   resumed by token must produce the identical result over a contiguous,
+//!   gap-free sequence-numbered stream — indistinguishable from an
+//!   uninterrupted run.
+//! * **reconnect storm** — ≥50 concurrent clients each rip their socket
+//!   out mid-stream at a client-specific offset, reconnect, resume, and
+//!   verify the merged stream; end-to-end latency (including the
+//!   disconnect) lands in its own histogram.
+//! * **reload** — a SIGHUP raised mid-stress re-reads the config file and
+//!   turns on a token-bucket rate limit; the new limit must shed an
+//!   immediate volley with `rate-limited` hints while a run in flight
+//!   across the swap completes untouched.
 //! * **drain** — a protocol-level `drain` must checkpoint warm-start
 //!   snapshots, and a fresh engine booted from them must report
 //!   `warm_start_loads > 0`.
@@ -30,6 +43,7 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -37,7 +51,24 @@ use hanoi::{Engine, EngineConfig, RunOptions};
 use hanoi_abstraction::Problem;
 use hanoi_bench::latency::LatencyHistogram;
 use hanoi_lang::json::{self, Json};
-use hanoi_server::{Server, ServerConfig};
+use hanoi_server::{Server, ServerConfig, ServerHandle};
+
+/// Flipped by the SIGHUP handler; the reload phase polls it to prove the
+/// signal actually arrived before running the reload.
+static HUP: AtomicBool = AtomicBool::new(false);
+
+const SIGHUP: i32 = 1;
+
+extern "C" {
+    /// libc `signal(2)`/`raise(3)` — raw FFI, as the container ships no
+    /// signal crate.
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+extern "C" fn on_hup(_signum: i32) {
+    HUP.store(true, Ordering::Relaxed);
+}
 
 /// A named chaos scenario: a closure probing one failure mode of the server.
 type Scenario<'a> = Box<dyn Fn() -> Result<(), String> + 'a>;
@@ -165,6 +196,33 @@ impl Client {
     }
 }
 
+fn streaming_submit_frame(id: &str, source: &str, sleep_ms: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("source", Json::Str(source.to_string())),
+        ("events", Json::Bool(true)),
+    ];
+    if let Some(ms) = sleep_ms {
+        fields.push((
+            "chaos",
+            Json::obj([
+                ("kind", Json::Str("sleep".to_string())),
+                ("ms", Json::Num(ms as f64)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
+}
+
+fn resume_frame(token: &str, last_seq: u64) -> Json {
+    Json::obj([
+        ("op", Json::Str("resume".to_string())),
+        ("token", Json::Str(token.to_string())),
+        ("last_seq", Json::Num(last_seq as f64)),
+    ])
+}
+
 fn submit_frame(id: &str, source: &str) -> Json {
     Json::obj([
         ("op", Json::Str("submit".to_string())),
@@ -210,6 +268,17 @@ struct Report {
     violations: Vec<String>,
     drain_snapshots: Option<usize>,
     restart_warm_loads: Option<u64>,
+    /// Benchmark problems proven disconnect/resume-equivalent.
+    equivalence_sources: u64,
+    /// Reconnect storm: clients, successful resumes, forced disconnects,
+    /// and end-to-end latency across the disconnect.
+    storm_clients: u64,
+    storm_resumed: u64,
+    storm_disconnects: u64,
+    storm_latency: LatencyHistogram,
+    /// Reload phase: config reloads applied and rate-limit sheds observed.
+    reloads_applied: u64,
+    rate_limited_sheds: u64,
 }
 
 impl Report {
@@ -235,6 +304,32 @@ impl Report {
                 ]),
             ),
             ("chaos_scenarios", Json::Num(self.chaos_scenarios as f64)),
+            (
+                "resume_equivalence",
+                Json::obj([("sources", Json::Num(self.equivalence_sources as f64))]),
+            ),
+            (
+                "resume_storm",
+                Json::obj([
+                    ("clients", Json::Num(self.storm_clients as f64)),
+                    ("resumed", Json::Num(self.storm_resumed as f64)),
+                    (
+                        "forced_disconnects",
+                        Json::Num(self.storm_disconnects as f64),
+                    ),
+                    ("latency", self.storm_latency.summary()),
+                ]),
+            ),
+            (
+                "reload",
+                Json::obj([
+                    ("reloads_applied", Json::Num(self.reloads_applied as f64)),
+                    (
+                        "rate_limited_sheds",
+                        Json::Num(self.rate_limited_sheds as f64),
+                    ),
+                ]),
+            ),
             ("violations", Json::Num(self.violations.len() as f64)),
             (
                 "drain_snapshots",
@@ -438,6 +533,374 @@ fn overload_phase(addr: &str, budget: usize, quota: usize, report: &Mutex<Report
         report.violation(format!(
             "overload at 2x budget ({target} submits) produced no shed replies"
         ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability phases: resume equivalence, reconnect storm, hot reload
+// ---------------------------------------------------------------------------
+
+/// Reads sequenced frames (`event`/`result`/`error`) into `frames`,
+/// tracking the last seen sequence number.  Returns `Ok(true)` at the
+/// terminal frame, `Ok(false)` after `limit` frames on this leg.  A `gap`
+/// frame is a violation: no phase here journals enough to evict.
+fn read_sequenced(
+    client: &mut Client,
+    frames: &mut Vec<Json>,
+    last_seq: &mut u64,
+    limit: Option<usize>,
+) -> Result<bool, String> {
+    let mut read_here = 0usize;
+    loop {
+        if let Some(limit) = limit {
+            if read_here >= limit {
+                return Ok(false);
+            }
+        }
+        let frame = client.read_frame().map_err(|e| format!("read: {e}"))?;
+        match frame.get("reply").and_then(Json::as_str) {
+            Some("event") | Some("result") | Some("error") => {
+                if let Some(seq) = frame.get("seq").and_then(Json::as_usize) {
+                    *last_seq = seq as u64;
+                }
+                let terminal = frame.get("reply").and_then(Json::as_str) != Some("event");
+                frames.push(frame);
+                read_here += 1;
+                if terminal {
+                    return Ok(true);
+                }
+            }
+            Some("gap") => return Err(format!("unexpected gap: {}", frame.render())),
+            Some("shed") => return Err(format!("unexpectedly shed: {}", frame.render())),
+            _ => continue, // accepted / resumed acks
+        }
+    }
+}
+
+/// Waits for this id's admission verdict: `Ok(token)` or `Err(backoff_ms)`.
+fn wait_admission(client: &mut Client, id: &str) -> Result<Result<String, u64>, String> {
+    loop {
+        let frame = client.read_frame().map_err(|e| format!("read: {e}"))?;
+        let frame_id = frame.get("id").and_then(Json::as_str).unwrap_or("");
+        match frame.get("reply").and_then(Json::as_str) {
+            Some("accepted") if frame_id == id => {
+                let token = frame
+                    .get("token")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("accepted without a token: {}", frame.render()))?;
+                return Ok(Ok(token.to_string()));
+            }
+            Some("shed") if frame_id == id => {
+                let backoff = frame
+                    .get("retry_after_ms")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0) as u64;
+                if backoff == 0 {
+                    return Err("shed without a retry_after_ms hint".to_string());
+                }
+                return Ok(Err(backoff));
+            }
+            Some("error") if frame_id == id => return Err(format!("rejected: {}", frame.render())),
+            _ => continue,
+        }
+    }
+}
+
+/// Checks the frames form one complete run stream — sequence numbers
+/// exactly `1..=n`, ending in a terminal frame — and returns the terminal.
+fn check_contiguous(frames: &[Json], what: &str) -> Result<Json, String> {
+    if frames.is_empty() {
+        return Err(format!("{what}: empty stream"));
+    }
+    for (i, frame) in frames.iter().enumerate() {
+        match frame.get("seq").and_then(Json::as_usize) {
+            Some(seq) if seq == i + 1 => {}
+            _ => {
+                return Err(format!(
+                    "{what}: hole or duplicate at position {i}: {}",
+                    frame.render()
+                ))
+            }
+        }
+    }
+    let last = frames.last().unwrap();
+    match last.get("reply").and_then(Json::as_str) {
+        Some("result") | Some("error") => Ok(last.clone()),
+        _ => Err(format!("{what}: stream has no terminal frame")),
+    }
+}
+
+/// One uninterrupted streamed run: the reference stream.
+fn run_uninterrupted(addr: &str, id: &str, source: &str) -> Result<Vec<Json>, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .send(&streaming_submit_frame(id, source, None))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut frames = Vec::new();
+    let mut last_seq = 0u64;
+    read_sequenced(&mut client, &mut frames, &mut last_seq, None)?;
+    Ok(frames)
+}
+
+/// The same run chopped up: the socket is ripped out after each offset's
+/// worth of frames, then a fresh connection resumes by token from the last
+/// seen sequence number.  Returns the merged stream and the disconnects
+/// actually forced.
+fn run_interrupted(
+    addr: &str,
+    id: &str,
+    source: &str,
+    offsets: &[usize],
+    sleep_ms: u64,
+) -> Result<(Vec<Json>, usize), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .send(&streaming_submit_frame(id, source, Some(sleep_ms)))
+        .map_err(|e| format!("send: {e}"))?;
+    let token = match wait_admission(&mut client, id)? {
+        Ok(token) => token,
+        Err(_) => return Err("interrupted run was shed".to_string()),
+    };
+    let mut frames = Vec::new();
+    let mut last_seq = 0u64;
+    let mut disconnects = 0usize;
+    for &offset in offsets {
+        if read_sequenced(&mut client, &mut frames, &mut last_seq, Some(offset))? {
+            return Ok((frames, disconnects)); // finished before this cut
+        }
+        drop(client); // mid-stream, no goodbye
+        disconnects += 1;
+        std::thread::sleep(Duration::from_millis(25));
+        client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+        client
+            .send(&resume_frame(&token, last_seq))
+            .map_err(|e| format!("resume: {e}"))?;
+    }
+    read_sequenced(&mut client, &mut frames, &mut last_seq, None)?;
+    Ok((frames, disconnects))
+}
+
+/// Disconnect/resume equivalence over three benchmark problems: the merged
+/// stream must carry the identical terminal answer over a contiguous
+/// sequence, for cut offsets that land on different parts of each stream.
+fn resume_equivalence_phase(addr: &str, report: &Mutex<Report>) {
+    let third = hanoi_benchmarks::find("/other/sized-list").expect("known benchmark id");
+    let sources: Vec<(&str, String)> = vec![
+        ("trivial", TRIVIAL.to_string()),
+        ("list-set", LIST_SET.to_string()),
+        ("sized-list", third.source),
+    ];
+    for (round, (name, source)) in sources.iter().enumerate() {
+        let outcome = (|| -> Result<(), String> {
+            let baseline = run_uninterrupted(addr, &format!("eq-base-{round}"), source)?;
+            let expected = check_contiguous(&baseline, name)?;
+            let offsets: &[usize] = match round % 3 {
+                0 => &[1, 2],
+                1 => &[2, 4],
+                _ => &[3],
+            };
+            let (merged, _) =
+                run_interrupted(addr, &format!("eq-chop-{round}"), source, offsets, 80)?;
+            let got = check_contiguous(&merged, name)?;
+            for key in ["reply", "status", "invariant"] {
+                if got.get(key).and_then(Json::as_str) != expected.get(key).and_then(Json::as_str) {
+                    return Err(format!(
+                        "interrupted run differs on `{key}`: got {}, want {}",
+                        got.render(),
+                        expected.render()
+                    ));
+                }
+            }
+            Ok(())
+        })();
+        let mut report = report.lock().unwrap();
+        match outcome {
+            Ok(()) => report.equivalence_sources += 1,
+            Err(e) => report.violation(format!("resume-equivalence {name}: {e}")),
+        }
+    }
+}
+
+/// One storm client: submit (honouring shed backoff), rip the socket out
+/// at a client-specific stream offset — twice for every fifth client —
+/// resume, and verify the merged stream.  Returns (end-to-end latency
+/// across the disconnects, forced disconnects).
+fn storm_client(addr: &str, who: usize) -> Result<(Duration, usize), String> {
+    let id = format!("storm-{who}");
+    let sleep_ms = 30 + (who as u64 * 7) % 50;
+    let started = Instant::now();
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut attempts = 0;
+    let token = loop {
+        attempts += 1;
+        if attempts > 200 {
+            return Err("never admitted".to_string());
+        }
+        client
+            .send(&streaming_submit_frame(&id, TRIVIAL, Some(sleep_ms)))
+            .map_err(|e| format!("send: {e}"))?;
+        match wait_admission(&mut client, &id)? {
+            Ok(token) => break token,
+            Err(backoff) => std::thread::sleep(Duration::from_millis(backoff.clamp(1, 500))),
+        }
+    };
+    let first_cut = 1 + who % 3;
+    let offsets: Vec<usize> = if who.is_multiple_of(5) {
+        vec![first_cut, 2]
+    } else {
+        vec![first_cut]
+    };
+    let mut frames = Vec::new();
+    let mut last_seq = 0u64;
+    let mut disconnects = 0usize;
+    let mut done = false;
+    for &offset in &offsets {
+        if read_sequenced(&mut client, &mut frames, &mut last_seq, Some(offset))? {
+            done = true;
+            break;
+        }
+        drop(client);
+        disconnects += 1;
+        std::thread::sleep(Duration::from_millis(10 + (who as u64 * 13) % 40));
+        client = Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+        client
+            .send(&resume_frame(&token, last_seq))
+            .map_err(|e| format!("resume: {e}"))?;
+    }
+    if !done {
+        read_sequenced(&mut client, &mut frames, &mut last_seq, None)?;
+    }
+    let terminal = check_contiguous(&frames, &id)?;
+    if terminal.get("status").and_then(Json::as_str) != Some("invariant") {
+        return Err(format!(
+            "run across {disconnects} disconnect(s) ended wrong: {}",
+            terminal.render()
+        ));
+    }
+    Ok((started.elapsed(), disconnects))
+}
+
+/// ≥50 concurrent clients, every one forcibly disconnected mid-stream at a
+/// client-specific offset and resumed by token.  Zero tolerance: every
+/// merged stream must be contiguous and end in the invariant.
+fn resume_storm_phase(addr: &str, clients: usize, report: &Mutex<Report>) {
+    let results: Vec<Result<(Duration, usize), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|who| scope.spawn(move || storm_client(addr, who)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut report = report.lock().unwrap();
+    report.storm_clients += clients as u64;
+    for (who, result) in results.into_iter().enumerate() {
+        match result {
+            Ok((latency, disconnects)) => {
+                report.storm_latency.record(latency);
+                report.storm_disconnects += disconnects as u64;
+                if disconnects > 0 {
+                    report.storm_resumed += 1;
+                }
+            }
+            Err(e) => report.violation(format!("storm client {who}: {e}")),
+        }
+    }
+}
+
+/// SIGHUP mid-stress: the config file grows a token-bucket rate limit, the
+/// signal's reload swaps it in atomically, a volley runs into the bucket,
+/// and a run in flight across the swap completes untouched.
+fn reload_phase(
+    addr: &str,
+    handle: &ServerHandle,
+    config_path: &std::path::Path,
+    report: &Mutex<Report>,
+) {
+    let outcome = (|| -> Result<u64, String> {
+        // A run in flight across the swap.
+        let mut straddler = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        straddler
+            .send(&chaos_submit_frame("straddler", TRIVIAL, "sleep", 600))
+            .map_err(|e| format!("send: {e}"))?;
+
+        // The rate limit arrives through the config file, announced by a
+        // real SIGHUP (the handler only flips a flag; the reload itself
+        // runs here, exactly as hanoi_serve's watcher thread does).
+        std::fs::write(config_path, r#"{"rate_per_sec": 4.0, "rate_burst": 2.0}"#)
+            .map_err(|e| format!("write config: {e}"))?;
+        HUP.store(false, Ordering::Relaxed);
+        unsafe {
+            raise(SIGHUP);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !HUP.load(Ordering::Relaxed) {
+            if Instant::now() > deadline {
+                return Err("SIGHUP was never delivered".to_string());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let tunables = handle
+            .reload_from_file()
+            .map_err(|e| format!("reload: {}: {}", e.code, e.message))?;
+        if tunables.get("rate_per_sec").and_then(Json::as_f64) != Some(4.0) {
+            return Err(format!("reload did not apply: {}", tunables.render()));
+        }
+
+        // An immediate 4x-burst volley must run into the bucket.
+        let mut volley = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        for i in 0..8 {
+            volley
+                .send(&submit_frame(&format!("volley-{i}"), TRIVIAL))
+                .map_err(|e| format!("send: {e}"))?;
+        }
+        let mut sheds = 0u64;
+        for i in 0..8 {
+            let answer = volley
+                .wait_answer(&format!("volley-{i}"))
+                .map_err(|e| format!("read: {e}"))?;
+            if answer.get("reply").and_then(Json::as_str) == Some("shed") {
+                if answer.get("reason").and_then(Json::as_str) != Some("rate-limited") {
+                    return Err(format!("wrong shed reason: {}", answer.render()));
+                }
+                if answer
+                    .get("retry_after_ms")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0)
+                    == 0
+                {
+                    return Err("rate shed without a retry hint".to_string());
+                }
+                sheds += 1;
+            }
+        }
+        if sheds == 0 {
+            return Err("a 4x-burst volley was never rate-limited".to_string());
+        }
+
+        // The straddler crossed the swap untouched.
+        let answer = straddler
+            .wait_answer("straddler")
+            .map_err(|e| format!("read: {e}"))?;
+        if answer.get("status").and_then(Json::as_str) != Some("invariant") {
+            return Err(format!(
+                "in-flight run was dropped by the reload: {}",
+                answer.render()
+            ));
+        }
+        Ok(sheds)
+    })();
+
+    // Always turn the limit back off: the phases that follow assume an
+    // unthrottled server, even if this phase failed halfway.
+    let _ = std::fs::write(config_path, "{}");
+    let restored = handle.reload_from_file().is_ok();
+
+    let mut report = report.lock().unwrap();
+    match outcome {
+        Ok(sheds) => {
+            report.reloads_applied += if restored { 2 } else { 1 };
+            report.rate_limited_sheds += sheds;
+        }
+        Err(e) => report.violation(format!("reload: {e}")),
     }
 }
 
@@ -742,6 +1205,7 @@ fn main() {
 
     let spawn = flag("--spawn");
     let clients = number("--clients", 100);
+    let storm_clients = number("--storm-clients", 50);
     let requests = number("--requests", 3);
     let mode = value("--mode").map(String::as_str).unwrap_or("both");
     let run_stress = matches!(mode, "stress" | "both");
@@ -765,6 +1229,13 @@ fn main() {
 
     let (addr, server_ctx) = if spawn {
         let warm_dir = scratch_dir("warm");
+        // Hot-reload source: a flat tunables overlay, empty at boot.
+        let cfg_dir = scratch_dir("cfg");
+        let tunables_path = cfg_dir.join("tunables.json");
+        std::fs::write(&tunables_path, "{}").expect("seed tunables file");
+        unsafe {
+            signal(SIGHUP, on_hup as *const () as usize);
+        }
         // Corrupt warm-start store at boot: write a real snapshot for the
         // trivial problem, then garble every snapshot file in place.
         {
@@ -794,12 +1265,16 @@ fn main() {
             .with_frame_timeout(frame_timeout)
             .with_drain_timeout(Duration::from_secs(10))
             .with_watchdog(Duration::from_secs(30))
+            .with_config_path(&tunables_path)
             .with_chaos(true)
             .with_engine(EngineConfig::default().with_warm_start_dir(&warm_dir));
         let server = Server::bind("127.0.0.1:0", config).expect("bind");
         let handle = server.handle();
         let join = std::thread::spawn(move || server.serve());
-        (handle.addr().to_string(), Some((handle, join, warm_dir)))
+        (
+            handle.addr().to_string(),
+            Some((handle, join, warm_dir, cfg_dir, tunables_path)),
+        )
     } else {
         let addr = value("--addr").cloned().unwrap_or_else(|| {
             eprintln!("hanoi-stress: need --spawn or --addr HOST:PORT");
@@ -828,6 +1303,15 @@ fn main() {
             eprintln!("hanoi-stress: overload burst (2x admission budget)");
             overload_phase(&addr, workers + queue_depth, quota, &report);
         }
+        eprintln!("hanoi-stress: resume equivalence (3 benchmark problems)");
+        resume_equivalence_phase(&addr, &report);
+        eprintln!("hanoi-stress: reconnect storm ({storm_clients} clients, forced disconnects)");
+        resume_storm_phase(&addr, storm_clients, &report);
+    }
+
+    if let Some((handle, _, _, _, tunables_path)) = server_ctx.as_ref() {
+        eprintln!("hanoi-stress: SIGHUP reload mid-stress (rate limit on, volley, rate limit off)");
+        reload_phase(&addr, handle, tunables_path, &report);
     }
 
     if run_chaos {
@@ -871,7 +1355,7 @@ fn main() {
 
     // Drain the spawned server through the protocol and prove the
     // warm-start checkpoint landed.
-    if let Some((handle, join, warm_dir)) = server_ctx {
+    if let Some((handle, join, warm_dir, cfg_dir, _)) = server_ctx {
         eprintln!("hanoi-stress: draining");
         match Client::connect(&addr) {
             Ok(mut client) => {
@@ -916,6 +1400,7 @@ fn main() {
             report.violation("restart after drain found no warm-start snapshots to load");
         }
         let _ = std::fs::remove_dir_all(&warm_dir);
+        let _ = std::fs::remove_dir_all(&cfg_dir);
     }
 
     // Report.

@@ -14,37 +14,45 @@
 //! |----------|---------------------------------------------------------|
 //! | `submit` | `id`, `source`, `options?`, `events?`, `chaos?`         |
 //! | `cancel` | `id`                                                    |
+//! | `resume` | `token`, `last_seq?`                                    |
 //! | `stats`  | —                                                       |
 //! | `ping`   | —                                                       |
 //! | `drain`  | —                                                       |
+//! | `reload` | —                                                       |
 //!
 //! `options` is an object of per-run overrides: `quick` (bool, default
 //! `true`), `mode` (a [`Mode`] label), `synth` (a [`SynthChoice`] label),
 //! `timeout_ms`, `max_iterations`.  `chaos` is a fault-injection directive
 //! (see [`ChaosDirective`]) honoured only when the server runs with chaos
-//! enabled.
+//! enabled.  `resume` re-attaches to a run by the server-issued token from
+//! its `accepted` frame; `last_seq` (default 0) is the highest `seq` the
+//! client already received, and the server replays everything after it.
+//! `reload` re-reads the server's config file and hot-swaps the tunables.
 //!
 //! # Replies
 //!
-//! `accepted`, `shed` (with `retry_after_ms`), `event`, `result`, `error`,
-//! `pong`, `stats`, `draining`, `cancelled` — built by the `*_frame`
-//! functions below, which are the single source of truth for the reply
-//! shapes.
+//! `accepted` (with the run `token`), `shed` (with `retry_after_ms`),
+//! `event` and `result` (each carrying the run's `seq`), `gap` (journaled
+//! frames evicted before replay), `resumed`, `reloaded`, `error`, `pong`,
+//! `stats`, `draining`, `cancelled` — built by the `*_frame` functions
+//! below, which are the single source of truth for the reply shapes.
 
 use std::time::Duration;
 
 use hanoi::{Mode, Outcome, RunEvent, RunOptions, RunResult, SynthChoice};
 use hanoi_lang::json::Json;
 
-/// Protocol revision, reported in `stats` replies.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol revision, reported in `stats` replies.  Version 2 added run
+/// tokens, sequence-numbered streams, `resume`, and `reload`.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A structured protocol failure, reported to the client as an `error`
 /// frame instead of ever tearing down the connection or the process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// Stable machine-readable code (`parse`, `bad-request`, `oversized`,
-    /// `encoding`, `bad-problem`, `panic`, `chaos-disabled`, `busy`).
+    /// `encoding`, `bad-problem`, `panic`, `chaos-disabled`, `busy`,
+    /// `unknown-token`, `reload-unavailable`, `reload-failed`).
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
@@ -71,12 +79,22 @@ pub enum Request {
         /// The run id given at submit time.
         id: String,
     },
+    /// Re-attach to a (possibly still running) run by its server-issued
+    /// token, replaying the stream after `last_seq`.
+    Resume {
+        /// The token from the run's `accepted` frame.
+        token: String,
+        /// The highest `seq` the client already received (0 = replay all).
+        last_seq: u64,
+    },
     /// Report server statistics.
     Stats,
     /// Liveness probe.
     Ping,
     /// Start a graceful drain of the whole server.
     Drain,
+    /// Re-read the server's config file and hot-swap the tunables.
+    Reload,
 }
 
 /// A `submit` request: one inference run.
@@ -115,6 +133,8 @@ pub enum ShedReason {
     QueueFull,
     /// The client exceeded its in-flight quota.
     ClientQuota,
+    /// The client exceeded its submit rate (token bucket empty).
+    RateLimited,
     /// The server is draining and admits no new work.
     Draining,
 }
@@ -125,6 +145,7 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue-full",
             ShedReason::ClientQuota => "client-quota",
+            ShedReason::RateLimited => "rate-limited",
             ShedReason::Draining => "draining",
         }
     }
@@ -150,6 +171,27 @@ pub fn parse_request(json: &Json) -> Result<Request, ProtocolError> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
+        "reload" => Ok(Request::Reload),
+        "resume" => {
+            let token = json
+                .get("token")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("`resume` requires a string `token`".to_string()))?;
+            if token.is_empty() {
+                return Err(bad("`token` must be non-empty".to_string()));
+            }
+            let last_seq = match json.get("last_seq") {
+                None | Some(Json::Null) => 0,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| bad("`last_seq` must be a non-negative integer".to_string()))?
+                    as u64,
+            };
+            Ok(Request::Resume {
+                token: token.to_string(),
+                last_seq,
+            })
+        }
         "cancel" => {
             let id = json
                 .get("id")
@@ -251,12 +293,14 @@ fn parse_options(json: Option<&Json>) -> Result<RunOptions, ProtocolError> {
 // Reply frames
 // ---------------------------------------------------------------------------
 
-/// A run was admitted: `queued` is the queue depth it joined at.
-pub fn accepted_frame(id: &str, queued: usize) -> Json {
+/// A run was admitted: `queued` is the queue depth it joined at and
+/// `token` is the durable handle a `resume` presents after a disconnect.
+pub fn accepted_frame(id: &str, queued: usize, token: &str) -> Json {
     Json::obj([
         ("reply", Json::Str("accepted".to_string())),
         ("id", Json::Str(id.to_string())),
         ("queued", Json::Num(queued as f64)),
+        ("token", Json::Str(token.to_string())),
     ])
 }
 
@@ -292,13 +336,16 @@ pub fn pong_frame() -> Json {
     Json::obj([("reply", Json::Str("pong".to_string()))])
 }
 
-/// Reply to `stats`: server counters plus live queue/engine gauges.
+/// Reply to `stats`: server counters plus live queue/engine gauges, the
+/// currently published tunables, and the tracked-run gauge.
 pub fn stats_frame(
     server: Json,
     cached_problems: usize,
     queued: usize,
     active: usize,
     draining: bool,
+    tunables: Json,
+    tracked_runs: usize,
 ) -> Json {
     Json::obj([
         ("reply", Json::Str("stats".to_string())),
@@ -308,6 +355,8 @@ pub fn stats_frame(
         ("queued", Json::Num(queued as f64)),
         ("active", Json::Num(active as f64)),
         ("draining", Json::Bool(draining)),
+        ("tunables", tunables),
+        ("tracked_runs", Json::Num(tracked_runs as f64)),
     ])
 }
 
@@ -325,8 +374,55 @@ pub fn cancelled_frame(id: &str, found: bool) -> Json {
     ])
 }
 
-/// One streamed [`RunEvent`].
-pub fn event_frame(id: &str, event: &RunEvent) -> Json {
+/// Acknowledges a successful `resume`, ahead of the replayed frames' gap
+/// marker (if any) and the replay itself.  `finished` tells the client
+/// whether a terminal `result`/`error` is part of the replay (nothing
+/// further will stream after it).
+pub fn resumed_frame(id: &str, token: &str, replayed: usize, finished: bool) -> Json {
+    Json::obj([
+        ("reply", Json::Str("resumed".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("token", Json::Str(token.to_string())),
+        ("replayed", Json::Num(replayed as f64)),
+        ("finished", Json::Bool(finished)),
+    ])
+}
+
+/// Journaled frames `from..=to` were evicted from the replay buffer before
+/// this resume: the client's stream has a hole it can see, not a silent one.
+pub fn gap_frame(id: &str, from: u64, to: u64) -> Json {
+    Json::obj([
+        ("reply", Json::Str("gap".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("from", Json::Num(from as f64)),
+        ("to", Json::Num(to as f64)),
+    ])
+}
+
+/// Stamps an already-built reply frame with a sequence number — used for
+/// journaled terminal `error` frames (`bad-problem`, `panic`), which close
+/// a run's stream just like a `result` does.
+pub fn sequenced(frame: Json, seq: u64) -> Json {
+    match frame {
+        Json::Obj(mut map) => {
+            map.insert("seq".to_string(), Json::Num(seq as f64));
+            Json::Obj(map)
+        }
+        other => other,
+    }
+}
+
+/// Acknowledges a `reload`: the tunable set now in force.
+pub fn reloaded_frame(tunables: Json) -> Json {
+    Json::obj([
+        ("reply", Json::Str("reloaded".to_string())),
+        ("tunables", tunables),
+    ])
+}
+
+/// One streamed [`RunEvent`], stamped with its position in the run's
+/// sequence-numbered stream.
+pub fn event_frame(id: &str, seq: u64, event: &RunEvent) -> Json {
     let body = match event {
         RunEvent::RunStarted { mode, synthesizer } => Json::obj([
             ("kind", Json::Str("run-started".to_string())),
@@ -373,6 +469,7 @@ pub fn event_frame(id: &str, event: &RunEvent) -> Json {
         Json::Obj(mut map) => {
             map.insert("reply".to_string(), Json::Str("event".to_string()));
             map.insert("id".to_string(), Json::Str(id.to_string()));
+            map.insert("seq".to_string(), Json::Num(seq as f64));
             Json::Obj(map)
         }
         other => other,
@@ -391,8 +488,9 @@ pub fn status_of(outcome: &Outcome) -> &'static str {
 }
 
 /// The final answer for a run: outcome, full statistics, and the time the
-/// run spent queued vs running.
-pub fn result_frame(id: &str, result: &RunResult, queue_ms: u64, run_ms: u64) -> Json {
+/// run spent queued vs running.  The terminal frame closes the run's
+/// sequence-numbered stream, so it carries a `seq` too.
+pub fn result_frame(id: &str, seq: u64, result: &RunResult, queue_ms: u64, run_ms: u64) -> Json {
     let detail = match &result.outcome {
         Outcome::SynthesisFailure(message) => Json::Str(message.clone()),
         Outcome::SpecViolation(values) => Json::Str(format!(
@@ -404,6 +502,7 @@ pub fn result_frame(id: &str, result: &RunResult, queue_ms: u64, run_ms: u64) ->
     Json::obj([
         ("reply", Json::Str("result".to_string())),
         ("id", Json::Str(id.to_string())),
+        ("seq", Json::Num(seq as f64)),
         ("status", Json::Str(status_of(&result.outcome).to_string())),
         (
             "invariant",
@@ -452,6 +551,23 @@ mod tests {
             parse_request(&parse(r#"{"op":"cancel","id":"x"}"#).unwrap()),
             Ok(Request::Cancel { .. })
         ));
+        assert!(matches!(
+            parse_request(&parse(r#"{"op":"reload"}"#).unwrap()),
+            Ok(Request::Reload)
+        ));
+        match parse_request(&parse(r#"{"op":"resume","token":"run-1-aa","last_seq":17}"#).unwrap())
+            .unwrap()
+        {
+            Request::Resume { token, last_seq } => {
+                assert_eq!(token, "run-1-aa");
+                assert_eq!(last_seq, 17);
+            }
+            other => panic!("expected resume, got {other:?}"),
+        }
+        match parse_request(&parse(r#"{"op":"resume","token":"t"}"#).unwrap()).unwrap() {
+            Request::Resume { last_seq, .. } => assert_eq!(last_seq, 0),
+            other => panic!("expected resume, got {other:?}"),
+        }
     }
 
     #[test]
@@ -494,6 +610,9 @@ mod tests {
                 r#"{"op":"submit","id":"r","source":"s","chaos":{"kind":"explode"}}"#,
                 "chaos",
             ),
+            (r#"{"op":"resume"}"#, "token"),
+            (r#"{"op":"resume","token":""}"#, "non-empty"),
+            (r#"{"op":"resume","token":"t","last_seq":-4}"#, "last_seq"),
         ] {
             let json = parse(frame).unwrap();
             let error = parse_request(&json).expect_err(frame);
@@ -515,6 +634,7 @@ mod tests {
 
         let event = event_frame(
             "r1",
+            7,
             &RunEvent::PhaseFinished {
                 phase: hanoi::RunPhase::Synthesis,
                 elapsed: Duration::from_millis(3),
@@ -523,15 +643,33 @@ mod tests {
         assert_eq!(event.get("reply").unwrap().as_str(), Some("event"));
         assert_eq!(event.get("id").unwrap().as_str(), Some("r1"));
         assert_eq!(event.get("kind").unwrap().as_str(), Some("phase"));
+        assert_eq!(event.get("seq").unwrap().as_usize(), Some(7));
 
         let result = result_frame(
             "r1",
+            8,
             &RunResult::new(Outcome::Cancelled, hanoi::RunStats::default()),
             12,
             34,
         );
         assert_eq!(result.get("status").unwrap().as_str(), Some("cancelled"));
         assert_eq!(result.get("queue_ms").unwrap().as_usize(), Some(12));
+        assert_eq!(result.get("seq").unwrap().as_usize(), Some(8));
         assert!(result.get("stats").is_some());
+
+        let accepted = accepted_frame("r1", 2, "run-1-feed");
+        assert_eq!(accepted.get("token").unwrap().as_str(), Some("run-1-feed"));
+
+        let resumed = resumed_frame("r1", "run-1-feed", 5, true);
+        assert_eq!(resumed.get("reply").unwrap().as_str(), Some("resumed"));
+        assert_eq!(resumed.get("replayed").unwrap().as_usize(), Some(5));
+        assert_eq!(resumed.get("finished").unwrap().as_bool(), Some(true));
+
+        let gap = gap_frame("r1", 3, 9);
+        assert_eq!(gap.get("reply").unwrap().as_str(), Some("gap"));
+        assert_eq!(gap.get("from").unwrap().as_usize(), Some(3));
+        assert_eq!(gap.get("to").unwrap().as_usize(), Some(9));
+
+        assert_eq!(ShedReason::RateLimited.label(), "rate-limited");
     }
 }

@@ -1,0 +1,183 @@
+//! Per-client token-bucket rate limiting *over time*.
+//!
+//! The admission queue's per-client quota bounds how many runs a client may
+//! *hold* concurrently, but a client that submits, waits, and resubmits in a
+//! tight loop stays inside its quota while still monopolizing the workers.
+//! This module bounds the *rate*: each client address owns a token bucket
+//! refilled at `rate_per_sec` up to `burst` tokens; each submit spends one
+//! token, and a submit finding an empty bucket is shed with an honest
+//! `retry_after_ms` derived from the bucket's actual deficit — the time
+//! until one token will have dripped in, not a guess.
+//!
+//! The rate and burst are *not* stored in the limiter: callers pass the
+//! current values on every acquire, so a hot config reload applies to the
+//! very next request with no bucket reset (existing debt is preserved —
+//! lowering the rate mid-flood does not hand everyone a fresh burst).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One client's bucket: how full it was, and when that was measured.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+/// A keyed set of token buckets (keys are client IP addresses, so the limit
+/// survives reconnects — a rate limiter keyed by connection would reset
+/// every time the offender reconnects).
+#[derive(Debug, Default)]
+pub struct RateLimiter {
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// An empty limiter.
+    pub fn new() -> RateLimiter {
+        RateLimiter::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<IpAddr, Bucket>> {
+        self.buckets.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Spends one token from `key`'s bucket under the given rate/burst, or
+    /// returns the milliseconds until a token will be available.  A
+    /// non-positive `rate` disables limiting (always admits).
+    pub fn try_acquire(&self, key: IpAddr, rate: f64, burst: f64, now: Instant) -> Result<(), u64> {
+        if rate <= 0.0 {
+            return Ok(());
+        }
+        let burst = burst.max(1.0);
+        let mut buckets = self.lock();
+        let bucket = bucket_at(
+            buckets.entry(key).or_insert(Bucket {
+                tokens: burst,
+                refreshed: now,
+            }),
+            rate,
+            burst,
+            now,
+        );
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            // The honest hint: exactly how long until the deficit refills.
+            let deficit = 1.0 - bucket.tokens;
+            Err(((deficit / rate) * 1000.0).ceil() as u64)
+        }
+    }
+
+    /// Drops buckets that have refilled to `burst` (nothing left to
+    /// remember about them); called periodically so one-shot clients do not
+    /// accumulate forever.
+    pub fn prune(&self, rate: f64, burst: f64, now: Instant) {
+        if rate <= 0.0 {
+            // With limiting off nothing is charged, so nothing is owed.
+            self.lock().clear();
+            return;
+        }
+        let burst = burst.max(1.0);
+        self.lock()
+            .retain(|_, bucket| bucket_at(bucket, rate, burst, now).tokens < burst);
+    }
+
+    /// How many client buckets are currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// Refills `bucket` for the time elapsed since it was last measured.
+fn bucket_at(bucket: &mut Bucket, rate: f64, burst: f64, now: Instant) -> &mut Bucket {
+    let elapsed = now
+        .saturating_duration_since(bucket.refreshed)
+        .as_secs_f64();
+    bucket.tokens = (bucket.tokens + elapsed * rate).min(burst);
+    bucket.refreshed = now;
+    bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([127, 0, 0, last])
+    }
+
+    #[test]
+    fn bursts_then_sheds_with_deficit_derived_hints() {
+        let limiter = RateLimiter::new();
+        let t0 = Instant::now();
+        // Burst of 3 admitted back to back…
+        for _ in 0..3 {
+            assert_eq!(limiter.try_acquire(ip(1), 2.0, 3.0, t0), Ok(()));
+        }
+        // …then the bucket is empty: at 2 tokens/sec the next token is
+        // 500 ms away, and the hint says exactly that.
+        assert_eq!(limiter.try_acquire(ip(1), 2.0, 3.0, t0), Err(500));
+        // Half a second later one token has dripped in.
+        let t1 = t0 + Duration::from_millis(500);
+        assert_eq!(limiter.try_acquire(ip(1), 2.0, 3.0, t1), Ok(()));
+        assert_eq!(limiter.try_acquire(ip(1), 2.0, 3.0, t1), Err(500));
+    }
+
+    #[test]
+    fn buckets_are_per_client_and_refill_caps_at_burst() {
+        let limiter = RateLimiter::new();
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            assert_eq!(limiter.try_acquire(ip(1), 1.0, 2.0, t0), Ok(()));
+        }
+        assert!(limiter.try_acquire(ip(1), 1.0, 2.0, t0).is_err());
+        // A different client is unaffected.
+        assert_eq!(limiter.try_acquire(ip(2), 1.0, 2.0, t0), Ok(()));
+        // A long idle stretch refills to burst, not beyond: only 2 tokens
+        // are available no matter how long we waited.
+        let t1 = t0 + Duration::from_secs(3600);
+        for _ in 0..2 {
+            assert_eq!(limiter.try_acquire(ip(1), 1.0, 2.0, t1), Ok(()));
+        }
+        assert!(limiter.try_acquire(ip(1), 1.0, 2.0, t1).is_err());
+    }
+
+    #[test]
+    fn reload_applies_to_the_next_acquire_without_resetting_debt() {
+        let limiter = RateLimiter::new();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            let _ = limiter.try_acquire(ip(1), 4.0, 4.0, t0);
+        }
+        assert!(limiter.try_acquire(ip(1), 4.0, 4.0, t0).is_err());
+        // The operator reloads to a faster rate: the same empty bucket now
+        // refills faster, but nobody got free tokens out of the swap.
+        assert_eq!(limiter.try_acquire(ip(1), 1000.0, 4.0, t0), Err(1));
+        let t1 = t0 + Duration::from_millis(2);
+        assert_eq!(limiter.try_acquire(ip(1), 1000.0, 4.0, t1), Ok(()));
+    }
+
+    #[test]
+    fn zero_rate_disables_and_prune_forgets_idle_clients() {
+        let limiter = RateLimiter::new();
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert_eq!(limiter.try_acquire(ip(1), 0.0, 1.0, t0), Ok(()));
+        }
+        assert_eq!(limiter.tracked(), 0);
+
+        assert_eq!(limiter.try_acquire(ip(2), 1.0, 2.0, t0), Ok(()));
+        assert_eq!(limiter.tracked(), 1);
+        // Still owing: pruning keeps the bucket.
+        limiter.prune(1.0, 2.0, t0);
+        assert_eq!(limiter.tracked(), 1);
+        // Fully refilled: nothing left to remember.
+        limiter.prune(1.0, 2.0, t0 + Duration::from_secs(10));
+        assert_eq!(limiter.tracked(), 0);
+    }
+}

@@ -1,0 +1,791 @@
+//! The durable run registry: run lifetime decoupled from connection
+//! lifetime.
+//!
+//! Every accepted submit registers a [`RunEntry`] under a server-issued
+//! *run token*.  The entry owns the run's cancellation token, its
+//! [`ReplayBuffer`] journal, and — crucially — a *detachable* pointer to the
+//! connection currently receiving the stream.  When that connection dies the
+//! entry merely detaches: the run keeps executing and journaling, and a
+//! client presenting the token (plus the last sequence number it saw) on any
+//! later connection re-attaches, receives the journaled gap, and continues
+//! live.  A detached run that nobody reclaims within the configured grace
+//! period is cancelled by the periodic reaper; finished runs are retained
+//! for a while so a client that disconnected moments before the result can
+//! still fetch it, then removed.
+//!
+//! Locking is two-level and strictly ordered: the registry's index lock
+//! (token and connection maps) is never taken while an entry's state lock is
+//! held, and frames are written to the client socket *under* the entry's
+//! state lock so a replay can never interleave with a concurrent live emit.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use hanoi::CancelToken;
+use hanoi_lang::json::Json;
+
+use crate::replay::{Replay, ReplayBuffer};
+
+/// Where a run's reply frames go: one connection's framed writer.
+///
+/// The indirection keeps the registry testable without sockets — unit tests
+/// attach buffering sinks — and keeps the lock order honest: the registry
+/// only ever calls `send_frame` while holding the owning entry's state lock.
+pub trait FrameSink: Send + Sync {
+    /// Writes one frame; `false` means the connection is gone (the caller
+    /// detaches the run).
+    fn send_frame(&self, frame: &Json) -> bool;
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The connection already has an active run with this client-chosen id.
+    DuplicateId,
+    /// The registry is at `max_tracked_runs` with nothing reclaimable.
+    Full,
+}
+
+/// Why a resume was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeError {
+    /// No run with that token (never issued, or already reaped).
+    UnknownToken,
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::UnknownToken => write!(f, "unknown or expired run token"),
+        }
+    }
+}
+
+/// Where a run is in its lifecycle.
+#[derive(Debug, Clone, Copy)]
+enum RunState {
+    /// Admitted, not yet picked up by a worker.
+    Queued,
+    /// Executing since the recorded instant.
+    Running { started: Instant },
+    /// Done (result journaled) at the recorded instant.
+    Finished { at: Instant },
+}
+
+struct Owner {
+    conn: u64,
+    sink: Arc<dyn FrameSink>,
+}
+
+struct EntryState {
+    owner: Option<Owner>,
+    replay: ReplayBuffer,
+    /// When the run lost its last owner (cleared on re-attach).
+    detached_since: Option<Instant>,
+    run: RunState,
+    /// Set once the reaper cancels for grace expiry, so it is counted once.
+    grace_cancelled: bool,
+    /// Set once the reaper cancels for watchdog overrun, counted once.
+    watchdog_cancelled: bool,
+}
+
+/// One tracked run: identity, cancellation, journal, and current owner.
+pub struct RunEntry {
+    token: String,
+    id: String,
+    cancel: CancelToken,
+    limit: Duration,
+    events_wanted: bool,
+    state: Mutex<EntryState>,
+}
+
+/// What [`RunEntry::emit`] did with the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Emitted {
+    /// The sequence number the frame was journaled under.
+    pub seq: u64,
+    /// `true` when a live connection received it.
+    pub delivered: bool,
+    /// `true` when this emit discovered the owner dead and detached it.
+    pub detached: bool,
+}
+
+impl RunEntry {
+    /// The server-issued run token.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
+    /// The client-chosen run id (scoped to whichever connection owns the
+    /// run).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The run's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The watchdog-clamped run limit.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Whether the submitter asked for streamed events.
+    pub fn events_wanted(&self) -> bool {
+        self.events_wanted
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EntryState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records that a worker picked the run up.
+    pub fn mark_started(&self, now: Instant) {
+        let mut state = self.lock();
+        if matches!(state.run, RunState::Queued) {
+            state.run = RunState::Running { started: now };
+        }
+    }
+
+    /// Whether the terminal frame has been journaled.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.lock().run, RunState::Finished { .. })
+    }
+
+    /// Whether the run currently has no owning connection.
+    pub fn is_detached(&self) -> bool {
+        self.lock().owner.is_none()
+    }
+
+    /// Journals the frame built by `make` (given its sequence number) and
+    /// forwards it to the owning connection, detaching on write failure.
+    pub fn emit(&self, now: Instant, make: impl FnOnce(u64) -> Json) -> Emitted {
+        let mut state = self.lock();
+        let (seq, frame) = state.replay.append(make);
+        deliver(&mut state, &frame, now, seq)
+    }
+
+    /// Journals the run's terminal frame, marks the run finished, and
+    /// forwards the frame to the owning connection.
+    pub fn finish(&self, now: Instant, make: impl FnOnce(u64) -> Json) -> Emitted {
+        let mut state = self.lock();
+        let (seq, frame) = state.replay.append(make);
+        state.run = RunState::Finished { at: now };
+        deliver(&mut state, &frame, now, seq)
+    }
+
+    /// Drops the owner (if it is `conn`) without cancelling the run.
+    fn detach_if_owned_by(&self, conn: u64, now: Instant) -> bool {
+        let mut state = self.lock();
+        match &state.owner {
+            Some(owner) if owner.conn == conn => {
+                state.owner = None;
+                if state.detached_since.is_none() {
+                    state.detached_since = Some(now);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Writes `frame` to the current owner (if any) under the held state lock.
+fn deliver(state: &mut EntryState, frame: &Json, now: Instant, seq: u64) -> Emitted {
+    match &state.owner {
+        Some(owner) => {
+            if owner.sink.send_frame(frame) {
+                Emitted {
+                    seq,
+                    delivered: true,
+                    detached: false,
+                }
+            } else {
+                state.owner = None;
+                state.detached_since = Some(now);
+                Emitted {
+                    seq,
+                    delivered: false,
+                    detached: true,
+                }
+            }
+        }
+        None => Emitted {
+            seq,
+            delivered: false,
+            detached: false,
+        },
+    }
+}
+
+/// What a successful [`RunRegistry::resume`] replayed.
+pub struct Resumed {
+    /// The re-attached run.
+    pub entry: Arc<RunEntry>,
+    /// The journaled-but-evicted range, if the resumer was too far behind.
+    pub gap: Option<(u64, u64)>,
+    /// How many journaled frames were replayed to the new connection.
+    pub replayed: usize,
+    /// Whether the run had already finished (the replay included the
+    /// terminal frame; nothing further will stream).
+    pub finished: bool,
+}
+
+/// What one reaper sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReapReport {
+    /// Runs cancelled for exceeding their limit plus the watchdog grace.
+    pub watchdog_cancels: usize,
+    /// Detached runs cancelled for outliving the disconnect grace.
+    pub grace_cancels: usize,
+    /// Finished runs removed after the retention window.
+    pub removed: usize,
+}
+
+struct Inner {
+    entries: HashMap<String, Arc<RunEntry>>,
+    /// Routes `(connection, client-chosen id)` — the cancel op's addressing
+    /// scheme — to the owning token.
+    by_conn: HashMap<(u64, String), String>,
+    next_token: u64,
+    salt: u64,
+}
+
+/// The registry: tokens to entries, plus the per-connection id index.
+pub struct RunRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for RunRegistry {
+    fn default() -> Self {
+        RunRegistry::new()
+    }
+}
+
+impl RunRegistry {
+    /// An empty registry with a process-unique token salt.
+    pub fn new() -> RunRegistry {
+        let clock = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        RunRegistry {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                by_conn: HashMap::new(),
+                next_token: 0,
+                salt: splitmix64(clock ^ (std::process::id() as u64) << 32),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a new run owned by `conn`/`sink`, returning its entry (the
+    /// token is `entry.token()`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &self,
+        conn: u64,
+        sink: Arc<dyn FrameSink>,
+        id: &str,
+        events_wanted: bool,
+        limit: Duration,
+        replay_budget: usize,
+        max_tracked: usize,
+    ) -> Result<Arc<RunEntry>, RegisterError> {
+        let mut inner = self.lock();
+        if inner.by_conn.contains_key(&(conn, id.to_string())) {
+            return Err(RegisterError::DuplicateId);
+        }
+        if inner.entries.len() >= max_tracked && !evict_oldest_finished(&mut inner) {
+            return Err(RegisterError::Full);
+        }
+        inner.next_token += 1;
+        let counter = inner.next_token;
+        let token = format!(
+            "run-{:x}-{:016x}",
+            counter,
+            splitmix64(inner.salt ^ counter)
+        );
+        let entry = Arc::new(RunEntry {
+            token: token.clone(),
+            id: id.to_string(),
+            cancel: CancelToken::new(),
+            limit,
+            events_wanted,
+            state: Mutex::new(EntryState {
+                owner: Some(Owner { conn, sink }),
+                replay: ReplayBuffer::new(replay_budget),
+                detached_since: None,
+                run: RunState::Queued,
+                grace_cancelled: false,
+                watchdog_cancelled: false,
+            }),
+        });
+        inner.by_conn.insert((conn, id.to_string()), token.clone());
+        inner.entries.insert(token, entry.clone());
+        Ok(entry)
+    }
+
+    /// Forgets a just-registered run whose admission was shed.
+    pub fn unregister(&self, conn: u64, entry: &RunEntry) {
+        let mut inner = self.lock();
+        inner.entries.remove(entry.token());
+        inner.by_conn.remove(&(conn, entry.id().to_string()));
+    }
+
+    /// The run the cancel op addresses as `(conn, id)`, if any.
+    pub fn resolve(&self, conn: u64, id: &str) -> Option<Arc<RunEntry>> {
+        let inner = self.lock();
+        let token = inner.by_conn.get(&(conn, id.to_string()))?;
+        inner.entries.get(token).cloned()
+    }
+
+    /// Detaches every run owned by `conn` (connection teardown).  The runs
+    /// keep executing; returns how many were detached.
+    pub fn detach_conn(&self, conn: u64, now: Instant) -> usize {
+        let entries: Vec<Arc<RunEntry>> = {
+            let mut inner = self.lock();
+            inner.by_conn.retain(|(c, _), _| *c != conn);
+            inner.entries.values().cloned().collect()
+        };
+        entries
+            .iter()
+            .filter(|entry| entry.detach_if_owned_by(conn, now))
+            .count()
+    }
+
+    /// Re-attaches the run behind `token` to `conn`/`sink`: sends the
+    /// acknowledgement `make_ack(id, frames_to_replay, finished)` builds,
+    /// then the `make_gap(id, from, to)` marker when eviction already
+    /// claimed part of the requested range, then every journaled frame
+    /// after `last_seq` — and only then lets live emits through to the new
+    /// owner.
+    ///
+    /// Ownership is last-wins: if another connection still holds the run it
+    /// is silently detached — the token is the capability.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        &self,
+        token: &str,
+        conn: u64,
+        sink: Arc<dyn FrameSink>,
+        last_seq: u64,
+        now: Instant,
+        make_ack: impl FnOnce(&str, usize, bool) -> Json,
+        make_gap: impl FnOnce(&str, u64, u64) -> Json,
+    ) -> Result<Resumed, ResumeError> {
+        let entry = {
+            let mut inner = self.lock();
+            let entry = inner
+                .entries
+                .get(token)
+                .cloned()
+                .ok_or(ResumeError::UnknownToken)?;
+            inner.by_conn.retain(|_, t| t != token);
+            inner
+                .by_conn
+                .insert((conn, entry.id().to_string()), token.to_string());
+            entry
+        };
+        // Replay under the entry lock: live emits wait, so the new owner
+        // sees ack-then-journal-then-live with no interleaving or
+        // duplication.
+        let mut state = entry.lock();
+        let Replay { gap, frames } = state.replay.replay_from(last_seq);
+        let finished = matches!(state.run, RunState::Finished { .. });
+        let mut delivered = sink.send_frame(&make_ack(entry.id(), frames.len(), finished));
+        if delivered {
+            if let Some((from, to)) = gap {
+                delivered = sink.send_frame(&make_gap(entry.id(), from, to));
+            }
+        }
+        let mut replayed = 0usize;
+        if delivered {
+            for frame in &frames {
+                if !sink.send_frame(frame) {
+                    delivered = false;
+                    break;
+                }
+                replayed += 1;
+            }
+        }
+        if delivered {
+            state.owner = Some(Owner { conn, sink });
+            state.detached_since = None;
+        } else {
+            state.owner = None;
+            if state.detached_since.is_none() {
+                state.detached_since = Some(now);
+            }
+        }
+        drop(state);
+        Ok(Resumed {
+            entry,
+            gap,
+            replayed,
+            finished,
+        })
+    }
+
+    /// Frees the `(conn, id)` cancel-routing slot of a finished run so the
+    /// client may reuse the id; the entry itself stays resumable by token
+    /// until retention expires.
+    pub fn release_id(&self, entry: &RunEntry) {
+        let mut inner = self.lock();
+        inner.by_conn.retain(|_, t| t != entry.token());
+    }
+
+    /// Cancels every unfinished run (the drain coordinator's hard stop).
+    pub fn cancel_all(&self) {
+        let entries: Vec<Arc<RunEntry>> = self.lock().entries.values().cloned().collect();
+        for entry in entries {
+            if !entry.is_finished() {
+                entry.cancel.cancel();
+            }
+        }
+    }
+
+    /// One reaper sweep: cancels watchdog-overrun runs, cancels detached
+    /// runs whose grace expired, and removes finished runs past retention.
+    pub fn reap(
+        &self,
+        now: Instant,
+        watchdog_grace: Duration,
+        disconnect_grace: Duration,
+        retention: Duration,
+    ) -> ReapReport {
+        let entries: Vec<Arc<RunEntry>> = self.lock().entries.values().cloned().collect();
+        let mut report = ReapReport::default();
+        let mut expired: Vec<String> = Vec::new();
+        for entry in &entries {
+            let mut state = entry.lock();
+            match state.run {
+                RunState::Running { started } => {
+                    if now.saturating_duration_since(started) > entry.limit + watchdog_grace
+                        && !state.watchdog_cancelled
+                    {
+                        state.watchdog_cancelled = true;
+                        entry.cancel.cancel();
+                        report.watchdog_cancels += 1;
+                    }
+                }
+                RunState::Finished { at } => {
+                    if now.saturating_duration_since(at) >= retention {
+                        expired.push(entry.token.clone());
+                    }
+                    continue;
+                }
+                RunState::Queued => {}
+            }
+            if let Some(since) = state.detached_since {
+                if now.saturating_duration_since(since) >= disconnect_grace
+                    && !state.grace_cancelled
+                {
+                    state.grace_cancelled = true;
+                    entry.cancel.cancel();
+                    report.grace_cancels += 1;
+                }
+            }
+        }
+        if !expired.is_empty() {
+            let mut inner = self.lock();
+            for token in &expired {
+                if inner.entries.remove(token).is_some() {
+                    report.removed += 1;
+                }
+            }
+            inner.by_conn.retain(|_, t| !expired.contains(t));
+        }
+        report
+    }
+
+    /// How many runs are currently tracked (queued, running, or retained).
+    pub fn tracked(&self) -> usize {
+        self.lock().entries.len()
+    }
+}
+
+/// Removes the longest-finished entry to make room; `false` when nothing is
+/// finished (the registry is genuinely full of live runs).
+fn evict_oldest_finished(inner: &mut Inner) -> bool {
+    let mut oldest: Option<(String, Instant)> = None;
+    for (token, entry) in &inner.entries {
+        if let RunState::Finished { at } = entry.lock().run {
+            if oldest.as_ref().is_none_or(|(_, t)| at < *t) {
+                oldest = Some((token.clone(), at));
+            }
+        }
+    }
+    match oldest {
+        Some((token, _)) => {
+            inner.entries.remove(&token);
+            inner.by_conn.retain(|_, t| *t != token);
+            true
+        }
+        None => false,
+    }
+}
+
+/// SplitMix64: cheap, well-mixed entropy without external crates (token
+/// salts here; retry-hint jitter in [`crate::admission`]).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that records frames and can be switched dead.
+    struct TestSink {
+        frames: Mutex<Vec<Json>>,
+        alive: std::sync::atomic::AtomicBool,
+    }
+
+    impl TestSink {
+        fn new() -> Arc<TestSink> {
+            Arc::new(TestSink {
+                frames: Mutex::new(Vec::new()),
+                alive: std::sync::atomic::AtomicBool::new(true),
+            })
+        }
+
+        fn kill(&self) {
+            self.alive.store(false, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        fn seqs(&self) -> Vec<u64> {
+            self.frames
+                .lock()
+                .unwrap()
+                .iter()
+                .filter_map(|f| f.get("seq").and_then(Json::as_usize).map(|s| s as u64))
+                .collect()
+        }
+    }
+
+    impl FrameSink for TestSink {
+        fn send_frame(&self, frame: &Json) -> bool {
+            if !self.alive.load(std::sync::atomic::Ordering::SeqCst) {
+                return false;
+            }
+            self.frames.lock().unwrap().push(frame.clone());
+            true
+        }
+    }
+
+    fn event(seq: u64, n: usize) -> Json {
+        Json::obj([("seq", Json::Num(seq as f64)), ("n", Json::Num(n as f64))])
+    }
+
+    fn register(
+        registry: &RunRegistry,
+        conn: u64,
+        sink: &Arc<TestSink>,
+        id: &str,
+    ) -> Arc<RunEntry> {
+        registry
+            .register(
+                conn,
+                sink.clone() as Arc<dyn FrameSink>,
+                id,
+                true,
+                Duration::from_secs(5),
+                1 << 16,
+                64,
+            )
+            .expect("register")
+    }
+
+    #[test]
+    fn detach_keeps_the_run_alive_and_resume_replays_the_gap() {
+        let registry = RunRegistry::new();
+        let sink = TestSink::new();
+        let entry = register(&registry, 1, &sink, "job");
+        let now = Instant::now();
+        entry.mark_started(now);
+        for n in 0..3 {
+            assert!(entry.emit(now, |seq| event(seq, n)).delivered);
+        }
+        // Connection dies; the run is detached, not cancelled.
+        assert_eq!(registry.detach_conn(1, now), 1);
+        assert!(entry.is_detached());
+        assert!(!entry.cancel_token().is_cancelled());
+        // Events emitted while detached are journaled silently.
+        for n in 3..6 {
+            let emitted = entry.emit(now, |seq| event(seq, n));
+            assert!(!emitted.delivered);
+            assert!(!emitted.detached);
+        }
+        entry.finish(now, |seq| event(seq, 6));
+        // A fresh connection resumes from the last frame it saw (seq 2).
+        let sink2 = TestSink::new();
+        let resumed = registry
+            .resume(
+                "no-such-token",
+                2,
+                sink2.clone(),
+                2,
+                now,
+                |_, _, _| Json::Null,
+                |_, _, _| Json::Null,
+            )
+            .err();
+        assert_eq!(resumed, Some(ResumeError::UnknownToken));
+        let resumed = registry
+            .resume(
+                entry.token(),
+                2,
+                sink2.clone(),
+                2,
+                now,
+                |_, _, _| Json::Null,
+                |_, _, _| Json::Null,
+            )
+            .expect("resume");
+        assert!(resumed.finished);
+        assert!(resumed.gap.is_none());
+        assert_eq!(resumed.replayed, 5);
+        assert_eq!(sink2.seqs(), vec![3, 4, 5, 6, 7]);
+        // The client-id index follows the resume: conn 2 can cancel, conn 1
+        // cannot.
+        assert!(registry.resolve(2, "job").is_some());
+        assert!(registry.resolve(1, "job").is_none());
+    }
+
+    #[test]
+    fn dead_owner_detaches_on_emit_and_send_failures_do_not_lose_frames() {
+        let registry = RunRegistry::new();
+        let sink = TestSink::new();
+        let entry = register(&registry, 1, &sink, "job");
+        let now = Instant::now();
+        assert!(entry.emit(now, |seq| event(seq, 0)).delivered);
+        sink.kill();
+        let emitted = entry.emit(now, |seq| event(seq, 1));
+        assert!(!emitted.delivered);
+        assert!(emitted.detached);
+        assert!(entry.is_detached());
+        // The frame that failed to send is still journaled for resumers.
+        let sink2 = TestSink::new();
+        let resumed = registry
+            .resume(
+                entry.token(),
+                2,
+                sink2.clone(),
+                1,
+                now,
+                |_, _, _| Json::Null,
+                |_, _, _| Json::Null,
+            )
+            .expect("resume");
+        assert_eq!(resumed.replayed, 1);
+        assert_eq!(sink2.seqs(), vec![2]);
+    }
+
+    #[test]
+    fn reaper_enforces_grace_watchdog_and_retention() {
+        let registry = RunRegistry::new();
+        let sink = TestSink::new();
+        let entry = register(&registry, 1, &sink, "job");
+        let t0 = Instant::now();
+        entry.mark_started(t0);
+        registry.detach_conn(1, t0);
+        let grace = Duration::from_secs(10);
+        let retention = Duration::from_secs(60);
+        let wgrace = Duration::from_secs(2);
+        // Inside the grace window: untouched.
+        let report = registry.reap(t0 + Duration::from_secs(5), wgrace, grace, retention);
+        assert_eq!(report, ReapReport::default());
+        assert!(!entry.cancel_token().is_cancelled());
+        // Past the grace window: cancelled exactly once.
+        let report = registry.reap(t0 + Duration::from_secs(11), wgrace, grace, retention);
+        assert_eq!(report.grace_cancels, 1);
+        assert!(entry.cancel_token().is_cancelled());
+        let report = registry.reap(t0 + Duration::from_secs(12), wgrace, grace, retention);
+        assert_eq!(report.grace_cancels, 0);
+        // The run finishes (cancelled runs still produce a terminal frame);
+        // after retention it is removed.
+        entry.finish(t0 + Duration::from_secs(12), |seq| event(seq, 0));
+        assert_eq!(registry.tracked(), 1);
+        let report = registry.reap(
+            t0 + Duration::from_secs(12) + retention,
+            wgrace,
+            grace,
+            retention,
+        );
+        assert_eq!(report.removed, 1);
+        assert_eq!(registry.tracked(), 0);
+
+        // Watchdog: a running entry past limit + grace is cancelled once.
+        let entry = register(&registry, 2, &sink, "job2");
+        entry.mark_started(t0);
+        let report = registry.reap(t0 + Duration::from_secs(8), wgrace, grace, retention);
+        assert_eq!(report.watchdog_cancels, 1);
+        assert!(entry.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn duplicate_ids_and_full_registries_are_refused_but_finished_runs_yield() {
+        let registry = RunRegistry::new();
+        let sink = TestSink::new();
+        let now = Instant::now();
+        let reg = |conn: u64, id: &str, cap: usize| {
+            registry.register(
+                conn,
+                sink.clone() as Arc<dyn FrameSink>,
+                id,
+                false,
+                Duration::from_secs(5),
+                1 << 16,
+                cap,
+            )
+        };
+        let first = reg(1, "a", 2).expect("first");
+        assert_eq!(reg(1, "a", 2).err(), Some(RegisterError::DuplicateId));
+        // Same id from another connection is fine (ids are per-connection).
+        let _second = reg(2, "a", 2).expect("second");
+        // At capacity with both runs live: refused.
+        assert_eq!(reg(3, "c", 2).err(), Some(RegisterError::Full));
+        // Finishing one makes room: the finished run is evicted.
+        first.finish(now, |seq| event(seq, 0));
+        assert!(reg(3, "c", 2).is_ok());
+        assert!(registry.resolve(1, "a").is_none(), "evicted run unindexed");
+    }
+
+    #[test]
+    fn resume_is_last_wins_between_competing_connections() {
+        let registry = RunRegistry::new();
+        let sink1 = TestSink::new();
+        let entry = register(&registry, 1, &sink1, "job");
+        let now = Instant::now();
+        entry.emit(now, |seq| event(seq, 0));
+        // A second connection presents the token while the first is still
+        // attached: the token wins, the old connection stops receiving.
+        let sink2 = TestSink::new();
+        registry
+            .resume(
+                entry.token(),
+                2,
+                sink2.clone(),
+                0,
+                now,
+                |_, _, _| Json::Null,
+                |_, _, _| Json::Null,
+            )
+            .expect("resume");
+        entry.emit(now, |seq| event(seq, 1));
+        assert_eq!(sink1.seqs(), vec![1]);
+        assert_eq!(sink2.seqs(), vec![1, 2]);
+    }
+}

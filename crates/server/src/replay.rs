@@ -1,0 +1,210 @@
+//! The bounded per-run replay buffer behind reconnect-and-resume.
+//!
+//! Every frame a run produces for its client (streamed `event`s and the
+//! terminal `result`/`error`) is journaled here with a sequence number drawn
+//! from one [`Sequencer`], so the stream has a transport-independent
+//! identity: a client that saw frames `1..=k` before its connection died
+//! resumes with `last_seq = k` and receives exactly `k+1..` — first from the
+//! buffer, then live.
+//!
+//! The buffer is byte-budgeted.  When journaled frames outgrow the budget
+//! the *oldest* are evicted, and the eviction is remembered: a resumer whose
+//! `last_seq` predates the oldest retained frame gets an explicit gap marker
+//! (`from..=to` of the missing numbers) instead of a silent hole.  The most
+//! recently appended frame is never evicted, whatever its size — in
+//! particular the terminal result, appended last, always survives for late
+//! resumers.
+
+use std::collections::VecDeque;
+
+use hanoi::Sequencer;
+use hanoi_lang::json::Json;
+
+/// One journaled frame.
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    frame: Json,
+    cost: usize,
+}
+
+/// What a replay request produced: an optional leading gap, then the
+/// retained frames after `last_seq`.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// `Some((from, to))` when frames `from..=to` were evicted before the
+    /// resumer asked for them.
+    pub gap: Option<(u64, u64)>,
+    /// The retained frames with sequence numbers greater than `last_seq`,
+    /// in order.
+    pub frames: Vec<Json>,
+}
+
+/// A sequence-numbering, byte-budgeted journal of one run's reply frames.
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    entries: VecDeque<Entry>,
+    bytes: usize,
+    budget: usize,
+    sequencer: Sequencer,
+    /// Highest sequence number evicted for space (0 = none yet).
+    evicted_through: u64,
+}
+
+impl ReplayBuffer {
+    /// An empty buffer holding at most `budget` rendered bytes.
+    pub fn new(budget: usize) -> ReplayBuffer {
+        ReplayBuffer {
+            entries: VecDeque::new(),
+            bytes: 0,
+            budget: budget.max(1),
+            sequencer: Sequencer::new(),
+            evicted_through: 0,
+        }
+    }
+
+    /// Journals the frame built by `make` (called with the frame's assigned
+    /// sequence number), evicting oldest frames past the byte budget, and
+    /// returns `(seq, frame)` for live delivery.
+    pub fn append(&mut self, make: impl FnOnce(u64) -> Json) -> (u64, Json) {
+        let seq = self.sequencer.issue();
+        let frame = make(seq);
+        let cost = frame.render().len();
+        self.entries.push_back(Entry {
+            seq,
+            frame: frame.clone(),
+            cost,
+        });
+        self.bytes += cost;
+        // Never evict the newest entry: over-budget singletons (e.g. a huge
+        // terminal result) are kept whole rather than lost.
+        while self.bytes > self.budget && self.entries.len() > 1 {
+            let evicted = self.entries.pop_front().expect("len > 1");
+            self.bytes -= evicted.cost;
+            self.evicted_through = evicted.seq;
+        }
+        (seq, frame)
+    }
+
+    /// The frames a client that last saw `last_seq` still needs, with an
+    /// explicit gap marker when eviction already claimed some of them.
+    pub fn replay_from(&self, last_seq: u64) -> Replay {
+        let gap = if self.evicted_through > last_seq {
+            Some((last_seq + 1, self.evicted_through))
+        } else {
+            None
+        };
+        let frames = self
+            .entries
+            .iter()
+            .filter(|entry| entry.seq > last_seq)
+            .map(|entry| entry.frame.clone())
+            .collect();
+        Replay { gap, frames }
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.sequencer.next_seq()
+    }
+
+    /// Journaled bytes currently retained.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Retained frame count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64, payload: &str) -> Json {
+        Json::obj([
+            ("seq", Json::Num(seq as f64)),
+            ("payload", Json::Str(payload.to_string())),
+        ])
+    }
+
+    #[test]
+    fn appends_number_consecutively_and_replay_resumes_mid_stream() {
+        let mut buffer = ReplayBuffer::new(1 << 20);
+        for i in 0..5 {
+            let (seq, _) = buffer.append(|seq| frame(seq, &format!("e{i}")));
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(buffer.next_seq(), 6);
+        let replay = buffer.replay_from(2);
+        assert!(replay.gap.is_none());
+        let seqs: Vec<u64> = replay
+            .frames
+            .iter()
+            .map(|f| f.get("seq").and_then(Json::as_usize).unwrap() as u64)
+            .collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        // From the very start, and from beyond the end.
+        assert_eq!(buffer.replay_from(0).frames.len(), 5);
+        assert!(buffer.replay_from(5).frames.is_empty());
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_and_marks_the_gap() {
+        // Small budget: roughly three frames fit.
+        let cost = frame(1, "x".repeat(40).as_str()).render().len();
+        let mut buffer = ReplayBuffer::new(cost * 3 + cost / 2);
+        for _ in 0..10 {
+            buffer.append(|seq| frame(seq, "x".repeat(40).as_str()));
+        }
+        assert!(buffer.len() < 10, "budget never evicted");
+        assert!(buffer.bytes() <= cost * 3 + cost / 2);
+        let replay = buffer.replay_from(0);
+        let (from, to) = replay.gap.expect("evictions must surface as a gap");
+        assert_eq!(from, 1);
+        let first_retained = replay.frames[0]
+            .get("seq")
+            .and_then(Json::as_usize)
+            .unwrap() as u64;
+        assert_eq!(
+            to + 1,
+            first_retained,
+            "gap must end where retention begins"
+        );
+        // Everything retained is contiguous through the final frame.
+        let seqs: Vec<u64> = replay
+            .frames
+            .iter()
+            .map(|f| f.get("seq").and_then(Json::as_usize).unwrap() as u64)
+            .collect();
+        assert_eq!(
+            seqs,
+            (first_retained..=10).collect::<Vec<u64>>(),
+            "retained frames must be contiguous"
+        );
+        // A resumer already past the gap sees no gap marker.
+        assert!(buffer.replay_from(to).gap.is_none());
+    }
+
+    #[test]
+    fn the_newest_frame_always_survives() {
+        let mut buffer = ReplayBuffer::new(8); // smaller than any frame
+        for i in 0..4 {
+            buffer.append(|seq| frame(seq, &format!("payload-{i}")));
+        }
+        assert_eq!(buffer.len(), 1, "only the newest frame is retained");
+        let replay = buffer.replay_from(0);
+        assert_eq!(replay.gap, Some((1, 3)));
+        assert_eq!(
+            replay.frames[0].get("seq").and_then(Json::as_usize),
+            Some(4)
+        );
+    }
+}

@@ -1,5 +1,5 @@
 //! The server proper: accept loop, connection threads, worker pool,
-//! watchdog, and the graceful-drain coordinator.
+//! reaper, and the graceful-drain coordinator.
 //!
 //! # Thread shape
 //!
@@ -11,8 +11,10 @@
 //! * [`crate::ServerConfig::workers`] scoped threads run the **worker
 //!   loop** — they pull admitted jobs and execute inference runs against
 //!   the one shared [`Engine`];
-//! * one scoped **watchdog** thread force-cancels runs that outlive their
-//!   deadline.
+//! * one scoped **reaper** thread force-cancels runs that outlive their
+//!   deadline (the watchdog), cancels detached runs whose disconnect grace
+//!   expired, expires finished runs past their retention window, and prunes
+//!   idle rate-limiter buckets.
 //!
 //! When a drain is requested (the `drain` protocol op, or
 //! [`ServerHandle::drain`] — typically wired to SIGTERM by the binary), the
@@ -21,37 +23,47 @@
 //! checkpoint the engine's warm state to disk, then release every thread
 //! and return.  The scope guarantees nothing leaks.
 //!
+//! # Run durability
+//!
+//! A run's lifetime is decoupled from its connection's: every accepted
+//! submit is tracked in the [`RunRegistry`] under a server-issued token, and
+//! every frame it produces is journaled in a per-run replay buffer before
+//! being forwarded to the owning connection.  A client disconnect merely
+//! *detaches* the run — it keeps executing, and a `resume` op presenting
+//! the token on any later connection replays the missed frames and
+//! continues live.  Only when nobody reclaims a detached run within
+//! [`crate::config::Tunables::disconnect_grace`] does the reaper cancel it.
+//!
 //! # Fault isolation
 //!
 //! Every worker iteration runs behind `catch_unwind`, and the run itself
 //! behind [`hanoi::Session::run_caught`] — a panicking run produces a
-//! structured `error` frame for its one client (and, for run-internal
-//! panics, evicts that problem's possibly-wrecked cache entry) while the
+//! structured `error` frame for its one client (journaled like any other
+//! terminal frame, so even a panic outcome survives a disconnect) while the
 //! process, the other connections, and every *other* problem's warm caches
-//! carry on.  Connection threads own all socket I/O; a client that
-//! disconnects mid-run simply has its runs cancelled via their
-//! [`CancelToken`]s.
+//! carry on.
 
-use std::collections::HashMap;
 use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use hanoi::{CancelToken, Engine, Outcome, RunEvent, RunOptions, RunResult, RunStats};
+use hanoi::{Engine, Outcome, RunEvent, RunOptions, RunResult, RunStats};
 use hanoi_abstraction::Problem;
 use hanoi_lang::json::{self, FrameReader, FrameResult, Json};
 
 use crate::admission::{Admission, Next};
-use crate::config::ServerConfig;
+use crate::config::{HotTunables, ServerConfig, Tunables};
 use crate::protocol::{self, ChaosDirective, ProtocolError, Request, ShedReason, SubmitRequest};
+use crate::ratelimit::RateLimiter;
+use crate::registry::{FrameSink, RegisterError, RunEntry, RunRegistry};
 use crate::stats::{bump, ServerStats};
 
 /// How often blocked loops (accept, connection reads, worker polls, the
-/// watchdog) wake to re-check shutdown flags.
+/// reaper) wake to re-check shutdown flags.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Write-side patience before a stuck client counts as gone.
@@ -61,29 +73,15 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-/// One admitted inference run, queued for a worker.
-#[derive(Debug)]
+/// One admitted inference run, queued for a worker.  The durable state
+/// (cancellation, journal, owning connection) lives in the registry entry;
+/// the job only carries what the worker needs to execute.
 struct Job {
-    id: String,
-    client: Arc<ClientHandle>,
+    entry: Arc<RunEntry>,
     source: String,
     options: RunOptions,
-    events: bool,
     chaos: Option<ChaosDirective>,
-    token: CancelToken,
     submitted_at: Instant,
-}
-
-/// Cancellation and deadline state of one in-flight run, keyed by
-/// `(connection id, run id)`.
-#[derive(Debug)]
-struct RunControl {
-    token: CancelToken,
-    /// Set when a worker picks the job up; the watchdog only times running
-    /// jobs.
-    started: Option<Instant>,
-    /// The run's wall-clock ceiling (its clamped timeout).
-    limit: Duration,
 }
 
 /// The write half of one client connection, shared between its connection
@@ -91,14 +89,16 @@ struct RunControl {
 #[derive(Debug)]
 struct ClientHandle {
     id: u64,
+    peer: IpAddr,
     writer: Mutex<TcpStream>,
     alive: AtomicBool,
+    stats: Arc<ServerStats>,
 }
 
 impl ClientHandle {
     /// Sends one frame; on any write failure the client is marked dead so
     /// later sends (and event streams) short-circuit.
-    fn send(&self, stats: &ServerStats, frame: &Json) -> bool {
+    fn send(&self, frame: &Json) -> bool {
         if !self.alive.load(Ordering::Relaxed) {
             return false;
         }
@@ -107,22 +107,33 @@ impl ClientHandle {
             Ok(()) => true,
             Err(_) => {
                 self.alive.store(false, Ordering::Relaxed);
-                bump(&stats.write_errors);
+                bump(&self.stats.write_errors);
                 false
             }
         }
     }
 }
 
+/// Workers deliver journaled frames through the registry, which addresses
+/// the owning connection as a [`FrameSink`].
+impl FrameSink for ClientHandle {
+    fn send_frame(&self, frame: &Json) -> bool {
+        self.send(frame)
+    }
+}
+
 /// State shared by every thread of one server.
-#[derive(Debug)]
 struct Shared {
     config: ServerConfig,
     engine: Engine,
-    stats: ServerStats,
+    stats: Arc<ServerStats>,
     admission: Admission<Job>,
-    /// In-flight runs (queued or running), for cancel/watchdog/disconnect.
-    runs: Mutex<HashMap<(u64, String), RunControl>>,
+    /// The durable run registry: tokens, journals, owners.
+    registry: RunRegistry,
+    /// Per-client-address token buckets (time-based rate limiting).
+    limiter: RateLimiter,
+    /// The hot-reloadable tunables every admission decision reads.
+    tunables: Arc<HotTunables>,
     /// Elaborated problems keyed by source text, most recent last.  The
     /// engine keys its warm caches by the elaborated problem's identity, so
     /// re-elaborating the same source would always start cold: this cache is
@@ -160,7 +171,6 @@ impl Shared {
 /// handle.drain();
 /// handle.wait_drained(std::time::Duration::from_secs(60));
 /// ```
-#[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
@@ -168,9 +178,10 @@ pub struct Server {
 }
 
 /// Out-of-band control of a running [`Server`]: its address, a drain
-/// trigger, and a way to wait for the drain to finish.  Clonable and
-/// `Send`; the binary wires [`ServerHandle::drain`] to SIGTERM/SIGINT.
-#[derive(Debug, Clone)]
+/// trigger, a config-reload trigger, and a way to wait for the drain to
+/// finish.  Clonable and `Send`; the binary wires [`ServerHandle::drain`]
+/// to SIGTERM/SIGINT and [`ServerHandle::reload_from_file`] to SIGHUP.
+#[derive(Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
@@ -217,6 +228,43 @@ impl ServerHandle {
     pub fn stats_json(&self) -> Json {
         self.shared.stats.to_json()
     }
+
+    /// The tunable set currently in force.
+    pub fn tunables(&self) -> Arc<Tunables> {
+        self.shared.tunables.get()
+    }
+
+    /// Re-reads the server's config file and hot-swaps the tunables
+    /// (the `reload` op's out-of-band twin — the binary wires it to
+    /// SIGHUP).  Returns the tunables now in force.
+    pub fn reload_from_file(&self) -> Result<Json, ProtocolError> {
+        reload(&self.shared)
+    }
+}
+
+/// Re-reads the config file, overlays it on the boot-time tunables (the
+/// file is declarative: a key removed from the file reverts to its
+/// boot-time value on the next reload), validates the whole set, and
+/// publishes it atomically.  In-flight runs are untouched: tunables are
+/// read at decision points, never held.
+fn reload(shared: &Shared) -> Result<Json, ProtocolError> {
+    let Some(path) = shared.config.config_path.as_ref() else {
+        return Err(ProtocolError::new(
+            "reload-unavailable",
+            "the server was started without --config; nothing to reload",
+        ));
+    };
+    let fail = |message: String| ProtocolError::new("reload-failed", message);
+    let text =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("read {}: {e}", path.display())))?;
+    let overlay = json::parse_with_limits(&text, shared.config.max_frame_depth)
+        .map_err(|e| fail(format!("parse {}: {e}", path.display())))?;
+    let next = Tunables::from_config(&shared.config)
+        .overlaid(&overlay)
+        .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    shared.tunables.swap(next);
+    bump(&shared.stats.config_reloads);
+    Ok(shared.tunables.get().to_json())
 }
 
 impl Server {
@@ -231,17 +279,15 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let admission = Admission::new(
-            config.workers,
-            config.max_queue_depth,
-            config.per_client_quota,
-            config.retry_after_base_ms,
-        );
+        let tunables = Arc::new(HotTunables::new(Tunables::from_config(&config)));
+        let admission = Admission::new(config.workers, Arc::clone(&tunables));
         let shared = Arc::new(Shared {
             engine,
-            stats: ServerStats::default(),
+            stats: Arc::new(ServerStats::default()),
             admission,
-            runs: Mutex::new(HashMap::new()),
+            registry: RunRegistry::new(),
+            limiter: RateLimiter::new(),
+            tunables,
             problems: Mutex::new(Vec::new()),
             drain_requested: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
@@ -282,7 +328,7 @@ impl Server {
             for _ in 0..shared.config.workers {
                 scope.spawn(|| worker_loop(shared));
             }
-            scope.spawn(|| watchdog_loop(shared));
+            scope.spawn(|| reaper_loop(shared));
             while !shared.drain_requested.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => accept_connection(shared, stream, scope),
@@ -321,6 +367,10 @@ fn accept_connection<'scope, 'env>(
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let client = match stream.try_clone() {
@@ -328,8 +378,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             let _ = writer.set_write_timeout(Some(WRITE_TIMEOUT));
             Arc::new(ClientHandle {
                 id: conn_id,
+                peer,
                 writer: Mutex::new(writer),
                 alive: AtomicBool::new(true),
+                stats: Arc::clone(&shared.stats),
             })
         }
         Err(_) => {
@@ -371,26 +423,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             FrameResult::Closed { .. } => break false,
             FrameResult::Oversized { limit } => {
                 bump(&shared.stats.oversized_frames);
-                client.send(
-                    &shared.stats,
-                    &protocol::error_frame(
-                        &ProtocolError::new(
-                            "oversized",
-                            format!("frame exceeds the {limit}-byte limit"),
-                        ),
-                        None,
+                client.send(&protocol::error_frame(
+                    &ProtocolError::new(
+                        "oversized",
+                        format!("frame exceeds the {limit}-byte limit"),
                     ),
-                );
+                    None,
+                ));
             }
             FrameResult::InvalidUtf8 => {
                 bump(&shared.stats.encoding_errors);
-                client.send(
-                    &shared.stats,
-                    &protocol::error_frame(
-                        &ProtocolError::new("encoding", "frame is not valid UTF-8"),
-                        None,
-                    ),
-                );
+                client.send(&protocol::error_frame(
+                    &ProtocolError::new("encoding", "frame is not valid UTF-8"),
+                    None,
+                ));
             }
             FrameResult::Err(_) => break false,
         }
@@ -398,16 +444,13 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     if timed_out {
         bump(&shared.stats.connections_timed_out);
     }
-    // Teardown: the client's in-flight runs are moot — cancel them so
-    // workers stop spending budget on answers nobody will read.
+    // Teardown: *detach* the connection's runs instead of cancelling them.
+    // They keep executing and journaling under their tokens; the reaper
+    // cancels whichever ones nobody resumes within the disconnect grace.
     client.alive.store(false, Ordering::Relaxed);
-    {
-        let runs = lock(&shared.runs);
-        for ((owner, _), control) in runs.iter() {
-            if *owner == conn_id {
-                control.token.cancel();
-            }
-        }
+    let detached = shared.registry.detach_conn(conn_id, Instant::now());
+    for _ in 0..detached {
+        bump(&shared.stats.runs_detached);
     }
     bump(&shared.stats.connections_closed);
     shared.open_connections.fetch_sub(1, Ordering::Relaxed);
@@ -418,10 +461,10 @@ fn handle_frame(shared: &Shared, client: &Arc<ClientHandle>, line: &str) {
         Ok(frame) => frame,
         Err(e) => {
             bump(&shared.stats.protocol_errors);
-            client.send(
-                &shared.stats,
-                &protocol::error_frame(&ProtocolError::new("parse", e.to_string()), None),
-            );
+            client.send(&protocol::error_frame(
+                &ProtocolError::new("parse", e.to_string()),
+                None,
+            ));
             return;
         }
     };
@@ -429,121 +472,172 @@ fn handle_frame(shared: &Shared, client: &Arc<ClientHandle>, line: &str) {
         Ok(request) => request,
         Err(error) => {
             bump(&shared.stats.protocol_errors);
-            client.send(
-                &shared.stats,
-                &protocol::error_frame(&error, protocol::request_id(&frame)),
-            );
+            client.send(&protocol::error_frame(&error, protocol::request_id(&frame)));
             return;
         }
     };
     match request {
         Request::Ping => {
-            client.send(&shared.stats, &protocol::pong_frame());
+            client.send(&protocol::pong_frame());
         }
         Request::Stats => {
             let (queued, active) = shared.admission.load();
-            client.send(
-                &shared.stats,
-                &protocol::stats_frame(
-                    shared.stats.to_json(),
-                    shared.engine.cached_problems(),
-                    queued,
-                    active,
-                    shared.admission.is_draining(),
-                ),
-            );
+            client.send(&protocol::stats_frame(
+                shared.stats.to_json(),
+                shared.engine.cached_problems(),
+                queued,
+                active,
+                shared.admission.is_draining(),
+                shared.tunables.get().to_json(),
+                shared.registry.tracked(),
+            ));
         }
         Request::Drain => {
             shared.request_drain();
-            client.send(&shared.stats, &protocol::draining_frame());
+            client.send(&protocol::draining_frame());
         }
+        Request::Reload => match reload(shared) {
+            Ok(tunables) => {
+                client.send(&protocol::reloaded_frame(tunables));
+            }
+            Err(error) => {
+                bump(&shared.stats.protocol_errors);
+                client.send(&protocol::error_frame(&error, None));
+            }
+        },
         Request::Cancel { id } => {
-            let found = {
-                let runs = lock(&shared.runs);
-                match runs.get(&(client.id, id.clone())) {
-                    Some(control) => {
-                        control.token.cancel();
-                        true
-                    }
-                    None => false,
+            let found = match shared.registry.resolve(client.id, &id) {
+                Some(entry) => {
+                    entry.cancel_token().cancel();
+                    true
                 }
+                None => false,
             };
             if found {
                 bump(&shared.stats.cancels_honoured);
             }
-            client.send(&shared.stats, &protocol::cancelled_frame(&id, found));
+            client.send(&protocol::cancelled_frame(&id, found));
         }
+        Request::Resume { token, last_seq } => handle_resume(shared, client, &token, last_seq),
         Request::Submit(submit) => handle_submit(shared, client, *submit),
+    }
+}
+
+fn handle_resume(shared: &Shared, client: &Arc<ClientHandle>, token: &str, last_seq: u64) {
+    let sink: Arc<dyn FrameSink> = Arc::clone(client) as Arc<dyn FrameSink>;
+    match shared.registry.resume(
+        token,
+        client.id,
+        sink,
+        last_seq,
+        Instant::now(),
+        |id, replayed, finished| protocol::resumed_frame(id, token, replayed, finished),
+        protocol::gap_frame,
+    ) {
+        Ok(resumed) => {
+            bump(&shared.stats.runs_resumed);
+            if resumed.gap.is_some() {
+                bump(&shared.stats.replay_gaps);
+            }
+            for _ in 0..resumed.replayed {
+                bump(&shared.stats.replay_events_sent);
+            }
+        }
+        Err(error) => {
+            bump(&shared.stats.protocol_errors);
+            client.send(&protocol::error_frame(
+                &ProtocolError::new("unknown-token", error.to_string()),
+                None,
+            ));
+        }
     }
 }
 
 fn handle_submit(shared: &Shared, client: &Arc<ClientHandle>, submit: SubmitRequest) {
     if submit.chaos.is_some() && !shared.config.enable_chaos {
         bump(&shared.stats.protocol_errors);
-        client.send(
-            &shared.stats,
-            &protocol::error_frame(
-                &ProtocolError::new(
-                    "chaos-disabled",
-                    "chaos directives require a server started with chaos enabled",
-                ),
-                Some(&submit.id),
+        client.send(&protocol::error_frame(
+            &ProtocolError::new(
+                "chaos-disabled",
+                "chaos directives require a server started with chaos enabled",
             ),
-        );
+            Some(&submit.id),
+        ));
         return;
     }
-    let key = (client.id, submit.id.clone());
-    if lock(&shared.runs).contains_key(&key) {
-        bump(&shared.stats.protocol_errors);
-        client.send(
-            &shared.stats,
-            &protocol::error_frame(
-                &ProtocolError::new("bad-request", "run id already in flight"),
-                Some(&submit.id),
-            ),
-        );
+    let tunables = shared.tunables.get();
+    // The rate limiter sits in front of the admission queue: a client
+    // hammering submits is shed on its own clock before it can contend for
+    // queue depth, with an honest hint from its bucket's actual deficit.
+    if let Err(retry_after_ms) = shared.limiter.try_acquire(
+        client.peer,
+        tunables.rate_per_sec,
+        tunables.rate_burst,
+        Instant::now(),
+    ) {
+        bump(&shared.stats.rate_limited_sheds);
+        client.send(&protocol::shed_frame(
+            &submit.id,
+            ShedReason::RateLimited,
+            retry_after_ms.max(1),
+        ));
         return;
     }
     // The watchdog ceiling is a hard bound: client timeouts are clamped to
     // it, never trusted beyond it.
-    let watchdog = shared.config.watchdog;
+    let watchdog = tunables.watchdog;
     let mut options = submit.options;
     options.timeout = Some(options.timeout.map_or(watchdog, |t| t.min(watchdog)));
     let limit = options.timeout.unwrap_or(watchdog);
-    let token = CancelToken::new();
+    let entry = match shared.registry.register(
+        client.id,
+        Arc::clone(client) as Arc<dyn FrameSink>,
+        &submit.id,
+        submit.events,
+        limit,
+        shared.config.replay_buffer_bytes,
+        shared.config.max_tracked_runs,
+    ) {
+        Ok(entry) => entry,
+        Err(RegisterError::DuplicateId) => {
+            bump(&shared.stats.protocol_errors);
+            client.send(&protocol::error_frame(
+                &ProtocolError::new("bad-request", "run id already in flight"),
+                Some(&submit.id),
+            ));
+            return;
+        }
+        Err(RegisterError::Full) => {
+            bump(&shared.stats.shed_queue_full);
+            client.send(&protocol::shed_frame(
+                &submit.id,
+                ShedReason::QueueFull,
+                tunables.retry_after_base_ms.max(1),
+            ));
+            return;
+        }
+    };
     let job = Job {
-        id: submit.id.clone(),
-        client: Arc::clone(client),
+        entry: Arc::clone(&entry),
         source: submit.source,
         options,
-        events: submit.events,
         chaos: submit.chaos,
-        token: token.clone(),
         submitted_at: Instant::now(),
     };
     match shared.admission.submit(client.id, job) {
         Ok(queued) => {
             bump(&shared.stats.runs_accepted);
-            lock(&shared.runs).insert(
-                key,
-                RunControl {
-                    token,
-                    started: None,
-                    limit,
-                },
-            );
-            client.send(&shared.stats, &protocol::accepted_frame(&submit.id, queued));
+            client.send(&protocol::accepted_frame(&submit.id, queued, entry.token()));
         }
         Err((reason, retry_after_ms)) => {
+            shared.registry.unregister(client.id, &entry);
             bump(match reason {
                 ShedReason::QueueFull => &shared.stats.shed_queue_full,
                 ShedReason::ClientQuota => &shared.stats.shed_client_quota,
+                ShedReason::RateLimited => &shared.stats.rate_limited_sheds,
                 ShedReason::Draining => &shared.stats.shed_draining,
             });
-            client.send(
-                &shared.stats,
-                &protocol::shed_frame(&submit.id, reason, retry_after_ms),
-            );
+            client.send(&protocol::shed_frame(&submit.id, reason, retry_after_ms));
         }
     }
 }
@@ -559,15 +653,17 @@ fn worker_loop(shared: &Shared) {
                 let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
                 if let Err(payload) = outcome {
                     bump(&shared.stats.runs_panicked);
-                    job.client.send(
-                        &shared.stats,
-                        &protocol::error_frame(
-                            &ProtocolError::new("panic", panic_text(payload.as_ref())),
-                            Some(&job.id),
-                        ),
-                    );
+                    if !job.entry.is_finished() {
+                        let error = ProtocolError::new("panic", panic_text(payload.as_ref()));
+                        let id = job.entry.id().to_string();
+                        job.entry.finish(Instant::now(), |seq| {
+                            protocol::sequenced(protocol::error_frame(&error, Some(&id)), seq)
+                        });
+                    }
                 }
-                lock(&shared.runs).remove(&(client_id, job.id.clone()));
+                // The id becomes reusable; the entry stays resumable by
+                // token until retention expires.
+                shared.registry.release_id(&job.entry);
                 shared.admission.finish(client_id);
             }
         }
@@ -581,54 +677,56 @@ fn run_job(shared: &Shared, job: &Job) {
             ChaosDirective::Panic => panic!("chaos: injected worker panic"),
         }
     }
+    let entry = &job.entry;
     let queue_ms = job.submitted_at.elapsed().as_millis() as u64;
-    if job.token.is_cancelled() {
-        // Cancelled (or disconnected) while queued: answer without paying
+    if entry.cancel_token().is_cancelled() {
+        // Cancelled (or grace-reaped) while queued: answer without paying
         // for elaboration or a run.
         let result = RunResult::new(Outcome::Cancelled, RunStats::default());
         bump(&shared.stats.runs_completed);
         bump(&shared.stats.runs_cancelled);
-        job.client.send(
-            &shared.stats,
-            &protocol::result_frame(&job.id, &result, queue_ms, 0),
-        );
+        let id = entry.id().to_string();
+        entry.finish(Instant::now(), |seq| {
+            protocol::result_frame(&id, seq, &result, queue_ms, 0)
+        });
         return;
     }
     let problem = match cached_problem(shared, &job.source) {
         Ok(problem) => problem,
         Err(message) => {
             bump(&shared.stats.runs_rejected);
-            job.client.send(
-                &shared.stats,
-                &protocol::error_frame(&ProtocolError::new("bad-problem", message), Some(&job.id)),
-            );
+            let error = ProtocolError::new("bad-problem", message);
+            let id = entry.id().to_string();
+            entry.finish(Instant::now(), |seq| {
+                protocol::sequenced(protocol::error_frame(&error, Some(&id)), seq)
+            });
             return;
         }
     };
     // Arm the watchdog: the run is now spending wall clock.
-    {
-        let mut runs = lock(&shared.runs);
-        if let Some(control) = runs.get_mut(&(job.client.id, job.id.clone())) {
-            control.started = Some(Instant::now());
-        }
-    }
+    entry.mark_started(Instant::now());
     let started = Instant::now();
     let session = shared.engine.session(&problem);
-    let outcome = if job.events {
+    let outcome = if entry.events_wanted() {
         let stats = &shared.stats;
-        let handle = &job.client;
-        let id = &job.id;
-        let token = job.token.clone();
+        let id = entry.id().to_string();
         let mut observer = |event: &RunEvent| {
             bump(&stats.events_sent);
-            if !handle.send(stats, &protocol::event_frame(id, event)) {
-                // The client is gone; stop spending budget on the run.
-                token.cancel();
+            // Journal + forward.  A dead owner detaches the run rather than
+            // cancelling it: the journal keeps the stream whole for a
+            // resumer, and the reaper enforces the grace deadline.
+            let emitted = entry.emit(Instant::now(), |seq| protocol::event_frame(&id, seq, event));
+            if emitted.detached {
+                bump(&stats.runs_detached);
             }
         };
-        session.run_caught(&job.options, Some(&mut observer), Some(job.token.clone()))
+        session.run_caught(
+            &job.options,
+            Some(&mut observer),
+            Some(entry.cancel_token().clone()),
+        )
     } else {
-        session.run_caught(&job.options, None, Some(job.token.clone()))
+        session.run_caught(&job.options, None, Some(entry.cancel_token().clone()))
     };
     let run_ms = started.elapsed().as_millis() as u64;
     match outcome {
@@ -640,20 +738,18 @@ fn run_job(shared: &Shared, job: &Job) {
                 Outcome::Timeout => bump(&shared.stats.runs_timeout),
                 _ => {}
             }
-            job.client.send(
-                &shared.stats,
-                &protocol::result_frame(&job.id, &result, queue_ms, run_ms),
-            );
+            let id = entry.id().to_string();
+            entry.finish(Instant::now(), |seq| {
+                protocol::result_frame(&id, seq, &result, queue_ms, run_ms)
+            });
         }
         Err(message) => {
             bump(&shared.stats.runs_panicked);
-            job.client.send(
-                &shared.stats,
-                &protocol::error_frame(
-                    &ProtocolError::new("panic", format!("run panicked: {message}")),
-                    Some(&job.id),
-                ),
-            );
+            let error = ProtocolError::new("panic", format!("run panicked: {message}"));
+            let id = entry.id().to_string();
+            entry.finish(Instant::now(), |seq| {
+                protocol::sequenced(protocol::error_frame(&error, Some(&id)), seq)
+            });
         }
     }
 }
@@ -689,19 +785,27 @@ fn cached_problem(shared: &Shared, source: &str) -> Result<Arc<Problem>, String>
     Ok(problem)
 }
 
-fn watchdog_loop(shared: &Shared) {
+/// The watchdog, the disconnect-grace enforcer, the retention reaper, and
+/// the rate-limiter pruner, in one periodic sweep.
+fn reaper_loop(shared: &Shared) {
     while !shared.shutdown.load(Ordering::Relaxed) {
         thread::sleep(POLL_INTERVAL);
-        let grace = shared.config.watchdog_grace;
-        let runs = lock(&shared.runs);
-        for control in runs.values() {
-            if let Some(started) = control.started {
-                if started.elapsed() > control.limit + grace && !control.token.is_cancelled() {
-                    control.token.cancel();
-                    bump(&shared.stats.watchdog_cancels);
-                }
-            }
+        let tunables = shared.tunables.get();
+        let report = shared.registry.reap(
+            Instant::now(),
+            tunables.watchdog_grace,
+            tunables.disconnect_grace,
+            shared.config.result_retention,
+        );
+        for _ in 0..report.watchdog_cancels {
+            bump(&shared.stats.watchdog_cancels);
         }
+        for _ in 0..report.grace_cancels {
+            bump(&shared.stats.grace_cancels);
+        }
+        shared
+            .limiter
+            .prune(tunables.rate_per_sec, tunables.rate_burst, Instant::now());
     }
 }
 
@@ -710,31 +814,22 @@ fn drain(shared: &Shared) -> std::io::Result<usize> {
     shared.admission.begin_drain();
     if !shared.admission.wait_idle(shared.config.drain_timeout) {
         // Patience exhausted.  Queued jobs never started: answer them
-        // `cancelled` directly.
-        for (client_id, job) in shared.admission.drain_queue() {
-            job.token.cancel();
+        // `cancelled` directly (journaled, like every terminal frame).
+        for (_client, job) in shared.admission.drain_queue() {
+            job.entry.cancel_token().cancel();
             let result = RunResult::new(Outcome::Cancelled, RunStats::default());
             bump(&shared.stats.runs_completed);
             bump(&shared.stats.runs_cancelled);
-            job.client.send(
-                &shared.stats,
-                &protocol::result_frame(
-                    &job.id,
-                    &result,
-                    job.submitted_at.elapsed().as_millis() as u64,
-                    0,
-                ),
-            );
-            lock(&shared.runs).remove(&(client_id, job.id));
+            let queue_ms = job.submitted_at.elapsed().as_millis() as u64;
+            let id = job.entry.id().to_string();
+            job.entry.finish(Instant::now(), |seq| {
+                protocol::result_frame(&id, seq, &result, queue_ms, 0)
+            });
+            shared.registry.release_id(&job.entry);
         }
         // Running jobs get cancelled and a second patience window to unwind
         // through their cancellation points.
-        {
-            let runs = lock(&shared.runs);
-            for control in runs.values() {
-                control.token.cancel();
-            }
-        }
+        shared.registry.cancel_all();
         shared.admission.wait_idle(shared.config.drain_timeout);
     }
     // Checkpoint warm state while the engine is quiescent.
@@ -744,7 +839,7 @@ fn drain(shared: &Shared) -> std::io::Result<usize> {
             bump(&shared.stats.drain_snapshots);
         }
     }
-    // Release every thread: workers, watchdog, connection loops.
+    // Release every thread: workers, reaper, connection loops.
     shared.shutdown.store(true, Ordering::Relaxed);
     shared.admission.shutdown();
     {

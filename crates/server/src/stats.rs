@@ -59,6 +59,22 @@ pub struct ServerStats {
     pub cancels_honoured: AtomicU64,
     /// Snapshot files written by the drain checkpoint.
     pub drain_snapshots: AtomicU64,
+    /// Connections that detached from a run without ending it (the run kept
+    /// executing under its token).
+    pub runs_detached: AtomicU64,
+    /// Successful `resume` re-attachments.
+    pub runs_resumed: AtomicU64,
+    /// Journaled frames replayed to resuming clients.
+    pub replay_events_sent: AtomicU64,
+    /// Resumes whose replay had evicted frames (a `gap` frame was sent).
+    pub replay_gaps: AtomicU64,
+    /// Detached runs cancelled because nobody resumed within the grace
+    /// period.
+    pub grace_cancels: AtomicU64,
+    /// Submits shed by the per-client token-bucket rate limiter.
+    pub rate_limited_sheds: AtomicU64,
+    /// Successful hot config reloads (SIGHUP or the `reload` op).
+    pub config_reloads: AtomicU64,
 }
 
 /// Increments a counter.
@@ -99,6 +115,13 @@ impl ServerStats {
             ("write_errors", n(&self.write_errors)),
             ("cancels_honoured", n(&self.cancels_honoured)),
             ("drain_snapshots", n(&self.drain_snapshots)),
+            ("runs_detached", n(&self.runs_detached)),
+            ("runs_resumed", n(&self.runs_resumed)),
+            ("replay_events_sent", n(&self.replay_events_sent)),
+            ("replay_gaps", n(&self.replay_gaps)),
+            ("grace_cancels", n(&self.grace_cancels)),
+            ("rate_limited_sheds", n(&self.rate_limited_sheds)),
+            ("config_reloads", n(&self.config_reloads)),
         ])
     }
 }
@@ -113,10 +136,23 @@ mod tests {
         bump(&stats.runs_accepted);
         bump(&stats.runs_accepted);
         bump(&stats.shed_queue_full);
+        bump(&stats.runs_resumed);
+        bump(&stats.replay_events_sent);
+        bump(&stats.replay_events_sent);
+        bump(&stats.replay_gaps);
+        bump(&stats.rate_limited_sheds);
+        bump(&stats.config_reloads);
         let json = stats.to_json();
         assert_eq!(json.get("runs_accepted").unwrap().as_usize(), Some(2));
         assert_eq!(json.get("shed_queue_full").unwrap().as_usize(), Some(1));
         assert_eq!(json.get("drain_snapshots").unwrap().as_usize(), Some(0));
+        assert_eq!(json.get("runs_resumed").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("replay_events_sent").unwrap().as_usize(), Some(2));
+        assert_eq!(json.get("replay_gaps").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("rate_limited_sheds").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("config_reloads").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("runs_detached").unwrap().as_usize(), Some(0));
+        assert_eq!(json.get("grace_cancels").unwrap().as_usize(), Some(0));
         assert_eq!(stats.get(&stats.runs_accepted), 2);
     }
 }

@@ -151,6 +151,17 @@ fn malformed_inputs_become_structured_errors_and_the_stream_stays_synced() {
             b"{\"op\":\"submit\",\"id\":\"x\",\"source\":\"spec\",\"options\":7}\n",
             "bad-request",
         ),
+        // Malformed resume requests.
+        (b"{\"op\":\"resume\"}\n", "bad-request"),
+        (b"{\"op\":\"resume\",\"token\":\"\"}\n", "bad-request"),
+        (
+            b"{\"op\":\"resume\",\"token\":\"t\",\"last_seq\":-4}\n",
+            "bad-request",
+        ),
+        (
+            b"{\"op\":\"resume\",\"token\":\"t\",\"last_seq\":\"x\"}\n",
+            "bad-request",
+        ),
         // Bytes that are not UTF-8 at all.
         (b"\xff\xfe\xfd garbage\n", "encoding"),
     ];
@@ -355,6 +366,158 @@ fn read_timeouts_do_not_poison_idle_connections() {
     conn.ping_pong();
     std::thread::sleep(Duration::from_millis(400));
     conn.ping_pong();
+}
+
+/// Submits a streamed sleep-chaos run, returns its token, and drops the
+/// connection — leaving a detached run behind for resume scenarios.
+fn detach_a_streamed_run(server: &TestServer, id: &str, sleep_ms: u64) -> String {
+    let mut conn = server.connect();
+    conn.send(&Json::obj([
+        ("op", Json::Str("submit".to_string())),
+        ("id", Json::Str(id.to_string())),
+        ("source", Json::Str(TRIVIAL.to_string())),
+        ("events", Json::Bool(true)),
+        (
+            "chaos",
+            Json::obj([
+                ("kind", Json::Str("sleep".to_string())),
+                ("ms", Json::Num(sleep_ms as f64)),
+            ]),
+        ),
+    ]));
+    loop {
+        let frame = conn.read_frame();
+        if frame.get("reply").and_then(Json::as_str) == Some("accepted") {
+            return frame
+                .get("token")
+                .and_then(Json::as_str)
+                .expect("accepted frames carry a token")
+                .to_string();
+        }
+    }
+}
+
+fn resume_frame(token: &str, last_seq: u64) -> Json {
+    Json::obj([
+        ("op", Json::Str("resume".to_string())),
+        ("token", Json::Str(token.to_string())),
+        ("last_seq", Json::Num(last_seq as f64)),
+    ])
+}
+
+/// Reads a full contiguous replayed stream (resumed ack, then seq 1..=n
+/// frames ending in a terminal result) and returns the terminal frame.
+fn read_replayed_stream(conn: &mut Conn) -> Json {
+    let mut next_seq = 1;
+    loop {
+        let frame = conn.read_frame();
+        match frame.get("reply").and_then(Json::as_str) {
+            Some("resumed") => {}
+            Some("gap") => panic!("unexpected gap: {}", frame.render()),
+            Some("event") | Some("result") | Some("error") => {
+                assert_eq!(
+                    frame.get("seq").and_then(Json::as_usize),
+                    Some(next_seq),
+                    "replayed stream is not contiguous: {}",
+                    frame.render()
+                );
+                next_seq += 1;
+                if frame.get("reply").and_then(Json::as_str) != Some("event") {
+                    return frame;
+                }
+            }
+            other => panic!("unexpected reply {other:?}: {}", frame.render()),
+        }
+    }
+}
+
+#[test]
+fn a_disconnect_mid_resume_replay_leaves_the_run_resumable() {
+    // Client A starts a streamed run and vanishes; client B resumes but rips
+    // its socket out again while the server is replaying; client C must
+    // still get the complete journaled stream, contiguous from seq 1.
+    let server = TestServer::spawn(small_config().with_chaos(true));
+    let token = detach_a_streamed_run(&server, "torn", 100);
+    // Let the run finish detached so the replay has the whole stream.
+    std::thread::sleep(Duration::from_millis(800));
+
+    let mut saboteur = server.connect();
+    saboteur.send(&resume_frame(&token, 0));
+    drop(saboteur); // disconnect while the replay may be in flight
+
+    let mut patient = server.connect();
+    patient.send(&resume_frame(&token, 0));
+    let result = read_replayed_stream(&mut patient);
+    assert_eq!(
+        result.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        result.render()
+    );
+    // And the connection that got the replay is still synchronized.
+    patient.ping_pong();
+}
+
+#[test]
+fn slow_loris_resume_frames_are_cut_off_and_the_run_stays_resumable() {
+    // A half-written `resume` frame dripped slower than the frame timeout
+    // must get the writer disconnected — without consuming the run, which a
+    // well-behaved client can still claim afterwards.
+    let config = small_config()
+        .with_chaos(true)
+        .with_frame_timeout(Duration::from_millis(300));
+    let server = TestServer::spawn(config);
+    let token = detach_a_streamed_run(&server, "dripped", 100);
+    std::thread::sleep(Duration::from_millis(800));
+
+    let mut loris = server.connect();
+    loris
+        .reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut partial: &[u8] = b"{\"op\":\"resume\",\"token\":\"";
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut cut = false;
+    while std::time::Instant::now() < deadline {
+        let byte = match partial {
+            [first, rest @ ..] => {
+                partial = rest;
+                *first
+            }
+            [] => b'x', // keep the frame unfinished forever
+        };
+        if loris.reader.get_mut().write_all(&[byte]).is_err() {
+            cut = true;
+            break;
+        }
+        let mut line = String::new();
+        match loris.reader.read_line(&mut line) {
+            Ok(0) => {
+                cut = true;
+                break;
+            }
+            Ok(_) => panic!("server answered an unfinished resume: {line}"),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => {
+                cut = true;
+                break;
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    assert!(cut, "slow-loris resume writer was never disconnected");
+
+    let mut patient = server.connect();
+    patient.send(&resume_frame(&token, 0));
+    let result = read_replayed_stream(&mut patient);
+    assert_eq!(
+        result.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        result.render()
+    );
 }
 
 #[test]

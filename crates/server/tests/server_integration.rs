@@ -4,6 +4,15 @@
 //! injected worker panic must cost exactly one run (never the process, the
 //! connection, or the warm caches), and a graceful drain must checkpoint
 //! warm-start state that a fresh engine can boot from.
+//!
+//! The durable-run half: a disconnect must *detach* a run rather than kill
+//! it, `resume` must replay the missed sequence-numbered frames and then
+//! go live, a merged disconnect/resume stream must be indistinguishable
+//! from an uninterrupted one (same result, contiguous gap-free sequence),
+//! detached runs nobody reclaims must be cancelled after the grace
+//! deadline, token buckets must shed over-rate submitters with honest
+//! hints, and a `reload` must swap tunables without dropping in-flight
+//! runs.
 
 use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
@@ -157,6 +166,74 @@ impl Conn {
                 continue;
             }
             return json::parse(line.trim()).expect("reply frames are valid JSON");
+        }
+    }
+
+    /// Submits with the event stream enabled and (optionally) a sleep-chaos
+    /// directive that holds the worker long enough to disconnect mid-run.
+    fn submit_streaming(&mut self, id: &str, source: &str, sleep_ms: Option<u64>) {
+        let mut fields = vec![
+            ("op", Json::Str("submit".to_string())),
+            ("id", Json::Str(id.to_string())),
+            ("source", Json::Str(source.to_string())),
+            ("events", Json::Bool(true)),
+        ];
+        if let Some(ms) = sleep_ms {
+            fields.push((
+                "chaos",
+                Json::obj([
+                    ("kind", Json::Str("sleep".to_string())),
+                    ("ms", Json::Num(ms as f64)),
+                ]),
+            ));
+        }
+        self.send(&Json::obj(fields));
+    }
+
+    /// Reads until the `accepted` ack for `id` and returns its run token.
+    fn read_token(&mut self, id: &str) -> String {
+        loop {
+            let frame = self.read_frame();
+            if frame.get("reply").and_then(Json::as_str) == Some("accepted")
+                && frame.get("id").and_then(Json::as_str) == Some(id)
+            {
+                return frame
+                    .get("token")
+                    .and_then(Json::as_str)
+                    .expect("accepted frames carry a run token")
+                    .to_string();
+            }
+        }
+    }
+
+    fn resume(&mut self, token: &str, last_seq: u64) {
+        self.send(&Json::obj([
+            ("op", Json::Str("resume".to_string())),
+            ("token", Json::Str(token.to_string())),
+            ("last_seq", Json::Num(last_seq as f64)),
+        ]));
+    }
+
+    /// Reads until the `resumed` ack and returns it.
+    fn read_resumed(&mut self) -> Json {
+        loop {
+            let frame = self.read_frame();
+            match frame.get("reply").and_then(Json::as_str) {
+                Some("resumed") => return frame,
+                Some("error") => panic!("resume failed: {}", frame.render()),
+                _ => continue,
+            }
+        }
+    }
+
+    /// The `server` counter object from a wire-level `stats` round trip.
+    fn server_stats(&mut self) -> Json {
+        self.send(&Json::obj([("op", Json::Str("stats".to_string()))]));
+        loop {
+            let frame = self.read_frame();
+            if frame.get("reply").and_then(Json::as_str) == Some("stats") {
+                return frame.get("server").expect("stats carry counters").clone();
+            }
         }
     }
 
@@ -487,4 +564,454 @@ fn drain_checkpoints_warm_state_a_fresh_engine_boots_from() {
         restarted.stats
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Durable runs: resume, grace deadlines, rate limiting, hot reload
+// ---------------------------------------------------------------------------
+
+fn counter(server_stats: &Json, name: &str) -> usize {
+    server_stats
+        .get(name)
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("stats counter `{name}` missing: {}", server_stats.render()))
+}
+
+/// Asserts the frames form the complete stream of one run: sequence numbers
+/// are exactly `1..=n` in order, and the last frame is the terminal
+/// `result`/`error`.  Returns the terminal frame.
+fn assert_contiguous_stream(frames: &[Json], what: &str) -> Json {
+    assert!(!frames.is_empty(), "{what}: empty stream");
+    for (i, frame) in frames.iter().enumerate() {
+        let seq = frame
+            .get("seq")
+            .and_then(Json::as_usize)
+            .unwrap_or_else(|| panic!("{what}: frame without seq: {}", frame.render()));
+        assert_eq!(
+            seq,
+            i + 1,
+            "{what}: stream has a hole or a duplicate at position {i}: {}",
+            frame.render()
+        );
+    }
+    let last = frames.last().unwrap();
+    let reply = last.get("reply").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        matches!(reply, "result" | "error"),
+        "{what}: stream does not end with a terminal frame: {}",
+        last.render()
+    );
+    last.clone()
+}
+
+/// One uninterrupted streamed run: returns its sequenced frames.
+fn run_uninterrupted(server: &TestServer, id: &str, source: &str) -> Vec<Json> {
+    let mut conn = server.connect();
+    conn.submit_streaming(id, source, None);
+    // No token wait: the worker can outrace the `accepted` ack, and the
+    // ack-skipping read below must not swallow those early events.
+    let mut frames = Vec::new();
+    loop {
+        let frame = conn.read_frame();
+        match frame.get("reply").and_then(Json::as_str) {
+            Some("event") => frames.push(frame),
+            Some("result") | Some("error") => {
+                frames.push(frame);
+                return frames;
+            }
+            Some("gap") => panic!("uninterrupted run saw a gap: {}", frame.render()),
+            _ => continue,
+        }
+    }
+}
+
+/// The same run, interrupted: the connection is dropped cold after reading
+/// `offset` sequenced frames (for each offset in turn), then a fresh
+/// connection resumes by token from the last seen sequence number.  Returns
+/// the merged stream (replayed + live frames across all connections).
+fn run_interrupted(server: &TestServer, id: &str, source: &str, offsets: &[usize]) -> Vec<Json> {
+    let mut conn = server.connect();
+    conn.submit_streaming(id, source, Some(150));
+    let token = conn.read_token(id);
+    let mut frames: Vec<Json> = Vec::new();
+    let mut last_seq = 0u64;
+
+    let read_stream = |conn: &mut Conn,
+                       frames: &mut Vec<Json>,
+                       last_seq: &mut u64,
+                       upto: Option<usize>|
+     -> bool {
+        // Reads sequenced frames until the terminal one (true) or until
+        // `upto` frames were read on this leg (false).
+        let mut read_here = 0usize;
+        loop {
+            if let Some(limit) = upto {
+                if read_here >= limit {
+                    return false;
+                }
+            }
+            let frame = conn.read_frame();
+            match frame.get("reply").and_then(Json::as_str) {
+                Some("event") | Some("result") | Some("error") => {
+                    if let Some(seq) = frame.get("seq").and_then(Json::as_usize) {
+                        *last_seq = seq as u64;
+                    }
+                    let terminal = matches!(
+                        frame.get("reply").and_then(Json::as_str),
+                        Some("result") | Some("error")
+                    );
+                    frames.push(frame);
+                    read_here += 1;
+                    if terminal {
+                        return true;
+                    }
+                }
+                Some("gap") => panic!("replay buffer evicted frames mid-test: {}", frame.render()),
+                _ => continue,
+            }
+        }
+    };
+
+    for &offset in offsets {
+        if read_stream(&mut conn, &mut frames, &mut last_seq, Some(offset)) {
+            return frames; // finished before this disconnect offset
+        }
+        drop(conn); // kill the socket cold, mid-stream
+                    // Let the detached run make progress without us.
+        std::thread::sleep(Duration::from_millis(60));
+        conn = server.connect();
+        conn.resume(&token, last_seq);
+        let resumed = conn.read_resumed();
+        assert_eq!(
+            resumed.get("token").and_then(Json::as_str),
+            Some(token.as_str())
+        );
+    }
+    read_stream(&mut conn, &mut frames, &mut last_seq, None);
+    frames
+}
+
+#[test]
+fn resume_replays_the_missed_stream_after_a_disconnect() {
+    let server = TestServer::spawn(ServerConfig::default().with_workers(1).with_chaos(true));
+    // Submit a streamed run, then vanish before a single event arrives: the
+    // run must keep executing and journaling without us.
+    let mut conn = server.connect();
+    conn.submit_streaming("durable", TRIVIAL, Some(150));
+    let token = conn.read_token("durable");
+    drop(conn); // hard disconnect: the run must keep executing
+
+    // Come back well after the run finished detached: the whole stream —
+    // terminal result included — must be served from the replay journal.
+    std::thread::sleep(Duration::from_millis(700));
+    let mut conn = server.connect();
+    conn.resume(&token, 0);
+    let resumed = conn.read_resumed();
+    assert_eq!(resumed.get("id").and_then(Json::as_str), Some("durable"));
+    assert_eq!(
+        resumed.get("finished").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        resumed.render()
+    );
+    assert!(
+        resumed
+            .get("replayed")
+            .and_then(Json::as_usize)
+            .unwrap_or(0)
+            >= 2,
+        "{}",
+        resumed.render()
+    );
+
+    // Everything missed is replayed, then the stream goes live; merged it
+    // must be a complete, contiguous, gap-free run.
+    let mut frames = Vec::new();
+    loop {
+        let frame = conn.read_frame();
+        match frame.get("reply").and_then(Json::as_str) {
+            Some("event") | Some("result") | Some("error") => {
+                let terminal = frame.get("reply").and_then(Json::as_str) != Some("event");
+                frames.push(frame);
+                if terminal {
+                    break;
+                }
+            }
+            Some("gap") => panic!("unexpected gap: {}", frame.render()),
+            _ => continue,
+        }
+    }
+    let result = assert_contiguous_stream(&frames, "resumed run");
+    assert_eq!(
+        result.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        result.render()
+    );
+
+    // The durability counters observed it all.
+    let stats = conn.server_stats();
+    assert!(counter(&stats, "runs_detached") >= 1, "{}", stats.render());
+    assert!(counter(&stats, "runs_resumed") >= 1, "{}", stats.render());
+    assert!(
+        counter(&stats, "replay_events_sent") >= 1,
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn merged_disconnect_resume_streams_match_uninterrupted_runs() {
+    // Chaos-equivalence over three real suite benchmarks: a run chopped up
+    // by forced disconnects at assorted offsets must produce exactly the
+    // same answer as an uninterrupted run, over a contiguous gap-free
+    // sequence-numbered stream.
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_chaos(true)
+            .with_replay_buffer_bytes(4 * 1024 * 1024),
+    );
+    let suite: Vec<(String, String)> = [
+        "/other/sized-list",
+        "/vfa/assoc-list-::-table",
+        "/coq/unique-list-::-set",
+    ]
+    .iter()
+    .map(|id| {
+        let benchmark = hanoi_benchmarks::find(id).expect("known benchmark id");
+        (benchmark.id.to_string(), benchmark.source)
+    })
+    .collect();
+    for (round, (name, source)) in suite.iter().enumerate() {
+        let baseline = run_uninterrupted(&server, &format!("base-{round}"), source);
+        let expected = assert_contiguous_stream(&baseline, name);
+
+        // Vary the cut points per benchmark: first frame, mid-stream, deep.
+        let offsets: &[usize] = match round {
+            0 => &[1, 2],
+            1 => &[2, 5],
+            _ => &[3],
+        };
+        let merged = run_interrupted(&server, &format!("chop-{round}"), source, offsets);
+        let got = assert_contiguous_stream(&merged, name);
+        assert_eq!(
+            got.get("status").and_then(Json::as_str),
+            expected.get("status").and_then(Json::as_str),
+            "{name}: interrupted run ended differently: {}",
+            got.render()
+        );
+        assert_eq!(
+            got.get("invariant").and_then(Json::as_str),
+            expected.get("invariant").and_then(Json::as_str),
+            "{name}: interrupted run inferred a different invariant"
+        );
+    }
+}
+
+#[test]
+fn detached_runs_are_cancelled_after_the_grace_deadline() {
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_chaos(true)
+            .with_disconnect_grace(Duration::from_millis(100)),
+    );
+    let mut conn = server.connect();
+    conn.submit_streaming("abandoned", TRIVIAL, Some(600));
+    let token = conn.read_token("abandoned");
+    drop(conn); // nobody ever comes back ... within the grace window
+
+    // Grace (100ms) + reaper poll (50ms) + chaos sleep (600ms): by 900ms the
+    // run must have been force-cancelled and its terminal frame journaled.
+    std::thread::sleep(Duration::from_millis(900));
+    let mut conn = server.connect();
+    conn.resume(&token, 0);
+    let resumed = conn.read_resumed();
+    assert_eq!(
+        resumed.get("finished").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        resumed.render()
+    );
+    let answer = conn.wait_answer("abandoned");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "{}",
+        answer.render()
+    );
+    let stats = conn.server_stats();
+    assert!(counter(&stats, "grace_cancels") >= 1, "{}", stats.render());
+}
+
+#[test]
+fn over_rate_submitters_are_shed_by_the_token_bucket() {
+    // Burst of 2, refill 5/s: a 6-submit volley must see rate sheds with
+    // honest hints, and patience must be rewarded.
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_rate_limit(5.0, 2.0),
+    );
+    let mut conn = server.connect();
+    for i in 0..6 {
+        conn.submit(&format!("rl-{i}"), TRIVIAL);
+    }
+    let mut results = 0;
+    let mut rate_shed = 0;
+    for i in 0..6 {
+        let answer = conn.wait_answer(&format!("rl-{i}"));
+        match answer.get("reply").and_then(Json::as_str) {
+            Some("result") => results += 1,
+            Some("shed") => {
+                assert_eq!(
+                    answer.get("reason").and_then(Json::as_str),
+                    Some("rate-limited"),
+                    "{}",
+                    answer.render()
+                );
+                let hint = answer
+                    .get("retry_after_ms")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0);
+                assert!(hint >= 1, "rate sheds must carry a positive hint");
+                // Honest means honest: at 5/s the bucket cannot demand more
+                // than a few seconds for a deficit this size.
+                assert!(hint <= 2_000, "dishonest hint: {hint}ms");
+                rate_shed += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(results >= 1, "the in-burst prefix must be served");
+    assert!(rate_shed >= 2, "a 3x-burst volley shed only {rate_shed}");
+
+    // After backing off, the bucket has refilled.
+    std::thread::sleep(Duration::from_millis(700));
+    conn.submit("rl-patient", TRIVIAL);
+    let answer = conn.wait_answer("rl-patient");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        answer.render()
+    );
+    let stats = conn.server_stats();
+    assert!(
+        counter(&stats, "rate_limited_sheds") >= 2,
+        "{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn reload_swaps_tunables_without_dropping_in_flight_runs() {
+    let dir = scratch_dir("reload");
+    let path = dir.join("tunables.json");
+    std::fs::write(&path, "{}").unwrap();
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_chaos(true)
+            .with_config_path(&path),
+    );
+    // An in-flight run straddles the reload.
+    let mut conn = server.connect();
+    conn.submit_chaos("straddler", "sleep", 400);
+
+    std::fs::write(&path, r#"{"rate_per_sec": 3.5, "max_queue_depth": 5}"#).unwrap();
+    conn.send(&Json::obj([("op", Json::Str("reload".to_string()))]));
+    let reloaded = loop {
+        let frame = conn.read_frame();
+        if frame.get("reply").and_then(Json::as_str) == Some("reloaded") {
+            break frame;
+        }
+        assert_ne!(
+            frame.get("reply").and_then(Json::as_str),
+            Some("error"),
+            "{}",
+            frame.render()
+        );
+    };
+    let tunables = reloaded.get("tunables").expect("reloaded carries tunables");
+    assert_eq!(
+        tunables.get("rate_per_sec").and_then(Json::as_f64),
+        Some(3.5),
+        "{}",
+        tunables.render()
+    );
+    assert_eq!(
+        tunables.get("max_queue_depth").and_then(Json::as_usize),
+        Some(5)
+    );
+
+    // The straddler survived the swap.
+    let answer = conn.wait_answer("straddler");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant"),
+        "{}",
+        answer.render()
+    );
+
+    // A rejected reload (invalid tunables) keeps the previous set in force.
+    std::fs::write(&path, r#"{"max_queue_depth": 0}"#).unwrap();
+    conn.send(&Json::obj([("op", Json::Str("reload".to_string()))]));
+    let refused = loop {
+        let frame = conn.read_frame();
+        if frame.get("reply").and_then(Json::as_str) == Some("error") {
+            break frame;
+        }
+    };
+    assert_eq!(
+        refused.get("code").and_then(Json::as_str),
+        Some("reload-failed"),
+        "{}",
+        refused.render()
+    );
+    let stats = conn.server_stats();
+    assert_eq!(counter(&stats, "config_reloads"), 1, "{}", stats.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_without_a_config_path_is_refused_honestly() {
+    let server = TestServer::spawn(ServerConfig::default().with_workers(1));
+    let mut conn = server.connect();
+    conn.send(&Json::obj([("op", Json::Str("reload".to_string()))]));
+    let frame = conn.read_frame();
+    assert_eq!(
+        frame.get("code").and_then(Json::as_str),
+        Some("reload-unavailable"),
+        "{}",
+        frame.render()
+    );
+}
+
+#[test]
+fn resuming_an_unknown_token_is_an_honest_error() {
+    let server = TestServer::spawn(ServerConfig::default().with_workers(1));
+    let mut conn = server.connect();
+    conn.resume("run-feed-beef", 0);
+    let frame = conn.read_frame();
+    assert_eq!(
+        frame.get("reply").and_then(Json::as_str),
+        Some("error"),
+        "{}",
+        frame.render()
+    );
+    assert_eq!(
+        frame.get("code").and_then(Json::as_str),
+        Some("unknown-token"),
+        "{}",
+        frame.render()
+    );
+    // The connection is still synchronized afterwards.
+    conn.submit("after", TRIVIAL);
+    let answer = conn.wait_answer("after");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant")
+    );
 }
