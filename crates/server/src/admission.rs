@@ -12,6 +12,17 @@
 //! hints to a burst of shed clients would synchronize their retries into a
 //! thundering herd that re-overloads the queue at the same instant.
 //!
+//! The fairness key is the client's *address* (like the rate limiter's
+//! buckets), not its connection id: runs outlive connections now, so a
+//! connection-keyed quota could be laundered away — submit a full quota,
+//! disconnect (the runs keep executing under the disconnect grace),
+//! reconnect with a fresh id and a fresh quota, repeat.  An address-keyed
+//! slot stays charged until the run itself finishes, whatever happened to
+//! the socket it arrived on.  Behind a reverse proxy every client shares
+//! the proxy's address — enable PROXY protocol support
+//! ([`crate::ServerConfig::proxy_protocol`]) to recover real client
+//! addresses there.
+//!
 //! The bounds themselves are read from the server's [`HotTunables`] on
 //! every submit, so a hot config reload resizes the queue and quotas for
 //! the very next request without restarting workers.
@@ -24,6 +35,7 @@
 //! panicking worker cannot wedge admission for everyone else.
 
 use std::collections::{HashMap, VecDeque};
+use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -36,7 +48,8 @@ use crate::registry::splitmix64;
 const MAX_RETRY_AFTER_MS: u64 = 30_000;
 
 /// The bounded admission queue.  `J` is the job payload; the queue itself
-/// only interprets the submitting client's id (for fairness accounting).
+/// only interprets the submitting client's address (for fairness
+/// accounting).
 #[derive(Debug)]
 pub struct Admission<J> {
     state: Mutex<State<J>>,
@@ -49,9 +62,9 @@ pub struct Admission<J> {
 
 #[derive(Debug)]
 struct State<J> {
-    queue: VecDeque<(u64, J)>,
-    /// Queued + running jobs per client id.
-    in_flight: HashMap<u64, usize>,
+    queue: VecDeque<(IpAddr, J)>,
+    /// Queued + running jobs per client address.
+    in_flight: HashMap<IpAddr, usize>,
     /// Jobs currently running on workers.
     active: usize,
     draining: bool,
@@ -61,8 +74,8 @@ struct State<J> {
 /// What a worker's [`Admission::next`] poll produced.
 #[derive(Debug)]
 pub enum Next<J> {
-    /// A job to execute, with the id of the client that submitted it.
-    Job(u64, J),
+    /// A job to execute, with the address of the client that submitted it.
+    Job(IpAddr, J),
     /// Nothing arrived within the patience window; poll again.
     Idle,
     /// The queue is shut down and empty; the worker should exit.
@@ -109,7 +122,7 @@ impl<J> Admission<J> {
     /// Admits a job, or sheds it with a reason and a backoff hint.  Returns
     /// the queue depth the job joined at (including itself).
     #[allow(clippy::result_large_err)]
-    pub fn submit(&self, client: u64, job: J) -> Result<usize, (ShedReason, u64)> {
+    pub fn submit(&self, client: IpAddr, job: J) -> Result<usize, (ShedReason, u64)> {
         let tunables = self.tunables.get();
         let mut state = self.lock();
         if state.draining || state.shutdown {
@@ -159,7 +172,7 @@ impl<J> Admission<J> {
 
     /// Marks a job taken by [`Admission::next`] as finished, releasing its
     /// client-quota slot and waking idle waiters.
-    pub fn finish(&self, client: u64) {
+    pub fn finish(&self, client: IpAddr) {
         let mut state = self.lock();
         state.active = state.active.saturating_sub(1);
         release_quota(&mut state.in_flight, client);
@@ -210,9 +223,9 @@ impl<J> Admission<J> {
     /// Empties the queue, returning the jobs that never started (their
     /// quota slots are released).  The drain coordinator uses this to
     /// cancel queued work when the drain patience runs out.
-    pub fn drain_queue(&self) -> Vec<(u64, J)> {
+    pub fn drain_queue(&self) -> Vec<(IpAddr, J)> {
         let mut state = self.lock();
-        let jobs: Vec<(u64, J)> = state.queue.drain(..).collect();
+        let jobs: Vec<(IpAddr, J)> = state.queue.drain(..).collect();
         for (client, _) in &jobs {
             release_quota(&mut state.in_flight, *client);
         }
@@ -227,7 +240,7 @@ impl<J> Admission<J> {
     }
 }
 
-fn release_quota(in_flight: &mut HashMap<u64, usize>, client: u64) {
+fn release_quota(in_flight: &mut HashMap<IpAddr, usize>, client: IpAddr) {
     if let Some(count) = in_flight.get_mut(&client) {
         *count = count.saturating_sub(1);
         if *count == 0 {
@@ -241,6 +254,10 @@ mod tests {
     use super::*;
     use crate::config::{ServerConfig, Tunables};
 
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([10, 0, 0, last])
+    }
+
     fn tunables(depth: usize, quota: usize, base_ms: u64) -> Arc<HotTunables> {
         let mut tunables = Tunables::from_config(&ServerConfig::new());
         tunables.max_queue_depth = depth;
@@ -253,44 +270,62 @@ mod tests {
     fn bounds_quota_and_shed_reasons() {
         // 1 worker, depth 2, quota 2.
         let queue: Admission<&'static str> = Admission::new(1, tunables(2, 2, 100));
-        assert_eq!(queue.submit(1, "a"), Ok(1));
-        assert_eq!(queue.submit(1, "b"), Ok(2));
+        assert_eq!(queue.submit(ip(1), "a"), Ok(1));
+        assert_eq!(queue.submit(ip(1), "b"), Ok(2));
         // Client 1 is at quota; client 2 hits the depth bound instead.
-        let (reason, hint) = queue.submit(1, "c").unwrap_err();
+        let (reason, hint) = queue.submit(ip(1), "c").unwrap_err();
         assert_eq!(reason, ShedReason::ClientQuota);
         assert!(hint >= 100, "jitter floor is -25% of the base hint: {hint}");
-        let (reason, _) = queue.submit(2, "d").unwrap_err();
+        let (reason, _) = queue.submit(ip(2), "d").unwrap_err();
         assert_eq!(reason, ShedReason::QueueFull);
 
         // A worker takes one; the freed depth admits client 2, but client 1
         // stays at quota until `finish` (quota covers queued + running).
         assert!(matches!(
             queue.next(Duration::from_millis(1)),
-            Next::Job(1, "a")
+            Next::Job(client, "a") if client == ip(1)
         ));
         assert!(matches!(
-            queue.submit(1, "e"),
+            queue.submit(ip(1), "e"),
             Err((ShedReason::ClientQuota, _))
         ));
-        assert_eq!(queue.submit(2, "f"), Ok(2));
-        queue.finish(1);
+        assert_eq!(queue.submit(ip(2), "f"), Ok(2));
+        queue.finish(ip(1));
         // Client 1's quota slot is freed, but the depth bound (2) is full
         // again ("b" and "f"): the shed reason switches.
-        let (reason, _) = queue.submit(1, "g").unwrap_err();
+        let (reason, _) = queue.submit(ip(1), "g").unwrap_err();
         assert_eq!(reason, ShedReason::QueueFull);
         assert_eq!(queue.load(), (2, 0));
+    }
+
+    #[test]
+    fn quota_is_keyed_by_address_and_survives_reconnects() {
+        // The connection-laundering attack: submit a full quota, "drop the
+        // connection" (runs keep executing), come back as a fresh
+        // connection, submit again.  The address-keyed quota must not care
+        // which socket the submits arrived on.
+        let queue: Admission<&'static str> = Admission::new(1, tunables(64, 2, 100));
+        assert_eq!(queue.submit(ip(1), "a"), Ok(1));
+        assert_eq!(queue.submit(ip(1), "b"), Ok(2));
+        // The "reconnect": same address, notionally a brand-new connection.
+        let (reason, _) = queue.submit(ip(1), "laundered").unwrap_err();
+        assert_eq!(reason, ShedReason::ClientQuota);
+        // Only finishing a run frees the slot — not any connection event.
+        assert!(matches!(queue.next(Duration::from_millis(1)), Next::Job(..)));
+        queue.finish(ip(1));
+        assert_eq!(queue.submit(ip(1), "c"), Ok(2));
     }
 
     #[test]
     fn retry_hint_scales_with_backlog_and_jitter_spreads_the_herd() {
         let queue: Admission<usize> = Admission::new(1, tunables(4, 64, 100));
         for job in 0..4 {
-            queue.submit(9, job).unwrap();
+            queue.submit(ip(9), job).unwrap();
         }
         // 4 queued jobs on 1 worker: the deterministic hint is
         // base * (1 + 4) = 500 ms; jitter keeps it within ±25%.
         let hints: Vec<u64> = (0..32)
-            .map(|_| queue.submit(9, 99).unwrap_err().1)
+            .map(|_| queue.submit(ip(9), 99).unwrap_err().1)
             .collect();
         for &hint in &hints {
             assert!((375..=625).contains(&hint), "hint {hint} out of band");
@@ -305,29 +340,32 @@ mod tests {
     fn reloaded_tunables_govern_the_next_submit() {
         let hot = tunables(1, 8, 100);
         let queue: Admission<usize> = Admission::new(1, hot.clone());
-        queue.submit(1, 0).unwrap();
+        queue.submit(ip(1), 0).unwrap();
         assert!(matches!(
-            queue.submit(1, 1),
+            queue.submit(ip(1), 1),
             Err((ShedReason::QueueFull, _))
         ));
         // A hot reload deepens the queue: the very next submit is admitted.
         let mut wider = (*hot.get()).clone();
         wider.max_queue_depth = 4;
         hot.swap(wider);
-        assert_eq!(queue.submit(1, 1), Ok(2));
+        assert_eq!(queue.submit(ip(1), 1), Ok(2));
     }
 
     #[test]
     fn drain_stops_admission_and_idles() {
         let queue: Admission<usize> = Admission::new(1, tunables(8, 8, 10));
-        queue.submit(1, 7).unwrap();
+        queue.submit(ip(1), 7).unwrap();
         queue.begin_drain();
         assert!(queue.is_draining());
-        assert!(matches!(queue.submit(1, 8), Err((ShedReason::Draining, _))));
+        assert!(matches!(
+            queue.submit(ip(1), 8),
+            Err((ShedReason::Draining, _))
+        ));
         // Still one queued job: not idle yet.
         assert!(!queue.wait_idle(Duration::from_millis(10)));
         let leftover = queue.drain_queue();
-        assert_eq!(leftover, vec![(1, 7)]);
+        assert_eq!(leftover, vec![(ip(1), 7)]);
         assert!(queue.wait_idle(Duration::from_millis(10)));
         // Quota slot was released with the queue entry.
         assert!(queue.load() == (0, 0));

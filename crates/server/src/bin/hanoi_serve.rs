@@ -7,7 +7,7 @@
 //!             [--rate PER_SEC] [--burst N] [--grace-secs N]
 //!             [--config FILE] [--parallelism N] [--warm-dir DIR]
 //!             [--watchdog-secs N] [--drain-secs N] [--max-conns N]
-//!             [--chaos]
+//!             [--proxy-protocol] [--chaos]
 //! ```
 //!
 //! SIGTERM or SIGINT triggers a graceful drain: stop admitting, finish (or
@@ -16,7 +16,12 @@
 //! tunables — see [`hanoi_server::Tunables::overlaid`]) and swaps the
 //! operational tunables atomically, without dropping in-flight runs.
 //! `--chaos` enables the fault-injection protocol directives used by
-//! `hanoi_stress` — never enable it in production.
+//! `hanoi_stress` — never enable it in production.  `--proxy-protocol`
+//! expects every connection to open with a PROXY protocol v1 header (as
+//! sent by HAProxy/nginx) and attributes rate limits and quotas to the
+//! advertised source address instead of the proxy's own — required for
+//! per-client fairness behind a reverse proxy, and only safe when the
+//! listener is reachable exclusively from that proxy.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -67,6 +72,7 @@ fn main() {
     let mut config = ServerConfig::default()
         .with_workers(number("--workers").unwrap_or(2))
         .with_chaos(flag("--chaos"))
+        .with_proxy_protocol(flag("--proxy-protocol"))
         .with_engine(engine);
     if let Some(queue) = number("--queue") {
         config = config.with_max_queue_depth(queue);

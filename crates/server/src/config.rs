@@ -33,16 +33,22 @@ pub struct ServerConfig {
     /// this is shed with a `retry_after_ms` hint instead of queued.
     /// Hot-reloadable.
     pub max_queue_depth: usize,
-    /// Maximum runs one client connection may have in flight
+    /// Maximum runs one client *address* may have in flight
     /// (queued + running) before its submits are shed — per-client fairness
     /// over the worker budget: one greedy client cannot occupy the whole
-    /// queue.  Hot-reloadable.
+    /// queue.  Keyed by address (not connection) because runs outlive
+    /// connections: a connection-keyed quota would reset every time the
+    /// offender reconnects.  Behind a reverse proxy, enable
+    /// [`ServerConfig::proxy_protocol`] so this keys on real client
+    /// addresses rather than the proxy's.  Hot-reloadable.
     pub per_client_quota: usize,
     /// Sustained submits per second one client address may make before its
     /// submits are shed with `rate-limited` (a token bucket refilled at this
-    /// rate).  `0.0` disables rate limiting.  The concurrency quota bounds
-    /// how much a client *holds*; this bounds how fast it *asks*.
-    /// Hot-reloadable.
+    /// rate).  `0.0` disables rate limiting — the shipped default, sized for
+    /// trusted private-network deployments; enable it (`--rate` or a hot
+    /// reload) wherever clients are not all well-behaved.  The concurrency
+    /// quota bounds how much a client *holds*; this bounds how fast it
+    /// *asks*.  Hot-reloadable.
     pub rate_per_sec: f64,
     /// Burst capacity of the per-client token bucket: this many submits may
     /// arrive back to back before the refill rate becomes the bound.
@@ -98,6 +104,17 @@ pub struct ServerConfig {
     /// problem pins the `Env` identity the engine's cache registry is keyed
     /// by, so re-submissions of the same source share warm caches).
     pub max_cached_sources: usize,
+    /// Expects every accepted connection to begin with a PROXY protocol v1
+    /// header (`PROXY TCP4 <src> <dst> <sport> <dport>\r\n`) and uses the
+    /// advertised *source* address as the client identity for rate limiting
+    /// and the in-flight quota.  Required behind a reverse proxy: without
+    /// it every proxied client arrives from the proxy's address and shares
+    /// one rate bucket and one quota — one noisy client starves all of
+    /// them.  Connections that do not present a well-formed header are
+    /// closed.  Only enable when the listener is reachable *exclusively*
+    /// through a proxy that sends the header; a direct client could
+    /// otherwise spoof any address it likes.
+    pub proxy_protocol: bool,
     /// Enables the chaos directives (`"chaos": …` on submit) used by the
     /// fault-injection harness.  Never enable in production.
     pub enable_chaos: bool,
@@ -133,6 +150,7 @@ impl Default for ServerConfig {
             max_connections: 512,
             retry_after_base_ms: 100,
             max_cached_sources: 64,
+            proxy_protocol: false,
             enable_chaos: false,
             config_path: None,
             engine: EngineConfig::default(),
@@ -229,6 +247,13 @@ impl ServerConfig {
     /// Sets the connection ceiling.
     pub fn with_max_connections(mut self, max_connections: usize) -> Self {
         self.max_connections = max_connections;
+        self
+    }
+
+    /// Expects PROXY protocol v1 headers and keys client identity on the
+    /// advertised source address.
+    pub fn with_proxy_protocol(mut self, enable: bool) -> Self {
+        self.proxy_protocol = enable;
         self
     }
 

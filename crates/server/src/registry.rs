@@ -13,13 +13,22 @@
 //! for a while so a client that disconnected moments before the result can
 //! still fetch it, then removed.
 //!
-//! Locking is two-level and strictly ordered: the registry's index lock
-//! (token and connection maps) is never taken while an entry's state lock is
-//! held, and frames are written to the client socket *under* the entry's
-//! state lock so a replay can never interleave with a concurrent live emit.
+//! Locking is three-level and strictly ordered: the registry's index lock
+//! (token and connection maps) is never taken while an entry's lock is
+//! held, and each entry splits its *state* lock (owner pointer, journal,
+//! lifecycle — held only for short, in-memory critical sections) from its
+//! *send* lock (held across socket writes so a resume replay can never
+//! interleave with a concurrent live emit).  The send lock may be taken
+//! before the state lock, never the other way round: frames are journaled
+//! and the owner snapshotted under `state`, then written to the socket
+//! under `send` with `state` released — so a client wedged mid-write can
+//! stall at most the frames destined for *its* run, never the reaper sweep
+//! that polices every other run's deadlines.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fs::File;
+use std::io::Read;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -53,12 +62,20 @@ pub enum RegisterError {
 pub enum ResumeError {
     /// No run with that token (never issued, or already reaped).
     UnknownToken,
+    /// The resuming connection already has a *different* active run under
+    /// the resumed run's client-chosen id, so re-pointing the `(conn, id)`
+    /// cancel route would silently orphan that run.
+    IdConflict,
 }
 
 impl fmt::Display for ResumeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ResumeError::UnknownToken => write!(f, "unknown or expired run token"),
+            ResumeError::IdConflict => write!(
+                f,
+                "the connection already has a different run with the resumed run's id"
+            ),
         }
     }
 }
@@ -99,6 +116,12 @@ pub struct RunEntry {
     limit: Duration,
     events_wanted: bool,
     state: Mutex<EntryState>,
+    /// Serializes socket writes for this run (live emits vs. resume
+    /// replays).  Ordered strictly before `state`: it may be held while
+    /// taking `state`, but `state` is never held while taking it — and
+    /// never across a socket write — so a stuck client write cannot stall
+    /// anyone who only needs the in-memory state (the reaper above all).
+    send: Mutex<()>,
 }
 
 /// What [`RunEntry::emit`] did with the frame.
@@ -164,18 +187,74 @@ impl RunEntry {
     /// Journals the frame built by `make` (given its sequence number) and
     /// forwards it to the owning connection, detaching on write failure.
     pub fn emit(&self, now: Instant, make: impl FnOnce(u64) -> Json) -> Emitted {
-        let mut state = self.lock();
-        let (seq, frame) = state.replay.append(make);
-        deliver(&mut state, &frame, now, seq)
+        let (seq, frame, target) = {
+            let mut state = self.lock();
+            let (seq, frame) = state.replay.append(make);
+            (seq, frame, snapshot_owner(&state))
+        };
+        self.send_live(seq, &frame, target, now)
     }
 
     /// Journals the run's terminal frame, marks the run finished, and
     /// forwards the frame to the owning connection.
     pub fn finish(&self, now: Instant, make: impl FnOnce(u64) -> Json) -> Emitted {
+        let (seq, frame, target) = {
+            let mut state = self.lock();
+            let (seq, frame) = state.replay.append(make);
+            state.run = RunState::Finished { at: now };
+            (seq, frame, snapshot_owner(&state))
+        };
+        self.send_live(seq, &frame, target, now)
+    }
+
+    /// Writes an already-journaled frame to the owner snapshotted at append
+    /// time, under the send lock and with the state lock released.  A
+    /// failed write detaches the run — but only if the snapshotted owner
+    /// still owns it, so a concurrent resume's fresh claim is never undone
+    /// by a stale write to the connection it superseded.
+    fn send_live(
+        &self,
+        seq: u64,
+        frame: &Json,
+        target: Option<(u64, Arc<dyn FrameSink>)>,
+        now: Instant,
+    ) -> Emitted {
+        let Some((conn, sink)) = target else {
+            return Emitted {
+                seq,
+                delivered: false,
+                detached: false,
+            };
+        };
+        let _send = self.send.lock().unwrap_or_else(|p| p.into_inner());
+        if sink.send_frame(frame) {
+            return Emitted {
+                seq,
+                delivered: true,
+                detached: false,
+            };
+        }
         let mut state = self.lock();
-        let (seq, frame) = state.replay.append(make);
-        state.run = RunState::Finished { at: now };
-        deliver(&mut state, &frame, now, seq)
+        if state.owner.as_ref().is_some_and(|owner| owner.conn == conn) {
+            state.owner = None;
+            if state.detached_since.is_none() {
+                state.detached_since = Some(now);
+            }
+            Emitted {
+                seq,
+                delivered: false,
+                detached: true,
+            }
+        } else {
+            // A resume re-owned the run while this write was failing; the
+            // new owner replayed the frame from the journal, so nothing is
+            // lost and nothing to detach.
+            Emitted {
+                seq,
+                delivered: false,
+                detached: false,
+            }
+        }
     }
 
     /// Drops the owner (if it is `conn`) without cancelling the run.
@@ -194,32 +273,12 @@ impl RunEntry {
     }
 }
 
-/// Writes `frame` to the current owner (if any) under the held state lock.
-fn deliver(state: &mut EntryState, frame: &Json, now: Instant, seq: u64) -> Emitted {
-    match &state.owner {
-        Some(owner) => {
-            if owner.sink.send_frame(frame) {
-                Emitted {
-                    seq,
-                    delivered: true,
-                    detached: false,
-                }
-            } else {
-                state.owner = None;
-                state.detached_since = Some(now);
-                Emitted {
-                    seq,
-                    delivered: false,
-                    detached: true,
-                }
-            }
-        }
-        None => Emitted {
-            seq,
-            delivered: false,
-            detached: false,
-        },
-    }
+/// The current owner as a write target: `(conn, sink)`.
+fn snapshot_owner(state: &EntryState) -> Option<(u64, Arc<dyn FrameSink>)> {
+    state
+        .owner
+        .as_ref()
+        .map(|owner| (owner.conn, Arc::clone(&owner.sink)))
 }
 
 /// What a successful [`RunRegistry::resume`] replayed.
@@ -252,7 +311,12 @@ struct Inner {
     /// scheme — to the owning token.
     by_conn: HashMap<(u64, String), String>,
     next_token: u64,
-    salt: u64,
+    /// The OS CSPRNG the token nonces are drawn from.  Tokens are
+    /// capabilities — one leaked token must reveal nothing about any other —
+    /// so they cannot come from an invertible mixer over a guessable seed:
+    /// a client holding its own token could invert the mix, recover the
+    /// seed, and mint every other client's token.
+    urandom: Option<File>,
 }
 
 /// The registry: tokens to entries, plus the per-connection id index.
@@ -267,18 +331,14 @@ impl Default for RunRegistry {
 }
 
 impl RunRegistry {
-    /// An empty registry with a process-unique token salt.
+    /// An empty registry drawing token entropy from the OS CSPRNG.
     pub fn new() -> RunRegistry {
-        let clock = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0);
         RunRegistry {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 by_conn: HashMap::new(),
                 next_token: 0,
-                salt: splitmix64(clock ^ (std::process::id() as u64) << 32),
+                urandom: File::open("/dev/urandom").ok(),
             }),
         }
     }
@@ -309,11 +369,7 @@ impl RunRegistry {
         }
         inner.next_token += 1;
         let counter = inner.next_token;
-        let token = format!(
-            "run-{:x}-{:016x}",
-            counter,
-            splitmix64(inner.salt ^ counter)
-        );
+        let token = format!("run-{:x}-{}", counter, hex(&token_nonce(&mut inner)));
         let entry = Arc::new(RunEntry {
             token: token.clone(),
             id: id.to_string(),
@@ -328,6 +384,7 @@ impl RunRegistry {
                 grace_cancelled: false,
                 watchdog_cancelled: false,
             }),
+            send: Mutex::new(()),
         });
         inner.by_conn.insert((conn, id.to_string()), token.clone());
         inner.entries.insert(token, entry.clone());
@@ -370,7 +427,10 @@ impl RunRegistry {
     /// owner.
     ///
     /// Ownership is last-wins: if another connection still holds the run it
-    /// is silently detached — the token is the capability.
+    /// is silently detached — the token is the capability.  The one refusal
+    /// besides an unknown token: a connection whose `(conn, id)` cancel
+    /// route already addresses a *different* run cannot resume this one —
+    /// re-pointing the route would orphan that run ([`ResumeError::IdConflict`]).
     #[allow(clippy::too_many_arguments)]
     pub fn resume(
         &self,
@@ -389,18 +449,35 @@ impl RunRegistry {
                 .get(token)
                 .cloned()
                 .ok_or(ResumeError::UnknownToken)?;
+            let route = (conn, entry.id().to_string());
+            if inner.by_conn.get(&route).is_some_and(|t| t != token) {
+                return Err(ResumeError::IdConflict);
+            }
             inner.by_conn.retain(|_, t| t != token);
-            inner
-                .by_conn
-                .insert((conn, entry.id().to_string()), token.to_string());
+            inner.by_conn.insert(route, token.to_string());
             entry
         };
-        // Replay under the entry lock: live emits wait, so the new owner
-        // sees ack-then-journal-then-live with no interleaving or
-        // duplication.
-        let mut state = entry.lock();
-        let Replay { gap, frames } = state.replay.replay_from(last_seq);
-        let finished = matches!(state.run, RunState::Finished { .. });
+        // Claim the send lock for the whole replay: live emits queue behind
+        // it, so the new owner sees ack-then-journal-then-live with no
+        // interleaving or duplication.  The state lock is only held to
+        // snapshot the journal and swap the owner — never across a write —
+        // so the reaper (and everyone else who needs only state) is never
+        // stalled by the socket.
+        let _send = entry.send.lock().unwrap_or_else(|p| p.into_inner());
+        let (Replay { gap, frames }, finished) = {
+            let mut state = entry.lock();
+            let replay = state.replay.replay_from(last_seq);
+            let finished = matches!(state.run, RunState::Finished { .. });
+            // Attach before writing: frames journaled while the replay is in
+            // flight snapshot the new owner and queue behind the send lock,
+            // keeping the merged stream in sequence order.
+            state.owner = Some(Owner {
+                conn,
+                sink: Arc::clone(&sink),
+            });
+            state.detached_since = None;
+            (replay, finished)
+        };
         let mut delivered = sink.send_frame(&make_ack(entry.id(), frames.len(), finished));
         if delivered {
             if let Some((from, to)) = gap {
@@ -417,16 +494,14 @@ impl RunRegistry {
                 replayed += 1;
             }
         }
-        if delivered {
-            state.owner = Some(Owner { conn, sink });
-            state.detached_since = None;
-        } else {
-            state.owner = None;
-            if state.detached_since.is_none() {
+        if !delivered {
+            let mut state = entry.lock();
+            if state.owner.as_ref().is_some_and(|owner| owner.conn == conn) {
+                state.owner = None;
                 state.detached_since = Some(now);
             }
         }
-        drop(state);
+        drop(_send);
         Ok(Resumed {
             entry,
             gap,
@@ -534,8 +609,48 @@ fn evict_oldest_finished(inner: &mut Inner) -> bool {
     }
 }
 
-/// SplitMix64: cheap, well-mixed entropy without external crates (token
-/// salts here; retry-hint jitter in [`crate::admission`]).
+/// A fresh 128-bit token nonce from the OS CSPRNG.
+///
+/// `/dev/urandom` is the source of record: its output is unpredictable and
+/// non-invertible, so one client's token says nothing about anyone else's.
+/// Only if the device is unreadable (a platform without it, a broken
+/// chroot) does this degrade to a best-effort local mix — still unique per
+/// token, but *not* a cryptographic capability; real deployments run where
+/// the CSPRNG exists.
+fn token_nonce(inner: &mut Inner) -> [u8; 16] {
+    let mut nonce = [0u8; 16];
+    if let Some(urandom) = inner.urandom.as_mut() {
+        if urandom.read_exact(&mut nonce).is_ok() {
+            return nonce;
+        }
+        // A once-good handle that now fails will keep failing: drop it.
+        inner.urandom = None;
+    }
+    let clock = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let local = &nonce as *const _ as u64; // ASLR-dependent
+    let a = splitmix64(clock ^ inner.next_token.rotate_left(32));
+    let b = splitmix64(a ^ (std::process::id() as u64) ^ local.rotate_left(17));
+    nonce[..8].copy_from_slice(&a.to_le_bytes());
+    nonce[8..].copy_from_slice(&b.to_le_bytes());
+    nonce
+}
+
+/// Lower-case hex of `bytes`.
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// SplitMix64: cheap, well-mixed *statistical* spread without external
+/// crates — retry-hint jitter in [`crate::admission`], and the degraded
+/// no-CSPRNG fallback above.  It is an invertible bijection, so it must
+/// never be the sole defence of anything secret.
 pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -761,6 +876,70 @@ mod tests {
         first.finish(now, |seq| event(seq, 0));
         assert!(reg(3, "c", 2).is_ok());
         assert!(registry.resolve(1, "a").is_none(), "evicted run unindexed");
+    }
+
+    #[test]
+    fn tokens_are_unpredictable_capabilities() {
+        // Two registries issuing the same counter sequence must disagree on
+        // every token: the nonce comes from the OS CSPRNG, not from any
+        // function of the counter — so holding one token helps mint no
+        // other.
+        let a = RunRegistry::new();
+        let b = RunRegistry::new();
+        let sink = TestSink::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16 {
+            let ta = register(&a, 1, &sink, &format!("a{i}")).token().to_string();
+            let tb = register(&b, 1, &sink, &format!("b{i}")).token().to_string();
+            assert_ne!(ta, tb, "same counter, different registry, same token");
+            assert!(seen.insert(ta.clone()), "token reuse: {ta}");
+            assert!(seen.insert(tb.clone()), "token reuse: {tb}");
+            // Shape: run-<counter hex>-<128-bit nonce as 32 hex digits>.
+            let nonce = ta.rsplit('-').next().unwrap();
+            assert_eq!(nonce.len(), 32, "short nonce in {ta}");
+            assert!(nonce.chars().all(|c| c.is_ascii_hexdigit()), "{ta}");
+        }
+    }
+
+    #[test]
+    fn resume_is_refused_when_the_id_routes_to_another_run() {
+        let registry = RunRegistry::new();
+        let sink1 = TestSink::new();
+        let run_a = register(&registry, 1, &sink1, "job");
+        // Connection 2 has its own active run under the same client-chosen
+        // id: resuming A from connection 2 would re-point (2, "job") and
+        // orphan B's cancel route.
+        let sink2 = TestSink::new();
+        let run_b = register(&registry, 2, &sink2, "job");
+        let now = Instant::now();
+        let refused = registry
+            .resume(
+                run_a.token(),
+                2,
+                sink2.clone(),
+                0,
+                now,
+                |_, _, _| Json::Null,
+                |_, _, _| Json::Null,
+            )
+            .err();
+        assert_eq!(refused, Some(ResumeError::IdConflict));
+        // B's route is intact and A is untouched (still owned by conn 1).
+        let resolved = registry.resolve(2, "job").expect("b still routed");
+        assert_eq!(resolved.token(), run_b.token());
+        assert!(!run_a.is_detached());
+        // The same connection that already routes to A may re-resume it.
+        registry
+            .resume(
+                run_a.token(),
+                1,
+                sink1.clone(),
+                0,
+                now,
+                |_, _, _| Json::Null,
+                |_, _, _| Json::Null,
+            )
+            .expect("same-route resume");
     }
 
     #[test]

@@ -43,8 +43,8 @@
 //! process, the other connections, and every *other* problem's warm caches
 //! carry on.
 
-use std::io::ErrorKind;
-use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{ErrorKind, Read};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -59,7 +59,7 @@ use crate::admission::{Admission, Next};
 use crate::config::{HotTunables, ServerConfig, Tunables};
 use crate::protocol::{self, ChaosDirective, ProtocolError, Request, ShedReason, SubmitRequest};
 use crate::ratelimit::RateLimiter;
-use crate::registry::{FrameSink, RegisterError, RunEntry, RunRegistry};
+use crate::registry::{FrameSink, RegisterError, ResumeError, RunEntry, RunRegistry};
 use crate::stats::{bump, ServerStats};
 
 /// How often blocked loops (accept, connection reads, worker polls, the
@@ -365,14 +365,20 @@ fn accept_connection<'scope, 'env>(
     scope.spawn(move || handle_connection(shared, stream));
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream) {
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) + 1;
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.ip())
-        .unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // The peer address keys the rate limiter and the in-flight quota, so a
+    // connection that cannot be attributed to an address is closed rather
+    // than pooled into a shared bucket where it would throttle (or hide
+    // behind) unrelated clients.
+    let Some(peer) = connection_peer(shared, &mut stream) else {
+        bump(&shared.stats.unattributed_connections);
+        bump(&shared.stats.connections_closed);
+        shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+        return;
+    };
     let client = match stream.try_clone() {
         Ok(writer) => {
             let _ = writer.set_write_timeout(Some(WRITE_TIMEOUT));
@@ -454,6 +460,82 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
     bump(&shared.stats.connections_closed);
     shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Longest legal PROXY protocol v1 line, terminator included.
+const PROXY_V1_MAX: usize = 107;
+
+/// The address all per-client accounting (rate buckets, in-flight quota)
+/// keys on.
+///
+/// Direct deployments use the socket's peer address.  With
+/// [`crate::ServerConfig::proxy_protocol`] on, the connection must open
+/// with a PROXY protocol v1 header and the *advertised source* address is
+/// used instead — behind a TLS/auth-terminating reverse proxy the socket
+/// peer is always the proxy itself, which would fold every client into one
+/// bucket.  `None` (close the connection) when the peer is unattributable:
+/// no recoverable socket address, or a missing/malformed header.
+fn connection_peer(shared: &Shared, stream: &mut TcpStream) -> Option<IpAddr> {
+    let direct = stream.peer_addr().ok().map(|a| a.ip())?;
+    if !shared.config.proxy_protocol {
+        return Some(direct);
+    }
+    let deadline = Instant::now() + shared.config.frame_timeout;
+    match read_proxy_v1(stream, deadline)? {
+        // `PROXY UNKNOWN`: the proxy vouches for the connection but cannot
+        // name the source (e.g. health checks); fall back to the socket.
+        None => Some(direct),
+        Some(source) => Some(source),
+    }
+}
+
+/// Reads and parses one PROXY protocol v1 header line.  `Some(None)` for a
+/// well-formed `UNKNOWN` header, `None` for anything malformed, oversized,
+/// or slower than `deadline` (the caller closes the connection).
+fn read_proxy_v1(stream: &mut TcpStream, deadline: Instant) -> Option<Option<IpAddr>> {
+    let mut line = Vec::with_capacity(PROXY_V1_MAX);
+    let mut byte = [0u8; 1];
+    loop {
+        if Instant::now() >= deadline {
+            return None;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return None,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                line.push(byte[0]);
+                if line.len() >= PROXY_V1_MAX {
+                    return None;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return None,
+        }
+    }
+    let line = std::str::from_utf8(&line).ok()?;
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut fields = line.split(' ');
+    if fields.next() != Some("PROXY") {
+        return None;
+    }
+    match fields.next() {
+        Some("UNKNOWN") => Some(None), // remainder is unspecified; ignore it
+        Some("TCP4") | Some("TCP6") => {
+            let source: IpAddr = fields.next()?.parse().ok()?;
+            let _dest: IpAddr = fields.next()?.parse().ok()?;
+            let _source_port: u16 = fields.next()?.parse().ok()?;
+            let _dest_port: u16 = fields.next()?.parse().ok()?;
+            if fields.next().is_some() {
+                return None;
+            }
+            Some(Some(source))
+        }
+        _ => None,
+    }
 }
 
 fn handle_frame(shared: &Shared, client: &Arc<ClientHandle>, line: &str) {
@@ -545,8 +627,12 @@ fn handle_resume(shared: &Shared, client: &Arc<ClientHandle>, token: &str, last_
         }
         Err(error) => {
             bump(&shared.stats.protocol_errors);
+            let code = match error {
+                ResumeError::UnknownToken => "unknown-token",
+                ResumeError::IdConflict => "resume-conflict",
+            };
             client.send(&protocol::error_frame(
-                &ProtocolError::new("unknown-token", error.to_string()),
+                &ProtocolError::new(code, error.to_string()),
                 None,
             ));
         }
@@ -624,7 +710,11 @@ fn handle_submit(shared: &Shared, client: &Arc<ClientHandle>, submit: SubmitRequ
         chaos: submit.chaos,
         submitted_at: Instant::now(),
     };
-    match shared.admission.submit(client.id, job) {
+    // Quota accounting keys on the client address, like the rate limiter:
+    // runs outlive connections, so a connection-keyed quota would hand a
+    // reconnecting client a fresh allowance while its old runs still hold
+    // workers.
+    match shared.admission.submit(client.peer, job) {
         Ok(queued) => {
             bump(&shared.stats.runs_accepted);
             client.send(&protocol::accepted_frame(&submit.id, queued, entry.token()));
@@ -647,7 +737,7 @@ fn worker_loop(shared: &Shared) {
         match shared.admission.next(POLL_INTERVAL * 2) {
             Next::Shutdown => return,
             Next::Idle => continue,
-            Next::Job(client_id, job) => {
+            Next::Job(client_addr, job) => {
                 // The panic boundary: a defect anywhere in job execution
                 // (including injected chaos) is contained to this job.
                 let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
@@ -664,7 +754,7 @@ fn worker_loop(shared: &Shared) {
                 // The id becomes reusable; the entry stays resumable by
                 // token until retention expires.
                 shared.registry.release_id(&job.entry);
-                shared.admission.finish(client_id);
+                shared.admission.finish(client_addr);
             }
         }
     }

@@ -75,6 +75,10 @@ pub struct ServerStats {
     pub rate_limited_sheds: AtomicU64,
     /// Successful hot config reloads (SIGHUP or the `reload` op).
     pub config_reloads: AtomicU64,
+    /// Connections closed because no client address could be attributed
+    /// (failed `peer_addr`, or a missing/malformed PROXY protocol header
+    /// when `proxy_protocol` is enabled).
+    pub unattributed_connections: AtomicU64,
 }
 
 /// Increments a counter.
@@ -122,6 +126,7 @@ impl ServerStats {
             ("grace_cancels", n(&self.grace_cancels)),
             ("rate_limited_sheds", n(&self.rate_limited_sheds)),
             ("config_reloads", n(&self.config_reloads)),
+            ("unattributed_connections", n(&self.unattributed_connections)),
         ])
     }
 }

@@ -97,6 +97,21 @@ impl TestServer {
         }
     }
 
+    /// Connects and leads with a raw PROXY protocol v1 header, the way a
+    /// `send-proxy` reverse proxy would.
+    fn connect_proxied(&self, header: &str) -> Conn {
+        use std::io::Write;
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        stream.write_all(header.as_bytes()).expect("proxy header");
+        Conn {
+            reader: BufReader::new(stream),
+            parked: std::collections::HashMap::new(),
+        }
+    }
+
     /// Drains and returns the number of warm-start snapshots written.
     fn drain(mut self) -> usize {
         self.handle.drain();
@@ -986,6 +1001,126 @@ fn reload_without_a_config_path_is_refused_honestly() {
         Some("reload-unavailable"),
         "{}",
         frame.render()
+    );
+}
+
+#[test]
+fn resuming_onto_a_conflicting_run_id_is_refused() {
+    // Two clients each run a job under the same client-chosen id.  If the
+    // second client resumes the first client's token, honouring it would
+    // overwrite the cancel routing of its *own* run — the server must
+    // refuse with a distinct error code instead.
+    let server = TestServer::spawn(ServerConfig::default().with_workers(2).with_chaos(true));
+    let mut first = server.connect();
+    first.submit_streaming("same", TRIVIAL, Some(1_000));
+    let token = first.read_token("same");
+
+    let mut second = server.connect();
+    second.submit_chaos("same", "sleep", 1_000);
+    // Wait for the accepted ack so the run is indexed under this conn.
+    second.read_token("same");
+
+    second.resume(&token, 0);
+    let frame = second.read_frame();
+    assert_eq!(
+        frame.get("code").and_then(Json::as_str),
+        Some("resume-conflict"),
+        "{}",
+        frame.render()
+    );
+    // The refused resume left the second client's own run addressable.
+    second.send(&Json::obj([
+        ("op", Json::Str("cancel".to_string())),
+        ("id", Json::Str("same".to_string())),
+    ]));
+    let answer = second.wait_answer("same");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "{}",
+        answer.render()
+    );
+}
+
+#[test]
+fn proxy_protocol_keys_rate_buckets_by_advertised_source() {
+    // Behind a proxy every socket shares the proxy's own peer address; the
+    // PROXY header must give each *advertised* client its own bucket.
+    // Burst of 1 with a near-zero refill: the second submit from the same
+    // advertised address must shed, while a different address sails through
+    // on the same listener.
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_proxy_protocol(true)
+            .with_rate_limit(0.1, 1.0),
+    );
+    let mut alice = server.connect_proxied("PROXY TCP4 10.9.9.1 127.0.0.1 41000 7077\r\n");
+    let mut bob = server.connect_proxied("PROXY TCP4 10.9.9.2 127.0.0.1 41001 7077\r\n");
+
+    alice.submit("a-1", TRIVIAL);
+    let answer = alice.wait_answer("a-1");
+    assert_eq!(
+        answer.get("reply").and_then(Json::as_str),
+        Some("result"),
+        "{}",
+        answer.render()
+    );
+    bob.submit("b-1", TRIVIAL);
+    let answer = bob.wait_answer("b-1");
+    assert_eq!(
+        answer.get("reply").and_then(Json::as_str),
+        Some("result"),
+        "distinct advertised sources must not share a bucket: {}",
+        answer.render()
+    );
+
+    alice.submit("a-2", TRIVIAL);
+    let answer = alice.wait_answer("a-2");
+    assert_eq!(
+        answer.get("reason").and_then(Json::as_str),
+        Some("rate-limited"),
+        "{}",
+        answer.render()
+    );
+}
+
+#[test]
+fn connections_without_a_proxy_header_are_closed() {
+    use std::io::{Read, Write};
+    let server = TestServer::spawn(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_proxy_protocol(true),
+    );
+    // A direct client (no header) sends a frame where the header belongs:
+    // the server must close the connection rather than fall back to a
+    // shared bucket.
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("write frame");
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).expect("read until close");
+    assert_eq!(n, 0, "unattributed connections must be closed silently");
+
+    // The incident is visible in the counters, and properly-proxied
+    // clients are unaffected.
+    let mut conn = server.connect_proxied("PROXY TCP4 10.9.9.3 127.0.0.1 41002 7077\r\n");
+    let stats = conn.server_stats();
+    assert!(
+        counter(&stats, "unattributed_connections") >= 1,
+        "{}",
+        stats.render()
+    );
+    conn.submit("after", TRIVIAL);
+    let answer = conn.wait_answer("after");
+    assert_eq!(
+        answer.get("status").and_then(Json::as_str),
+        Some("invariant")
     );
 }
 
