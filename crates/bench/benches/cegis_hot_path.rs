@@ -549,7 +549,6 @@ fn bench_cross_process_warm(c: &mut Criterion, samples: usize) -> Json {
     group.sample_size(samples);
     for (name, id) in workloads {
         let problem = find(id).unwrap().problem().expect("benchmark elaborates");
-        let snapshot_path = warm_dir.join(format!("{}.json", problem.fingerprint().to_hex()));
 
         // Correctness first: "process 1" solves and checkpoints, "process 2"
         // restores from disk and must match a cold run exactly while
@@ -565,9 +564,18 @@ fn bench_cross_process_warm(c: &mut Criterion, samples: usize) -> Json {
         saver
             .save_state(&warm_dir)
             .expect("snapshot write succeeds");
-        let snapshot_bytes = std::fs::metadata(&snapshot_path)
-            .map(|m| m.len())
+        // Snapshot size on disk = the chunk bytes the problem's manifest
+        // references (snapshots are chunked content-addressed files now, not
+        // one monolithic JSON per problem).
+        let snapshot_bytes = hanoi_store::ChunkStore::open(&warm_dir)
+            .ok()
+            .and_then(|store| store.manifest(problem.fingerprint()))
+            .map(|manifest| manifest.chunk_bytes())
             .unwrap_or(0);
+        assert!(
+            snapshot_bytes > 0,
+            "{id}: the chunked save must leave a measurable manifest"
+        );
         let restored_engine = warm_engine(&warm_dir);
         let restored = restored_engine.run(&problem, &options);
         assert_eq!(
@@ -642,6 +650,128 @@ fn bench_cross_process_warm(c: &mut Criterion, samples: usize) -> Json {
     group.finish();
     let _ = std::fs::remove_dir_all(&warm_dir);
     Json::Arr(rows)
+}
+
+/// The fleet-sync workload: a populated warm store is replicated onto a
+/// fresh machine (a full merge), then the source solves *one* more problem
+/// and replicates again.  The manifest-diff sync protocol must transfer
+/// only the new problem's chunks on the second pass — the summary's
+/// `delta_bytes` vs `full_bytes` is the headline number (asserted ≪, so a
+/// regression to whole-store copies fails the bench), and a third pass must
+/// transfer nothing at all.  Ends with a restore from the replica proving
+/// the synced warmth is real.
+fn bench_fleet_warm(c: &mut Criterion, samples: usize) -> Json {
+    use hanoi::{Engine as InferenceEngine, EngineConfig, RunOptions};
+    use hanoi_store::ChunkStore;
+
+    let options = RunOptions::quick().with_bounds(warm_workload_bounds());
+    let source_dir = std::env::temp_dir().join(format!("hanoi-fleet-src-{}", std::process::id()));
+    let replica_dir = std::env::temp_dir().join(format!("hanoi-fleet-dst-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&source_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    std::fs::create_dir_all(&source_dir).expect("scratch dir");
+    std::fs::create_dir_all(&replica_dir).expect("scratch dir");
+
+    // The established fleet state: several solved problems, the running
+    // example's large check cache among them so `full_bytes` is dominated
+    // by warmth the delta pass must *not* re-send.
+    let base_ids = [
+        "/coq/unique-list-::-set",
+        "/other/cache",
+        "/other/sized-list",
+    ];
+    let late_id = "/other/rational";
+    let solve_into = |dir: &std::path::Path, id: &str| {
+        let problem = find(id).unwrap().problem().expect("benchmark elaborates");
+        let engine = InferenceEngine::new(EngineConfig::default().with_warm_start_dir(dir))
+            .expect("warm engine config is valid");
+        let result = engine.run(&problem, &options);
+        assert!(result.is_success(), "{id}: {}", result.outcome);
+        engine.save_state(dir).expect("snapshot write succeeds");
+        (problem, result)
+    };
+    for id in base_ids {
+        solve_into(&source_dir, id);
+    }
+
+    let source = ChunkStore::open(&source_dir).expect("source store opens");
+    let replica = ChunkStore::open(&replica_dir).expect("replica store opens");
+
+    // Pass 1: a brand-new machine joins the fleet — everything transfers.
+    let full = replica.merge_from(&source).expect("full merge succeeds");
+    assert_eq!(full.manifests_copied, base_ids.len(), "{full:?}");
+    let full_bytes = full.chunk_bytes_copied;
+
+    // The source solves one more problem; pass 2 must move only its chunks.
+    let (late_problem, late_cold) = solve_into(&source_dir, late_id);
+    let delta = replica.merge_from(&source).expect("delta merge succeeds");
+    assert_eq!(delta.manifests_copied, 1, "{delta:?}");
+    let delta_bytes = delta.chunk_bytes_copied;
+    assert!(
+        delta_bytes * 4 <= full_bytes,
+        "the delta pass re-sent the fleet: {delta_bytes} of {full_bytes} bytes"
+    );
+
+    // Pass 3: converged — the scan finds nothing to move.
+    let converged = replica.merge_from(&source).expect("converged merge");
+    assert_eq!(converged.manifests_copied, 0, "{converged:?}");
+    assert_eq!(converged.chunks_copied, 0, "{converged:?}");
+
+    // The replicated warmth is real: a brand-new engine pointed at the
+    // replica restores the late problem and matches the source's outcome.
+    let restored = InferenceEngine::new(EngineConfig::default().with_warm_start_dir(&replica_dir))
+        .expect("warm engine config is valid")
+        .run(&late_problem, &options);
+    assert_eq!(
+        restored.outcome, late_cold.outcome,
+        "{late_id}: a sync-restored engine must not change inference results"
+    );
+    assert!(restored.stats.warm_start_loads > 0, "{:?}", restored.stats);
+    assert_eq!(
+        restored.stats.warm_start_quarantined, 0,
+        "{:?}",
+        restored.stats
+    );
+
+    // Time the converged scan — the steady-state cost every sync interval
+    // pays even when nothing changed.
+    let mut group = c.benchmark_group("fleet_warm");
+    group.sample_size(samples);
+    group.bench_function("converged_sync_scan", |b| {
+        b.iter(|| replica.merge_from(&source).expect("converged merge"))
+    });
+    group.finish();
+
+    let replica_stats = replica.stats();
+    let summary = Json::obj([
+        ("base_problems", Json::Num(base_ids.len() as f64)),
+        ("late_problem", Json::Str(late_id.to_string())),
+        ("full_bytes", Json::Num(full_bytes as f64)),
+        ("full_chunks", Json::Num(full.chunks_copied as f64)),
+        ("delta_bytes", Json::Num(delta_bytes as f64)),
+        ("delta_chunks", Json::Num(delta.chunks_copied as f64)),
+        (
+            "delta_over_full",
+            Json::Num(delta_bytes as f64 / (full_bytes as f64).max(f64::MIN_POSITIVE)),
+        ),
+        (
+            "replica_store_bytes",
+            Json::Num(replica_stats.total_bytes() as f64),
+        ),
+        (
+            "replica_manifests",
+            Json::Num(replica_stats.manifests as f64),
+        ),
+        (
+            "restored_warm_start_loads",
+            Json::Num(restored.stats.warm_start_loads as f64),
+        ),
+        ("converged_transfers_nothing", Json::Bool(true)),
+        ("outcome_identical", Json::Bool(true)),
+    ]);
+    let _ = std::fs::remove_dir_all(&source_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    summary
 }
 
 fn bench_cegis_hot_path(c: &mut Criterion) {
@@ -806,6 +936,7 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
     let high_parallelism = bench_high_parallelism_synth(c, samples);
     let cross_run = bench_cross_run_warm(c, samples);
     let cross_process = bench_cross_process_warm(c, samples);
+    let fleet = bench_fleet_warm(c, samples);
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -847,6 +978,9 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
         // The cross-process reuse workload: a brand-new engine restored
         // from a warm-start snapshot on disk vs a cold engine.
         ("cross_process_warm", cross_process),
+        // The fleet-sync workload: replicating a warm store moves the full
+        // chunk set once, then only per-problem deltas (asserted ≪ full).
+        ("fleet_warm", fleet),
     ]);
     // Default to the workspace root regardless of the bench's CWD — except
     // in quick mode, whose tiny-bounds numbers must never clobber the

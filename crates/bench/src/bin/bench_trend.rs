@@ -140,6 +140,24 @@ fn main() {
                 "speedup_restored_over_cold",
             )),
         ),
+        // Fleet sync: how many bytes a one-problem delta moves relative to
+        // replicating the whole warm store, and the replica's on-disk size.
+        (
+            "fleet_delta_bytes",
+            opt(num_at(&summary, "fleet_warm.delta_bytes")),
+        ),
+        (
+            "fleet_full_bytes",
+            opt(num_at(&summary, "fleet_warm.full_bytes")),
+        ),
+        (
+            "fleet_delta_over_full",
+            opt(num_at(&summary, "fleet_warm.delta_over_full")),
+        ),
+        (
+            "fleet_store_bytes",
+            opt(num_at(&summary, "fleet_warm.replica_store_bytes")),
+        ),
         // Server durability: reconnect-storm end-to-end latency (the p95
         // run time across a forced mid-stream disconnect and resume).
         (

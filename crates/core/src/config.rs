@@ -192,13 +192,27 @@ pub struct EngineConfig {
     /// The warm-start store: a directory of per-problem cache snapshots.
     ///
     /// When set, opening a session on a problem the engine has no live entry
-    /// for first looks for `<dir>/<problem fingerprint>.json` (written by
-    /// [`crate::Engine::save_state`], possibly by an *earlier process*) and
-    /// transparently restores the problem's check-outcome cache and term
-    /// banks from it — corrupt, version-mismatched or foreign snapshots are
-    /// silently ignored and the problem starts cold.  `None` (the default)
-    /// disables both loading and any filesystem access.
+    /// for consults the content-addressed chunk store rooted at the
+    /// directory (`manifests/<problem fingerprint>.json` plus the chunks it
+    /// lists — written by [`crate::Engine::save_state`], possibly by an
+    /// *earlier process* or synced from another host) and transparently
+    /// restores the problem's check-outcome cache and term banks from it.
+    /// Legacy monolithic snapshots (`<dir>/<fingerprint>.json`, the
+    /// pre-chunking format) stay read-compatible as a fallback, and
+    /// `hanoi-store migrate` converts them in place.  Corrupt chunks are
+    /// quarantined individually and the restore proceeds without them;
+    /// corrupt manifests or legacy files degrade to a cold start — never a
+    /// wrong answer.  `None` (the default) disables both loading and any
+    /// filesystem access.
     pub warm_start_dir: Option<PathBuf>,
+    /// When `true`, [`crate::Engine::save_state`] writes the legacy
+    /// monolithic one-file-per-problem snapshots instead of the chunked
+    /// store format.  The default (`false`, chunked) is what every new
+    /// deployment wants — incremental saves, fleet sync, chunk-level
+    /// corruption isolation; the knob exists for interoperating with
+    /// pre-chunking readers and for pinning the two formats against each
+    /// other in tests.
+    pub monolithic_snapshots: bool,
 }
 
 impl Default for EngineConfig {
@@ -207,6 +221,7 @@ impl Default for EngineConfig {
             parallelism: 1,
             max_cached_problems: 64,
             warm_start_dir: None,
+            monolithic_snapshots: false,
         }
     }
 }
@@ -234,6 +249,14 @@ impl EngineConfig {
     /// [`EngineConfig::warm_start_dir`]).
     pub fn with_warm_start_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.warm_start_dir = Some(dir.into());
+        self
+    }
+
+    /// Makes [`crate::Engine::save_state`] write legacy monolithic snapshot
+    /// files instead of the chunked store format (see
+    /// [`EngineConfig::monolithic_snapshots`]).
+    pub fn with_monolithic_snapshots(mut self, monolithic: bool) -> Self {
+        self.monolithic_snapshots = monolithic;
         self
     }
 

@@ -31,17 +31,23 @@
 //! Warmth survives the process.  [`Engine::save_state`] snapshots every
 //! live entry's *persistable* caches — the check-outcome cache and the term
 //! banks, whose keys are structural digests valid across processes — into
-//! one JSON file per problem, named by the problem fingerprint and written
-//! atomically (temp file, then rename).  An engine configured with
+//! the content-addressed chunk store ([`hanoi_store::ChunkStore`]) at the
+//! configured directory: each snapshot is split into chunks named by the
+//! digest of their own bytes, with a per-problem manifest listing them, so
+//! repeated checkpoints share unchanged chunks and two stores sync by
+//! manifest diff.  An engine configured with
 //! [`EngineConfig::warm_start_dir`] transparently restores those snapshots
 //! when a problem is first opened: a freshly started process re-running a
 //! problem an earlier process solved answers its verifier checks from the
 //! restored cache without a single sweep (`RunStats::warm_start_loads`
-//! reports the restore; the `cross_process_warm` workload of the
-//! `cegis_hot_path` bench measures it).  Snapshots are advisory: corrupt,
-//! truncated, version-mismatched or wrong-problem files are ignored and the
-//! problem starts cold — never a wrong answer, as
-//! `tests/warm_start_equivalence.rs` pins across the benchmark suite.
+//! reports the restore; the `cross_process_warm` and `fleet_warm` workloads
+//! of the `cegis_hot_path` bench measure it).  Legacy monolithic
+//! `<fingerprint>.json` snapshots stay read-compatible.  Snapshots are
+//! advisory: a corrupt *chunk* is quarantined individually and the restore
+//! proceeds with the rest, while corrupt manifests, truncated legacy files,
+//! version-mismatched or wrong-problem wrappers degrade to a cold start —
+//! never a wrong answer, as `tests/warm_start_equivalence.rs` pins across
+//! the benchmark suite.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -50,7 +56,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use hanoi_abstraction::Problem;
 use hanoi_lang::digest::Digest;
 use hanoi_lang::json::Json;
+use hanoi_lang::util::{sync_dir, write_atomic};
 use hanoi_lang::value::Env;
+use hanoi_store::{ChunkStore, WrapperLoad};
 use hanoi_synth::TermBank;
 use hanoi_verifier::{CheckCache, PoolCache};
 
@@ -115,9 +123,12 @@ pub(crate) struct ProblemCaches {
     /// was restored from on creation (`0` = cold start).  Surfaced as
     /// `RunStats::warm_start_loads`.
     warm_start_loads: u64,
-    /// `1` when a snapshot file existed for this problem but failed to
-    /// restore and was quarantined (renamed to `<fingerprint>.json.corrupt`)
-    /// at entry creation.  Surfaced as `RunStats::warm_start_quarantined`.
+    /// How many snapshot artifacts were quarantined at entry creation:
+    /// individual chunks whose bytes failed their content-address re-hash
+    /// (each renamed to `<digest>.json.corrupt`; the restore proceeded with
+    /// the remaining chunks), a defective manifest, or — on the legacy
+    /// monolithic path — the whole snapshot file.  Surfaced as
+    /// `RunStats::warm_start_quarantined`.
     warm_start_quarantined: u64,
 }
 
@@ -135,18 +146,51 @@ impl ProblemCaches {
     }
 
     /// Builds the entry for `problem`, restoring the check cache and term
-    /// banks from `<warm_dir>/<fingerprint>.json` when a valid snapshot for
-    /// this problem exists there.  Every failure mode — missing file, I/O
-    /// error, parse error, version or fingerprint mismatch, corrupt
-    /// component — degrades to a cold start; a snapshot can never make a
-    /// session fail or (fingerprint collisions aside) answer for a
-    /// different problem.  A file that *existed but failed to restore* is
-    /// additionally quarantined: renamed to `<fingerprint>.json.corrupt` so
-    /// the next process start does not re-parse the same broken bytes (and
-    /// so the defect stays on disk for diagnosis instead of being silently
-    /// overwritten by the next checkpoint).
+    /// banks from the warm-start store at `warm_dir`.  The chunked store is
+    /// preferred: when `manifests/<fingerprint>.json` exists, the wrapper is
+    /// reassembled chunk by chunk, quarantining (and counting) corrupt
+    /// chunks individually while the restore proceeds with the rest.  When
+    /// no manifest exists, the legacy monolithic `<fingerprint>.json` is
+    /// consulted read-compatibly, with PR 7's whole-file quarantine.  Every
+    /// failure mode — missing artifacts, I/O error, parse error, version or
+    /// fingerprint mismatch, corrupt component — degrades to a cold start
+    /// (or a partially warm one); a snapshot can never make a session fail
+    /// or (fingerprint collisions aside) answer for a different problem.
     fn restore_or_new(problem: &Problem, fingerprint: Digest, warm_dir: &Path) -> Self {
         let mut caches = ProblemCaches::new(problem, fingerprint);
+        if let Ok(store) = ChunkStore::open(warm_dir) {
+            match store.load_wrapper(fingerprint) {
+                WrapperLoad::Loaded {
+                    wrapper,
+                    quarantined,
+                } => {
+                    caches.warm_start_quarantined = quarantined;
+                    match validate_snapshot_json(&wrapper, fingerprint) {
+                        Some((checks, banks, shapes, loads)) => {
+                            caches.checks = Arc::new(checks);
+                            caches.banks = Mutex::new(banks);
+                            caches.pools.set_pending_shapes(shapes);
+                            caches.warm_start_loads = loads;
+                        }
+                        // A reassembled wrapper that fails engine validation
+                        // (e.g. a future wrapper version in the manifest)
+                        // starts cold; the manifest stays for diagnosis.
+                        None => caches.warm_start_quarantined += 1,
+                    }
+                    return caches;
+                }
+                WrapperLoad::Corrupt => {
+                    // The store quarantined the defective manifest; the
+                    // problem starts cold rather than trusting a legacy file
+                    // that a chunked save already superseded.
+                    caches.warm_start_quarantined += 1;
+                    return caches;
+                }
+                WrapperLoad::Missing => {}
+            }
+        }
+        // Legacy monolithic fallback, byte-compatible with pre-chunking
+        // stores (`hanoi-store migrate` converts them in place).
         let path = warm_dir.join(format!("{}.json", fingerprint.to_hex()));
         match load_snapshot(&path, fingerprint) {
             SnapshotLoad::Loaded {
@@ -293,21 +337,44 @@ fn load_snapshot(path: &Path, fingerprint: Digest) -> SnapshotLoad {
 }
 
 /// The validation pipeline of [`load_snapshot`]; `None` means any defect.
-#[allow(clippy::type_complexity)]
 fn try_load_snapshot(path: &Path, fingerprint: Digest, len: u64) -> Option<SnapshotLoad> {
     if len > MAX_SNAPSHOT_BYTES {
         return None;
     }
     let text = std::fs::read_to_string(path).ok()?;
     let json = hanoi_lang::json::parse(&text).ok()?;
+    let (checks, banks, shapes, loads) = validate_snapshot_json(&json, fingerprint)?;
+    Some(SnapshotLoad::Loaded {
+        checks,
+        banks,
+        shapes,
+        loads,
+    })
+}
+
+/// Validates a warm-start wrapper (monolithic file contents, or the
+/// reassembly of a chunked manifest — both the same JSON shape) and decodes
+/// its components; `None` means any defect.  This is the single validation
+/// path for both persistence formats, which is what makes the chunked ≡
+/// monolithic equivalence hold by construction.
+#[allow(clippy::type_complexity)]
+fn validate_snapshot_json(
+    json: &Json,
+    fingerprint: Digest,
+) -> Option<(
+    CheckCache,
+    HashMap<SynthChoice, Arc<TermBank>>,
+    Vec<(hanoi_lang::types::Type, usize)>,
+    u64,
+)> {
     if json.get("version").and_then(Json::as_usize)? as u64 != WARM_START_VERSION {
         return None;
     }
     if json.get("kind").and_then(Json::as_str)? != "hanoi-warm-start" {
         return None;
     }
-    // The fingerprint inside the file must match the problem being opened:
-    // a renamed or copied snapshot is rejected rather than trusted.
+    // The fingerprint inside the wrapper must match the problem being
+    // opened: a renamed or copied snapshot is rejected rather than trusted.
     let stored = Digest::from_hex(json.get("fingerprint").and_then(Json::as_str)?)?;
     if stored != fingerprint {
         return None;
@@ -335,12 +402,7 @@ fn try_load_snapshot(path: &Path, fingerprint: Digest, len: u64) -> Option<Snaps
         let size = shape.get("size").and_then(Json::as_usize)?;
         shapes.push((ty, size));
     }
-    Some(SnapshotLoad::Loaded {
-        checks,
-        banks,
-        shapes,
-        loads,
-    })
+    Some((checks, banks, shapes, loads))
 }
 
 /// The registry key for one problem's caches.
@@ -509,54 +571,69 @@ impl Engine {
         lock_tolerant(&self.registry).entries.remove(&key).is_some()
     }
 
-    /// Persists every live cache entry to `dir` as one snapshot file per
-    /// problem, named by the problem fingerprint.  Each file is written to a
-    /// temporary sibling, **fsynced**, and only then atomically renamed into
-    /// place, so neither a crash mid-checkpoint nor a concurrent reader —
-    /// another engine process warm-starting from the same directory — can
-    /// ever observe a torn snapshot: without the fsync, the rename could be
-    /// durable before the data, and a power loss would leave a
-    /// correctly-named file with truncated contents for every later restore
-    /// to reject.  Returns how many snapshots were written.
+    /// Persists every live cache entry to the warm-start store at `dir`,
+    /// returning how many snapshots were written.
+    ///
+    /// By default each snapshot is saved **chunked**: split into
+    /// content-addressed chunks (check-cache stripes, term-bank core/parts,
+    /// pool shapes) with a per-problem manifest — chunks already present
+    /// from an earlier save are shared, so a periodic checkpoint whose
+    /// caches only grew writes deltas, and two stores can sync by manifest
+    /// diff (`hanoi-store sync`).  With
+    /// [`EngineConfig::monolithic_snapshots`] set, the legacy
+    /// one-file-per-problem format is written instead
+    /// ([`Engine::save_state_monolithic`]).  Either way every file goes
+    /// through the shared atomic-write helper
+    /// ([`hanoi_lang::util::write_atomic`]): temp sibling, **fsync**,
+    /// rename — neither a crash mid-checkpoint nor a concurrent reader can
+    /// observe a torn artifact.
     ///
     /// Saving is cheap relative to the sweeps the snapshots replace, but not
     /// free; a long-lived service calls this at checkpoints (shutdown,
     /// deploy, periodic flush), not per run.
     pub fn save_state(&self, dir: impl AsRef<Path>) -> std::io::Result<usize> {
-        use std::io::Write as _;
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        // Snapshot the entry list, then serialize outside the registry lock
-        // (serialization can be large; sessions must not stall behind it).
-        let entries: Vec<Arc<ProblemCaches>> = {
-            let registry = lock_tolerant(&self.registry);
-            registry
-                .entries
-                .values()
-                .map(|(_, entry)| Arc::clone(entry))
-                .collect()
-        };
+        if self.config.monolithic_snapshots {
+            return self.save_state_monolithic(dir);
+        }
+        let store = ChunkStore::open(dir)?;
         let mut written = 0;
-        for caches in entries {
-            let hex = caches.fingerprint().to_hex();
-            let tmp = dir.join(format!("{hex}.json.tmp"));
-            let path = dir.join(format!("{hex}.json"));
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(caches.snapshot_json().render_pretty().as_bytes())?;
-            // Durability point: the bytes must hit stable storage before the
-            // rename makes them reachable under the real name.
-            file.sync_all()?;
-            drop(file);
-            std::fs::rename(&tmp, &path)?;
+        for caches in self.live_entries() {
+            store.save_wrapper(&caches.snapshot_json())?;
             written += 1;
         }
-        // Make the renames themselves durable (directory metadata).  Not
-        // every platform lets a directory be fsynced; this is best-effort on
-        // top of the per-file guarantee above.
+        Ok(written)
+    }
+
+    /// [`Engine::save_state`] in the legacy monolithic format: one
+    /// `<fingerprint>.json` wrapper file per problem at the top of `dir`,
+    /// exactly as pre-chunking engines wrote (and still read).
+    pub fn save_state_monolithic(&self, dir: impl AsRef<Path>) -> std::io::Result<usize> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut written = 0;
+        for caches in self.live_entries() {
+            let path = dir.join(format!("{}.json", caches.fingerprint().to_hex()));
+            write_atomic(&path, caches.snapshot_json().render_pretty().as_bytes())?;
+            written += 1;
+        }
+        // Make the renames themselves durable (directory metadata);
+        // best-effort on top of the per-file fsync in `write_atomic`.
         if written > 0 {
-            let _ = std::fs::File::open(dir).and_then(|d| d.sync_all());
+            sync_dir(dir);
         }
         Ok(written)
+    }
+
+    /// Snapshots the entry list, so serialization happens outside the
+    /// registry lock (it can be large; sessions must not stall behind it).
+    fn live_entries(&self) -> Vec<Arc<ProblemCaches>> {
+        let registry = lock_tolerant(&self.registry);
+        registry
+            .entries
+            .values()
+            .map(|(_, entry)| Arc::clone(entry))
+            .collect()
     }
 
     /// [`Engine::save_state`] into the configured
@@ -796,8 +873,15 @@ mod tests {
         assert!(cold.is_success(), "{}", cold.outcome);
         assert_eq!(cold.stats.warm_start_loads, 0);
         assert_eq!(first_engine.save_state(&dir).unwrap(), 1);
-        let snapshot_path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));
-        assert!(snapshot_path.is_file(), "{snapshot_path:?}");
+        let manifest_path = dir
+            .join("manifests")
+            .join(format!("{}.json", problem.fingerprint().to_hex()));
+        assert!(manifest_path.is_file(), "{manifest_path:?}");
+        assert!(
+            !dir.join(format!("{}.json", problem.fingerprint().to_hex()))
+                .exists(),
+            "the default format is chunked, not monolithic"
+        );
 
         // "Process 2": a brand-new engine restores from disk; every check of
         // the re-run is answered from the restored cache.
@@ -861,11 +945,53 @@ mod tests {
     }
 
     #[test]
+    fn tampered_chunks_quarantine_individually_and_the_rest_restores() {
+        let problem = Problem::from_source(LIST_SET).unwrap();
+        let options = RunOptions::quick();
+        let dir = scratch_dir("chunk-tamper");
+        let engine = Engine::with_defaults();
+        let cold = engine.run(&problem, &options);
+        assert!(cold.is_success(), "{}", cold.outcome);
+        engine.save_state(&dir).unwrap();
+
+        // Flip bytes in one chunk: its content address no longer proves it.
+        let store = hanoi_store::ChunkStore::open(&dir).unwrap();
+        let manifest = store.manifest(problem.fingerprint()).unwrap();
+        let victim = manifest.entries.last().unwrap().chunk;
+        std::fs::write(
+            dir.join("chunks").join(format!("{}.json", victim.to_hex())),
+            "tampered",
+        )
+        .unwrap();
+
+        let second = Engine::new(EngineConfig::default().with_warm_start_dir(&dir)).unwrap();
+        let result = second.run(&problem, &options);
+        assert_eq!(result.outcome, cold.outcome, "correctness is untouchable");
+        assert_eq!(
+            result.stats.warm_start_quarantined, 1,
+            "exactly the tampered chunk: {:?}",
+            result.stats
+        );
+        assert!(
+            result.stats.warm_start_loads > 0,
+            "the restore proceeded with the surviving chunks: {:?}",
+            result.stats
+        );
+        let quarantined = dir
+            .join("chunks")
+            .join(format!("{}.json.corrupt", victim.to_hex()));
+        assert!(quarantined.is_file(), "{quarantined:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_snapshots_fall_back_to_a_cold_start() {
+        // The legacy monolithic format: whole-file validation, whole-file
+        // quarantine — still supported read-compatibly.
         let problem = Problem::from_source(LIST_SET).unwrap();
         let options = RunOptions::quick();
         let dir = scratch_dir("corrupt");
-        let engine = Engine::with_defaults();
+        let engine = Engine::new(EngineConfig::default().with_monolithic_snapshots(true)).unwrap();
         let cold = engine.run(&problem, &options);
         engine.save_state(&dir).unwrap();
         let path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));

@@ -56,11 +56,13 @@ pub struct RunStats {
     /// engines without a warm-start directory; identical for every run
     /// sharing the restored entry.
     pub warm_start_loads: u64,
-    /// Warm-start snapshot files that failed to restore and were quarantined
-    /// (renamed to `<fingerprint>.json.corrupt`) when the problem's engine
-    /// entry was created.  `0` when the snapshot was missing or restored
-    /// cleanly; like `warm_start_loads`, identical for every run sharing the
-    /// entry.
+    /// Warm-start artifacts that failed to restore and were quarantined
+    /// (renamed `*.corrupt`) when the problem's engine entry was created:
+    /// individual chunks whose bytes failed the content-address re-hash
+    /// (the restore proceeded with the remaining chunks), a defective
+    /// manifest, or a defective legacy monolithic snapshot file.  `0` when
+    /// the snapshot was missing or restored cleanly; like
+    /// `warm_start_loads`, identical for every run sharing the entry.
     pub warm_start_quarantined: u64,
     /// Candidate terms enumerated by the synthesis engine (pre-dedup) across
     /// all guesses of the run.

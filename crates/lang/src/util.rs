@@ -2,9 +2,50 @@
 
 use std::collections::HashSet;
 use std::hash::Hash;
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Writes `bytes` to `path` atomically and durably: the bytes land in a
+/// temporary sibling (`<file name>.tmp`), are **fsynced**, and only then
+/// atomically renamed into place.  Neither a crash mid-write nor a concurrent
+/// reader can ever observe a torn file — without the fsync, the rename could
+/// be durable before the data, and a power loss would leave a correctly-named
+/// file with truncated contents.
+///
+/// This is the one shared implementation of the pattern every persistent
+/// artifact in the workspace uses: the engine's warm-start snapshots, the
+/// chunk store's chunks, manifests and index (`hanoi_store`), and anything
+/// the server checkpoints at drain.  Callers that write several files and
+/// then need the *renames* durable should follow up with [`sync_dir`] on the
+/// containing directory.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
+        .to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    // Durability point: the bytes must hit stable storage before the rename
+    // makes them reachable under the real name.
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
+/// Best-effort fsync of a directory, making previously performed renames in
+/// it durable (directory metadata).  Not every platform lets a directory be
+/// fsynced, so failures are swallowed — this is an additional guarantee on
+/// top of the per-file one from [`write_atomic`], never a required one.
+pub fn sync_dir(dir: &Path) {
+    let _ = std::fs::File::open(dir).and_then(|d| d.sync_all());
+}
 
 /// A shared, thread-safe cooperative-cancellation flag.
 ///
@@ -236,6 +277,29 @@ impl<T: Eq + Hash + Clone> Eq for OrderedSet<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_atomic_replaces_files_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!(
+            "hanoi-util-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Overwrites are atomic replacements of the whole content.
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        // The temporary sibling never survives a successful write.
+        assert!(!dir.join("artifact.json.tmp").exists());
+        // A path without a file name is rejected, not panicked on.
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+        sync_dir(&dir); // must not panic, even if the platform refuses
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn deadlines_expire() {

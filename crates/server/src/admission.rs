@@ -311,7 +311,10 @@ mod tests {
         let (reason, _) = queue.submit(ip(1), "laundered").unwrap_err();
         assert_eq!(reason, ShedReason::ClientQuota);
         // Only finishing a run frees the slot — not any connection event.
-        assert!(matches!(queue.next(Duration::from_millis(1)), Next::Job(..)));
+        assert!(matches!(
+            queue.next(Duration::from_millis(1)),
+            Next::Job(..)
+        ));
         queue.finish(ip(1));
         assert_eq!(queue.submit(ip(1), "c"), Ok(2));
     }

@@ -68,6 +68,30 @@ fn main() {
     let mut engine = EngineConfig::default().with_parallelism(number("--parallelism").unwrap_or(1));
     if let Some(dir) = value("--warm-dir") {
         engine = engine.with_warm_start_dir(dir);
+        // Boot-time store inventory: how much warmth this process can draw
+        // on, and whether legacy monolithic snapshots await migration.
+        match hanoi_store::ChunkStore::open(dir) {
+            Ok(store) => {
+                let stats = store.stats();
+                eprintln!(
+                    "hanoi-serve: warm store {dir}: {} manifest(s), {} chunk(s), {} byte(s)",
+                    stats.manifests,
+                    stats.chunks,
+                    stats.total_bytes()
+                );
+                if stats.legacy_snapshots > 0 {
+                    eprintln!(
+                        "hanoi-serve: {} legacy monolithic snapshot(s) in {dir}; \
+                         run `hanoi-store migrate {dir}` to chunk them",
+                        stats.legacy_snapshots
+                    );
+                }
+            }
+            Err(e) => {
+                // The engine degrades to cold starts either way; say why.
+                eprintln!("hanoi-serve: warm store {dir} unavailable: {e}");
+            }
+        }
     }
     let mut config = ServerConfig::default()
         .with_workers(number("--workers").unwrap_or(2))

@@ -1236,8 +1236,10 @@ fn main() {
         unsafe {
             signal(SIGHUP, on_hup as *const () as usize);
         }
-        // Corrupt warm-start store at boot: write a real snapshot for the
-        // trivial problem, then garble every snapshot file in place.
+        // Corrupt warm-start store at boot: write a real chunked snapshot
+        // for the trivial problem, then garble every chunk file in place —
+        // each garbled chunk fails its content-address re-hash and is
+        // quarantined individually at restore.
         {
             let engine = Engine::new(EngineConfig::default().with_warm_start_dir(&warm_dir))
                 .expect("engine config");
@@ -1248,14 +1250,14 @@ fn main() {
                 .save_state_to_warm_dir()
                 .expect("seed warm-start save");
             let mut garbled = 0;
-            for entry in std::fs::read_dir(&warm_dir).expect("read warm dir") {
+            for entry in std::fs::read_dir(warm_dir.join("chunks")).expect("read chunks dir") {
                 let path = entry.expect("dir entry").path();
                 if path.extension().and_then(|e| e.to_str()) == Some("json") {
                     std::fs::write(&path, b"{ truncated garbage").expect("garble");
                     garbled += 1;
                 }
             }
-            assert!(garbled > 0, "no snapshot to garble");
+            assert!(garbled > 0, "no chunk to garble");
         }
         let config = ServerConfig::default()
             .with_workers(workers)

@@ -126,7 +126,10 @@ impl ServerStats {
             ("grace_cancels", n(&self.grace_cancels)),
             ("rate_limited_sheds", n(&self.rate_limited_sheds)),
             ("config_reloads", n(&self.config_reloads)),
-            ("unattributed_connections", n(&self.unattributed_connections)),
+            (
+                "unattributed_connections",
+                n(&self.unattributed_connections),
+            ),
         ])
     }
 }

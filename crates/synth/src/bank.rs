@@ -1256,6 +1256,126 @@ impl TermBank {
         Ok(bank)
     }
 
+    /// The `kind` tag of the core chunk produced by
+    /// [`TermBank::split_snapshot`]: the value interner (in dense-id order),
+    /// the name table, the world registry and the session count — the tables
+    /// every other chunk's ids resolve against.
+    pub const CORE_KIND: &'static str = "term-bank-core";
+
+    /// The `kind` tag of a part chunk: a slice of one memo table (`apps`,
+    /// `ctors` or `guesses`), independently restorable against the core.
+    pub const PART_KIND: &'static str = "term-bank-part";
+
+    /// Splits the output of [`TermBank::to_json`] into one **core** chunk
+    /// plus zero or more **part** chunks of at most `rows_per_part` rows
+    /// each.  This is the chunk granularity of the content-addressed
+    /// warm-start store (`hanoi_store`): the memo tables are serialized in
+    /// deterministic (sorted) order, so a bank that only *grew* keeps most
+    /// of its old part chunks byte-identical — a fleet sync transfers only
+    /// the parts that changed.  Every id in a part resolves against the core
+    /// tables, so dropping a corrupt part can never dangle a reference: the
+    /// restore just knows fewer memoized rows.  Returns `None` when
+    /// `snapshot` is not a valid term-bank snapshot.
+    pub fn split_snapshot(snapshot: &Json, rows_per_part: usize) -> Option<Vec<Json>> {
+        if snapshot.get("version").and_then(Json::as_usize)? as u64 != Self::SNAPSHOT_VERSION
+            || snapshot.get("kind").and_then(Json::as_str)? != "term-bank"
+        {
+            return None;
+        }
+        let rows_per_part = rows_per_part.max(1);
+        let mut chunks = vec![Json::obj([
+            ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+            ("kind", Json::Str(Self::CORE_KIND.to_string())),
+            ("sessions", snapshot.get("sessions")?.clone()),
+            (
+                "values",
+                Json::Arr(snapshot.get("values").and_then(Json::as_arr)?.to_vec()),
+            ),
+            (
+                "names",
+                Json::Arr(snapshot.get("names").and_then(Json::as_arr)?.to_vec()),
+            ),
+            (
+                "worlds",
+                Json::Arr(snapshot.get("worlds").and_then(Json::as_arr)?.to_vec()),
+            ),
+        ])];
+        for table in ["apps", "ctors", "guesses"] {
+            let rows = snapshot.get(table).and_then(Json::as_arr)?;
+            for slice in rows.chunks(rows_per_part) {
+                chunks.push(Json::obj([
+                    ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+                    ("kind", Json::Str(Self::PART_KIND.to_string())),
+                    ("table", Json::Str(table.to_string())),
+                    ("rows", Json::Arr(slice.to_vec())),
+                ]));
+            }
+        }
+        Some(chunks)
+    }
+
+    /// Reassembles a core chunk and its surviving part chunks into one
+    /// snapshot consumable by [`TermBank::from_json`].  Parts that are not
+    /// well-formed part objects are *skipped* rather than failing the whole
+    /// join — chunk-level corruption isolation: a quarantined part costs its
+    /// own memo rows, never the bank.  Returns `None` when the core chunk
+    /// itself is invalid (without the id-resolution tables nothing else is
+    /// restorable), otherwise the joined snapshot and how many parts were
+    /// skipped.
+    pub fn join_chunks<'a>(
+        core: &Json,
+        parts: impl IntoIterator<Item = &'a Json>,
+    ) -> Option<(Json, usize)> {
+        if core.get("version").and_then(Json::as_usize)? as u64 != Self::SNAPSHOT_VERSION
+            || core.get("kind").and_then(Json::as_str)? != Self::CORE_KIND
+        {
+            return None;
+        }
+        let mut tables: std::collections::HashMap<&str, Vec<Json>> = [
+            ("apps", Vec::new()),
+            ("ctors", Vec::new()),
+            ("guesses", Vec::new()),
+        ]
+        .into_iter()
+        .collect();
+        let mut skipped = 0;
+        for part in parts {
+            let valid = part
+                .get("version")
+                .and_then(Json::as_usize)
+                .map(|v| v as u64)
+                == Some(Self::SNAPSHOT_VERSION)
+                && part.get("kind").and_then(Json::as_str) == Some(Self::PART_KIND);
+            let table = part.get("table").and_then(Json::as_str);
+            let rows = part.get("rows").and_then(Json::as_arr);
+            match (table.and_then(|t| tables.get_mut(t)), rows) {
+                (Some(into), Some(rows)) if valid => into.extend(rows.iter().cloned()),
+                _ => skipped += 1,
+            }
+        }
+        let joined = Json::obj([
+            ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+            ("kind", Json::Str("term-bank".to_string())),
+            ("sessions", core.get("sessions")?.clone()),
+            ("values", core.get("values")?.clone()),
+            ("names", core.get("names")?.clone()),
+            ("worlds", core.get("worlds")?.clone()),
+            (
+                "apps",
+                Json::Arr(tables.remove("apps").expect("apps table")),
+            ),
+            (
+                "ctors",
+                Json::Arr(tables.remove("ctors").expect("ctors table")),
+            ),
+            (
+                "guesses",
+                Json::Arr(tables.remove("guesses").expect("guesses table")),
+            ),
+        ]);
+        Some((joined, skipped))
+    }
+
     /// A snapshot of the session counters.
     pub fn stats(&self) -> TermBankStats {
         TermBankStats {
@@ -1415,6 +1535,108 @@ mod tests {
         // …but a genuinely new world still counts as one.
         restored.begin_session(&[(Value::nat(9), true)]);
         assert_eq!(restored.stats().column_appends, 1);
+    }
+
+    #[test]
+    fn chunked_snapshots_round_trip_and_isolate_corruption() {
+        let tyenv = TypeEnv::new();
+        let evaluator = Evaluator::new(&tyenv);
+        let bank = TermBank::new();
+        let succ = nat_succ();
+        let succ_name = bank.name_id(&Symbol::new("succ"));
+        for n in 0..5 {
+            let arg = bank.intern(&Value::nat(n));
+            bank.apply_component(&evaluator, succ_name, &succ, &[arg], 100)
+                .unwrap();
+        }
+        let s = Symbol::new("S");
+        let s_id = bank.name_id(&s);
+        let zero = bank.intern(&Value::nat(0));
+        bank.make_ctor(s_id, &s, &[zero]);
+        bank.guess_memo_put(
+            Digest(11),
+            GuessMemo {
+                result: None,
+                terms: 9,
+                splits: 1,
+            },
+        );
+        bank.begin_session(&[(Value::nat(1), true)]);
+        let snapshot = bank.to_json().unwrap();
+
+        // Split and rejoin reproduce the snapshot byte for byte.
+        let chunks = TermBank::split_snapshot(&snapshot, 2).unwrap();
+        assert!(
+            chunks.len() > 2,
+            "five app rows at two per part multi-chunk"
+        );
+        let (core, parts) = chunks.split_first().unwrap();
+        let (joined, skipped) = TermBank::join_chunks(core, parts).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(joined.render_pretty(), snapshot.render_pretty());
+
+        // A corrupt part is skipped, not fatal: the join still produces a
+        // loadable snapshot, just with that part's memo rows missing.
+        let mut tampered: Vec<Json> = parts.to_vec();
+        tampered[0] = Json::Str("garbage".into());
+        let (joined, skipped) = TermBank::join_chunks(core, &tampered).unwrap();
+        assert_eq!(skipped, 1);
+        let restored = TermBank::from_json(&joined).unwrap();
+        assert_eq!(restored.name_id(&Symbol::new("succ")), succ_name);
+        assert!(restored.guess_memo_get(Digest(11)).is_some());
+
+        // A corrupt core sinks the whole bank — ids in parts resolve against
+        // its tables, so there is nothing sound to salvage.
+        assert!(TermBank::join_chunks(&Json::Str("garbage".into()), parts).is_none());
+        assert!(TermBank::join_chunks(parts.first().unwrap(), parts).is_none());
+        // And a non-bank snapshot refuses to split.
+        assert!(TermBank::split_snapshot(&Json::Num(1.0), 2).is_none());
+        assert!(TermBank::split_snapshot(&Json::obj([("version", Json::Num(2.0))]), 2).is_none());
+    }
+
+    #[test]
+    fn unchanged_tables_keep_byte_identical_chunks_as_banks_grow() {
+        let tyenv = TypeEnv::new();
+        let evaluator = Evaluator::new(&tyenv);
+        let bank = TermBank::new();
+        let succ = nat_succ();
+        let succ_name = bank.name_id(&Symbol::new("succ"));
+        let s = Symbol::new("S");
+        let s_id = bank.name_id(&s);
+        let zero = bank.intern(&Value::nat(0));
+        bank.make_ctor(s_id, &s, &[zero]);
+        bank.guess_memo_put(
+            Digest(5),
+            GuessMemo {
+                result: None,
+                terms: 1,
+                splits: 0,
+            },
+        );
+        let one = bank.intern(&Value::nat(1));
+        bank.apply_component(&evaluator, succ_name, &succ, &[one], 100)
+            .unwrap();
+        let before = TermBank::split_snapshot(&bank.to_json().unwrap(), usize::MAX).unwrap();
+
+        // Grow only the application memo table.
+        let two = bank.intern(&Value::nat(2));
+        bank.apply_component(&evaluator, succ_name, &succ, &[two], 100)
+            .unwrap();
+        let after = TermBank::split_snapshot(&bank.to_json().unwrap(), usize::MAX).unwrap();
+
+        let rendered =
+            |chunks: &[Json]| -> Vec<String> { chunks.iter().map(Json::render_pretty).collect() };
+        let (before, after) = (rendered(&before), rendered(&after));
+        // The ctor and guess parts did not change, so their chunk bytes (and
+        // therefore their content addresses in the store) are identical —
+        // this is what makes fleet sync a delta transfer.
+        let shared: Vec<&String> = before.iter().filter(|c| after.contains(c)).collect();
+        assert!(
+            shared.len() >= 2,
+            "unchanged tables must re-chunk identically, shared: {}",
+            shared.len()
+        );
+        assert_ne!(before, after, "the apps part did change");
     }
 
     #[test]

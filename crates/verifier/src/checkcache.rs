@@ -438,6 +438,71 @@ impl CheckCache {
         }
         Ok(cache)
     }
+
+    /// The `kind` tag of one recency stripe produced by
+    /// [`CheckCache::split_snapshot`].
+    pub const STRIPE_KIND: &'static str = "check-cache-stripe";
+
+    /// Splits the output of [`CheckCache::to_json`] into *recency stripes*:
+    /// consecutive runs of at most `stripe_len` entries, oldest first, each a
+    /// self-describing JSON object (`kind = "check-cache-stripe"`).  Stripes
+    /// are the chunk granularity of the content-addressed warm-start store
+    /// (`hanoi_store`): the chunk digest of a stripe is a pure function of
+    /// its entries, so two saves whose older entries did not move produce
+    /// byte-identical old stripes — a fleet sync re-transfers only the
+    /// stripes that actually changed.  Returns `None` when `snapshot` is not
+    /// a valid check-cache snapshot (wrong kind/version/shape).
+    pub fn split_snapshot(snapshot: &Json, stripe_len: usize) -> Option<Vec<Json>> {
+        if snapshot.get("version").and_then(Json::as_usize)? as u64 != Self::SNAPSHOT_VERSION
+            || snapshot.get("kind").and_then(Json::as_str)? != "check-cache"
+        {
+            return None;
+        }
+        let entries = snapshot.get("entries").and_then(Json::as_arr)?;
+        let stripe_len = stripe_len.max(1);
+        Some(
+            entries
+                .chunks(stripe_len)
+                .map(|stripe| {
+                    Json::obj([
+                        ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+                        ("kind", Json::Str(Self::STRIPE_KIND.to_string())),
+                        ("entries", Json::Arr(stripe.to_vec())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Reassembles stripes (in the order [`CheckCache::split_snapshot`]
+    /// produced them — oldest first) into one snapshot consumable by
+    /// [`CheckCache::from_json`].  Stripes that are not well-formed stripe
+    /// objects are *skipped* rather than failing the whole join — chunk-level
+    /// corruption isolation: a quarantined stripe costs its own entries,
+    /// never the rest of the cache.  Returns the joined snapshot and how many
+    /// stripes were skipped.
+    pub fn join_stripes<'a>(stripes: impl IntoIterator<Item = &'a Json>) -> (Json, usize) {
+        let mut entries: Vec<Json> = Vec::new();
+        let mut skipped = 0;
+        for stripe in stripes {
+            let valid = stripe
+                .get("version")
+                .and_then(Json::as_usize)
+                .map(|v| v as u64)
+                == Some(Self::SNAPSHOT_VERSION)
+                && stripe.get("kind").and_then(Json::as_str) == Some(Self::STRIPE_KIND);
+            match stripe.get("entries").and_then(Json::as_arr) {
+                Some(stripe_entries) if valid => entries.extend(stripe_entries.iter().cloned()),
+                _ => skipped += 1,
+            }
+        }
+        let joined = Json::obj([
+            ("version", Json::Num(Self::SNAPSHOT_VERSION as f64)),
+            ("kind", Json::Str("check-cache".to_string())),
+            ("entries", Json::Arr(entries)),
+        ]);
+        (joined, skipped)
+    }
 }
 
 fn bounds_to_json(bounds: &VerifierBounds) -> Json {
@@ -792,6 +857,87 @@ mod tests {
             })
             .unwrap();
         assert!(!recomputed);
+    }
+
+    #[test]
+    fn stripes_round_trip_and_respect_recency_order() {
+        let cache = CheckCache::new(32);
+        let bounds = VerifierBounds::quick();
+        for i in 0..7 {
+            cache
+                .full(digest_of(&format!("inv{i}")), bounds, || {
+                    Ok(InductivenessOutcome::Valid)
+                })
+                .unwrap();
+        }
+        let snapshot = cache.to_json();
+        let stripes = CheckCache::split_snapshot(&snapshot, 3).unwrap();
+        assert_eq!(stripes.len(), 3, "7 entries at stripe length 3");
+        for stripe in &stripes {
+            assert_eq!(
+                stripe.get("kind").and_then(Json::as_str),
+                Some(CheckCache::STRIPE_KIND)
+            );
+        }
+        let (joined, skipped) = CheckCache::join_stripes(&stripes);
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            joined.render_pretty(),
+            snapshot.render_pretty(),
+            "split ∘ join must be the identity on snapshots"
+        );
+        let restored = CheckCache::from_json(&joined, 32).unwrap();
+        assert_eq!(restored.stats().entries, 7);
+        // Only entries that did not change stripes produce identical chunks:
+        // appending one entry leaves the full older stripes byte-stable.
+        cache
+            .full(digest_of("inv7"), bounds, || {
+                Ok(InductivenessOutcome::Valid)
+            })
+            .unwrap();
+        let stripes_after = CheckCache::split_snapshot(&cache.to_json(), 3).unwrap();
+        assert_eq!(stripes_after.len(), 3, "8 entries at stripe length 3");
+        assert_eq!(
+            stripes_after[0].render_pretty(),
+            stripes[0].render_pretty(),
+            "untouched old stripes must be byte-identical across saves"
+        );
+        assert_eq!(stripes_after[1].render_pretty(), stripes[1].render_pretty());
+    }
+
+    #[test]
+    fn corrupt_stripes_are_skipped_not_fatal() {
+        let cache = CheckCache::new(32);
+        let bounds = VerifierBounds::quick();
+        for i in 0..4 {
+            cache
+                .full(digest_of(&format!("inv{i}")), bounds, || {
+                    Ok(InductivenessOutcome::Valid)
+                })
+                .unwrap();
+        }
+        let mut stripes = CheckCache::split_snapshot(&cache.to_json(), 2).unwrap();
+        assert_eq!(stripes.len(), 2);
+        // One stripe is garbage: the join proceeds with the other.
+        stripes[0] = Json::Str("not a stripe".to_string());
+        let (joined, skipped) = CheckCache::join_stripes(&stripes);
+        assert_eq!(skipped, 1);
+        let restored = CheckCache::from_json(&joined, 32).unwrap();
+        assert_eq!(
+            restored.stats().entries,
+            2,
+            "the surviving stripe's entries must all restore"
+        );
+        // A wrong-kind object is also a skip, not a join of foreign data.
+        let foreign = Json::obj([
+            ("version", Json::Num(1.0)),
+            ("kind", Json::Str("term-bank-part".to_string())),
+            ("entries", Json::Arr(vec![])),
+        ]);
+        let (_, skipped) = CheckCache::join_stripes([&foreign]);
+        assert_eq!(skipped, 1);
+        // Splitting something that is not a check-cache snapshot is refused.
+        assert!(CheckCache::split_snapshot(&foreign, 2).is_none());
     }
 
     #[test]

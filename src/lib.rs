@@ -13,12 +13,15 @@
 //! * [`synth`] — the Myth-style and fold-based example-directed synthesizers;
 //! * [`hanoi`] — the CEGIS driver (visible inductiveness), optimizations and
 //!   baseline modes;
+//! * [`store`] — the content-addressed, chunked warm-start store (GC,
+//!   merge, fleet sync, the `hanoi-store` admin tool);
 //! * [`benchmarks`] — the 28-problem benchmark suite.
 
 pub use hanoi as hanoi_core;
 pub use hanoi_abstraction as abstraction;
 pub use hanoi_benchmarks as benchmarks;
 pub use hanoi_lang as lang;
+pub use hanoi_store as store;
 pub use hanoi_synth as synth;
 pub use hanoi_verifier as verifier;
 

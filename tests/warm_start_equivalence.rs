@@ -1,16 +1,19 @@
 //! Warm-start store correctness: a run restored from a *disk snapshot* in a
 //! brand-new engine — the cross-process reuse path — must produce results
-//! identical to a cold run on every benchmark of the suite, and a tampered
-//! or version-mismatched snapshot must degrade to a clean cold start —
-//! never a wrong answer — while the defective file is quarantined
-//! (renamed to `<fingerprint>.json.corrupt`) so it is parsed exactly once.
+//! identical to a cold run on every benchmark of the suite, in **both**
+//! persistence formats (the chunked content-addressed store and the legacy
+//! monolithic files), and tampering must degrade gracefully: a tampered
+//! *chunk* is quarantined individually while the restore proceeds with the
+//! remaining chunks, and a tampered *monolithic file* degrades to a clean
+//! cold start — never a wrong answer either way.
 //!
 //! This is the cross-process analogue of `tests/engine_reuse_equivalence.rs`
 //! (which pins in-process warm ≡ cold): here the warmth travels through
-//! `Engine::save_state` → JSON files keyed by `Problem::fingerprint()` →
+//! `Engine::save_state` → the chunk store (manifests over digest-named
+//! chunks) or legacy JSON files keyed by `Problem::fingerprint()` →
 //! `EngineConfig::warm_start_dir`, exercising the structural digest keys,
-//! the check-cache and term-bank serializers and the snapshot validation,
-//! none of which may depend on in-process state.
+//! the check-cache and term-bank serializers and chunk codecs, and the
+//! snapshot validation, none of which may depend on in-process state.
 //!
 //! The run options are chosen deterministic (no wall-clock timeout, a small
 //! iteration cap, a small search schedule) so outcomes are pure functions of
@@ -72,7 +75,11 @@ fn warm_engine(dir: &PathBuf) -> Engine {
 
 #[test]
 fn snapshot_restored_engines_match_cold_engines_on_every_benchmark() {
-    let dir = scratch_dir("suite");
+    // The three-way equivalence the store must uphold on all 28 benchmarks:
+    // chunked restore ≡ monolithic restore ≡ cold, on outcome, CEGIS
+    // iteration count and the learned V± sets.
+    let chunked_dir = scratch_dir("suite-chunked");
+    let mono_dir = scratch_dir("suite-mono");
     for benchmark in benchmarks::registry() {
         let problem = benchmark
             .problem()
@@ -82,8 +89,8 @@ fn snapshot_restored_engines_match_cold_engines_on_every_benchmark() {
         // Cold: a fresh engine with no store, exactly one run.
         let cold = Engine::with_defaults().run(&problem, &options);
 
-        // "Process 1": solve once and checkpoint to disk.
-        let saver = warm_engine(&dir);
+        // "Process 1": solve once, checkpoint in both formats.
+        let saver = warm_engine(&chunked_dir);
         let first = saver.run(&problem, &options);
         assert_eq!(
             outcome_key(&first.outcome),
@@ -92,62 +99,158 @@ fn snapshot_restored_engines_match_cold_engines_on_every_benchmark() {
             benchmark.id
         );
         assert!(
-            saver.save_state(&dir).unwrap() >= 1,
-            "{}: snapshot write",
-            benchmark.id
-        );
-
-        // "Process 2": a brand-new engine whose only warmth is the disk
-        // snapshot.  Outcome, iteration count and V± must be identical.
-        let restored = warm_engine(&dir).run(&problem, &options);
-        assert_eq!(
-            outcome_key(&restored.outcome),
-            outcome_key(&cold.outcome),
-            "{}: snapshot-restored run diverged from a cold run",
-            benchmark.id
-        );
-        assert_eq!(
-            restored.stats.iterations, cold.stats.iterations,
-            "{}: restored run took a different CEGIS path",
-            benchmark.id
-        );
-        assert_eq!(
-            restored.stats.final_positives, cold.stats.final_positives,
-            "{}: restored run learned a different V+",
-            benchmark.id
-        );
-        assert_eq!(
-            restored.stats.final_negatives, cold.stats.final_negatives,
-            "{}: restored run learned a different V−",
-            benchmark.id
-        );
-
-        // The warmth must be real and must have come from the disk.
-        assert!(
-            restored.stats.warm_start_loads > 0,
-            "{}: nothing was restored ({:?})",
-            benchmark.id,
-            restored.stats
-        );
-        assert_eq!(
-            restored.stats.verification_cache_hits as usize, restored.stats.verification_calls,
-            "{}: a restored identical re-run must answer every check from \
-             the snapshot ({:?})",
-            benchmark.id, restored.stats
-        );
-        assert_eq!(
-            restored.stats.pool_builds, 0,
-            "{}: a fully warm restored run enumerated pools",
+            saver.save_state(&chunked_dir).unwrap() >= 1,
+            "{}: chunked snapshot write",
             benchmark.id
         );
         assert!(
-            restored.stats.synth_terms_enumerated <= cold.stats.synth_terms_enumerated,
-            "{}: a restored bank enumerated more terms than a cold one ({} > {})",
-            benchmark.id,
-            restored.stats.synth_terms_enumerated,
-            cold.stats.synth_terms_enumerated
+            saver.save_state_monolithic(&mono_dir).unwrap() >= 1,
+            "{}: monolithic snapshot write",
+            benchmark.id
         );
+        assert!(
+            chunked_dir
+                .join("manifests")
+                .join(format!("{}.json", problem.fingerprint().to_hex()))
+                .is_file(),
+            "{}: the chunked save must produce a manifest",
+            benchmark.id
+        );
+
+        // "Process 2": brand-new engines whose only warmth is the disk, one
+        // per format.  Outcome, iteration count and V± must be identical.
+        for (format, dir) in [("chunked", &chunked_dir), ("monolithic", &mono_dir)] {
+            let restored = warm_engine(dir).run(&problem, &options);
+            assert_eq!(
+                outcome_key(&restored.outcome),
+                outcome_key(&cold.outcome),
+                "{} [{format}]: snapshot-restored run diverged from a cold run",
+                benchmark.id
+            );
+            assert_eq!(
+                restored.stats.iterations, cold.stats.iterations,
+                "{} [{format}]: restored run took a different CEGIS path",
+                benchmark.id
+            );
+            assert_eq!(
+                restored.stats.final_positives, cold.stats.final_positives,
+                "{} [{format}]: restored run learned a different V+",
+                benchmark.id
+            );
+            assert_eq!(
+                restored.stats.final_negatives, cold.stats.final_negatives,
+                "{} [{format}]: restored run learned a different V−",
+                benchmark.id
+            );
+
+            // The warmth must be real and must have come from the disk.
+            assert!(
+                restored.stats.warm_start_loads > 0,
+                "{} [{format}]: nothing was restored ({:?})",
+                benchmark.id,
+                restored.stats
+            );
+            assert_eq!(
+                restored.stats.warm_start_quarantined, 0,
+                "{} [{format}]: a clean store quarantined something ({:?})",
+                benchmark.id, restored.stats
+            );
+            assert_eq!(
+                restored.stats.verification_cache_hits as usize, restored.stats.verification_calls,
+                "{} [{format}]: a restored identical re-run must answer every \
+                 check from the snapshot ({:?})",
+                benchmark.id, restored.stats
+            );
+            assert_eq!(
+                restored.stats.pool_builds, 0,
+                "{} [{format}]: a fully warm restored run enumerated pools",
+                benchmark.id
+            );
+            assert!(
+                restored.stats.synth_terms_enumerated <= cold.stats.synth_terms_enumerated,
+                "{} [{format}]: a restored bank enumerated more terms than a cold one ({} > {})",
+                benchmark.id,
+                restored.stats.synth_terms_enumerated,
+                cold.stats.synth_terms_enumerated
+            );
+        }
     }
+    let _ = std::fs::remove_dir_all(&chunked_dir);
+    let _ = std::fs::remove_dir_all(&mono_dir);
+}
+
+#[test]
+fn every_chunk_tampered_in_turn_quarantines_only_itself() {
+    // The tamper loop: for each chunk the manifest lists, flip its bytes
+    // and restore.  Exactly that chunk must be quarantined, the restore
+    // must proceed with the remaining chunks, and the outcome must stay
+    // equal to cold — chunk-level corruption isolation, every position.
+    let dir = scratch_dir("chunk-tamper-loop");
+    let benchmark = benchmarks::find("/coq/unique-list-::-set").unwrap();
+    let problem = benchmark.problem().unwrap();
+    let options = test_options();
+    let cold = Engine::with_defaults().run(&problem, &options);
+
+    let saver = warm_engine(&dir);
+    let _ = saver.run(&problem, &options);
+    saver.save_state(&dir).unwrap();
+
+    let store = hanoi_repro::store::ChunkStore::open(&dir).unwrap();
+    let manifest = store.manifest(problem.fingerprint()).unwrap();
+    assert!(
+        manifest.entries.len() >= 3,
+        "a solved benchmark should chunk into checks + bank(s) + shapes: {:?}",
+        manifest.entries.len()
+    );
+    for (i, entry) in manifest.entries.iter().enumerate() {
+        let chunk_path = dir
+            .join("chunks")
+            .join(format!("{}.json", entry.chunk.to_hex()));
+        let pristine = std::fs::read(&chunk_path).unwrap();
+        std::fs::write(&chunk_path, b"flipped bytes").unwrap();
+
+        let result = warm_engine(&dir).run(&problem, &options);
+        assert_eq!(
+            outcome_key(&result.outcome),
+            outcome_key(&cold.outcome),
+            "chunk {i} ({}): tampering changed the outcome",
+            entry.section
+        );
+        assert_eq!(
+            result.stats.iterations, cold.stats.iterations,
+            "chunk {i} ({}): tampering changed the CEGIS path",
+            entry.section
+        );
+        assert_eq!(
+            result.stats.warm_start_quarantined, 1,
+            "chunk {i} ({}): exactly the tampered chunk must be quarantined ({:?})",
+            entry.section, result.stats
+        );
+        assert!(
+            result.stats.warm_start_loads > 0,
+            "chunk {i} ({}): the surviving chunks must still restore ({:?})",
+            entry.section,
+            result.stats
+        );
+        let quarantine_path = dir
+            .join("chunks")
+            .join(format!("{}.json.corrupt", entry.chunk.to_hex()));
+        assert!(
+            quarantine_path.is_file(),
+            "chunk {i} ({}): the tampered chunk must be preserved for diagnosis",
+            entry.section
+        );
+
+        // Heal for the next round.
+        std::fs::remove_file(&quarantine_path).unwrap();
+        std::fs::write(&chunk_path, &pristine).unwrap();
+    }
+
+    // After healing, the store restores in full again.
+    let restored = warm_engine(&dir).run(&problem, &options);
+    assert_eq!(outcome_key(&restored.outcome), outcome_key(&cold.outcome));
+    assert_eq!(restored.stats.warm_start_quarantined, 0);
+    assert!(restored.stats.warm_start_loads > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -161,7 +264,9 @@ fn tampered_snapshots_fall_back_to_cold_never_a_wrong_answer() {
 
     let saver = warm_engine(&dir);
     let _ = saver.run(&problem, &options);
-    saver.save_state(&dir).unwrap();
+    // This test pins the *legacy monolithic* format: one top-level
+    // `<fingerprint>.json` per problem, quarantined wholesale on any defect.
+    saver.save_state_monolithic(&dir).unwrap();
     let path = dir.join(format!("{}.json", problem.fingerprint().to_hex()));
     let pristine = std::fs::read_to_string(&path).unwrap();
 
