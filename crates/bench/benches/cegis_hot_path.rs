@@ -518,6 +518,110 @@ fn bench_cross_run_warm(c: &mut Criterion, samples: usize) -> Json {
     Json::Arr(rows)
 }
 
+/// The numeric-synthesis workload: a trace-driven linear-arithmetic
+/// benchmark (`/numeric/window-::-bounded`, whose invariant `b ≤ a + 4`
+/// needs both an arithmetic composite and an integer literal) solved cold
+/// through fresh engines versus warm through a second run on the same
+/// engine.  The grammar extension changes what the enumerator builds —
+/// arithmetic composites over `Int` lanes instead of boolean-only atoms —
+/// so this workload tracks whether the numeric family stays solvable and
+/// how much cross-run warmth buys when dense-id signature rows dominate.
+/// Outcome identity and arith-atom exercise are asserted before any timing.
+fn bench_numeric_synth(c: &mut Criterion, samples: usize) -> Json {
+    use hanoi::{Engine as InferenceEngine, RunOptions};
+    use hanoi_synth::arith::ArithBounds;
+
+    let id = "/numeric/window-::-bounded";
+    let problem = find(id).unwrap().problem().expect("benchmark elaborates");
+    let options = RunOptions::quick()
+        .with_bounds(warm_workload_bounds())
+        .with_numeric_grammar(&ArithBounds::default());
+
+    // Correctness first: the warm second run must match a cold run exactly,
+    // and both must have gone through the arithmetic grammar.
+    let cold_reference = InferenceEngine::with_defaults().run(&problem, &options);
+    assert!(
+        cold_reference.is_success(),
+        "{id}: {}",
+        cold_reference.outcome
+    );
+    assert!(
+        cold_reference.stats.synth_arith_atoms > 0,
+        "{id}: the cold run never built an arithmetic composite: {:?}",
+        cold_reference.stats
+    );
+    let warm_engine = InferenceEngine::with_defaults();
+    let _first = warm_engine.run(&problem, &options);
+    let warm_reference = warm_engine.run(&problem, &options);
+    assert_eq!(
+        warm_reference.outcome, cold_reference.outcome,
+        "{id}: a warm engine must not change numeric inference results"
+    );
+    assert_eq!(
+        warm_reference.stats.pool_builds, 0,
+        "{id}: the warm run re-enumerated pools"
+    );
+
+    // Timings: cold = a fresh engine per run; warm = the second run through
+    // an engine that has already solved the problem once.
+    let mut cold_timings = Vec::with_capacity(samples);
+    let mut warm_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let result = InferenceEngine::with_defaults().run(&problem, &options);
+        cold_timings.push(start.elapsed());
+        assert!(result.is_success(), "{id}: {}", result.outcome);
+
+        let engine = InferenceEngine::with_defaults();
+        let _ = engine.run(&problem, &options);
+        let start = Instant::now();
+        let result = engine.run(&problem, &options);
+        warm_timings.push(start.elapsed());
+        assert!(result.is_success(), "{id}: {}", result.outcome);
+    }
+    let cold_secs = median_secs(cold_timings);
+    let warm_secs = median_secs(warm_timings);
+
+    let mut group = c.benchmark_group("numeric_synth");
+    group.sample_size(samples);
+    group.bench_function("cold_fresh_engine_per_run", |b| {
+        b.iter(|| InferenceEngine::with_defaults().run(&problem, &options))
+    });
+    let timed_engine = InferenceEngine::with_defaults();
+    let _ = timed_engine.run(&problem, &options);
+    group.bench_function("warm_second_run_same_engine", |b| {
+        b.iter(|| timed_engine.run(&problem, &options))
+    });
+    group.finish();
+
+    Json::obj([
+        ("benchmark", Json::Str(id.to_string())),
+        ("cold_secs", Json::Num(cold_secs)),
+        ("warm_secs", Json::Num(warm_secs)),
+        (
+            "speedup_warm_over_cold",
+            Json::Num(cold_secs / warm_secs.max(f64::MIN_POSITIVE)),
+        ),
+        (
+            "arith_atoms",
+            Json::Num(cold_reference.stats.synth_arith_atoms as f64),
+        ),
+        (
+            "warm_arith_atoms",
+            Json::Num(warm_reference.stats.synth_arith_atoms as f64),
+        ),
+        (
+            "warm_pool_builds",
+            Json::Num(warm_reference.stats.pool_builds as f64),
+        ),
+        (
+            "cold_terms_enumerated",
+            Json::Num(cold_reference.stats.synth_terms_enumerated as f64),
+        ),
+        ("outcome_identical", Json::Bool(true)),
+    ])
+}
+
 /// The cross-*process* warm workload: the same problem solved by two
 /// engines that share nothing but a warm-start directory on disk.  Engine A
 /// runs cold and checkpoints (`Engine::save_state`); engine B is a
@@ -934,6 +1038,7 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
 
     let synthesis = bench_synthesis_multi_cex(c, samples);
     let high_parallelism = bench_high_parallelism_synth(c, samples);
+    let numeric = bench_numeric_synth(c, samples);
     let cross_run = bench_cross_run_warm(c, samples);
     let cross_process = bench_cross_process_warm(c, samples);
     let fleet = bench_fleet_warm(c, samples);
@@ -972,6 +1077,9 @@ fn bench_cegis_hot_path(c: &mut Criterion) {
         // per parallelism level; `probes_per_batch` measures the bank-lock
         // amortization of batched probes.
         ("high_parallelism_synth", high_parallelism),
+        // The numeric/trace workload: a linear-arithmetic benchmark solved
+        // cold vs warm, pinning that the extended grammar stays solvable.
+        ("numeric_synth", numeric),
         // The cross-run reuse workload: the same problem solved twice
         // through one long-lived engine vs two fresh engines.
         ("cross_run_warm", cross_run),

@@ -104,6 +104,16 @@ fn main() {
             "high_parallelism_probes_per_batch",
             opt(num_at(&summary, "high_parallelism_synth.probes_per_batch")),
         ),
+        // The numeric/trace family: warm-over-cold on the linear-arithmetic
+        // workload, plus how many arithmetic composites the run built.
+        (
+            "numeric_synth_warm_speedup",
+            opt(num_at(&summary, "numeric_synth.speedup_warm_over_cold")),
+        ),
+        (
+            "numeric_synth_arith_atoms",
+            opt(num_at(&summary, "numeric_synth.arith_atoms")),
+        ),
         (
             "cross_run_first_order_speedup",
             opt(num_in_row(

@@ -1,0 +1,246 @@
+//! Ground-truth trace workload driver for the numeric benchmark family.
+//!
+//! Two modes:
+//!
+//! * **emit** (default): sample reachable worlds of each selected numeric
+//!   benchmark by replaying random interface-operation traces from a known
+//!   (inductive) ground-truth invariant, and emit them as `V+` example sets
+//!   — one JSON object per line — to stdout or `--out`.
+//! * **`--infer`**: the differential tier.  For each selected benchmark,
+//!   run invariant inference with the linear-arithmetic grammar enabled,
+//!   then validate the inferred invariant against a *held-out* trace sample
+//!   (drawn from `seed + 1`): ground truth holds on every reachable world,
+//!   so a sufficient & inductive invariant must accept all of them.  Any
+//!   rejection, or any failed run, exits nonzero — this is what the
+//!   `trace-smoke` CI job runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p hanoi-bench --release --bin hanoi_trace -- \
+//!   [--benchmark <id>]... [--seed <n>] [--count <n>] [--steps <n>] \
+//!   [--out <file>] [--infer] [--timeout <secs>] [--warm-dir <dir>]
+//! ```
+//!
+//! Every sample is deterministic in `(benchmark, seed, count, steps)`; the
+//! default selection is the whole numeric registry.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hanoi::{Engine, EngineConfig, Outcome, RunOptions};
+use hanoi_benchmarks::trace::{ground_truth, sample_worlds, worlds_to_json, TraceConfig};
+use hanoi_benchmarks::{numeric_registry, Benchmark};
+use hanoi_synth::arith::ArithBounds;
+use hanoi_verifier::VerifierBounds;
+
+struct Args {
+    benchmarks: Vec<String>,
+    seed: u64,
+    count: usize,
+    steps: usize,
+    out: Option<String>,
+    infer: bool,
+    timeout: Duration,
+    warm_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        benchmarks: Vec::new(),
+        seed: TraceConfig::default().seed,
+        count: TraceConfig::default().count,
+        steps: TraceConfig::default().steps,
+        out: None,
+        infer: false,
+        timeout: Duration::from_secs(60),
+        warm_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires an argument"))
+        };
+        match flag.as_str() {
+            "--benchmark" => args.benchmarks.push(value("--benchmark")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--count" => {
+                args.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?
+            }
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--infer" => args.infer = true,
+            "--timeout" => {
+                let secs: u64 = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+                args.timeout = Duration::from_secs(secs);
+            }
+            "--warm-dir" => args.warm_dir = Some(value("--warm-dir")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn selected(args: &Args) -> Result<Vec<Benchmark>, String> {
+    if args.benchmarks.is_empty() {
+        return Ok(numeric_registry());
+    }
+    args.benchmarks
+        .iter()
+        .map(|id| hanoi_benchmarks::find(id).ok_or_else(|| format!("unknown benchmark `{id}`")))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("hanoi_trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let benchmarks = match selected(&args) {
+        Ok(benchmarks) => benchmarks,
+        Err(e) => {
+            eprintln!("hanoi_trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut lines = Vec::new();
+    let mut failures = 0usize;
+    let engine = args.infer.then(|| {
+        let mut config = EngineConfig::default();
+        if let Some(dir) = &args.warm_dir {
+            config = config.with_warm_start_dir(dir);
+        }
+        Engine::new(config).expect("trace engine config is valid")
+    });
+
+    for benchmark in &benchmarks {
+        let Some(truth) = ground_truth(benchmark.id) else {
+            eprintln!("{}: no ground truth registered; skipping", benchmark.id);
+            failures += 1;
+            continue;
+        };
+        let problem = match benchmark.problem() {
+            Ok(problem) => problem,
+            Err(e) => {
+                eprintln!("{}: elaboration failed: {e}", benchmark.id);
+                failures += 1;
+                continue;
+            }
+        };
+        let config = TraceConfig {
+            seed: args.seed,
+            count: args.count,
+            steps: args.steps,
+            ..TraceConfig::default()
+        };
+        let worlds = match sample_worlds(&problem, &truth, &config) {
+            Ok(worlds) => worlds,
+            Err(e) => {
+                eprintln!("{}: sampling failed: {e}", benchmark.id);
+                failures += 1;
+                continue;
+            }
+        };
+        eprintln!(
+            "{}: sampled {} world(s) from seed {}",
+            benchmark.id,
+            worlds.len(),
+            config.seed
+        );
+
+        if let Some(engine) = &engine {
+            // The differential tier: infer with the numeric grammar, then
+            // check the invariant against a held-out sample the inference
+            // never saw.
+            let options = RunOptions::paper()
+                .with_bounds(VerifierBounds::quick())
+                .with_timeout(Some(args.timeout))
+                .with_numeric_grammar(&ArithBounds::default());
+            let result = engine.run(&problem, &options);
+            let invariant = match &result.outcome {
+                Outcome::Invariant(expr) => expr.clone(),
+                other => {
+                    eprintln!("{}: inference failed: {other:?}", benchmark.id);
+                    failures += 1;
+                    continue;
+                }
+            };
+            eprintln!("{}: inferred {}", benchmark.id, invariant);
+            let held_out = TraceConfig {
+                seed: args.seed + 1,
+                ..config.clone()
+            };
+            let sample = match sample_worlds(&problem, &truth, &held_out) {
+                Ok(sample) => sample,
+                Err(e) => {
+                    eprintln!("{}: held-out sampling failed: {e}", benchmark.id);
+                    failures += 1;
+                    continue;
+                }
+            };
+            let rejected: Vec<_> = sample
+                .iter()
+                .filter(|world| !problem.eval_predicate(&invariant, world).unwrap_or(false))
+                .collect();
+            if rejected.is_empty() {
+                eprintln!(
+                    "{}: invariant accepts all {} held-out world(s)",
+                    benchmark.id,
+                    sample.len()
+                );
+            } else {
+                eprintln!(
+                    "{}: invariant rejects {} reachable world(s), e.g. {}",
+                    benchmark.id,
+                    rejected.len(),
+                    rejected[0]
+                );
+                failures += 1;
+            }
+        }
+
+        lines.push(worlds_to_json(benchmark.id, config.seed, &worlds).render());
+    }
+
+    if let (Some(engine), Some(_)) = (&engine, &args.warm_dir) {
+        match engine.save_state_to_warm_dir() {
+            Ok(written) if written > 0 => eprintln!("saved {written} warm-start snapshot(s)"),
+            Ok(_) => {}
+            Err(e) => eprintln!("warm-start save failed: {e}"),
+        }
+    }
+
+    let payload = lines.join("\n") + "\n";
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &payload) {
+                eprintln!("hanoi_trace: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{payload}"),
+    }
+
+    if failures > 0 {
+        eprintln!("hanoi_trace: {failures} failure(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

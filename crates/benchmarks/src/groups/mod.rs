@@ -6,6 +6,7 @@
 //! keep the 28 sources readable and consistent.
 
 pub mod coq;
+pub mod numeric;
 pub mod other;
 pub mod vfa;
 pub mod vfa_extended;

@@ -1,0 +1,238 @@
+//! The `/numeric/...` group: machine-integer modules whose invariants are
+//! linear-arithmetic facts (`0 <= n`, `b - a <= 4`, parity, `b = 2a`) rather
+//! than structural properties of an algebraic data type.
+//!
+//! These benchmarks are not part of the paper's 28-problem suite
+//! ([`crate::registry`] stays pinned); they open the second problem family
+//! of the numeric/trace workload and are registered via
+//! [`crate::numeric_registry`].  Their positive example sets can also be
+//! produced by the ground-truth trace generator ([`crate::trace`]), which
+//! samples worlds by running random interface-operation sequences from the
+//! initial state.
+//!
+//! Every representation is a single-constructor wrapper (`R of int`,
+//! `P of int * int`): the engine's match refinement splits such wrappers
+//! open, exposing the integer fields to the linear-arithmetic grammar
+//! (`hanoi_synth::arith`).
+
+use crate::{Benchmark, Group};
+
+use super::make;
+
+/// A monotone counter: starts at zero, only ever incremented — the
+/// representation integer is never negative.
+fn counter_nonneg() -> String {
+    r#"
+type rep = R of int
+
+interface COUNTER = sig
+  type t
+  val init : t
+  val bump : t -> t
+  val read : t -> int
+end
+
+module Counter : COUNTER = struct
+  type t = rep
+  let init : t = R #0
+  let bump (c : t) : t =
+    match c with
+    | R n -> R (iadd n #1)
+    end
+  let read (c : t) : int =
+    match c with
+    | R n -> n
+    end
+end
+
+spec (c : t) = ile #0 (read c)
+"#
+    .to_string()
+}
+
+/// A counter stepping by two from zero: the representation integer stays
+/// even.
+fn counter_even() -> String {
+    r#"
+type rep = R of int
+
+interface COUNTER = sig
+  type t
+  val init : t
+  val step : t -> t
+  val read : t -> int
+end
+
+module EvenCounter : COUNTER = struct
+  type t = rep
+  let init : t = R #0
+  let step (c : t) : t =
+    match c with
+    | R n -> R (iadd n #2)
+    end
+  let read (c : t) : int =
+    match c with
+    | R n -> n
+    end
+end
+
+spec (c : t) = imod (read c) #2 == #0
+"#
+    .to_string()
+}
+
+/// A closed integer range built from a point and widened upward: the lower
+/// bound never exceeds the upper bound.
+fn range_ordered() -> String {
+    r#"
+type rep = P of int * int
+
+interface RANGE = sig
+  type t
+  val make : int -> t
+  val extend : t -> t
+  val lo : t -> int
+  val hi : t -> int
+end
+
+module Range : RANGE = struct
+  type t = rep
+  let make (n : int) : t = P (n, n)
+  let extend (r : t) : t =
+    match r with
+    | P (a, b) -> P (a, iadd b #1)
+    end
+  let lo (r : t) : int =
+    match r with
+    | P (a, b) -> a
+    end
+  let hi (r : t) : int =
+    match r with
+    | P (a, b) -> b
+    end
+end
+
+spec (r : t) = ile (lo r) (hi r)
+"#
+    .to_string()
+}
+
+/// A sliding window whose width is capped: `widen` refuses to grow the
+/// window past four, `slide` translates it — the difference of the bounds
+/// stays bounded.
+fn window_bounded() -> String {
+    r#"
+type rep = P of int * int
+
+interface WINDOW = sig
+  type t
+  val init : t
+  val widen : t -> t
+  val slide : t -> t
+  val lo : t -> int
+  val hi : t -> int
+end
+
+module Window : WINDOW = struct
+  type t = rep
+  let init : t = P (#0, #0)
+  let widen (w : t) : t =
+    match w with
+    | P (a, b) -> if ilt (isub b a) #4 then P (a, iadd b #1) else P (a, b)
+    end
+  let slide (w : t) : t =
+    match w with
+    | P (a, b) -> P (iadd a #1, iadd b #1)
+    end
+  let lo (w : t) : int =
+    match w with
+    | P (a, b) -> a
+    end
+  let hi (w : t) : int =
+    match w with
+    | P (a, b) -> b
+    end
+end
+
+spec (w : t) = ile (isub (hi w) (lo w)) #4
+"#
+    .to_string()
+}
+
+/// A pair advancing in lockstep at different rates: the second component is
+/// always exactly twice the first.
+fn pair_double() -> String {
+    r#"
+type rep = P of int * int
+
+interface PAIR = sig
+  type t
+  val init : t
+  val step : t -> t
+  val first : t -> int
+  val second : t -> int
+end
+
+module Double : PAIR = struct
+  type t = rep
+  let init : t = P (#0, #0)
+  let step (p : t) : t =
+    match p with
+    | P (a, b) -> P (iadd a #1, iadd b #2)
+    end
+  let first (p : t) : int =
+    match p with
+    | P (a, b) -> a
+    end
+  let second (p : t) : int =
+    match p with
+    | P (a, b) -> b
+    end
+end
+
+spec (p : t) = second p == imul #2 (first p)
+"#
+    .to_string()
+}
+
+/// The numeric benchmarks (no paper-reported numbers: the family is not in
+/// Figure 7).
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        make(
+            "/numeric/counter-::-nonneg",
+            Group::Numeric,
+            counter_nonneg(),
+            false,
+            None,
+        ),
+        make(
+            "/numeric/counter-::-even",
+            Group::Numeric,
+            counter_even(),
+            false,
+            None,
+        ),
+        make(
+            "/numeric/range-::-ordered",
+            Group::Numeric,
+            range_ordered(),
+            false,
+            None,
+        ),
+        make(
+            "/numeric/window-::-bounded",
+            Group::Numeric,
+            window_bounded(),
+            false,
+            None,
+        ),
+        make(
+            "/numeric/pair-::-double",
+            Group::Numeric,
+            pair_double(),
+            false,
+            None,
+        ),
+    ]
+}

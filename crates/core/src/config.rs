@@ -352,6 +352,20 @@ impl RunOptions {
         self
     }
 
+    /// Enables the numeric search grammar: the bounded linear-arithmetic
+    /// component roster and integer-literal pool of
+    /// [`hanoi_synth::arith`] are added to the search, so invariants over
+    /// `int`-carrying representations (`a*x + b*y <= c`, parity/residue
+    /// constraints) become expressible.  Idempotent on the component roster
+    /// is *not* guaranteed — call it once per options value.
+    pub fn with_numeric_grammar(mut self, bounds: &hanoi_synth::arith::ArithBounds) -> Self {
+        self.search
+            .extra_components
+            .extend(hanoi_synth::arith::components(bounds));
+        self.search.int_literals = hanoi_synth::arith::literal_pool(bounds);
+        self
+    }
+
     /// Switches the optimizations.
     pub fn with_optimizations(mut self, optimizations: Optimizations) -> Self {
         self.optimizations = optimizations;

@@ -204,6 +204,7 @@ impl<'p, 'o> InferenceContext<'p, 'o> {
             bitset_row_ops: bank.bitset_row_ops - self.bank_base.bitset_row_ops,
             guess_memo_hits: bank.guess_memo_hits - self.bank_base.guess_memo_hits,
             probe_batches: bank.probe_batches - self.bank_base.probe_batches,
+            arith_atoms: bank.arith_atoms - self.bank_base.arith_atoms,
             ..bank
         });
         self.emit(RunEvent::RunFinished {

@@ -85,6 +85,10 @@ pub struct RunStats {
     /// Batched term-bank probe calls (one bank lock round per batch instead
     /// of one per candidate application).
     pub synth_probe_batches: u64,
+    /// Arithmetic atoms enumerated by the numeric grammar (integer literals
+    /// and linear-arithmetic component applications); zero unless the run
+    /// enables the numeric search grammar.
+    pub synth_arith_atoms: u64,
     /// Size in AST nodes of the inferred invariant, when one was found.
     pub invariant_size: Option<usize>,
     /// Final number of positive examples.
@@ -135,6 +139,7 @@ impl RunStats {
         self.synth_bitset_row_ops = bank.bitset_row_ops;
         self.synth_guess_memo_hits = bank.guess_memo_hits;
         self.synth_probe_batches = bank.probe_batches;
+        self.synth_arith_atoms = bank.arith_atoms;
     }
 
     /// Serializes every counter to a JSON object (durations in seconds),
@@ -213,6 +218,10 @@ impl RunStats {
                 Json::Num(self.synth_probe_batches as f64),
             ),
             (
+                "synth_arith_atoms",
+                Json::Num(self.synth_arith_atoms as f64),
+            ),
+            (
                 "invariant_size",
                 Json::opt(self.invariant_size, |s| Json::Num(s as f64)),
             ),
@@ -268,6 +277,7 @@ impl RunStats {
             synth_bitset_row_ops: counter("synth_bitset_row_ops")?,
             synth_guess_memo_hits: counter("synth_guess_memo_hits")?,
             synth_probe_batches: counter("synth_probe_batches")?,
+            synth_arith_atoms: counter("synth_arith_atoms")?,
             invariant_size: value.get("invariant_size").and_then(Json::as_usize),
             final_positives: count("final_positives")?,
             final_negatives: count("final_negatives")?,
@@ -323,6 +333,7 @@ mod tests {
             synth_bitset_row_ops: 4321,
             synth_guess_memo_hits: 7,
             synth_probe_batches: 31,
+            synth_arith_atoms: 12,
             invariant_size: Some(18),
             final_positives: 11,
             final_negatives: 8,

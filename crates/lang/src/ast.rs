@@ -143,6 +143,10 @@ pub enum Expr {
     Or(Box<Expr>, Box<Expr>),
     /// Boolean negation.
     Not(Box<Expr>),
+    /// A machine-integer literal of the builtin `int` type (surface syntax
+    /// `#5` / `#-3`; bare decimal literals remain Peano-nat sugar).  Declared
+    /// last so derived `Ord` keeps the historical variant ordering.
+    Int(i64),
 }
 
 impl Expr {
@@ -154,6 +158,11 @@ impl Expr {
     /// A constructor application.
     pub fn ctor(name: &str, args: Vec<Expr>) -> Expr {
         Expr::Ctor(Symbol::new(name), args)
+    }
+
+    /// A machine-integer literal.
+    pub fn int(i: i64) -> Expr {
+        Expr::Int(i)
     }
 
     /// The boolean literal `True`.
@@ -261,7 +270,7 @@ impl Expr {
                 }
             }
             // A resolved slot points at a lexical binder by construction.
-            Expr::Local(_, _) => {}
+            Expr::Local(_, _) | Expr::Int(_) => {}
             Expr::Ctor(_, args) | Expr::Tuple(args) => {
                 args.iter().for_each(|e| e.free_vars_into(bound, out))
             }
@@ -402,7 +411,7 @@ impl TopLet {
     pub fn subst_abstract(&self, concrete: &Type) -> TopLet {
         fn subst_expr(e: &Expr, concrete: &Type) -> Expr {
             match e {
-                Expr::Var(_) | Expr::Local(_, _) => e.clone(),
+                Expr::Var(_) | Expr::Local(_, _) | Expr::Int(_) => e.clone(),
                 Expr::Ctor(c, args) => Expr::Ctor(
                     c.clone(),
                     args.iter().map(|a| subst_expr(a, concrete)).collect(),
@@ -581,8 +590,15 @@ impl Program {
         for decl in self.data_decls() {
             tyenv.declare(decl.clone())?;
         }
+        // `TypeChecker::new` pre-declares the machine-integer builtins
+        // (`iadd`, `ile`, ...); here they also get their host-native *values*
+        // bound beneath every prelude binding, so any surface program can use
+        // them and user bindings may shadow them.
         let mut checker = TypeChecker::new(&tyenv);
         let mut globals = Env::empty();
+        for (name, _, value) in crate::ints::builtins() {
+            globals = globals.bind(name, value);
+        }
         let mut lets = Vec::new();
         for top in self.top_lets() {
             let expr = top.to_expr();

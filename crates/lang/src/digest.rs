@@ -180,6 +180,7 @@ mod tags {
     pub const EXPR_AND: u64 = 13;
     pub const EXPR_OR: u64 = 14;
     pub const EXPR_NOT: u64 = 15;
+    pub const EXPR_INT: u64 = 16;
 
     pub const PAT_WILDCARD: u64 = 20;
     pub const PAT_VAR: u64 = 21;
@@ -195,6 +196,7 @@ mod tags {
     pub const VALUE_TUPLE: u64 = 41;
     pub const VALUE_CLOSURE: u64 = 42;
     pub const VALUE_NATIVE: u64 = 43;
+    pub const VALUE_INT: u64 = 44;
 }
 
 /// A fixed-seed 128-bit streaming hash: two 64-bit lanes, each mixed with
@@ -420,6 +422,10 @@ fn digest_expr(expr: &Expr, memo: &mut Memo) -> Digest {
             h = StableHasher::new(tags::EXPR_NOT);
             h.write_digest(digest_expr(a, memo));
         }
+        Expr::Int(i) => {
+            h = StableHasher::new(tags::EXPR_INT);
+            h.write_u64(*i as u64);
+        }
     }
     Digest(h.finish())
 }
@@ -480,6 +486,11 @@ fn digest_value(value: &Value, memo: &mut Memo) -> Digest {
             for v in &n.collected {
                 h.write_digest(digest_value(v, memo));
             }
+            Digest(h.finish())
+        }
+        Value::Int(i) => {
+            let mut h = StableHasher::new(tags::VALUE_INT);
+            h.write_u64(*i as u64);
             Digest(h.finish())
         }
     }

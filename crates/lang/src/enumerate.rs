@@ -50,6 +50,17 @@ impl<'a> ValueEnumerator<'a> {
     fn compute(&mut self, ty: &Type, size: usize) -> Vec<Value> {
         match ty {
             Type::Abstract | Type::Arrow(_, _) => Vec::new(),
+            // The builtin `int` is not a declared ADT; its size measure is
+            // `1 + |i|`, so exactly the magnitudes ±(size-1) fit each slot
+            // (positive first for a deterministic order, one value at size 1).
+            Type::Named(name) if name.as_str() == crate::types::INT_TYPE_NAME => {
+                let magnitude = (size - 1) as i64;
+                if magnitude == 0 {
+                    vec![Value::Int(0)]
+                } else {
+                    vec![Value::Int(magnitude), Value::Int(-magnitude)]
+                }
+            }
             Type::Named(name) => self.compute_named(name, size),
             Type::Tuple(elems) => {
                 if elems.is_empty() {
@@ -337,6 +348,36 @@ mod tests {
             assert!(pair[0].size() <= pair[1].size());
         }
         assert_eq!(vals[0], Value::nat_list(&[]));
+    }
+
+    #[test]
+    fn int_enumeration_sweeps_magnitudes() {
+        let env = tyenv();
+        let mut en = ValueEnumerator::new(&env);
+        assert_eq!(*en.values_of_size(&Type::int(), 1), vec![Value::Int(0)]);
+        assert_eq!(
+            *en.values_of_size(&Type::int(), 4),
+            vec![Value::Int(3), Value::Int(-3)]
+        );
+        // The size invariant holds for ints and int-bearing tuples too.
+        let pair = Type::pair(Type::int(), Type::int());
+        for size in 1..=8 {
+            for v in en.values_of_size(&pair, size).iter() {
+                assert_eq!(v.size(), size, "value {v}");
+            }
+        }
+        // Pool sweep order: first_values covers small magnitudes first.
+        let first = en.first_values(&Type::int(), 5, 30);
+        assert_eq!(
+            first,
+            vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(-1),
+                Value::Int(2),
+                Value::Int(-2)
+            ]
+        );
     }
 
     #[test]

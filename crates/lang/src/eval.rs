@@ -110,6 +110,7 @@ impl<'a> Evaluator<'a> {
             Expr::Local(_, x) => Err(EvalError::Other(format!(
                 "slot reference `{x}` evaluated outside resolved mode"
             ))),
+            Expr::Int(i) => Ok(Value::Int(*i)),
             Expr::Ctor(c, args) => {
                 if let Some(info) = self.tyenv.ctor(c) {
                     if info.args.len() != args.len() {
@@ -306,6 +307,7 @@ impl<'a> Evaluator<'a> {
                 .lookup(x)
                 .cloned()
                 .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            Expr::Int(i) => Ok(Value::Int(*i)),
             Expr::Ctor(c, args) => {
                 if let Some(info) = self.tyenv.ctor(c) {
                     if info.args.len() != args.len() {

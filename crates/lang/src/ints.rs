@@ -1,0 +1,139 @@
+//! Builtin machine-integer operations for the numeric/trace workload.
+//!
+//! The surface language has no integer syntax beyond `#5` / `#-3` literals;
+//! arithmetic is provided by these host natives, pre-bound in every
+//! elaborated program's global environment (beneath the prelude, so user
+//! bindings may shadow them).  All operations are **total**: addition,
+//! subtraction, multiplication and negation wrap on overflow, and `imod x 0`
+//! is defined as `0`, so synthesized predicates can never crash the
+//! verifier's enumeration sweep.
+
+use crate::error::EvalError;
+use crate::symbol::Symbol;
+use crate::types::Type;
+use crate::value::Value;
+
+fn want_int(v: &Value, op: &str) -> Result<i64, EvalError> {
+    v.as_int()
+        .ok_or_else(|| EvalError::Other(format!("builtin `{op}` expects an int, found {v}")))
+}
+
+fn binop(
+    name: &'static str,
+    f: impl Fn(i64, i64) -> Value + Send + Sync + 'static,
+) -> (Symbol, Type, Value) {
+    let value = Value::native(name, 2, move |args| {
+        let a = want_int(&args[0], name)?;
+        let b = want_int(&args[1], name)?;
+        Ok(f(a, b))
+    });
+    (
+        Symbol::new(name),
+        Type::arrow(Type::int(), Type::arrow(Type::int(), ret_ty_of(name))),
+        value,
+    )
+}
+
+fn ret_ty_of(name: &str) -> Type {
+    match name {
+        "ile" | "ilt" => Type::bool(),
+        _ => Type::int(),
+    }
+}
+
+/// The full roster of integer builtins as `(name, type, value)` triples, in a
+/// fixed deterministic order.
+pub fn builtins() -> Vec<(Symbol, Type, Value)> {
+    let mut out = vec![
+        binop("iadd", |a, b| Value::int(a.wrapping_add(b))),
+        binop("isub", |a, b| Value::int(a.wrapping_sub(b))),
+        binop("imul", |a, b| Value::int(a.wrapping_mul(b))),
+        // Euclidean-style total modulus: result has the sign of the divisor's
+        // magnitude (`rem_euclid`), and dividing by zero yields 0.
+        binop("imod", |a, b| {
+            Value::int(if b == 0 { 0 } else { a.rem_euclid(b) })
+        }),
+        binop("ile", |a, b| Value::bool(a <= b)),
+        binop("ilt", |a, b| Value::bool(a < b)),
+    ];
+    out.push((
+        Symbol::new("ineg"),
+        Type::arrow(Type::int(), Type::int()),
+        Value::native("ineg", 1, |args| {
+            Ok(Value::int(want_int(&args[0], "ineg")?.wrapping_neg()))
+        }),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Program;
+    use crate::value::Value;
+
+    fn elaborated() -> crate::ast::Elaborated {
+        Program::default().elaborate().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_builtins_compute() {
+        let e = elaborated();
+        let call = |name: &str, args: &[Value]| e.eval_call(name, args).unwrap();
+        assert_eq!(call("iadd", &[Value::int(2), Value::int(3)]), Value::int(5));
+        assert_eq!(
+            call("isub", &[Value::int(2), Value::int(5)]),
+            Value::int(-3)
+        );
+        assert_eq!(
+            call("imul", &[Value::int(-4), Value::int(3)]),
+            Value::int(-12)
+        );
+        assert_eq!(call("ineg", &[Value::int(7)]), Value::int(-7));
+        assert_eq!(call("ile", &[Value::int(3), Value::int(3)]), Value::tru());
+        assert_eq!(call("ilt", &[Value::int(3), Value::int(3)]), Value::fls());
+    }
+
+    #[test]
+    fn builtins_are_total() {
+        let e = elaborated();
+        let call = |name: &str, args: &[Value]| e.eval_call(name, args).unwrap();
+        // Division by zero is defined, not a crash.
+        assert_eq!(
+            call("imod", &[Value::int(17), Value::int(0)]),
+            Value::int(0)
+        );
+        // Euclidean modulus is non-negative for positive divisors.
+        assert_eq!(
+            call("imod", &[Value::int(-7), Value::int(3)]),
+            Value::int(2)
+        );
+        // Overflow wraps instead of panicking.
+        assert_eq!(
+            call("iadd", &[Value::int(i64::MAX), Value::int(1)]),
+            Value::int(i64::MIN)
+        );
+        assert_eq!(call("ineg", &[Value::int(i64::MIN)]), Value::int(i64::MIN));
+    }
+
+    #[test]
+    fn builtins_reject_non_ints() {
+        let e = elaborated();
+        assert!(e.eval_call("iadd", &[Value::tru(), Value::int(1)]).is_err());
+    }
+
+    #[test]
+    fn surface_programs_can_use_int_builtins() {
+        let src = "let double (x : int) : int = iadd x x\n\
+                   let is_small (x : int) : bool = ile x #10";
+        let program = crate::parser::parse_program(src).unwrap();
+        let e = program.elaborate().unwrap();
+        assert_eq!(
+            e.eval_call("double", &[Value::int(21)]).unwrap(),
+            Value::int(42)
+        );
+        assert_eq!(
+            e.eval_call("is_small", &[Value::int(11)]).unwrap(),
+            Value::fls()
+        );
+    }
+}

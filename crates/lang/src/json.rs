@@ -218,6 +218,9 @@ pub fn value_to_json(value: &Value) -> Option<Json> {
             let items: Option<Vec<Json>> = items.iter().map(value_to_json).collect();
             Some(Json::obj([("t", Json::Arr(items?))]))
         }
+        // Encoded as a decimal string so the full i64 range survives the
+        // f64-backed `Json::Num` representation losslessly.
+        Value::Int(i) => Some(Json::obj([("i", Json::Str(i.to_string()))])),
         Value::Closure(_) | Value::Native(_) => None,
     }
 }
@@ -238,6 +241,9 @@ pub fn value_from_json(json: &Json) -> Option<Value> {
     if let Some(items) = json.get("t").and_then(Json::as_arr) {
         let items: Option<Vec<Value>> = items.iter().map(value_from_json).collect();
         return Some(Value::tuple_of(items?));
+    }
+    if let Some(digits) = json.get("i").and_then(Json::as_str) {
+        return digits.parse::<i64>().ok().map(Value::Int);
     }
     None
 }

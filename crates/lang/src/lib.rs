@@ -7,7 +7,9 @@
 //! algebraic data type declarations, (recursive) function definitions over
 //! those types, a single module declaring an abstract type together with
 //! operations over it, and a universally quantified specification.  Numbers
-//! are Peano naturals, i.e. just another recursive data type.
+//! are Peano naturals, i.e. just another recursive data type; the numeric
+//! workload additionally gets a builtin machine-integer type `int` with
+//! `#5` / `#-3` literals and total host-native arithmetic ([`ints`]).
 //!
 //! The crate provides:
 //!
@@ -60,6 +62,7 @@ pub mod digest;
 pub mod enumerate;
 pub mod error;
 pub mod eval;
+pub mod ints;
 pub mod json;
 pub mod parser;
 pub mod prelude;

@@ -11,6 +11,8 @@ pub enum Tok {
     UIdent(String),
     /// A decimal natural-number literal (sugar for Peano numerals).
     Int(u64),
+    /// A machine-integer literal `#5` / `#-3` (the builtin `int` type).
+    MachineInt(i64),
     /// `type`
     Type,
     /// `of`
@@ -86,6 +88,7 @@ impl std::fmt::Display for Tok {
         match self {
             Tok::LIdent(s) | Tok::UIdent(s) => write!(f, "`{s}`"),
             Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::MachineInt(n) => write!(f, "`#{n}`"),
             Tok::Type => f.write_str("`type`"),
             Tok::Of => f.write_str("`of`"),
             Tok::Let => f.write_str("`let`"),
@@ -184,6 +187,44 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
             if depth != 0 {
                 return Err(ParseError::new("unterminated comment", tok_line, tok_col));
             }
+            continue;
+        }
+        // Machine-integer literals: `#` then an optional `-` then digits.
+        if c == '#' {
+            advance!();
+            let negative = i < chars.len() && chars[i] == '-';
+            if negative {
+                advance!();
+            }
+            if i >= chars.len() || !chars[i].is_ascii_digit() {
+                return Err(ParseError::new(
+                    "expected digits after `#`",
+                    tok_line,
+                    tok_col,
+                ));
+            }
+            let mut n: i64 = 0;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                let digit = chars[i].to_digit(10).unwrap() as i64;
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| {
+                        if negative {
+                            n.checked_sub(digit)
+                        } else {
+                            n.checked_add(digit)
+                        }
+                    })
+                    .ok_or_else(|| {
+                        ParseError::new("machine-integer literal too large", tok_line, tok_col)
+                    })?;
+                advance!();
+            }
+            tokens.push(Token {
+                tok: Tok::MachineInt(n),
+                line: tok_line,
+                column: tok_col,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -351,6 +392,23 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(toks("0 42"), vec![Tok::Int(0), Tok::Int(42)]);
+    }
+
+    #[test]
+    fn machine_integers() {
+        assert_eq!(
+            toks("#0 #42 #-7"),
+            vec![Tok::MachineInt(0), Tok::MachineInt(42), Tok::MachineInt(-7)]
+        );
+        // i64::MIN has no positive counterpart; the negative accumulator
+        // must handle it without overflow.
+        assert_eq!(
+            toks("#-9223372036854775808"),
+            vec![Tok::MachineInt(i64::MIN)]
+        );
+        assert!(lex("#").is_err());
+        assert!(lex("#-").is_err());
+        assert!(lex("#9223372036854775808").is_err());
     }
 
     #[test]

@@ -482,7 +482,11 @@ impl Parser {
     fn starts_atom(&self) -> bool {
         matches!(
             self.peek(),
-            Some(Tok::LIdent(_)) | Some(Tok::UIdent(_)) | Some(Tok::Int(_)) | Some(Tok::LParen)
+            Some(Tok::LIdent(_))
+                | Some(Tok::UIdent(_))
+                | Some(Tok::Int(_))
+                | Some(Tok::MachineInt(_))
+                | Some(Tok::LParen)
         )
     }
 
@@ -542,6 +546,7 @@ impl Parser {
                 }
                 Ok(e)
             }
+            Tok::MachineInt(n) => Ok(Expr::Int(n)),
             Tok::LParen => {
                 if self.eat(&Tok::RParen) {
                     return Ok(Expr::Tuple(Vec::new()));
@@ -654,6 +659,16 @@ mod tests {
     fn parses_integer_literals_as_peano() {
         assert_eq!(parse_expr("2").unwrap(), Value::nat(2).to_expr().unwrap());
         assert_eq!(parse_expr("0").unwrap(), Value::nat(0).to_expr().unwrap());
+    }
+
+    #[test]
+    fn parses_machine_integer_literals() {
+        assert_eq!(parse_expr("#5").unwrap(), Expr::Int(5));
+        assert_eq!(parse_expr("#-3").unwrap(), Expr::Int(-3));
+        assert_eq!(
+            parse_expr("iadd #1 #-2").unwrap(),
+            Expr::call("iadd", [Expr::Int(1), Expr::Int(-2)])
+        );
     }
 
     #[test]
@@ -807,6 +822,8 @@ mod tests {
             "fun (x : nat) -> S x",
             "fst (x, y) == snd (y, x)",
             "let z = plus x y in z == x",
+            "ile (iadd (imul #2 x) (imul #-3 y)) #7",
+            "imod x #4 == #0",
         ];
         for src in sources {
             let parsed = parse_expr(src).unwrap();

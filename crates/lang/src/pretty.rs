@@ -48,6 +48,9 @@ fn write_expr(e: &Expr, prec: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Resolved slots print as their source name so resolved and
         // unresolved code render identically.
         Expr::Local(_, x) => write!(f, "{x}"),
+        // `#`-prefixed so machine integers never collide with Peano-nat
+        // decimal sugar; the lexer accepts this form back.
+        Expr::Int(i) => write!(f, "#{i}"),
         Expr::Ctor(c, args) if args.is_empty() => write!(f, "{c}"),
         Expr::Ctor(c, args) => write_paren_if(prec > Prec::App, f, |f| {
             write!(f, "{c} (")?;
@@ -211,6 +214,7 @@ pub fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             }
             f.write_str(")")
         }
+        Value::Int(i) => write!(f, "#{i}"),
         Value::Closure(clo) => write!(f, "<fun {}>", clo.param),
         Value::Native(native) => write!(f, "<native {}>", native.name),
     }

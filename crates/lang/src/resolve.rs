@@ -74,6 +74,7 @@ fn resolve_in(frames: &mut Frames, expr: &Expr) -> Expr {
         },
         // Already resolved (resolution is idempotent).
         Expr::Local(_, _) => expr.clone(),
+        Expr::Int(_) => expr.clone(),
         Expr::Ctor(c, args) => Expr::Ctor(
             c.clone(),
             args.iter().map(|a| resolve_in(frames, a)).collect(),

@@ -11,7 +11,7 @@ use crate::value::Value;
 /// Number of AST nodes of an expression.
 pub fn expr_size(e: &Expr) -> usize {
     match e {
-        Expr::Var(_) | Expr::Local(_, _) => 1,
+        Expr::Var(_) | Expr::Local(_, _) | Expr::Int(_) => 1,
         Expr::Ctor(_, args) | Expr::Tuple(args) => 1 + args.iter().map(expr_size).sum::<usize>(),
         Expr::Proj(_, e) | Expr::Not(e) => 1 + expr_size(e),
         Expr::App(a, b) | Expr::Eq(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {

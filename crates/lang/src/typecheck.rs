@@ -62,13 +62,20 @@ pub struct TypeChecker<'a> {
 }
 
 impl<'a> TypeChecker<'a> {
-    /// Creates a checker over the given data type environment with no global
-    /// bindings.
+    /// Creates a checker over the given data type environment.  The integer
+    /// builtins ([`crate::ints::builtins`]) are pre-declared — they are bound
+    /// in every elaborated program's global environment, so every checking
+    /// context (program elaboration, spec checking, invariant re-checking)
+    /// must agree that they exist.  User bindings may shadow them.
     pub fn new(tyenv: &'a TypeEnv) -> Self {
-        TypeChecker {
+        let mut checker = TypeChecker {
             tyenv,
             globals: HashMap::new(),
+        };
+        for (name, ty, _) in crate::ints::builtins() {
+            checker.declare_global(name, ty);
         }
+        checker
     }
 
     /// Declares a global binding (a prelude function or module operation).
@@ -130,6 +137,7 @@ impl<'a> TypeChecker<'a> {
                 "resolved slot reference `{x}` cannot be type-checked; \
                  check the unresolved expression instead"
             ))),
+            Expr::Int(_) => Ok(Type::int()),
             Expr::Ctor(c, args) => {
                 let info = self
                     .tyenv

@@ -15,6 +15,12 @@ use std::fmt;
 use crate::error::TypeError;
 use crate::symbol::Symbol;
 
+/// The reserved name of the builtin machine-integer type.  `int` is not an
+/// algebraic data type — it has no constructors and infinitely many values —
+/// so it lives outside the [`TypeEnv`] declaration table and is special-cased
+/// wherever declaredness or inhabitation is queried.
+pub const INT_TYPE_NAME: &str = "int";
+
 /// A type of the object language.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Type {
@@ -40,6 +46,16 @@ impl Type {
     /// A named type.
     pub fn named(name: &str) -> Type {
         Type::Named(Symbol::new(name))
+    }
+
+    /// The builtin machine-integer type.
+    pub fn int() -> Type {
+        Type::Named(Symbol::new(INT_TYPE_NAME))
+    }
+
+    /// Returns `true` if this is the builtin machine-integer type.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Named(n) if n.as_str() == INT_TYPE_NAME)
     }
 
     /// The unit type (empty tuple).
@@ -267,7 +283,7 @@ impl TypeEnv {
     /// recursion between distinct declarations is not supported, matching the
     /// paper's benchmarks).
     pub fn declare(&mut self, decl: DataDecl) -> Result<(), TypeError> {
-        if self.by_name.contains_key(&decl.name) {
+        if self.by_name.contains_key(&decl.name) || decl.name.as_str() == INT_TYPE_NAME {
             return Err(TypeError::DuplicateDefinition(decl.name.clone()));
         }
         for ctor in &decl.ctors {
@@ -309,9 +325,10 @@ impl TypeEnv {
         self.ctors.get(name)
     }
 
-    /// Returns `true` if `name` is a declared data type.
+    /// Returns `true` if `name` is a declared data type (or the builtin
+    /// `int`, which is always available).
     pub fn is_declared(&self, name: &Symbol) -> bool {
-        self.by_name.contains_key(name)
+        self.by_name.contains_key(name) || name.as_str() == INT_TYPE_NAME
     }
 
     /// Checks that a type only references declared data types and contains no
@@ -323,7 +340,8 @@ impl TypeEnv {
     fn check_wellformed_with(&self, ty: &Type, pending: Option<&Symbol>) -> Result<(), TypeError> {
         match ty {
             Type::Named(n) => {
-                if self.by_name.contains_key(n) || pending == Some(n) {
+                if self.by_name.contains_key(n) || pending == Some(n) || n.as_str() == INT_TYPE_NAME
+                {
                     Ok(())
                 } else {
                     Err(TypeError::UnknownType(n.clone()))
@@ -354,6 +372,9 @@ impl TypeEnv {
             Type::Arrow(_, _) => true,
             Type::Tuple(ts) => ts.iter().all(|t| self.inhabited_inner(t, visiting)),
             Type::Named(n) => {
+                if n.as_str() == INT_TYPE_NAME {
+                    return true;
+                }
                 if visiting.contains(n) {
                     return false;
                 }

@@ -102,6 +102,12 @@ pub enum Value {
     Ctor(Symbol, Arc<[Value]>),
     /// A tuple (the empty tuple is the unit value).
     Tuple(Arc<[Value]>),
+    /// A machine integer (the builtin `int` type of the numeric/trace
+    /// workload).  Unlike Peano naturals these are wide and shallow: a
+    /// single node regardless of magnitude, with the enumeration size
+    /// measure `1 + |i|` so bounded verification still sweeps small
+    /// magnitudes first.
+    Int(i64),
     /// A function value.
     Closure(Arc<Closure>),
     /// A host-implemented function value.
@@ -165,6 +171,19 @@ impl Value {
             v = Value::Ctor(Symbol::new("Cons"), Arc::from([Value::nat(n), v]));
         }
         v
+    }
+
+    /// A machine-integer value of the builtin `int` type.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Interprets the value as a machine integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
     }
 
     /// The unit value.
@@ -236,6 +255,7 @@ impl Value {
     pub fn is_first_order(&self) -> bool {
         match self {
             Value::Closure(_) | Value::Native(_) => false,
+            Value::Int(_) => true,
             Value::Ctor(_, args) | Value::Tuple(args) => args.iter().all(Value::is_first_order),
         }
     }
@@ -245,6 +265,9 @@ impl Value {
     pub fn size(&self) -> usize {
         match self {
             Value::Closure(_) | Value::Native(_) => 1,
+            // Integers weigh their magnitude so size-bounded enumeration
+            // sweeps small magnitudes first (size s covers ±(s-1)).
+            Value::Int(i) => 1 + i.unsigned_abs() as usize,
             Value::Ctor(_, args) | Value::Tuple(args) => {
                 1 + args.iter().map(Value::size).sum::<usize>()
             }
@@ -287,6 +310,7 @@ impl Value {
             (Value::Tuple(items), Type::Tuple(tys)) => {
                 items.len() == tys.len() && items.iter().zip(tys).all(|(a, t)| a.has_type(tyenv, t))
             }
+            (Value::Int(_), Type::Named(n)) => n.as_str() == crate::types::INT_TYPE_NAME,
             _ => false,
         }
     }
@@ -303,6 +327,7 @@ impl Value {
                 let args: Option<Vec<Expr>> = args.iter().map(Value::to_expr).collect();
                 Some(Expr::Tuple(args?))
             }
+            Value::Int(i) => Some(Expr::Int(*i)),
             Value::Closure(_) | Value::Native(_) => None,
         }
     }
@@ -332,6 +357,7 @@ impl PartialEq for Value {
                 c1 == c2 && (Arc::ptr_eq(a1, a2) || a1 == a2)
             }
             (Value::Tuple(a1), Value::Tuple(a2)) => Arc::ptr_eq(a1, a2) || a1 == a2,
+            (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Closure(c1), Value::Closure(c2)) => Arc::ptr_eq(c1, c2),
             (Value::Native(n1), Value::Native(n2)) => Arc::ptr_eq(n1, n2),
             _ => false,
@@ -360,6 +386,10 @@ impl Hash for Value {
             Value::Native(n) => {
                 3u8.hash(state);
                 (Arc::as_ptr(n) as *const () as usize).hash(state);
+            }
+            Value::Int(i) => {
+                4u8.hash(state);
+                i.hash(state);
             }
         }
     }

@@ -865,6 +865,7 @@ mod tests {
                     result: None,
                     terms: i,
                     splits: 0,
+                    arith: 0,
                 },
             );
         }

@@ -513,6 +513,9 @@ pub struct GuessMemo {
     pub terms: u64,
     /// Equivalence-class splits the original enumeration counted.
     pub splits: u64,
+    /// Arithmetic atoms (integer literals and linear-arithmetic component
+    /// applications) the original enumeration counted.
+    pub arith: u64,
 }
 
 /// Counter snapshot of one synthesis session's term-bank activity.
@@ -546,6 +549,11 @@ pub struct TermBankStats {
     /// Batched signature-probe calls ([`TermBank::apply_batch`]): each is one
     /// lock round-trip per bank table for a whole component×split batch.
     pub probe_batches: u64,
+    /// Arithmetic atoms enumerated: integer literals seeded into guesses plus
+    /// applications of linear-arithmetic components
+    /// ([`crate::arith::components`]).  Zero unless the numeric grammar is
+    /// enabled.
+    pub arith_atoms: u64,
 }
 
 impl TermBankStats {
@@ -650,6 +658,7 @@ pub struct TermBank {
     bit_ops: AtomicU64,
     memo_hits: AtomicU64,
     batches: AtomicU64,
+    arith: AtomicU64,
 }
 
 impl Default for TermBank {
@@ -670,6 +679,7 @@ impl Default for TermBank {
             bit_ops: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            arith: AtomicU64::new(0),
         }
     }
 }
@@ -905,12 +915,14 @@ impl TermBank {
     }
 
     /// Records one guess's enumeration counters (terms, equivalence-class
-    /// splits, and word operations on packed signature rows).  A memo-served
-    /// guess replays its stored terms/splits here with `bit_ops = 0`.
-    pub fn record_guess(&self, terms: u64, splits: u64, bit_ops: u64) {
+    /// splits, arithmetic atoms, and word operations on packed signature
+    /// rows).  A memo-served guess replays its stored terms/splits/arith
+    /// here with `bit_ops = 0`.
+    pub fn record_guess(&self, terms: u64, splits: u64, bit_ops: u64, arith: u64) {
         self.terms.fetch_add(terms, Ordering::Relaxed);
         self.splits.fetch_add(splits, Ordering::Relaxed);
         self.bit_ops.fetch_add(bit_ops, Ordering::Relaxed);
+        self.arith.fetch_add(arith, Ordering::Relaxed);
     }
 
     /// The snapshot format version written by [`TermBank::to_json`].  Bump
@@ -1048,6 +1060,7 @@ impl TermBank {
                     ("e", rendered),
                     ("t", Json::Num(memo.terms as f64)),
                     ("s", Json::Num(memo.splits as f64)),
+                    ("i", Json::Num(memo.arith as f64)),
                 ]))
             })
             .collect();
@@ -1238,12 +1251,17 @@ impl TermBank {
                     .and_then(Json::as_usize)
                     .ok_or_else(|| corrupt("guess row without split count"))?
                     as u64;
+                // Absent in pre-arith snapshots — whose memos were written by
+                // sessions without arithmetic components (the session digest
+                // keys them apart), so their true arith count is zero.
+                let arith = row.get("i").and_then(Json::as_usize).unwrap_or(0) as u64;
                 guesses.insert(
                     key.0,
                     GuessMemo {
                         result,
                         terms,
                         splits,
+                        arith,
                     },
                 );
             }
@@ -1389,6 +1407,7 @@ impl TermBank {
             bitset_row_ops: self.bit_ops.load(Ordering::Relaxed),
             guess_memo_hits: self.memo_hits.load(Ordering::Relaxed),
             probe_batches: self.batches.load(Ordering::Relaxed),
+            arith_atoms: self.arith.load(Ordering::Relaxed),
         }
     }
 }
@@ -1559,6 +1578,7 @@ mod tests {
                 result: None,
                 terms: 9,
                 splits: 1,
+                arith: 0,
             },
         );
         bank.begin_session(&[(Value::nat(1), true)]);
@@ -1611,6 +1631,7 @@ mod tests {
                 result: None,
                 terms: 1,
                 splits: 0,
+                arith: 0,
             },
         );
         let one = bank.intern(&Value::nat(1));
@@ -1691,6 +1712,7 @@ mod tests {
                 result: Some(expr.clone()),
                 terms: 42,
                 splits: 3,
+                arith: 0,
             },
         );
         let failed_key = Digest(7);
@@ -1700,6 +1722,7 @@ mod tests {
                 result: None,
                 terms: 5,
                 splits: 0,
+                arith: 0,
             },
         );
         assert!(bank.guess_memo_get(Digest(99)).is_none());

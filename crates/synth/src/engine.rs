@@ -95,6 +95,10 @@ pub struct ExtraComponent {
     /// Its definition, used to close over the component in the final result
     /// (`let name = definition in …`).
     pub definition: Expr,
+    /// Whether the component is a linear-arithmetic atom
+    /// ([`crate::arith::components`]) — its applications count toward the
+    /// [`crate::bank::TermBankStats::arith_atoms`] statistic.
+    pub arith: bool,
 }
 
 /// Search limits and schedule.
@@ -128,6 +132,12 @@ pub struct SearchConfig {
     /// a test oracle: outcomes and enumeration counters are identical either
     /// way, pinned by `tests/synth_incremental_equivalence.rs`.
     pub use_bitset_rows: bool,
+    /// Machine-integer literals seeded as size-1 terms (the numeric
+    /// workload's constant pool, usually [`crate::arith::literal_pool`]).
+    /// Empty (the default) leaves the search exactly as it was before the
+    /// numeric family existed; literals only enter a guess at all when `int`
+    /// is among its types of interest.
+    pub int_literals: Vec<i64>,
 }
 
 impl Default for SearchConfig {
@@ -140,6 +150,7 @@ impl Default for SearchConfig {
             extra_components: Vec::new(),
             parallelism: None,
             use_bitset_rows: true,
+            int_literals: Vec::new(),
         }
     }
 }
@@ -164,6 +175,8 @@ struct FuncComponent {
     arg_tys: Vec<Type>,
     ret_ty: Type,
     value: Value,
+    /// Applications count as arithmetic atoms (see [`ExtraComponent::arith`]).
+    arith: bool,
 }
 
 /// A term kept in the enumeration pool: its syntax and its evaluation
@@ -347,6 +360,7 @@ impl<'p> Engine<'p> {
                 arg_tys: args.into_iter().cloned().collect(),
                 ret_ty: ret.clone(),
                 value: resolve_closure_value(value),
+                arith: false,
             });
         }
         for extra in &self.config.extra_components {
@@ -360,6 +374,7 @@ impl<'p> Engine<'p> {
                 arg_tys: args.into_iter().cloned().collect(),
                 ret_ty: ret.clone(),
                 value: resolve_closure_value(&extra.value),
+                arith: extra.arith,
             });
         }
         out
@@ -390,6 +405,10 @@ impl<'p> Engine<'p> {
         for extra in &self.config.extra_components {
             b.add_str(extra.name.as_str());
             b.add_digest(Digest::of_expr(&extra.definition));
+        }
+        b.add_u64(self.config.int_literals.len() as u64);
+        for &n in &self.config.int_literals {
+            b.add_u64(n as u64);
         }
         b.finish()
     }
@@ -609,7 +628,7 @@ impl<'p> Engine<'p> {
     ) -> Result<Option<Expr>, SynthError> {
         let key = self.guess_key(session, ctx, worlds, max_size, example_table);
         if let Some(memo) = bank.guess_memo_get(key) {
-            bank.record_guess(memo.terms, memo.splits, 0);
+            bank.record_guess(memo.terms, memo.splits, 0, memo.arith);
             return Ok(memo.result);
         }
         let types = self.types_of_interest(ctx, components);
@@ -639,7 +658,7 @@ impl<'p> Engine<'p> {
             &mut pool,
             &mut sieve,
         );
-        bank.record_guess(sieve.terms, sieve.splits, matrix.ops());
+        bank.record_guess(sieve.terms, sieve.splits, matrix.ops(), sieve.arith);
         result.map(|()| {
             bank.guess_memo_put(
                 key,
@@ -647,6 +666,7 @@ impl<'p> Engine<'p> {
                     result: sieve.matched.clone(),
                     terms: sieve.terms,
                     splits: sieve.splits,
+                    arith: sieve.arith,
                 },
             );
             sieve.matched
@@ -699,6 +719,17 @@ impl<'p> Engine<'p> {
                 sieve.add(matrix, ty, sig, || {
                     Expr::Ctor(ctor.name.clone(), Vec::new())
                 });
+            }
+        }
+        // Machine-integer literals (the numeric grammar's constant pool).
+        // `Sieve::add_tagged` drops them silently — without touching any
+        // counter — when `int` is not a type of interest to this guess.
+        {
+            let int_ty = Type::int();
+            for &n in &self.config.int_literals {
+                let id = bank.intern(&Value::int(n));
+                let sig = matrix.pack(false, worlds.iter().map(|_| Some(id)).collect());
+                sieve.add_tagged(matrix, &int_ty, sig, true, || Expr::Int(n));
             }
         }
         pool.freeze(sieve, 1);
@@ -796,7 +827,7 @@ impl<'p> Engine<'p> {
                         eval_chunk(&choices)
                     };
                     for (choice, sig) in choices.iter().zip(rows) {
-                        sieve.add(matrix, &component.ret_ty, sig, || {
+                        sieve.add_tagged(matrix, &component.ret_ty, sig, component.arith, || {
                             Expr::apps(
                                 Expr::Var(component.name.clone()),
                                 choice.iter().map(|t| t.expr.clone()),
@@ -1015,6 +1046,9 @@ struct Sieve {
     max_per_layer: usize,
     terms: u64,
     splits: u64,
+    /// Arithmetic atoms considered (integer literals and applications of
+    /// arith-tagged components).
+    arith: u64,
 }
 
 impl Sieve {
@@ -1046,6 +1080,7 @@ impl Sieve {
             max_per_layer,
             terms: 0,
             splits: 0,
+            arith: 0,
         }
     }
 
@@ -1054,6 +1089,20 @@ impl Sieve {
     /// `make_expr` is only invoked for terms that survive deduplication, so
     /// pruned duplicates never pay for syntax construction.
     fn add(&mut self, matrix: &SigMatrix, ty: &Type, sig: Sig, make_expr: impl FnOnce() -> Expr) {
+        self.add_tagged(matrix, ty, sig, false, make_expr);
+    }
+
+    /// [`Sieve::add`] with an arithmetic-atom tag: `arith` terms that count
+    /// toward enumeration also bump the arith counter (integer literals and
+    /// applications of arith-tagged components).
+    fn add_tagged(
+        &mut self,
+        matrix: &SigMatrix,
+        ty: &Type,
+        sig: Sig,
+        arith: bool,
+        make_expr: impl FnOnce() -> Expr,
+    ) {
         if self.matched.is_some() {
             return;
         }
@@ -1061,6 +1110,9 @@ impl Sieve {
             return;
         };
         self.terms += 1;
+        if arith {
+            self.arith += 1;
+        }
         if staged.len() >= self.max_per_layer {
             return;
         }

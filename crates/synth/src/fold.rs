@@ -255,6 +255,7 @@ impl FoldSynth {
                         ty: Type::arrow(concrete.clone(), nat.clone()),
                         value,
                         definition: renamed_definition,
+                        arith: false,
                     });
                 }
             }
@@ -282,7 +283,7 @@ fn substitute_var(expr: &Expr, var: &Symbol, replacement: &Expr) -> Expr {
     use std::sync::Arc;
     match expr {
         Expr::Var(x) if x == var => replacement.clone(),
-        Expr::Var(_) | Expr::Local(_, _) => expr.clone(),
+        Expr::Var(_) | Expr::Local(_, _) | Expr::Int(_) => expr.clone(),
         Expr::Ctor(c, args) => Expr::Ctor(
             c.clone(),
             args.iter()

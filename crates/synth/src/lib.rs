@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arith;
 pub mod bank;
 pub mod cache;
 pub mod engine;

@@ -27,6 +27,20 @@ fn test_config(parallelism: usize) -> SearchConfig {
         extra_components: Vec::new(),
         parallelism: Some(parallelism),
         use_bitset_rows: true,
+        int_literals: Vec::new(),
+    }
+}
+
+/// The numeric-family search: the base test configuration widened with the
+/// bounded linear-arithmetic components and the integer literal pool, and a
+/// schedule deep enough to apply binary atoms.
+fn numeric_config(parallelism: usize) -> SearchConfig {
+    let bounds = hanoi_repro::synth::arith::ArithBounds::default();
+    SearchConfig {
+        schedule: vec![(0, 5), (1, 7)],
+        extra_components: hanoi_repro::synth::arith::components(&bounds),
+        int_literals: hanoi_repro::synth::arith::literal_pool(&bounds),
+        ..test_config(parallelism)
     }
 }
 
@@ -168,6 +182,118 @@ fn persistent_bank_engines_match_fresh_engines_on_every_benchmark() {
         assert!(
             stats.column_appends > 0,
             "{}: new negatives must append signature columns",
+            benchmark.id
+        );
+    }
+}
+
+#[test]
+fn numeric_family_engines_agree_across_every_representation() {
+    // The linear-arithmetic grammar must satisfy the same equivalence
+    // matrix as the base grammar: persistent bank ≡ fresh bank (outcome and
+    // term counts, including the arithmetic-atom counter), parallel ≡
+    // serial, and bitset ≡ id rows — on every numeric benchmark.
+    for benchmark in hanoi_repro::benchmarks::numeric_registry() {
+        let problem = benchmark
+            .problem()
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.id));
+        let sequence = example_sequence(&problem);
+        assert!(
+            !sequence.is_empty(),
+            "{}: no example sequence",
+            benchmark.id
+        );
+
+        let serial_engine = Engine::new(&problem, numeric_config(1));
+        let parallel_engines: Vec<(usize, Engine<'_>)> = [2usize, 0]
+            .into_iter()
+            .map(|p| (p, Engine::new(&problem, numeric_config(p))))
+            .collect();
+        let idrow_engine = Engine::new(
+            &problem,
+            SearchConfig {
+                use_bitset_rows: false,
+                ..numeric_config(1)
+            },
+        );
+        let bank = TermBank::new();
+        let parallel_banks: Vec<TermBank> =
+            parallel_engines.iter().map(|_| TermBank::new()).collect();
+        let idrow_bank = TermBank::new();
+
+        for (iteration, examples) in sequence.iter().enumerate() {
+            let fresh_bank = TermBank::new();
+            let fresh =
+                serial_engine.synthesize_with_bank(&fresh_bank, examples, &Deadline::none());
+
+            let before = bank.stats();
+            let banked = serial_engine.synthesize_with_bank(&bank, examples, &Deadline::none());
+            let after = bank.stats();
+
+            assert_eq!(
+                banked, fresh,
+                "{}: iteration {iteration} diverged between persistent and fresh banks",
+                benchmark.id
+            );
+            let fresh_stats = fresh_bank.stats();
+            assert_eq!(
+                after.terms_enumerated - before.terms_enumerated,
+                fresh_stats.terms_enumerated,
+                "{}: iteration {iteration} term counts diverged",
+                benchmark.id
+            );
+            assert_eq!(
+                after.arith_atoms - before.arith_atoms,
+                fresh_stats.arith_atoms,
+                "{}: iteration {iteration} arith-atom counts diverged between \
+                 persistent (memo-replayed) and fresh banks",
+                benchmark.id
+            );
+
+            for ((parallelism, engine), pbank) in parallel_engines.iter().zip(&parallel_banks) {
+                let parallel = engine.synthesize_with_bank(pbank, examples, &Deadline::none());
+                assert_eq!(
+                    parallel, banked,
+                    "{}: iteration {iteration} diverged at parallelism {parallelism}",
+                    benchmark.id
+                );
+            }
+
+            let ibefore = idrow_bank.stats();
+            let idrow = idrow_engine.synthesize_with_bank(&idrow_bank, examples, &Deadline::none());
+            let iafter = idrow_bank.stats();
+            assert_eq!(
+                idrow, banked,
+                "{}: iteration {iteration} diverged between bitset and id rows",
+                benchmark.id
+            );
+            assert_eq!(
+                iafter.terms_enumerated - ibefore.terms_enumerated,
+                after.terms_enumerated - before.terms_enumerated,
+                "{}: iteration {iteration} enumerated a different number of \
+                 terms with id rows",
+                benchmark.id
+            );
+            assert_eq!(
+                iafter.arith_atoms - ibefore.arith_atoms,
+                after.arith_atoms - before.arith_atoms,
+                "{}: iteration {iteration} arith-atom counts depend on the row \
+                 representation",
+                benchmark.id
+            );
+        }
+
+        // The numeric grammar must actually have been exercised: integer
+        // literals and arithmetic components enumerate on every benchmark.
+        assert!(
+            bank.stats().arith_atoms > 0,
+            "{}: no arithmetic atoms enumerated",
+            benchmark.id
+        );
+        assert_eq!(
+            bank.stats().eq_class_splits,
+            idrow_bank.stats().eq_class_splits,
+            "{}: bitset and id rows disagreed on eq-class splits",
             benchmark.id
         );
     }
@@ -368,6 +494,63 @@ mod sig_matrix_units {
                 packed.project(&sig, &packed.mask_words(&mask), &mask)
             };
             assert_eq!(from_bits, from_ids, "width {width}");
+        }
+    }
+
+    #[test]
+    fn wide_int_id_rows_stay_dense_and_keep_the_validity_mask_exact() {
+        // Int-typed rows are non-boolean: whatever their ids look like, they
+        // must stay on the dense-id lane even with packing enabled, and
+        // their error cells must survive round trips and equality exactly —
+        // in particular in the tail words past the first 64 worlds.
+        for width in [65usize, 128, 130, 192] {
+            let matrix = SigMatrix::new(width, true);
+            // Errors every 9th world; distinct ids elsewhere (simulating
+            // interned Int values).
+            let cells: Vec<Option<u32>> = (0..width)
+                .map(|w| (w % 9 != 5).then(|| w as u32 + 10))
+                .collect();
+            let sig = matrix.pack(false, cells.clone());
+            assert!(
+                matches!(sig, Sig::Ids(_)),
+                "width {width}: int rows must not pack"
+            );
+            assert_eq!(cells_of(&sig, width), cells, "width {width}");
+
+            // Equality against a fully-valid row: the result is boolean (so
+            // it packs), and its validity mask must equal the int row's —
+            // no world, least of all one past a word boundary, may flip
+            // from error to valid or back.
+            let other = matrix.pack(false, (0..width).map(|w| Some(w as u32 + 10)).collect());
+            let eq = matrix.equality(&sig, &other);
+            assert!(
+                matches!(eq, Sig::Bits(_)),
+                "width {width}: equality of int rows is boolean and packs"
+            );
+            for (w, cell) in cells.iter().enumerate() {
+                match cell {
+                    None => assert_eq!(eq.cell(w), None, "width {width} world {w}"),
+                    Some(_) => assert_eq!(
+                        eq.cell(w),
+                        Some(TRUE_ID),
+                        "width {width} world {w}: equal ids must compare true"
+                    ),
+                }
+            }
+
+            // Projection through a mask keeps the dense representation and
+            // the per-world validity, including boundary worlds 63..66.
+            let mask: Vec<bool> = (0..width).map(|w| w % 4 != 2).collect();
+            let projected = matrix.project(&sig, &matrix.mask_words(&mask), &mask);
+            let reference = {
+                let plain = SigMatrix::new(width, false);
+                let sig = plain.pack(false, cells.clone());
+                matrix.project(&sig, &matrix.mask_words(&mask), &mask)
+            };
+            assert_eq!(
+                projected, reference,
+                "width {width}: projection is canonical"
+            );
         }
     }
 

@@ -1,0 +1,138 @@
+//! Soundness of the numeric/trace workload (the differential tier run by
+//! the `trace-smoke` CI job, in test form):
+//!
+//! 1. **Sampling soundness** — every world the ground-truth trace generator
+//!    emits satisfies its generating invariant, deterministically in the
+//!    seed: the generator replays random interface-operation sequences, and
+//!    the declared invariants are inductive, so reachability implies the
+//!    invariant.  A violation inside `sample_worlds` is an error by
+//!    construction; this test re-checks every world *independently* through
+//!    `Problem::eval_predicate` so a sampler bug cannot vouch for itself.
+//! 2. **Differential inference** — an invariant inferred with the
+//!    linear-arithmetic grammar enabled must be *implied by* the ground
+//!    truth on reachable states: every world of a held-out sample (a seed
+//!    the inference never saw) must be accepted.  The engine proves its
+//!    invariant sufficient & inductive, and the trace generator knows the
+//!    reachable states — where they disagree, one of them is broken.
+
+use hanoi_repro::benchmarks::trace::{
+    ground_truth, ground_truths, sample_worlds, worlds_from_json, worlds_to_json, TraceConfig,
+};
+use hanoi_repro::benchmarks::{numeric_registry, Benchmark};
+use hanoi_repro::hanoi::{Engine, Outcome, RunOptions};
+use hanoi_repro::synth::arith::ArithBounds;
+
+fn trace_config(seed: u64) -> TraceConfig {
+    TraceConfig {
+        seed,
+        count: 32,
+        steps: 10,
+        int_range: 6,
+    }
+}
+
+#[test]
+fn every_sampled_world_satisfies_its_generating_invariant() {
+    assert_eq!(
+        ground_truths().len(),
+        numeric_registry().len(),
+        "every numeric benchmark needs a ground truth"
+    );
+    for benchmark in numeric_registry() {
+        let problem = benchmark.problem().unwrap();
+        let truth = ground_truth(benchmark.id).unwrap();
+        let predicate = truth.predicate(&problem);
+        problem
+            .typecheck_invariant(&predicate)
+            .unwrap_or_else(|e| panic!("{}: ground truth ill-typed: {e}", benchmark.id));
+        for seed in [1u64, 7, 0xDEAD] {
+            let worlds = sample_worlds(&problem, &truth, &trace_config(seed))
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", benchmark.id));
+            assert!(
+                worlds.len() >= 4,
+                "{} seed {seed}: only {} worlds sampled",
+                benchmark.id,
+                worlds.len()
+            );
+            for world in &worlds {
+                assert!(
+                    problem.eval_predicate(&predicate, world).unwrap(),
+                    "{} seed {seed}: sampled world {world} violates the ground truth",
+                    benchmark.id
+                );
+            }
+            // Determinism: the same (seed, count, steps) names the same set.
+            let again = sample_worlds(&problem, &truth, &trace_config(seed)).unwrap();
+            assert_eq!(
+                worlds, again,
+                "{} seed {seed}: sampling is not a function of the seed",
+                benchmark.id
+            );
+            // And the V+ emission round-trips losslessly.
+            let json = worlds_to_json(benchmark.id, seed, &worlds);
+            let parsed = hanoi_repro::lang::json::parse(&json.render()).unwrap();
+            let (id, back_seed, back) = worlds_from_json(&parsed).unwrap();
+            assert_eq!((id.as_str(), back_seed), (benchmark.id, seed));
+            assert_eq!(back, worlds, "{}: V+ emission is lossy", benchmark.id);
+        }
+    }
+}
+
+#[test]
+fn inferred_invariants_are_implied_by_ground_truth_on_held_out_samples() {
+    let engine = Engine::with_defaults();
+    let options = RunOptions::quick()
+        .with_timeout(None)
+        .with_numeric_grammar(&ArithBounds::default());
+    let mut solved = Vec::new();
+    for benchmark in numeric_registry() {
+        let problem = benchmark.problem().unwrap();
+        let truth = ground_truth(benchmark.id).unwrap();
+        let result = engine.run(&problem, &options);
+        let invariant = match &result.outcome {
+            Outcome::Invariant(expr) => expr.clone(),
+            other => panic!("{}: inference failed: {other:?}", benchmark.id),
+        };
+        assert!(
+            result.stats.synth_arith_atoms > 0,
+            "{}: the numeric grammar was not exercised ({:?})",
+            benchmark.id,
+            result.stats
+        );
+        problem
+            .typecheck_invariant(&invariant)
+            .unwrap_or_else(|e| panic!("{}: inferred invariant ill-typed: {e}", benchmark.id));
+
+        // The held-out sample: a seed the CEGIS loop never observed.  Every
+        // reachable world satisfies ground truth, and the engine's invariant
+        // must hold on all reachable states (it is sufficient & inductive),
+        // so it must accept each of them.
+        let held_out = sample_worlds(&problem, &truth, &trace_config(0xC0FFEE)).unwrap();
+        for world in &held_out {
+            assert!(
+                problem.eval_predicate(&invariant, world).unwrap(),
+                "{}: inferred invariant {invariant} rejects reachable world {world}",
+                benchmark.id
+            );
+        }
+        solved.push(benchmark.id);
+    }
+    assert!(
+        solved.len() >= 4,
+        "the trace tier needs at least 4 end-to-end benchmarks, got {solved:?}"
+    );
+}
+
+#[test]
+fn unknown_benchmarks_have_no_ground_truth() {
+    assert!(ground_truth("/coq/unique-list-::-set").is_none());
+    assert!(ground_truth("/nonexistent").is_none());
+    // Numeric benchmarks resolve through the shared `find` path used by the
+    // server and the harness binaries.
+    for Benchmark { id, .. } in numeric_registry() {
+        assert!(
+            hanoi_repro::benchmarks::find(id).is_some(),
+            "{id} must be findable by id"
+        );
+    }
+}

@@ -180,6 +180,95 @@ fn snapshot_restored_engines_match_cold_engines_on_every_benchmark() {
 }
 
 #[test]
+fn numeric_family_snapshots_restore_identically_in_both_formats() {
+    // The numeric/trace family goes through the same store machinery —
+    // including Int values in the term-bank interner and arithmetic
+    // components in the session digest — so it must uphold the same
+    // three-way equivalence: chunked restore ≡ monolithic restore ≡ cold.
+    let chunked_dir = scratch_dir("numeric-chunked");
+    let mono_dir = scratch_dir("numeric-mono");
+    for benchmark in benchmarks::numeric_registry() {
+        let problem = benchmark
+            .problem()
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.id));
+        let options =
+            test_options().with_numeric_grammar(&hanoi_repro::synth::arith::ArithBounds::default());
+
+        let cold = Engine::with_defaults().run(&problem, &options);
+
+        let saver = warm_engine(&chunked_dir);
+        let first = saver.run(&problem, &options);
+        assert_eq!(
+            outcome_key(&first.outcome),
+            outcome_key(&cold.outcome),
+            "{}: a store-attached engine diverged before any snapshot existed",
+            benchmark.id
+        );
+        assert!(
+            first.stats.synth_arith_atoms > 0,
+            "{}: the numeric grammar must enumerate arithmetic atoms ({:?})",
+            benchmark.id,
+            first.stats
+        );
+        assert!(
+            saver.save_state(&chunked_dir).unwrap() >= 1,
+            "{}",
+            benchmark.id
+        );
+        assert!(
+            saver.save_state_monolithic(&mono_dir).unwrap() >= 1,
+            "{}",
+            benchmark.id
+        );
+
+        for (format, dir) in [("chunked", &chunked_dir), ("monolithic", &mono_dir)] {
+            let restored = warm_engine(dir).run(&problem, &options);
+            assert_eq!(
+                outcome_key(&restored.outcome),
+                outcome_key(&cold.outcome),
+                "{} [{format}]: snapshot-restored run diverged from a cold run",
+                benchmark.id
+            );
+            assert_eq!(
+                restored.stats.iterations, cold.stats.iterations,
+                "{} [{format}]: restored run took a different CEGIS path",
+                benchmark.id
+            );
+            assert_eq!(
+                (
+                    restored.stats.final_positives,
+                    restored.stats.final_negatives
+                ),
+                (cold.stats.final_positives, cold.stats.final_negatives),
+                "{} [{format}]: restored run learned different examples",
+                benchmark.id
+            );
+            assert!(
+                restored.stats.warm_start_loads > 0,
+                "{} [{format}]: nothing was restored ({:?})",
+                benchmark.id,
+                restored.stats
+            );
+            assert_eq!(
+                restored.stats.warm_start_quarantined, 0,
+                "{} [{format}]: a clean store quarantined something",
+                benchmark.id
+            );
+            // Guess memos replay the arithmetic-atom counter: a fully warm
+            // identical re-run must report exactly the cold run's count.
+            assert_eq!(
+                restored.stats.synth_arith_atoms, cold.stats.synth_arith_atoms,
+                "{} [{format}]: memo-served guesses must replay the \
+                 arithmetic-atom counter ({:?})",
+                benchmark.id, restored.stats
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&chunked_dir);
+    let _ = std::fs::remove_dir_all(&mono_dir);
+}
+
+#[test]
 fn every_chunk_tampered_in_turn_quarantines_only_itself() {
     // The tamper loop: for each chunk the manifest lists, flip its bytes
     // and restore.  Exactly that chunk must be quarantined, the restore
